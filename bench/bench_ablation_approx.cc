@@ -1,0 +1,75 @@
+// Ablation: exact (§5) vs approximate (§7) index.
+//
+// Sweeps epsilon and reports, per query: time for both indexes, the exact
+// match count, the approximate match count (>= exact by design), and the
+// approximate index's link count / memory (which grow as epsilon shrinks).
+
+#include <vector>
+
+#include "bench_util.h"
+#include "core/approx_index.h"
+#include "core/substring_index.h"
+#include "datagen/datagen.h"
+
+namespace pti {
+
+void RunApprox(const bench::Args& args) {
+  const int64_t n = args.full ? 100000 : 20000;
+  std::printf("=== bench_ablation_approx (n = %lld) ===\n",
+              static_cast<long long>(n));
+  DatasetOptions data;
+  data.length = n;
+  data.theta = 0.3;
+  data.seed = 23;
+  const UncertainString s = GenerateUncertainString(data);
+
+  IndexOptions exact_options;
+  exact_options.transform.tau_min = 0.1;
+  auto exact = SubstringIndex::Build(s, exact_options);
+  if (!exact.ok()) std::exit(1);
+
+  const auto patterns = SamplePatterns(s, 300, 6, 77);
+  const double tau = 0.2;
+
+  std::vector<Match> out;
+  size_t exact_matches = 0;
+  const double exact_ms = bench::TimeMs([&] {
+    for (const auto& p : patterns) {
+      (void)exact->Query(p, tau, &out);
+      exact_matches += out.size();
+    }
+  });
+
+  bench::Table table("epsilon");
+  table.SetColumns({"approx us/q", "exact us/q", "approx hits", "exact hits",
+                    "links", "MB"});
+  for (const double eps : {0.20, 0.10, 0.05, 0.02, 0.01}) {
+    ApproxOptions options;
+    options.transform.tau_min = 0.1;
+    options.epsilon = eps;
+    auto approx = ApproxIndex::Build(s, options);
+    if (!approx.ok()) std::exit(1);
+    size_t approx_matches = 0;
+    const double approx_ms = bench::TimeMs([&] {
+      for (const auto& p : patterns) {
+        (void)approx->Query(p, tau, &out);
+        approx_matches += out.size();
+      }
+    });
+    table.AddRow(bench::FmtDouble(eps),
+                 {approx_ms * 1000 / patterns.size(),
+                  exact_ms * 1000 / patterns.size(),
+                  static_cast<double>(approx_matches) / patterns.size(),
+                  static_cast<double>(exact_matches) / patterns.size(),
+                  static_cast<double>(approx->stats().num_links),
+                  approx->MemoryUsage() / 1048576.0});
+  }
+  table.Print("Exact (5) vs approximate (7) at tau = 0.2", "mixed units");
+}
+
+}  // namespace pti
+
+int main(int argc, char** argv) {
+  pti::RunApprox(pti::bench::ParseArgs(argc, argv));
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Ablation: full (suffix tree) vs compact (FM-index) substring index.
+//
+// §8.7 of the paper reports space using a compressed suffix array in place
+// of the suffix tree; IndexOptions::compact is our equivalent. Reported:
+// build time, memory, and query time for both modes at increasing n —
+// the space ratio is the number to watch.
+
+#include <vector>
+
+#include "bench_util.h"
+#include "core/substring_index.h"
+#include "datagen/datagen.h"
+
+namespace pti {
+
+void RunCompact(const bench::Args& args) {
+  std::vector<int64_t> sizes = {25000, 50000, 100000};
+  if (args.full) sizes.push_back(200000);
+  std::printf("=== bench_ablation_compact ===\n");
+  bench::Table table("n");
+  table.SetColumns({"full MB", "compact MB", "ratio", "full us/q",
+                    "compact us/q", "full build s", "compact build s"});
+  for (const int64_t n : sizes) {
+    DatasetOptions data;
+    data.length = n;
+    data.theta = 0.3;
+    data.seed = 99;
+    const UncertainString s = GenerateUncertainString(data);
+
+    IndexOptions full_options;
+    full_options.transform.tau_min = 0.1;
+    IndexOptions compact_options = full_options;
+    compact_options.compact = true;
+
+    StatusOr<SubstringIndex> full = SubstringIndex(), compact =
+                                                         SubstringIndex();
+    const double full_build_ms = bench::TimeMs(
+        [&] { full = SubstringIndex::Build(s, full_options); });
+    const double compact_build_ms = bench::TimeMs(
+        [&] { compact = SubstringIndex::Build(s, compact_options); });
+    if (!full.ok() || !compact.ok()) std::exit(1);
+
+    const auto patterns = SamplePatterns(s, 400, 8, 1234);
+    std::vector<Match> out;
+    const double full_q = bench::TimeMs([&] {
+      for (const auto& p : patterns) (void)full->Query(p, 0.2, &out);
+    });
+    const double compact_q = bench::TimeMs([&] {
+      for (const auto& p : patterns) (void)compact->Query(p, 0.2, &out);
+    });
+    const double full_mb = full->MemoryUsage() / 1048576.0;
+    const double compact_mb = compact->MemoryUsage() / 1048576.0;
+    table.AddRow(bench::FmtInt(n),
+                 {full_mb, compact_mb, full_mb / compact_mb,
+                  full_q * 1000 / patterns.size(),
+                  compact_q * 1000 / patterns.size(), full_build_ms / 1000,
+                  compact_build_ms / 1000});
+  }
+  table.Print("Full (suffix tree) vs compact (FM-index) index",
+              "mixed units");
+}
+
+}  // namespace pti
+
+int main(int argc, char** argv) {
+  pti::RunCompact(pti::bench::ParseArgs(argc, argv));
+  return 0;
+}

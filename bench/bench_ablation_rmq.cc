@@ -1,0 +1,126 @@
+// Ablation: RMQ engine choice (DESIGN.md §2.1).
+//
+// Compares the three engines behind the indexes — BlockRmq (production),
+// FischerHeunRmq (the paper's Lemma 1 structure), SparseTableRmq (baseline)
+// — plus a plain linear scan, on construction time, query time and memory.
+// google-benchmark binary: supports --benchmark_filter etc.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "rmq/block_rmq.h"
+#include "rmq/fischer_heun_rmq.h"
+#include "rmq/sparse_table_rmq.h"
+#include "util/rng.h"
+
+namespace {
+
+struct VecFn {
+  const std::vector<double>* v;
+  double operator()(size_t i) const { return (*v)[i]; }
+};
+
+std::vector<double> MakeValues(size_t n) {
+  pti::Rng rng(42);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.UniformDouble();
+  return v;
+}
+
+// Random query ranges shared across engines for comparability.
+std::vector<std::pair<size_t, size_t>> MakeRanges(size_t n, size_t count) {
+  pti::Rng rng(7);
+  std::vector<std::pair<size_t, size_t>> ranges;
+  for (size_t i = 0; i < count; ++i) {
+    size_t l = rng.Uniform(n);
+    size_t r = rng.Uniform(n);
+    if (l > r) std::swap(l, r);
+    ranges.emplace_back(l, r);
+  }
+  return ranges;
+}
+
+template <typename Engine>
+void QueryLoop(const Engine& engine,
+               const std::vector<std::pair<size_t, size_t>>& ranges,
+               benchmark::State& state) {
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [l, r] = ranges[i++ % ranges.size()];
+    benchmark::DoNotOptimize(engine.ArgMax(l, r));
+  }
+}
+
+void BM_Build_Block(benchmark::State& state) {
+  const auto v = MakeValues(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    pti::BlockRmq<VecFn> rmq(VecFn{&v}, v.size());
+    benchmark::DoNotOptimize(rmq.MemoryUsage());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Build_Block)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_Build_FischerHeun(benchmark::State& state) {
+  const auto v = MakeValues(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    pti::FischerHeunRmq<VecFn> rmq(VecFn{&v}, v.size());
+    benchmark::DoNotOptimize(rmq.MemoryUsage());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Build_FischerHeun)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_Build_SparseTable(benchmark::State& state) {
+  const auto v = MakeValues(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    pti::SparseTableRmq<VecFn> rmq(VecFn{&v}, v.size());
+    benchmark::DoNotOptimize(rmq.MemoryUsage());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Build_SparseTable)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_Query_Block(benchmark::State& state) {
+  const auto v = MakeValues(static_cast<size_t>(state.range(0)));
+  const pti::BlockRmq<VecFn> rmq(VecFn{&v}, v.size());
+  const auto ranges = MakeRanges(v.size(), 1024);
+  QueryLoop(rmq, ranges, state);
+  state.counters["bytes"] = static_cast<double>(rmq.MemoryUsage());
+}
+BENCHMARK(BM_Query_Block)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_Query_FischerHeun(benchmark::State& state) {
+  const auto v = MakeValues(static_cast<size_t>(state.range(0)));
+  const pti::FischerHeunRmq<VecFn> rmq(VecFn{&v}, v.size());
+  const auto ranges = MakeRanges(v.size(), 1024);
+  QueryLoop(rmq, ranges, state);
+  state.counters["bytes"] = static_cast<double>(rmq.MemoryUsage());
+}
+BENCHMARK(BM_Query_FischerHeun)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_Query_SparseTable(benchmark::State& state) {
+  const auto v = MakeValues(static_cast<size_t>(state.range(0)));
+  const pti::SparseTableRmq<VecFn> rmq(VecFn{&v}, v.size());
+  const auto ranges = MakeRanges(v.size(), 1024);
+  QueryLoop(rmq, ranges, state);
+  state.counters["bytes"] = static_cast<double>(rmq.MemoryUsage());
+}
+BENCHMARK(BM_Query_SparseTable)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_Query_LinearScan(benchmark::State& state) {
+  const auto v = MakeValues(static_cast<size_t>(state.range(0)));
+  const auto ranges = MakeRanges(v.size(), 1024);
+  const VecFn fn{&v};
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [l, r] = ranges[i++ % ranges.size()];
+    benchmark::DoNotOptimize(pti::BruteForceArgMax(fn, l, r));
+  }
+}
+BENCHMARK(BM_Query_LinearScan)->Arg(1 << 16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

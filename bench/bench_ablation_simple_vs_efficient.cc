@@ -1,0 +1,96 @@
+// Ablation: §4.1 simple index vs §4.2 efficient (RMQ) index.
+//
+// The paper's core argument: scanning the whole suffix range costs
+// O(range) even when almost nothing qualifies, while the RMQ walk pays
+// O(1) per reported occurrence. We sweep the query threshold tau — higher
+// tau means fewer qualifying occurrences out of the same suffix range — and
+// report microseconds per query for both modes. The crossover (scan wins
+// only when occ ~ range) is the figure to look at.
+
+#include <vector>
+
+#include "bench_util.h"
+#include "core/special_index.h"
+#include "util/rng.h"
+
+namespace pti {
+namespace {
+
+// A special uncertain string over a tiny alphabet (big suffix ranges) with
+// per-position probabilities spread over [0.5, 1), so tau controls
+// selectivity smoothly.
+UncertainString MakeSpecial(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  UncertainString s;
+  for (int64_t i = 0; i < n; ++i) {
+    s.AddPosition({{static_cast<uint8_t>('a' + rng.Uniform(2)),
+                    0.5 + 0.5 * rng.UniformDouble()}});
+  }
+  return s;
+}
+
+std::vector<std::string> Workload(size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> patterns;
+  for (size_t i = 0; i < count; ++i) {
+    std::string p;
+    for (int k = 0; k < 4; ++k) {
+      p.push_back(static_cast<char>('a' + rng.Uniform(2)));
+    }
+    patterns.push_back(p);
+  }
+  return patterns;
+}
+
+}  // namespace
+
+void RunAblation(const bench::Args& args) {
+  const int64_t n = args.full ? 1000000 : 200000;
+  std::printf("=== bench_ablation_simple_vs_efficient (n = %lld) ===\n",
+              static_cast<long long>(n));
+  const UncertainString s = MakeSpecial(n, 3);
+
+  SpecialIndexOptions simple;
+  simple.use_rmq = false;
+  SpecialIndexOptions efficient;
+  efficient.scan_cutoff = 0;
+  auto simple_index = SpecialIndex::Build(s, simple);
+  auto efficient_index = SpecialIndex::Build(s, efficient);
+  if (!simple_index.ok() || !efficient_index.ok()) {
+    std::fprintf(stderr, "build failed\n");
+    std::exit(1);
+  }
+
+  const auto patterns = Workload(200, 17);
+  bench::Table table("tau");
+  table.SetColumns({"simple(scan)", "efficient(RMQ)", "avg matches"});
+  for (const double tau :
+       {0.30, 0.50, 0.70, 0.85, 0.95, 0.99}) {
+    std::vector<Match> out;
+    size_t matches = 0;
+    const double simple_ms = bench::TimeMs([&] {
+      for (const auto& p : patterns) {
+        (void)simple_index->Query(p, tau, &out);
+        matches += out.size();
+      }
+    });
+    const double efficient_ms = bench::TimeMs([&] {
+      for (const auto& p : patterns) {
+        (void)efficient_index->Query(p, tau, &out);
+      }
+    });
+    table.AddRow(bench::FmtDouble(tau),
+                 {simple_ms * 1000 / patterns.size(),
+                  efficient_ms * 1000 / patterns.size(),
+                  static_cast<double>(matches) / patterns.size()});
+  }
+  table.Print("Simple (4.1) vs efficient (4.2) query time as selectivity "
+              "varies", "us/query");
+}
+
+}  // namespace pti
+
+int main(int argc, char** argv) {
+  pti::RunAblation(pti::bench::ParseArgs(argc, argv));
+  return 0;
+}

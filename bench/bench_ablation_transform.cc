@@ -1,0 +1,67 @@
+// Ablation: factor-transformation blowup (Lemma 2 / DESIGN.md §2.2).
+//
+// Measures the transformed length N as a multiple of the original length n
+// across tau_min and theta — the empirical check of the paper's
+// O((1/tau_min)^2 n) bound — plus factor counts and transform time.
+
+#include <vector>
+
+#include "bench_util.h"
+#include "core/factor_transform.h"
+#include "datagen/datagen.h"
+
+namespace pti {
+
+void RunTransform(const bench::Args& args) {
+  const int64_t n = args.full ? 100000 : 25000;
+  std::printf("=== bench_ablation_transform (n = %lld) ===\n",
+              static_cast<long long>(n));
+  bench::Table blowup("tau_min");
+  bench::Table factors("tau_min");
+  bench::Table timing("tau_min");
+  std::vector<std::string> cols;
+  for (const double theta : {0.1, 0.2, 0.3, 0.4, 0.5}) {
+    cols.push_back("theta=" + bench::FmtDouble(theta));
+  }
+  blowup.SetColumns(cols);
+  factors.SetColumns(cols);
+  timing.SetColumns(cols);
+  for (const double tau_min : {0.04, 0.08, 0.12, 0.16, 0.20}) {
+    std::vector<double> brow, frow, trow;
+    for (const double theta : {0.1, 0.2, 0.3, 0.4, 0.5}) {
+      DatasetOptions data;
+      data.length = n;
+      data.theta = theta;
+      data.seed = 31;
+      const UncertainString s = GenerateUncertainString(data);
+      TransformOptions options;
+      options.tau_min = tau_min;
+      StatusOr<FactorSet> fs = FactorSet{};
+      const double ms =
+          bench::TimeMs([&] { fs = TransformToFactors(s, options); });
+      if (!fs.ok()) {
+        std::fprintf(stderr, "transform failed: %s\n",
+                     fs.status().ToString().c_str());
+        std::exit(1);
+      }
+      brow.push_back(static_cast<double>(fs->total_length()) /
+                     static_cast<double>(n));
+      frow.push_back(static_cast<double>(fs->num_factors()));
+      trow.push_back(ms);
+    }
+    blowup.AddRow(bench::FmtDouble(tau_min), brow);
+    factors.AddRow(bench::FmtDouble(tau_min), frow);
+    timing.AddRow(bench::FmtDouble(tau_min), trow);
+  }
+  blowup.Print("Transformed length N as a multiple of n "
+               "(paper bound: (1/tau_min)^2)", "N/n");
+  factors.Print("Number of maximal factors", "count");
+  timing.Print("Transform time", "ms");
+}
+
+}  // namespace pti
+
+int main(int argc, char** argv) {
+  pti::RunTransform(pti::bench::ParseArgs(argc, argv));
+  return 0;
+}

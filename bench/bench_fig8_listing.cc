@@ -1,0 +1,190 @@
+// Figure 8 (§8.2-§8.5): string-listing query time over a collection of
+// uncertain strings (pieces with lengths ~ normal in [20, 45], §8.1).
+//
+//   (a) vs total collection size n, theta series
+//   (b) vs query threshold tau, theta series
+//   (c) vs construction tau_min, theta series
+//   (d) vs pattern length m, theta series
+//
+// Times are microseconds per query; see EXPERIMENTS.md for the shape
+// comparison against the paper's plots.
+
+#include <vector>
+
+#include "bench_util.h"
+#include "core/listing_index.h"
+#include "datagen/datagen.h"
+
+namespace pti {
+namespace {
+
+constexpr double kThetas[] = {0.1, 0.2, 0.3, 0.4};
+
+struct Built {
+  std::vector<UncertainString> docs;
+  ListingIndex index;
+};
+
+Built BuildListing(int64_t n, double theta, double tau_min, uint64_t seed) {
+  DatasetOptions data;
+  data.length = n;
+  data.theta = theta;
+  data.seed = seed;
+  std::vector<UncertainString> docs = GenerateCollection(data);
+  ListingOptions options;
+  options.transform.tau_min = tau_min;
+  auto index = ListingIndex::Build(docs, options);
+  if (!index.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 index.status().ToString().c_str());
+    std::exit(1);
+  }
+  return Built{std::move(docs), std::move(index).value()};
+}
+
+// Mixed workload; document pieces are 20-45 positions, so the paper's
+// longest query lengths cannot occur inside a piece — lengths {5,10,20,40}
+// exercise the same short/long split relative to K.
+std::vector<std::string> MixedWorkload(const std::vector<UncertainString>& docs,
+                                       size_t per_length, uint64_t seed) {
+  std::vector<std::string> patterns;
+  for (const size_t m : {size_t{5}, size_t{10}, size_t{20}, size_t{40}}) {
+    const auto batch = SampleCollectionPatterns(docs, per_length, m, seed + m);
+    patterns.insert(patterns.end(), batch.begin(), batch.end());
+  }
+  return patterns;
+}
+
+double AvgQueryUs(const ListingIndex& index,
+                  const std::vector<std::string>& patterns, double tau) {
+  std::vector<DocMatch> out;
+  // Warm-up pass: touch the index structures outside the timed region.
+  for (const auto& p : patterns) (void)index.Query(p, tau, &out);
+  const double ms = bench::TimeMs([&] {
+    for (const auto& p : patterns) {
+      (void)index.Query(p, tau, &out);
+    }
+  });
+  return ms * 1000.0 / static_cast<double>(patterns.size());
+}
+
+void PanelA(bool full) {
+  std::vector<int64_t> sizes = {25000, 50000, 100000};
+  if (full) sizes = {25000, 50000, 100000, 200000, 300000};
+  bench::Table table("n");
+  std::vector<std::string> cols;
+  for (const double theta : kThetas) {
+    cols.push_back("theta=" + bench::FmtDouble(theta));
+  }
+  table.SetColumns(cols);
+  for (const int64_t n : sizes) {
+    std::vector<double> row;
+    for (const double theta : kThetas) {
+      const Built b = BuildListing(n, theta, 0.1, 7);
+      const auto patterns = MixedWorkload(b.docs, 50, 1000);
+      row.push_back(AvgQueryUs(b.index, patterns, 0.2));
+    }
+    table.AddRow(bench::FmtInt(n), row);
+  }
+  table.Print("Figure 8(a): listing query time vs collection size",
+              "us/query");
+}
+
+void PanelB(bool full) {
+  // As in Figure 7(b): the 4-letter alphabet variant makes the tau effect
+  // (output-size dependence) visible at microsecond query costs.
+  const int64_t n = full ? 200000 : 50000;
+  bench::Table table("tau");
+  std::vector<std::string> cols;
+  std::vector<Built> built;
+  std::vector<std::vector<std::string>> workloads;
+  for (const double theta : kThetas) {
+    cols.push_back("theta=" + bench::FmtDouble(theta));
+    DatasetOptions data;
+    data.length = n;
+    data.theta = theta;
+    data.alphabet = 4;
+    data.seed = 11;
+    std::vector<UncertainString> docs = GenerateCollection(data);
+    ListingOptions options;
+    options.transform.tau_min = 0.1;
+    auto index = ListingIndex::Build(docs, options);
+    if (!index.ok()) std::exit(1);
+    built.push_back(Built{std::move(docs), std::move(index).value()});
+    workloads.push_back(
+        SampleCollectionPatterns(built.back().docs, 200, 6, 2000));
+  }
+  table.SetColumns(cols);
+  for (const double tau : {0.10, 0.11, 0.12, 0.13, 0.14, 0.15}) {
+    std::vector<double> row;
+    for (size_t t = 0; t < built.size(); ++t) {
+      row.push_back(AvgQueryUs(built[t].index, workloads[t], tau));
+    }
+    table.AddRow(bench::FmtDouble(tau), row);
+  }
+  table.Print("Figure 8(b): listing query time vs tau "
+              "(4-letter alphabet variant)", "us/query");
+}
+
+void PanelC(bool full) {
+  const int64_t n = full ? 100000 : 25000;
+  bench::Table table("tau_min");
+  std::vector<std::string> cols;
+  for (const double theta : kThetas) {
+    cols.push_back("theta=" + bench::FmtDouble(theta));
+  }
+  table.SetColumns(cols);
+  for (const double tau_min : {0.04, 0.08, 0.12, 0.16, 0.20}) {
+    std::vector<double> row;
+    for (const double theta : kThetas) {
+      const Built b = BuildListing(n, theta, tau_min, 13);
+      const auto patterns = MixedWorkload(b.docs, 50, 3000);
+      row.push_back(AvgQueryUs(b.index, patterns, 0.2));
+    }
+    table.AddRow(bench::FmtDouble(tau_min), row);
+  }
+  table.Print("Figure 8(c): listing query time vs tau_min (tau=0.2)",
+              "us/query");
+}
+
+void PanelD(bool full) {
+  const int64_t n = full ? 200000 : 50000;
+  bench::Table table("m");
+  std::vector<std::string> cols;
+  std::vector<Built> built;
+  for (const double theta : kThetas) {
+    cols.push_back("theta=" + bench::FmtDouble(theta));
+    built.push_back(BuildListing(n, theta, 0.1, 17));
+  }
+  table.SetColumns(cols);
+  for (const size_t m : {5, 10, 15, 20, 25}) {
+    std::vector<double> row;
+    for (auto& b : built) {
+      const auto patterns = SampleCollectionPatterns(b.docs, 200, m, 4000 + m);
+      row.push_back(patterns.empty()
+                        ? 0.0
+                        : AvgQueryUs(b.index, patterns, 0.12));
+    }
+    table.AddRow(std::to_string(m), row);
+  }
+  table.Print("Figure 8(d): listing query time vs pattern length m",
+              "us/query");
+}
+
+}  // namespace
+
+void RunFig8(const bench::Args& args) {
+  std::printf("=== bench_fig8_listing (%s scale) ===\n",
+              args.full ? "paper" : "default");
+  if (bench::RunPanel(args, "a")) PanelA(args.full);
+  if (bench::RunPanel(args, "b")) PanelB(args.full);
+  if (bench::RunPanel(args, "c")) PanelC(args.full);
+  if (bench::RunPanel(args, "d")) PanelD(args.full);
+}
+
+}  // namespace pti
+
+int main(int argc, char** argv) {
+  pti::RunFig8(pti::bench::ParseArgs(argc, argv));
+  return 0;
+}

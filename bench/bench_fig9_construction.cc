@@ -1,0 +1,130 @@
+// Figure 9 (§8.6-§8.7): construction time and index space.
+//
+//   (a) construction time vs string size n, theta series
+//   (b) construction time vs tau_min, theta series
+//   (c) index space (MB) vs string size n, theta series, plus the space
+//       accounting the paper does in §8.7 (its estimate: ~10.5 N words).
+//
+// Construction times are seconds; space is bytes as measured by
+// MemoryUsage() (real allocations, not the paper's back-of-envelope words).
+
+#include <vector>
+
+#include "bench_util.h"
+#include "core/substring_index.h"
+#include "datagen/datagen.h"
+
+namespace pti {
+namespace {
+
+constexpr double kThetas[] = {0.1, 0.2, 0.3, 0.4};
+
+UncertainString MakeString(int64_t n, double theta, uint64_t seed) {
+  DatasetOptions data;
+  data.length = n;
+  data.theta = theta;
+  data.seed = seed;
+  return GenerateUncertainString(data);
+}
+
+void PanelA(bool full) {
+  std::vector<int64_t> sizes = {25000, 50000, 100000};
+  if (full) sizes = {25000, 50000, 100000, 200000, 300000};
+  bench::Table table("n");
+  std::vector<std::string> cols;
+  for (const double theta : kThetas) {
+    cols.push_back("theta=" + bench::FmtDouble(theta));
+  }
+  table.SetColumns(cols);
+  for (const int64_t n : sizes) {
+    std::vector<double> row;
+    for (const double theta : kThetas) {
+      const UncertainString s = MakeString(n, theta, 7);
+      IndexOptions options;
+      options.transform.tau_min = 0.1;
+      const double ms = bench::TimeMs([&] {
+        const auto index = SubstringIndex::Build(s, options);
+        if (!index.ok()) std::exit(1);
+      });
+      row.push_back(ms / 1000.0);
+    }
+    table.AddRow(bench::FmtInt(n), row);
+  }
+  table.Print("Figure 9(a): construction time vs string size", "seconds");
+}
+
+void PanelB(bool full) {
+  const int64_t n = full ? 100000 : 50000;
+  bench::Table table("tau_min");
+  std::vector<std::string> cols;
+  for (const double theta : kThetas) {
+    cols.push_back("theta=" + bench::FmtDouble(theta));
+  }
+  table.SetColumns(cols);
+  for (const double tau_min : {0.04, 0.08, 0.12, 0.16, 0.20}) {
+    std::vector<double> row;
+    for (const double theta : kThetas) {
+      const UncertainString s = MakeString(n, theta, 11);
+      IndexOptions options;
+      options.transform.tau_min = tau_min;
+      const double ms = bench::TimeMs([&] {
+        const auto index = SubstringIndex::Build(s, options);
+        if (!index.ok()) std::exit(1);
+      });
+      row.push_back(ms / 1000.0);
+    }
+    table.AddRow(bench::FmtDouble(tau_min), row);
+  }
+  table.Print("Figure 9(b): construction time vs tau_min", "seconds");
+}
+
+void PanelC(bool full) {
+  std::vector<int64_t> sizes = {25000, 50000, 100000};
+  if (full) sizes = {25000, 50000, 100000, 200000, 300000};
+  bench::Table table("n");
+  std::vector<std::string> cols;
+  for (const double theta : kThetas) {
+    cols.push_back("theta=" + bench::FmtDouble(theta));
+  }
+  table.SetColumns(cols);
+  size_t last_bytes = 0;
+  size_t last_N = 1;
+  for (const int64_t n : sizes) {
+    std::vector<double> row;
+    for (const double theta : kThetas) {
+      const UncertainString s = MakeString(n, theta, 13);
+      IndexOptions options;
+      options.transform.tau_min = 0.1;
+      const auto index = SubstringIndex::Build(s, options);
+      if (!index.ok()) std::exit(1);
+      row.push_back(static_cast<double>(index->MemoryUsage()) / 1048576.0);
+      last_bytes = index->MemoryUsage();
+      last_N = index->stats().transformed_length;
+    }
+    table.AddRow(bench::FmtInt(n), row);
+  }
+  table.Print("Figure 9(c): index space vs string size", "MB");
+  // §8.7-style accounting: the paper estimates ~10.5 N words total; report
+  // our measured bytes-per-transformed-character for comparison.
+  std::printf("\n  space accounting (largest build): %.1f bytes per "
+              "transformed character (N = %zu)\n",
+              static_cast<double>(last_bytes) / static_cast<double>(last_N),
+              last_N);
+}
+
+}  // namespace
+
+void RunFig9(const bench::Args& args) {
+  std::printf("=== bench_fig9_construction (%s scale) ===\n",
+              args.full ? "paper" : "default");
+  if (bench::RunPanel(args, "a")) PanelA(args.full);
+  if (bench::RunPanel(args, "b")) PanelB(args.full);
+  if (bench::RunPanel(args, "c")) PanelC(args.full);
+}
+
+}  // namespace pti
+
+int main(int argc, char** argv) {
+  pti::RunFig9(pti::bench::ParseArgs(argc, argv));
+  return 0;
+}

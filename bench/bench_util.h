@@ -1,0 +1,101 @@
+// Shared helpers for the figure-regeneration benches: flag parsing, timing,
+// and fixed-width table printing in the paper's row/series layout.
+//
+// Every bench binary runs with laptop-scale defaults in well under a minute
+// and accepts --full to reach the paper's 300K-position scale.
+
+#ifndef PTI_BENCH_BENCH_UTIL_H_
+#define PTI_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace pti {
+namespace bench {
+
+struct Args {
+  bool full = false;
+  std::string panel;  // empty = all panels
+};
+
+inline Args ParseArgs(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) {
+      args.full = true;
+    } else if (std::strncmp(argv[i], "--panel=", 8) == 0) {
+      args.panel = argv[i] + 8;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("flags: --full (paper-scale sizes), --panel=a|b|c|d\n");
+      std::exit(0);
+    }
+  }
+  return args;
+}
+
+inline bool RunPanel(const Args& args, const char* panel) {
+  return args.panel.empty() || args.panel == panel;
+}
+
+/// Wall-clock milliseconds for fn().
+inline double TimeMs(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+/// Prints a table: header row of column labels, then one row per series
+/// entry. Matches the paper's "x-axis value vs theta series" figures.
+class Table {
+ public:
+  explicit Table(const std::string& row_label) : row_label_(row_label) {}
+
+  void SetColumns(const std::vector<std::string>& cols) { cols_ = cols; }
+
+  void AddRow(const std::string& label, const std::vector<double>& values) {
+    rows_.push_back({label, values});
+  }
+
+  void Print(const std::string& title, const std::string& unit) const {
+    std::printf("\n%s  [%s]\n", title.c_str(), unit.c_str());
+    std::printf("  %-12s", row_label_.c_str());
+    for (const auto& c : cols_) std::printf(" %12s", c.c_str());
+    std::printf("\n");
+    for (const auto& [label, values] : rows_) {
+      std::printf("  %-12s", label.c_str());
+      for (const double v : values) std::printf(" %12.3f", v);
+      std::printf("\n");
+    }
+  }
+
+ private:
+  struct Row {
+    std::string label;
+    std::vector<double> values;
+  };
+  std::string row_label_;
+  std::vector<std::string> cols_;
+  std::vector<Row> rows_;
+};
+
+inline std::string FmtInt(int64_t v) {
+  if (v % 1000 == 0 && v >= 1000) return std::to_string(v / 1000) + "K";
+  return std::to_string(v);
+}
+
+inline std::string FmtDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+}  // namespace bench
+}  // namespace pti
+
+#endif  // PTI_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,161 @@
+// pti_cli: command-line front end for the library.
+//
+//   pti_cli build  <string.pus> <index.pti> [tau_min]   build + save an index
+//   pti_cli query  <index.pti> <pattern> <tau>          threshold query
+//   pti_cli topk   <index.pti> <pattern> <tau> <k>      k best occurrences
+//   pti_cli stat   <index.pti>                          index statistics
+//   pti_cli gen    <n> <theta> <seed> <out.pus>         §8.1 synthetic data
+//
+// .pus files use the text format of core/usformat.h (one position per line,
+// char=prob pairs, optional @corr directives).
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/substring_index.h"
+#include "core/usformat.h"
+#include "datagen/datagen.h"
+
+namespace {
+
+int Fail(const std::string& what) {
+  std::fprintf(stderr, "error: %s\n", what.c_str());
+  return 1;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+bool WriteFile(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << data;
+  return out.good();
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  pti_cli build <string.pus> <index.pti> [tau_min]\n"
+               "  pti_cli query <index.pti> <pattern> <tau>\n"
+               "  pti_cli topk  <index.pti> <pattern> <tau> <k>\n"
+               "  pti_cli stat  <index.pti>\n"
+               "  pti_cli gen   <n> <theta> <seed> <out.pus>\n");
+  return 2;
+}
+
+pti::StatusOr<pti::SubstringIndex> LoadIndex(const std::string& path) {
+  std::string blob;
+  if (!ReadFile(path, &blob)) {
+    return pti::Status::IOError("cannot read " + path);
+  }
+  return pti::SubstringIndex::Load(blob);
+}
+
+int CmdBuild(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  std::string text;
+  if (!ReadFile(argv[2], &text)) return Fail(std::string("cannot read ") + argv[2]);
+  auto s = pti::ParseUncertainString(text);
+  if (!s.ok()) return Fail(s.status().ToString());
+  pti::IndexOptions options;
+  if (argc >= 5) options.transform.tau_min = std::atof(argv[4]);
+  auto index = pti::SubstringIndex::Build(*s, options);
+  if (!index.ok()) return Fail(index.status().ToString());
+  std::string blob;
+  const pti::Status st = index->Save(&blob);
+  if (!st.ok()) return Fail(st.ToString());
+  if (!WriteFile(argv[3], blob)) return Fail(std::string("cannot write ") + argv[3]);
+  const auto stats = index->stats();
+  std::printf("indexed %lld positions (tau_min %.4g): %zu factors, "
+              "%zu chars, %zu bytes on disk\n",
+              static_cast<long long>(stats.original_length),
+              options.transform.tau_min, stats.num_factors,
+              stats.transformed_length, blob.size());
+  return 0;
+}
+
+int CmdQuery(int argc, char** argv) {
+  if (argc < 5) return Usage();
+  auto index = LoadIndex(argv[2]);
+  if (!index.ok()) return Fail(index.status().ToString());
+  std::vector<pti::Match> matches;
+  const pti::Status st = index->Query(argv[3], std::atof(argv[4]), &matches);
+  if (!st.ok()) return Fail(st.ToString());
+  for (const auto& m : matches) {
+    std::printf("%lld\t%.6f\n", static_cast<long long>(m.position),
+                m.probability);
+  }
+  std::fprintf(stderr, "%zu match(es)\n", matches.size());
+  return 0;
+}
+
+int CmdTopK(int argc, char** argv) {
+  if (argc < 6) return Usage();
+  auto index = LoadIndex(argv[2]);
+  if (!index.ok()) return Fail(index.status().ToString());
+  std::vector<pti::Match> matches;
+  const pti::Status st = index->QueryTopK(
+      argv[3], std::atof(argv[4]), static_cast<size_t>(std::atoll(argv[5])),
+      &matches);
+  if (!st.ok()) return Fail(st.ToString());
+  for (const auto& m : matches) {
+    std::printf("%lld\t%.6f\n", static_cast<long long>(m.position),
+                m.probability);
+  }
+  return 0;
+}
+
+int CmdStat(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  auto index = LoadIndex(argv[2]);
+  if (!index.ok()) return Fail(index.status().ToString());
+  const auto stats = index->stats();
+  std::printf("original length      %lld\n",
+              static_cast<long long>(stats.original_length));
+  std::printf("maximal factors      %zu\n", stats.num_factors);
+  std::printf("transformed length   %zu\n", stats.transformed_length);
+  std::printf("short depth limit K  %d\n", stats.short_depth_limit);
+  std::printf("suffix tree nodes    %zu\n", stats.num_tree_nodes);
+  std::printf("tau_min              %.6g\n",
+              index->options().transform.tau_min);
+  std::printf("memory usage (bytes) %zu\n", index->MemoryUsage());
+  return 0;
+}
+
+int CmdGen(int argc, char** argv) {
+  if (argc < 6) return Usage();
+  pti::DatasetOptions options;
+  options.length = std::atoll(argv[2]);
+  options.theta = std::atof(argv[3]);
+  options.seed = static_cast<uint64_t>(std::atoll(argv[4]));
+  const pti::UncertainString s = pti::GenerateUncertainString(options);
+  if (!WriteFile(argv[5], pti::FormatUncertainString(s))) {
+    return Fail(std::string("cannot write ") + argv[5]);
+  }
+  std::printf("wrote %lld positions (theta %.2f) to %s\n",
+              static_cast<long long>(s.size()), options.theta, argv[5]);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  if (cmd == "build") return CmdBuild(argc, argv);
+  if (cmd == "query") return CmdQuery(argc, argv);
+  if (cmd == "topk") return CmdTopK(argc, argv);
+  if (cmd == "stat") return CmdStat(argc, argv);
+  if (cmd == "gen") return CmdGen(argc, argv);
+  return Usage();
+}

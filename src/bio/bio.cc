@@ -1,0 +1,127 @@
+#include "bio/bio.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace pti {
+
+namespace {
+constexpr char kBases[] = {'A', 'C', 'G', 'T'};
+
+int BaseIndex(char c) {
+  switch (c) {
+    case 'A': case 'a': return 0;
+    case 'C': case 'c': return 1;
+    case 'G': case 'g': return 2;
+    case 'T': case 't': return 3;
+    default: return -1;
+  }
+}
+
+// IUPAC ambiguity code -> set of bases (empty when unknown).
+std::string IupacSet(char c) {
+  switch (c) {
+    case 'A': case 'C': case 'G': case 'T': return std::string(1, c);
+    case 'R': return "AG";
+    case 'Y': return "CT";
+    case 'S': return "CG";
+    case 'W': return "AT";
+    case 'K': return "GT";
+    case 'M': return "AC";
+    case 'B': return "CGT";
+    case 'D': return "AGT";
+    case 'H': return "ACT";
+    case 'V': return "ACG";
+    case 'N': return "ACGT";
+    default: return "";
+  }
+}
+}  // namespace
+
+StatusOr<std::vector<FastqRecord>> ParseFastq(const std::string& content) {
+  std::vector<FastqRecord> records;
+  std::istringstream in(content);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line[0] != '@') {
+      return Status::Corruption("FASTQ line " + std::to_string(line_no) +
+                                ": expected '@' header");
+    }
+    FastqRecord rec;
+    rec.id = line.substr(1);
+    std::string plus;
+    if (!std::getline(in, rec.sequence) || !std::getline(in, plus) ||
+        !std::getline(in, rec.quality)) {
+      return Status::Corruption("FASTQ record truncated at line " +
+                                std::to_string(line_no));
+    }
+    line_no += 3;
+    if (plus.empty() || plus[0] != '+') {
+      return Status::Corruption("FASTQ line " + std::to_string(line_no - 1) +
+                                ": expected '+' separator");
+    }
+    if (rec.sequence.size() != rec.quality.size()) {
+      return Status::Corruption("FASTQ record '" + rec.id +
+                                "': sequence/quality length mismatch");
+    }
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+StatusOr<UncertainString> FastqToUncertain(const FastqRecord& record) {
+  UncertainString s;
+  for (size_t i = 0; i < record.sequence.size(); ++i) {
+    const char base = record.sequence[i];
+    const int q = record.quality[i] - 33;
+    if (q < 0 || q > 93) {
+      return Status::InvalidArgument("quality score out of Phred+33 range");
+    }
+    const int idx = BaseIndex(base);
+    if (idx < 0) {
+      if (base == 'N' || base == 'n') {
+        s.AddPosition({{'A', 0.25}, {'C', 0.25}, {'G', 0.25}, {'T', 0.25}});
+        continue;
+      }
+      return Status::InvalidArgument(std::string("unexpected base '") + base +
+                                     "' in read");
+    }
+    const double err = std::pow(10.0, -q / 10.0);
+    std::vector<CharOption> opts;
+    opts.push_back({static_cast<uint8_t>(kBases[idx]), 1.0 - err});
+    for (int b = 0; b < 4; ++b) {
+      if (b != idx) {
+        opts.push_back({static_cast<uint8_t>(kBases[b]), err / 3.0});
+      }
+    }
+    s.AddPosition(std::move(opts));
+  }
+  return s;
+}
+
+StatusOr<UncertainString> IupacToUncertain(const std::string& dna) {
+  UncertainString s;
+  for (const char c : dna) {
+    const std::string set = IupacSet(static_cast<char>(std::toupper(c)));
+    if (set.empty()) {
+      return Status::InvalidArgument(std::string("unknown IUPAC code '") + c +
+                                     "'");
+    }
+    std::vector<CharOption> opts;
+    const double p = 1.0 / static_cast<double>(set.size());
+    for (size_t k = 0; k < set.size(); ++k) {
+      double prob = p;
+      if (k + 1 == set.size()) {
+        prob = 1.0 - p * static_cast<double>(set.size() - 1);
+      }
+      opts.push_back({static_cast<uint8_t>(set[k]), prob});
+    }
+    s.AddPosition(std::move(opts));
+  }
+  return s;
+}
+
+}  // namespace pti

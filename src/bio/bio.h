@@ -1,0 +1,38 @@
+// Bioinformatics adapters (§2 motivation): FASTQ reads with Phred quality
+// scores and IUPAC ambiguity codes both map naturally onto the
+// character-level uncertain string model.
+
+#ifndef PTI_BIO_BIO_H_
+#define PTI_BIO_BIO_H_
+
+#include <string>
+#include <vector>
+
+#include "core/uncertain_string.h"
+#include "util/status.h"
+
+namespace pti {
+
+/// One FASTQ record: @id / sequence / + / quality.
+struct FastqRecord {
+  std::string id;
+  std::string sequence;
+  std::string quality;  // Phred+33 encoded
+};
+
+/// Parses FASTQ content; fails with Corruption on malformed records.
+StatusOr<std::vector<FastqRecord>> ParseFastq(const std::string& content);
+
+/// Converts a read into an uncertain string: each base's error probability
+/// e = 10^(-Q/10) leaves the called base with probability 1-e and spreads e
+/// evenly over the other three bases; 'N' becomes uniform over ACGT.
+StatusOr<UncertainString> FastqToUncertain(const FastqRecord& record);
+
+/// Converts a DNA string with IUPAC ambiguity codes (R, Y, S, W, K, M, B, D,
+/// H, V, N) into an uncertain string with uniform probabilities over the
+/// denoted base sets (the NC-IUB standardization cited in §2).
+StatusOr<UncertainString> IupacToUncertain(const std::string& dna);
+
+}  // namespace pti
+
+#endif  // PTI_BIO_BIO_H_

@@ -1,0 +1,359 @@
+#include "core/approx_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "suffix/suffix_tree.h"
+
+namespace pti {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+int64_t RuleKey(int64_t pos, uint8_t ch) { return pos * 256 + ch; }
+
+// One epsilon-partitioned link. Origin point: (origin_node, origin_depth) —
+// origin_node is the real node at or directly below the point (the point
+// lies on its incoming edge). Target point likewise.
+struct Link {
+  int32_t origin_node = 0;
+  int32_t origin_depth = 0;
+  int32_t target_node = 0;
+  int32_t target_depth = 0;
+  int64_t position = 0;  // d: alignment in S
+  double logp = 0.0;     // log Pr(prefix(origin point) at d)
+};
+}  // namespace
+
+struct ApproxIndex::Impl {
+  UncertainString source;
+  ApproxOptions options;
+  FactorSet fs;
+  SuffixTree st;
+
+  std::vector<double> c;
+  std::vector<int32_t> remaining;
+  std::unordered_map<int64_t, const CorrelationRule*> rules;
+
+  std::vector<Link> links;          // sorted by (target_node, origin_node)
+  std::vector<int64_t> target_off;  // CSR into links by target node
+  std::unique_ptr<RmqHandle> link_rmq;
+  size_t num_marked = 0;
+
+  size_t N() const { return fs.text.size(); }
+
+  // Exact log-probability of the window of `len` characters starting at text
+  // position q, correlation-resolved for that window.
+  double WindowLog(int64_t q, int32_t len) const {
+    if (len <= 0) return 0.0;
+    if (remaining[q] < len) return kNegInf;
+    double v = c[q + len] - c[q];
+    if (!fs.corr_positions.empty()) {
+      auto it = std::lower_bound(fs.corr_positions.begin(),
+                                 fs.corr_positions.end(), q);
+      for (; it != fs.corr_positions.end() && *it < q + len; ++it) {
+        const int64_t z = *it;
+        const uint8_t ch = static_cast<uint8_t>(fs.text.chars()[z]);
+        const CorrelationRule* rule = rules.at(RuleKey(fs.pos[z], ch));
+        const int64_t ws = fs.pos[q];
+        double p;
+        if (rule->dep_pos >= ws && rule->dep_pos < ws + len) {
+          const int64_t zdep = q + (rule->dep_pos - ws);
+          p = fs.text.chars()[zdep] == rule->dep_ch ? rule->prob_if_present
+                                                    : rule->prob_if_absent;
+        } else {
+          const double dep = source.BaseProb(rule->dep_pos, rule->dep_ch);
+          p = dep * rule->prob_if_present +
+              (1.0 - dep) * rule->prob_if_absent;
+        }
+        v += (p <= 0.0 ? kNegInf : std::log(p)) - fs.logp[z];
+      }
+    }
+    return v;
+  }
+
+  struct LinkLogFn {
+    const Impl* impl;
+    double operator()(size_t j) const { return impl->links[j].logp; }
+  };
+
+  Status Finish() {
+    const size_t n_text = N();
+    st = SuffixTree::Build(&fs.text.chars(), fs.text.alphabet_size());
+    st.BuildLcaSupport();
+
+    rules.clear();
+    for (const CorrelationRule& r : source.correlations()) {
+      rules[RuleKey(r.pos, r.ch)] = &r;
+    }
+    c.assign(n_text + 1, 0.0);
+    for (size_t k = 0; k < n_text; ++k) c[k + 1] = c[k] + fs.logp[k];
+    remaining.assign(n_text, 0);
+    for (int64_t q = static_cast<int64_t>(n_text) - 1; q >= 0; --q) {
+      remaining[q] = fs.text.IsSentinel(q) ? 0 : remaining[q + 1] + 1;
+    }
+
+    BuildLinks();
+    if (!links.empty()) {
+      link_rmq = MakeRmq(RmqEngineKind::kBlock, LinkLogFn{this},
+                         links.size());
+    }
+    return Status::OK();
+  }
+
+  void BuildLinks() {
+    const auto& sa = st.sa();
+    // (position d, SA index) for every real-character suffix, grouped by d
+    // in SA (== leaf preorder) order.
+    std::vector<std::pair<int64_t, int32_t>> dleaves;
+    dleaves.reserve(N());
+    for (size_t j = 0; j < N(); ++j) {
+      const int64_t d = fs.pos[sa[j]];
+      if (d >= 0) dleaves.emplace_back(d, static_cast<int32_t>(j));
+    }
+    std::sort(dleaves.begin(), dleaves.end());
+
+    // Marked nodes per d: the d-leaves plus LCAs of consecutive d-leaves.
+    // (node, representative SA index of a d-leaf below it)
+    std::vector<std::pair<int32_t, int32_t>> marks;
+    links.clear();
+    size_t lo = 0;
+    while (lo < dleaves.size()) {
+      size_t hi = lo;
+      const int64_t d = dleaves[lo].first;
+      while (hi < dleaves.size() && dleaves[hi].first == d) ++hi;
+      marks.clear();
+      for (size_t k = lo; k < hi; ++k) {
+        marks.emplace_back(st.leaf_node(dleaves[k].second),
+                           dleaves[k].second);
+        if (k + 1 < hi) {
+          const int32_t lca = st.Lca(st.leaf_node(dleaves[k].second),
+                                     st.leaf_node(dleaves[k + 1].second));
+          marks.emplace_back(lca, dleaves[k].second);
+        }
+      }
+      std::sort(marks.begin(), marks.end());
+      marks.erase(std::unique(marks.begin(), marks.end(),
+                              [](const auto& a, const auto& b) {
+                                return a.first == b.first;
+                              }),
+                  marks.end());
+      num_marked += marks.size();
+      // Preorder sweep with an ancestor stack: each marked node links to the
+      // nearest marked node still open above it (or the root).
+      std::vector<int32_t> stack;  // marked nodes, each an ancestor of next
+      for (const auto& [node, rep] : marks) {
+        while (!stack.empty() && !st.IsAncestor(stack.back(), node)) {
+          stack.pop_back();
+        }
+        const int32_t target = stack.empty() ? st.root() : stack.back();
+        if (node != target) EmitLink(node, target, d, rep);
+        stack.push_back(node);
+      }
+      lo = hi;
+    }
+
+    std::sort(links.begin(), links.end(), [](const Link& a, const Link& b) {
+      if (a.target_node != b.target_node) return a.target_node < b.target_node;
+      return a.origin_node < b.origin_node;
+    });
+    target_off.assign(static_cast<size_t>(st.num_nodes()) + 1, 0);
+    for (const Link& l : links) target_off[l.target_node + 1]++;
+    for (size_t v = 0; v + 1 < target_off.size(); ++v) {
+      target_off[v + 1] += target_off[v];
+    }
+  }
+
+  // Splits the (u -> v, d) chain edge into epsilon-bounded sub-links. Both
+  // endpoints of every sub-link lie on the root-to-u path, so the stabbing
+  // predicate only ever needs (u, v, the two depths): no dummy-node ids.
+  void EmitLink(int32_t u, int32_t v, int64_t d, int32_t rep_sa) {
+    const int64_t q = st.sa()[rep_sa];
+    const int32_t t_bottom = std::min(st.depth(u), remaining[q]);
+    const int32_t t_top = st.depth(v);
+    if (t_bottom <= t_top) return;  // fully beyond the factor: nothing to add
+    const double eps = options.epsilon;
+    // Without correlations in range the window probability is monotone
+    // non-increasing in length, so the climb can binary-search the prefix
+    // sums; correlation rules can break monotonicity (a case-1 resolution
+    // may beat the stored optimistic value's marginal), forcing a linear
+    // climb for those (rare) chains.
+    const bool monotone =
+        fs.corr_positions.empty() ||
+        !HasCorrInRange(q, q + t_bottom);
+    int32_t bottom = t_bottom;
+    double bottom_logp = WindowLog(q, bottom);
+    while (bottom > t_top) {
+      const double limit = std::exp(bottom_logp) + eps;
+      int32_t top;
+      if (monotone) {
+        // Highest point whose probability still stays within eps.
+        const double log_limit = std::log(std::min(limit, 1.0));
+        int32_t lo = t_top, hi = bottom;  // answer in [lo, hi]
+        while (lo < hi) {
+          const int32_t mid = lo + (hi - lo) / 2;
+          if (c[q + mid] - c[q] <= log_limit + 1e-12) {
+            hi = mid;
+          } else {
+            lo = mid + 1;
+          }
+        }
+        top = lo;
+      } else {
+        top = bottom;
+        while (top > t_top && std::exp(WindowLog(q, top - 1)) <= limit) --top;
+      }
+      if (top == bottom) {
+        // A single character step already exceeds epsilon; take it anyway
+        // (the pattern point then falls exactly on the step, so the link
+        // probability is exact for it).
+        top = bottom - 1;
+      }
+      Link link;
+      link.origin_node = u;
+      link.origin_depth = bottom;
+      link.target_node = v;
+      link.target_depth = top;
+      link.position = d;
+      link.logp = bottom_logp;
+      links.push_back(link);
+      bottom = top;
+      bottom_logp = WindowLog(q, bottom);
+    }
+  }
+
+  bool HasCorrInRange(int64_t lo, int64_t hi) const {
+    auto it = std::lower_bound(fs.corr_positions.begin(),
+                               fs.corr_positions.end(), lo);
+    return it != fs.corr_positions.end() && *it < hi;
+  }
+
+  Status Query(const std::string& pattern, double tau,
+               std::vector<Match>* out) const {
+    out->clear();
+    if (pattern.empty()) {
+      return Status::InvalidArgument("pattern must be non-empty");
+    }
+    if (!(tau > 0.0) || tau > 1.0) {
+      return Status::InvalidArgument("tau must be in (0, 1]");
+    }
+    const LogProb lt = LogProb::FromLinear(tau);
+    const LogProb lmin = LogProb::FromLinear(fs.tau_min);
+    if (!lt.MeetsThreshold(lmin)) {
+      return Status::InvalidArgument(
+          "tau is below the construction-time tau_min");
+    }
+    if (links.empty()) return Status::OK();
+    const auto range = st.FindRange(Text::MapPattern(pattern));
+    if (!range.has_value() || range->empty()) return Status::OK();
+    const int32_t w = range->locus;
+    const int32_t m = static_cast<int32_t>(pattern.size());
+    const double floor = std::max(tau - options.epsilon, 0.0);
+    const LogProb log_floor =
+        floor <= 0.0 ? LogProb::Zero() : LogProb::FromLinear(floor);
+
+    // Ancestors of the locus (including the locus itself for links whose
+    // target point lies on its incoming edge): at most m + 1 of them.
+    std::vector<int32_t> ancestors;
+    for (int32_t v = w;; v = st.parent(v)) {
+      ancestors.push_back(v);
+      if (v == st.root()) break;
+    }
+    const int32_t sub_end = st.subtree_end(w);
+    for (const int32_t v : ancestors) {
+      // Links targeted at v whose origin node lies inside subtree(w).
+      const int64_t seg_lo = target_off[v];
+      const int64_t seg_hi = target_off[v + 1];
+      if (seg_lo == seg_hi) continue;
+      const auto cmp = [this](const Link& l, int32_t node) {
+        return l.origin_node < node;
+      };
+      const int64_t lo =
+          std::lower_bound(links.begin() + seg_lo, links.begin() + seg_hi, w,
+                           cmp) -
+          links.begin();
+      const int64_t hi =
+          std::lower_bound(links.begin() + seg_lo, links.begin() + seg_hi,
+                           sub_end, cmp) -
+          links.begin();
+      if (lo >= hi) continue;
+      // Recursive RMQ over link probabilities; filters reject but do not
+      // stop the recursion (rejected links may hide qualifying ones).
+      std::vector<std::pair<int64_t, int64_t>> stack{{lo, hi - 1}};
+      while (!stack.empty()) {
+        auto [a, b] = stack.back();
+        stack.pop_back();
+        if (a > b) continue;
+        const size_t pos = link_rmq->ArgMax(a, b);
+        const Link& link = links[pos];
+        if (!LogProb::FromLog(link.logp).MeetsThreshold(log_floor)) continue;
+        // Stabbing: origin node inside subtree(w) (guaranteed by the segment
+        // bounds) and the link's depth interval (t_t, t_o] contains m.
+        if (link.target_depth < m && link.origin_depth >= m) {
+          double prob = std::exp(link.logp);
+          if (options.exact_probabilities) {
+            prob = source.OccurrenceProb(pattern, link.position).ToLinear();
+          }
+          out->push_back(Match{link.position, prob});
+        }
+        stack.emplace_back(a, static_cast<int64_t>(pos) - 1);
+        stack.emplace_back(static_cast<int64_t>(pos) + 1, b);
+      }
+    }
+    std::sort(out->begin(), out->end(), [](const Match& a, const Match& b) {
+      return a.position < b.position;
+    });
+    return Status::OK();
+  }
+};
+
+ApproxIndex::ApproxIndex() = default;
+ApproxIndex::~ApproxIndex() = default;
+ApproxIndex::ApproxIndex(ApproxIndex&&) noexcept = default;
+ApproxIndex& ApproxIndex::operator=(ApproxIndex&&) noexcept = default;
+
+StatusOr<ApproxIndex> ApproxIndex::Build(const UncertainString& s,
+                                         const ApproxOptions& options) {
+  if (!(options.epsilon > 0.0) || options.epsilon > 1.0) {
+    return Status::InvalidArgument("epsilon must be in (0, 1]");
+  }
+  ApproxIndex index;
+  index.impl_ = std::make_unique<Impl>();
+  Impl& i = *index.impl_;
+  i.source = s;
+  i.options = options;
+  auto fs = TransformToFactors(i.source, options.transform);
+  if (!fs.ok()) return fs.status();
+  i.fs = std::move(fs).value();
+  PTI_RETURN_IF_ERROR(i.Finish());
+  return index;
+}
+
+Status ApproxIndex::Query(const std::string& pattern, double tau,
+                          std::vector<Match>* out) const {
+  return impl_->Query(pattern, tau, out);
+}
+
+ApproxIndex::Stats ApproxIndex::stats() const {
+  Stats s;
+  s.original_length = impl_->fs.original_length;
+  s.transformed_length = impl_->fs.total_length();
+  s.num_marked_nodes = impl_->num_marked;
+  s.num_links = impl_->links.size();
+  return s;
+}
+
+size_t ApproxIndex::MemoryUsage() const {
+  const Impl& i = *impl_;
+  size_t bytes = i.source.MemoryUsage() + i.fs.MemoryUsage() +
+                 i.st.MemoryUsage() + i.c.capacity() * sizeof(double) +
+                 i.remaining.capacity() * sizeof(int32_t) +
+                 i.links.capacity() * sizeof(Link) +
+                 i.target_off.capacity() * sizeof(int64_t);
+  if (i.link_rmq) bytes += i.link_rmq->MemoryUsage();
+  return bytes;
+}
+
+}  // namespace pti

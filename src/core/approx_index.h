@@ -1,0 +1,82 @@
+// ApproxIndex: approximate substring searching with additive error (§7).
+//
+// Built over the factor-transformed suffix tree. Every leaf is marked with
+// the original position d its suffix is aligned to; an internal node is
+// marked d when it is the LCA of two consecutive d-marked leaves (the
+// Hon-Shah-Vitter marking, which is closed under LCA). Every marked node
+// links to its lowest properly-marked ancestor; links whose endpoint
+// probabilities differ by more than epsilon are split by walking the edge
+// one character at a time, so consecutive probabilities along any chain
+// differ by at most epsilon (linear-probability domain).
+//
+// A link with origin point (node a, string depth t_o) and target point
+// (node c, string depth t_t) is *stabbed* by a query with locus w and length
+// m iff a is in subtree(w), t_t < m and t_o >= m — i.e. the link's depth
+// interval (t_t, t_o] contains the pattern point. For each occurrence
+// position d there is exactly ONE stabbed link (uniqueness follows from
+// LCA-closure; see the comment on QueryLinks), whose probability brackets
+// the true occurrence probability within epsilon.
+//
+// Query: walk the <= m+1 ancestors of the locus; for each, enumerate its
+// incoming links with origin inside subtree(w) by recursive RMQ over link
+// probabilities, down to tau - epsilon. Guarantees (tested):
+//   * every position with Pr(p, d) >= tau is reported;
+//   * every reported position has Pr(p, d) >= tau - epsilon.
+
+#ifndef PTI_CORE_APPROX_INDEX_H_
+#define PTI_CORE_APPROX_INDEX_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/factor_transform.h"
+#include "core/match.h"
+#include "core/uncertain_string.h"
+#include "rmq/rmq_handle.h"
+#include "util/status.h"
+
+namespace pti {
+
+struct ApproxOptions {
+  TransformOptions transform;
+  /// Additive error bound on reported probabilities (0 < epsilon <= 1).
+  double epsilon = 0.05;
+  /// When true, reported probabilities are recomputed exactly from the
+  /// source string (O(m) per result); otherwise the link probability is
+  /// reported, which under-reports the true value by at most epsilon.
+  bool exact_probabilities = false;
+};
+
+class ApproxIndex {
+ public:
+  ApproxIndex();
+  ~ApproxIndex();
+  ApproxIndex(ApproxIndex&&) noexcept;
+  ApproxIndex& operator=(ApproxIndex&&) noexcept;
+
+  static StatusOr<ApproxIndex> Build(const UncertainString& s,
+                                     const ApproxOptions& options = {});
+
+  /// Reports positions sorted by position: all true >= tau matches plus
+  /// possibly matches down to tau - epsilon.
+  Status Query(const std::string& pattern, double tau,
+               std::vector<Match>* out) const;
+
+  struct Stats {
+    int64_t original_length = 0;
+    size_t transformed_length = 0;
+    size_t num_marked_nodes = 0;
+    size_t num_links = 0;  ///< after epsilon-partitioning
+  };
+  Stats stats() const;
+  size_t MemoryUsage() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace pti
+
+#endif  // PTI_CORE_APPROX_INDEX_H_

@@ -1,0 +1,67 @@
+#include "core/brute_force.h"
+
+#include <cmath>
+
+namespace pti {
+
+std::vector<Match> BruteForceSearch(const UncertainString& s,
+                                    const std::string& pattern, double tau) {
+  std::vector<Match> out;
+  const int64_t m = static_cast<int64_t>(pattern.size());
+  if (m == 0) return out;
+  const LogProb log_tau = LogProb::FromLinear(tau);
+  for (int64_t i = 0; i + m <= s.size(); ++i) {
+    // OccurrenceProb computes the full product; the early-terminating scan
+    // below is equivalent because the running product only decreases.
+    const LogProb p = s.OccurrenceProb(pattern, i);
+    if (p.MeetsThreshold(log_tau)) {
+      out.push_back(Match{i, p.ToLinear()});
+    }
+  }
+  return out;
+}
+
+double BruteForceRelevance(const UncertainString& s,
+                           const std::string& pattern, RelevanceMetric metric,
+                           double prob_floor) {
+  const std::vector<Match> occurrences =
+      BruteForceSearch(s, pattern, prob_floor);
+  if (occurrences.empty()) return 0.0;
+  switch (metric) {
+    case RelevanceMetric::kMax: {
+      double best = 0;
+      for (const Match& m : occurrences) best = std::max(best, m.probability);
+      return best;
+    }
+    case RelevanceMetric::kPaperOr: {
+      double sum = 0, prod = 1;
+      for (const Match& m : occurrences) {
+        sum += m.probability;
+        prod *= m.probability;
+      }
+      return sum - prod;
+    }
+    case RelevanceMetric::kNoisyOr: {
+      double none = 1;
+      for (const Match& m : occurrences) none *= (1.0 - m.probability);
+      return 1.0 - none;
+    }
+  }
+  return 0.0;
+}
+
+std::vector<DocMatch> BruteForceListing(
+    const std::vector<UncertainString>& docs, const std::string& pattern,
+    double tau, RelevanceMetric metric, double prob_floor) {
+  std::vector<DocMatch> out;
+  for (size_t d = 0; d < docs.size(); ++d) {
+    const double rel =
+        BruteForceRelevance(docs[d], pattern, metric, prob_floor);
+    if (rel > 0 && RelevanceMeets(rel, tau)) {
+      out.push_back(DocMatch{static_cast<int32_t>(d), rel});
+    }
+  }
+  return out;
+}
+
+}  // namespace pti

@@ -1,0 +1,41 @@
+// Brute-force oracles: reference implementations of every query the indexes
+// answer, computed directly from the uncertain-string semantics (§3.2, §3.3).
+//
+// These double as (a) correctness oracles for the property tests and (b) the
+// "algorithmic approach" baseline of §1.3 [Li et al.]: an online scan that
+// evaluates the occurrence probability at every position with early
+// termination once the running product falls below tau. The benches compare
+// index query time against BruteForceSearch.
+
+#ifndef PTI_CORE_BRUTE_FORCE_H_
+#define PTI_CORE_BRUTE_FORCE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/match.h"
+#include "core/uncertain_string.h"
+
+namespace pti {
+
+/// All positions i with Pr(pattern, i) >= tau, sorted by position.
+/// O(n * m) worst case, O(n * effective-prefix) with early termination.
+std::vector<Match> BruteForceSearch(const UncertainString& s,
+                                    const std::string& pattern, double tau);
+
+/// Relevance of `pattern` in `s` under `metric`, aggregated over all
+/// occurrences with probability >= prob_floor (§6; the index's natural floor
+/// is tau_min). Returns 0 when there is no such occurrence.
+double BruteForceRelevance(const UncertainString& s, const std::string& pattern,
+                           RelevanceMetric metric, double prob_floor);
+
+/// All documents whose relevance for `pattern` is >= tau (kMax: documents
+/// with at least one occurrence with probability >= tau), sorted by doc.
+std::vector<DocMatch> BruteForceListing(const std::vector<UncertainString>& docs,
+                                        const std::string& pattern, double tau,
+                                        RelevanceMetric metric,
+                                        double prob_floor);
+
+}  // namespace pti
+
+#endif  // PTI_CORE_BRUTE_FORCE_H_

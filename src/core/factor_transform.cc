@@ -1,0 +1,227 @@
+#include "core/factor_transform.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pti {
+namespace {
+
+// One pruned candidate character at a position.
+struct Candidate {
+  uint8_t ch = 0;
+  double opt_logp = 0.0;  // log of the optimistic probability
+  bool certain = false;   // probability exactly 1 (window product unchanged)
+};
+
+// A factor under construction is a list of segments; certain runs are stored
+// as references into S (O(1) per run) so that non-emitting DFS paths never
+// pay for their length.
+struct Segment {
+  int64_t s_begin = 0;  // first S position of the segment
+  int32_t len = 0;
+  // For chosen (branching) characters len == 1 and ch is explicit; for
+  // certain runs the characters come from the run itself.
+  bool is_run = false;
+  uint8_t ch = 0;
+};
+
+// Iterative DFS frame: an extension point at S position b, with the window
+// log-product wp over the path so far and a cursor over b's candidates.
+struct Frame {
+  int64_t b = 0;
+  size_t next_candidate = 0;
+  double wp = 0.0;
+  size_t path_len = 0;  // segments to keep when this frame is abandoned
+  bool had_child = false;
+};
+
+class Transformer {
+ public:
+  Transformer(const UncertainString& s, const TransformOptions& options)
+      : s_(s), options_(options), n_(s.size()) {}
+
+  StatusOr<FactorSet> Run() {
+    PTI_RETURN_IF_ERROR(Prepare());
+    for (int64_t j = 0; j < n_; ++j) {
+      for (const Candidate& c : candidates_[j]) {
+        PTI_RETURN_IF_ERROR(EmitFromStart(j, c));
+      }
+    }
+    out_.original_length = n_;
+    out_.tau_min = options_.tau_min;
+    std::sort(out_.corr_positions.begin(), out_.corr_positions.end());
+    return std::move(out_);
+  }
+
+ private:
+  Status Prepare() {
+    if (!(options_.tau_min > 0.0) || options_.tau_min > 1.0) {
+      return Status::InvalidArgument("tau_min must be in (0, 1]");
+    }
+    PTI_RETURN_IF_ERROR(s_.Validate());
+    log_tau_ = LogProb::FromLinear(options_.tau_min);
+
+    candidates_.resize(n_);
+    max_opt_.assign(n_, LogProb::Zero());
+    run_end_.assign(n_, 0);
+    for (int64_t i = 0; i < n_; ++i) {
+      for (const CharOption& opt : s_.options(i)) {
+        double p = opt.prob;
+        if (const CorrelationRule* rule = s_.FindRule(i, opt.ch)) {
+          p = std::max(rule->prob_if_present, rule->prob_if_absent);
+        }
+        const LogProb lp = LogProb::FromLinear(p);
+        if (!lp.MeetsThreshold(log_tau_)) continue;  // can never participate
+        candidates_[i].push_back(Candidate{
+            opt.ch, lp.log(), p >= 1.0});
+        if (lp > max_opt_[i]) max_opt_[i] = lp;
+      }
+      std::sort(candidates_[i].begin(), candidates_[i].end(),
+                [](const Candidate& a, const Candidate& b) {
+                  return a.ch < b.ch;
+                });
+    }
+    // run_end_[i]: one past the end of the certain run starting at i
+    // (run_end_[i] == i when position i is not certain).
+    for (int64_t i = n_ - 1; i >= 0; --i) {
+      const bool certain =
+          candidates_[i].size() == 1 && candidates_[i][0].certain;
+      if (!certain) {
+        run_end_[i] = i;
+      } else {
+        run_end_[i] = (i + 1 < n_) ? std::max(i + 1, run_end_[i + 1]) : i + 1;
+      }
+    }
+    return Status::OK();
+  }
+
+  // Appends the certain run starting at b (if any) to the path; returns the
+  // first position after it.
+  int64_t AppendRun(int64_t b, std::vector<Segment>* path) const {
+    const int64_t e = (b < n_) ? run_end_[b] : b;
+    if (e > b) {
+      path->push_back(Segment{b, static_cast<int32_t>(e - b), true, 0});
+    }
+    return e;
+  }
+
+  // DFS over all right-maximal extensions of the single-character window
+  // (j, c); emits every leaf whose full window is also left-maximal.
+  Status EmitFromStart(int64_t j, const Candidate& c) {
+    path_.clear();
+    path_.push_back(Segment{j, 1, false, c.ch});
+    double wp = c.opt_logp;
+    const int64_t b0 = AppendRun(j + 1, &path_);
+
+    std::vector<Frame> stack;
+    stack.push_back(Frame{b0, 0, wp, path_.size(), false});
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      bool extended = false;
+      while (f.next_candidate < NumCandidates(f.b)) {
+        const Candidate& cand = candidates_[f.b][f.next_candidate++];
+        const LogProb next = LogProb::FromLog(f.wp + cand.opt_logp);
+        if (!next.MeetsThreshold(log_tau_)) continue;
+        // Extend: chosen character, then the certain run that follows it.
+        f.had_child = true;
+        path_.resize(f.path_len);
+        path_.push_back(Segment{f.b, 1, false, cand.ch});
+        const int64_t b2 = AppendRun(f.b + 1, &path_);
+        const double next_wp = next.log();
+        // NOTE: push_back may invalidate f; it is not touched afterwards.
+        stack.push_back(Frame{b2, 0, next_wp, path_.size(), false});
+        extended = true;
+        break;
+      }
+      if (extended) continue;
+      // Candidates exhausted: if this frame never produced a child, the
+      // current path is right-maximal.
+      if (!f.had_child) {
+        path_.resize(f.path_len);
+        PTI_RETURN_IF_ERROR(MaybeEmit(j, LogProb::FromLog(f.wp)));
+      }
+      stack.pop_back();
+    }
+    return Status::OK();
+  }
+
+  size_t NumCandidates(int64_t b) const {
+    return b < n_ ? candidates_[b].size() : 0;
+  }
+
+  // Emits the current path as a factor when its full window cannot be
+  // extended to the left.
+  Status MaybeEmit(int64_t j, LogProb window) {
+    if (j > 0) {
+      const LogProb extended = max_opt_[j - 1] * window;
+      if (extended.MeetsThreshold(log_tau_)) return Status::OK();  // covered
+    }
+    // Materialize the characters and per-character stored probabilities.
+    factor_chars_.clear();
+    factor_logp_.clear();
+    for (const Segment& seg : path_) {
+      if (seg.is_run) {
+        for (int32_t k = 0; k < seg.len; ++k) {
+          const int64_t i = seg.s_begin + k;
+          factor_chars_.push_back(candidates_[i][0].ch);
+          factor_logp_.push_back(candidates_[i][0].opt_logp);
+        }
+      } else {
+        const Candidate* cand = FindCandidate(seg.s_begin, seg.ch);
+        factor_chars_.push_back(seg.ch);
+        factor_logp_.push_back(cand->opt_logp);
+      }
+    }
+    if (out_.text.size() + factor_chars_.size() + 1 >
+        options_.max_total_length) {
+      return Status::ResourceExhausted(
+          "factor transformation exceeded max_total_length; raise the limit "
+          "or tau_min");
+    }
+    std::vector<int32_t> chars(factor_chars_.begin(), factor_chars_.end());
+    out_.text.AppendMember(chars);
+    for (size_t k = 0; k < factor_chars_.size(); ++k) {
+      const int64_t s_pos = j + static_cast<int64_t>(k);
+      out_.pos.push_back(s_pos);
+      out_.logp.push_back(factor_logp_[k]);
+      if (s_.FindRule(s_pos, factor_chars_[k]) != nullptr) {
+        out_.corr_positions.push_back(
+            static_cast<int64_t>(out_.pos.size()) - 1);
+      }
+    }
+    out_.pos.push_back(-1);   // sentinel
+    out_.logp.push_back(0.0);
+    return Status::OK();
+  }
+
+  const Candidate* FindCandidate(int64_t i, uint8_t ch) const {
+    for (const Candidate& c : candidates_[i]) {
+      if (c.ch == ch) return &c;
+    }
+    return nullptr;
+  }
+
+  const UncertainString& s_;
+  const TransformOptions& options_;
+  const int64_t n_;
+  LogProb log_tau_ = LogProb::One();
+
+  std::vector<std::vector<Candidate>> candidates_;
+  std::vector<LogProb> max_opt_;
+  std::vector<int64_t> run_end_;
+
+  std::vector<Segment> path_;
+  std::vector<uint8_t> factor_chars_;
+  std::vector<double> factor_logp_;
+  FactorSet out_;
+};
+
+}  // namespace
+
+StatusOr<FactorSet> TransformToFactors(const UncertainString& s,
+                                       const TransformOptions& options) {
+  Transformer t(s, options);
+  return t.Run();
+}
+
+}  // namespace pti

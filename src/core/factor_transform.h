@@ -1,0 +1,85 @@
+// Factor transformation (§5.1, Lemma 2): general uncertain string -> special
+// uncertain string.
+//
+// A *factor* here is a containment-maximal valid window: a deterministic
+// string w aligned at S-positions [j, e] whose occurrence probability is
+// >= tau_min and which cannot be extended by one character on either side
+// without dropping below tau_min. Two facts make the emitted factor set a
+// faithful implementation of the paper's Lemma 2:
+//
+//   * Coverage: every occurrence (i, p) with Pr(p, i) >= tau_min extends
+//     (right along its own choices, then left greedily) to a containment-
+//     maximal window, so p appears inside an emitted factor at alignment i.
+//   * Soundness: any sub-window of a factor has probability >= the factor's
+//     (dropping factors <= 1 only raises a product), so everything the suffix
+//     structure can report really is a >= tau_min occurrence in S.
+//
+// Compared with the paper's extended-maximal-factor construction this emits
+// each maximal window verbatim instead of chaining overlapping windows; the
+// suffix tree recovers shared substrings, and the Pos[] mapping plus the
+// index's duplicate elimination (§5.2) absorb the repeated alignments. The
+// paper's O((1/tau_min)^2 n) total-length bound is checked empirically by
+// bench_ablation_transform; max_total_length is a hard safety valve.
+//
+// Correlated characters are enumerated with their *optimistic* probability
+// max(pr+, pr-) — an upper bound on every possible resolution — so no valid
+// occurrence is lost; the index recomputes exact window probabilities at
+// query time (§3.3 cases 1 and 2).
+
+#ifndef PTI_CORE_FACTOR_TRANSFORM_H_
+#define PTI_CORE_FACTOR_TRANSFORM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/uncertain_string.h"
+#include "suffix/text.h"
+#include "util/log_prob.h"
+#include "util/status.h"
+
+namespace pti {
+
+struct TransformOptions {
+  /// Construction-time probability floor; queries support any tau >= tau_min.
+  double tau_min = 0.1;
+  /// Emitted-character budget; exceeding it fails with ResourceExhausted
+  /// instead of exhausting memory (the blowup is O((1/tau_min)^2 n)).
+  size_t max_total_length = size_t{1} << 31;
+};
+
+/// The special uncertain string X of Lemma 2, as a sentinel-separated text.
+struct FactorSet {
+  /// Factor characters; members are factors, each closed by a unique
+  /// sentinel.
+  Text text;
+  /// Text position -> original S position (-1 on sentinels).
+  std::vector<int64_t> pos;
+  /// Per text position: log of the stored per-character probability (the
+  /// optimistic value for correlated characters); 0.0 on sentinels.
+  std::vector<double> logp;
+  /// Sorted text positions whose character carries a correlation rule.
+  std::vector<int64_t> corr_positions;
+
+  int64_t original_length = 0;
+  double tau_min = 0.0;
+
+  size_t num_factors() const {
+    return static_cast<size_t>(text.num_members());
+  }
+  size_t total_length() const { return text.size(); }
+
+  size_t MemoryUsage() const {
+    return text.MemoryUsage() + pos.capacity() * sizeof(int64_t) +
+           logp.capacity() * sizeof(double) +
+           corr_positions.capacity() * sizeof(int64_t);
+  }
+};
+
+/// Runs the transformation. Fails on invalid input (Validate()), a tau_min
+/// outside (0, 1], or when the emitted length exceeds the budget.
+StatusOr<FactorSet> TransformToFactors(const UncertainString& s,
+                                       const TransformOptions& options);
+
+}  // namespace pti
+
+#endif  // PTI_CORE_FACTOR_TRANSFORM_H_

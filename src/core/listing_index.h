@@ -1,0 +1,83 @@
+// ListingIndex: uncertain string listing from a collection (§6, Problem 2).
+//
+// Every document is factor-transformed (Lemma 2) and all factors share one
+// generalized suffix structure; a query (p, tau) reports the *documents*
+// containing an occurrence of p with probability >= tau — in time
+// proportional to the number of documents, not occurrences, for the
+// Rel_max metric.
+//
+// Duplicate elimination (§6): within every depth-i locus partition of the
+// suffix array, exactly one entry per document stays active — the one whose
+// window probability is largest — so the recursive-RMQ walk touches each
+// qualifying document once and its value *is* Rel_max(doc, p).
+//
+// The paper's OR metric (and the sound noisy-OR variant) require visiting
+// every occurrence, as §6 concedes; QueryWithMetric does exactly that.
+
+#ifndef PTI_CORE_LISTING_INDEX_H_
+#define PTI_CORE_LISTING_INDEX_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/factor_transform.h"
+#include "core/match.h"
+#include "core/uncertain_string.h"
+#include "rmq/rmq_handle.h"
+#include "util/status.h"
+
+namespace pti {
+
+struct ListingOptions {
+  TransformOptions transform;
+  /// Depth limit K for the per-depth RMQ forest; 0 means ceil(log2(N)).
+  int32_t max_short_depth = 0;
+  RmqEngineKind rmq_engine = RmqEngineKind::kBlock;
+  /// Locus ranges no larger than this are scanned directly.
+  size_t scan_cutoff = 64;
+};
+
+class ListingIndex {
+ public:
+  ListingIndex();
+  ~ListingIndex();
+  ListingIndex(ListingIndex&&) noexcept;
+  ListingIndex& operator=(ListingIndex&&) noexcept;
+
+  static StatusOr<ListingIndex> Build(const std::vector<UncertainString>& docs,
+                                      const ListingOptions& options = {});
+
+  /// Rel_max listing: documents with at least one occurrence of `pattern`
+  /// with probability >= tau; relevance is that maximum probability.
+  /// Sorted by document id. O(m + ndoc) for patterns with m <= K.
+  Status Query(const std::string& pattern, double tau,
+               std::vector<DocMatch>* out) const;
+
+  /// Listing under any §6 metric. kMax routes to Query; the OR metrics
+  /// aggregate every occurrence with probability >= tau_min (the index's
+  /// enumeration floor) and report documents with relevance >= tau.
+  Status QueryWithMetric(const std::string& pattern, double tau,
+                         RelevanceMetric metric,
+                         std::vector<DocMatch>* out) const;
+
+  int32_t num_docs() const;
+
+  struct Stats {
+    int32_t num_docs = 0;
+    int64_t total_positions = 0;
+    size_t num_factors = 0;
+    size_t transformed_length = 0;
+    int32_t short_depth_limit = 0;
+  };
+  Stats stats() const;
+  size_t MemoryUsage() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace pti
+
+#endif  // PTI_CORE_LISTING_INDEX_H_

@@ -1,0 +1,53 @@
+// Shared query-result types.
+
+#ifndef PTI_CORE_MATCH_H_
+#define PTI_CORE_MATCH_H_
+
+#include <cstdint>
+
+namespace pti {
+
+/// One substring-search hit: 0-based position in the uncertain string and the
+/// (correlation-resolved) probability of occurrence there.
+struct Match {
+  int64_t position = 0;
+  double probability = 0.0;
+
+  friend bool operator==(const Match& a, const Match& b) {
+    return a.position == b.position && a.probability == b.probability;
+  }
+};
+
+/// One string-listing hit: document index and its relevance value.
+struct DocMatch {
+  int32_t doc = 0;
+  double relevance = 0.0;
+
+  friend bool operator==(const DocMatch& a, const DocMatch& b) {
+    return a.doc == b.doc && a.relevance == b.relevance;
+  }
+};
+
+/// Shared threshold test for relevance values (linear space, tiny slack so
+/// the indexes and the brute-force oracles agree bit-for-bit despite
+/// different summation orders).
+inline bool RelevanceMeets(double rel, double tau) {
+  return rel >= tau - 1e-9;
+}
+
+/// §6 relevance metrics.
+enum class RelevanceMetric {
+  /// Maximum occurrence probability (supported in optimal time).
+  kMax = 0,
+  /// The paper's OR formula: sum(p_j) - prod(p_j), exactly as defined in §6.
+  /// Note for >2 occurrences this is not a probability (it may exceed 1);
+  /// we implement it verbatim for fidelity.
+  kPaperOr = 1,
+  /// Proper noisy-OR: 1 - prod(1 - p_j) — probability of at least one
+  /// occurrence under independence; provided as a sound alternative.
+  kNoisyOr = 2,
+};
+
+}  // namespace pti
+
+#endif  // PTI_CORE_MATCH_H_

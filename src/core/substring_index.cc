@@ -1,0 +1,612 @@
+#include "core/substring_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "succinct/fm_index.h"
+#include "suffix/suffix_tree.h"
+#include "util/serial.h"
+
+namespace pti {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+constexpr uint32_t kIndexMagic = 0x50544931;  // "PTI1"
+constexpr uint32_t kIndexVersion = 1;
+
+int64_t RuleKey(int64_t pos, uint8_t ch) { return pos * 256 + ch; }
+}  // namespace
+
+struct SubstringIndex::Impl {
+  UncertainString source;
+  IndexOptions options;
+  FactorSet fs;
+  SuffixTree st;
+  // Compact mode: the suffix array survives the tree (whose node arrays are
+  // the dominant space cost) and an FM-index answers locus-range queries.
+  std::vector<int32_t> sa_storage;
+  const std::vector<int32_t>* sa_view = nullptr;
+  std::optional<FmIndex> fm;
+
+  // Prefix sums of fs.logp: c[k] = sum of logp[0..k); sentinels add 0.
+  std::vector<double> c;
+  // Real characters from a text position to its factor's end (0 on
+  // sentinels); a depth-i window starting at q is in-factor iff
+  // remaining[q] >= i.
+  std::vector<int32_t> remaining;
+  std::unordered_map<int64_t, const CorrelationRule*> rules;
+
+  int32_t K = 0;               // short-depth limit
+  int32_t max_remaining = 0;   // longest in-factor window anywhere
+  // active[i-1] bit j: SA entry j is the depth-i representative of its
+  // (partition, original position) class (§5.2 duplicate elimination).
+  std::vector<std::vector<uint64_t>> active;
+  std::vector<std::unique_ptr<RmqHandle>> short_rmq;  // depth 1..K
+
+  struct LongLevel {
+    int32_t depth = 0;
+    std::unique_ptr<RmqHandle> rmq;
+  };
+  std::vector<LongLevel> long_levels;  // kPow2: depths K, 2K, 4K, ...
+
+  mutable std::mutex lazy_mu;
+  mutable std::map<int32_t, std::unique_ptr<RmqHandle>> lazy_exact;
+
+  size_t N() const { return fs.text.size(); }
+
+  bool ActiveBit(int32_t depth, size_t j) const {
+    return (active[depth - 1][j >> 6] >> (j & 63)) & 1;
+  }
+
+  // Exact log-probability of the depth-length window of suffix-array entry j
+  // (correlation-resolved), or -inf when the window leaves its factor.
+  double RawValue(int32_t depth, size_t j) const {
+    const int64_t q = (*sa_view)[j];
+    if (remaining[q] < depth) return kNegInf;
+    double v = c[q + depth] - c[q];
+    if (!fs.corr_positions.empty()) {
+      auto it = std::lower_bound(fs.corr_positions.begin(),
+                                 fs.corr_positions.end(), q);
+      for (; it != fs.corr_positions.end() && *it < q + depth; ++it) {
+        v += Adjustment(*it, q, depth);
+      }
+    }
+    return v;
+  }
+
+  // log(resolved) - log(stored) for the correlated character at text
+  // position z, within the window [q, q+depth).
+  double Adjustment(int64_t z, int64_t q, int32_t depth) const {
+    const uint8_t ch = static_cast<uint8_t>(fs.text.chars()[z]);
+    const int64_t s_pos = fs.pos[z];
+    const CorrelationRule* rule = rules.at(RuleKey(s_pos, ch));
+    const int64_t ws = fs.pos[q];  // window start in S
+    double p;
+    if (rule->dep_pos >= ws && rule->dep_pos < ws + depth) {
+      // Case 1: dependency inside the window — the factor's own character
+      // at that position decides it.
+      const int64_t zdep = q + (rule->dep_pos - ws);
+      const bool present = fs.text.chars()[zdep] == rule->dep_ch;
+      p = present ? rule->prob_if_present : rule->prob_if_absent;
+    } else {
+      // Case 2: outside the window — marginalize.
+      const double dep = source.BaseProb(rule->dep_pos, rule->dep_ch);
+      p = dep * rule->prob_if_present + (1.0 - dep) * rule->prob_if_absent;
+    }
+    const double resolved = p <= 0.0 ? kNegInf : std::log(p);
+    return resolved - fs.logp[z];
+  }
+
+  struct RawFn {
+    const Impl* impl;
+    int32_t depth;
+    double operator()(size_t j) const { return impl->RawValue(depth, j); }
+  };
+  struct ActiveFn {
+    const Impl* impl;
+    int32_t depth;
+    double operator()(size_t j) const {
+      return impl->ActiveBit(depth, j) ? impl->RawValue(depth, j) : kNegInf;
+    }
+  };
+
+  // Builds everything derived from (source, options, fs).
+  Status FinishBuild() {
+    const size_t n_text = N();
+    st = SuffixTree::Build(&fs.text.chars(), fs.text.alphabet_size());
+    sa_view = &st.sa();
+
+    rules.clear();
+    for (const CorrelationRule& r : source.correlations()) {
+      rules[RuleKey(r.pos, r.ch)] = &r;
+    }
+
+    c.assign(n_text + 1, 0.0);
+    for (size_t k = 0; k < n_text; ++k) c[k + 1] = c[k] + fs.logp[k];
+    remaining.assign(n_text, 0);
+    max_remaining = 0;
+    for (int64_t q = static_cast<int64_t>(n_text) - 1; q >= 0; --q) {
+      remaining[q] = fs.text.IsSentinel(q) ? 0 : remaining[q + 1] + 1;
+      max_remaining = std::max(max_remaining, remaining[q]);
+    }
+
+    if (options.max_short_depth > 0) {
+      K = options.max_short_depth;
+    } else {
+      K = 1;
+      while ((size_t{1} << K) < std::max<size_t>(n_text, 2)) ++K;
+    }
+    K = std::max(1, std::min<int32_t>(K, std::max(max_remaining, 1)));
+
+    // §5.2 duplicate elimination: within every depth-i locus partition keep
+    // one representative per original position.
+    active.assign(K, std::vector<uint64_t>((n_text + 63) / 64, 0));
+    std::vector<int64_t> seen(
+        static_cast<size_t>(std::max<int64_t>(fs.original_length, 1)), -1);
+    int64_t stamp = 0;
+    const auto& lcp = st.lcp();
+    const auto& sa = st.sa();
+    for (int32_t i = 1; i <= K; ++i) {
+      auto& bits = active[i - 1];
+      for (size_t j = 0; j < n_text; ++j) {
+        if (j == 0 || lcp[j] < i) ++stamp;
+        const int64_t q = sa[j];
+        if (remaining[q] < i) continue;
+        const int64_t spos = fs.pos[q];
+        if (seen[spos] != stamp) {
+          seen[spos] = stamp;
+          bits[j >> 6] |= uint64_t{1} << (j & 63);
+        }
+      }
+    }
+
+    short_rmq.clear();
+    short_rmq.reserve(K);
+    for (int32_t i = 1; i <= K; ++i) {
+      short_rmq.push_back(
+          MakeRmq(options.rmq_engine, ActiveFn{this, i}, n_text));
+    }
+
+    long_levels.clear();
+    if (options.blocking == BlockingMode::kPow2) {
+      for (int64_t d = K; d <= max_remaining; d *= 2) {
+        LongLevel level;
+        level.depth = static_cast<int32_t>(d);
+        level.rmq = MakeRmq(RmqEngineKind::kBlock,
+                            RawFn{this, level.depth}, n_text,
+                            static_cast<size_t>(d));
+        long_levels.push_back(std::move(level));
+      }
+    }
+    if (options.compact) {
+      // Keep only the suffix array; the FM-index takes over locus lookups
+      // and the tree's node arrays are released.
+      fm.emplace(fs.text.chars(), st.sa(), fs.text.alphabet_size());
+      sa_storage = st.sa();
+      sa_view = &sa_storage;
+      st = SuffixTree();
+    }
+    return Status::OK();
+  }
+
+  // kPaperExact: block structure for exact depth m, built on first use.
+  const RmqHandle* ExactLevel(int32_t m) const {
+    std::lock_guard<std::mutex> lock(lazy_mu);
+    auto it = lazy_exact.find(m);
+    if (it == lazy_exact.end()) {
+      it = lazy_exact
+               .emplace(m, MakeRmq(RmqEngineKind::kBlock, RawFn{this, m}, N(),
+                                   static_cast<size_t>(m)))
+               .first;
+    }
+    return it->second.get();
+  }
+
+  // Locus range of the pattern: suffix tree walk, or FM-index backward
+  // search in compact mode.
+  std::optional<std::pair<int32_t, int32_t>> LocusRange(
+      const std::string& pattern) const {
+    if (fm.has_value()) {
+      return fm->Range(Text::MapPattern(pattern));
+    }
+    const auto range = st.FindRange(Text::MapPattern(pattern));
+    if (!range.has_value() || range->empty()) return std::nullopt;
+    return std::make_pair(range->begin, range->end);
+  }
+
+  Status CheckQuery(const std::string& pattern, double tau) const {
+    if (pattern.empty()) {
+      return Status::InvalidArgument("pattern must be non-empty");
+    }
+    if (!(tau > 0.0) || tau > 1.0) {
+      return Status::InvalidArgument("tau must be in (0, 1]");
+    }
+    const LogProb lt = LogProb::FromLinear(tau);
+    const LogProb lmin = LogProb::FromLinear(fs.tau_min);
+    if (!lt.MeetsThreshold(lmin)) {
+      return Status::InvalidArgument(
+          "tau is below the construction-time tau_min");
+    }
+    return Status::OK();
+  }
+
+  // Algorithm 4: recursive RMQ extraction over an active (deduplicated)
+  // depth-m structure. Emits exact matches.
+  void ShortQuery(int32_t m, int32_t l, int32_t r, LogProb log_tau,
+                  std::vector<Match>* out) const {
+    const RmqHandle* rmq = short_rmq[m - 1].get();
+    std::vector<std::pair<int32_t, int32_t>> stack{{l, r}};
+    while (!stack.empty()) {
+      auto [lo, hi] = stack.back();
+      stack.pop_back();
+      if (lo > hi) continue;
+      const size_t pos = rmq->ArgMax(lo, hi);
+      const double v = ActiveFn{this, m}(pos);
+      if (!LogProb::FromLog(v).MeetsThreshold(log_tau)) continue;
+      out->push_back(Match{fs.pos[(*sa_view)[pos]], std::exp(v)});
+      stack.emplace_back(lo, static_cast<int32_t>(pos) - 1);
+      stack.emplace_back(static_cast<int32_t>(pos) + 1, hi);
+    }
+  }
+
+  // Scan fallback: validate every entry of the range at exact depth m,
+  // deduplicating positions (used for tiny ranges and kScanOnly).
+  void ScanQuery(int32_t m, int32_t l, int32_t r, LogProb log_tau,
+                 std::vector<Match>* out) const {
+    std::unordered_set<int64_t> emitted;
+    for (int32_t j = l; j <= r; ++j) {
+      const double v = RawValue(m, j);
+      if (!LogProb::FromLog(v).MeetsThreshold(log_tau)) continue;
+      const int64_t spos = fs.pos[(*sa_view)[j]];
+      if (emitted.insert(spos).second) {
+        out->push_back(Match{spos, std::exp(v)});
+      }
+    }
+  }
+
+  // kPow2 long-pattern recursion: an upper-bound level filters ranges; every
+  // candidate is validated at exact depth m.
+  void Pow2Query(int32_t m, int32_t l, int32_t r, LogProb log_tau,
+                 std::vector<Match>* out) const {
+    const LongLevel* level = nullptr;
+    for (const auto& cand : long_levels) {
+      if (cand.depth <= m && (level == nullptr || cand.depth > level->depth)) {
+        level = &cand;
+      }
+    }
+    if (level == nullptr) {
+      ScanQuery(m, l, r, log_tau, out);
+      return;
+    }
+    std::unordered_set<int64_t> emitted;
+    std::vector<std::pair<int32_t, int32_t>> stack{{l, r}};
+    while (!stack.empty()) {
+      auto [lo, hi] = stack.back();
+      stack.pop_back();
+      if (lo > hi) continue;
+      const size_t pos = level->rmq->ArgMax(lo, hi);
+      // Upper bound: a shorter window's probability dominates the longer
+      // window's. Below tau here means nothing in [lo, hi] can match.
+      const double ub = RawValue(level->depth, pos);
+      if (!LogProb::FromLog(ub).MeetsThreshold(log_tau)) continue;
+      const double v = RawValue(m, pos);
+      if (LogProb::FromLog(v).MeetsThreshold(log_tau)) {
+        const int64_t spos = fs.pos[(*sa_view)[pos]];
+        if (emitted.insert(spos).second) {
+          out->push_back(Match{spos, std::exp(v)});
+        }
+      }
+      stack.emplace_back(lo, static_cast<int32_t>(pos) - 1);
+      stack.emplace_back(static_cast<int32_t>(pos) + 1, hi);
+    }
+  }
+
+  // kPaperExact long-pattern recursion over the lazily built exact-depth
+  // structure; identical shape to Algorithm 4 plus position dedup.
+  void PaperExactQuery(int32_t m, int32_t l, int32_t r, LogProb log_tau,
+                       std::vector<Match>* out) const {
+    const RmqHandle* rmq = ExactLevel(m);
+    std::unordered_set<int64_t> emitted;
+    std::vector<std::pair<int32_t, int32_t>> stack{{l, r}};
+    while (!stack.empty()) {
+      auto [lo, hi] = stack.back();
+      stack.pop_back();
+      if (lo > hi) continue;
+      const size_t pos = rmq->ArgMax(lo, hi);
+      const double v = RawValue(m, pos);
+      if (!LogProb::FromLog(v).MeetsThreshold(log_tau)) continue;
+      const int64_t spos = fs.pos[(*sa_view)[pos]];
+      if (emitted.insert(spos).second) {
+        out->push_back(Match{spos, std::exp(v)});
+      }
+      stack.emplace_back(lo, static_cast<int32_t>(pos) - 1);
+      stack.emplace_back(static_cast<int32_t>(pos) + 1, hi);
+    }
+  }
+
+  Status Query(const std::string& pattern, double tau,
+               std::vector<Match>* out) const {
+    out->clear();
+    PTI_RETURN_IF_ERROR(CheckQuery(pattern, tau));
+    const auto range = LocusRange(pattern);
+    if (!range.has_value()) return Status::OK();
+    const int32_t m = static_cast<int32_t>(pattern.size());
+    const int32_t l = range->first;
+    const int32_t r = range->second - 1;
+    const LogProb log_tau = LogProb::FromLinear(tau);
+    if (m <= K) {
+      ShortQuery(m, l, r, log_tau, out);
+    } else if (options.blocking == BlockingMode::kScanOnly ||
+               static_cast<size_t>(r - l + 1) <= options.scan_cutoff) {
+      ScanQuery(m, l, r, log_tau, out);
+    } else if (options.blocking == BlockingMode::kPaperExact) {
+      PaperExactQuery(m, l, r, log_tau, out);
+    } else {
+      Pow2Query(m, l, r, log_tau, out);
+    }
+    std::sort(out->begin(), out->end(),
+              [](const Match& a, const Match& b) {
+                return a.position < b.position;
+              });
+    return Status::OK();
+  }
+
+  Status QueryTopK(const std::string& pattern, double tau, size_t k,
+                   std::vector<Match>* out) const {
+    out->clear();
+    PTI_RETURN_IF_ERROR(CheckQuery(pattern, tau));
+    if (k == 0) return Status::OK();
+    const auto range = LocusRange(pattern);
+    if (!range.has_value()) return Status::OK();
+    const int32_t m = static_cast<int32_t>(pattern.size());
+    const LogProb log_tau = LogProb::FromLinear(tau);
+    if (m <= K) {
+      // Heap of (value, argmax, subrange): repeatedly take the global best
+      // and split its range — O((m + k) log k)-ish, independent of occ.
+      struct Entry {
+        double v;
+        int32_t pos, l, r;
+        bool operator<(const Entry& o) const { return v < o.v; }
+      };
+      const RmqHandle* rmq = short_rmq[m - 1].get();
+      std::priority_queue<Entry> heap;
+      auto push = [&](int32_t lo, int32_t hi) {
+        if (lo > hi) return;
+        const size_t pos = rmq->ArgMax(lo, hi);
+        const double v = ActiveFn{this, m}(pos);
+        if (LogProb::FromLog(v).MeetsThreshold(log_tau)) {
+          heap.push(Entry{v, static_cast<int32_t>(pos), lo, hi});
+        }
+      };
+      push(range->first, range->second - 1);
+      while (!heap.empty() && out->size() < k) {
+        const Entry e = heap.top();
+        heap.pop();
+        out->push_back(Match{fs.pos[(*sa_view)[e.pos]], std::exp(e.v)});
+        push(e.l, e.pos - 1);
+        push(e.pos + 1, e.r);
+      }
+    } else {
+      std::vector<Match> all;
+      PTI_RETURN_IF_ERROR(Query(pattern, tau, &all));
+      std::sort(all.begin(), all.end(), [](const Match& a, const Match& b) {
+        if (a.probability != b.probability) {
+          return a.probability > b.probability;
+        }
+        return a.position < b.position;
+      });
+      if (all.size() > k) all.resize(k);
+      *out = std::move(all);
+    }
+    return Status::OK();
+  }
+};
+
+SubstringIndex::SubstringIndex() = default;
+SubstringIndex::~SubstringIndex() = default;
+SubstringIndex::SubstringIndex(SubstringIndex&&) noexcept = default;
+SubstringIndex& SubstringIndex::operator=(SubstringIndex&&) noexcept = default;
+
+StatusOr<SubstringIndex> SubstringIndex::Build(const UncertainString& s,
+                                               const IndexOptions& options) {
+  SubstringIndex index;
+  index.impl_ = std::make_unique<Impl>();
+  index.impl_->source = s;
+  index.impl_->options = options;
+  auto fs = TransformToFactors(index.impl_->source, options.transform);
+  if (!fs.ok()) return fs.status();
+  index.impl_->fs = std::move(fs).value();
+  PTI_RETURN_IF_ERROR(index.impl_->FinishBuild());
+  return index;
+}
+
+Status SubstringIndex::Query(const std::string& pattern, double tau,
+                             std::vector<Match>* out) const {
+  return impl_->Query(pattern, tau, out);
+}
+
+Status SubstringIndex::QueryTopK(const std::string& pattern, double tau,
+                                 size_t k, std::vector<Match>* out) const {
+  return impl_->QueryTopK(pattern, tau, k, out);
+}
+
+Status SubstringIndex::Count(const std::string& pattern, double tau,
+                             size_t* count) const {
+  std::vector<Match> matches;
+  PTI_RETURN_IF_ERROR(impl_->Query(pattern, tau, &matches));
+  *count = matches.size();
+  return Status::OK();
+}
+
+SubstringIndex::Stats SubstringIndex::stats() const {
+  Stats s;
+  s.original_length = impl_->fs.original_length;
+  s.num_factors = impl_->fs.num_factors();
+  s.transformed_length = impl_->fs.total_length();
+  s.short_depth_limit = impl_->K;
+  s.num_tree_nodes = static_cast<size_t>(impl_->st.num_nodes());
+  return s;
+}
+
+size_t SubstringIndex::MemoryUsage() const {
+  const Impl& i = *impl_;
+  size_t bytes = i.source.MemoryUsage() + i.fs.MemoryUsage() +
+                 i.st.MemoryUsage() + i.c.capacity() * sizeof(double) +
+                 i.remaining.capacity() * sizeof(int32_t) +
+                 i.sa_storage.capacity() * sizeof(int32_t);
+  if (i.fm) bytes += i.fm->MemoryUsage();
+  for (const auto& bits : i.active) bytes += bits.capacity() * sizeof(uint64_t);
+  for (const auto& r : i.short_rmq) bytes += r->MemoryUsage();
+  for (const auto& level : i.long_levels) bytes += level.rmq->MemoryUsage();
+  {
+    std::lock_guard<std::mutex> lock(i.lazy_mu);
+    for (const auto& [depth, r] : i.lazy_exact) {
+      (void)depth;
+      bytes += r->MemoryUsage();
+    }
+  }
+  return bytes;
+}
+
+const UncertainString& SubstringIndex::source() const {
+  return impl_->source;
+}
+
+const IndexOptions& SubstringIndex::options() const { return impl_->options; }
+
+Status SubstringIndex::Save(std::string* out) const {
+  const Impl& i = *impl_;
+  Writer w;
+  PutEnvelope(&w, kIndexMagic, kIndexVersion);
+  // Options.
+  w.PutDouble(i.options.transform.tau_min);
+  w.PutU64(i.options.transform.max_total_length);
+  w.PutU32(static_cast<uint32_t>(i.options.max_short_depth));
+  w.PutU8(static_cast<uint8_t>(i.options.rmq_engine));
+  w.PutU8(static_cast<uint8_t>(i.options.blocking));
+  w.PutU64(i.options.scan_cutoff);
+  w.PutU8(i.options.compact ? 1 : 0);
+  // Source string.
+  w.PutU64(static_cast<uint64_t>(i.source.size()));
+  for (int64_t p = 0; p < i.source.size(); ++p) {
+    const auto& opts = i.source.options(p);
+    w.PutU32(static_cast<uint32_t>(opts.size()));
+    for (const auto& o : opts) {
+      w.PutU8(o.ch);
+      w.PutDouble(o.prob);
+    }
+  }
+  w.PutU64(i.source.correlations().size());
+  for (const auto& r : i.source.correlations()) {
+    w.PutI64(r.pos);
+    w.PutU8(r.ch);
+    w.PutI64(r.dep_pos);
+    w.PutU8(r.dep_ch);
+    w.PutDouble(r.prob_if_present);
+    w.PutDouble(r.prob_if_absent);
+  }
+  // Factor set.
+  w.PutVector(i.fs.text.chars());
+  w.PutVector(i.fs.text.member_starts());
+  w.PutVector(i.fs.pos);
+  w.PutVector(i.fs.logp);
+  w.PutVector(i.fs.corr_positions);
+  w.PutI64(i.fs.original_length);
+  w.PutDouble(i.fs.tau_min);
+  *out = std::move(w.Take());
+  return Status::OK();
+}
+
+StatusOr<SubstringIndex> SubstringIndex::Load(const std::string& data) {
+  Reader r(data);
+  uint32_t version = 0;
+  PTI_RETURN_IF_ERROR(CheckEnvelope(&r, kIndexMagic, kIndexVersion, &version));
+  SubstringIndex index;
+  index.impl_ = std::make_unique<Impl>();
+  Impl& i = *index.impl_;
+  // Options.
+  PTI_RETURN_IF_ERROR(r.GetDouble(&i.options.transform.tau_min));
+  uint64_t max_total = 0;
+  PTI_RETURN_IF_ERROR(r.GetU64(&max_total));
+  i.options.transform.max_total_length = max_total;
+  uint32_t max_short = 0;
+  PTI_RETURN_IF_ERROR(r.GetU32(&max_short));
+  i.options.max_short_depth = static_cast<int32_t>(max_short);
+  uint8_t engine = 0, blocking = 0;
+  PTI_RETURN_IF_ERROR(r.GetU8(&engine));
+  PTI_RETURN_IF_ERROR(r.GetU8(&blocking));
+  if (engine > 2 || blocking > 2) {
+    return Status::Corruption("unknown enum value in index file");
+  }
+  i.options.rmq_engine = static_cast<RmqEngineKind>(engine);
+  i.options.blocking = static_cast<BlockingMode>(blocking);
+  uint64_t cutoff = 0;
+  PTI_RETURN_IF_ERROR(r.GetU64(&cutoff));
+  i.options.scan_cutoff = cutoff;
+  uint8_t compact = 0;
+  PTI_RETURN_IF_ERROR(r.GetU8(&compact));
+  if (compact > 1) return Status::Corruption("bad compact flag");
+  i.options.compact = compact != 0;
+  // Source string.
+  uint64_t n = 0;
+  PTI_RETURN_IF_ERROR(r.GetU64(&n));
+  if (n > data.size()) return Status::Corruption("source length overruns file");
+  for (uint64_t p = 0; p < n; ++p) {
+    uint32_t count = 0;
+    PTI_RETURN_IF_ERROR(r.GetU32(&count));
+    if (count == 0 || count > 256) {
+      return Status::Corruption("bad option count");
+    }
+    std::vector<CharOption> opts(count);
+    for (auto& o : opts) {
+      PTI_RETURN_IF_ERROR(r.GetU8(&o.ch));
+      PTI_RETURN_IF_ERROR(r.GetDouble(&o.prob));
+    }
+    i.source.AddPosition(std::move(opts));
+  }
+  uint64_t num_rules = 0;
+  PTI_RETURN_IF_ERROR(r.GetU64(&num_rules));
+  for (uint64_t k = 0; k < num_rules; ++k) {
+    CorrelationRule rule;
+    PTI_RETURN_IF_ERROR(r.GetI64(&rule.pos));
+    PTI_RETURN_IF_ERROR(r.GetU8(&rule.ch));
+    PTI_RETURN_IF_ERROR(r.GetI64(&rule.dep_pos));
+    PTI_RETURN_IF_ERROR(r.GetU8(&rule.dep_ch));
+    PTI_RETURN_IF_ERROR(r.GetDouble(&rule.prob_if_present));
+    PTI_RETURN_IF_ERROR(r.GetDouble(&rule.prob_if_absent));
+    PTI_RETURN_IF_ERROR(i.source.AddCorrelation(rule));
+  }
+  // Factor set.
+  std::vector<int32_t> chars;
+  std::vector<int64_t> starts;
+  PTI_RETURN_IF_ERROR(r.GetVector(&chars));
+  PTI_RETURN_IF_ERROR(r.GetVector(&starts));
+  auto text = Text::FromRaw(std::move(chars), std::move(starts));
+  if (!text.ok()) return text.status();
+  i.fs.text = std::move(text).value();
+  PTI_RETURN_IF_ERROR(r.GetVector(&i.fs.pos));
+  PTI_RETURN_IF_ERROR(r.GetVector(&i.fs.logp));
+  PTI_RETURN_IF_ERROR(r.GetVector(&i.fs.corr_positions));
+  PTI_RETURN_IF_ERROR(r.GetI64(&i.fs.original_length));
+  PTI_RETURN_IF_ERROR(r.GetDouble(&i.fs.tau_min));
+  if (i.fs.pos.size() != i.fs.text.size() ||
+      i.fs.logp.size() != i.fs.text.size()) {
+    return Status::Corruption("factor arrays inconsistent with text");
+  }
+  for (const int64_t p : i.fs.pos) {
+    if (p < -1 || p >= i.fs.original_length) {
+      return Status::Corruption("factor position out of range");
+    }
+  }
+  if (!r.AtEnd()) return Status::Corruption("trailing bytes in index file");
+  PTI_RETURN_IF_ERROR(i.FinishBuild());
+  return index;
+}
+
+}  // namespace pti

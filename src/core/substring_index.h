@@ -1,0 +1,117 @@
+// SubstringIndex: the paper's general substring-searching index (§5).
+//
+// Build pipeline: factor transformation (Lemma 2) -> sentinel-separated text
+// -> suffix array (SA-IS) -> suffix tree -> global prefix log-probability
+// array C -> per-depth RMQ structures with duplicate elimination (§5.2).
+//
+// Query (p, tau) with tau >= tau_min reports every position i of S with
+// Pr(p, i) >= tau:
+//   * m <= K (= ceil(log2 N) by default): Algorithm 4 — locus lookup, then
+//     recursive RMQ extraction of maxima, O(1) validation each; O(m + occ).
+//   * m > K: the paper's blocking scheme (§4.2 "long substrings"); see
+//     BlockingMode for the supported variants.
+//
+// Correlated characters (§3.3) are resolved exactly at validation time; the
+// factor transformation enumerates with optimistic probabilities so no
+// occurrence is missed (see factor_transform.h).
+
+#ifndef PTI_CORE_SUBSTRING_INDEX_H_
+#define PTI_CORE_SUBSTRING_INDEX_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/factor_transform.h"
+#include "core/match.h"
+#include "core/uncertain_string.h"
+#include "rmq/rmq_handle.h"
+#include "util/status.h"
+
+namespace pti {
+
+/// Long-pattern (m > K) strategies.
+enum class BlockingMode {
+  /// Levels at depths K, 2K, 4K, ...: query uses the deepest level <= m as an
+  /// upper-bound filter, validating candidates at exact depth m. Bounded
+  /// memory, no per-query state. (Default.)
+  kPow2 = 0,
+  /// The paper's scheme: one block structure per queried length m, built
+  /// lazily on first use and cached. Exact filtering (O(m * occ) enumeration)
+  /// at the cost of O(N/m) extra words per distinct long length queried.
+  kPaperExact = 1,
+  /// No block structures: scan the locus range and validate every entry
+  /// (the §4.1 "simple index" behaviour for long patterns).
+  kScanOnly = 2,
+};
+
+struct IndexOptions {
+  TransformOptions transform;
+  /// Depth limit K for the per-depth RMQ forest; 0 means ceil(log2(N)).
+  int32_t max_short_depth = 0;
+  RmqEngineKind rmq_engine = RmqEngineKind::kBlock;
+  BlockingMode blocking = BlockingMode::kPow2;
+  /// Locus ranges no larger than this are scanned directly — cheaper than
+  /// any structure for tiny ranges.
+  size_t scan_cutoff = 64;
+  /// Compact mode: after construction, replace the suffix tree (the
+  /// dominant space cost) with an FM-index locator (wavelet tree over the
+  /// BWT) — the space-efficient configuration the paper evaluates in §8.7
+  /// via a compressed suffix array. Queries pay O(m log sigma) for the
+  /// locus range instead of O(m log sigma) tree walking; reporting is
+  /// unchanged. Typically 3-4x smaller overall.
+  bool compact = false;
+};
+
+class SubstringIndex {
+ public:
+  SubstringIndex();
+  ~SubstringIndex();
+  SubstringIndex(SubstringIndex&&) noexcept;
+  SubstringIndex& operator=(SubstringIndex&&) noexcept;
+
+  /// Builds the index over `s`. Fails on invalid input or when the factor
+  /// transformation exceeds its budget.
+  static StatusOr<SubstringIndex> Build(const UncertainString& s,
+                                        const IndexOptions& options = {});
+
+  /// Reports all positions with occurrence probability >= tau, sorted by
+  /// position. Fails if tau < tau_min or the pattern is empty.
+  Status Query(const std::string& pattern, double tau,
+               std::vector<Match>* out) const;
+
+  /// The k highest-probability occurrences with probability >= tau, in
+  /// non-increasing probability order (ties by position).
+  Status QueryTopK(const std::string& pattern, double tau, size_t k,
+                   std::vector<Match>* out) const;
+
+  /// Number of occurrences with probability >= tau.
+  Status Count(const std::string& pattern, double tau, size_t* count) const;
+
+  struct Stats {
+    int64_t original_length = 0;
+    size_t num_factors = 0;
+    size_t transformed_length = 0;  ///< N, including sentinels
+    int32_t short_depth_limit = 0;  ///< K
+    size_t num_tree_nodes = 0;
+  };
+  Stats stats() const;
+  size_t MemoryUsage() const;
+
+  const UncertainString& source() const;
+  const IndexOptions& options() const;
+
+  /// Serializes the source string, options and factor set; Load rebuilds the
+  /// derived structures (suffix array, tree, RMQ forest) deterministically.
+  Status Save(std::string* out) const;
+  static StatusOr<SubstringIndex> Load(const std::string& data);
+
+ private:
+  friend class SubstringIndexTestPeer;
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace pti
+
+#endif  // PTI_CORE_SUBSTRING_INDEX_H_

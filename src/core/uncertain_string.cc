@@ -1,0 +1,219 @@
+#include "core/uncertain_string.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pti {
+
+namespace {
+constexpr double kSumTolerance = 1e-6;
+}  // namespace
+
+UncertainString UncertainString::FromDeterministic(const std::string& s) {
+  UncertainString u;
+  for (const char c : s) {
+    u.AddPosition({{static_cast<uint8_t>(c), 1.0}});
+  }
+  return u;
+}
+
+int64_t UncertainString::AddPosition(std::vector<CharOption> options) {
+  positions_.push_back(std::move(options));
+  return static_cast<int64_t>(positions_.size()) - 1;
+}
+
+Status UncertainString::AddCorrelation(const CorrelationRule& rule) {
+  if (rule.pos < 0 || rule.pos >= size() || rule.dep_pos < 0 ||
+      rule.dep_pos >= size()) {
+    return Status::InvalidArgument("correlation rule position out of range");
+  }
+  if (rule.pos == rule.dep_pos) {
+    return Status::InvalidArgument("character cannot correlate with its own position");
+  }
+  if (BaseProb(rule.pos, rule.ch) == 0.0) {
+    return Status::InvalidArgument("correlated character does not exist at position");
+  }
+  if (BaseProb(rule.dep_pos, rule.dep_ch) == 0.0) {
+    return Status::InvalidArgument("dependency character does not exist at position");
+  }
+  if (FindRule(rule.pos, rule.ch) != nullptr) {
+    return Status::InvalidArgument("duplicate correlation rule for (pos, char)");
+  }
+  if (rule.prob_if_present < 0 || rule.prob_if_present > 1 ||
+      rule.prob_if_absent < 0 || rule.prob_if_absent > 1) {
+    return Status::InvalidArgument("correlation probabilities must be in [0,1]");
+  }
+  correlations_.push_back(rule);
+  return Status::OK();
+}
+
+Status UncertainString::Validate() const {
+  for (int64_t i = 0; i < size(); ++i) {
+    const auto& opts = positions_[i];
+    if (opts.empty()) {
+      return Status::InvalidArgument("position " + std::to_string(i) +
+                                     " has no options");
+    }
+    double sum = 0;
+    for (size_t a = 0; a < opts.size(); ++a) {
+      if (opts[a].prob < 0 || opts[a].prob > 1 + kSumTolerance) {
+        return Status::InvalidArgument("probability out of [0,1] at position " +
+                                       std::to_string(i));
+      }
+      for (size_t b = a + 1; b < opts.size(); ++b) {
+        if (opts[a].ch == opts[b].ch) {
+          return Status::InvalidArgument("duplicate character at position " +
+                                         std::to_string(i));
+        }
+      }
+      sum += opts[a].prob;
+    }
+    // Positions holding correlated characters may list pr+/pr- variants whose
+    // marginal is implied, so the unit-sum check does not apply (Figure 4).
+    bool has_correlated = false;
+    for (const auto& rule : correlations_) {
+      if (rule.pos == i) has_correlated = true;
+    }
+    if (!has_correlated && std::abs(sum - 1.0) > kSumTolerance) {
+      return Status::InvalidArgument("probabilities at position " +
+                                     std::to_string(i) + " sum to " +
+                                     std::to_string(sum) + ", expected 1");
+    }
+  }
+  return Status::OK();
+}
+
+double UncertainString::BaseProb(int64_t i, uint8_t ch) const {
+  for (const auto& opt : positions_[i]) {
+    if (opt.ch == ch) return opt.prob;
+  }
+  return 0.0;
+}
+
+const CorrelationRule* UncertainString::FindRule(int64_t i, uint8_t ch) const {
+  for (const auto& rule : correlations_) {
+    if (rule.pos == i && rule.ch == ch) return &rule;
+  }
+  return nullptr;
+}
+
+LogProb UncertainString::OccurrenceProb(const std::string& pattern,
+                                        int64_t i) const {
+  const int64_t m = static_cast<int64_t>(pattern.size());
+  if (m == 0 || i < 0 || i + m > size()) return LogProb::Zero();
+  LogProb prob = LogProb::One();
+  for (int64_t k = 0; k < m; ++k) {
+    const uint8_t ch = static_cast<uint8_t>(pattern[k]);
+    const CorrelationRule* rule = FindRule(i + k, ch);
+    double p;
+    if (rule == nullptr) {
+      p = BaseProb(i + k, ch);
+    } else if (rule->dep_pos >= i && rule->dep_pos < i + m) {
+      // Case 1: the dependency position lies inside the matched window, so
+      // the window itself decides whether the dependency character occurs.
+      const bool present =
+          static_cast<uint8_t>(pattern[rule->dep_pos - i]) == rule->dep_ch;
+      p = present ? rule->prob_if_present : rule->prob_if_absent;
+    } else {
+      // Case 2: outside the window; marginalize over the dependency.
+      const double dep = BaseProb(rule->dep_pos, rule->dep_ch);
+      p = dep * rule->prob_if_present + (1.0 - dep) * rule->prob_if_absent;
+    }
+    if (p <= 0.0) return LogProb::Zero();
+    prob *= LogProb::FromLinear(p);
+  }
+  return prob;
+}
+
+bool UncertainString::IsSpecial() const {
+  for (const auto& opts : positions_) {
+    if (opts.size() != 1) return false;
+  }
+  return true;
+}
+
+StatusOr<std::vector<PossibleWorld>> UncertainString::EnumerateWorlds(
+    size_t limit) const {
+  // Count worlds first to honor the limit without partial work.
+  double world_count = 1;
+  for (const auto& opts : positions_) {
+    world_count *= static_cast<double>(opts.size());
+    if (world_count > static_cast<double>(limit)) {
+      return Status::ResourceExhausted("too many possible worlds");
+    }
+  }
+  std::vector<PossibleWorld> out;
+  std::string value(positions_.size(), '\0');
+  std::vector<size_t> choice(positions_.size(), 0);
+  // Odometer enumeration over per-position choices.
+  while (true) {
+    for (size_t i = 0; i < positions_.size(); ++i) {
+      value[i] = static_cast<char>(positions_[i][choice[i]].ch);
+    }
+    // World probability: every correlation resolves via case 1 because the
+    // window is the entire string.
+    double prob = 1;
+    for (size_t i = 0; i < positions_.size(); ++i) {
+      const uint8_t ch = positions_[i][choice[i]].ch;
+      const CorrelationRule* rule = FindRule(static_cast<int64_t>(i), ch);
+      if (rule == nullptr) {
+        prob *= positions_[i][choice[i]].prob;
+      } else {
+        const bool present =
+            static_cast<uint8_t>(value[rule->dep_pos]) == rule->dep_ch;
+        prob *= present ? rule->prob_if_present : rule->prob_if_absent;
+      }
+    }
+    out.push_back(PossibleWorld{value, prob});
+    // Advance the odometer.
+    size_t i = 0;
+    for (; i < positions_.size(); ++i) {
+      if (++choice[i] < positions_[i].size()) break;
+      choice[i] = 0;
+    }
+    if (i == positions_.size()) break;
+    if (positions_.empty()) break;
+  }
+  if (positions_.empty()) out = {PossibleWorld{"", 1.0}};
+  return out;
+}
+
+size_t UncertainString::MemoryUsage() const {
+  size_t bytes = positions_.capacity() * sizeof(std::vector<CharOption>);
+  for (const auto& opts : positions_) {
+    bytes += opts.capacity() * sizeof(CharOption);
+  }
+  bytes += correlations_.capacity() * sizeof(CorrelationRule);
+  return bytes;
+}
+
+StatusOr<SpecialUncertainString> SpecialUncertainString::FromUncertain(
+    const UncertainString& s) {
+  if (!s.IsSpecial()) {
+    return Status::InvalidArgument(
+        "string has positions with more than one option");
+  }
+  SpecialUncertainString out;
+  out.chars.reserve(s.size());
+  out.probs.reserve(s.size());
+  for (int64_t i = 0; i < s.size(); ++i) {
+    out.chars.push_back(static_cast<char>(s.options(i)[0].ch));
+    out.probs.push_back(s.options(i)[0].prob);
+  }
+  return out;
+}
+
+LogProb SpecialUncertainString::OccurrenceProb(const std::string& pattern,
+                                               int64_t i) const {
+  const int64_t m = static_cast<int64_t>(pattern.size());
+  if (m == 0 || i < 0 || i + m > size()) return LogProb::Zero();
+  LogProb prob = LogProb::One();
+  for (int64_t k = 0; k < m; ++k) {
+    if (pattern[k] != chars[i + k]) return LogProb::Zero();
+    if (probs[i + k] <= 0.0) return LogProb::Zero();
+    prob *= LogProb::FromLinear(probs[i + k]);
+  }
+  return prob;
+}
+
+}  // namespace pti

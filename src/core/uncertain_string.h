@@ -1,0 +1,128 @@
+// UncertainString: the paper's character-level uncertain string model (§3).
+//
+// A string of n positions; each position holds a set of (character,
+// probability) options summing to 1. A deterministic pattern p "occurs" at
+// position i with probability prod_k pr(p_k at i+k-1) (§3.2). Optional
+// correlation rules (§3.3) make one character's probability depend on the
+// presence of another character elsewhere; occurrence probabilities then
+// follow the paper's case 1 (dependency inside the matched window: resolve
+// against the window's characters) and case 2 (outside: marginalize).
+//
+// This header also defines SpecialUncertainString (§4: exactly one option per
+// position) and exhaustive possible-world enumeration (§1, Figure 1) used by
+// tests to validate all probability semantics from first principles.
+
+#ifndef PTI_CORE_UNCERTAIN_STRING_H_
+#define PTI_CORE_UNCERTAIN_STRING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/log_prob.h"
+#include "util/status.h"
+
+namespace pti {
+
+/// One candidate character at a string position.
+struct CharOption {
+  uint8_t ch = 0;
+  double prob = 0.0;
+};
+
+/// §3.3: pr(`ch` at `pos`) depends on whether `dep_ch` occurs at `dep_pos`:
+/// prob_if_present (pr+) when it does, prob_if_absent (pr-) when it does not.
+/// At most one rule per (pos, ch).
+struct CorrelationRule {
+  int64_t pos = 0;
+  uint8_t ch = 0;
+  int64_t dep_pos = 0;
+  uint8_t dep_ch = 0;
+  double prob_if_present = 0.0;
+  double prob_if_absent = 0.0;
+};
+
+/// A fully deterministic string drawn from an uncertain string, with its
+/// probability of occurrence (possible-world semantics, §1 / Figure 1).
+struct PossibleWorld {
+  std::string value;
+  double prob = 0.0;
+};
+
+class UncertainString {
+ public:
+  UncertainString() = default;
+
+  /// A deterministic string: one option with probability 1 per position.
+  static UncertainString FromDeterministic(const std::string& s);
+
+  /// Appends a position with the given options. Returns its index.
+  int64_t AddPosition(std::vector<CharOption> options);
+
+  /// Registers a correlation rule; fails if (pos, ch) already has one, if the
+  /// referenced characters do not exist, or if positions are out of range.
+  Status AddCorrelation(const CorrelationRule& rule);
+
+  /// Checks model invariants: probabilities in [0,1], per-position sums == 1
+  /// (within tolerance; positions that carry correlated characters are
+  /// exempt, as in the paper's Figure 4 where the marginal need not be
+  /// listed), no duplicate characters within a position.
+  Status Validate() const;
+
+  int64_t size() const { return static_cast<int64_t>(positions_.size()); }
+  bool empty() const { return positions_.empty(); }
+
+  const std::vector<CharOption>& options(int64_t i) const {
+    return positions_[i];
+  }
+
+  /// Base probability of `ch` at position i (0 if absent). For correlated
+  /// characters this is the stored base value, not a resolved one.
+  double BaseProb(int64_t i, uint8_t ch) const;
+
+  /// The correlation rule attached to (i, ch), or nullptr.
+  const CorrelationRule* FindRule(int64_t i, uint8_t ch) const;
+
+  const std::vector<CorrelationRule>& correlations() const {
+    return correlations_;
+  }
+
+  /// §3.2 + §3.3: probability that `pattern` occurs at position `i`,
+  /// resolving correlation rules against the pattern's own window (case 1)
+  /// or by marginalization (case 2). Returns LogProb::Zero() when any
+  /// character is absent or the pattern overruns the string.
+  LogProb OccurrenceProb(const std::string& pattern, int64_t i) const;
+
+  /// True iff every position has exactly one option (§4's special form).
+  bool IsSpecial() const;
+
+  /// Exhaustive possible-world enumeration (correlation-aware). Only for
+  /// tiny strings; fails when the world count would exceed `limit`.
+  StatusOr<std::vector<PossibleWorld>> EnumerateWorlds(size_t limit) const;
+
+  size_t MemoryUsage() const;
+
+ private:
+  std::vector<std::vector<CharOption>> positions_;
+  std::vector<CorrelationRule> correlations_;
+};
+
+/// §4: an uncertain string with exactly one probabilistic character per
+/// position, as produced by the factor transformation or given directly.
+struct SpecialUncertainString {
+  std::string chars;
+  std::vector<double> probs;
+
+  /// Builds from an UncertainString that satisfies IsSpecial().
+  static StatusOr<SpecialUncertainString> FromUncertain(
+      const UncertainString& s);
+
+  /// Occurrence probability of `pattern` at position i (no correlations).
+  LogProb OccurrenceProb(const std::string& pattern, int64_t i) const;
+
+  int64_t size() const { return static_cast<int64_t>(chars.size()); }
+};
+
+}  // namespace pti
+
+#endif  // PTI_CORE_UNCERTAIN_STRING_H_

@@ -1,0 +1,103 @@
+#include "core/usformat.h"
+
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+namespace pti {
+
+namespace {
+Status LineError(size_t line_no, const std::string& what) {
+  return Status::InvalidArgument("line " + std::to_string(line_no) + ": " +
+                                 what);
+}
+}  // namespace
+
+StatusOr<UncertainString> ParseUncertainString(const std::string& text) {
+  UncertainString s;
+  std::vector<std::pair<size_t, CorrelationRule>> pending_rules;
+  std::istringstream in(text);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip trailing carriage returns (Windows files) and skip blanks.
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.pop_back();
+    }
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream tokens(line);
+    if (line[0] == '@') {
+      std::string directive;
+      tokens >> directive;
+      if (directive != "@corr") {
+        return LineError(line_no, "unknown directive '" + directive + "'");
+      }
+      CorrelationRule rule;
+      std::string ch, dep_ch;
+      if (!(tokens >> rule.pos >> ch >> rule.dep_pos >> dep_ch >>
+            rule.prob_if_present >> rule.prob_if_absent) ||
+          ch.size() != 1 || dep_ch.size() != 1) {
+        return LineError(line_no, "malformed @corr directive");
+      }
+      rule.ch = static_cast<uint8_t>(ch[0]);
+      rule.dep_ch = static_cast<uint8_t>(dep_ch[0]);
+      pending_rules.emplace_back(line_no, rule);
+      continue;
+    }
+    std::vector<CharOption> opts;
+    std::string token;
+    while (tokens >> token) {
+      const size_t eq = token.find('=');
+      if (eq != 1 || token.size() < 3) {
+        return LineError(line_no, "expected char=prob, got '" + token + "'");
+      }
+      CharOption opt;
+      opt.ch = static_cast<uint8_t>(token[0]);
+      char* end = nullptr;
+      opt.prob = std::strtod(token.c_str() + 2, &end);
+      if (end == nullptr || *end != '\0') {
+        return LineError(line_no, "bad probability in '" + token + "'");
+      }
+      opts.push_back(opt);
+    }
+    if (opts.empty()) {
+      return LineError(line_no, "position line with no options");
+    }
+    s.AddPosition(std::move(opts));
+  }
+  // Rules are applied after all positions exist so they can reference
+  // forward positions.
+  for (const auto& [rule_line, rule] : pending_rules) {
+    const Status st = s.AddCorrelation(rule);
+    if (!st.ok()) return LineError(rule_line, st.message());
+  }
+  const Status st = s.Validate();
+  if (!st.ok()) return st;
+  return s;
+}
+
+std::string FormatUncertainString(const UncertainString& s) {
+  std::ostringstream out;
+  char buf[64];
+  for (int64_t i = 0; i < s.size(); ++i) {
+    bool first = true;
+    for (const CharOption& opt : s.options(i)) {
+      std::snprintf(buf, sizeof(buf), "%c=%.17g", static_cast<char>(opt.ch),
+                    opt.prob);
+      out << (first ? "" : " ") << buf;
+      first = false;
+    }
+    out << "\n";
+  }
+  for (const CorrelationRule& r : s.correlations()) {
+    std::snprintf(buf, sizeof(buf), "%.17g %.17g", r.prob_if_present,
+                  r.prob_if_absent);
+    out << "@corr " << r.pos << " " << static_cast<char>(r.ch) << " "
+        << r.dep_pos << " " << static_cast<char>(r.dep_ch) << " " << buf
+        << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace pti

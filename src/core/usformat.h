@@ -1,0 +1,28 @@
+// Human-readable text format for uncertain strings (used by the CLI tool,
+// examples and tests).
+//
+// One line per position, options as char=prob pairs:
+//     A=0.4 B=0.3 F=0.3
+// Comment lines start with '#'. Correlation rules (§3.3) use directive lines:
+//     @corr <pos> <char> <dep_pos> <dep_char> <p_if_present> <p_if_absent>
+// Positions are 0-based. Blank lines are ignored.
+
+#ifndef PTI_CORE_USFORMAT_H_
+#define PTI_CORE_USFORMAT_H_
+
+#include <string>
+
+#include "core/uncertain_string.h"
+#include "util/status.h"
+
+namespace pti {
+
+/// Parses the format above; errors carry 1-based line numbers.
+StatusOr<UncertainString> ParseUncertainString(const std::string& text);
+
+/// Inverse of ParseUncertainString (round-trips through the parser).
+std::string FormatUncertainString(const UncertainString& s);
+
+}  // namespace pti
+
+#endif  // PTI_CORE_USFORMAT_H_

@@ -1,0 +1,139 @@
+#include "datagen/datagen.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/rng.h"
+
+namespace pti {
+namespace {
+
+// Amino-acid alphabet (20 residues + B/Z ambiguity codes = 22, §8.1).
+constexpr char kResidues[] = "ACDEFGHIKLMNPQRSTVWYBZ";
+
+char Residue(int32_t idx) { return kResidues[idx]; }
+
+// Appends `len` positions of uncertain protein text to `out`.
+void AppendPositions(UncertainString* out, int64_t len,
+                     const DatasetOptions& options, Rng* rng) {
+  const int32_t sigma = std::min<int32_t>(
+      options.alphabet, static_cast<int32_t>(sizeof(kResidues)) - 1);
+  for (int64_t i = 0; i < len; ++i) {
+    const int32_t base = static_cast<int32_t>(rng->Uniform(sigma));
+    if (!rng->Bernoulli(options.theta) || options.choices <= 1) {
+      out->AddPosition({{static_cast<uint8_t>(Residue(base)), 1.0}});
+      continue;
+    }
+    // Uncertain position: the original character dominates; the remaining
+    // mass is split over distinct neighbor characters with random weights
+    // (mimicking normalized edit-neighborhood letter frequencies).
+    const double dom =
+        rng->UniformDouble(options.dominant_lo, options.dominant_hi);
+    std::vector<int32_t> chars = {base};
+    while (static_cast<int32_t>(chars.size()) < options.choices &&
+           static_cast<int32_t>(chars.size()) < sigma) {
+      const int32_t c = static_cast<int32_t>(rng->Uniform(sigma));
+      if (std::find(chars.begin(), chars.end(), c) == chars.end()) {
+        chars.push_back(c);
+      }
+    }
+    std::vector<double> weights(chars.size() - 1);
+    double wsum = 0;
+    for (double& w : weights) {
+      w = rng->UniformDouble(0.05, 1.0);
+      wsum += w;
+    }
+    std::vector<CharOption> opts;
+    opts.push_back({static_cast<uint8_t>(Residue(base)), dom});
+    double assigned = dom;
+    for (size_t k = 0; k < weights.size(); ++k) {
+      double p = (1.0 - dom) * weights[k] / wsum;
+      if (k + 1 == weights.size()) p = 1.0 - assigned;  // exact unit sum
+      opts.push_back({static_cast<uint8_t>(Residue(chars[k + 1])), p});
+      assigned += p;
+    }
+    out->AddPosition(std::move(opts));
+  }
+}
+
+std::string WalkPattern(const UncertainString& s, int64_t start, size_t length,
+                        bool argmax, Rng* rng) {
+  std::string pattern;
+  pattern.reserve(length);
+  for (size_t k = 0; k < length; ++k) {
+    const auto& opts = s.options(start + static_cast<int64_t>(k));
+    size_t pick = 0;
+    if (argmax) {
+      for (size_t a = 1; a < opts.size(); ++a) {
+        if (opts[a].prob > opts[pick].prob) pick = a;
+      }
+    } else {
+      std::vector<double> w(opts.size());
+      for (size_t a = 0; a < opts.size(); ++a) w[a] = opts[a].prob;
+      pick = rng->Discrete(w);
+    }
+    pattern.push_back(static_cast<char>(opts[pick].ch));
+  }
+  return pattern;
+}
+
+}  // namespace
+
+UncertainString GenerateUncertainString(const DatasetOptions& options) {
+  Rng rng(options.seed);
+  UncertainString s;
+  AppendPositions(&s, options.length, options, &rng);
+  return s;
+}
+
+std::vector<UncertainString> GenerateCollection(const DatasetOptions& options) {
+  Rng rng(options.seed);
+  std::vector<UncertainString> docs;
+  int64_t emitted = 0;
+  while (emitted < options.length) {
+    const int64_t len = std::min<int64_t>(
+        options.length - emitted,
+        static_cast<int64_t>(rng.ClampedNormal(32.5, 6.0, 20, 45)));
+    UncertainString doc;
+    AppendPositions(&doc, len, options, &rng);
+    emitted += len;
+    docs.push_back(std::move(doc));
+  }
+  return docs;
+}
+
+std::vector<std::string> SamplePatterns(const UncertainString& s, size_t count,
+                                        size_t length, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> out;
+  if (s.size() < static_cast<int64_t>(length)) return out;
+  out.reserve(count);
+  for (size_t k = 0; k < count; ++k) {
+    const int64_t start = static_cast<int64_t>(
+        rng.Uniform(static_cast<uint64_t>(s.size() - length + 1)));
+    out.push_back(WalkPattern(s, start, length, (k % 2) == 0, &rng));
+  }
+  return out;
+}
+
+std::vector<std::string> SampleCollectionPatterns(
+    const std::vector<UncertainString>& docs, size_t count, size_t length,
+    uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> out;
+  std::vector<size_t> eligible;
+  for (size_t d = 0; d < docs.size(); ++d) {
+    if (docs[d].size() >= static_cast<int64_t>(length)) eligible.push_back(d);
+  }
+  if (eligible.empty()) return out;
+  out.reserve(count);
+  for (size_t k = 0; k < count; ++k) {
+    const auto& doc = docs[eligible[rng.Uniform(eligible.size())]];
+    const int64_t start = static_cast<int64_t>(
+        rng.Uniform(static_cast<uint64_t>(doc.size() - length + 1)));
+    out.push_back(WalkPattern(doc, start, length, (k % 2) == 0, &rng));
+  }
+  return out;
+}
+
+}  // namespace pti

@@ -1,0 +1,61 @@
+// Synthetic dataset generation following the paper's §8.1 protocol.
+//
+// The paper derives character-level pdfs from edit-distance-4 neighborhoods
+// of protein strings (mouse+human concatenation, sigma = 22), with a fraction
+// theta of uncertain positions and ~5 choices per uncertain position, and
+// piece lengths approximately normal in [20, 45]. The authors' input file is
+// not distributed, so we synthesize base text with the same alphabet and
+// apply the same uncertainty protocol; every independent variable of the
+// evaluation (n, theta, tau, tau_min, m) acts on the uncertainty structure,
+// which is reproduced exactly (see DESIGN.md §5, substitutions).
+
+#ifndef PTI_DATAGEN_DATAGEN_H_
+#define PTI_DATAGEN_DATAGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/uncertain_string.h"
+
+namespace pti {
+
+struct DatasetOptions {
+  /// Total number of positions (n).
+  int64_t length = 100000;
+  /// Fraction of uncertain positions (theta in the paper, 0.1 .. 0.5).
+  double theta = 0.2;
+  /// Choices per uncertain position (the paper's average is 5).
+  int32_t choices = 5;
+  /// Alphabet size (22 = amino acids as in §8.1).
+  int32_t alphabet = 22;
+  uint64_t seed = 42;
+  /// Weight of the dominant (original) character at uncertain positions;
+  /// drawn uniformly from [dominant_lo, dominant_hi] per position, mimicking
+  /// the edit-neighborhood frequency concentration.
+  double dominant_lo = 0.35;
+  double dominant_hi = 0.7;
+};
+
+/// One uncertain string per the §8.1 protocol.
+UncertainString GenerateUncertainString(const DatasetOptions& options);
+
+/// A collection for the listing experiments: pieces with lengths
+/// approximately normal in [20, 45] (as in §8.1) until `options.length`
+/// total positions are emitted.
+std::vector<UncertainString> GenerateCollection(const DatasetOptions& options);
+
+/// Query workload: patterns of the given length sampled from high-probability
+/// paths of `s` so that a constant fraction of them actually matches (half
+/// follow the per-position argmax, half sample from the pdf).
+std::vector<std::string> SamplePatterns(const UncertainString& s, size_t count,
+                                        size_t length, uint64_t seed);
+
+/// Same, sampling across the members of a collection.
+std::vector<std::string> SampleCollectionPatterns(
+    const std::vector<UncertainString>& docs, size_t count, size_t length,
+    uint64_t seed);
+
+}  // namespace pti
+
+#endif  // PTI_DATAGEN_DATAGEN_H_

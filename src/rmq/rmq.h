@@ -1,0 +1,65 @@
+// Range-maximum query (RMQ) engines.
+//
+// The paper (Lemma 1, Fischer & Heun) builds a 2n+o(n)-bit structure over each
+// probability array C_i and *discards the array*, answering "position of the
+// maximum in [l,r]" in O(1). We reproduce that design with a twist that suits
+// the index: the C_i values are recomputable in O(1) from the global prefix
+// array (C, suffix array A, per-depth active bits), so our engines take a
+// *value accessor* instead of owning an array. Construction streams the values
+// once; queries call the accessor O(1) times.
+//
+// Engines (all return the LEFTMOST position of the maximum, inclusive range):
+//   * SparseTableRmq — classic O(n log n)-space, O(1)-query baseline.
+//   * BlockRmq       — production engine: sparse table over fixed-size block
+//                      maxima + boundary-block scans; O(n/b log(n/b)) space,
+//                      O(b) accessor calls per query (b is a small constant).
+//   * FischerHeunRmq — the paper's Lemma 1 structure: microblock Cartesian
+//                      codes (2 bits/element class space) + sparse table over
+//                      microblock maxima; O(1) query.
+//
+// All engines agree exactly (including tie-breaking) with BruteForceArgMax;
+// the property tests sweep them against each other.
+
+#ifndef PTI_RMQ_RMQ_H_
+#define PTI_RMQ_RMQ_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+namespace pti {
+
+/// Reference semantics for all RMQ engines: leftmost position of the maximum
+/// value in the inclusive range [l, r].
+template <typename ValueFn>
+size_t BruteForceArgMax(const ValueFn& value, size_t l, size_t r) {
+  assert(l <= r);
+  size_t best = l;
+  for (size_t i = l + 1; i <= r; ++i) {
+    if (value(i) > value(best)) best = i;
+  }
+  return best;
+}
+
+namespace rmq_internal {
+
+/// Combines two candidate positions under the shared tie rule (leftmost wins).
+template <typename ValueFn>
+inline size_t Better(const ValueFn& value, size_t a, size_t b) {
+  if (a == b) return a;
+  const size_t lo = a < b ? a : b;
+  const size_t hi = a < b ? b : a;
+  return value(hi) > value(lo) ? hi : lo;
+}
+
+/// floor(log2(x)) for x >= 1.
+inline uint32_t FloorLog2(size_t x) {
+  assert(x >= 1);
+  return 63u - static_cast<uint32_t>(__builtin_clzll(x));
+}
+
+}  // namespace rmq_internal
+
+}  // namespace pti
+
+#endif  // PTI_RMQ_RMQ_H_

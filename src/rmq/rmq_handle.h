@@ -1,0 +1,71 @@
+// Type-erased RMQ handle: lets the indexes pick an engine at runtime
+// (options-driven) while the engines themselves stay header-only templates.
+
+#ifndef PTI_RMQ_RMQ_HANDLE_H_
+#define PTI_RMQ_RMQ_HANDLE_H_
+
+#include <memory>
+
+#include "rmq/block_rmq.h"
+#include "rmq/fischer_heun_rmq.h"
+#include "rmq/sparse_table_rmq.h"
+
+namespace pti {
+
+/// Which RMQ engine an index should build over its probability arrays.
+enum class RmqEngineKind {
+  kBlock = 0,        ///< block maxima + boundary scans (production default)
+  kFischerHeun = 1,  ///< the paper's Lemma 1 structure (microblock codes)
+  kSparseTable = 2,  ///< O(n log n) space baseline
+};
+
+/// Erased interface over the three engines.
+class RmqHandle {
+ public:
+  virtual ~RmqHandle() = default;
+  /// Leftmost argmax over the inclusive range [l, r].
+  virtual size_t ArgMax(size_t l, size_t r) const = 0;
+  virtual size_t MemoryUsage() const = 0;
+};
+
+namespace rmq_internal {
+
+template <typename Engine>
+class RmqHandleImpl final : public RmqHandle {
+ public:
+  explicit RmqHandleImpl(Engine engine) : engine_(std::move(engine)) {}
+  size_t ArgMax(size_t l, size_t r) const override {
+    return engine_.ArgMax(l, r);
+  }
+  size_t MemoryUsage() const override { return engine_.MemoryUsage(); }
+
+ private:
+  Engine engine_;
+};
+
+}  // namespace rmq_internal
+
+/// Builds an engine of the requested kind over `value` (n entries).
+/// `block` applies to kBlock only.
+template <typename ValueFn>
+std::unique_ptr<RmqHandle> MakeRmq(RmqEngineKind kind, ValueFn value, size_t n,
+                                   size_t block = 64) {
+  switch (kind) {
+    case RmqEngineKind::kFischerHeun:
+      return std::make_unique<
+          rmq_internal::RmqHandleImpl<FischerHeunRmq<ValueFn>>>(
+          FischerHeunRmq<ValueFn>(std::move(value), n));
+    case RmqEngineKind::kSparseTable:
+      return std::make_unique<
+          rmq_internal::RmqHandleImpl<SparseTableRmq<ValueFn>>>(
+          SparseTableRmq<ValueFn>(std::move(value), n));
+    case RmqEngineKind::kBlock:
+    default:
+      return std::make_unique<rmq_internal::RmqHandleImpl<BlockRmq<ValueFn>>>(
+          BlockRmq<ValueFn>(std::move(value), n, block));
+  }
+}
+
+}  // namespace pti
+
+#endif  // PTI_RMQ_RMQ_HANDLE_H_

@@ -1,0 +1,66 @@
+// SparseTableRmq: the classic O(n log n)-space / O(1)-query RMQ.
+//
+// Level k stores, for every position i, the leftmost argmax of the window
+// [i, i + 2^k). A query [l, r] combines the two (overlapping) windows of size
+// 2^floor(log2(len)) that cover it. Used as the correctness baseline and for
+// small arrays; the index proper uses BlockRmq / FischerHeunRmq.
+
+#ifndef PTI_RMQ_SPARSE_TABLE_RMQ_H_
+#define PTI_RMQ_SPARSE_TABLE_RMQ_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rmq/rmq.h"
+
+namespace pti {
+
+/// ValueFn: copyable callable `double(size_t)` giving the array value at a
+/// position. It must keep returning the construction-time values for as long
+/// as queries are issued.
+template <typename ValueFn>
+class SparseTableRmq {
+ public:
+  SparseTableRmq(ValueFn value, size_t n) : value_(std::move(value)), n_(n) {
+    if (n_ == 0) return;
+    const uint32_t levels = rmq_internal::FloorLog2(n_) + 1;
+    table_.resize(levels);
+    table_[0].resize(n_);
+    for (size_t i = 0; i < n_; ++i) table_[0][i] = static_cast<uint32_t>(i);
+    for (uint32_t k = 1; k < levels; ++k) {
+      const size_t span = size_t{1} << k;
+      table_[k].resize(n_ - span + 1);
+      for (size_t i = 0; i + span <= n_; ++i) {
+        table_[k][i] = static_cast<uint32_t>(rmq_internal::Better(
+            value_, table_[k - 1][i], table_[k - 1][i + span / 2]));
+      }
+    }
+  }
+
+  /// Leftmost argmax over the inclusive range [l, r].
+  size_t ArgMax(size_t l, size_t r) const {
+    assert(l <= r && r < n_);
+    if (l == r) return l;
+    const uint32_t k = rmq_internal::FloorLog2(r - l + 1);
+    const size_t span = size_t{1} << k;
+    return rmq_internal::Better(value_, table_[k][l], table_[k][r - span + 1]);
+  }
+
+  size_t size() const { return n_; }
+
+  /// Bytes of auxiliary structure (excludes whatever backs the accessor).
+  size_t MemoryUsage() const {
+    size_t bytes = 0;
+    for (const auto& level : table_) bytes += level.size() * sizeof(uint32_t);
+    return bytes;
+  }
+
+ private:
+  ValueFn value_;
+  size_t n_;
+  std::vector<std::vector<uint32_t>> table_;
+};
+
+}  // namespace pti
+
+#endif  // PTI_RMQ_SPARSE_TABLE_RMQ_H_

@@ -1,0 +1,111 @@
+// BitVector: plain bit vector with O(1) rank and O(log n) select.
+//
+// Rank uses two-level counters (512-bit superblocks of absolute counts +
+// 64-bit word popcounts within) for ~25% space overhead; good enough for the
+// wavelet tree, whose queries are rank-dominated.
+
+#ifndef PTI_SUCCINCT_BITVECTOR_H_
+#define PTI_SUCCINCT_BITVECTOR_H_
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace pti {
+
+class BitVector {
+ public:
+  BitVector() = default;
+  explicit BitVector(size_t n) : n_(n), words_((n + 63) / 64, 0) {}
+
+  void Set(size_t i) { words_[i >> 6] |= uint64_t{1} << (i & 63); }
+
+  bool Get(size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  size_t size() const { return n_; }
+
+  /// Must be called once after all Set() calls and before any rank/select.
+  void Finish() {
+    const size_t nwords = words_.size();
+    super_.assign(nwords / 8 + 1, 0);
+    uint64_t total = 0;
+    for (size_t w = 0; w < nwords; ++w) {
+      if (w % 8 == 0) super_[w / 8] = total;
+      total += static_cast<uint64_t>(__builtin_popcountll(words_[w]));
+    }
+    // The loop covers super_[nwords / 8] unless nwords is a multiple of 8,
+    // in which case the trailing entry (used by Rank1(size())) is set here.
+    if (nwords % 8 == 0) super_[nwords / 8] = total;
+    ones_ = total;
+  }
+
+  /// Number of 1 bits in [0, i). i may equal size().
+  size_t Rank1(size_t i) const {
+    assert(i <= n_);
+    const size_t w = i >> 6;
+    size_t count = super_[w / 8];
+    for (size_t k = (w / 8) * 8; k < w; ++k) {
+      count += static_cast<size_t>(__builtin_popcountll(words_[k]));
+    }
+    if (i & 63) {
+      count += static_cast<size_t>(
+          __builtin_popcountll(words_[w] & ((uint64_t{1} << (i & 63)) - 1)));
+    }
+    return count;
+  }
+
+  /// Number of 0 bits in [0, i).
+  size_t Rank0(size_t i) const { return i - Rank1(i); }
+
+  size_t ones() const { return ones_; }
+
+  /// Position of the (k+1)-th 1 bit (k 0-based; k < ones()). O(log n).
+  size_t Select1(size_t k) const {
+    assert(k < ones_);
+    // Binary search over superblocks, then scan words.
+    size_t lo = 0, hi = super_.size() - 1;
+    while (lo < hi) {
+      const size_t mid = (lo + hi + 1) / 2;
+      if (super_[mid] <= k) {
+        lo = mid;
+      } else {
+        hi = mid - 1;
+      }
+    }
+    size_t remaining = k - super_[lo];
+    for (size_t w = lo * 8; w < words_.size(); ++w) {
+      const size_t pc = static_cast<size_t>(__builtin_popcountll(words_[w]));
+      if (remaining < pc) {
+        // Scan bits of this word.
+        uint64_t word = words_[w];
+        for (size_t b = 0;; ++b) {
+          if (word & 1) {
+            if (remaining == 0) return w * 64 + b;
+            --remaining;
+          }
+          word >>= 1;
+        }
+      }
+      remaining -= pc;
+    }
+    assert(false);
+    return n_;
+  }
+
+  size_t MemoryUsage() const {
+    return words_.capacity() * sizeof(uint64_t) +
+           super_.capacity() * sizeof(uint64_t);
+  }
+
+ private:
+  size_t n_ = 0;
+  size_t ones_ = 0;
+  std::vector<uint64_t> words_;
+  std::vector<uint64_t> super_;  // absolute rank at each 8-word superblock
+};
+
+}  // namespace pti
+
+#endif  // PTI_SUCCINCT_BITVECTOR_H_

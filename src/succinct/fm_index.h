@@ -1,0 +1,85 @@
+// FmIndex: backward-search pattern locator over a BWT + wavelet tree.
+//
+// Stands in for the compressed suffix array the paper uses for its space
+// experiments (§8.7, Belazzougui-Navarro [2]): given the suffix array the
+// indexes already keep, the FM-index answers "suffix range of pattern p" in
+// O(m log sigma) without the suffix tree's node arrays — enabling the
+// compact index mode (IndexOptions::compact) that drops the tree after
+// construction.
+//
+// Construction takes the text and its suffix array; the conceptual
+// terminator $ (the unique smallest symbol, implicit in our suffix order) is
+// materialized in the BWT by shifting all symbols up by one.
+
+#ifndef PTI_SUCCINCT_FM_INDEX_H_
+#define PTI_SUCCINCT_FM_INDEX_H_
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "succinct/wavelet_tree.h"
+
+namespace pti {
+
+class FmIndex {
+ public:
+  FmIndex() = default;
+
+  /// Builds over `text` (symbols in [0, alphabet_size)) with its suffix
+  /// array `sa` (the BuildSuffixArray convention: shorter prefix first).
+  FmIndex(const std::vector<int32_t>& text, const std::vector<int32_t>& sa,
+          int32_t alphabet_size) {
+    const size_t n = text.size();
+    // BWT of text$ in SA' order, where SA' = [n] + sa (the terminator's
+    // suffix sorts first). Symbols are shifted by one so $ = 0.
+    std::vector<int32_t> bwt(n + 1);
+    bwt[0] = n > 0 ? text[n - 1] + 1 : 0;
+    for (size_t i = 0; i < n; ++i) {
+      bwt[i + 1] = sa[i] > 0 ? text[sa[i] - 1] + 1 : 0;  // 0 = $
+    }
+    const int32_t sigma = alphabet_size + 1;
+    counts_.assign(sigma + 1, 0);
+    counts_[0 + 1] = 1;  // the terminator
+    for (size_t i = 0; i < n; ++i) counts_[text[i] + 1 + 1]++;
+    for (int32_t c = 0; c < sigma; ++c) counts_[c + 1] += counts_[c];
+    wt_ = WaveletTree(bwt, sigma);
+  }
+
+  /// Suffix-array range [begin, end) of the pattern (same coordinates as
+  /// the `sa` passed at construction), or nullopt when absent. An empty
+  /// pattern yields the full range.
+  std::optional<std::pair<int32_t, int32_t>> Range(
+      const std::vector<int32_t>& pattern) const {
+    // Ranges are tracked in SA' coordinates (one slot shifted by the
+    // terminator) and converted on return.
+    int64_t sp = 0;
+    int64_t ep = static_cast<int64_t>(wt_.size());
+    for (size_t k = pattern.size(); k-- > 0;) {
+      const int32_t sym = pattern[k] + 1;
+      if (sym + 1 >= static_cast<int32_t>(counts_.size())) return std::nullopt;
+      sp = counts_[sym] + static_cast<int64_t>(wt_.Rank(sym, sp));
+      ep = counts_[sym] + static_cast<int64_t>(wt_.Rank(sym, ep));
+      if (sp >= ep) return std::nullopt;
+    }
+    // Drop the terminator slot: every pattern occurrence maps to SA' index
+    // >= 1 except the empty pattern, whose range legitimately starts at 0.
+    const int32_t begin = static_cast<int32_t>(sp == 0 ? 0 : sp - 1);
+    const int32_t end = static_cast<int32_t>(ep - 1);
+    if (begin >= end) return std::nullopt;
+    return std::make_pair(begin, end);
+  }
+
+  size_t MemoryUsage() const {
+    return wt_.MemoryUsage() + counts_.capacity() * sizeof(int64_t);
+  }
+
+ private:
+  WaveletTree wt_;
+  std::vector<int64_t> counts_;
+};
+
+}  // namespace pti
+
+#endif  // PTI_SUCCINCT_FM_INDEX_H_

@@ -1,0 +1,125 @@
+// WaveletTree: levelwise (pointerless) wavelet tree over an integer
+// alphabet, supporting access and rank in O(log sigma).
+//
+// Level k stores bit k-from-the-MSB of every symbol, with each tree node's
+// span stably partitioned (zeros left) going into the next level, so a
+// node's interval at every level stays contiguous and is recoverable from
+// rank queries alone. This powers the FM-index's backward search (rank of a
+// symbol in the BWT).
+
+#ifndef PTI_SUCCINCT_WAVELET_TREE_H_
+#define PTI_SUCCINCT_WAVELET_TREE_H_
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "succinct/bitvector.h"
+
+namespace pti {
+
+class WaveletTree {
+ public:
+  WaveletTree() = default;
+
+  /// Builds over `data` with symbols in [0, alphabet_size).
+  WaveletTree(const std::vector<int32_t>& data, int32_t alphabet_size) {
+    n_ = data.size();
+    levels_ = 1;
+    while ((int64_t{1} << levels_) < alphabet_size) ++levels_;
+    bits_.reserve(levels_);
+    std::vector<int32_t> cur = data;
+    std::vector<int32_t> next(n_);
+    for (int32_t k = 0; k < levels_; ++k) {
+      const int32_t shift = levels_ - 1 - k;
+      BitVector bv(n_);
+      for (size_t i = 0; i < n_; ++i) {
+        if ((cur[i] >> shift) & 1) bv.Set(i);
+      }
+      bv.Finish();
+      bits_.push_back(std::move(bv));
+      if (k + 1 == levels_) break;
+      // Stable partition within each node span (spans = runs of equal
+      // top-(k+1... here: top-k) bits; cur is sorted by its top-k bits).
+      size_t lo = 0;
+      while (lo < n_) {
+        size_t hi = lo;
+        const int32_t prefix = cur[lo] >> (shift + 1);
+        while (hi < n_ && (cur[hi] >> (shift + 1)) == prefix) ++hi;
+        size_t at = lo;
+        for (size_t i = lo; i < hi; ++i) {
+          if (((cur[i] >> shift) & 1) == 0) next[at++] = cur[i];
+        }
+        for (size_t i = lo; i < hi; ++i) {
+          if ((cur[i] >> shift) & 1) next[at++] = cur[i];
+        }
+        lo = hi;
+      }
+      cur.swap(next);
+    }
+  }
+
+  size_t size() const { return n_; }
+
+  /// Symbol at position i.
+  int32_t Access(size_t i) const {
+    assert(i < n_);
+    int32_t sym = 0;
+    size_t lo = 0, hi = n_, p = i;
+    for (int32_t k = 0; k < levels_; ++k) {
+      const BitVector& bv = bits_[k];
+      const size_t z_lo = bv.Rank0(lo);
+      const size_t z_hi = bv.Rank0(hi);
+      const size_t zeros = z_hi - z_lo;
+      const size_t zeros_before_p = bv.Rank0(lo + p) - z_lo;
+      sym <<= 1;
+      if (!bv.Get(lo + p)) {
+        p = zeros_before_p;
+        hi = lo + zeros;
+      } else {
+        sym |= 1;
+        p = p - zeros_before_p;
+        lo = lo + zeros;
+      }
+    }
+    return sym;
+  }
+
+  /// Count of symbol c in the prefix [0, i). i may equal size().
+  size_t Rank(int32_t c, size_t i) const {
+    assert(i <= n_);
+    size_t lo = 0, hi = n_, p = i;
+    for (int32_t k = 0; k < levels_; ++k) {
+      const int32_t shift = levels_ - 1 - k;
+      const BitVector& bv = bits_[k];
+      const size_t z_lo = bv.Rank0(lo);
+      const size_t z_hi = bv.Rank0(hi);
+      const size_t z_p = bv.Rank0(lo + p);
+      const size_t zeros = z_hi - z_lo;
+      if (((c >> shift) & 1) == 0) {
+        p = z_p - z_lo;
+        hi = lo + zeros;
+      } else {
+        p = (p) - (z_p - z_lo);
+        lo = lo + zeros;
+      }
+      if (p == 0) return 0;
+    }
+    return p;
+  }
+
+  size_t MemoryUsage() const {
+    size_t bytes = 0;
+    for (const auto& bv : bits_) bytes += bv.MemoryUsage();
+    return bytes;
+  }
+
+ private:
+  size_t n_ = 0;
+  int32_t levels_ = 0;
+  std::vector<BitVector> bits_;
+};
+
+}  // namespace pti
+
+#endif  // PTI_SUCCINCT_WAVELET_TREE_H_

@@ -1,0 +1,29 @@
+#include "suffix/lcp.h"
+
+#include <cassert>
+
+namespace pti {
+
+std::vector<int32_t> BuildLcpArray(const std::vector<int32_t>& text,
+                                   const std::vector<int32_t>& sa) {
+  const int32_t n = static_cast<int32_t>(text.size());
+  assert(sa.size() == text.size());
+  std::vector<int32_t> lcp(n, 0);
+  if (n == 0) return lcp;
+  std::vector<int32_t> rank(n);
+  for (int32_t i = 0; i < n; ++i) rank[sa[i]] = i;
+  int32_t h = 0;
+  for (int32_t i = 0; i < n; ++i) {
+    if (rank[i] > 0) {
+      const int32_t j = sa[rank[i] - 1];
+      while (i + h < n && j + h < n && text[i + h] == text[j + h]) ++h;
+      lcp[rank[i]] = h;
+      if (h > 0) --h;
+    } else {
+      h = 0;
+    }
+  }
+  return lcp;
+}
+
+}  // namespace pti

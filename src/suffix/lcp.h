@@ -1,0 +1,19 @@
+// LCP array construction (Kasai et al., 2001).
+
+#ifndef PTI_SUFFIX_LCP_H_
+#define PTI_SUFFIX_LCP_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace pti {
+
+/// Builds the LCP array for `text` with suffix array `sa`:
+/// lcp[i] = length of the longest common prefix of suffixes sa[i-1] and sa[i]
+/// (lcp[0] = 0). O(n) time via Kasai's rank-walk.
+std::vector<int32_t> BuildLcpArray(const std::vector<int32_t>& text,
+                                   const std::vector<int32_t>& sa);
+
+}  // namespace pti
+
+#endif  // PTI_SUFFIX_LCP_H_

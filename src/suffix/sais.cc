@@ -1,0 +1,161 @@
+#include "suffix/sais.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace pti {
+namespace {
+
+// Core SA-IS over s[0..n): values in [0, K), s[n-1] must be the unique
+// smallest character (the caller appends a virtual sentinel). Writes the full
+// suffix array into sa[0..n).
+void SaIsCore(const int32_t* s, int32_t* sa, int32_t n, int32_t K) {
+  assert(n >= 1);
+  if (n == 1) {
+    sa[0] = 0;
+    return;
+  }
+
+  // Classify suffixes: S-type iff smaller than the suffix to its right.
+  std::vector<bool> is_s(n);
+  is_s[n - 1] = true;
+  for (int32_t i = n - 2; i >= 0; --i) {
+    is_s[i] = s[i] < s[i + 1] || (s[i] == s[i + 1] && is_s[i + 1]);
+  }
+  auto is_lms = [&](int32_t i) { return i > 0 && is_s[i] && !is_s[i - 1]; };
+
+  std::vector<int32_t> bkt(K, 0);
+  for (int32_t i = 0; i < n; ++i) bkt[s[i]]++;
+  std::vector<int32_t> heads(K), tails(K);
+  auto compute_heads = [&] {
+    int32_t sum = 0;
+    for (int32_t c = 0; c < K; ++c) {
+      heads[c] = sum;
+      sum += bkt[c];
+    }
+  };
+  auto compute_tails = [&] {
+    int32_t sum = 0;
+    for (int32_t c = 0; c < K; ++c) {
+      sum += bkt[c];
+      tails[c] = sum;  // one past the end of bucket c
+    }
+  };
+
+  // Induced sort: assumes LMS suffixes (or their proxies) already sit at
+  // bucket tails; fills in L-types left-to-right then S-types right-to-left.
+  auto induce = [&] {
+    compute_heads();
+    for (int32_t i = 0; i < n; ++i) {
+      const int32_t j = sa[i] - 1;
+      if (sa[i] > 0 && !is_s[j]) sa[heads[s[j]]++] = j;
+    }
+    compute_tails();
+    for (int32_t i = n - 1; i >= 0; --i) {
+      const int32_t j = sa[i] - 1;
+      if (sa[i] > 0 && is_s[j]) sa[--tails[s[j]]] = j;
+    }
+  };
+
+  // Stage 1: place LMS positions at bucket tails in text order; induced
+  // sorting then sorts the LMS *substrings* (Nong et al., Theorem 3.12).
+  std::fill(sa, sa + n, -1);
+  compute_tails();
+  for (int32_t i = 1; i < n; ++i) {
+    if (is_lms(i)) sa[--tails[s[i]]] = i;
+  }
+  induce();
+
+  // Compact the sorted LMS positions to the front.
+  int32_t n1 = 0;
+  for (int32_t i = 0; i < n; ++i) {
+    if (sa[i] > 0 && is_lms(sa[i])) sa[n1++] = sa[i];
+  }
+
+  // Name LMS substrings in sorted order; equal substrings share a name.
+  std::fill(sa + n1, sa + n, -1);
+  int32_t names = 0;
+  int32_t prev = -1;
+  for (int32_t i = 0; i < n1; ++i) {
+    const int32_t pos = sa[i];
+    bool differ = (prev < 0);
+    if (!differ) {
+      for (int32_t d = 0;; ++d) {
+        if (s[prev + d] != s[pos + d] || is_s[prev + d] != is_s[pos + d]) {
+          differ = true;
+          break;
+        }
+        if (d > 0 && (is_lms(prev + d) || is_lms(pos + d))) {
+          differ = !(is_lms(prev + d) && is_lms(pos + d));
+          break;
+        }
+      }
+    }
+    if (differ) {
+      ++names;
+      prev = pos;
+    }
+    sa[n1 + pos / 2] = names - 1;  // LMS positions are >= 2 apart
+  }
+  std::vector<int32_t> s1(n1);
+  for (int32_t i = n - 1, j = n1 - 1; i >= n1; --i) {
+    if (sa[i] >= 0) s1[j--] = sa[i];
+  }
+
+  // LMS positions in increasing text order (s1[k] names the k-th of these).
+  std::vector<int32_t> lms_pos;
+  lms_pos.reserve(n1);
+  for (int32_t i = 1; i < n; ++i) {
+    if (is_lms(i)) lms_pos.push_back(i);
+  }
+
+  // Stage 2: order the LMS suffixes, recursing only if names collide.
+  std::vector<int32_t> sa1(n1);
+  if (names < n1) {
+    SaIsCore(s1.data(), sa1.data(), n1, names);
+  } else {
+    for (int32_t i = 0; i < n1; ++i) sa1[s1[i]] = i;
+  }
+
+  // Stage 3: place LMS suffixes in their true order and induce everything.
+  std::fill(sa, sa + n, -1);
+  compute_tails();
+  for (int32_t i = n1 - 1; i >= 0; --i) {
+    const int32_t j = lms_pos[sa1[i]];
+    sa[--tails[s[j]]] = j;
+  }
+  induce();
+}
+
+}  // namespace
+
+std::vector<int32_t> BuildSuffixArray(const std::vector<int32_t>& text,
+                                      int32_t alphabet_size) {
+  const int32_t n = static_cast<int32_t>(text.size());
+  if (n == 0) return {};
+  // Shift every character up by one and append the unique smallest sentinel;
+  // this yields the conventional "shorter prefix sorts first" suffix order.
+  std::vector<int32_t> s(n + 1);
+  for (int32_t i = 0; i < n; ++i) {
+    assert(text[i] >= 0 && text[i] < alphabet_size);
+    s[i] = text[i] + 1;
+  }
+  s[n] = 0;
+  std::vector<int32_t> sa(n + 1);
+  SaIsCore(s.data(), sa.data(), n + 1, alphabet_size + 1);
+  assert(sa[0] == n);
+  return std::vector<int32_t>(sa.begin() + 1, sa.end());
+}
+
+std::vector<int32_t> BuildSuffixArrayNaive(const std::vector<int32_t>& text) {
+  std::vector<int32_t> sa(text.size());
+  std::iota(sa.begin(), sa.end(), 0);
+  std::sort(sa.begin(), sa.end(), [&](int32_t a, int32_t b) {
+    return std::lexicographical_compare(text.begin() + a, text.end(),
+                                        text.begin() + b, text.end());
+  });
+  return sa;
+}
+
+}  // namespace pti

@@ -1,0 +1,31 @@
+// SA-IS: linear-time suffix array construction over integer alphabets.
+//
+// The transformed texts of Section 5 use one distinct sentinel per maximal
+// factor (Section 2.2 of DESIGN.md), so the alphabet is [0, 256 + #factors)
+// and byte-oriented suffix sorters do not apply. SA-IS (Nong, Zhang & Chan,
+// 2009) handles integer alphabets in O(n + sigma) time and space via induced
+// sorting of LMS substrings with recursion on the reduced problem.
+
+#ifndef PTI_SUFFIX_SAIS_H_
+#define PTI_SUFFIX_SAIS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace pti {
+
+/// Builds the suffix array of `text` (values in [0, alphabet_size)).
+/// Returns sa with sa[i] = starting position of the i-th lexicographically
+/// smallest suffix. The text does not need a terminating sentinel; a virtual
+/// unique smallest terminator is appended internally, so the suffix order is
+/// the usual "shorter prefix sorts first" order.
+std::vector<int32_t> BuildSuffixArray(const std::vector<int32_t>& text,
+                                      int32_t alphabet_size);
+
+/// Reference implementation: O(n^2 log n) comparison sort of suffixes.
+/// For tests and tiny inputs only.
+std::vector<int32_t> BuildSuffixArrayNaive(const std::vector<int32_t>& text);
+
+}  // namespace pti
+
+#endif  // PTI_SUFFIX_SAIS_H_

@@ -1,0 +1,251 @@
+#include "suffix/suffix_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace pti {
+namespace {
+
+// Temporary node record used during the LCP-interval stack pass.
+struct TempNode {
+  int32_t parent = -1;
+  int32_t depth = 0;
+  int32_t sa_begin = 0;  // leftmost descendant's SA index
+};
+
+}  // namespace
+
+SuffixTree SuffixTree::Build(const std::vector<int32_t>* text,
+                             int32_t alphabet_size) {
+  return BuildFromSa(text, BuildSuffixArray(*text, alphabet_size));
+}
+
+SuffixTree SuffixTree::BuildFromSa(const std::vector<int32_t>* text,
+                                   std::vector<int32_t> sa) {
+  SuffixTree t;
+  t.text_ = text;
+  t.sa_ = std::move(sa);
+  t.lcp_ = BuildLcpArray(*text, t.sa_);
+  const int32_t n = static_cast<int32_t>(text->size());
+  if (n == 0) {
+    // Degenerate tree: a lone root with an empty suffix range.
+    t.parent_ = {-1};
+    t.depth_ = {0};
+    t.sa_begin_ = {0};
+    t.sa_end_ = {0};
+    t.subtree_end_ = {1};
+    t.child_off_ = {0, 0};
+    return t;
+  }
+
+  // ---- Stack pass: materialize internal nodes from LCP intervals. ----
+  // Parents are assigned when nodes are popped; nodes on the stack form the
+  // rightmost root-to-leaf path with strictly increasing string depth.
+  std::vector<TempNode> tmp;
+  tmp.reserve(2 * static_cast<size_t>(n) + 1);
+  tmp.push_back(TempNode{-1, 0, 0});  // root
+  std::vector<int32_t> stack = {0};
+  for (int32_t i = 0; i < n; ++i) {
+    const int32_t l = (i == 0) ? 0 : t.lcp_[i];
+    const int32_t leaf_depth = n - t.sa_[i];
+    // No suffix is a prefix of another (Text guarantees this), so the new
+    // leaf always hangs strictly below the attach depth.
+    assert(l < leaf_depth);
+    int32_t last = -1;
+    while (tmp[stack.back()].depth > l) {
+      const int32_t x = stack.back();
+      stack.pop_back();
+      if (last >= 0) tmp[last].parent = x;
+      last = x;
+    }
+    if (last >= 0) {
+      const int32_t top = stack.back();
+      if (tmp[top].depth == l) {
+        tmp[last].parent = top;
+      } else {
+        const int32_t v = static_cast<int32_t>(tmp.size());
+        tmp.push_back(TempNode{-1, l, tmp[last].sa_begin});
+        tmp[last].parent = v;
+        stack.push_back(v);
+      }
+    }
+    const int32_t leaf = static_cast<int32_t>(tmp.size());
+    tmp.push_back(TempNode{-1, leaf_depth, i});
+    stack.push_back(leaf);
+  }
+  // Drain the stack, attaching each node to the one below it.
+  while (stack.size() > 1) {
+    const int32_t x = stack.back();
+    stack.pop_back();
+    tmp[x].parent = stack.back();
+  }
+
+  const int32_t num = static_cast<int32_t>(tmp.size());
+
+  // ---- Children lists (CSR over temp ids), sorted by sa_begin, which is
+  // exactly lexicographic order of the child edges. ----
+  std::vector<int32_t> ccount(num + 1, 0);
+  for (int32_t v = 1; v < num; ++v) ccount[tmp[v].parent + 1]++;
+  std::vector<int32_t> coff(num + 1, 0);
+  for (int32_t v = 0; v < num; ++v) coff[v + 1] = coff[v] + ccount[v + 1];
+  std::vector<int32_t> clist(num - 1 >= 0 ? num - 1 : 0);
+  {
+    std::vector<int32_t> fill = coff;
+    for (int32_t v = 1; v < num; ++v) clist[fill[tmp[v].parent]++] = v;
+  }
+  for (int32_t v = 0; v < num; ++v) {
+    std::sort(clist.begin() + coff[v], clist.begin() + coff[v + 1],
+              [&](int32_t a, int32_t b) {
+                return tmp[a].sa_begin < tmp[b].sa_begin;
+              });
+  }
+
+  // ---- Preorder renumbering + final arrays. ----
+  t.parent_.assign(num, -1);
+  t.depth_.assign(num, 0);
+  t.sa_begin_.assign(num, 0);
+  t.sa_end_.assign(num, 0);
+  t.subtree_end_.assign(num, 0);
+  t.leaf_of_sa_.assign(n, -1);
+  std::vector<int32_t> new_id(num, -1);
+  std::vector<int32_t> order;  // temp ids in preorder
+  order.reserve(num);
+  // Iterative DFS; stack holds (temp id); children pushed in reverse so the
+  // lexicographically first child is visited first.
+  std::vector<int32_t> dfs = {0};
+  while (!dfs.empty()) {
+    const int32_t v = dfs.back();
+    dfs.pop_back();
+    new_id[v] = static_cast<int32_t>(order.size());
+    order.push_back(v);
+    for (int32_t k = coff[v + 1] - 1; k >= coff[v]; --k) {
+      dfs.push_back(clist[k]);
+    }
+  }
+  assert(static_cast<int32_t>(order.size()) == num);
+  for (int32_t r = 0; r < num; ++r) {
+    const int32_t v = order[r];
+    t.parent_[r] = tmp[v].parent < 0 ? -1 : new_id[tmp[v].parent];
+    t.depth_[r] = tmp[v].depth;
+    t.sa_begin_[r] = tmp[v].sa_begin;
+  }
+  // subtree_end and sa_end in reverse preorder: a node's subtree ends where
+  // its last child's does (or right after itself for leaves).
+  for (int32_t r = num - 1; r >= 0; --r) {
+    const int32_t v = order[r];
+    if (coff[v + 1] == coff[v]) {  // leaf
+      t.subtree_end_[r] = r + 1;
+      t.sa_end_[r] = t.sa_begin_[r] + 1;
+      t.leaf_of_sa_[t.sa_begin_[r]] = r;
+    } else {
+      const int32_t last_child = new_id[clist[coff[v + 1] - 1]];
+      t.subtree_end_[r] = t.subtree_end_[last_child];
+      t.sa_end_[r] = t.sa_end_[last_child];
+    }
+  }
+
+  // ---- Child CSR in final ids with cached first edge characters. ----
+  t.child_off_.assign(num + 1, 0);
+  for (int32_t r = 0; r < num; ++r) {
+    t.child_off_[r + 1] =
+        t.child_off_[r] + (coff[order[r] + 1] - coff[order[r]]);
+  }
+  t.child_char_.assign(t.child_off_[num], 0);
+  t.child_node_.assign(t.child_off_[num], 0);
+  for (int32_t r = 0; r < num; ++r) {
+    const int32_t v = order[r];
+    int32_t at = t.child_off_[r];
+    for (int32_t k = coff[v]; k < coff[v + 1]; ++k, ++at) {
+      const int32_t c = new_id[clist[k]];
+      t.child_node_[at] = c;
+      t.child_char_[at] = (*text)[t.sa_[t.sa_begin_[c]] + t.depth_[r]];
+    }
+  }
+  return t;
+}
+
+int32_t SuffixTree::FindChild(int32_t v, int32_t c) const {
+  const int32_t lo = child_off_[v];
+  const int32_t hi = child_off_[v + 1];
+  const auto begin = child_char_.begin() + lo;
+  const auto end = child_char_.begin() + hi;
+  const auto it = std::lower_bound(begin, end, c);
+  if (it == end || *it != c) return -1;
+  return child_node_[lo + static_cast<int32_t>(it - begin)];
+}
+
+std::optional<SuffixRange> SuffixTree::FindRange(
+    const std::vector<int32_t>& pattern) const {
+  const int32_t m = static_cast<int32_t>(pattern.size());
+  int32_t v = root();
+  int32_t matched = 0;
+  while (matched < m) {
+    const int32_t c = FindChild(v, pattern[matched]);
+    if (c < 0) return std::nullopt;
+    // Compare the remainder of the edge label.
+    const int32_t edge_end = std::min(depth_[c], m);
+    const int32_t base = sa_[sa_begin_[c]];
+    for (int32_t k = matched + 1; k < edge_end; ++k) {
+      if ((*text_)[base + k] != pattern[k]) return std::nullopt;
+    }
+    matched = edge_end;
+    v = c;
+  }
+  return SuffixRange{v, sa_begin_[v], sa_end_[v]};
+}
+
+void SuffixTree::BuildLcaSupport() {
+  if (euler_rmq_.has_value()) return;
+  const int32_t num = num_nodes();
+  euler_first_.assign(num, -1);
+  euler_node_.clear();
+  euler_node_.reserve(2 * static_cast<size_t>(num));
+  // Euler tour: visit node, recurse into child, revisit node.
+  // Iterative with explicit child cursor.
+  std::vector<std::pair<int32_t, int32_t>> stack;  // (node, next child slot)
+  stack.emplace_back(root(), 0);
+  if (num == 0) return;
+  euler_first_[root()] = 0;
+  euler_node_.push_back(root());
+  while (!stack.empty()) {
+    auto& [v, k] = stack.back();
+    if (k < num_children(v)) {
+      const int32_t c = child_at(v, k);
+      ++k;
+      euler_first_[c] = static_cast<int32_t>(euler_node_.size());
+      euler_node_.push_back(c);
+      stack.emplace_back(c, 0);
+    } else {
+      stack.pop_back();
+      if (!stack.empty()) euler_node_.push_back(stack.back().first);
+    }
+  }
+  euler_rmq_.emplace(EulerDepthFn{euler_node_.data(), depth_.data()},
+                     euler_node_.size());
+}
+
+int32_t SuffixTree::Lca(int32_t u, int32_t v) const {
+  assert(euler_rmq_.has_value() && "call BuildLcaSupport() first");
+  if (u == v) return u;
+  size_t a = euler_first_[u];
+  size_t b = euler_first_[v];
+  if (a > b) std::swap(a, b);
+  return euler_node_[euler_rmq_->ArgMax(a, b)];
+}
+
+size_t SuffixTree::MemoryUsage() const {
+  auto vec_bytes = [](const auto& v) {
+    return v.capacity() * sizeof(typename std::decay_t<decltype(v)>::value_type);
+  };
+  size_t bytes = vec_bytes(sa_) + vec_bytes(lcp_) + vec_bytes(parent_) +
+                 vec_bytes(depth_) + vec_bytes(sa_begin_) + vec_bytes(sa_end_) +
+                 vec_bytes(subtree_end_) + vec_bytes(leaf_of_sa_) +
+                 vec_bytes(child_off_) + vec_bytes(child_char_) +
+                 vec_bytes(child_node_) + vec_bytes(euler_node_) +
+                 vec_bytes(euler_first_);
+  if (euler_rmq_) bytes += euler_rmq_->MemoryUsage();
+  return bytes;
+}
+
+}  // namespace pti

@@ -1,0 +1,134 @@
+// SuffixTree: compact suffix tree built from a suffix array + LCP array.
+//
+// Construction is O(n): SA-IS, Kasai, then one stack pass turning LCP
+// intervals into internal nodes. Nodes are renumbered in lexicographic
+// preorder, which makes subtree tests trivial (subtree(v) = ids
+// [v, subtree_end(v))) — the approximate index of Section 7 leans on this for
+// its link-stabbing predicate.
+//
+// Requirements on the text: no suffix may be a prefix of another (the Text
+// class guarantees this by terminating every member with a unique sentinel).
+
+#ifndef PTI_SUFFIX_SUFFIX_TREE_H_
+#define PTI_SUFFIX_SUFFIX_TREE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "rmq/block_rmq.h"
+#include "suffix/lcp.h"
+#include "suffix/sais.h"
+
+namespace pti {
+
+/// Result of a pattern search: the locus node and its suffix-array range.
+struct SuffixRange {
+  int32_t locus = -1;
+  int32_t begin = 0;  ///< first SA index whose suffix has the pattern prefix
+  int32_t end = 0;    ///< one past the last such SA index
+  bool empty() const { return begin >= end; }
+  int32_t count() const { return end - begin; }
+};
+
+class SuffixTree {
+ public:
+  SuffixTree() = default;
+
+  /// Builds over `text` (values in [0, alphabet_size)). The text is borrowed
+  /// and must outlive the tree.
+  static SuffixTree Build(const std::vector<int32_t>* text,
+                          int32_t alphabet_size);
+
+  /// Same but reusing a precomputed suffix array.
+  static SuffixTree BuildFromSa(const std::vector<int32_t>* text,
+                                std::vector<int32_t> sa);
+
+  // ---- Topology. Node ids are preorder ranks; root is 0. ----
+
+  int32_t num_nodes() const { return static_cast<int32_t>(depth_.size()); }
+  int32_t root() const { return 0; }
+  int32_t parent(int32_t v) const { return parent_[v]; }
+  /// String depth: number of characters on the root-to-v path.
+  int32_t depth(int32_t v) const { return depth_[v]; }
+  /// Suffix-array interval [sa_begin, sa_end) of the leaves below v.
+  int32_t sa_begin(int32_t v) const { return sa_begin_[v]; }
+  int32_t sa_end(int32_t v) const { return sa_end_[v]; }
+  /// One past the largest preorder id in v's subtree.
+  int32_t subtree_end(int32_t v) const { return subtree_end_[v]; }
+  bool is_leaf(int32_t v) const { return sa_end_[v] - sa_begin_[v] == 1; }
+  /// Node id of the leaf for suffix-array position i.
+  int32_t leaf_node(int32_t sa_pos) const { return leaf_of_sa_[sa_pos]; }
+  /// True iff u is an ancestor of v (or u == v).
+  bool IsAncestor(int32_t u, int32_t v) const {
+    return u <= v && v < subtree_end_[u];
+  }
+
+  // ---- Children (sorted by first edge character). ----
+
+  int32_t num_children(int32_t v) const {
+    return child_off_[v + 1] - child_off_[v];
+  }
+  int32_t child_at(int32_t v, int32_t k) const {
+    return child_node_[child_off_[v] + k];
+  }
+  /// Child of v whose edge starts with character c, or -1.
+  int32_t FindChild(int32_t v, int32_t c) const;
+
+  // ---- Search. ----
+
+  /// Finds the locus and SA range of `pattern`. Returns nullopt when the
+  /// pattern does not occur. An empty pattern yields the root / full range.
+  std::optional<SuffixRange> FindRange(const std::vector<int32_t>& pattern)
+      const;
+
+  // ---- Lowest common ancestor (Euler tour + RMQ). ----
+
+  /// Must be called once before Lca(); idempotent.
+  void BuildLcaSupport();
+  int32_t Lca(int32_t u, int32_t v) const;
+
+  // ---- Underlying arrays. ----
+
+  const std::vector<int32_t>& sa() const { return sa_; }
+  const std::vector<int32_t>& lcp() const { return lcp_; }
+  const std::vector<int32_t>& text() const { return *text_; }
+
+  size_t MemoryUsage() const;
+
+ private:
+  // Captures the vectors' heap buffers (stable across moves of the tree —
+  // euler_node_ and depth_ are never resized after BuildLcaSupport), never
+  // `this`, so a tree with LCA support stays safely movable.
+  struct EulerDepthFn {
+    const int32_t* euler_node;
+    const int32_t* depth;
+    double operator()(size_t k) const {
+      // Max-RMQ engine; negate so the shallowest node wins.
+      return -static_cast<double>(depth[euler_node[k]]);
+    }
+  };
+
+  const std::vector<int32_t>* text_ = nullptr;
+  std::vector<int32_t> sa_;
+  std::vector<int32_t> lcp_;
+
+  std::vector<int32_t> parent_;
+  std::vector<int32_t> depth_;
+  std::vector<int32_t> sa_begin_;
+  std::vector<int32_t> sa_end_;
+  std::vector<int32_t> subtree_end_;
+  std::vector<int32_t> leaf_of_sa_;
+
+  std::vector<int32_t> child_off_;
+  std::vector<int32_t> child_char_;
+  std::vector<int32_t> child_node_;
+
+  std::vector<int32_t> euler_node_;
+  std::vector<int32_t> euler_first_;
+  std::optional<BlockRmq<EulerDepthFn>> euler_rmq_;
+};
+
+}  // namespace pti
+
+#endif  // PTI_SUFFIX_SUFFIX_TREE_H_

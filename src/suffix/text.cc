@@ -1,0 +1,71 @@
+#include "suffix/text.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pti {
+
+int32_t Text::AppendMember(const std::string& member) {
+  for (const char c : member) {
+    chars_.push_back(static_cast<int32_t>(static_cast<unsigned char>(c)));
+  }
+  chars_.push_back(kByteAlphabet + num_members_);
+  starts_.push_back(static_cast<int64_t>(chars_.size()));
+  return num_members_++;
+}
+
+int32_t Text::AppendMember(const std::vector<int32_t>& member) {
+  for (const int32_t c : member) {
+    assert(c >= 0 && c < kByteAlphabet);
+    chars_.push_back(c);
+  }
+  chars_.push_back(kByteAlphabet + num_members_);
+  starts_.push_back(static_cast<int64_t>(chars_.size()));
+  return num_members_++;
+}
+
+int32_t Text::MemberOf(size_t pos) const {
+  assert(pos < chars_.size());
+  // starts_ is sorted; find the member whose [start, next start) covers pos.
+  auto it = std::upper_bound(starts_.begin(), starts_.end(),
+                             static_cast<int64_t>(pos));
+  return static_cast<int32_t>(it - starts_.begin()) - 1;
+}
+
+StatusOr<Text> Text::FromRaw(std::vector<int32_t> chars,
+                             std::vector<int64_t> starts) {
+  if (starts.empty() || starts.front() != 0 ||
+      starts.back() != static_cast<int64_t>(chars.size())) {
+    return Status::Corruption("text member starts malformed");
+  }
+  const int32_t members = static_cast<int32_t>(starts.size()) - 1;
+  for (int32_t m = 0; m < members; ++m) {
+    if (starts[m + 1] <= starts[m]) {
+      return Status::Corruption("text member starts not increasing");
+    }
+    for (int64_t i = starts[m]; i + 1 < starts[m + 1]; ++i) {
+      if (chars[i] < 0 || chars[i] >= kByteAlphabet) {
+        return Status::Corruption("text character out of byte range");
+      }
+    }
+    if (chars[starts[m + 1] - 1] != kByteAlphabet + m) {
+      return Status::Corruption("text member sentinel mismatch");
+    }
+  }
+  Text t;
+  t.chars_ = std::move(chars);
+  t.starts_ = std::move(starts);
+  t.num_members_ = members;
+  return t;
+}
+
+std::vector<int32_t> Text::MapPattern(const std::string& pattern) {
+  std::vector<int32_t> out;
+  out.reserve(pattern.size());
+  for (const char c : pattern) {
+    out.push_back(static_cast<int32_t>(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+}  // namespace pti

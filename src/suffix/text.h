@@ -1,0 +1,82 @@
+// Text: an integer-alphabet text assembled from members separated by unique
+// sentinels.
+//
+// Both the factor-transformed string of Section 5 (members = maximal factors)
+// and the document collection of Section 6 (members = transformed documents)
+// need a generalized suffix structure in which no suffix crosses a member
+// boundary and no suffix is a prefix of another. Giving every member its own
+// sentinel value (>= 256, above the byte alphabet) provides both properties,
+// which is what lets a plain suffix tree stand in for the paper's property
+// suffix tree (see DESIGN.md section 5).
+
+#ifndef PTI_SUFFIX_TEXT_H_
+#define PTI_SUFFIX_TEXT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace pti {
+
+/// Byte characters occupy [0, 256); sentinel k (after member k) is 256 + k.
+class Text {
+ public:
+  static constexpr int32_t kByteAlphabet = 256;
+
+  /// Appends the bytes of `member` followed by a fresh unique sentinel.
+  /// Returns the member's index.
+  int32_t AppendMember(const std::string& member);
+
+  /// Same, from pre-mapped character values in [0, 256).
+  int32_t AppendMember(const std::vector<int32_t>& member);
+
+  /// All characters including sentinels.
+  const std::vector<int32_t>& chars() const { return chars_; }
+  size_t size() const { return chars_.size(); }
+
+  int32_t num_members() const { return num_members_; }
+
+  /// Total alphabet size including sentinels (for suffix sorting).
+  int32_t alphabet_size() const { return kByteAlphabet + num_members_; }
+
+  bool IsSentinel(size_t pos) const { return chars_[pos] >= kByteAlphabet; }
+
+  /// Index of the member containing text position `pos` (sentinels belong to
+  /// the member they terminate). O(log #members).
+  int32_t MemberOf(size_t pos) const;
+
+  /// First text position of member m.
+  size_t MemberBegin(int32_t m) const { return m == 0 ? 0 : starts_[m]; }
+
+  /// Position of member m's sentinel (one past its last real character).
+  size_t MemberEnd(int32_t m) const { return starts_[m + 1] - 1; }
+
+  /// Maps a byte pattern to integer characters (never matches sentinels).
+  static std::vector<int32_t> MapPattern(const std::string& pattern);
+
+  /// Member start offsets; entry m is the first position of member m, with
+  /// one extra trailing entry equal to size(). For serialization.
+  const std::vector<int64_t>& member_starts() const { return starts_; }
+
+  /// Reconstructs a Text from serialized raw arrays, validating the sentinel
+  /// structure (used by index Load()).
+  static StatusOr<Text> FromRaw(std::vector<int32_t> chars,
+                                std::vector<int64_t> starts);
+
+  size_t MemoryUsage() const {
+    return chars_.capacity() * sizeof(int32_t) +
+           starts_.capacity() * sizeof(int64_t);
+  }
+
+ private:
+  std::vector<int32_t> chars_;
+  // starts_[m] = first position of member m; one extra entry = size().
+  std::vector<int64_t> starts_ = {0};
+  int32_t num_members_ = 0;
+};
+
+}  // namespace pti
+
+#endif  // PTI_SUFFIX_TEXT_H_

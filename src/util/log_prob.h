@@ -1,0 +1,100 @@
+// LogProb: probabilities kept in natural-log space.
+//
+// The index multiplies probabilities along substrings of texts that are
+// millions of characters long; the paper's global prefix-product array C would
+// underflow IEEE doubles after a few thousand characters. We therefore store
+// log-probabilities and turn range products into differences of prefix sums.
+// The paper's "multiply by a sufficiently large number and build the RMQ over
+// integers" device is unnecessary: our RMQ engines compare doubles directly at
+// construction time and then discard the array.
+
+#ifndef PTI_UTIL_LOG_PROB_H_
+#define PTI_UTIL_LOG_PROB_H_
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace pti {
+
+/// A probability in [0,1] represented as its natural log in [-inf, 0].
+/// Multiplication of probabilities is addition of LogProbs; the ordering of
+/// LogProbs matches the ordering of the underlying probabilities.
+class LogProb {
+ public:
+  /// Probability 1 (log 0).
+  constexpr LogProb() : log_(0.0) {}
+
+  /// The impossible event; also used as the "deleted entry" RMQ sentinel.
+  static constexpr LogProb Zero() {
+    return LogProb(-std::numeric_limits<double>::infinity());
+  }
+  /// The certain event.
+  static constexpr LogProb One() { return LogProb(0.0); }
+
+  /// From a linear-space probability p in [0,1].
+  static LogProb FromLinear(double p) {
+    assert(p >= 0.0 && p <= 1.0 + 1e-12);
+    if (p <= 0.0) return Zero();
+    if (p >= 1.0) return One();
+    return LogProb(std::log(p));
+  }
+
+  /// From a raw log-space value (must be <= 0 or -inf).
+  static constexpr LogProb FromLog(double log_p) { return LogProb(log_p); }
+
+  /// Back to linear space. Exact enough for reporting; all *decisions* in the
+  /// library are made in log space.
+  double ToLinear() const { return std::exp(log_); }
+
+  /// Raw log value.
+  double log() const { return log_; }
+
+  bool IsZero() const { return std::isinf(log_) && log_ < 0; }
+
+  /// Product of the underlying probabilities.
+  friend LogProb operator*(LogProb a, LogProb b) {
+    if (a.IsZero() || b.IsZero()) return Zero();
+    return LogProb(a.log_ + b.log_);
+  }
+  LogProb& operator*=(LogProb o) {
+    *this = *this * o;
+    return *this;
+  }
+
+  /// Quotient; caller guarantees b divides a sensibly (b != 0).
+  friend LogProb operator/(LogProb a, LogProb b) {
+    assert(!b.IsZero());
+    if (a.IsZero()) return Zero();
+    return LogProb(a.log_ - b.log_);
+  }
+
+  friend bool operator==(LogProb a, LogProb b) { return a.log_ == b.log_; }
+  friend bool operator!=(LogProb a, LogProb b) { return !(a == b); }
+  friend bool operator<(LogProb a, LogProb b) { return a.log_ < b.log_; }
+  friend bool operator<=(LogProb a, LogProb b) { return a.log_ <= b.log_; }
+  friend bool operator>(LogProb a, LogProb b) { return a.log_ > b.log_; }
+  friend bool operator>=(LogProb a, LogProb b) { return a.log_ >= b.log_; }
+
+  /// Threshold test used uniformly across indexes and oracles so that both
+  /// sides of every cross-validation agree bit-for-bit. A tiny relative slack
+  /// absorbs the rounding from prefix-sum differences: the chain
+  /// C[b]-C[a-1] may differ from a direct summation in the last few ulps.
+  bool MeetsThreshold(LogProb tau) const {
+    if (IsZero()) return tau.IsZero();
+    if (tau.IsZero()) return true;
+    return log_ >= tau.log_ - kThresholdSlack;
+  }
+
+  /// Absolute slack, in log space, for MeetsThreshold. ~1e-9 relative.
+  static constexpr double kThresholdSlack = 1e-9;
+
+ private:
+  explicit constexpr LogProb(double log_p) : log_(log_p) {}
+
+  double log_;
+};
+
+}  // namespace pti
+
+#endif  // PTI_UTIL_LOG_PROB_H_

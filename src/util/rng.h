@@ -1,0 +1,136 @@
+// Rng: deterministic pseudo-random numbers for dataset generation and tests.
+//
+// std::mt19937_64 is portable, but the standard *distributions* are
+// implementation-defined, which would make datasets differ across standard
+// libraries. We implement the few distributions we need (uniform ints/doubles,
+// clamped normal via Box-Muller) on top of splitmix64/xoshiro256** so the same
+// seed reproduces the same dataset everywhere.
+
+#ifndef PTI_UTIL_RNG_H_
+#define PTI_UTIL_RNG_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace pti {
+
+/// xoshiro256** seeded through splitmix64. Deterministic across platforms.
+class Rng {
+ public:
+  /// Seeds the full 256-bit state from a single 64-bit seed via splitmix64.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    uint64_t x = seed;
+    for (auto& s : state_) s = SplitMix64(&x);
+  }
+
+  /// Next raw 64 random bits.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0. (Lemire's method with
+  /// rejection for exact uniformity.)
+  uint64_t Uniform(uint64_t bound) {
+    assert(bound > 0);
+    uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    uint64_t l = static_cast<uint64_t>(m);
+    if (l < bound) {
+      uint64_t t = -bound % bound;
+      while (l < t) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * bound;
+        l = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    return lo + (hi - lo) * UniformDouble();
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Standard normal via Box-Muller (one value per call; the pair's second
+  /// value is cached).
+  double Normal() {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u1 = UniformDouble();
+    double u2 = UniformDouble();
+    while (u1 <= 1e-300) u1 = UniformDouble();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cached_ = r * std::sin(theta);
+    has_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+  /// Normal(mean, stddev) clamped into [lo, hi] — the paper's "approximately
+  /// normal in [20,45]" string-length distribution.
+  double ClampedNormal(double mean, double stddev, double lo, double hi) {
+    double v = mean + stddev * Normal();
+    if (v < lo) v = lo;
+    if (v > hi) v = hi;
+    return v;
+  }
+
+  /// Picks an index in [0, weights.size()) with probability proportional to
+  /// weights[i]. Weights must be non-negative with positive sum.
+  size_t Discrete(const std::vector<double>& weights) {
+    double total = 0;
+    for (double w : weights) total += w;
+    assert(total > 0);
+    double x = UniformDouble() * total;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      x -= weights[i];
+      if (x < 0) return i;
+    }
+    return weights.size() - 1;
+  }
+
+ private:
+  static uint64_t SplitMix64(uint64_t* x) {
+    uint64_t z = (*x += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+  double cached_ = 0;
+  bool has_cached_ = false;
+};
+
+}  // namespace pti
+
+#endif  // PTI_UTIL_RNG_H_

@@ -1,0 +1,128 @@
+// Binary serialization for index persistence.
+//
+// Little-endian fixed-width primitives plus length-prefixed containers,
+// wrapped in a (magic, version) envelope per top-level object. Readers are
+// bounds-checked and return Status::Corruption instead of reading past the
+// end, so truncated or garbage files fail cleanly (exercised by the
+// failure-injection tests).
+
+#ifndef PTI_UTIL_SERIAL_H_
+#define PTI_UTIL_SERIAL_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "util/status.h"
+
+namespace pti {
+
+/// Appends primitives and containers to a byte buffer.
+class Writer {
+ public:
+  /// Serialized bytes so far.
+  const std::string& data() const { return buf_; }
+  std::string&& Take() { return std::move(buf_); }
+
+  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+
+  void PutU32(uint32_t v) { PutRaw(&v, sizeof(v)); }
+  void PutU64(uint64_t v) { PutRaw(&v, sizeof(v)); }
+  void PutI64(int64_t v) { PutRaw(&v, sizeof(v)); }
+  void PutDouble(double v) { PutRaw(&v, sizeof(v)); }
+
+  /// Length-prefixed byte string.
+  void PutString(const std::string& s) {
+    PutU64(s.size());
+    buf_.append(s);
+  }
+
+  /// Length-prefixed vector of a trivially copyable element type.
+  template <typename T>
+  void PutVector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    PutU64(v.size());
+    if (!v.empty()) PutRaw(v.data(), v.size() * sizeof(T));
+  }
+
+ private:
+  void PutRaw(const void* p, size_t n) {
+    buf_.append(reinterpret_cast<const char*>(p), n);
+  }
+
+  std::string buf_;
+};
+
+/// Bounds-checked reader over a byte buffer. All Get* methods return
+/// Corruption on underflow and leave the output untouched.
+class Reader {
+ public:
+  explicit Reader(const std::string& data) : data_(data) {}
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+  Status GetU8(uint8_t* v) { return GetRaw(v, sizeof(*v)); }
+  Status GetU32(uint32_t* v) { return GetRaw(v, sizeof(*v)); }
+  Status GetU64(uint64_t* v) { return GetRaw(v, sizeof(*v)); }
+  Status GetI64(int64_t* v) { return GetRaw(v, sizeof(*v)); }
+  Status GetDouble(double* v) { return GetRaw(v, sizeof(*v)); }
+
+  Status GetString(std::string* s) {
+    uint64_t n = 0;
+    PTI_RETURN_IF_ERROR(GetU64(&n));
+    if (n > remaining()) return Status::Corruption("string length overruns buffer");
+    s->assign(data_.data() + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  template <typename T>
+  Status GetVector(std::vector<T>* v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    uint64_t n = 0;
+    PTI_RETURN_IF_ERROR(GetU64(&n));
+    if (n > remaining() / sizeof(T)) {
+      return Status::Corruption("vector length overruns buffer");
+    }
+    v->resize(n);
+    if (n > 0) return GetRaw(v->data(), n * sizeof(T));
+    return Status::OK();
+  }
+
+ private:
+  Status GetRaw(void* p, size_t n) {
+    if (n > remaining()) return Status::Corruption("read past end of buffer");
+    std::memcpy(p, data_.data() + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  const std::string& data_;
+  size_t pos_ = 0;
+};
+
+/// Writes the standard (magic, version) envelope header.
+inline void PutEnvelope(Writer* w, uint32_t magic, uint32_t version) {
+  w->PutU32(magic);
+  w->PutU32(version);
+}
+
+/// Validates the envelope header; max_version gates forward compatibility.
+inline Status CheckEnvelope(Reader* r, uint32_t magic, uint32_t max_version,
+                            uint32_t* version) {
+  uint32_t m = 0;
+  PTI_RETURN_IF_ERROR(r->GetU32(&m));
+  if (m != magic) return Status::Corruption("bad magic number");
+  PTI_RETURN_IF_ERROR(r->GetU32(version));
+  if (*version == 0 || *version > max_version) {
+    return Status::Corruption("unsupported format version");
+  }
+  return Status::OK();
+}
+
+}  // namespace pti
+
+#endif  // PTI_UTIL_SERIAL_H_

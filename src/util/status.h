@@ -1,0 +1,147 @@
+// Status: RocksDB-style error propagation for the pti library.
+//
+// The public API of pti never throws; fallible operations return a Status (or
+// a StatusOr<T> when they produce a value). Statuses are cheap to copy in the
+// OK case and carry a message otherwise.
+
+#ifndef PTI_UTIL_STATUS_H_
+#define PTI_UTIL_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+
+namespace pti {
+
+/// Outcome of a fallible pti operation. Inspect with ok() / code(); the
+/// message() is for humans and never part of the API contract.
+class Status {
+ public:
+  /// Machine-readable category of a failure.
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument = 1,
+    kNotFound = 2,
+    kCorruption = 3,
+    kNotSupported = 4,
+    kResourceExhausted = 5,
+    kIOError = 6,
+  };
+
+  /// Default-constructed Status is success.
+  Status() : code_(Code::kOk) {}
+
+  /// Success value.
+  static Status OK() { return Status(); }
+  /// Caller passed something inconsistent (bad pdf, tau < tau_min, ...).
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  /// Requested entity does not exist.
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  /// Persistent data failed validation (bad magic, truncation, ...).
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  /// Valid request that this build/configuration cannot serve.
+  static Status NotSupported(std::string msg) {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  /// A configured limit (e.g. TransformOptions::max_total_length) was hit.
+  static Status ResourceExhausted(std::string msg) {
+    return Status(Code::kResourceExhausted, std::move(msg));
+  }
+  /// Underlying I/O failed.
+  static Status IOError(std::string msg) {
+    return Status(Code::kIOError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsResourceExhausted() const { return code_ == Code::kResourceExhausted; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<category>: <message>" for logs and test failure output.
+  std::string ToString() const {
+    switch (code_) {
+      case Code::kOk:
+        return "OK";
+      case Code::kInvalidArgument:
+        return "InvalidArgument: " + msg_;
+      case Code::kNotFound:
+        return "NotFound: " + msg_;
+      case Code::kCorruption:
+        return "Corruption: " + msg_;
+      case Code::kNotSupported:
+        return "NotSupported: " + msg_;
+      case Code::kResourceExhausted:
+        return "ResourceExhausted: " + msg_;
+      case Code::kIOError:
+        return "IOError: " + msg_;
+    }
+    return "Unknown";
+  }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  Code code_;
+  std::string msg_;
+};
+
+/// Value-or-Status, for factory functions. Deliberately minimal: check ok()
+/// before dereferencing; value access on a failed StatusOr asserts.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from a failure Status (must not be OK).
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok());
+  }
+  /// Implicit from a value; Status is OK.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return value_;
+  }
+  T& value() & {
+    assert(ok());
+    return value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+/// Propagate a non-OK Status to the caller.
+#define PTI_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::pti::Status _pti_status = (expr);      \
+    if (!_pti_status.ok()) return _pti_status; \
+  } while (0)
+
+}  // namespace pti
+
+#endif  // PTI_UTIL_STATUS_H_

@@ -1,0 +1,113 @@
+// Tests for the bioinformatics adapters: FASTQ parsing, Phred -> probability
+// conversion, IUPAC ambiguity codes.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bio/bio.h"
+#include "core/brute_force.h"
+
+namespace pti {
+namespace {
+
+constexpr char kFastq[] =
+    "@read1\n"
+    "ACGT\n"
+    "+\n"
+    "IIII\n"
+    "@read2 description\n"
+    "GGNA\n"
+    "+read2\n"
+    "I5!I\n";
+
+TEST(FastqTest, ParsesRecords) {
+  const auto records = ParseFastq(kFastq);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[0].id, "read1");
+  EXPECT_EQ((*records)[0].sequence, "ACGT");
+  EXPECT_EQ((*records)[0].quality, "IIII");
+  EXPECT_EQ((*records)[1].id, "read2 description");
+}
+
+TEST(FastqTest, RejectsMalformed) {
+  EXPECT_TRUE(ParseFastq("ACGT\n+\nIIII\n").status().IsCorruption());
+  EXPECT_TRUE(ParseFastq("@x\nACGT\n").status().IsCorruption());
+  EXPECT_TRUE(ParseFastq("@x\nACGT\nIIII\nIIII\n").status().IsCorruption());
+  EXPECT_TRUE(ParseFastq("@x\nACGT\n+\nIII\n").status().IsCorruption());
+  EXPECT_TRUE(ParseFastq("").ok());  // empty file: zero records
+}
+
+TEST(FastqTest, PhredConversion) {
+  // 'I' = Q40 => error 1e-4; '5' = Q20 => 1e-2; '!' = Q0 => error 1.
+  const auto records = ParseFastq(kFastq);
+  ASSERT_TRUE(records.ok());
+  const auto s = FastqToUncertain((*records)[0]);
+  ASSERT_TRUE(s.ok());
+  ASSERT_EQ(s->size(), 4);
+  EXPECT_NEAR(s->BaseProb(0, 'A'), 1.0 - 1e-4, 1e-12);
+  EXPECT_NEAR(s->BaseProb(0, 'C'), 1e-4 / 3.0, 1e-12);
+  EXPECT_TRUE(s->Validate().ok());
+
+  const auto s2 = FastqToUncertain((*records)[1]);
+  ASSERT_TRUE(s2.ok());
+  // Position 2 is 'N': uniform.
+  EXPECT_NEAR(s2->BaseProb(2, 'A'), 0.25, 1e-12);
+  EXPECT_NEAR(s2->BaseProb(2, 'T'), 0.25, 1e-12);
+  // Position 1: Q20 on 'G'.
+  EXPECT_NEAR(s2->BaseProb(1, 'G'), 0.99, 1e-12);
+}
+
+TEST(FastqTest, RejectsBadBasesAndQualities) {
+  FastqRecord rec{"x", "AXGT", "IIII"};
+  EXPECT_TRUE(FastqToUncertain(rec).status().IsInvalidArgument());
+  FastqRecord rec2{"x", "ACGT", std::string("II") + '\x01' + "I"};
+  EXPECT_TRUE(FastqToUncertain(rec2).status().IsInvalidArgument());
+}
+
+TEST(FastqTest, QualityAwareSearchFindsMotif) {
+  // High-quality read: searching the read's own sequence succeeds with high
+  // probability; a corrupted motif does not.
+  FastqRecord rec{"r", "ACGTACGTAC", "IIIIIIIIII"};
+  const auto s = FastqToUncertain(rec);
+  ASSERT_TRUE(s.ok());
+  const auto hits = BruteForceSearch(*s, "GTAC", 0.9);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].position, 2);
+  EXPECT_EQ(hits[1].position, 6);
+  EXPECT_TRUE(BruteForceSearch(*s, "GTAA", 0.5).empty());
+}
+
+TEST(IupacTest, CodesExpandToUniformSets) {
+  const auto s = IupacToUncertain("ARN");
+  ASSERT_TRUE(s.ok());
+  ASSERT_EQ(s->size(), 3);
+  EXPECT_EQ(s->options(0).size(), 1u);
+  EXPECT_NEAR(s->BaseProb(1, 'A'), 0.5, 1e-12);
+  EXPECT_NEAR(s->BaseProb(1, 'G'), 0.5, 1e-12);
+  EXPECT_EQ(s->BaseProb(1, 'C'), 0.0);
+  EXPECT_NEAR(s->BaseProb(2, 'T'), 0.25, 1e-12);
+  EXPECT_TRUE(s->Validate().ok());
+}
+
+TEST(IupacTest, LowercaseAccepted) {
+  const auto s = IupacToUncertain("acgtn");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->size(), 5);
+}
+
+TEST(IupacTest, RejectsUnknownCode) {
+  EXPECT_TRUE(IupacToUncertain("ACGX").status().IsInvalidArgument());
+}
+
+TEST(IupacTest, ThreeWaySetsSumToOne) {
+  const auto s = IupacToUncertain("B");
+  ASSERT_TRUE(s.ok());
+  double sum = 0;
+  for (const auto& opt : s->options(0)) sum += opt.prob;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace pti

@@ -1,0 +1,125 @@
+// Tests for the brute-force oracles themselves — the trust anchor of every
+// cross-validation suite. Validated from first principles against exhaustive
+// possible-world enumeration and hand-computed examples.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/brute_force.h"
+#include "test_util.h"
+
+namespace pti {
+namespace {
+
+TEST(BruteForceTest, MatchesPossibleWorldMass) {
+  // Pr(p at i) from the oracle must equal the world mass carrying p at i,
+  // for every pattern/position, on several random tiny strings.
+  for (const uint64_t seed : {1u, 2u, 3u, 4u}) {
+    test::RandomStringSpec spec{.length = 5, .alphabet = 2, .theta = 0.7,
+                                .seed = seed};
+    const UncertainString s = test::RandomUncertain(spec);
+    const auto worlds = s.EnumerateWorlds(1 << 12);
+    ASSERT_TRUE(worlds.ok());
+    for (const size_t m : {size_t{1}, size_t{2}, size_t{3}}) {
+      // All patterns over {a, b} of length m.
+      for (uint32_t mask = 0; mask < (1u << m); ++mask) {
+        std::string p;
+        for (size_t k = 0; k < m; ++k) {
+          p.push_back((mask >> k) & 1 ? 'b' : 'a');
+        }
+        const auto hits = BruteForceSearch(s, p, 1e-12);
+        std::map<int64_t, double> by_pos;
+        for (const Match& h : hits) by_pos[h.position] = h.probability;
+        for (int64_t i = 0; i + static_cast<int64_t>(m) <= s.size(); ++i) {
+          double mass = 0;
+          for (const auto& w : *worlds) {
+            if (w.value.compare(i, m, p) == 0) mass += w.prob;
+          }
+          const double got = by_pos.count(i) ? by_pos[i] : 0.0;
+          ASSERT_NEAR(got, mass, 1e-9) << p << " at " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(BruteForceTest, ThresholdIsInclusive) {
+  UncertainString s;
+  s.AddPosition({{'a', 0.5}, {'b', 0.5}});
+  s.AddPosition({{'a', 0.5}, {'b', 0.5}});
+  // "aa" occurs with exactly 0.25.
+  EXPECT_EQ(BruteForceSearch(s, "aa", 0.25).size(), 1u);
+  EXPECT_EQ(BruteForceSearch(s, "aa", 0.2500001).size(), 0u);
+}
+
+TEST(BruteForceTest, EmptyPatternYieldsNothing) {
+  const UncertainString s = UncertainString::FromDeterministic("abc");
+  EXPECT_TRUE(BruteForceSearch(s, "", 0.5).empty());
+}
+
+TEST(BruteForceTest, RelevanceMetricsHandChecked) {
+  // Two occurrences with probabilities 0.5 and 0.2.
+  UncertainString s;
+  s.AddPosition({{'x', 0.5}, {'y', 0.5}});
+  s.AddPosition({{'z', 1.0}});
+  s.AddPosition({{'x', 0.2}, {'y', 0.8}});
+  s.AddPosition({{'z', 1.0}});
+  EXPECT_NEAR(BruteForceRelevance(s, "xz", RelevanceMetric::kMax, 0.01), 0.5,
+              1e-12);
+  EXPECT_NEAR(BruteForceRelevance(s, "xz", RelevanceMetric::kPaperOr, 0.01),
+              0.5 + 0.2 - 0.5 * 0.2, 1e-12);
+  EXPECT_NEAR(BruteForceRelevance(s, "xz", RelevanceMetric::kNoisyOr, 0.01),
+              1 - 0.5 * 0.8, 1e-12);
+  // With a floor above 0.2, only the strong occurrence participates.
+  EXPECT_NEAR(BruteForceRelevance(s, "xz", RelevanceMetric::kPaperOr, 0.3),
+              0.5 - 0.5, 1e-12);  // sum - prod with one element is 0
+  // No occurrence at all.
+  EXPECT_EQ(BruteForceRelevance(s, "qq", RelevanceMetric::kMax, 0.01), 0.0);
+}
+
+TEST(BruteForceTest, PaperOrSingleOccurrenceQuirk) {
+  // The paper's formula sum - prod collapses to 0 for a single occurrence —
+  // implemented verbatim (DESIGN.md notes this; kNoisyOr behaves sanely).
+  UncertainString s;
+  s.AddPosition({{'a', 0.9}, {'b', 0.1}});
+  EXPECT_NEAR(BruteForceRelevance(s, "a", RelevanceMetric::kPaperOr, 0.01),
+              0.0, 1e-12);
+  EXPECT_NEAR(BruteForceRelevance(s, "a", RelevanceMetric::kNoisyOr, 0.01),
+              0.9, 1e-12);
+}
+
+TEST(BruteForceTest, ListingFiltersAndSorts) {
+  UncertainString hit1 = UncertainString::FromDeterministic("xyz");
+  UncertainString miss = UncertainString::FromDeterministic("aaa");
+  UncertainString hit2;
+  hit2.AddPosition({{'x', 0.6}, {'a', 0.4}});
+  hit2.AddPosition({{'y', 1.0}});
+  hit2.AddPosition({{'z', 1.0}});
+  const auto out = BruteForceListing({miss, hit1, miss, hit2}, "xyz", 0.5,
+                                     RelevanceMetric::kMax, 0.5);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].doc, 1);
+  EXPECT_NEAR(out[0].relevance, 1.0, 1e-12);
+  EXPECT_EQ(out[1].doc, 3);
+  EXPECT_NEAR(out[1].relevance, 0.6, 1e-12);
+}
+
+TEST(BruteForceTest, CorrelationAware) {
+  // The oracle resolves correlations exactly like UncertainString does —
+  // guard against the oracle and the model drifting apart.
+  UncertainString s;
+  s.AddPosition({{'e', 0.6}, {'f', 0.4}});
+  s.AddPosition({{'q', 1.0}});
+  s.AddPosition({{'z', 1.0}});
+  ASSERT_TRUE(s.AddCorrelation({.pos = 2, .ch = 'z', .dep_pos = 0,
+                                .dep_ch = 'e', .prob_if_present = 0.3,
+                                .prob_if_absent = 0.4})
+                  .ok());
+  const auto hits = BruteForceSearch(s, "qz", 0.3);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NEAR(hits[0].probability, 0.34, 1e-12);
+}
+
+}  // namespace
+}  // namespace pti

@@ -1,0 +1,186 @@
+// Tests for the compact index mode (IndexOptions::compact): FM-index locus
+// lookups must give answers identical to the suffix-tree mode, at a fraction
+// of the memory, with save/load support.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/brute_force.h"
+#include "core/substring_index.h"
+#include "datagen/datagen.h"
+#include "test_util.h"
+
+namespace pti {
+namespace {
+
+TEST(CompactIndexTest, AnswersMatchFullMode) {
+  test::RandomStringSpec spec{.length = 150, .alphabet = 3, .theta = 0.5,
+                              .seed = 404};
+  const UncertainString s = test::RandomUncertain(spec);
+  IndexOptions full_options;
+  full_options.transform.tau_min = 0.1;
+  IndexOptions compact_options = full_options;
+  compact_options.compact = true;
+  const auto full = SubstringIndex::Build(s, full_options);
+  const auto compact = SubstringIndex::Build(s, compact_options);
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(compact.ok());
+  Rng rng(405);
+  for (int q = 0; q < 80; ++q) {
+    const size_t len = 1 + rng.Uniform(10);
+    std::string pattern;
+    if (q % 3 == 0) {
+      pattern = test::RandomPattern(3, len, rng.Next());
+    } else {
+      const int64_t start =
+          static_cast<int64_t>(rng.Uniform(s.size() - len + 1));
+      pattern = test::PatternFromString(s, start, len, rng.Next());
+    }
+    for (const double tau : {0.1, 0.25, 0.6}) {
+      std::vector<Match> a, b;
+      ASSERT_TRUE(full->Query(pattern, tau, &a).ok());
+      ASSERT_TRUE(compact->Query(pattern, tau, &b).ok());
+      ASSERT_TRUE(test::SameMatches(a, b, 0.0))
+          << pattern << " tau=" << tau
+          << "\nfull:    " << test::MatchesToString(a)
+          << "\ncompact: " << test::MatchesToString(b);
+    }
+  }
+}
+
+TEST(CompactIndexTest, MatchesOracleDirectly) {
+  test::RandomStringSpec spec{.length = 120, .alphabet = 2, .theta = 0.6,
+                              .seed = 406};
+  const UncertainString s = test::RandomUncertain(spec);
+  IndexOptions options;
+  options.transform.tau_min = 0.1;
+  options.compact = true;
+  const auto index = SubstringIndex::Build(s, options);
+  ASSERT_TRUE(index.ok());
+  Rng rng(407);
+  for (int q = 0; q < 60; ++q) {
+    const std::string pattern =
+        test::RandomPattern(2, 1 + rng.Uniform(8), rng.Next());
+    std::vector<Match> got;
+    ASSERT_TRUE(index->Query(pattern, 0.15, &got).ok());
+    ASSERT_TRUE(test::SameMatches(got, BruteForceSearch(s, pattern, 0.15)))
+        << pattern;
+  }
+}
+
+TEST(CompactIndexTest, SubstantiallySmallerAtScale) {
+  DatasetOptions data;
+  data.length = 20000;
+  data.theta = 0.3;
+  data.seed = 55;
+  const UncertainString s = GenerateUncertainString(data);
+  IndexOptions full_options;
+  full_options.transform.tau_min = 0.1;
+  IndexOptions compact_options = full_options;
+  compact_options.compact = true;
+  const auto full = SubstringIndex::Build(s, full_options);
+  const auto compact = SubstringIndex::Build(s, compact_options);
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(compact.ok());
+  // At this scale the tree is ~40% of the total; the ratio grows with N
+  // (see bench_ablation_compact for the at-scale numbers).
+  EXPECT_LT(compact->MemoryUsage() * 3, full->MemoryUsage() * 2)
+      << "compact " << compact->MemoryUsage() << " vs full "
+      << full->MemoryUsage();
+  // Same answers on a spot-check workload.
+  const auto patterns = SamplePatterns(s, 20, 6, 77);
+  for (const auto& p : patterns) {
+    std::vector<Match> a, b;
+    ASSERT_TRUE(full->Query(p, 0.2, &a).ok());
+    ASSERT_TRUE(compact->Query(p, 0.2, &b).ok());
+    ASSERT_TRUE(test::SameMatches(a, b, 0.0)) << p;
+  }
+}
+
+TEST(CompactIndexTest, TopKAndCountWork) {
+  test::RandomStringSpec spec{.length = 80, .alphabet = 2, .theta = 0.5,
+                              .seed = 408};
+  const UncertainString s = test::RandomUncertain(spec);
+  IndexOptions options;
+  options.transform.tau_min = 0.1;
+  options.compact = true;
+  const auto index = SubstringIndex::Build(s, options);
+  ASSERT_TRUE(index.ok());
+  std::vector<Match> all, top;
+  ASSERT_TRUE(index->Query("ab", 0.1, &all).ok());
+  ASSERT_TRUE(index->QueryTopK("ab", 0.1, 3, &top).ok());
+  EXPECT_EQ(top.size(), std::min<size_t>(3, all.size()));
+  size_t count = 0;
+  ASSERT_TRUE(index->Count("ab", 0.1, &count).ok());
+  EXPECT_EQ(count, all.size());
+}
+
+TEST(CompactIndexTest, SaveLoadPreservesCompactMode) {
+  test::RandomStringSpec spec{.length = 60, .alphabet = 3, .theta = 0.4,
+                              .seed = 409};
+  const UncertainString s = test::RandomUncertain(spec);
+  IndexOptions options;
+  options.transform.tau_min = 0.1;
+  options.compact = true;
+  const auto index = SubstringIndex::Build(s, options);
+  ASSERT_TRUE(index.ok());
+  std::string blob;
+  ASSERT_TRUE(index->Save(&blob).ok());
+  const auto loaded = SubstringIndex::Load(blob);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->options().compact);
+  Rng rng(410);
+  for (int q = 0; q < 30; ++q) {
+    const std::string pattern =
+        test::RandomPattern(3, 1 + rng.Uniform(6), rng.Next());
+    std::vector<Match> a, b;
+    ASSERT_TRUE(index->Query(pattern, 0.2, &a).ok());
+    ASSERT_TRUE(loaded->Query(pattern, 0.2, &b).ok());
+    ASSERT_TRUE(test::SameMatches(a, b, 0.0)) << pattern;
+  }
+}
+
+TEST(CompactIndexTest, EmptyString) {
+  IndexOptions options;
+  options.compact = true;
+  const auto index = SubstringIndex::Build(UncertainString(), options);
+  ASSERT_TRUE(index.ok());
+  std::vector<Match> out;
+  EXPECT_TRUE(index->Query("a", 0.5, &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(CompactIndexTest, LongPatternsAllBlockingModes) {
+  test::RandomStringSpec spec{.length = 300, .alphabet = 2, .theta = 0.15,
+                              .seed = 411};
+  const UncertainString s = test::RandomUncertain(spec);
+  for (const BlockingMode mode :
+       {BlockingMode::kPow2, BlockingMode::kPaperExact,
+        BlockingMode::kScanOnly}) {
+    IndexOptions options;
+    options.transform.tau_min = 0.1;
+    options.max_short_depth = 3;
+    options.blocking = mode;
+    options.scan_cutoff = 2;
+    options.compact = true;
+    const auto index = SubstringIndex::Build(s, options);
+    ASSERT_TRUE(index.ok());
+    Rng rng(412);
+    for (int q = 0; q < 25; ++q) {
+      const size_t len = 4 + rng.Uniform(10);
+      const int64_t start =
+          static_cast<int64_t>(rng.Uniform(s.size() - len + 1));
+      const std::string pattern =
+          test::PatternFromString(s, start, len, rng.Next());
+      std::vector<Match> got;
+      ASSERT_TRUE(index->Query(pattern, 0.12, &got).ok());
+      ASSERT_TRUE(test::SameMatches(got, BruteForceSearch(s, pattern, 0.12)))
+          << pattern;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pti

@@ -1,0 +1,136 @@
+// Tests for the §8.1 dataset generator: protocol invariants (theta fraction,
+// choices, unit sums), determinism, and pattern sampling.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/brute_force.h"
+#include "datagen/datagen.h"
+
+namespace pti {
+namespace {
+
+TEST(DatagenTest, LengthAndValidity) {
+  DatasetOptions options;
+  options.length = 2000;
+  options.theta = 0.3;
+  const UncertainString s = GenerateUncertainString(options);
+  EXPECT_EQ(s.size(), 2000);
+  EXPECT_TRUE(s.Validate().ok());
+}
+
+TEST(DatagenTest, ThetaControlsUncertainFraction) {
+  for (const double theta : {0.1, 0.3, 0.5}) {
+    DatasetOptions options;
+    options.length = 20000;
+    options.theta = theta;
+    const UncertainString s = GenerateUncertainString(options);
+    int64_t uncertain = 0;
+    for (int64_t i = 0; i < s.size(); ++i) {
+      if (s.options(i).size() > 1) ++uncertain;
+    }
+    EXPECT_NEAR(static_cast<double>(uncertain) / s.size(), theta, 0.02)
+        << "theta " << theta;
+  }
+}
+
+TEST(DatagenTest, ChoicesPerUncertainPosition) {
+  DatasetOptions options;
+  options.length = 5000;
+  options.theta = 1.0;
+  options.choices = 5;
+  const UncertainString s = GenerateUncertainString(options);
+  for (int64_t i = 0; i < s.size(); ++i) {
+    EXPECT_EQ(s.options(i).size(), 5u);
+  }
+}
+
+TEST(DatagenTest, AlphabetRespected) {
+  DatasetOptions options;
+  options.length = 3000;
+  options.theta = 0.5;
+  options.alphabet = 4;
+  const UncertainString s = GenerateUncertainString(options);
+  std::set<uint8_t> chars;
+  for (int64_t i = 0; i < s.size(); ++i) {
+    for (const auto& opt : s.options(i)) chars.insert(opt.ch);
+  }
+  EXPECT_LE(chars.size(), 4u);
+}
+
+TEST(DatagenTest, DeterministicBySeed) {
+  DatasetOptions options;
+  options.length = 500;
+  options.seed = 7;
+  const UncertainString a = GenerateUncertainString(options);
+  const UncertainString b = GenerateUncertainString(options);
+  options.seed = 8;
+  const UncertainString c = GenerateUncertainString(options);
+  ASSERT_EQ(a.size(), b.size());
+  bool same_ac = a.size() == c.size();
+  for (int64_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.options(i).size(), b.options(i).size());
+    for (size_t k = 0; k < a.options(i).size(); ++k) {
+      ASSERT_EQ(a.options(i)[k].ch, b.options(i)[k].ch);
+      ASSERT_EQ(a.options(i)[k].prob, b.options(i)[k].prob);
+    }
+    if (same_ac && a.options(i).size() != c.options(i).size()) {
+      same_ac = false;
+    }
+  }
+  EXPECT_FALSE(same_ac) << "different seeds produced identical strings";
+}
+
+TEST(DatagenTest, CollectionPieceLengths) {
+  DatasetOptions options;
+  options.length = 5000;
+  const auto docs = GenerateCollection(options);
+  int64_t total = 0;
+  for (size_t d = 0; d < docs.size(); ++d) {
+    EXPECT_TRUE(docs[d].Validate().ok());
+    total += docs[d].size();
+    // §8.1: lengths approximately normal in [20, 45] (the final piece may be
+    // truncated to hit the total).
+    if (d + 1 < docs.size()) {
+      EXPECT_GE(docs[d].size(), 20);
+      EXPECT_LE(docs[d].size(), 45);
+    }
+  }
+  EXPECT_EQ(total, 5000);
+}
+
+TEST(DatagenTest, SampledPatternsOftenMatch) {
+  DatasetOptions options;
+  options.length = 3000;
+  options.theta = 0.3;
+  const UncertainString s = GenerateUncertainString(options);
+  const auto patterns = SamplePatterns(s, 40, 6, 99);
+  ASSERT_EQ(patterns.size(), 40u);
+  int matched = 0;
+  for (const auto& p : patterns) {
+    EXPECT_EQ(p.size(), 6u);
+    if (!BruteForceSearch(s, p, 0.05).empty()) ++matched;
+  }
+  // Argmax-walk patterns virtually always match; weighted walks usually do.
+  EXPECT_GE(matched, 20);
+}
+
+TEST(DatagenTest, SamplePatternsHandlesShortStrings) {
+  DatasetOptions options;
+  options.length = 3;
+  const UncertainString s = GenerateUncertainString(options);
+  EXPECT_TRUE(SamplePatterns(s, 5, 10, 1).empty());
+}
+
+TEST(DatagenTest, CollectionPatternsComeFromDocs) {
+  DatasetOptions options;
+  options.length = 2000;
+  const auto docs = GenerateCollection(options);
+  const auto patterns = SampleCollectionPatterns(docs, 20, 5, 3);
+  EXPECT_EQ(patterns.size(), 20u);
+  for (const auto& p : patterns) EXPECT_EQ(p.size(), 5u);
+}
+
+}  // namespace
+}  // namespace pti

@@ -1,0 +1,305 @@
+// Property tests for the Lemma 2 factor transformation (DESIGN.md §2.2):
+//
+//   Coverage:  every occurrence (i, p) with Pr >= tau_min appears inside an
+//              emitted factor at alignment i with matching characters.
+//   Soundness: every window of every factor is a real occurrence in S whose
+//              probability is at least the window's stored product.
+//   Maximality/size: factors cannot be extended, no exact duplicates, and
+//              the total length stays within the O((1/tau)^2 n) regime.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/factor_transform.h"
+#include "test_util.h"
+
+namespace pti {
+namespace {
+
+// Enumerates all valid occurrences (start, string) with Pr >= tau by DFS.
+void AllValidOccurrences(const UncertainString& s, double tau,
+                         std::map<std::pair<int64_t, std::string>, double>* out) {
+  const LogProb log_tau = LogProb::FromLinear(tau);
+  for (int64_t i = 0; i < s.size(); ++i) {
+    // BFS over growing strings from position i.
+    std::vector<std::string> frontier = {""};
+    while (!frontier.empty()) {
+      std::vector<std::string> next;
+      for (const std::string& w : frontier) {
+        const int64_t at = i + static_cast<int64_t>(w.size());
+        if (at >= s.size()) continue;
+        for (const CharOption& opt : s.options(at)) {
+          const std::string w2 = w + static_cast<char>(opt.ch);
+          const LogProb p = s.OccurrenceProb(w2, i);
+          if (p.MeetsThreshold(log_tau)) {
+            (*out)[{i, w2}] = p.ToLinear();
+            next.push_back(w2);
+          }
+        }
+      }
+      frontier = std::move(next);
+    }
+  }
+}
+
+// Extracts factor k as (start position, characters).
+std::pair<int64_t, std::string> GetFactor(const FactorSet& fs, int32_t k) {
+  const size_t begin = fs.text.MemberBegin(k);
+  const size_t end = fs.text.MemberEnd(k);
+  std::string chars;
+  for (size_t q = begin; q < end; ++q) {
+    chars.push_back(static_cast<char>(fs.text.chars()[q]));
+  }
+  return {fs.pos[begin], chars};
+}
+
+void CheckCoverageAndSoundness(const UncertainString& s, double tau_min) {
+  TransformOptions options;
+  options.tau_min = tau_min;
+  const auto fs = TransformToFactors(s, options);
+  ASSERT_TRUE(fs.ok()) << fs.status().ToString();
+
+  // Soundness: every factor window is a valid occurrence.
+  const LogProb log_tau = LogProb::FromLinear(tau_min);
+  std::set<std::pair<int64_t, std::string>> factor_windows;
+  for (int32_t k = 0; k < fs->text.num_members(); ++k) {
+    const auto [start, chars] = GetFactor(*fs, k);
+    const LogProb full = s.OccurrenceProb(chars, start);
+    EXPECT_TRUE(full.MeetsThreshold(log_tau))
+        << "factor (" << start << ", " << chars << ") has prob "
+        << full.ToLinear();
+    for (size_t a = 0; a < chars.size(); ++a) {
+      for (size_t len = 1; a + len <= chars.size(); ++len) {
+        factor_windows.insert(
+            {start + static_cast<int64_t>(a), chars.substr(a, len)});
+      }
+    }
+    // Pos array is contiguous within the factor.
+    const size_t begin = fs->text.MemberBegin(k);
+    for (size_t q = begin; q < fs->text.MemberEnd(k); ++q) {
+      EXPECT_EQ(fs->pos[q], start + static_cast<int64_t>(q - begin));
+    }
+  }
+
+  // Coverage: every valid occurrence appears among the factor windows.
+  std::map<std::pair<int64_t, std::string>, double> valid;
+  AllValidOccurrences(s, tau_min, &valid);
+  for (const auto& [occ, prob] : valid) {
+    EXPECT_TRUE(factor_windows.count(occ))
+        << "missing occurrence (" << occ.first << ", " << occ.second
+        << ") with prob " << prob;
+  }
+}
+
+TEST(FactorTransformTest, DeterministicStringYieldsSingleFactor) {
+  const UncertainString s = UncertainString::FromDeterministic("abcabcabc");
+  TransformOptions options;
+  options.tau_min = 0.1;
+  const auto fs = TransformToFactors(s, options);
+  ASSERT_TRUE(fs.ok());
+  EXPECT_EQ(fs->num_factors(), 1u);
+  EXPECT_EQ(GetFactor(*fs, 0), (std::pair<int64_t, std::string>{0, "abcabcabc"}));
+}
+
+TEST(FactorTransformTest, PaperFigure10Example) {
+  // §Appendix B: S = {Q.7 S.3} {Q.3 P.7} {P 1} {A.4 F.3 P.2 Q.1}.
+  UncertainString s;
+  s.AddPosition({{'Q', 0.7}, {'S', 0.3}});
+  s.AddPosition({{'Q', 0.3}, {'P', 0.7}});
+  s.AddPosition({{'P', 1.0}});
+  s.AddPosition({{'A', 0.4}, {'F', 0.3}, {'P', 0.2}, {'Q', 0.1}});
+  CheckCoverageAndSoundness(s, 0.1);
+  // The paper's Figure 10 lists factors covering e.g. "QPPA" (prob .7*.7*1*.4
+  // = .196 >= .1) and "QP" occurrences; verify flagship windows exist.
+  TransformOptions options;
+  options.tau_min = 0.1;
+  const auto fs = TransformToFactors(s, options);
+  ASSERT_TRUE(fs.ok());
+  std::set<std::string> factors;
+  for (int32_t k = 0; k < fs->text.num_members(); ++k) {
+    factors.insert(GetFactor(*fs, k).second);
+  }
+  EXPECT_TRUE(factors.count("QPPA")) << "factors present:";
+  EXPECT_TRUE(factors.count("QPPF"));
+}
+
+TEST(FactorTransformTest, InvalidTauRejected) {
+  const UncertainString s = UncertainString::FromDeterministic("ab");
+  TransformOptions options;
+  options.tau_min = 0.0;
+  EXPECT_TRUE(TransformToFactors(s, options).status().IsInvalidArgument());
+  options.tau_min = 1.5;
+  EXPECT_TRUE(TransformToFactors(s, options).status().IsInvalidArgument());
+}
+
+TEST(FactorTransformTest, InvalidStringRejected) {
+  UncertainString s;
+  s.AddPosition({{'a', 0.5}, {'b', 0.3}});
+  TransformOptions options;
+  EXPECT_TRUE(TransformToFactors(s, options).status().IsInvalidArgument());
+}
+
+TEST(FactorTransformTest, BudgetEnforced) {
+  test::RandomStringSpec spec{.length = 200, .alphabet = 4, .theta = 0.8,
+                              .max_choices = 4, .seed = 9};
+  const UncertainString s = test::RandomUncertain(spec);
+  TransformOptions options;
+  options.tau_min = 0.05;
+  options.max_total_length = 16;
+  EXPECT_TRUE(TransformToFactors(s, options).status().IsResourceExhausted());
+}
+
+TEST(FactorTransformTest, EmptyString) {
+  TransformOptions options;
+  const auto fs = TransformToFactors(UncertainString(), options);
+  ASSERT_TRUE(fs.ok());
+  EXPECT_EQ(fs->num_factors(), 0u);
+  EXPECT_EQ(fs->total_length(), 0u);
+}
+
+TEST(FactorTransformTest, AllCharsBelowTauYieldNoFactors) {
+  UncertainString s;
+  for (int i = 0; i < 5; ++i) {
+    s.AddPosition({{'a', 0.25}, {'b', 0.25}, {'c', 0.25}, {'d', 0.25}});
+  }
+  TransformOptions options;
+  options.tau_min = 0.5;
+  const auto fs = TransformToFactors(s, options);
+  ASSERT_TRUE(fs.ok());
+  EXPECT_EQ(fs->num_factors(), 0u);
+}
+
+TEST(FactorTransformTest, TauOneKeepsOnlyCertainRuns) {
+  UncertainString s;
+  s.AddPosition({{'a', 1.0}});
+  s.AddPosition({{'b', 1.0}});
+  s.AddPosition({{'c', 0.5}, {'d', 0.5}});
+  s.AddPosition({{'e', 1.0}});
+  TransformOptions options;
+  options.tau_min = 1.0;
+  const auto fs = TransformToFactors(s, options);
+  ASSERT_TRUE(fs.ok());
+  std::set<std::pair<int64_t, std::string>> got;
+  for (int32_t k = 0; k < fs->text.num_members(); ++k) {
+    got.insert(GetFactor(*fs, k));
+  }
+  EXPECT_EQ(got, (std::set<std::pair<int64_t, std::string>>{{0, "ab"},
+                                                            {3, "e"}}));
+}
+
+TEST(FactorTransformTest, NoDuplicateFactors) {
+  test::RandomStringSpec spec{.length = 40, .alphabet = 3, .theta = 0.6,
+                              .seed = 21};
+  const UncertainString s = test::RandomUncertain(spec);
+  TransformOptions options;
+  options.tau_min = 0.15;
+  const auto fs = TransformToFactors(s, options);
+  ASSERT_TRUE(fs.ok());
+  std::set<std::pair<int64_t, std::string>> seen;
+  for (int32_t k = 0; k < fs->text.num_members(); ++k) {
+    EXPECT_TRUE(seen.insert(GetFactor(*fs, k)).second) << "duplicate factor";
+  }
+}
+
+TEST(FactorTransformTest, FactorsAreBidirectionallyMaximal) {
+  test::RandomStringSpec spec{.length = 30, .alphabet = 3, .theta = 0.5,
+                              .seed = 33};
+  const UncertainString s = test::RandomUncertain(spec);
+  TransformOptions options;
+  options.tau_min = 0.2;
+  const auto fs = TransformToFactors(s, options);
+  ASSERT_TRUE(fs.ok());
+  const LogProb log_tau = LogProb::FromLinear(options.tau_min);
+  for (int32_t k = 0; k < fs->text.num_members(); ++k) {
+    const auto [start, chars] = GetFactor(*fs, k);
+    const int64_t end = start + static_cast<int64_t>(chars.size());
+    // Right extension by any character fails.
+    if (end < s.size()) {
+      for (const CharOption& opt : s.options(end)) {
+        const std::string ext = chars + static_cast<char>(opt.ch);
+        EXPECT_FALSE(s.OccurrenceProb(ext, start).MeetsThreshold(log_tau))
+            << "factor extendable right: " << ext;
+      }
+    }
+    // Left extension by any character fails.
+    if (start > 0) {
+      for (const CharOption& opt : s.options(start - 1)) {
+        const std::string ext = static_cast<char>(opt.ch) + chars;
+        EXPECT_FALSE(s.OccurrenceProb(ext, start - 1).MeetsThreshold(log_tau))
+            << "factor extendable left: " << ext;
+      }
+    }
+  }
+}
+
+class FactorPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, double, double, int>> {};
+
+TEST_P(FactorPropertyTest, CoverageAndSoundness) {
+  const auto [length, theta, tau_min, seed] = GetParam();
+  test::RandomStringSpec spec;
+  spec.length = length;
+  spec.theta = theta;
+  spec.seed = static_cast<uint64_t>(seed);
+  spec.alphabet = 3;
+  CheckCoverageAndSoundness(test::RandomUncertain(spec), tau_min);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FactorPropertyTest,
+    ::testing::Combine(::testing::Values(8, 16, 28),
+                       ::testing::Values(0.2, 0.5, 0.9),
+                       ::testing::Values(0.6, 0.3, 0.12),
+                       ::testing::Values(1, 2, 3, 4)));
+
+TEST(FactorTransformTest, CorrelatedCoverageUsesOptimisticBound) {
+  // A correlated character whose pr+ exceeds its marginal must still be
+  // coverable: enumeration uses max(pr+, pr-).
+  UncertainString s;
+  s.AddPosition({{'x', 0.5}, {'y', 0.5}});
+  s.AddPosition({{'z', 1.0}});
+  ASSERT_TRUE(s.AddCorrelation({.pos = 1, .ch = 'z', .dep_pos = 0,
+                                .dep_ch = 'x', .prob_if_present = 0.9,
+                                .prob_if_absent = 0.05})
+                  .ok());
+  TransformOptions options;
+  options.tau_min = 0.4;  // xz has prob .5*.9 = .45 >= .4; marginal of z is
+                          // .475 but yz = .5*.05 = .025 < .4
+  const auto fs = TransformToFactors(s, options);
+  ASSERT_TRUE(fs.ok());
+  std::set<std::pair<int64_t, std::string>> windows;
+  for (int32_t k = 0; k < fs->text.num_members(); ++k) {
+    const auto [start, chars] = GetFactor(*fs, k);
+    for (size_t a = 0; a < chars.size(); ++a) {
+      for (size_t len = 1; a + len <= chars.size(); ++len) {
+        windows.insert({start + static_cast<int64_t>(a), chars.substr(a, len)});
+      }
+    }
+  }
+  EXPECT_TRUE(windows.count({0, "xz"}));
+}
+
+TEST(FactorTransformTest, SizeStaysLinearishOnUniformHalves) {
+  // All-0.5 positions, tau = 0.1: valid windows have length <= 3, so factors
+  // are short and total length is bounded by ~ (choices^3+...) * n, far
+  // below the (1/tau)^2 * n = 100n bound.
+  UncertainString s;
+  for (int i = 0; i < 50; ++i) s.AddPosition({{'a', 0.5}, {'b', 0.5}});
+  TransformOptions options;
+  options.tau_min = 0.1;
+  const auto fs = TransformToFactors(s, options);
+  ASSERT_TRUE(fs.ok());
+  EXPECT_LE(fs->total_length(),
+            100 * static_cast<size_t>(s.size()));
+  // Every factor has length exactly 3 here (0.125 >= 0.1 > 0.0625).
+  for (int32_t k = 0; k < fs->text.num_members(); ++k) {
+    EXPECT_EQ(GetFactor(*fs, k).second.size(), 3u);
+  }
+}
+
+}  // namespace
+}  // namespace pti

@@ -1,0 +1,198 @@
+// End-to-end integration tests: the full pipeline on §8.1-style data, all
+// indexes answering the same workload consistently, and determinism.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/approx_index.h"
+#include "core/brute_force.h"
+#include "core/listing_index.h"
+#include "core/substring_index.h"
+#include "core/usformat.h"
+#include "datagen/datagen.h"
+#include "test_util.h"
+
+namespace pti {
+namespace {
+
+TEST(IntegrationTest, PaperProtocolPipeline) {
+  // Generate a §8.1-style string, index it, and cross-validate a realistic
+  // query workload against the oracle.
+  DatasetOptions data;
+  data.length = 3000;
+  data.theta = 0.3;
+  data.seed = 2026;
+  const UncertainString s = GenerateUncertainString(data);
+  IndexOptions options;
+  options.transform.tau_min = 0.1;
+  const auto index = SubstringIndex::Build(s, options);
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  const auto stats = index->stats();
+  EXPECT_EQ(stats.original_length, 3000);
+  EXPECT_GT(stats.transformed_length, 3000u);  // uncertainty inflates N
+
+  for (const size_t m : {2, 5, 10, 20}) {
+    const auto patterns = SamplePatterns(s, 10, m, 4000 + m);
+    for (const auto& p : patterns) {
+      for (const double tau : {0.1, 0.2, 0.5}) {
+        std::vector<Match> got;
+        ASSERT_TRUE(index->Query(p, tau, &got).ok());
+        ASSERT_TRUE(test::SameMatches(got, BruteForceSearch(s, p, tau)))
+            << "m=" << m << " tau=" << tau << " p=" << p;
+      }
+    }
+  }
+}
+
+TEST(IntegrationTest, ExactAndApproxConsistency) {
+  DatasetOptions data;
+  data.length = 800;
+  data.theta = 0.4;
+  data.seed = 31;
+  const UncertainString s = GenerateUncertainString(data);
+  IndexOptions exact_options;
+  exact_options.transform.tau_min = 0.1;
+  ApproxOptions approx_options;
+  approx_options.transform.tau_min = 0.1;
+  approx_options.epsilon = 0.05;
+  const auto exact = SubstringIndex::Build(s, exact_options);
+  const auto approx = ApproxIndex::Build(s, approx_options);
+  ASSERT_TRUE(exact.ok());
+  ASSERT_TRUE(approx.ok());
+  const auto patterns = SamplePatterns(s, 30, 5, 77);
+  for (const auto& p : patterns) {
+    std::vector<Match> em, am;
+    ASSERT_TRUE(exact->Query(p, 0.3, &em).ok());
+    ASSERT_TRUE(approx->Query(p, 0.3, &am).ok());
+    // Approx is a superset of exact, within the eps band.
+    size_t ei = 0;
+    for (const Match& a : am) {
+      if (ei < em.size() && em[ei].position == a.position) ++ei;
+    }
+    EXPECT_EQ(ei, em.size()) << "approx missed an exact match for " << p;
+    EXPECT_GE(am.size(), em.size());
+    for (const Match& a : am) {
+      EXPECT_GE(s.OccurrenceProb(p, a.position).ToLinear(), 0.3 - 0.05 - 1e-9);
+    }
+  }
+}
+
+TEST(IntegrationTest, ListingAgreesWithPerDocumentSearch) {
+  DatasetOptions data;
+  data.length = 1500;
+  data.theta = 0.3;
+  data.seed = 55;
+  const auto docs = GenerateCollection(data);
+  ASSERT_GT(docs.size(), 20u);
+  ListingOptions options;
+  options.transform.tau_min = 0.1;
+  const auto listing = ListingIndex::Build(docs, options);
+  ASSERT_TRUE(listing.ok());
+  // Per-document substring indexes as the independent implementation.
+  std::vector<SubstringIndex> per_doc;
+  for (const auto& d : docs) {
+    IndexOptions io;
+    io.transform.tau_min = 0.1;
+    auto idx = SubstringIndex::Build(d, io);
+    ASSERT_TRUE(idx.ok());
+    per_doc.push_back(std::move(idx).value());
+  }
+  const auto patterns = SampleCollectionPatterns(docs, 25, 4, 91);
+  for (const auto& p : patterns) {
+    std::vector<DocMatch> got;
+    ASSERT_TRUE(listing->Query(p, 0.2, &got).ok());
+    std::vector<DocMatch> want;
+    for (size_t d = 0; d < per_doc.size(); ++d) {
+      std::vector<Match> ms;
+      ASSERT_TRUE(per_doc[d].Query(p, 0.2, &ms).ok());
+      double best = 0;
+      for (const Match& m : ms) best = std::max(best, m.probability);
+      if (!ms.empty()) {
+        want.push_back(DocMatch{static_cast<int32_t>(d), best});
+      }
+    }
+    ASSERT_EQ(got.size(), want.size()) << p;
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].doc, want[i].doc);
+      EXPECT_NEAR(got[i].relevance, want[i].relevance, 1e-9);
+    }
+  }
+}
+
+TEST(IntegrationTest, FormatToIndexPipeline) {
+  // Parse the paper's Figure 10 string from the text format and query it.
+  const auto s = ParseUncertainString(
+      "Q=0.7 S=0.3\n"
+      "Q=0.3 P=0.7\n"
+      "P=1.0\n"
+      "A=0.4 F=0.3 P=0.2 Q=0.1\n");
+  ASSERT_TRUE(s.ok());
+  IndexOptions options;
+  options.transform.tau_min = 0.1;
+  const auto index = SubstringIndex::Build(*s, options);
+  ASSERT_TRUE(index.ok());
+  std::vector<Match> out;
+  ASSERT_TRUE(index->Query("QP", 0.4, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].position, 0);
+}
+
+TEST(IntegrationTest, DeterministicAcrossRebuilds) {
+  DatasetOptions data;
+  data.length = 600;
+  data.theta = 0.4;
+  data.seed = 123;
+  const UncertainString s = GenerateUncertainString(data);
+  IndexOptions options;
+  options.transform.tau_min = 0.1;
+  const auto a = SubstringIndex::Build(s, options);
+  const auto b = SubstringIndex::Build(s, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  const auto patterns = SamplePatterns(s, 20, 6, 321);
+  for (const auto& p : patterns) {
+    std::vector<Match> ma, mb;
+    ASSERT_TRUE(a->Query(p, 0.15, &ma).ok());
+    ASSERT_TRUE(b->Query(p, 0.15, &mb).ok());
+    ASSERT_TRUE(test::SameMatches(ma, mb, 0.0)) << p;
+  }
+}
+
+TEST(IntegrationTest, ThreadSafeConcurrentQueries) {
+  DatasetOptions data;
+  data.length = 1000;
+  data.theta = 0.3;
+  data.seed = 9;
+  const UncertainString s = GenerateUncertainString(data);
+  IndexOptions options;
+  options.transform.tau_min = 0.1;
+  const auto index = SubstringIndex::Build(s, options);
+  ASSERT_TRUE(index.ok());
+  const auto patterns = SamplePatterns(s, 16, 5, 13);
+  std::vector<std::vector<Match>> expected(patterns.size());
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    ASSERT_TRUE(index->Query(patterns[i], 0.2, &expected[i]).ok());
+  }
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < 20; ++round) {
+        for (size_t i = 0; i < patterns.size(); ++i) {
+          std::vector<Match> got;
+          if (!index->Query(patterns[i], 0.2, &got).ok() ||
+              !test::SameMatches(got, expected[i], 0.0)) {
+            ++failures;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace pti

@@ -1,0 +1,185 @@
+// Tests for the RMQ engines: exhaustive and randomized cross-checks against
+// BruteForceArgMax, including tie-breaking, -inf sentinels, and all three
+// engines behind the type-erased handle.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "rmq/block_rmq.h"
+#include "rmq/fischer_heun_rmq.h"
+#include "rmq/rmq_handle.h"
+#include "rmq/sparse_table_rmq.h"
+#include "util/rng.h"
+
+namespace pti {
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+struct VecFn {
+  const std::vector<double>* v;
+  double operator()(size_t i) const { return (*v)[i]; }
+};
+
+// Checks every (l, r) pair against brute force for all three engines.
+void CheckAllRanges(const std::vector<double>& v) {
+  VecFn fn{&v};
+  SparseTableRmq<VecFn> sparse(fn, v.size());
+  BlockRmq<VecFn> block(fn, v.size(), 4);  // small blocks stress boundaries
+  FischerHeunRmq<VecFn> fh(fn, v.size());
+  for (size_t l = 0; l < v.size(); ++l) {
+    for (size_t r = l; r < v.size(); ++r) {
+      const size_t want = BruteForceArgMax(fn, l, r);
+      ASSERT_EQ(sparse.ArgMax(l, r), want) << "sparse [" << l << "," << r << "]";
+      ASSERT_EQ(block.ArgMax(l, r), want) << "block [" << l << "," << r << "]";
+      ASSERT_EQ(fh.ArgMax(l, r), want) << "fh [" << l << "," << r << "]";
+    }
+  }
+}
+
+TEST(RmqTest, SingleElement) { CheckAllRanges({3.14}); }
+
+TEST(RmqTest, TwoElements) {
+  CheckAllRanges({1.0, 2.0});
+  CheckAllRanges({2.0, 1.0});
+  CheckAllRanges({1.0, 1.0});
+}
+
+TEST(RmqTest, AllEqualPrefersLeftmost) {
+  const std::vector<double> v(50, 7.0);
+  VecFn fn{&v};
+  SparseTableRmq<VecFn> sparse(fn, v.size());
+  BlockRmq<VecFn> block(fn, v.size(), 8);
+  FischerHeunRmq<VecFn> fh(fn, v.size());
+  EXPECT_EQ(sparse.ArgMax(10, 40), 10u);
+  EXPECT_EQ(block.ArgMax(10, 40), 10u);
+  EXPECT_EQ(fh.ArgMax(10, 40), 10u);
+}
+
+TEST(RmqTest, StrictlyIncreasing) {
+  std::vector<double> v;
+  for (int i = 0; i < 60; ++i) v.push_back(i);
+  CheckAllRanges(v);
+}
+
+TEST(RmqTest, StrictlyDecreasing) {
+  std::vector<double> v;
+  for (int i = 0; i < 60; ++i) v.push_back(-i);
+  CheckAllRanges(v);
+}
+
+TEST(RmqTest, NegInfSentinels) {
+  // The indexes use -inf for deleted/invalid entries; engines must handle
+  // ranges that are entirely or partially -inf.
+  std::vector<double> v = {kNegInf, 1.0, kNegInf, kNegInf, 2.0,
+                           kNegInf, kNegInf, kNegInf, 0.5};
+  CheckAllRanges(v);
+  const std::vector<double> all_inf(20, kNegInf);
+  CheckAllRanges(all_inf);
+}
+
+TEST(RmqTest, ExhaustiveSmallArraysWithTies) {
+  // All arrays of length up to 6 over {0, 1, 2}: catches any Cartesian-code
+  // tie-handling bug in FischerHeunRmq exhaustively.
+  for (int len = 1; len <= 6; ++len) {
+    std::vector<int> digits(len, 0);
+    while (true) {
+      std::vector<double> v(digits.begin(), digits.end());
+      CheckAllRanges(v);
+      int i = 0;
+      for (; i < len; ++i) {
+        if (++digits[i] < 3) break;
+        digits[i] = 0;
+      }
+      if (i == len) break;
+    }
+  }
+}
+
+class RmqRandomTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RmqRandomTest, MatchesBruteForce) {
+  const auto [size, value_range] = GetParam();
+  Rng rng(static_cast<uint64_t>(size) * 1000003 + value_range);
+  std::vector<double> v(size);
+  for (auto& x : v) {
+    x = static_cast<double>(rng.UniformInt(0, value_range));
+    if (rng.Bernoulli(0.1)) x = kNegInf;  // sprinkle sentinels
+  }
+  VecFn fn{&v};
+  SparseTableRmq<VecFn> sparse(fn, v.size());
+  BlockRmq<VecFn> block(fn, v.size());
+  FischerHeunRmq<VecFn> fh(fn, v.size());
+  for (int trial = 0; trial < 500; ++trial) {
+    size_t l = rng.Uniform(v.size());
+    size_t r = rng.Uniform(v.size());
+    if (l > r) std::swap(l, r);
+    const size_t want = BruteForceArgMax(fn, l, r);
+    ASSERT_EQ(sparse.ArgMax(l, r), want);
+    ASSERT_EQ(block.ArgMax(l, r), want);
+    ASSERT_EQ(fh.ArgMax(l, r), want);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RmqRandomTest,
+    ::testing::Combine(::testing::Values(1, 2, 7, 8, 9, 63, 64, 65, 100, 1000,
+                                         4097),
+                       ::testing::Values(1, 4, 1000000)));
+
+TEST(RmqTest, HandleDispatchesAllEngines) {
+  std::vector<double> v = {3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5};
+  VecFn fn{&v};
+  for (const RmqEngineKind kind :
+       {RmqEngineKind::kBlock, RmqEngineKind::kFischerHeun,
+        RmqEngineKind::kSparseTable}) {
+    auto handle = MakeRmq(kind, fn, v.size());
+    EXPECT_EQ(handle->ArgMax(0, 10), 5u);
+    EXPECT_EQ(handle->ArgMax(6, 10), 7u);
+    EXPECT_GT(handle->MemoryUsage(), 0u);
+  }
+}
+
+TEST(RmqTest, LargeRandomAgreementAcrossEngines) {
+  Rng rng(99);
+  std::vector<double> v(20000);
+  for (auto& x : v) x = rng.UniformDouble();
+  VecFn fn{&v};
+  BlockRmq<VecFn> block(fn, v.size());
+  FischerHeunRmq<VecFn> fh(fn, v.size());
+  SparseTableRmq<VecFn> sparse(fn, v.size());
+  for (int trial = 0; trial < 2000; ++trial) {
+    size_t l = rng.Uniform(v.size());
+    size_t r = rng.Uniform(v.size());
+    if (l > r) std::swap(l, r);
+    const size_t a = sparse.ArgMax(l, r);
+    ASSERT_EQ(block.ArgMax(l, r), a);
+    ASSERT_EQ(fh.ArgMax(l, r), a);
+  }
+}
+
+TEST(RmqTest, MemoryUsageScalesSensibly) {
+  std::vector<double> v(100000, 1.0);
+  VecFn fn{&v};
+  BlockRmq<VecFn> block(fn, v.size(), 64);
+  SparseTableRmq<VecFn> sparse(fn, v.size());
+  // The block engine's structure should be far smaller than the sparse
+  // table's n log n words.
+  EXPECT_LT(block.MemoryUsage() * 10, sparse.MemoryUsage());
+}
+
+TEST(RmqTest, FischerHeunSharesTypeTables) {
+  // A periodic array repeats microblock types, so table count stays small
+  // relative to block count; just sanity-check memory is modest.
+  std::vector<double> v(8192);
+  for (size_t i = 0; i < v.size(); ++i) v[i] = static_cast<double>(i % 8);
+  VecFn fn{&v};
+  FischerHeunRmq<VecFn> fh(fn, v.size());
+  EXPECT_LT(fh.MemoryUsage(), v.size() * sizeof(double));
+}
+
+}  // namespace
+}  // namespace pti

@@ -1,0 +1,185 @@
+// Save/Load round-trips for SubstringIndex, plus failure injection:
+// truncation, bad magic, bad version, flipped enum bytes, trailing garbage.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/brute_force.h"
+#include "core/substring_index.h"
+#include "test_util.h"
+
+namespace pti {
+namespace {
+
+UncertainString TestString() {
+  test::RandomStringSpec spec{.length = 50, .alphabet = 3, .theta = 0.5,
+                              .seed = 2024};
+  return test::RandomUncertain(spec);
+}
+
+UncertainString CorrelatedTestString() {
+  UncertainString s = TestString();
+  EXPECT_TRUE(s.AddCorrelation({.pos = 5,
+                                .ch = s.options(5)[0].ch,
+                                .dep_pos = 2,
+                                .dep_ch = s.options(2)[0].ch,
+                                .prob_if_present = 0.75,
+                                .prob_if_absent = 0.25})
+                  .ok());
+  return s;
+}
+
+TEST(SerializationTest, RoundTripPreservesQueries) {
+  const UncertainString s = TestString();
+  IndexOptions options;
+  options.transform.tau_min = 0.1;
+  const auto index = SubstringIndex::Build(s, options);
+  ASSERT_TRUE(index.ok());
+  std::string blob;
+  ASSERT_TRUE(index->Save(&blob).ok());
+  EXPECT_GT(blob.size(), 64u);
+  const auto loaded = SubstringIndex::Load(blob);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  // Identical answers on a battery of queries.
+  Rng rng(1);
+  for (int q = 0; q < 60; ++q) {
+    const std::string pattern =
+        test::RandomPattern(3, 1 + rng.Uniform(8), rng.Next());
+    for (const double tau : {0.1, 0.3, 0.7}) {
+      std::vector<Match> a, b;
+      ASSERT_TRUE(index->Query(pattern, tau, &a).ok());
+      ASSERT_TRUE(loaded->Query(pattern, tau, &b).ok());
+      ASSERT_TRUE(test::SameMatches(a, b)) << pattern << " tau " << tau;
+    }
+  }
+  // Stats survive.
+  EXPECT_EQ(loaded->stats().num_factors, index->stats().num_factors);
+  EXPECT_EQ(loaded->stats().transformed_length,
+            index->stats().transformed_length);
+  EXPECT_EQ(loaded->options().transform.tau_min, 0.1);
+}
+
+TEST(SerializationTest, RoundTripWithCorrelations) {
+  const UncertainString s = CorrelatedTestString();
+  IndexOptions options;
+  options.transform.tau_min = 0.1;
+  const auto index = SubstringIndex::Build(s, options);
+  ASSERT_TRUE(index.ok());
+  std::string blob;
+  ASSERT_TRUE(index->Save(&blob).ok());
+  const auto loaded = SubstringIndex::Load(blob);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->source().correlations().size(), 1u);
+  Rng rng(2);
+  for (int q = 0; q < 40; ++q) {
+    const std::string pattern =
+        test::RandomPattern(3, 1 + rng.Uniform(6), rng.Next());
+    std::vector<Match> got;
+    ASSERT_TRUE(loaded->Query(pattern, 0.1, &got).ok());
+    ASSERT_TRUE(test::SameMatches(got, BruteForceSearch(s, pattern, 0.1)))
+        << pattern;
+  }
+}
+
+TEST(SerializationTest, RoundTripNonDefaultOptions) {
+  const UncertainString s = TestString();
+  IndexOptions options;
+  options.transform.tau_min = 0.25;
+  options.max_short_depth = 4;
+  options.rmq_engine = RmqEngineKind::kFischerHeun;
+  options.blocking = BlockingMode::kPaperExact;
+  options.scan_cutoff = 7;
+  const auto index = SubstringIndex::Build(s, options);
+  ASSERT_TRUE(index.ok());
+  std::string blob;
+  ASSERT_TRUE(index->Save(&blob).ok());
+  const auto loaded = SubstringIndex::Load(blob);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->options().max_short_depth, 4);
+  EXPECT_EQ(loaded->options().rmq_engine, RmqEngineKind::kFischerHeun);
+  EXPECT_EQ(loaded->options().blocking, BlockingMode::kPaperExact);
+  EXPECT_EQ(loaded->options().scan_cutoff, 7u);
+}
+
+TEST(SerializationTest, EmptyIndexRoundTrip) {
+  const auto index = SubstringIndex::Build(UncertainString(), IndexOptions{});
+  ASSERT_TRUE(index.ok());
+  std::string blob;
+  ASSERT_TRUE(index->Save(&blob).ok());
+  const auto loaded = SubstringIndex::Load(blob);
+  ASSERT_TRUE(loaded.ok());
+  std::vector<Match> out;
+  EXPECT_TRUE(loaded->Query("a", 0.5, &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+// ---- Failure injection ----
+
+std::string ValidBlob() {
+  const auto index = SubstringIndex::Build(TestString(), IndexOptions{});
+  EXPECT_TRUE(index.ok());
+  std::string blob;
+  EXPECT_TRUE(index->Save(&blob).ok());
+  return blob;
+}
+
+TEST(SerializationTest, RejectsEmptyBlob) {
+  EXPECT_TRUE(SubstringIndex::Load("").status().IsCorruption());
+}
+
+TEST(SerializationTest, RejectsBadMagic) {
+  std::string blob = ValidBlob();
+  blob[0] ^= 0xFF;
+  EXPECT_TRUE(SubstringIndex::Load(blob).status().IsCorruption());
+}
+
+TEST(SerializationTest, RejectsBadVersion) {
+  std::string blob = ValidBlob();
+  blob[4] = 99;  // version field
+  EXPECT_TRUE(SubstringIndex::Load(blob).status().IsCorruption());
+}
+
+TEST(SerializationTest, RejectsTruncationEverywhere) {
+  const std::string blob = ValidBlob();
+  // Truncating at any prefix length must fail cleanly, never crash.
+  for (size_t len = 0; len < blob.size(); len += 97) {
+    const auto r = SubstringIndex::Load(blob.substr(0, len));
+    EXPECT_FALSE(r.ok()) << "accepted truncation at " << len;
+  }
+}
+
+TEST(SerializationTest, RejectsTrailingGarbage) {
+  std::string blob = ValidBlob();
+  blob += "extra!";
+  EXPECT_TRUE(SubstringIndex::Load(blob).status().IsCorruption());
+}
+
+TEST(SerializationTest, RejectsCorruptEnums) {
+  std::string blob = ValidBlob();
+  // Options block begins right after the 8-byte envelope:
+  // double tau_min (8) + u64 max_total (8) + u32 max_short (4) = offset 28
+  // for the engine byte, 29 for blocking.
+  blob[28] = 17;
+  EXPECT_TRUE(SubstringIndex::Load(blob).status().IsCorruption());
+}
+
+TEST(SerializationTest, RandomBitFlipsNeverCrash) {
+  const std::string blob = ValidBlob();
+  Rng rng(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string mutated = blob;
+    const size_t at = rng.Uniform(mutated.size());
+    mutated[at] ^= static_cast<char>(1 + rng.Uniform(255));
+    // Either loads (flip hit a benign byte, e.g. inside a probability) or
+    // fails with a clean Status; must never crash.
+    const auto r = SubstringIndex::Load(mutated);
+    if (!r.ok()) {
+      EXPECT_FALSE(r.status().message().empty());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pti

@@ -1,0 +1,352 @@
+// The flagship correctness suite: SubstringIndex (§5) cross-validated
+// against the brute-force oracle over randomized uncertain strings, across
+// every engine, blocking mode, pattern regime (short/long), threshold, and
+// with correlations.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/brute_force.h"
+#include "core/substring_index.h"
+#include "test_util.h"
+
+namespace pti {
+namespace {
+
+void ExpectSameAsOracle(const SubstringIndex& index, const UncertainString& s,
+                        const std::string& pattern, double tau) {
+  std::vector<Match> got;
+  ASSERT_TRUE(index.Query(pattern, tau, &got).ok()) << pattern;
+  const std::vector<Match> want = BruteForceSearch(s, pattern, tau);
+  EXPECT_TRUE(test::SameMatches(got, want))
+      << "pattern '" << pattern << "' tau " << tau << "\n  got:  "
+      << test::MatchesToString(got) << "\n  want: "
+      << test::MatchesToString(want);
+}
+
+// Queries a healthy mix of matching and non-matching patterns.
+void CrossValidate(const UncertainString& s, const IndexOptions& options,
+                   double tau, uint64_t seed) {
+  const auto built = SubstringIndex::Build(s, options);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  const SubstringIndex& index = *built;
+  Rng rng(seed);
+  for (int q = 0; q < 60; ++q) {
+    const size_t len = 1 + rng.Uniform(10);
+    std::string pattern;
+    if (q % 3 == 0 || s.size() < static_cast<int64_t>(len)) {
+      pattern = test::RandomPattern(4, len, rng.Next());
+    } else {
+      const int64_t start =
+          static_cast<int64_t>(rng.Uniform(s.size() - len + 1));
+      pattern = test::PatternFromString(s, start, len, rng.Next());
+    }
+    ExpectSameAsOracle(index, s, pattern, tau);
+  }
+}
+
+TEST(SubstringIndexTest, PaperFigure10WorkedExample) {
+  // Appendix B: S = {Q.7 S.3}{Q.3 P.7}{P 1}{A.4 F.3 P.2 Q.1};
+  // query ("QP", 0.4) must output exactly 1-based position 1 (our 0) with
+  // probability 0.7 * 0.7 = 0.49.
+  UncertainString s;
+  s.AddPosition({{'Q', 0.7}, {'S', 0.3}});
+  s.AddPosition({{'Q', 0.3}, {'P', 0.7}});
+  s.AddPosition({{'P', 1.0}});
+  s.AddPosition({{'A', 0.4}, {'F', 0.3}, {'P', 0.2}, {'Q', 0.1}});
+  IndexOptions options;
+  options.transform.tau_min = 0.1;
+  const auto index = SubstringIndex::Build(s, options);
+  ASSERT_TRUE(index.ok());
+  std::vector<Match> out;
+  ASSERT_TRUE(index->Query("QP", 0.4, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].position, 0);
+  EXPECT_NEAR(out[0].probability, 0.49, 1e-12);
+  // The same query at tau = 0.2 additionally matches nothing else ("QP" at
+  // position 1 would need Q at 1 (0.3) * P at 2 (1.0) = 0.3 >= 0.2!).
+  ASSERT_TRUE(index->Query("QP", 0.2, &out).ok());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].position, 0);
+  EXPECT_EQ(out[1].position, 1);
+  EXPECT_NEAR(out[1].probability, 0.3, 1e-12);
+}
+
+TEST(SubstringIndexTest, PaperFigure3Example) {
+  // §2: query ("AT", 0.4) on the Figure 3 string reports only 1-based
+  // position 9 (our 8) with probability 0.5.
+  UncertainString s;
+  s.AddPosition({{'P', 1.0}});
+  s.AddPosition({{'S', 0.7}, {'F', 0.3}});
+  s.AddPosition({{'F', 1.0}});
+  s.AddPosition({{'P', 1.0}});
+  s.AddPosition({{'Q', 0.5}, {'T', 0.5}});
+  s.AddPosition({{'P', 1.0}});
+  s.AddPosition({{'A', 0.4}, {'F', 0.4}, {'P', 0.2}});
+  s.AddPosition({{'I', 0.3}, {'L', 0.3}, {'P', 0.3}, {'T', 0.1}});
+  s.AddPosition({{'A', 1.0}});
+  s.AddPosition({{'S', 0.5}, {'T', 0.5}});
+  s.AddPosition({{'A', 1.0}});
+  IndexOptions options;
+  options.transform.tau_min = 0.04;
+  const auto index = SubstringIndex::Build(s, options);
+  ASSERT_TRUE(index.ok());
+  std::vector<Match> out;
+  ASSERT_TRUE(index->Query("AT", 0.4, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].position, 8);
+  EXPECT_NEAR(out[0].probability, 0.5, 1e-12);
+  ExpectSameAsOracle(*index, s, "AT", 0.04);
+  ExpectSameAsOracle(*index, s, "PQ", 0.2);
+  ExpectSameAsOracle(*index, s, "FPQPA", 0.05);
+}
+
+TEST(SubstringIndexTest, QueryValidation) {
+  const UncertainString s = UncertainString::FromDeterministic("abc");
+  IndexOptions options;
+  options.transform.tau_min = 0.5;
+  const auto index = SubstringIndex::Build(s, options);
+  ASSERT_TRUE(index.ok());
+  std::vector<Match> out;
+  EXPECT_TRUE(index->Query("", 0.6, &out).IsInvalidArgument());
+  EXPECT_TRUE(index->Query("a", 0.0, &out).IsInvalidArgument());
+  EXPECT_TRUE(index->Query("a", 1.5, &out).IsInvalidArgument());
+  EXPECT_TRUE(index->Query("a", 0.2, &out).IsInvalidArgument());  // < tau_min
+  EXPECT_TRUE(index->Query("a", 0.5, &out).ok());  // == tau_min is fine
+}
+
+TEST(SubstringIndexTest, NoMatchCases) {
+  const UncertainString s = UncertainString::FromDeterministic("abcabc");
+  const auto index = SubstringIndex::Build(s, IndexOptions{});
+  ASSERT_TRUE(index.ok());
+  std::vector<Match> out;
+  ASSERT_TRUE(index->Query("zzz", 0.5, &out).ok());
+  EXPECT_TRUE(out.empty());
+  ASSERT_TRUE(index->Query("abcabcabc", 0.5, &out).ok());  // longer than s
+  EXPECT_TRUE(out.empty());
+  ASSERT_TRUE(index->Query(std::string(1, '\xff'), 0.5, &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(SubstringIndexTest, EmptyString) {
+  const auto index = SubstringIndex::Build(UncertainString(), IndexOptions{});
+  ASSERT_TRUE(index.ok());
+  std::vector<Match> out;
+  ASSERT_TRUE(index->Query("a", 0.5, &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(SubstringIndexTest, DeterministicStringBehavesLikeExactSearch) {
+  const std::string text = "abracadabraabracadabra";
+  const UncertainString s = UncertainString::FromDeterministic(text);
+  const auto index = SubstringIndex::Build(s, IndexOptions{});
+  ASSERT_TRUE(index.ok());
+  std::vector<Match> out;
+  ASSERT_TRUE(index->Query("abra", 0.99, &out).ok());
+  std::vector<int64_t> pos;
+  for (const Match& m : out) {
+    pos.push_back(m.position);
+    EXPECT_NEAR(m.probability, 1.0, 1e-12);
+  }
+  EXPECT_EQ(pos, (std::vector<int64_t>{0, 7, 11, 18}));
+}
+
+TEST(SubstringIndexTest, DuplicateEliminationAcrossFactors) {
+  // Heavy uncertainty creates many factors covering the same alignment; the
+  // same position must never be reported twice.
+  test::RandomStringSpec spec{.length = 40, .alphabet = 2, .theta = 0.8,
+                              .max_choices = 2, .seed = 77};
+  const UncertainString s = test::RandomUncertain(spec);
+  IndexOptions options;
+  options.transform.tau_min = 0.05;
+  const auto index = SubstringIndex::Build(s, options);
+  ASSERT_TRUE(index.ok());
+  Rng rng(7);
+  for (int q = 0; q < 100; ++q) {
+    const size_t len = 1 + rng.Uniform(6);
+    const std::string pattern = test::RandomPattern(2, len, rng.Next());
+    std::vector<Match> out;
+    ASSERT_TRUE(index->Query(pattern, 0.05, &out).ok());
+    for (size_t i = 1; i < out.size(); ++i) {
+      ASSERT_LT(out[i - 1].position, out[i].position)
+          << "duplicate or unsorted output for " << pattern;
+    }
+  }
+}
+
+TEST(SubstringIndexTest, LongPatternsAllBlockingModes) {
+  test::RandomStringSpec spec{.length = 400, .alphabet = 2, .theta = 0.15,
+                              .max_choices = 2, .seed = 5,};
+  const UncertainString s = test::RandomUncertain(spec);
+  for (const BlockingMode mode :
+       {BlockingMode::kPow2, BlockingMode::kPaperExact,
+        BlockingMode::kScanOnly}) {
+    IndexOptions options;
+    options.transform.tau_min = 0.1;
+    options.max_short_depth = 3;  // force the long path for m > 3
+    options.blocking = mode;
+    options.scan_cutoff = 2;      // keep the scan shortcut out of the way
+    const auto index = SubstringIndex::Build(s, options);
+    ASSERT_TRUE(index.ok());
+    Rng rng(11);
+    for (int q = 0; q < 40; ++q) {
+      const size_t len = 4 + rng.Uniform(12);
+      const int64_t start =
+          static_cast<int64_t>(rng.Uniform(s.size() - len + 1));
+      const std::string pattern =
+          test::PatternFromString(s, start, len, rng.Next());
+      ExpectSameAsOracle(*index, s, pattern, 0.1);
+      ExpectSameAsOracle(*index, s, pattern, 0.35);
+    }
+  }
+}
+
+TEST(SubstringIndexTest, CorrelatedStringMatchesOracle) {
+  test::RandomStringSpec spec{.length = 25, .alphabet = 3, .theta = 0.5,
+                              .seed = 13};
+  UncertainString s = test::RandomUncertain(spec);
+  // Attach a handful of correlation rules between existing characters.
+  Rng rng(29);
+  int added = 0;
+  for (int attempt = 0; attempt < 200 && added < 5; ++attempt) {
+    const int64_t pos = static_cast<int64_t>(rng.Uniform(s.size()));
+    const int64_t dep = static_cast<int64_t>(rng.Uniform(s.size()));
+    if (pos == dep) continue;
+    const auto& opts = s.options(pos);
+    const auto& dep_opts = s.options(dep);
+    CorrelationRule rule;
+    rule.pos = pos;
+    rule.ch = opts[rng.Uniform(opts.size())].ch;
+    rule.dep_pos = dep;
+    rule.dep_ch = dep_opts[rng.Uniform(dep_opts.size())].ch;
+    rule.prob_if_present = 0.125 * (1 + rng.Uniform(7));
+    rule.prob_if_absent = 0.125 * (1 + rng.Uniform(7));
+    if (s.AddCorrelation(rule).ok()) ++added;
+  }
+  ASSERT_EQ(added, 5);
+  IndexOptions options;
+  options.transform.tau_min = 0.05;
+  CrossValidate(s, options, 0.05, 101);
+  CrossValidate(s, options, 0.2, 102);
+}
+
+TEST(SubstringIndexTest, TopKReturnsBestMatches) {
+  test::RandomStringSpec spec{.length = 60, .alphabet = 2, .theta = 0.5,
+                              .seed = 17};
+  const UncertainString s = test::RandomUncertain(spec);
+  IndexOptions options;
+  options.transform.tau_min = 0.05;
+  const auto index = SubstringIndex::Build(s, options);
+  ASSERT_TRUE(index.ok());
+  Rng rng(23);
+  for (int q = 0; q < 40; ++q) {
+    const size_t len = 1 + rng.Uniform(5);
+    const std::string pattern = test::RandomPattern(2, len, rng.Next());
+    std::vector<Match> all = BruteForceSearch(s, pattern, 0.05);
+    std::sort(all.begin(), all.end(), [](const Match& a, const Match& b) {
+      if (a.probability != b.probability) return a.probability > b.probability;
+      return a.position < b.position;
+    });
+    for (const size_t k : {size_t{1}, size_t{3}, size_t{100}}) {
+      std::vector<Match> got;
+      ASSERT_TRUE(index->QueryTopK(pattern, 0.05, k, &got).ok());
+      ASSERT_EQ(got.size(), std::min(k, all.size())) << pattern;
+      // Probabilities must match the k best (positions may tie arbitrarily
+      // among equal probabilities).
+      for (size_t i = 0; i < got.size(); ++i) {
+        ASSERT_NEAR(got[i].probability, all[i].probability, 1e-9) << pattern;
+      }
+    }
+  }
+}
+
+TEST(SubstringIndexTest, CountMatchesQuerySize) {
+  test::RandomStringSpec spec{.length = 50, .alphabet = 2, .seed = 19};
+  const UncertainString s = test::RandomUncertain(spec);
+  IndexOptions options;
+  options.transform.tau_min = 0.1;
+  const auto index = SubstringIndex::Build(s, options);
+  ASSERT_TRUE(index.ok());
+  for (const char* p : {"a", "ab", "ba", "bb", "aaa"}) {
+    size_t count = 0;
+    std::vector<Match> out;
+    ASSERT_TRUE(index->Count(p, 0.1, &count).ok());
+    ASSERT_TRUE(index->Query(p, 0.1, &out).ok());
+    EXPECT_EQ(count, out.size());
+  }
+}
+
+TEST(SubstringIndexTest, StatsAreCoherent) {
+  test::RandomStringSpec spec{.length = 64, .alphabet = 3, .seed = 23};
+  const UncertainString s = test::RandomUncertain(spec);
+  IndexOptions options;
+  options.transform.tau_min = 0.2;
+  const auto index = SubstringIndex::Build(s, options);
+  ASSERT_TRUE(index.ok());
+  const auto stats = index->stats();
+  EXPECT_EQ(stats.original_length, 64);
+  EXPECT_GT(stats.num_factors, 0u);
+  EXPECT_GT(stats.transformed_length, stats.num_factors);  // chars + sentinels
+  EXPECT_GE(stats.short_depth_limit, 1);
+  EXPECT_GT(stats.num_tree_nodes, 0u);
+  EXPECT_GT(index->MemoryUsage(), 0u);
+}
+
+// ---- The parameterized oracle sweep ----
+
+struct SweepCase {
+  int length;
+  int alphabet;
+  double theta;
+  double tau_min;
+  double tau;
+  RmqEngineKind engine;
+  int seed;
+};
+
+class SubstringSweepTest : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(SubstringSweepTest, MatchesOracle) {
+  const SweepCase& c = GetParam();
+  test::RandomStringSpec spec;
+  spec.length = c.length;
+  spec.alphabet = c.alphabet;
+  spec.theta = c.theta;
+  spec.seed = static_cast<uint64_t>(c.seed) * 1000 + c.length;
+  const UncertainString s = test::RandomUncertain(spec);
+  IndexOptions options;
+  options.transform.tau_min = c.tau_min;
+  options.rmq_engine = c.engine;
+  CrossValidate(s, options, c.tau, spec.seed + 1);
+}
+
+std::vector<SweepCase> MakeSweep() {
+  std::vector<SweepCase> cases;
+  int seed = 0;
+  for (const int length : {1, 2, 13, 60, 200}) {
+    for (const double theta : {0.0, 0.3, 0.8}) {
+      for (const auto& [tau_min, tau] :
+           std::vector<std::pair<double, double>>{{0.1, 0.1},
+                                                  {0.1, 0.3},
+                                                  {0.25, 0.6}}) {
+        cases.push_back(SweepCase{length, 3, theta, tau_min, tau,
+                                  RmqEngineKind::kBlock, ++seed});
+      }
+    }
+  }
+  // Engine cross-checks on a medium instance.
+  for (const RmqEngineKind engine :
+       {RmqEngineKind::kFischerHeun, RmqEngineKind::kSparseTable}) {
+    cases.push_back(SweepCase{80, 2, 0.5, 0.1, 0.2, engine, ++seed});
+    cases.push_back(SweepCase{80, 4, 0.4, 0.15, 0.15, engine, ++seed});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SubstringSweepTest,
+                         ::testing::ValuesIn(MakeSweep()));
+
+}  // namespace
+}  // namespace pti

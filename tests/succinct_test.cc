@@ -1,0 +1,223 @@
+// Tests for the succinct substrate: BitVector rank/select, WaveletTree
+// access/rank, and FmIndex backward search vs the suffix tree.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "succinct/bitvector.h"
+#include "succinct/fm_index.h"
+#include "succinct/wavelet_tree.h"
+#include "suffix/suffix_tree.h"
+#include "suffix/text.h"
+#include "util/rng.h"
+
+namespace pti {
+namespace {
+
+// ---- BitVector ----
+
+BitVector MakeBv(const std::vector<bool>& bits) {
+  BitVector bv(bits.size());
+  for (size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i]) bv.Set(i);
+  }
+  bv.Finish();
+  return bv;
+}
+
+TEST(BitVectorTest, RankMatchesNaive) {
+  Rng rng(1);
+  for (const size_t n : {size_t{1}, size_t{63}, size_t{64}, size_t{65},
+                         size_t{511}, size_t{512}, size_t{513}, size_t{5000}}) {
+    std::vector<bool> bits(n);
+    for (size_t i = 0; i < n; ++i) bits[i] = rng.Bernoulli(0.4);
+    const BitVector bv = MakeBv(bits);
+    size_t ones = 0;
+    for (size_t i = 0; i <= n; ++i) {
+      ASSERT_EQ(bv.Rank1(i), ones) << "n=" << n << " i=" << i;
+      ASSERT_EQ(bv.Rank0(i), i - ones);
+      if (i < n && bits[i]) ++ones;
+    }
+    ASSERT_EQ(bv.ones(), ones);
+  }
+}
+
+TEST(BitVectorTest, SelectMatchesNaive) {
+  Rng rng(2);
+  for (const size_t n : {size_t{70}, size_t{600}, size_t{4096}}) {
+    std::vector<bool> bits(n);
+    for (size_t i = 0; i < n; ++i) bits[i] = rng.Bernoulli(0.3);
+    const BitVector bv = MakeBv(bits);
+    size_t k = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (bits[i]) {
+        ASSERT_EQ(bv.Select1(k), i) << "n=" << n << " k=" << k;
+        ++k;
+      }
+    }
+  }
+}
+
+TEST(BitVectorTest, AllZerosAllOnes) {
+  const BitVector zeros = MakeBv(std::vector<bool>(100, false));
+  EXPECT_EQ(zeros.Rank1(100), 0u);
+  const BitVector ones = MakeBv(std::vector<bool>(100, true));
+  EXPECT_EQ(ones.Rank1(100), 100u);
+  EXPECT_EQ(ones.Select1(99), 99u);
+}
+
+// ---- WaveletTree ----
+
+void CheckWavelet(const std::vector<int32_t>& data, int32_t sigma) {
+  const WaveletTree wt(data, sigma);
+  // Access.
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_EQ(wt.Access(i), data[i]) << "i=" << i;
+  }
+  // Rank for every symbol at every prefix.
+  std::map<int32_t, size_t> counts;
+  for (size_t i = 0; i <= data.size(); ++i) {
+    for (int32_t c = 0; c < sigma; ++c) {
+      ASSERT_EQ(wt.Rank(c, i), counts[c]) << "c=" << c << " i=" << i;
+    }
+    if (i < data.size()) counts[data[i]]++;
+  }
+}
+
+TEST(WaveletTreeTest, SmallAlphabets) {
+  CheckWavelet({0, 1, 0, 1, 1, 0}, 2);
+  CheckWavelet({2, 0, 1, 2, 1, 0, 2, 2}, 3);
+  CheckWavelet({0}, 1);
+  CheckWavelet({}, 4);
+}
+
+TEST(WaveletTreeTest, RandomSweep) {
+  Rng rng(3);
+  for (const int32_t sigma : {2, 5, 16, 100, 1000}) {
+    std::vector<int32_t> data(300);
+    for (auto& x : data) x = static_cast<int32_t>(rng.Uniform(sigma));
+    CheckWavelet(data, sigma);
+  }
+}
+
+TEST(WaveletTreeTest, NonPowerOfTwoAlphabet) {
+  std::vector<int32_t> data;
+  for (int i = 0; i < 200; ++i) data.push_back(i % 7);
+  CheckWavelet(data, 7);
+}
+
+TEST(WaveletTreeTest, LargeRandomRankSpotChecks) {
+  Rng rng(5);
+  const int32_t sigma = 300;
+  std::vector<int32_t> data(20000);
+  for (auto& x : data) x = static_cast<int32_t>(rng.Uniform(sigma));
+  const WaveletTree wt(data, sigma);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const size_t i = rng.Uniform(data.size() + 1);
+    const int32_t c = static_cast<int32_t>(rng.Uniform(sigma));
+    size_t want = 0;
+    for (size_t k = 0; k < i; ++k) {
+      if (data[k] == c) ++want;
+    }
+    ASSERT_EQ(wt.Rank(c, i), want);
+    if (i < data.size()) {
+      ASSERT_EQ(wt.Access(i), data[i]);
+    }
+  }
+}
+
+// ---- FmIndex ----
+
+void CheckFmAgainstTree(const Text& text) {
+  const SuffixTree st = SuffixTree::Build(&text.chars(), text.alphabet_size());
+  const FmIndex fm(text.chars(), st.sa(), text.alphabet_size());
+  Rng rng(7);
+  // Existing substrings of every length, plus random (often absent) ones.
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<int32_t> pattern;
+    const size_t len = 1 + rng.Uniform(8);
+    if (trial % 2 == 0 && text.size() > len) {
+      size_t start = rng.Uniform(text.size() - len);
+      for (size_t k = 0; k < len; ++k) {
+        pattern.push_back(text.chars()[start + k]);
+      }
+    } else {
+      for (size_t k = 0; k < len; ++k) {
+        pattern.push_back(static_cast<int32_t>('a' + rng.Uniform(3)));
+      }
+    }
+    const auto tree_range = st.FindRange(pattern);
+    const auto fm_range = fm.Range(pattern);
+    ASSERT_EQ(tree_range.has_value(), fm_range.has_value());
+    if (tree_range.has_value()) {
+      ASSERT_EQ(fm_range->first, tree_range->begin);
+      ASSERT_EQ(fm_range->second, tree_range->end);
+    }
+  }
+  // Empty pattern: full range.
+  const auto all = fm.Range({});
+  ASSERT_TRUE(all.has_value());
+  EXPECT_EQ(all->first, 0);
+  EXPECT_EQ(all->second, static_cast<int32_t>(text.size()));
+}
+
+TEST(FmIndexTest, SingleMemberText) {
+  Text t;
+  t.AppendMember(std::string("abracadabraabracadabra"));
+  CheckFmAgainstTree(t);
+}
+
+TEST(FmIndexTest, MultiMemberTextWithSentinels) {
+  Text t;
+  t.AppendMember(std::string("abab"));
+  t.AppendMember(std::string("babaab"));
+  t.AppendMember(std::string("a"));
+  t.AppendMember(std::string("bbbb"));
+  CheckFmAgainstTree(t);
+}
+
+TEST(FmIndexTest, RandomTexts) {
+  Rng rng(11);
+  for (int trial = 0; trial < 10; ++trial) {
+    Text t;
+    const int members = 1 + static_cast<int>(rng.Uniform(5));
+    for (int m = 0; m < members; ++m) {
+      std::string s;
+      const size_t len = 1 + rng.Uniform(60);
+      for (size_t i = 0; i < len; ++i) {
+        s.push_back(static_cast<char>('a' + rng.Uniform(2)));
+      }
+      t.AppendMember(s);
+    }
+    CheckFmAgainstTree(t);
+  }
+}
+
+TEST(FmIndexTest, PatternWithForeignSymbolRejected) {
+  Text t;
+  t.AppendMember(std::string("abc"));
+  const SuffixTree st = SuffixTree::Build(&t.chars(), t.alphabet_size());
+  const FmIndex fm(t.chars(), st.sa(), t.alphabet_size());
+  EXPECT_FALSE(fm.Range({'z'}).has_value());
+  EXPECT_FALSE(fm.Range({'a', 'z'}).has_value());
+}
+
+TEST(FmIndexTest, MemorySmallerThanTree) {
+  Text t;
+  std::string s;
+  Rng rng(13);
+  for (int i = 0; i < 20000; ++i) {
+    s.push_back(static_cast<char>('a' + rng.Uniform(4)));
+  }
+  t.AppendMember(s);
+  const SuffixTree st = SuffixTree::Build(&t.chars(), t.alphabet_size());
+  const FmIndex fm(t.chars(), st.sa(), t.alphabet_size());
+  // The whole point of compact mode: the locator is far smaller than the
+  // tree's node arrays.
+  EXPECT_LT(fm.MemoryUsage() * 5, st.MemoryUsage());
+}
+
+}  // namespace
+}  // namespace pti

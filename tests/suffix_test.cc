@@ -1,0 +1,379 @@
+// Tests for the suffix substrate: SA-IS vs naive sort, Kasai LCP vs naive,
+// Text invariants, and the suffix tree (locus search, ranges, topology, LCA).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "suffix/lcp.h"
+#include "suffix/sais.h"
+#include "suffix/suffix_tree.h"
+#include "suffix/text.h"
+#include "util/rng.h"
+
+namespace pti {
+namespace {
+
+std::vector<int32_t> ToInts(const std::string& s) {
+  std::vector<int32_t> v;
+  for (const char c : s) v.push_back(static_cast<unsigned char>(c));
+  return v;
+}
+
+void CheckSa(const std::vector<int32_t>& text, int32_t alphabet) {
+  const auto got = BuildSuffixArray(text, alphabet);
+  const auto want = BuildSuffixArrayNaive(text);
+  ASSERT_EQ(got, want) << "text size " << text.size();
+}
+
+TEST(SaisTest, EmptyAndSingle) {
+  CheckSa({}, 1);
+  CheckSa({0}, 1);
+  CheckSa({5}, 6);
+}
+
+TEST(SaisTest, ClassicBanana) {
+  const auto sa = BuildSuffixArray(ToInts("banana"), 256);
+  // suffixes sorted: a, ana, anana, banana, na, nana
+  EXPECT_EQ(sa, (std::vector<int32_t>{5, 3, 1, 0, 4, 2}));
+}
+
+TEST(SaisTest, Mississippi) {
+  CheckSa(ToInts("mississippi"), 256);
+}
+
+TEST(SaisTest, AllSameCharacter) {
+  CheckSa(std::vector<int32_t>(200, 7), 8);
+}
+
+TEST(SaisTest, AlternatingPattern) {
+  std::vector<int32_t> v;
+  for (int i = 0; i < 101; ++i) v.push_back(i % 2);
+  CheckSa(v, 2);
+}
+
+TEST(SaisTest, ThueMorse) {
+  std::vector<int32_t> v = {0};
+  while (v.size() < 256) {
+    const size_t n = v.size();
+    for (size_t i = 0; i < n; ++i) v.push_back(1 - v[i]);
+  }
+  CheckSa(v, 2);
+}
+
+TEST(SaisTest, Fibonacci) {
+  std::string a = "a", b = "ab";
+  while (b.size() < 300) {
+    std::string c = b + a;
+    a = std::move(b);
+    b = std::move(c);
+  }
+  CheckSa(ToInts(b), 256);
+}
+
+TEST(SaisTest, LargeIntegerAlphabet) {
+  Rng rng(5);
+  std::vector<int32_t> v(500);
+  for (auto& x : v) x = static_cast<int32_t>(rng.Uniform(100000));
+  CheckSa(v, 100000);
+}
+
+class SaisRandomTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(SaisRandomTest, MatchesNaive) {
+  const auto [length, alphabet, seed] = GetParam();
+  Rng rng(static_cast<uint64_t>(seed) * 7919 + length * 31 + alphabet);
+  std::vector<int32_t> v(length);
+  for (auto& x : v) x = static_cast<int32_t>(rng.Uniform(alphabet));
+  CheckSa(v, alphabet);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SaisRandomTest,
+    ::testing::Combine(::testing::Values(2, 3, 10, 50, 257, 1000),
+                       ::testing::Values(1, 2, 4, 26, 256),
+                       ::testing::Values(1, 2, 3)));
+
+// ---- LCP ----
+
+std::vector<int32_t> NaiveLcp(const std::vector<int32_t>& text,
+                              const std::vector<int32_t>& sa) {
+  std::vector<int32_t> lcp(text.size(), 0);
+  for (size_t i = 1; i < sa.size(); ++i) {
+    int32_t a = sa[i - 1], b = sa[i], k = 0;
+    while (a + k < static_cast<int32_t>(text.size()) &&
+           b + k < static_cast<int32_t>(text.size()) &&
+           text[a + k] == text[b + k]) {
+      ++k;
+    }
+    lcp[i] = k;
+  }
+  return lcp;
+}
+
+TEST(LcpTest, Banana) {
+  const auto text = ToInts("banana");
+  const auto sa = BuildSuffixArray(text, 256);
+  EXPECT_EQ(BuildLcpArray(text, sa), NaiveLcp(text, sa));
+}
+
+TEST(LcpTest, RandomStrings) {
+  Rng rng(11);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = 1 + static_cast<int>(rng.Uniform(300));
+    const int sigma = 1 + static_cast<int>(rng.Uniform(4));
+    std::vector<int32_t> text(n);
+    for (auto& x : text) x = static_cast<int32_t>(rng.Uniform(sigma));
+    const auto sa = BuildSuffixArray(text, sigma);
+    ASSERT_EQ(BuildLcpArray(text, sa), NaiveLcp(text, sa));
+  }
+}
+
+TEST(LcpTest, Empty) {
+  EXPECT_TRUE(BuildLcpArray({}, {}).empty());
+}
+
+// ---- Text ----
+
+TEST(TextTest, MembersAndSentinels) {
+  Text t;
+  EXPECT_EQ(t.AppendMember(std::string("abc")), 0);
+  EXPECT_EQ(t.AppendMember(std::string("de")), 1);
+  EXPECT_EQ(t.num_members(), 2);
+  EXPECT_EQ(t.size(), 7u);  // abc$0 de$1
+  EXPECT_EQ(t.alphabet_size(), 258);
+  EXPECT_FALSE(t.IsSentinel(0));
+  EXPECT_TRUE(t.IsSentinel(3));
+  EXPECT_TRUE(t.IsSentinel(6));
+  EXPECT_EQ(t.chars()[3], 256);
+  EXPECT_EQ(t.chars()[6], 257);
+  EXPECT_EQ(t.MemberOf(0), 0);
+  EXPECT_EQ(t.MemberOf(3), 0);
+  EXPECT_EQ(t.MemberOf(4), 1);
+  EXPECT_EQ(t.MemberOf(6), 1);
+  EXPECT_EQ(t.MemberBegin(1), 4u);
+  EXPECT_EQ(t.MemberEnd(1), 6u);
+}
+
+TEST(TextTest, FromRawRoundTrip) {
+  Text t;
+  t.AppendMember(std::string("xy"));
+  t.AppendMember(std::string("z"));
+  auto copy = Text::FromRaw(t.chars(), t.member_starts());
+  ASSERT_TRUE(copy.ok());
+  EXPECT_EQ(copy->chars(), t.chars());
+  EXPECT_EQ(copy->num_members(), 2);
+}
+
+TEST(TextTest, FromRawRejectsBadSentinel) {
+  Text t;
+  t.AppendMember(std::string("ab"));
+  auto chars = t.chars();
+  chars[2] = 999;  // clobber the sentinel
+  EXPECT_TRUE(Text::FromRaw(chars, t.member_starts()).status().IsCorruption());
+}
+
+TEST(TextTest, FromRawRejectsBadStarts) {
+  Text t;
+  t.AppendMember(std::string("ab"));
+  EXPECT_TRUE(Text::FromRaw(t.chars(), {0}).status().IsCorruption());
+  EXPECT_TRUE(Text::FromRaw(t.chars(), {1, 3}).status().IsCorruption());
+}
+
+TEST(TextTest, MapPatternHandlesHighBytes) {
+  const auto p = Text::MapPattern(std::string("\xff\x01"));
+  EXPECT_EQ(p, (std::vector<int32_t>{255, 1}));
+}
+
+// ---- SuffixTree ----
+
+// Builds a single-member Text (so the no-prefix-suffix invariant holds).
+Text MakeText(const std::string& s) {
+  Text t;
+  t.AppendMember(s);
+  return t;
+}
+
+TEST(SuffixTreeTest, FindRangeBasics) {
+  const Text t = MakeText("banana");
+  const SuffixTree st = SuffixTree::Build(&t.chars(), t.alphabet_size());
+  // Suffix order: $ a$ ana$ anana$ banana$ na$ nana$ (with $ = sentinel).
+  const auto r = st.FindRange(Text::MapPattern("ana"));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->count(), 2);
+  // All occurrences of "ana": positions 1 and 3.
+  std::vector<int32_t> pos;
+  for (int32_t i = r->begin; i < r->end; ++i) pos.push_back(st.sa()[i]);
+  std::sort(pos.begin(), pos.end());
+  EXPECT_EQ(pos, (std::vector<int32_t>{1, 3}));
+  EXPECT_FALSE(st.FindRange(Text::MapPattern("nab")).has_value());
+  EXPECT_FALSE(st.FindRange(Text::MapPattern("bananaX")).has_value());
+}
+
+TEST(SuffixTreeTest, EmptyPatternGivesFullRange) {
+  const Text t = MakeText("abc");
+  const SuffixTree st = SuffixTree::Build(&t.chars(), t.alphabet_size());
+  const auto r = st.FindRange({});
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->locus, st.root());
+  EXPECT_EQ(r->count(), 4);  // 3 chars + sentinel suffix
+}
+
+TEST(SuffixTreeTest, EverySubstringIsFound) {
+  const std::string s = "mississippi";
+  const Text t = MakeText(s);
+  const SuffixTree st = SuffixTree::Build(&t.chars(), t.alphabet_size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    for (size_t len = 1; i + len <= s.size(); ++len) {
+      const std::string sub = s.substr(i, len);
+      const auto r = st.FindRange(Text::MapPattern(sub));
+      ASSERT_TRUE(r.has_value()) << sub;
+      // Count occurrences naively.
+      int want = 0;
+      for (size_t j = 0; j + len <= s.size(); ++j) {
+        if (s.compare(j, len, sub) == 0) ++want;
+      }
+      ASSERT_EQ(r->count(), want) << sub;
+    }
+  }
+}
+
+TEST(SuffixTreeTest, PreorderSubtreeInvariants) {
+  const Text t = MakeText("abracadabra");
+  const SuffixTree st = SuffixTree::Build(&t.chars(), t.alphabet_size());
+  for (int32_t v = 0; v < st.num_nodes(); ++v) {
+    EXPECT_LT(v, st.subtree_end(v));
+    EXPECT_LE(st.subtree_end(v), st.num_nodes());
+    if (v != st.root()) {
+      const int32_t p = st.parent(v);
+      EXPECT_TRUE(st.IsAncestor(p, v));
+      EXPECT_LT(st.depth(p), st.depth(v));
+      EXPECT_LE(st.sa_begin(p), st.sa_begin(v));
+      EXPECT_GE(st.sa_end(p), st.sa_end(v));
+    }
+    // Children partition the parent's SA range.
+    if (!st.is_leaf(v)) {
+      int32_t at = st.sa_begin(v);
+      for (int32_t k = 0; k < st.num_children(v); ++k) {
+        const int32_t c = st.child_at(v, k);
+        EXPECT_EQ(st.sa_begin(c), at);
+        at = st.sa_end(c);
+      }
+      EXPECT_EQ(at, st.sa_end(v));
+      EXPECT_GE(st.num_children(v), 2);
+    }
+  }
+}
+
+TEST(SuffixTreeTest, LeafMapping) {
+  const Text t = MakeText("abcabx");
+  const SuffixTree st = SuffixTree::Build(&t.chars(), t.alphabet_size());
+  for (int32_t i = 0; i < static_cast<int32_t>(t.size()); ++i) {
+    const int32_t leaf = st.leaf_node(i);
+    EXPECT_TRUE(st.is_leaf(leaf));
+    EXPECT_EQ(st.sa_begin(leaf), i);
+    // Leaf string depth = suffix length.
+    EXPECT_EQ(st.depth(leaf),
+              static_cast<int32_t>(t.size()) - st.sa()[i]);
+  }
+}
+
+int32_t NaiveLca(const SuffixTree& st, int32_t u, int32_t v) {
+  while (u != v) {
+    if (u > v) {
+      u = st.parent(u);
+    } else {
+      v = st.parent(v);
+    }
+  }
+  return u;
+}
+
+TEST(SuffixTreeTest, LcaMatchesNaive) {
+  const Text t = MakeText("abracadabraabracadabra");
+  SuffixTree st = SuffixTree::Build(&t.chars(), t.alphabet_size());
+  st.BuildLcaSupport();
+  Rng rng(3);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const int32_t u = static_cast<int32_t>(rng.Uniform(st.num_nodes()));
+    const int32_t v = static_cast<int32_t>(rng.Uniform(st.num_nodes()));
+    ASSERT_EQ(st.Lca(u, v), NaiveLca(st, u, v)) << u << " " << v;
+  }
+}
+
+TEST(SuffixTreeTest, LcaSurvivesMove) {
+  // The Euler-tour accessor must capture move-stable state: moving a tree
+  // that already has LCA support must not dangle.
+  const Text t = MakeText("bananabandana");
+  SuffixTree original = SuffixTree::Build(&t.chars(), t.alphabet_size());
+  original.BuildLcaSupport();
+  const SuffixTree moved = std::move(original);
+  Rng rng(41);
+  for (int trial = 0; trial < 500; ++trial) {
+    const int32_t u = static_cast<int32_t>(rng.Uniform(moved.num_nodes()));
+    const int32_t v = static_cast<int32_t>(rng.Uniform(moved.num_nodes()));
+    ASSERT_EQ(moved.Lca(u, v), NaiveLca(moved, u, v));
+  }
+}
+
+TEST(SuffixTreeTest, MultiMemberTextSeparatesMembers) {
+  Text t;
+  t.AppendMember(std::string("abab"));
+  t.AppendMember(std::string("aba"));
+  const SuffixTree st = SuffixTree::Build(&t.chars(), t.alphabet_size());
+  const auto r = st.FindRange(Text::MapPattern("aba"));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->count(), 2);  // one occurrence in each member
+  // "abab" never crosses into the second member.
+  const auto r2 = st.FindRange(Text::MapPattern("abaa"));
+  EXPECT_FALSE(r2.has_value());
+}
+
+TEST(SuffixTreeTest, RandomTextsFindAllAndOnlySubstrings) {
+  Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = 2 + static_cast<int>(rng.Uniform(120));
+    std::string s;
+    for (int i = 0; i < n; ++i) {
+      s.push_back(static_cast<char>('a' + rng.Uniform(2)));
+    }
+    const Text t = MakeText(s);
+    const SuffixTree st = SuffixTree::Build(&t.chars(), t.alphabet_size());
+    for (int q = 0; q < 50; ++q) {
+      const size_t len = 1 + rng.Uniform(6);
+      std::string p;
+      for (size_t k = 0; k < len; ++k) {
+        p.push_back(static_cast<char>('a' + rng.Uniform(2)));
+      }
+      const bool present = s.find(p) != std::string::npos;
+      const auto r = st.FindRange(Text::MapPattern(p));
+      ASSERT_EQ(r.has_value(), present) << s << " / " << p;
+    }
+  }
+}
+
+TEST(SuffixTreeTest, EmptyText) {
+  const std::vector<int32_t> empty;
+  const SuffixTree st = SuffixTree::Build(&empty, 1);
+  EXPECT_EQ(st.num_nodes(), 1);
+  EXPECT_FALSE(st.FindRange(Text::MapPattern("a")).has_value());
+}
+
+TEST(SuffixTreeTest, DepthsAreStringDepths) {
+  const Text t = MakeText("aaaa");
+  const SuffixTree st = SuffixTree::Build(&t.chars(), t.alphabet_size());
+  // Internal nodes for prefixes a, aa, aaa exist with those depths.
+  std::vector<int32_t> internal_depths;
+  for (int32_t v = 0; v < st.num_nodes(); ++v) {
+    if (!st.is_leaf(v) && v != st.root()) internal_depths.push_back(st.depth(v));
+  }
+  std::sort(internal_depths.begin(), internal_depths.end());
+  EXPECT_EQ(internal_depths, (std::vector<int32_t>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace pti

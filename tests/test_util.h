@@ -1,0 +1,112 @@
+// Shared helpers for the pti test suite: small randomized uncertain-string
+// generators (tighter alphabets than datagen, to force collisions and
+// interesting suffix structure) and match-list comparison utilities.
+
+#ifndef PTI_TESTS_TEST_UTIL_H_
+#define PTI_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/match.h"
+#include "core/uncertain_string.h"
+#include "util/rng.h"
+
+namespace pti {
+namespace test {
+
+struct RandomStringSpec {
+  int64_t length = 30;
+  int32_t alphabet = 3;       // characters 'a', 'b', ...
+  double theta = 0.5;         // fraction of uncertain positions
+  int32_t max_choices = 3;    // options per uncertain position
+  uint64_t seed = 1;
+  double min_prob = 0.05;     // floor for option probabilities
+};
+
+/// A random uncertain string over a small alphabet. Probabilities are
+/// snapped to multiples of 1/64 so threshold boundary behaviour is exact.
+inline UncertainString RandomUncertain(const RandomStringSpec& spec) {
+  Rng rng(spec.seed);
+  UncertainString s;
+  for (int64_t i = 0; i < spec.length; ++i) {
+    const bool uncertain = rng.Bernoulli(spec.theta);
+    const int32_t want =
+        uncertain ? 2 + static_cast<int32_t>(
+                            rng.Uniform(std::max(1, spec.max_choices - 1)))
+                  : 1;
+    const int32_t choices = std::min(want, spec.alphabet);
+    std::vector<int32_t> chars;
+    while (static_cast<int32_t>(chars.size()) < choices) {
+      const int32_t c = static_cast<int32_t>(rng.Uniform(spec.alphabet));
+      if (std::find(chars.begin(), chars.end(), c) == chars.end()) {
+        chars.push_back(c);
+      }
+    }
+    // Random composition of 64 "ticks" over the choices, each at least 1.
+    std::vector<int32_t> ticks(chars.size(), 1);
+    int32_t rest = 64 - static_cast<int32_t>(chars.size());
+    for (size_t k = 0; k + 1 < ticks.size(); ++k) {
+      const int32_t take = static_cast<int32_t>(rng.Uniform(rest + 1));
+      ticks[k] += take;
+      rest -= take;
+    }
+    ticks.back() += rest;
+    std::vector<CharOption> opts;
+    for (size_t k = 0; k < chars.size(); ++k) {
+      opts.push_back({static_cast<uint8_t>('a' + chars[k]),
+                      static_cast<double>(ticks[k]) / 64.0});
+    }
+    s.AddPosition(std::move(opts));
+  }
+  return s;
+}
+
+/// Random pattern over the same alphabet (may or may not occur).
+inline std::string RandomPattern(int32_t alphabet, size_t length,
+                                 uint64_t seed) {
+  Rng rng(seed);
+  std::string p;
+  for (size_t k = 0; k < length; ++k) {
+    p.push_back(static_cast<char>('a' + rng.Uniform(alphabet)));
+  }
+  return p;
+}
+
+/// Pattern sampled from an actual path of s (likely to occur).
+inline std::string PatternFromString(const UncertainString& s, int64_t start,
+                                     size_t length, uint64_t seed) {
+  Rng rng(seed);
+  std::string p;
+  for (size_t k = 0; k < length; ++k) {
+    const auto& opts = s.options(start + static_cast<int64_t>(k));
+    p.push_back(static_cast<char>(opts[rng.Uniform(opts.size())].ch));
+  }
+  return p;
+}
+
+inline std::string MatchesToString(const std::vector<Match>& ms) {
+  std::ostringstream out;
+  for (const Match& m : ms) {
+    out << "(" << m.position << ", " << m.probability << ") ";
+  }
+  return out.str();
+}
+
+/// Positions must agree exactly; probabilities within tol.
+inline bool SameMatches(const std::vector<Match>& a,
+                        const std::vector<Match>& b, double tol = 1e-9) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].position != b[i].position) return false;
+    if (std::abs(a[i].probability - b[i].probability) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace test
+}  // namespace pti
+
+#endif  // PTI_TESTS_TEST_UTIL_H_

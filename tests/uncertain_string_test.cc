@@ -1,0 +1,290 @@
+// Tests for the uncertain string model (§3): validation, occurrence
+// probabilities, possible-world semantics (Figure 1), and correlation
+// resolution (§3.3 / Figure 4).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "core/uncertain_string.h"
+#include "test_util.h"
+
+namespace pti {
+namespace {
+
+// The paper's Figure 1 string S (5 positions).
+UncertainString Figure1String() {
+  UncertainString s;
+  s.AddPosition({{'a', 0.3}, {'b', 0.4}, {'d', 0.3}});
+  s.AddPosition({{'a', 0.6}, {'c', 0.4}});
+  s.AddPosition({{'d', 1.0}});
+  s.AddPosition({{'a', 0.5}, {'c', 0.5}});
+  s.AddPosition({{'a', 1.0}});
+  return s;
+}
+
+// The paper's Figure 3 string (genomic alignment example, 11 positions).
+UncertainString Figure3String() {
+  UncertainString s;
+  s.AddPosition({{'P', 1.0}});
+  s.AddPosition({{'S', 0.7}, {'F', 0.3}});
+  s.AddPosition({{'F', 1.0}});
+  s.AddPosition({{'P', 1.0}});
+  s.AddPosition({{'Q', 0.5}, {'T', 0.5}});
+  s.AddPosition({{'P', 1.0}});
+  s.AddPosition({{'A', 0.4}, {'F', 0.4}, {'P', 0.2}});
+  s.AddPosition({{'I', 0.3}, {'L', 0.3}, {'P', 0.3}, {'T', 0.1}});
+  s.AddPosition({{'A', 1.0}});
+  s.AddPosition({{'S', 0.5}, {'T', 0.5}});
+  s.AddPosition({{'A', 1.0}});
+  return s;
+}
+
+TEST(UncertainStringTest, ValidateAcceptsWellFormed) {
+  EXPECT_TRUE(Figure1String().Validate().ok());
+  EXPECT_TRUE(Figure3String().Validate().ok());
+  EXPECT_TRUE(UncertainString().Validate().ok());
+}
+
+TEST(UncertainStringTest, ValidateRejectsBadSum) {
+  UncertainString s;
+  s.AddPosition({{'a', 0.5}, {'b', 0.4}});
+  EXPECT_TRUE(s.Validate().IsInvalidArgument());
+}
+
+TEST(UncertainStringTest, ValidateRejectsNegativeProb) {
+  UncertainString s;
+  s.AddPosition({{'a', 1.2}, {'b', -0.2}});
+  EXPECT_TRUE(s.Validate().IsInvalidArgument());
+}
+
+TEST(UncertainStringTest, ValidateRejectsDuplicateChar) {
+  UncertainString s;
+  s.AddPosition({{'a', 0.5}, {'a', 0.5}});
+  EXPECT_TRUE(s.Validate().IsInvalidArgument());
+}
+
+TEST(UncertainStringTest, ValidateRejectsEmptyPosition) {
+  UncertainString s;
+  s.AddPosition({});
+  EXPECT_TRUE(s.Validate().IsInvalidArgument());
+}
+
+TEST(UncertainStringTest, FromDeterministic) {
+  const UncertainString s = UncertainString::FromDeterministic("abc");
+  EXPECT_TRUE(s.IsSpecial());
+  EXPECT_TRUE(s.Validate().ok());
+  EXPECT_EQ(s.size(), 3);
+  EXPECT_NEAR(s.OccurrenceProb("bc", 1).ToLinear(), 1.0, 1e-12);
+  EXPECT_TRUE(s.OccurrenceProb("bc", 0).IsZero());
+}
+
+TEST(UncertainStringTest, BaseProb) {
+  const UncertainString s = Figure1String();
+  EXPECT_EQ(s.BaseProb(0, 'b'), 0.4);
+  EXPECT_EQ(s.BaseProb(0, 'z'), 0.0);
+  EXPECT_EQ(s.BaseProb(2, 'd'), 1.0);
+}
+
+TEST(UncertainStringTest, OccurrenceProbMatchesPaperFigure3) {
+  // §3.2: "SFPQ has probability of occurrence 0.7*1*1*0.5 = 0.35 at
+  // position 2" (1-based); our positions are 0-based, so position 1.
+  const UncertainString s = Figure3String();
+  EXPECT_NEAR(s.OccurrenceProb("SFPQ", 1).ToLinear(), 0.35, 1e-12);
+  // §2: "AT" matches at 1-based 7 with 0.4*0.3 = 0.12 — our position 6 with
+  // A=.4 then T=.1? The paper's figure lists T=.3 at position 8; follow the
+  // figure: A(.4) * T(.1) at our position 6 is 0.04; the motivating text
+  // uses .3 — we assert against the figure's own numbers.
+  EXPECT_NEAR(s.OccurrenceProb("AT", 6).ToLinear(), 0.4 * 0.1, 1e-12);
+  // 1-based 9: A(1.0) * T(.5) = 0.5.
+  EXPECT_NEAR(s.OccurrenceProb("AT", 8).ToLinear(), 0.5, 1e-12);
+}
+
+TEST(UncertainStringTest, OccurrenceProbEdgeCases) {
+  const UncertainString s = Figure1String();
+  EXPECT_TRUE(s.OccurrenceProb("", 0).IsZero());       // empty pattern
+  EXPECT_TRUE(s.OccurrenceProb("a", -1).IsZero());     // before start
+  EXPECT_TRUE(s.OccurrenceProb("aa", 4).IsZero());     // overruns end
+  EXPECT_TRUE(s.OccurrenceProb("z", 0).IsZero());      // absent character
+  EXPECT_NEAR(s.OccurrenceProb("a", 4).ToLinear(), 1.0, 1e-12);
+}
+
+TEST(UncertainStringTest, PossibleWorldsMatchFigure1) {
+  // Figure 1(b): 12 possible worlds; check a few flagship entries and that
+  // the whole distribution sums to 1.
+  const auto worlds = Figure1String().EnumerateWorlds(100);
+  ASSERT_TRUE(worlds.ok());
+  EXPECT_EQ(worlds->size(), 12u);
+  std::map<std::string, double> by_value;
+  double total = 0;
+  for (const auto& w : *worlds) {
+    by_value[w.value] += w.prob;
+    total += w.prob;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_NEAR(by_value["aadaa"], 0.09, 1e-12);
+  EXPECT_NEAR(by_value["badaa"], 0.12, 1e-12);
+  EXPECT_NEAR(by_value["dcdca"], 0.06, 1e-12);
+}
+
+TEST(UncertainStringTest, PossibleWorldsRespectLimit) {
+  EXPECT_TRUE(
+      Figure1String().EnumerateWorlds(5).status().IsResourceExhausted());
+}
+
+TEST(UncertainStringTest, WorldsAgreeWithOccurrenceProb) {
+  // Pr(p occurs at i) must equal the mass of worlds whose value has p at i.
+  const test::RandomStringSpec spec{.length = 6, .alphabet = 2, .seed = 42};
+  const UncertainString s = test::RandomUncertain(spec);
+  const auto worlds = s.EnumerateWorlds(1 << 14);
+  ASSERT_TRUE(worlds.ok());
+  const std::vector<std::string> patterns = {"a", "ab", "ba", "aab", "abab"};
+  for (const std::string& p : patterns) {
+    for (int64_t i = 0; i + static_cast<int64_t>(p.size()) <= s.size(); ++i) {
+      double mass = 0;
+      for (const auto& w : *worlds) {
+        if (w.value.compare(i, p.size(), p) == 0) mass += w.prob;
+      }
+      EXPECT_NEAR(s.OccurrenceProb(p, i).ToLinear(), mass, 1e-9)
+          << p << " at " << i;
+    }
+  }
+}
+
+// ---- Correlations (§3.3, Figure 4) ----
+
+// Figure 4: S[1] = {e:.6, f:.4}, S[2] = {q:1}, S[3] = {z correlated with e1}.
+UncertainString Figure4String() {
+  UncertainString s;
+  s.AddPosition({{'e', 0.6}, {'f', 0.4}});
+  s.AddPosition({{'q', 1.0}});
+  s.AddPosition({{'z', 1.0}});
+  EXPECT_TRUE(s.AddCorrelation({.pos = 2,
+                                .ch = 'z',
+                                .dep_pos = 0,
+                                .dep_ch = 'e',
+                                .prob_if_present = 0.3,
+                                .prob_if_absent = 0.4})
+                  .ok());
+  return s;
+}
+
+TEST(CorrelationTest, Figure4Case1InsideWindow) {
+  const UncertainString s = Figure4String();
+  // "For the substring eqz, pr(z3) = .3": Pr = .6 * 1 * .3.
+  EXPECT_NEAR(s.OccurrenceProb("eqz", 0).ToLinear(), 0.6 * 0.3, 1e-12);
+  // "for fqz, pr(z3) = .4".
+  EXPECT_NEAR(s.OccurrenceProb("fqz", 0).ToLinear(), 0.4 * 0.4, 1e-12);
+}
+
+TEST(CorrelationTest, Figure4Case2OutsideWindow) {
+  const UncertainString s = Figure4String();
+  // "For substring qz, pr(z3) = .6*.3 + .4*.4" (the paper's second term has
+  // a typo — pr+ instead of pr- — contradicted by its own example value).
+  EXPECT_NEAR(s.OccurrenceProb("qz", 1).ToLinear(), 0.6 * 0.3 + 0.4 * 0.4,
+              1e-12);
+  EXPECT_NEAR(s.OccurrenceProb("z", 2).ToLinear(), 0.34, 1e-12);
+}
+
+TEST(CorrelationTest, WorldsAgreeWithCorrelatedOccurrenceProb) {
+  // Full-string windows resolve via case 1; world mass must agree.
+  const UncertainString s = Figure4String();
+  const auto worlds = s.EnumerateWorlds(100);
+  ASSERT_TRUE(worlds.ok());
+  double mass_eqz = 0, total = 0;
+  for (const auto& w : *worlds) {
+    total += w.prob;
+    if (w.value == "eqz") mass_eqz += w.prob;
+  }
+  EXPECT_NEAR(mass_eqz, 0.18, 1e-12);
+  // Worlds of a correlated string need not sum to 1 unless the pr+/pr-
+  // variants are complementary; Figure 4's z-only position makes the mass
+  // 0.6*0.3 + 0.4*0.4 = 0.34 (z is the only choice there).
+  EXPECT_NEAR(total, 0.34, 1e-12);
+}
+
+TEST(CorrelationTest, AddCorrelationValidation) {
+  UncertainString s;
+  s.AddPosition({{'a', 0.5}, {'b', 0.5}});
+  s.AddPosition({{'c', 1.0}});
+  CorrelationRule ok{.pos = 1, .ch = 'c', .dep_pos = 0, .dep_ch = 'a',
+                     .prob_if_present = 0.9, .prob_if_absent = 0.2};
+  EXPECT_TRUE(s.AddCorrelation(ok).ok());
+  // Duplicate rule for same (pos, ch).
+  EXPECT_TRUE(s.AddCorrelation(ok).IsInvalidArgument());
+  // Out-of-range positions.
+  CorrelationRule bad = ok;
+  bad.pos = 7;
+  EXPECT_TRUE(s.AddCorrelation(bad).IsInvalidArgument());
+  // Self-correlation.
+  bad = ok;
+  bad.dep_pos = 1;
+  EXPECT_TRUE(s.AddCorrelation(bad).IsInvalidArgument());
+  // Nonexistent characters.
+  bad = ok;
+  bad.pos = 0;
+  bad.ch = 'z';
+  EXPECT_TRUE(s.AddCorrelation(bad).IsInvalidArgument());
+  bad = ok;
+  bad.dep_ch = 'z';
+  EXPECT_TRUE(s.AddCorrelation(bad).IsInvalidArgument());
+  // Probabilities outside [0, 1].
+  bad = ok;
+  bad.ch = 'b';  // distinct (pos, ch) so the dup check does not trigger
+  bad.pos = 0;
+  bad.dep_pos = 1;
+  bad.dep_ch = 'c';
+  bad.prob_if_present = 1.5;
+  EXPECT_TRUE(s.AddCorrelation(bad).IsInvalidArgument());
+}
+
+TEST(CorrelationTest, CaseSwitchDependsOnWindowExtent) {
+  // A window that includes the dependency resolves it (case 1); a window
+  // that excludes it marginalizes (case 2). Same position, same character.
+  UncertainString s;
+  s.AddPosition({{'x', 0.5}, {'y', 0.5}});
+  s.AddPosition({{'a', 1.0}});
+  s.AddPosition({{'b', 1.0}});
+  ASSERT_TRUE(s.AddCorrelation({.pos = 2, .ch = 'b', .dep_pos = 0,
+                                .dep_ch = 'x', .prob_if_present = 0.8,
+                                .prob_if_absent = 0.1})
+                  .ok());
+  EXPECT_NEAR(s.OccurrenceProb("xab", 0).ToLinear(), 0.5 * 0.8, 1e-12);
+  EXPECT_NEAR(s.OccurrenceProb("yab", 0).ToLinear(), 0.5 * 0.1, 1e-12);
+  const double marginal = 0.5 * 0.8 + 0.5 * 0.1;
+  EXPECT_NEAR(s.OccurrenceProb("ab", 1).ToLinear(), marginal, 1e-12);
+  EXPECT_NEAR(s.OccurrenceProb("b", 2).ToLinear(), marginal, 1e-12);
+}
+
+// ---- SpecialUncertainString ----
+
+TEST(SpecialStringTest, FromUncertainRequiresSpecialForm) {
+  EXPECT_FALSE(SpecialUncertainString::FromUncertain(Figure1String()).ok());
+  UncertainString s;
+  s.AddPosition({{'b', 0.4}});
+  s.AddPosition({{'a', 0.7}});
+  const auto sp = SpecialUncertainString::FromUncertain(s);
+  ASSERT_TRUE(sp.ok());
+  EXPECT_EQ(sp->chars, "ba");
+  EXPECT_EQ(sp->probs, (std::vector<double>{0.4, 0.7}));
+}
+
+TEST(SpecialStringTest, OccurrenceProbMatchesFigure5) {
+  // Figure 5: X = (b,.4)(a,.7)(n,.5)(a,.8)(n,.9)(a,.6); query ("ana", 0.3)
+  // matches at 1-based position 4 with 0.8*0.9*0.6 = 0.432 and fails at
+  // position 2 with 0.7*0.5*0.8 = 0.28.
+  SpecialUncertainString x;
+  x.chars = "banana";
+  x.probs = {0.4, 0.7, 0.5, 0.8, 0.9, 0.6};
+  EXPECT_NEAR(x.OccurrenceProb("ana", 3).ToLinear(), 0.432, 1e-12);
+  EXPECT_NEAR(x.OccurrenceProb("ana", 1).ToLinear(), 0.28, 1e-12);
+  EXPECT_TRUE(x.OccurrenceProb("nab", 2).IsZero());
+}
+
+TEST(UncertainStringTest, MemoryUsageIsNonzero) {
+  EXPECT_GT(Figure1String().MemoryUsage(), 0u);
+}
+
+}  // namespace
+}  // namespace pti

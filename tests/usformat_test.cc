@@ -1,0 +1,89 @@
+// Tests for the uncertain-string text format parser/formatter.
+
+#include <gtest/gtest.h>
+
+#include "core/usformat.h"
+
+namespace pti {
+namespace {
+
+TEST(UsFormatTest, ParsesBasicFile) {
+  const auto s = ParseUncertainString(
+      "# a comment\n"
+      "A=0.4 B=0.3 F=0.3\n"
+      "\n"
+      "B=1.0\n");
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  EXPECT_EQ(s->size(), 2);
+  EXPECT_EQ(s->BaseProb(0, 'A'), 0.4);
+  EXPECT_EQ(s->BaseProb(1, 'B'), 1.0);
+}
+
+TEST(UsFormatTest, ParsesCorrelations) {
+  const auto s = ParseUncertainString(
+      "e=0.6 f=0.4\n"
+      "q=1.0\n"
+      "z=1.0\n"
+      "@corr 2 z 0 e 0.3 0.4\n");
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  ASSERT_EQ(s->correlations().size(), 1u);
+  EXPECT_EQ(s->correlations()[0].dep_ch, 'e');
+  EXPECT_NEAR(s->OccurrenceProb("qz", 1).ToLinear(), 0.34, 1e-12);
+}
+
+TEST(UsFormatTest, ErrorsCarryLineNumbers) {
+  const auto bad = ParseUncertainString("A=0.5 B=0.5\nnotapair\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(UsFormatTest, RejectsBadProbability) {
+  EXPECT_FALSE(ParseUncertainString("A=abc\n").ok());
+  EXPECT_FALSE(ParseUncertainString("A=0.5 B=0.7\n").ok());  // sum != 1
+}
+
+TEST(UsFormatTest, RejectsBadDirective) {
+  EXPECT_FALSE(ParseUncertainString("A=1.0\n@weird 1 2 3\n").ok());
+  EXPECT_FALSE(ParseUncertainString("A=1.0\n@corr 0 A\n").ok());
+  // Correlation referencing a missing position.
+  const auto bad = ParseUncertainString("A=1.0\n@corr 0 A 5 B 0.5 0.5\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(UsFormatTest, RoundTrip) {
+  const std::string original =
+      "A=0.25 C=0.75\n"
+      "G=1.0\n"
+      "T=0.5 A=0.5\n"
+      "@corr 1 G 0 A 0.875 0.125\n";
+  const auto s = ParseUncertainString(original);
+  ASSERT_TRUE(s.ok());
+  const std::string formatted = FormatUncertainString(*s);
+  const auto s2 = ParseUncertainString(formatted);
+  ASSERT_TRUE(s2.ok());
+  ASSERT_EQ(s2->size(), s->size());
+  for (int64_t i = 0; i < s->size(); ++i) {
+    ASSERT_EQ(s2->options(i).size(), s->options(i).size());
+    for (size_t k = 0; k < s->options(i).size(); ++k) {
+      EXPECT_EQ(s2->options(i)[k].ch, s->options(i)[k].ch);
+      EXPECT_EQ(s2->options(i)[k].prob, s->options(i)[k].prob);
+    }
+  }
+  ASSERT_EQ(s2->correlations().size(), 1u);
+}
+
+TEST(UsFormatTest, WindowsLineEndings) {
+  const auto s = ParseUncertainString("A=1.0\r\nB=1.0\r\n");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->size(), 2);
+}
+
+TEST(UsFormatTest, EmptyInputIsEmptyString) {
+  const auto s = ParseUncertainString("");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->size(), 0);
+}
+
+}  // namespace
+}  // namespace pti

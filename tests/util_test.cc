@@ -1,0 +1,292 @@
+// Tests for src/util: Status, StatusOr, LogProb, Rng, serialization.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/log_prob.h"
+#include "util/rng.h"
+#include "util/serial.h"
+#include "util/status.h"
+
+namespace pti {
+namespace {
+
+// ---- Status ----
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesSetCodeAndMessage) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_EQ(Status::Corruption("bad magic").ToString(),
+            "Corruption: bad magic");
+  EXPECT_FALSE(Status::Corruption("x").ok());
+}
+
+TEST(StatusTest, ReturnIfErrorMacroPropagates) {
+  auto inner = [] { return Status::NotFound("missing"); };
+  auto outer = [&]() -> Status {
+    PTI_RETURN_IF_ERROR(inner());
+    return Status::OK();
+  };
+  EXPECT_TRUE(outer().IsNotFound());
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::InvalidArgument("nope");
+  EXPECT_FALSE(v.ok());
+  EXPECT_TRUE(v.status().IsInvalidArgument());
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(7);
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> taken = std::move(v).value();
+  EXPECT_EQ(*taken, 7);
+}
+
+// ---- LogProb ----
+
+TEST(LogProbTest, RoundTrip) {
+  for (const double p : {1.0, 0.5, 0.25, 0.1, 1e-6, 1e-300}) {
+    EXPECT_NEAR(LogProb::FromLinear(p).ToLinear(), p, p * 1e-12);
+  }
+}
+
+TEST(LogProbTest, ZeroAndOne) {
+  EXPECT_TRUE(LogProb::Zero().IsZero());
+  EXPECT_EQ(LogProb::One().ToLinear(), 1.0);
+  EXPECT_EQ(LogProb::FromLinear(0.0).ToLinear(), 0.0);
+  EXPECT_TRUE(LogProb::FromLinear(0.0).IsZero());
+}
+
+TEST(LogProbTest, MultiplicationMatchesLinear) {
+  const LogProb a = LogProb::FromLinear(0.5);
+  const LogProb b = LogProb::FromLinear(0.25);
+  EXPECT_NEAR((a * b).ToLinear(), 0.125, 1e-15);
+  EXPECT_TRUE((a * LogProb::Zero()).IsZero());
+  EXPECT_TRUE((LogProb::Zero() * LogProb::Zero()).IsZero());
+}
+
+TEST(LogProbTest, DivisionInvertsMultiplication) {
+  const LogProb a = LogProb::FromLinear(0.5);
+  const LogProb b = LogProb::FromLinear(0.25);
+  EXPECT_NEAR(((a * b) / b).ToLinear(), 0.5, 1e-15);
+}
+
+TEST(LogProbTest, NoUnderflowForLongProducts) {
+  // 1e6 factors of 0.5 would underflow linear doubles (~1e-301030).
+  LogProb p = LogProb::One();
+  const LogProb half = LogProb::FromLinear(0.5);
+  for (int i = 0; i < 1000000; ++i) p *= half;
+  EXPECT_FALSE(p.IsZero());
+  EXPECT_NEAR(p.log(), 1000000 * std::log(0.5), 1e-3);
+}
+
+TEST(LogProbTest, OrderingMatchesLinear) {
+  EXPECT_LT(LogProb::FromLinear(0.1), LogProb::FromLinear(0.2));
+  EXPECT_GT(LogProb::One(), LogProb::FromLinear(0.999));
+  EXPECT_LT(LogProb::Zero(), LogProb::FromLinear(1e-300));
+}
+
+TEST(LogProbTest, MeetsThresholdExactAndSlack) {
+  const LogProb tau = LogProb::FromLinear(0.25);
+  EXPECT_TRUE(LogProb::FromLinear(0.25).MeetsThreshold(tau));
+  EXPECT_TRUE(LogProb::FromLinear(0.26).MeetsThreshold(tau));
+  EXPECT_FALSE(LogProb::FromLinear(0.24).MeetsThreshold(tau));
+  // Tiny numeric jitter below the threshold still passes (slack).
+  EXPECT_TRUE(LogProb::FromLog(tau.log() - 1e-12).MeetsThreshold(tau));
+  // Zero only meets a zero threshold.
+  EXPECT_FALSE(LogProb::Zero().MeetsThreshold(tau));
+  EXPECT_TRUE(LogProb::Zero().MeetsThreshold(LogProb::Zero()));
+  EXPECT_TRUE(LogProb::FromLinear(0.1).MeetsThreshold(LogProb::Zero()));
+}
+
+// ---- Rng ----
+
+TEST(RngTest, DeterministicBySeed) {
+  Rng a(123), b(123), c(124);
+  bool diverged = false;
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t va = a.Next();
+    EXPECT_EQ(va, b.Next());
+    if (va != c.Next()) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(RngTest, UniformBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+    const int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    const double d = rng.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, NormalMomentsRoughlyCorrect) {
+  Rng rng(13);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, ClampedNormalStaysInRange) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.ClampedNormal(32.5, 6.0, 20, 45);
+    EXPECT_GE(v, 20.0);
+    EXPECT_LE(v, 45.0);
+  }
+}
+
+TEST(RngTest, DiscreteRespectsWeights) {
+  Rng rng(19);
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 30000; ++i) {
+    counts[rng.Discrete({0.7, 0.2, 0.1})]++;
+  }
+  EXPECT_NEAR(counts[0] / 30000.0, 0.7, 0.02);
+  EXPECT_NEAR(counts[1] / 30000.0, 0.2, 0.02);
+  EXPECT_NEAR(counts[2] / 30000.0, 0.1, 0.02);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+// ---- Serialization ----
+
+TEST(SerialTest, PrimitivesRoundTrip) {
+  Writer w;
+  w.PutU8(0xAB);
+  w.PutU32(0xDEADBEEF);
+  w.PutU64(0x0123456789ABCDEFull);
+  w.PutI64(-42);
+  w.PutDouble(3.5);
+  w.PutString("hello");
+  Reader r(w.data());
+  uint8_t u8;
+  uint32_t u32;
+  uint64_t u64;
+  int64_t i64;
+  double d;
+  std::string s;
+  ASSERT_TRUE(r.GetU8(&u8).ok());
+  ASSERT_TRUE(r.GetU32(&u32).ok());
+  ASSERT_TRUE(r.GetU64(&u64).ok());
+  ASSERT_TRUE(r.GetI64(&i64).ok());
+  ASSERT_TRUE(r.GetDouble(&d).ok());
+  ASSERT_TRUE(r.GetString(&s).ok());
+  EXPECT_EQ(u8, 0xAB);
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(u64, 0x0123456789ABCDEFull);
+  EXPECT_EQ(i64, -42);
+  EXPECT_EQ(d, 3.5);
+  EXPECT_EQ(s, "hello");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerialTest, VectorRoundTrip) {
+  Writer w;
+  w.PutVector(std::vector<int32_t>{1, -2, 3});
+  w.PutVector(std::vector<double>{0.5, -1.5});
+  w.PutVector(std::vector<int64_t>{});
+  Reader r(w.data());
+  std::vector<int32_t> a;
+  std::vector<double> b;
+  std::vector<int64_t> c;
+  ASSERT_TRUE(r.GetVector(&a).ok());
+  ASSERT_TRUE(r.GetVector(&b).ok());
+  ASSERT_TRUE(r.GetVector(&c).ok());
+  EXPECT_EQ(a, (std::vector<int32_t>{1, -2, 3}));
+  EXPECT_EQ(b, (std::vector<double>{0.5, -1.5}));
+  EXPECT_TRUE(c.empty());
+}
+
+TEST(SerialTest, TruncatedReadFailsCleanly) {
+  Writer w;
+  w.PutU64(7);
+  std::string data = w.data();
+  data.resize(4);  // truncate mid-field
+  Reader r(data);
+  uint64_t v = 99;
+  EXPECT_TRUE(r.GetU64(&v).IsCorruption());
+}
+
+TEST(SerialTest, OversizedVectorLengthRejected) {
+  Writer w;
+  w.PutU64(uint64_t{1} << 60);  // claims 2^60 elements
+  Reader r(w.data());
+  std::vector<int64_t> v;
+  EXPECT_TRUE(r.GetVector(&v).IsCorruption());
+}
+
+TEST(SerialTest, OversizedStringLengthRejected) {
+  Writer w;
+  w.PutU64(uint64_t{1} << 40);
+  Reader r(w.data());
+  std::string s;
+  EXPECT_TRUE(r.GetString(&s).IsCorruption());
+}
+
+TEST(SerialTest, EnvelopeValidates) {
+  Writer w;
+  PutEnvelope(&w, 0xCAFE, 2);
+  {
+    Reader r(w.data());
+    uint32_t version = 0;
+    EXPECT_TRUE(CheckEnvelope(&r, 0xCAFE, 3, &version).ok());
+    EXPECT_EQ(version, 2u);
+  }
+  {
+    Reader r(w.data());
+    uint32_t version = 0;
+    EXPECT_TRUE(CheckEnvelope(&r, 0xBEEF, 3, &version).IsCorruption());
+  }
+  {
+    Reader r(w.data());
+    uint32_t version = 0;
+    EXPECT_TRUE(CheckEnvelope(&r, 0xCAFE, 1, &version).IsCorruption());
+  }
+}
+
+}  // namespace
+}  // namespace pti
