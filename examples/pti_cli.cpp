@@ -1,20 +1,31 @@
 // pti_cli: command-line front end for the library.
 //
-//   pti_cli build  <string.pus> <index.pti> [tau_min]   build + save an index
-//   pti_cli query  <index.pti> <pattern> <tau>          threshold query
-//   pti_cli topk   <index.pti> <pattern> <tau> <k>      k best occurrences
-//   pti_cli stat   <index.pti>                          index statistics
-//   pti_cli gen    <n> <theta> <seed> <out.pus>         §8.1 synthetic data
+//   pti_cli build         <string.pus> <index.pti> [tau_min]   substring index
+//   pti_cli build-special <string.pus> <index.pti>             §4 special index
+//   pti_cli build-approx  <string.pus> <index.pti> [tau_min [epsilon]]
+//   pti_cli build-listing <index.pti> <tau_min> <doc.pus>...   §6 listing index
+//   pti_cli query <index.pti> <pattern> <tau>    threshold query (any kind;
+//                                                the kind is read from the file)
+//   pti_cli topk  <index.pti> <pattern> <tau> <k>  k best occurrences (substring)
+//   pti_cli stat  <index.pti>                    index statistics (any kind)
+//   pti_cli gen   <n> <theta> <seed> <out.pus>   §8.1 synthetic data
 //
 // .pus files use the text format of core/usformat.h (one position per line,
-// char=prob pairs, optional @corr directives).
+// char=prob pairs, optional @corr directives). .pti files use the versioned
+// container format of core/serde.h; every index kind round-trips through
+// save (build*) and load (query/topk/stat).
 
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "core/approx_index.h"
+#include "core/listing_index.h"
+#include "core/serde.h"
+#include "core/special_index.h"
 #include "core/substring_index.h"
 #include "core/usformat.h"
 #include "datagen/datagen.h"
@@ -45,7 +56,10 @@ bool WriteFile(const std::string& path, const std::string& data) {
 int Usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  pti_cli build <string.pus> <index.pti> [tau_min]\n"
+               "  pti_cli build         <string.pus> <index.pti> [tau_min]\n"
+               "  pti_cli build-special <string.pus> <index.pti>\n"
+               "  pti_cli build-approx  <string.pus> <index.pti> [tau_min [epsilon]]\n"
+               "  pti_cli build-listing <index.pti> <tau_min> <doc.pus>...\n"
                "  pti_cli query <index.pti> <pattern> <tau>\n"
                "  pti_cli topk  <index.pti> <pattern> <tau> <k>\n"
                "  pti_cli stat  <index.pti>\n"
@@ -53,28 +67,51 @@ int Usage() {
   return 2;
 }
 
-pti::StatusOr<pti::SubstringIndex> LoadIndex(const std::string& path) {
-  std::string blob;
-  if (!ReadFile(path, &blob)) {
+pti::StatusOr<pti::UncertainString> ReadUncertain(
+    const std::string& path, bool require_unit_sums = true) {
+  std::string text;
+  if (!ReadFile(path, &text)) {
     return pti::Status::IOError("cannot read " + path);
   }
-  return pti::SubstringIndex::Load(blob);
+  return pti::ParseUncertainString(text, require_unit_sums);
+}
+
+/// Reads an index file and reports its kind; `blob` receives the raw bytes
+/// for the kind-specific Load.
+pti::StatusOr<pti::serde::IndexKind> ReadIndexBlob(const std::string& path,
+                                                   std::string* blob) {
+  if (!ReadFile(path, blob)) {
+    return pti::Status::IOError("cannot read " + path);
+  }
+  return pti::serde::PeekKind(*blob);
+}
+
+int SaveIndexFile(const pti::Status& save_status, const std::string& blob,
+                  const std::string& path) {
+  if (!save_status.ok()) return Fail(save_status.ToString());
+  if (!WriteFile(path, blob)) return Fail("cannot write " + path);
+  return 0;
+}
+
+void PrintMatches(const std::vector<pti::Match>& matches) {
+  for (const auto& m : matches) {
+    std::printf("%lld\t%.6f\n", static_cast<long long>(m.position),
+                m.probability);
+  }
+  std::fprintf(stderr, "%zu match(es)\n", matches.size());
 }
 
 int CmdBuild(int argc, char** argv) {
   if (argc < 4) return Usage();
-  std::string text;
-  if (!ReadFile(argv[2], &text)) return Fail(std::string("cannot read ") + argv[2]);
-  auto s = pti::ParseUncertainString(text);
+  auto s = ReadUncertain(argv[2]);
   if (!s.ok()) return Fail(s.status().ToString());
   pti::IndexOptions options;
   if (argc >= 5) options.transform.tau_min = std::atof(argv[4]);
   auto index = pti::SubstringIndex::Build(*s, options);
   if (!index.ok()) return Fail(index.status().ToString());
   std::string blob;
-  const pti::Status st = index->Save(&blob);
-  if (!st.ok()) return Fail(st.ToString());
-  if (!WriteFile(argv[3], blob)) return Fail(std::string("cannot write ") + argv[3]);
+  const int rc = SaveIndexFile(index->Save(&blob), blob, argv[3]);
+  if (rc != 0) return rc;
   const auto stats = index->stats();
   std::printf("indexed %lld positions (tau_min %.4g): %zu factors, "
               "%zu chars, %zu bytes on disk\n",
@@ -84,24 +121,123 @@ int CmdBuild(int argc, char** argv) {
   return 0;
 }
 
+int CmdBuildSpecial(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  // §4 special strings keep per-position mass below 1 (the "no occurrence"
+  // event), so the unit-sum invariant does not apply.
+  auto s = ReadUncertain(argv[2], /*require_unit_sums=*/false);
+  if (!s.ok()) return Fail(s.status().ToString());
+  auto index = pti::SpecialIndex::Build(*s, pti::SpecialIndexOptions{});
+  if (!index.ok()) return Fail(index.status().ToString());
+  std::string blob;
+  const int rc = SaveIndexFile(index->Save(&blob), blob, argv[3]);
+  if (rc != 0) return rc;
+  const auto stats = index->stats();
+  std::printf("indexed %lld positions (special): %zu bytes on disk\n",
+              static_cast<long long>(stats.length), blob.size());
+  return 0;
+}
+
+int CmdBuildApprox(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  auto s = ReadUncertain(argv[2]);
+  if (!s.ok()) return Fail(s.status().ToString());
+  pti::ApproxOptions options;
+  if (argc >= 5) options.transform.tau_min = std::atof(argv[4]);
+  if (argc >= 6) options.epsilon = std::atof(argv[5]);
+  auto index = pti::ApproxIndex::Build(*s, options);
+  if (!index.ok()) return Fail(index.status().ToString());
+  std::string blob;
+  const int rc = SaveIndexFile(index->Save(&blob), blob, argv[3]);
+  if (rc != 0) return rc;
+  const auto stats = index->stats();
+  std::printf("indexed %lld positions (tau_min %.4g, epsilon %.4g): "
+              "%zu links, %zu bytes on disk\n",
+              static_cast<long long>(stats.original_length),
+              options.transform.tau_min, options.epsilon, stats.num_links,
+              blob.size());
+  return 0;
+}
+
+int CmdBuildListing(int argc, char** argv) {
+  if (argc < 5) return Usage();
+  pti::ListingOptions options;
+  options.transform.tau_min = std::atof(argv[3]);
+  std::vector<pti::UncertainString> docs;
+  for (int a = 4; a < argc; ++a) {
+    auto s = ReadUncertain(argv[a]);
+    if (!s.ok()) return Fail(s.status().ToString());
+    docs.push_back(std::move(s).value());
+  }
+  auto index = pti::ListingIndex::Build(docs, options);
+  if (!index.ok()) return Fail(index.status().ToString());
+  std::string blob;
+  const int rc = SaveIndexFile(index->Save(&blob), blob, argv[2]);
+  if (rc != 0) return rc;
+  const auto stats = index->stats();
+  std::printf("indexed %d documents (%lld positions, tau_min %.4g): "
+              "%zu bytes on disk\n",
+              stats.num_docs, static_cast<long long>(stats.total_positions),
+              options.transform.tau_min, blob.size());
+  return 0;
+}
+
 int CmdQuery(int argc, char** argv) {
   if (argc < 5) return Usage();
-  auto index = LoadIndex(argv[2]);
-  if (!index.ok()) return Fail(index.status().ToString());
+  std::string blob;
+  auto kind = ReadIndexBlob(argv[2], &blob);
+  if (!kind.ok()) return Fail(kind.status().ToString());
+  const std::string pattern = argv[3];
+  const double tau = std::atof(argv[4]);
+  pti::Status st;
   std::vector<pti::Match> matches;
-  const pti::Status st = index->Query(argv[3], std::atof(argv[4]), &matches);
-  if (!st.ok()) return Fail(st.ToString());
-  for (const auto& m : matches) {
-    std::printf("%lld\t%.6f\n", static_cast<long long>(m.position),
-                m.probability);
+  switch (*kind) {
+    case pti::serde::IndexKind::kSubstring: {
+      auto index = pti::SubstringIndex::Load(blob);
+      if (!index.ok()) return Fail(index.status().ToString());
+      st = index->Query(pattern, tau, &matches);
+      break;
+    }
+    case pti::serde::IndexKind::kApprox: {
+      auto index = pti::ApproxIndex::Load(blob);
+      if (!index.ok()) return Fail(index.status().ToString());
+      st = index->Query(pattern, tau, &matches);
+      break;
+    }
+    case pti::serde::IndexKind::kSpecial: {
+      auto index = pti::SpecialIndex::Load(blob);
+      if (!index.ok()) return Fail(index.status().ToString());
+      st = index->Query(pattern, tau, &matches);
+      break;
+    }
+    case pti::serde::IndexKind::kListing: {
+      auto index = pti::ListingIndex::Load(blob);
+      if (!index.ok()) return Fail(index.status().ToString());
+      std::vector<pti::DocMatch> docs;
+      st = index->Query(pattern, tau, &docs);
+      if (!st.ok()) return Fail(st.ToString());
+      for (const auto& d : docs) {
+        std::printf("doc %d\t%.6f\n", d.doc, d.relevance);
+      }
+      std::fprintf(stderr, "%zu document(s)\n", docs.size());
+      return 0;
+    }
   }
-  std::fprintf(stderr, "%zu match(es)\n", matches.size());
+  if (!st.ok()) return Fail(st.ToString());
+  PrintMatches(matches);
   return 0;
 }
 
 int CmdTopK(int argc, char** argv) {
   if (argc < 6) return Usage();
-  auto index = LoadIndex(argv[2]);
+  std::string blob;
+  auto kind = ReadIndexBlob(argv[2], &blob);
+  if (!kind.ok()) return Fail(kind.status().ToString());
+  if (*kind != pti::serde::IndexKind::kSubstring) {
+    return Fail("topk requires a substring index, got a " +
+                std::string(pti::serde::KindName(*kind)) + " index");
+  }
+  auto index = pti::SubstringIndex::Load(blob);
   if (!index.ok()) return Fail(index.status().ToString());
   std::vector<pti::Match> matches;
   const pti::Status st = index->QueryTopK(
@@ -117,18 +253,64 @@ int CmdTopK(int argc, char** argv) {
 
 int CmdStat(int argc, char** argv) {
   if (argc < 3) return Usage();
-  auto index = LoadIndex(argv[2]);
-  if (!index.ok()) return Fail(index.status().ToString());
-  const auto stats = index->stats();
-  std::printf("original length      %lld\n",
-              static_cast<long long>(stats.original_length));
-  std::printf("maximal factors      %zu\n", stats.num_factors);
-  std::printf("transformed length   %zu\n", stats.transformed_length);
-  std::printf("short depth limit K  %d\n", stats.short_depth_limit);
-  std::printf("suffix tree nodes    %zu\n", stats.num_tree_nodes);
-  std::printf("tau_min              %.6g\n",
-              index->options().transform.tau_min);
-  std::printf("memory usage (bytes) %zu\n", index->MemoryUsage());
+  std::string blob;
+  auto kind = ReadIndexBlob(argv[2], &blob);
+  if (!kind.ok()) return Fail(kind.status().ToString());
+  std::printf("index kind           %s\n", pti::serde::KindName(*kind));
+  std::printf("bytes on disk        %zu\n", blob.size());
+  switch (*kind) {
+    case pti::serde::IndexKind::kSubstring: {
+      auto index = pti::SubstringIndex::Load(blob);
+      if (!index.ok()) return Fail(index.status().ToString());
+      const auto stats = index->stats();
+      std::printf("original length      %lld\n",
+                  static_cast<long long>(stats.original_length));
+      std::printf("maximal factors      %zu\n", stats.num_factors);
+      std::printf("transformed length   %zu\n", stats.transformed_length);
+      std::printf("short depth limit K  %d\n", stats.short_depth_limit);
+      std::printf("suffix tree nodes    %zu\n", stats.num_tree_nodes);
+      std::printf("tau_min              %.6g\n",
+                  index->options().transform.tau_min);
+      std::printf("memory usage (bytes) %zu\n", index->MemoryUsage());
+      break;
+    }
+    case pti::serde::IndexKind::kApprox: {
+      auto index = pti::ApproxIndex::Load(blob);
+      if (!index.ok()) return Fail(index.status().ToString());
+      const auto stats = index->stats();
+      std::printf("original length      %lld\n",
+                  static_cast<long long>(stats.original_length));
+      std::printf("transformed length   %zu\n", stats.transformed_length);
+      std::printf("marked nodes         %zu\n", stats.num_marked_nodes);
+      std::printf("links                %zu\n", stats.num_links);
+      std::printf("memory usage (bytes) %zu\n", index->MemoryUsage());
+      break;
+    }
+    case pti::serde::IndexKind::kSpecial: {
+      auto index = pti::SpecialIndex::Load(blob);
+      if (!index.ok()) return Fail(index.status().ToString());
+      const auto stats = index->stats();
+      std::printf("length               %lld\n",
+                  static_cast<long long>(stats.length));
+      std::printf("short depth limit K  %d\n", stats.short_depth_limit);
+      std::printf("suffix tree nodes    %zu\n", stats.num_tree_nodes);
+      std::printf("memory usage (bytes) %zu\n", index->MemoryUsage());
+      break;
+    }
+    case pti::serde::IndexKind::kListing: {
+      auto index = pti::ListingIndex::Load(blob);
+      if (!index.ok()) return Fail(index.status().ToString());
+      const auto stats = index->stats();
+      std::printf("documents            %d\n", stats.num_docs);
+      std::printf("total positions      %lld\n",
+                  static_cast<long long>(stats.total_positions));
+      std::printf("maximal factors      %zu\n", stats.num_factors);
+      std::printf("transformed length   %zu\n", stats.transformed_length);
+      std::printf("short depth limit K  %d\n", stats.short_depth_limit);
+      std::printf("memory usage (bytes) %zu\n", index->MemoryUsage());
+      break;
+    }
+  }
   return 0;
 }
 
@@ -153,6 +335,9 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string cmd = argv[1];
   if (cmd == "build") return CmdBuild(argc, argv);
+  if (cmd == "build-special") return CmdBuildSpecial(argc, argv);
+  if (cmd == "build-approx") return CmdBuildApprox(argc, argv);
+  if (cmd == "build-listing") return CmdBuildListing(argc, argv);
   if (cmd == "query") return CmdQuery(argc, argv);
   if (cmd == "topk") return CmdTopK(argc, argv);
   if (cmd == "stat") return CmdStat(argc, argv);

@@ -5,7 +5,9 @@
 #include <limits>
 #include <unordered_map>
 
+#include "core/serde.h"
 #include "suffix/suffix_tree.h"
+#include "util/serial.h"
 
 namespace pti {
 
@@ -343,6 +345,65 @@ ApproxIndex::Stats ApproxIndex::stats() const {
   s.num_marked_nodes = impl_->num_marked;
   s.num_links = impl_->links.size();
   return s;
+}
+
+Status ApproxIndex::Save(std::string* out) const {
+  const Impl& i = *impl_;
+  serde::ContainerWriter cw(serde::IndexKind::kApprox);
+  Writer& opts = cw.AddSection(serde::kTagOptions);
+  opts.PutDouble(i.options.transform.tau_min);
+  opts.PutU64(i.options.transform.max_total_length);
+  opts.PutDouble(i.options.epsilon);
+  opts.PutU8(i.options.exact_probabilities ? 1 : 0);
+  serde::EncodeUncertainString(i.source, &cw.AddSection(serde::kTagSource));
+  serde::EncodeFactorSet(i.fs, &cw.AddSection(serde::kTagFactors));
+  *out = std::move(cw).Finish();
+  return Status::OK();
+}
+
+StatusOr<ApproxIndex> ApproxIndex::Load(const std::string& data) {
+  serde::ContainerReader container;
+  PTI_RETURN_IF_ERROR(
+      serde::ContainerReader::Open(data, serde::IndexKind::kApprox,
+                                   &container));
+  ApproxIndex index;
+  index.impl_ = std::make_unique<Impl>();
+  Impl& i = *index.impl_;
+
+  Reader opts;
+  PTI_RETURN_IF_ERROR(container.Section(serde::kTagOptions, &opts));
+  PTI_RETURN_IF_ERROR(opts.GetDouble(&i.options.transform.tau_min));
+  if (!std::isfinite(i.options.transform.tau_min) ||
+      !(i.options.transform.tau_min > 0.0) ||
+      i.options.transform.tau_min > 1.0) {
+    return Status::Corruption("tau_min outside (0, 1]");
+  }
+  uint64_t max_total = 0;
+  PTI_RETURN_IF_ERROR(opts.GetU64(&max_total));
+  i.options.transform.max_total_length = max_total;
+  PTI_RETURN_IF_ERROR(opts.GetDouble(&i.options.epsilon));
+  if (!std::isfinite(i.options.epsilon) || !(i.options.epsilon > 0.0) ||
+      i.options.epsilon > 1.0) {
+    return Status::Corruption("epsilon outside (0, 1]");
+  }
+  uint8_t exact = 0;
+  PTI_RETURN_IF_ERROR(opts.GetU8(&exact));
+  if (exact > 1) return Status::Corruption("bad exact-probabilities flag");
+  i.options.exact_probabilities = exact != 0;
+  PTI_RETURN_IF_ERROR(serde::ExpectSectionEnd(opts, "options"));
+
+  Reader src;
+  PTI_RETURN_IF_ERROR(container.Section(serde::kTagSource, &src));
+  PTI_RETURN_IF_ERROR(serde::DecodeUncertainString(&src, &i.source));
+  PTI_RETURN_IF_ERROR(serde::ExpectSectionEnd(src, "source"));
+
+  Reader fact;
+  PTI_RETURN_IF_ERROR(container.Section(serde::kTagFactors, &fact));
+  PTI_RETURN_IF_ERROR(serde::DecodeFactorSet(&fact, i.source, &i.fs));
+  PTI_RETURN_IF_ERROR(serde::ExpectSectionEnd(fact, "factors"));
+
+  PTI_RETURN_IF_ERROR(i.Finish());
+  return index;
 }
 
 size_t ApproxIndex::MemoryUsage() const {

@@ -72,6 +72,12 @@ class ApproxIndex {
   Stats stats() const;
   size_t MemoryUsage() const;
 
+  /// Serializes the source string, options and factor set into the shared
+  /// container format (core/serde.h); Load rebuilds the derived structures
+  /// (suffix tree, marking, epsilon-partitioned links) deterministically.
+  Status Save(std::string* out) const;
+  static StatusOr<ApproxIndex> Load(const std::string& data);
+
  private:
   struct Impl;
   std::unique_ptr<Impl> impl_;

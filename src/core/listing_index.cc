@@ -6,7 +6,9 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "core/serde.h"
 #include "suffix/suffix_tree.h"
+#include "util/serial.h"
 
 namespace pti {
 
@@ -98,6 +100,23 @@ struct ListingIndex::Impl {
       return impl->ActiveBit(depth, j) ? impl->RawValue(depth, j) : kNegInf;
     }
   };
+
+  // Correlated text positions and the rule table, keyed by global position.
+  // Derived purely from (docs, text, doc_of, pos_in_doc), so Build and Load
+  // share it; rules.at() at query time can only see keys recorded here.
+  void BuildRules() {
+    corr_positions.clear();
+    rules.clear();
+    for (size_t q = 0; q < text.size(); ++q) {
+      if (doc_of[q] < 0) continue;
+      const auto& doc = docs[doc_of[q]];
+      const uint8_t ch = static_cast<uint8_t>(text.chars()[q]);
+      if (const CorrelationRule* rule = doc.FindRule(pos_in_doc[q], ch)) {
+        corr_positions.push_back(static_cast<int64_t>(q));
+        rules[RuleKey(GlobalPos(q), ch)] = {doc_of[q], rule};
+      }
+    }
+  }
 
   Status Finish() {
     const size_t n_text = N();
@@ -354,16 +373,7 @@ StatusOr<ListingIndex> ListingIndex::Build(
       i.logp.push_back(0.0);
     }
   }
-  // Correlated text positions and rule table (global-position keyed).
-  for (size_t q = 0; q < i.text.size(); ++q) {
-    if (i.doc_of[q] < 0) continue;
-    const auto& doc = i.docs[i.doc_of[q]];
-    const uint8_t ch = static_cast<uint8_t>(i.text.chars()[q]);
-    if (const CorrelationRule* rule = doc.FindRule(i.pos_in_doc[q], ch)) {
-      i.corr_positions.push_back(static_cast<int64_t>(q));
-      i.rules[RuleKey(i.GlobalPos(q), ch)] = {i.doc_of[q], rule};
-    }
-  }
+  i.BuildRules();
   PTI_RETURN_IF_ERROR(i.Finish());
   return index;
 }
@@ -394,6 +404,148 @@ ListingIndex::Stats ListingIndex::stats() const {
   s.transformed_length = impl_->text.size();
   s.short_depth_limit = impl_->K;
   return s;
+}
+
+Status ListingIndex::Save(std::string* out) const {
+  const Impl& i = *impl_;
+  serde::ContainerWriter cw(serde::IndexKind::kListing);
+  Writer& opts = cw.AddSection(serde::kTagOptions);
+  opts.PutDouble(i.options.transform.tau_min);
+  opts.PutU64(i.options.transform.max_total_length);
+  opts.PutU32(static_cast<uint32_t>(i.options.max_short_depth));
+  opts.PutU8(static_cast<uint8_t>(i.options.rmq_engine));
+  opts.PutU64(i.options.scan_cutoff);
+  Writer& docs = cw.AddSection(serde::kTagSource);
+  docs.PutU64(i.docs.size());
+  for (const UncertainString& d : i.docs) {
+    serde::EncodeUncertainString(d, &docs);
+  }
+  Writer& text = cw.AddSection(serde::kTagText);
+  text.PutVector(i.text.chars());
+  text.PutVector(i.text.member_starts());
+  Writer& maps = cw.AddSection(serde::kTagMaps);
+  maps.PutVector(i.doc_of);
+  maps.PutVector(i.pos_in_doc);
+  maps.PutVector(i.logp);
+  maps.PutVector(i.doc_base);
+  *out = std::move(cw).Finish();
+  return Status::OK();
+}
+
+StatusOr<ListingIndex> ListingIndex::Load(const std::string& data) {
+  serde::ContainerReader container;
+  PTI_RETURN_IF_ERROR(
+      serde::ContainerReader::Open(data, serde::IndexKind::kListing,
+                                   &container));
+  ListingIndex index;
+  index.impl_ = std::make_unique<Impl>();
+  Impl& i = *index.impl_;
+
+  Reader opts;
+  PTI_RETURN_IF_ERROR(container.Section(serde::kTagOptions, &opts));
+  PTI_RETURN_IF_ERROR(opts.GetDouble(&i.options.transform.tau_min));
+  if (!std::isfinite(i.options.transform.tau_min) ||
+      !(i.options.transform.tau_min > 0.0) ||
+      i.options.transform.tau_min > 1.0) {
+    return Status::Corruption("tau_min outside (0, 1]");
+  }
+  i.tau_min = i.options.transform.tau_min;
+  uint64_t max_total = 0;
+  PTI_RETURN_IF_ERROR(opts.GetU64(&max_total));
+  i.options.transform.max_total_length = max_total;
+  uint32_t max_short = 0;
+  PTI_RETURN_IF_ERROR(opts.GetU32(&max_short));
+  if (max_short > static_cast<uint32_t>(
+                      std::numeric_limits<int32_t>::max())) {
+    return Status::Corruption("short depth limit out of range");
+  }
+  i.options.max_short_depth = static_cast<int32_t>(max_short);
+  uint8_t engine = 0;
+  PTI_RETURN_IF_ERROR(opts.GetU8(&engine));
+  if (engine > 2) return Status::Corruption("unknown RMQ engine value");
+  i.options.rmq_engine = static_cast<RmqEngineKind>(engine);
+  uint64_t cutoff = 0;
+  PTI_RETURN_IF_ERROR(opts.GetU64(&cutoff));
+  i.options.scan_cutoff = cutoff;
+  PTI_RETURN_IF_ERROR(serde::ExpectSectionEnd(opts, "options"));
+
+  Reader docs;
+  PTI_RETURN_IF_ERROR(container.Section(serde::kTagSource, &docs));
+  uint64_t ndocs = 0;
+  PTI_RETURN_IF_ERROR(docs.GetU64(&ndocs));
+  if (ndocs > docs.remaining() / 16) {  // empty doc = two u64 counts
+    return Status::Corruption("document count overruns section");
+  }
+  i.docs.resize(ndocs);
+  for (uint64_t d = 0; d < ndocs; ++d) {
+    PTI_RETURN_IF_ERROR(serde::DecodeUncertainString(&docs, &i.docs[d]));
+  }
+  PTI_RETURN_IF_ERROR(serde::ExpectSectionEnd(docs, "documents"));
+
+  Reader text;
+  PTI_RETURN_IF_ERROR(container.Section(serde::kTagText, &text));
+  std::vector<int32_t> chars;
+  std::vector<int64_t> starts;
+  PTI_RETURN_IF_ERROR(text.GetVector(&chars));
+  PTI_RETURN_IF_ERROR(text.GetVector(&starts));
+  PTI_RETURN_IF_ERROR(serde::ExpectSectionEnd(text, "text"));
+  auto spliced = Text::FromRaw(std::move(chars), std::move(starts));
+  if (!spliced.ok()) return spliced.status();
+  i.text = std::move(spliced).value();
+
+  Reader maps;
+  PTI_RETURN_IF_ERROR(container.Section(serde::kTagMaps, &maps));
+  PTI_RETURN_IF_ERROR(maps.GetVector(&i.doc_of));
+  PTI_RETURN_IF_ERROR(maps.GetVector(&i.pos_in_doc));
+  PTI_RETURN_IF_ERROR(maps.GetVector(&i.logp));
+  PTI_RETURN_IF_ERROR(maps.GetVector(&i.doc_base));
+  PTI_RETURN_IF_ERROR(serde::ExpectSectionEnd(maps, "maps"));
+
+  const size_t n = i.text.size();
+  if (i.doc_of.size() != n || i.pos_in_doc.size() != n ||
+      i.logp.size() != n) {
+    return Status::Corruption("listing maps inconsistent with text");
+  }
+  if (i.doc_base.size() != ndocs + 1 || i.doc_base[0] != 0) {
+    return Status::Corruption("document base offsets malformed");
+  }
+  for (uint64_t d = 0; d < ndocs; ++d) {
+    // Addition on the already-validated side: doc_base[d] is proven small by
+    // induction from doc_base[0] == 0, while doc_base[d + 1] is hostile and
+    // subtracting it could overflow (UB).
+    if (i.doc_base[d + 1] != i.doc_base[d] + i.docs[d].size()) {
+      return Status::Corruption("document base offsets malformed");
+    }
+  }
+  for (size_t q = 0; q < n; ++q) {
+    if (i.text.IsSentinel(q)) {
+      if (i.doc_of[q] != -1 || i.pos_in_doc[q] != -1 || i.logp[q] != 0.0) {
+        return Status::Corruption("sentinel position carries document data");
+      }
+      continue;
+    }
+    if (i.doc_of[q] < 0 || static_cast<uint64_t>(i.doc_of[q]) >= ndocs) {
+      return Status::Corruption("document id out of range");
+    }
+    if (i.pos_in_doc[q] < 0 ||
+        i.pos_in_doc[q] >= i.docs[i.doc_of[q]].size()) {
+      return Status::Corruption("document position out of range");
+    }
+    // The correlation adjustment assumes text offsets and document offsets
+    // advance together inside a factor.
+    if (q + 1 < n && !i.text.IsSentinel(q + 1) &&
+        (i.doc_of[q + 1] != i.doc_of[q] ||
+         i.pos_in_doc[q + 1] != i.pos_in_doc[q] + 1)) {
+      return Status::Corruption("document positions not contiguous");
+    }
+    if (std::isnan(i.logp[q]) || i.logp[q] > 0.0) {
+      return Status::Corruption("stored log-probability above 0");
+    }
+  }
+
+  i.BuildRules();
+  PTI_RETURN_IF_ERROR(i.Finish());
+  return index;
 }
 
 size_t ListingIndex::MemoryUsage() const {

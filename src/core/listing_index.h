@@ -73,6 +73,13 @@ class ListingIndex {
   Stats stats() const;
   size_t MemoryUsage() const;
 
+  /// Serializes the documents, options and the spliced factor text (so Load
+  /// skips the per-document factor transformation) into the shared container
+  /// format (core/serde.h); Load rebuilds the derived structures (suffix
+  /// tree, RMQ forest, rule table) deterministically.
+  Status Save(std::string* out) const;
+  static StatusOr<ListingIndex> Load(const std::string& data);
+
  private:
   struct Impl;
   std::unique_ptr<Impl> impl_;

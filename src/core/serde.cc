@@ -1,0 +1,310 @@
+#include "core/serde.h"
+
+#include <cmath>
+
+namespace pti {
+namespace serde {
+
+namespace {
+// magic + kind + version + section count.
+constexpr size_t kHeaderBytes = 16;
+constexpr size_t kChecksumBytes = 8;
+// Far above anything an index writes; bounds hostile section counts before
+// the per-section loop allocates anything.
+constexpr uint32_t kMaxSections = 64;
+// A serialized position is at least a u32 count plus one (u8, double)
+// option; used to reject absurd element counts before any loop runs.
+constexpr uint64_t kMinPositionBytes = 4 + 9;
+}  // namespace
+
+const char* KindName(IndexKind kind) {
+  switch (kind) {
+    case IndexKind::kSubstring:
+      return "substring";
+    case IndexKind::kListing:
+      return "listing";
+    case IndexKind::kApprox:
+      return "approx";
+    case IndexKind::kSpecial:
+      return "special";
+  }
+  return "unknown";
+}
+
+Writer& ContainerWriter::AddSection(uint32_t tag) {
+  sections_.emplace_back(tag, Writer());
+  return sections_.back().second;
+}
+
+std::string ContainerWriter::Finish() && {
+  Writer out;
+  out.PutU32(kContainerMagic);
+  out.PutU32(static_cast<uint32_t>(kind_));
+  out.PutU32(kContainerVersion);
+  out.PutU32(static_cast<uint32_t>(sections_.size()));
+  for (auto& [tag, w] : sections_) {
+    out.PutU32(tag);
+    out.PutString(w.data());
+  }
+  const uint64_t checksum = Fnv1a64(out.data().data(), out.data().size());
+  out.PutU64(checksum);
+  return std::move(out.Take());
+}
+
+Status ContainerReader::Open(const std::string& data, IndexKind expected_kind,
+                             ContainerReader* out) {
+  Reader r(data);
+  if (data.size() < kHeaderBytes + kChecksumBytes) {
+    return Status::Corruption("container shorter than header + checksum");
+  }
+  uint32_t magic = 0, kind = 0, version = 0, count = 0;
+  PTI_RETURN_IF_ERROR(r.GetU32(&magic));
+  if (magic != kContainerMagic) {
+    return Status::Corruption("bad container magic");
+  }
+  PTI_RETURN_IF_ERROR(r.GetU32(&kind));
+  if (kind != static_cast<uint32_t>(expected_kind)) {
+    return Status::Corruption("index kind mismatch");
+  }
+  PTI_RETURN_IF_ERROR(r.GetU32(&version));
+  if (version == 0 || version > kContainerVersion) {
+    return Status::Corruption("unsupported container version");
+  }
+  PTI_RETURN_IF_ERROR(r.GetU32(&count));
+  if (count > kMaxSections) {
+    return Status::Corruption("unreasonable section count");
+  }
+  ContainerReader cr;
+  cr.version_ = version;
+  cr.entries_.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t tag = 0;
+    uint64_t len = 0;
+    PTI_RETURN_IF_ERROR(r.GetU32(&tag));
+    PTI_RETURN_IF_ERROR(r.GetU64(&len));
+    if (r.remaining() < kChecksumBytes ||
+        len > r.remaining() - kChecksumBytes) {
+      return Status::Corruption("section length overruns container");
+    }
+    for (const Entry& e : cr.entries_) {
+      if (e.tag == tag) return Status::Corruption("duplicate section tag");
+    }
+    cr.entries_.push_back(Entry{tag, r.cursor(), len});
+    PTI_RETURN_IF_ERROR(r.Skip(len));
+  }
+  if (r.remaining() != kChecksumBytes) {
+    return Status::Corruption("trailing bytes in container");
+  }
+  uint64_t stored = 0;
+  PTI_RETURN_IF_ERROR(r.GetU64(&stored));
+  const uint64_t actual =
+      Fnv1a64(data.data(), data.size() - kChecksumBytes);
+  if (stored != actual) {
+    return Status::Corruption("container checksum mismatch");
+  }
+  *out = std::move(cr);
+  return Status::OK();
+}
+
+Status ContainerReader::Section(uint32_t tag, Reader* out) const {
+  for (const Entry& e : entries_) {
+    if (e.tag == tag) {
+      *out = Reader(e.data, e.size);
+      return Status::OK();
+    }
+  }
+  return Status::Corruption("missing container section");
+}
+
+bool ContainerReader::Has(uint32_t tag) const {
+  for (const Entry& e : entries_) {
+    if (e.tag == tag) return true;
+  }
+  return false;
+}
+
+StatusOr<IndexKind> PeekKind(const std::string& data) {
+  Reader r(data);
+  uint32_t magic = 0, kind = 0;
+  PTI_RETURN_IF_ERROR(r.GetU32(&magic));
+  if (magic != kContainerMagic) {
+    return Status::Corruption("bad container magic");
+  }
+  PTI_RETURN_IF_ERROR(r.GetU32(&kind));
+  switch (static_cast<IndexKind>(kind)) {
+    case IndexKind::kSubstring:
+    case IndexKind::kListing:
+    case IndexKind::kApprox:
+    case IndexKind::kSpecial:
+      return static_cast<IndexKind>(kind);
+  }
+  return Status::Corruption("unknown index kind tag");
+}
+
+Status ExpectSectionEnd(const Reader& r, const char* what) {
+  if (!r.AtEnd()) {
+    return Status::Corruption(std::string("trailing bytes in ") + what +
+                              " section");
+  }
+  return Status::OK();
+}
+
+void EncodeUncertainString(const UncertainString& s, Writer* w) {
+  w->PutU64(static_cast<uint64_t>(s.size()));
+  for (int64_t p = 0; p < s.size(); ++p) {
+    const auto& opts = s.options(p);
+    w->PutU32(static_cast<uint32_t>(opts.size()));
+    for (const auto& o : opts) {
+      w->PutU8(o.ch);
+      w->PutDouble(o.prob);
+    }
+  }
+  w->PutU64(s.correlations().size());
+  for (const auto& r : s.correlations()) {
+    w->PutI64(r.pos);
+    w->PutU8(r.ch);
+    w->PutI64(r.dep_pos);
+    w->PutU8(r.dep_ch);
+    w->PutDouble(r.prob_if_present);
+    w->PutDouble(r.prob_if_absent);
+  }
+}
+
+Status DecodeUncertainString(Reader* r, UncertainString* out,
+                             bool require_unit_sums) {
+  *out = UncertainString();
+  uint64_t n = 0;
+  PTI_RETURN_IF_ERROR(r->GetU64(&n));
+  if (n > r->remaining() / kMinPositionBytes) {
+    return Status::Corruption("source length overruns section");
+  }
+  for (uint64_t p = 0; p < n; ++p) {
+    uint32_t count = 0;
+    PTI_RETURN_IF_ERROR(r->GetU32(&count));
+    if (count == 0 || count > 256) {
+      return Status::Corruption("bad option count");
+    }
+    std::vector<CharOption> opts(count);
+    for (auto& o : opts) {
+      PTI_RETURN_IF_ERROR(r->GetU8(&o.ch));
+      PTI_RETURN_IF_ERROR(r->GetDouble(&o.prob));
+      // Validate() cannot catch NaN (every comparison with NaN is false).
+      if (!std::isfinite(o.prob) || o.prob < 0.0 || o.prob > 1.0) {
+        return Status::Corruption("option probability outside [0, 1]");
+      }
+    }
+    out->AddPosition(std::move(opts));
+  }
+  uint64_t num_rules = 0;
+  PTI_RETURN_IF_ERROR(r->GetU64(&num_rules));
+  if (num_rules > r->remaining() / 34) {  // 2*i64 + 2*u8 + 2*double bytes
+    return Status::Corruption("correlation count overruns section");
+  }
+  for (uint64_t k = 0; k < num_rules; ++k) {
+    CorrelationRule rule;
+    PTI_RETURN_IF_ERROR(r->GetI64(&rule.pos));
+    PTI_RETURN_IF_ERROR(r->GetU8(&rule.ch));
+    PTI_RETURN_IF_ERROR(r->GetI64(&rule.dep_pos));
+    PTI_RETURN_IF_ERROR(r->GetU8(&rule.dep_ch));
+    PTI_RETURN_IF_ERROR(r->GetDouble(&rule.prob_if_present));
+    PTI_RETURN_IF_ERROR(r->GetDouble(&rule.prob_if_absent));
+    if (!std::isfinite(rule.prob_if_present) ||
+        !std::isfinite(rule.prob_if_absent)) {
+      return Status::Corruption("correlation probability not finite");
+    }
+    const Status st = out->AddCorrelation(rule);
+    if (!st.ok()) {
+      return Status::Corruption("bad correlation rule: " + st.message());
+    }
+  }
+  if (require_unit_sums) {
+    const Status st = out->Validate();
+    if (!st.ok()) {
+      return Status::Corruption("source string failed validation: " +
+                                st.message());
+    }
+  }
+  return Status::OK();
+}
+
+void EncodeFactorSet(const FactorSet& fs, Writer* w) {
+  w->PutVector(fs.text.chars());
+  w->PutVector(fs.text.member_starts());
+  w->PutVector(fs.pos);
+  w->PutVector(fs.logp);
+  w->PutVector(fs.corr_positions);
+  w->PutI64(fs.original_length);
+  w->PutDouble(fs.tau_min);
+}
+
+Status DecodeFactorSet(Reader* r, const UncertainString& source,
+                       FactorSet* out) {
+  *out = FactorSet();
+  std::vector<int32_t> chars;
+  std::vector<int64_t> starts;
+  PTI_RETURN_IF_ERROR(r->GetVector(&chars));
+  PTI_RETURN_IF_ERROR(r->GetVector(&starts));
+  auto text = Text::FromRaw(std::move(chars), std::move(starts));
+  if (!text.ok()) return text.status();
+  out->text = std::move(text).value();
+  PTI_RETURN_IF_ERROR(r->GetVector(&out->pos));
+  PTI_RETURN_IF_ERROR(r->GetVector(&out->logp));
+  PTI_RETURN_IF_ERROR(r->GetVector(&out->corr_positions));
+  PTI_RETURN_IF_ERROR(r->GetI64(&out->original_length));
+  PTI_RETURN_IF_ERROR(r->GetDouble(&out->tau_min));
+
+  const size_t n = out->text.size();
+  if (out->pos.size() != n || out->logp.size() != n) {
+    return Status::Corruption("factor arrays inconsistent with text");
+  }
+  if (out->original_length != source.size()) {
+    return Status::Corruption("factor original length mismatches source");
+  }
+  if (!std::isfinite(out->tau_min) || !(out->tau_min > 0.0) ||
+      out->tau_min > 1.0) {
+    return Status::Corruption("factor tau_min outside (0, 1]");
+  }
+  for (size_t q = 0; q < n; ++q) {
+    if (out->text.IsSentinel(q)) {
+      if (out->pos[q] != -1 || out->logp[q] != 0.0) {
+        return Status::Corruption("sentinel position carries factor data");
+      }
+      continue;
+    }
+    if (out->pos[q] < 0 || out->pos[q] >= out->original_length) {
+      return Status::Corruption("factor position out of range");
+    }
+    // Window probabilities are prefix-sum differences of logp, and the
+    // correlation adjustment assumes text offsets and S offsets advance
+    // together inside a factor.
+    if (q + 1 < n && !out->text.IsSentinel(q + 1) &&
+        out->pos[q + 1] != out->pos[q] + 1) {
+      return Status::Corruption("factor positions not contiguous");
+    }
+    if (std::isnan(out->logp[q]) || out->logp[q] > 0.0) {
+      return Status::Corruption("factor log-probability above 0");
+    }
+  }
+  // corr_positions must be strictly increasing, point at real characters,
+  // and resolve to a rule of the source string — query-time evaluation
+  // looks each one up unconditionally, so a dangling entry would otherwise
+  // throw out of rules.at().
+  for (size_t k = 0; k < out->corr_positions.size(); ++k) {
+    const int64_t z = out->corr_positions[k];
+    if (z < 0 || z >= static_cast<int64_t>(n) || out->text.IsSentinel(z)) {
+      return Status::Corruption("correlated text position out of range");
+    }
+    if (k > 0 && out->corr_positions[k - 1] >= z) {
+      return Status::Corruption("correlated text positions not sorted");
+    }
+    const uint8_t ch = static_cast<uint8_t>(out->text.chars()[z]);
+    if (source.FindRule(out->pos[z], ch) == nullptr) {
+      return Status::Corruption(
+          "correlated text position has no matching rule");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace serde
+}  // namespace pti

@@ -1,0 +1,151 @@
+// serde: the shared versioned container format for index persistence.
+//
+// Every persisted index (`.pti` file) is one container:
+//
+//   u32  container magic ("PTIC")
+//   u32  index kind tag  ("SUBS" / "LIST" / "APRX" / "SPCL")
+//   u32  container version
+//   u32  section count
+//   per section: u32 tag, u64 payload length, payload bytes
+//   u64  FNV-1a checksum of every preceding byte
+//
+// The framing is validated before any section payload is decoded: magic,
+// kind, version, every section length against the remaining buffer, and the
+// trailing checksum. Readers within a section are bounds-limited to that
+// section's payload, so a corrupt length in one section can never leak reads
+// into another. See docs/FORMAT.md for the full layout and the
+// compatibility policy.
+//
+// This header also hosts the shared model encoders (UncertainString,
+// FactorSet) used by all four index Save/Load implementations, so there is
+// exactly one decoder to harden. Decoders validate everything — option
+// counts, probability ranges, position bounds, sentinel structure, and that
+// every recorded correlated position resolves to a real rule — and return
+// Status::Corruption rather than crash or over-read on hostile input.
+
+#ifndef PTI_CORE_SERDE_H_
+#define PTI_CORE_SERDE_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/factor_transform.h"
+#include "core/uncertain_string.h"
+#include "util/serial.h"
+#include "util/status.h"
+
+namespace pti {
+namespace serde {
+
+/// First four bytes of every persisted index ("PTIC" in a hex dump).
+constexpr uint32_t kContainerMagic = 0x43495450;
+/// The version this build writes, and the highest it reads.
+constexpr uint32_t kContainerVersion = 1;
+
+/// Index kind tags (second u32 of the header; four ASCII bytes each).
+enum class IndexKind : uint32_t {
+  kSubstring = 0x53425553,  // "SUBS"
+  kListing = 0x5453494C,    // "LIST"
+  kApprox = 0x58525041,     // "APRX"
+  kSpecial = 0x4C435053,    // "SPCL"
+};
+
+/// Human-readable kind name for CLI output ("substring", ...).
+const char* KindName(IndexKind kind);
+
+/// Section tags shared across index kinds (four ASCII bytes each).
+constexpr uint32_t kTagOptions = 0x5354504F;  // "OPTS": build options
+constexpr uint32_t kTagSource = 0x53435253;   // "SRCS": source string(s)
+constexpr uint32_t kTagFactors = 0x54434146;  // "FACT": factor set
+constexpr uint32_t kTagText = 0x54584554;     // "TEXT": spliced text
+constexpr uint32_t kTagMaps = 0x5350414D;     // "MAPS": per-position arrays
+
+/// Accumulates tagged sections, then assembles the framed container.
+class ContainerWriter {
+ public:
+  explicit ContainerWriter(IndexKind kind) : kind_(kind) {}
+
+  /// Starts a new section; bytes written to the returned Writer become the
+  /// section payload. Tags must be unique within one container. The
+  /// reference stays valid across later AddSection calls (deque storage),
+  /// so interleaved writes to earlier sections are safe.
+  Writer& AddSection(uint32_t tag);
+
+  /// Header + section table + payloads + checksum. Consumes the writer.
+  std::string Finish() &&;
+
+ private:
+  IndexKind kind_;
+  std::deque<std::pair<uint32_t, Writer>> sections_;
+};
+
+/// Parses and fully validates container framing before handing out
+/// bounds-limited per-section readers. Holds pointers into the source
+/// buffer, which must outlive the reader.
+class ContainerReader {
+ public:
+  /// Validates magic, kind, version, section lengths and the checksum.
+  static Status Open(const std::string& data, IndexKind expected_kind,
+                     ContainerReader* out);
+
+  uint32_t version() const { return version_; }
+
+  /// Reader over the payload of a mandatory section; Corruption if absent.
+  Status Section(uint32_t tag, Reader* out) const;
+
+  bool Has(uint32_t tag) const;
+
+ private:
+  struct Entry {
+    uint32_t tag = 0;
+    const char* data = nullptr;
+    uint64_t size = 0;
+  };
+  uint32_t version_ = 0;
+  std::vector<Entry> entries_;
+};
+
+/// Index kind of a serialized blob without decoding it (CLI dispatch).
+/// Fails on short buffers, bad magic, or an unknown kind tag.
+StatusOr<IndexKind> PeekKind(const std::string& data);
+
+// ---- Shared model encoders ----
+
+/// Positions (option count, then char/prob pairs) followed by correlation
+/// rules.
+void EncodeUncertainString(const UncertainString& s, Writer* w);
+
+/// Inverse of EncodeUncertainString. Validates option counts, probability
+/// ranges (finite, in [0, 1]) and rule bounds; with `require_unit_sums` it
+/// additionally enforces the full §3 model invariants
+/// (UncertainString::Validate). Special uncertain strings (§4) pass false:
+/// their single option deliberately keeps mass below 1 (the "no occurrence"
+/// event), and SpecialIndex::Build re-checks that form itself.
+Status DecodeUncertainString(Reader* r, UncertainString* out,
+                             bool require_unit_sums = true);
+
+/// Text (chars + member starts), pos/logp maps, correlated positions,
+/// original length, tau_min.
+void EncodeFactorSet(const FactorSet& fs, Writer* w);
+
+/// Inverse of EncodeFactorSet, cross-checked against the already-decoded
+/// `source` string: array sizes match the text, pos[] entries are sentinel
+/// -1 / in-range and contiguous within each factor, logp values are valid
+/// log-probabilities, original_length equals source.size(), tau_min is in
+/// (0, 1], and every corr_positions entry is sorted, non-sentinel and
+/// resolves to a correlation rule of `source` (a dangling entry would throw
+/// at query time).
+Status DecodeFactorSet(Reader* r, const UncertainString& source,
+                       FactorSet* out);
+
+/// Shared guard for section decoders: every section must be consumed
+/// exactly.
+Status ExpectSectionEnd(const Reader& r, const char* what);
+
+}  // namespace serde
+}  // namespace pti
+
+#endif  // PTI_CORE_SERDE_H_

@@ -5,8 +5,10 @@
 #include <limits>
 #include <unordered_map>
 
+#include "core/serde.h"
 #include "suffix/suffix_tree.h"
 #include "suffix/text.h"
+#include "util/serial.h"
 
 namespace pti {
 
@@ -245,6 +247,69 @@ SpecialIndex::Stats SpecialIndex::stats() const {
   s.short_depth_limit = impl_->K;
   s.num_tree_nodes = static_cast<size_t>(impl_->st.num_nodes());
   return s;
+}
+
+Status SpecialIndex::Save(std::string* out) const {
+  const Impl& i = *impl_;
+  serde::ContainerWriter cw(serde::IndexKind::kSpecial);
+  Writer& opts = cw.AddSection(serde::kTagOptions);
+  opts.PutU32(static_cast<uint32_t>(i.options.max_short_depth));
+  opts.PutU8(static_cast<uint8_t>(i.options.rmq_engine));
+  opts.PutU8(i.options.use_rmq ? 1 : 0);
+  opts.PutU8(i.options.build_long_levels ? 1 : 0);
+  opts.PutU64(i.options.scan_cutoff);
+  serde::EncodeUncertainString(i.source, &cw.AddSection(serde::kTagSource));
+  *out = std::move(cw).Finish();
+  return Status::OK();
+}
+
+StatusOr<SpecialIndex> SpecialIndex::Load(const std::string& data) {
+  serde::ContainerReader container;
+  PTI_RETURN_IF_ERROR(
+      serde::ContainerReader::Open(data, serde::IndexKind::kSpecial,
+                                   &container));
+  SpecialIndexOptions options;
+  Reader opts;
+  PTI_RETURN_IF_ERROR(container.Section(serde::kTagOptions, &opts));
+  uint32_t max_short = 0;
+  PTI_RETURN_IF_ERROR(opts.GetU32(&max_short));
+  if (max_short > static_cast<uint32_t>(
+                      std::numeric_limits<int32_t>::max())) {
+    return Status::Corruption("short depth limit out of range");
+  }
+  options.max_short_depth = static_cast<int32_t>(max_short);
+  uint8_t engine = 0, use_rmq = 0, long_levels = 0;
+  PTI_RETURN_IF_ERROR(opts.GetU8(&engine));
+  if (engine > 2) return Status::Corruption("unknown RMQ engine value");
+  options.rmq_engine = static_cast<RmqEngineKind>(engine);
+  PTI_RETURN_IF_ERROR(opts.GetU8(&use_rmq));
+  PTI_RETURN_IF_ERROR(opts.GetU8(&long_levels));
+  if (use_rmq > 1 || long_levels > 1) {
+    return Status::Corruption("bad boolean option flag");
+  }
+  options.use_rmq = use_rmq != 0;
+  options.build_long_levels = long_levels != 0;
+  uint64_t cutoff = 0;
+  PTI_RETURN_IF_ERROR(opts.GetU64(&cutoff));
+  options.scan_cutoff = cutoff;
+  PTI_RETURN_IF_ERROR(serde::ExpectSectionEnd(opts, "options"));
+
+  UncertainString source;
+  Reader src;
+  PTI_RETURN_IF_ERROR(container.Section(serde::kTagSource, &src));
+  PTI_RETURN_IF_ERROR(serde::DecodeUncertainString(
+      &src, &source, /*require_unit_sums=*/false));
+  PTI_RETURN_IF_ERROR(serde::ExpectSectionEnd(src, "source"));
+
+  // Build re-runs the §4 input validation (one option per position,
+  // probabilities in (0, 1]); a decoded string that fails it is corrupt
+  // data, not a caller error.
+  auto built = Build(source, options);
+  if (!built.ok()) {
+    return Status::Corruption("persisted inputs failed validation: " +
+                              built.status().message());
+  }
+  return built;
 }
 
 size_t SpecialIndex::MemoryUsage() const {

@@ -68,6 +68,12 @@ class SpecialIndex {
   Stats stats() const;
   size_t MemoryUsage() const;
 
+  /// Serializes the source string and options into the shared container
+  /// format (core/serde.h); Load revalidates the inputs and rebuilds the
+  /// derived structures (suffix tree, RMQ forest) deterministically.
+  Status Save(std::string* out) const;
+  static StatusOr<SpecialIndex> Load(const std::string& data);
+
  private:
   struct Impl;
   std::unique_ptr<Impl> impl_;

@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "core/serde.h"
 #include "succinct/fm_index.h"
 #include "suffix/suffix_tree.h"
 #include "util/serial.h"
@@ -17,8 +18,6 @@ namespace pti {
 
 namespace {
 constexpr double kNegInf = -std::numeric_limits<double>::infinity();
-constexpr uint32_t kIndexMagic = 0x50544931;  // "PTI1"
-constexpr uint32_t kIndexVersion = 1;
 
 int64_t RuleKey(int64_t pos, uint8_t ch) { return pos * 256 + ch; }
 }  // namespace
@@ -482,129 +481,74 @@ const IndexOptions& SubstringIndex::options() const { return impl_->options; }
 
 Status SubstringIndex::Save(std::string* out) const {
   const Impl& i = *impl_;
-  Writer w;
-  PutEnvelope(&w, kIndexMagic, kIndexVersion);
-  // Options.
-  w.PutDouble(i.options.transform.tau_min);
-  w.PutU64(i.options.transform.max_total_length);
-  w.PutU32(static_cast<uint32_t>(i.options.max_short_depth));
-  w.PutU8(static_cast<uint8_t>(i.options.rmq_engine));
-  w.PutU8(static_cast<uint8_t>(i.options.blocking));
-  w.PutU64(i.options.scan_cutoff);
-  w.PutU8(i.options.compact ? 1 : 0);
-  // Source string.
-  w.PutU64(static_cast<uint64_t>(i.source.size()));
-  for (int64_t p = 0; p < i.source.size(); ++p) {
-    const auto& opts = i.source.options(p);
-    w.PutU32(static_cast<uint32_t>(opts.size()));
-    for (const auto& o : opts) {
-      w.PutU8(o.ch);
-      w.PutDouble(o.prob);
-    }
-  }
-  w.PutU64(i.source.correlations().size());
-  for (const auto& r : i.source.correlations()) {
-    w.PutI64(r.pos);
-    w.PutU8(r.ch);
-    w.PutI64(r.dep_pos);
-    w.PutU8(r.dep_ch);
-    w.PutDouble(r.prob_if_present);
-    w.PutDouble(r.prob_if_absent);
-  }
-  // Factor set.
-  w.PutVector(i.fs.text.chars());
-  w.PutVector(i.fs.text.member_starts());
-  w.PutVector(i.fs.pos);
-  w.PutVector(i.fs.logp);
-  w.PutVector(i.fs.corr_positions);
-  w.PutI64(i.fs.original_length);
-  w.PutDouble(i.fs.tau_min);
-  *out = std::move(w.Take());
+  serde::ContainerWriter cw(serde::IndexKind::kSubstring);
+  Writer& opts = cw.AddSection(serde::kTagOptions);
+  opts.PutDouble(i.options.transform.tau_min);
+  opts.PutU64(i.options.transform.max_total_length);
+  opts.PutU32(static_cast<uint32_t>(i.options.max_short_depth));
+  opts.PutU8(static_cast<uint8_t>(i.options.rmq_engine));
+  opts.PutU8(static_cast<uint8_t>(i.options.blocking));
+  opts.PutU64(i.options.scan_cutoff);
+  opts.PutU8(i.options.compact ? 1 : 0);
+  serde::EncodeUncertainString(i.source, &cw.AddSection(serde::kTagSource));
+  serde::EncodeFactorSet(i.fs, &cw.AddSection(serde::kTagFactors));
+  *out = std::move(cw).Finish();
   return Status::OK();
 }
 
 StatusOr<SubstringIndex> SubstringIndex::Load(const std::string& data) {
-  Reader r(data);
-  uint32_t version = 0;
-  PTI_RETURN_IF_ERROR(CheckEnvelope(&r, kIndexMagic, kIndexVersion, &version));
+  serde::ContainerReader container;
+  PTI_RETURN_IF_ERROR(serde::ContainerReader::Open(
+      data, serde::IndexKind::kSubstring, &container));
   SubstringIndex index;
   index.impl_ = std::make_unique<Impl>();
   Impl& i = *index.impl_;
-  // Options.
-  PTI_RETURN_IF_ERROR(r.GetDouble(&i.options.transform.tau_min));
+
+  Reader opts;
+  PTI_RETURN_IF_ERROR(container.Section(serde::kTagOptions, &opts));
+  PTI_RETURN_IF_ERROR(opts.GetDouble(&i.options.transform.tau_min));
+  if (!std::isfinite(i.options.transform.tau_min) ||
+      !(i.options.transform.tau_min > 0.0) ||
+      i.options.transform.tau_min > 1.0) {
+    return Status::Corruption("tau_min outside (0, 1]");
+  }
   uint64_t max_total = 0;
-  PTI_RETURN_IF_ERROR(r.GetU64(&max_total));
+  PTI_RETURN_IF_ERROR(opts.GetU64(&max_total));
   i.options.transform.max_total_length = max_total;
   uint32_t max_short = 0;
-  PTI_RETURN_IF_ERROR(r.GetU32(&max_short));
+  PTI_RETURN_IF_ERROR(opts.GetU32(&max_short));
+  if (max_short > static_cast<uint32_t>(
+                      std::numeric_limits<int32_t>::max())) {
+    return Status::Corruption("short depth limit out of range");
+  }
   i.options.max_short_depth = static_cast<int32_t>(max_short);
   uint8_t engine = 0, blocking = 0;
-  PTI_RETURN_IF_ERROR(r.GetU8(&engine));
-  PTI_RETURN_IF_ERROR(r.GetU8(&blocking));
+  PTI_RETURN_IF_ERROR(opts.GetU8(&engine));
+  PTI_RETURN_IF_ERROR(opts.GetU8(&blocking));
   if (engine > 2 || blocking > 2) {
     return Status::Corruption("unknown enum value in index file");
   }
   i.options.rmq_engine = static_cast<RmqEngineKind>(engine);
   i.options.blocking = static_cast<BlockingMode>(blocking);
   uint64_t cutoff = 0;
-  PTI_RETURN_IF_ERROR(r.GetU64(&cutoff));
+  PTI_RETURN_IF_ERROR(opts.GetU64(&cutoff));
   i.options.scan_cutoff = cutoff;
   uint8_t compact = 0;
-  PTI_RETURN_IF_ERROR(r.GetU8(&compact));
+  PTI_RETURN_IF_ERROR(opts.GetU8(&compact));
   if (compact > 1) return Status::Corruption("bad compact flag");
   i.options.compact = compact != 0;
-  // Source string.
-  uint64_t n = 0;
-  PTI_RETURN_IF_ERROR(r.GetU64(&n));
-  if (n > data.size()) return Status::Corruption("source length overruns file");
-  for (uint64_t p = 0; p < n; ++p) {
-    uint32_t count = 0;
-    PTI_RETURN_IF_ERROR(r.GetU32(&count));
-    if (count == 0 || count > 256) {
-      return Status::Corruption("bad option count");
-    }
-    std::vector<CharOption> opts(count);
-    for (auto& o : opts) {
-      PTI_RETURN_IF_ERROR(r.GetU8(&o.ch));
-      PTI_RETURN_IF_ERROR(r.GetDouble(&o.prob));
-    }
-    i.source.AddPosition(std::move(opts));
-  }
-  uint64_t num_rules = 0;
-  PTI_RETURN_IF_ERROR(r.GetU64(&num_rules));
-  for (uint64_t k = 0; k < num_rules; ++k) {
-    CorrelationRule rule;
-    PTI_RETURN_IF_ERROR(r.GetI64(&rule.pos));
-    PTI_RETURN_IF_ERROR(r.GetU8(&rule.ch));
-    PTI_RETURN_IF_ERROR(r.GetI64(&rule.dep_pos));
-    PTI_RETURN_IF_ERROR(r.GetU8(&rule.dep_ch));
-    PTI_RETURN_IF_ERROR(r.GetDouble(&rule.prob_if_present));
-    PTI_RETURN_IF_ERROR(r.GetDouble(&rule.prob_if_absent));
-    PTI_RETURN_IF_ERROR(i.source.AddCorrelation(rule));
-  }
-  // Factor set.
-  std::vector<int32_t> chars;
-  std::vector<int64_t> starts;
-  PTI_RETURN_IF_ERROR(r.GetVector(&chars));
-  PTI_RETURN_IF_ERROR(r.GetVector(&starts));
-  auto text = Text::FromRaw(std::move(chars), std::move(starts));
-  if (!text.ok()) return text.status();
-  i.fs.text = std::move(text).value();
-  PTI_RETURN_IF_ERROR(r.GetVector(&i.fs.pos));
-  PTI_RETURN_IF_ERROR(r.GetVector(&i.fs.logp));
-  PTI_RETURN_IF_ERROR(r.GetVector(&i.fs.corr_positions));
-  PTI_RETURN_IF_ERROR(r.GetI64(&i.fs.original_length));
-  PTI_RETURN_IF_ERROR(r.GetDouble(&i.fs.tau_min));
-  if (i.fs.pos.size() != i.fs.text.size() ||
-      i.fs.logp.size() != i.fs.text.size()) {
-    return Status::Corruption("factor arrays inconsistent with text");
-  }
-  for (const int64_t p : i.fs.pos) {
-    if (p < -1 || p >= i.fs.original_length) {
-      return Status::Corruption("factor position out of range");
-    }
-  }
-  if (!r.AtEnd()) return Status::Corruption("trailing bytes in index file");
+  PTI_RETURN_IF_ERROR(serde::ExpectSectionEnd(opts, "options"));
+
+  Reader src;
+  PTI_RETURN_IF_ERROR(container.Section(serde::kTagSource, &src));
+  PTI_RETURN_IF_ERROR(serde::DecodeUncertainString(&src, &i.source));
+  PTI_RETURN_IF_ERROR(serde::ExpectSectionEnd(src, "source"));
+
+  Reader fact;
+  PTI_RETURN_IF_ERROR(container.Section(serde::kTagFactors, &fact));
+  PTI_RETURN_IF_ERROR(serde::DecodeFactorSet(&fact, i.source, &i.fs));
+  PTI_RETURN_IF_ERROR(serde::ExpectSectionEnd(fact, "factors"));
+
   PTI_RETURN_IF_ERROR(i.FinishBuild());
   return index;
 }

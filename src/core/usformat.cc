@@ -1,5 +1,6 @@
 #include "core/usformat.h"
 
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 #include <vector>
@@ -13,7 +14,8 @@ Status LineError(size_t line_no, const std::string& what) {
 }
 }  // namespace
 
-StatusOr<UncertainString> ParseUncertainString(const std::string& text) {
+StatusOr<UncertainString> ParseUncertainString(const std::string& text,
+                                               bool require_unit_sums) {
   UncertainString s;
   std::vector<std::pair<size_t, CorrelationRule>> pending_rules;
   std::istringstream in(text);
@@ -59,6 +61,9 @@ StatusOr<UncertainString> ParseUncertainString(const std::string& text) {
       if (end == nullptr || *end != '\0') {
         return LineError(line_no, "bad probability in '" + token + "'");
       }
+      if (!std::isfinite(opt.prob) || opt.prob < 0.0 || opt.prob > 1.0) {
+        return LineError(line_no, "probability outside [0, 1] in '" + token + "'");
+      }
       opts.push_back(opt);
     }
     if (opts.empty()) {
@@ -72,8 +77,10 @@ StatusOr<UncertainString> ParseUncertainString(const std::string& text) {
     const Status st = s.AddCorrelation(rule);
     if (!st.ok()) return LineError(rule_line, st.message());
   }
-  const Status st = s.Validate();
-  if (!st.ok()) return st;
+  if (require_unit_sums) {
+    const Status st = s.Validate();
+    if (!st.ok()) return st;
+  }
   return s;
 }
 

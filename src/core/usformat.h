@@ -17,8 +17,13 @@
 
 namespace pti {
 
-/// Parses the format above; errors carry 1-based line numbers.
-StatusOr<UncertainString> ParseUncertainString(const std::string& text);
+/// Parses the format above; errors carry 1-based line numbers. With
+/// `require_unit_sums` (the default) the §3 model invariants are enforced
+/// via UncertainString::Validate; pass false for §4 special uncertain
+/// strings, whose single per-position option deliberately keeps mass below
+/// 1 (probabilities are still required to be finite and in [0, 1]).
+StatusOr<UncertainString> ParseUncertainString(const std::string& text,
+                                               bool require_unit_sums = true);
 
 /// Inverse of ParseUncertainString (round-trips through the parser).
 std::string FormatUncertainString(const UncertainString& s);

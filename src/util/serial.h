@@ -1,10 +1,10 @@
-// Binary serialization for index persistence.
+// Binary serialization primitives for index persistence.
 //
-// Little-endian fixed-width primitives plus length-prefixed containers,
-// wrapped in a (magic, version) envelope per top-level object. Readers are
-// bounds-checked and return Status::Corruption instead of reading past the
-// end, so truncated or garbage files fail cleanly (exercised by the
-// failure-injection tests).
+// Little-endian fixed-width primitives plus length-prefixed containers.
+// Top-level framing (magic, kind, version, sections, checksum) lives in
+// core/serde.h. Readers are bounds-checked and return Status::Corruption
+// instead of reading past the end, so truncated or garbage files fail
+// cleanly (exercised by the failure-injection tests).
 
 #ifndef PTI_UTIL_SERIAL_H_
 #define PTI_UTIL_SERIAL_H_
@@ -56,13 +56,27 @@ class Writer {
 };
 
 /// Bounds-checked reader over a byte buffer. All Get* methods return
-/// Corruption on underflow and leave the output untouched.
+/// Corruption on underflow and leave the output untouched. Does not own the
+/// bytes; the buffer must outlive the Reader.
 class Reader {
  public:
-  explicit Reader(const std::string& data) : data_(data) {}
+  Reader() : data_(nullptr), size_(0) {}
+  explicit Reader(const std::string& data)
+      : data_(data.data()), size_(data.size()) {}
+  Reader(const char* data, size_t size) : data_(data), size_(size) {}
 
-  size_t remaining() const { return data_.size() - pos_; }
-  bool AtEnd() const { return pos_ == data_.size(); }
+  size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+  /// Pointer to the next unread byte (for sub-range readers).
+  const char* cursor() const { return data_ + pos_; }
+
+  /// Advances past n bytes without copying them.
+  Status Skip(size_t n) {
+    if (n > remaining()) return Status::Corruption("skip past end of buffer");
+    pos_ += n;
+    return Status::OK();
+  }
 
   Status GetU8(uint8_t* v) { return GetRaw(v, sizeof(*v)); }
   Status GetU32(uint32_t* v) { return GetRaw(v, sizeof(*v)); }
@@ -74,7 +88,7 @@ class Reader {
     uint64_t n = 0;
     PTI_RETURN_IF_ERROR(GetU64(&n));
     if (n > remaining()) return Status::Corruption("string length overruns buffer");
-    s->assign(data_.data() + pos_, n);
+    s->assign(data_ + pos_, n);
     pos_ += n;
     return Status::OK();
   }
@@ -95,32 +109,24 @@ class Reader {
  private:
   Status GetRaw(void* p, size_t n) {
     if (n > remaining()) return Status::Corruption("read past end of buffer");
-    std::memcpy(p, data_.data() + pos_, n);
+    std::memcpy(p, data_ + pos_, n);
     pos_ += n;
     return Status::OK();
   }
 
-  const std::string& data_;
+  const char* data_;
+  size_t size_;
   size_t pos_ = 0;
 };
 
-/// Writes the standard (magic, version) envelope header.
-inline void PutEnvelope(Writer* w, uint32_t magic, uint32_t version) {
-  w->PutU32(magic);
-  w->PutU32(version);
-}
-
-/// Validates the envelope header; max_version gates forward compatibility.
-inline Status CheckEnvelope(Reader* r, uint32_t magic, uint32_t max_version,
-                            uint32_t* version) {
-  uint32_t m = 0;
-  PTI_RETURN_IF_ERROR(r->GetU32(&m));
-  if (m != magic) return Status::Corruption("bad magic number");
-  PTI_RETURN_IF_ERROR(r->GetU32(version));
-  if (*version == 0 || *version > max_version) {
-    return Status::Corruption("unsupported format version");
+/// FNV-1a 64-bit hash, the container checksum of core/serde.h.
+inline uint64_t Fnv1a64(const char* data, size_t n) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 0x100000001b3ull;
   }
-  return Status::OK();
+  return h;
 }
 
 }  // namespace pti

@@ -1,0 +1,186 @@
+// Cross-index consistency net: for random uncertain strings the different
+// index implementations and the brute-force oracles must agree on the same
+// (pattern, tau) queries. This pins the refactors (shared serde layer,
+// listing rule-table extraction) against behaviour drift: any divergence
+// between the index families is a bug in one of them.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/approx_index.h"
+#include "core/brute_force.h"
+#include "core/listing_index.h"
+#include "core/special_index.h"
+#include "core/substring_index.h"
+#include "test_util.h"
+
+namespace pti {
+namespace {
+
+constexpr double kTauMin = 0.1;
+
+std::vector<UncertainString> RandomDocs(uint64_t seed, size_t ndocs,
+                                        int64_t length) {
+  std::vector<UncertainString> docs;
+  for (size_t d = 0; d < ndocs; ++d) {
+    docs.push_back(test::RandomUncertain(
+        {.length = length, .alphabet = 3, .theta = 0.5, .seed = seed + d}));
+  }
+  return docs;
+}
+
+TEST(CrossIndexTest, SubstringListingBruteForceAgree) {
+  for (const uint64_t seed : {11u, 22u, 33u}) {
+    const std::vector<UncertainString> docs = RandomDocs(seed, 3, 30);
+
+    ListingOptions listing_options;
+    listing_options.transform.tau_min = kTauMin;
+    const auto listing = ListingIndex::Build(docs, listing_options);
+    ASSERT_TRUE(listing.ok()) << listing.status().ToString();
+
+    std::vector<SubstringIndex> per_doc;
+    for (const UncertainString& d : docs) {
+      IndexOptions options;
+      options.transform.tau_min = kTauMin;
+      auto index = SubstringIndex::Build(d, options);
+      ASSERT_TRUE(index.ok()) << index.status().ToString();
+      per_doc.push_back(std::move(index).value());
+    }
+
+    Rng rng(seed);
+    for (int q = 0; q < 30; ++q) {
+      std::string pattern;
+      if (q % 2 == 0) {
+        const size_t len = 1 + rng.Uniform(6);
+        const int64_t start =
+            static_cast<int64_t>(rng.Uniform(30 - len + 1));
+        pattern = test::PatternFromString(docs[q % docs.size()], start, len,
+                                          rng.Next());
+      } else {
+        pattern = test::RandomPattern(3, 1 + rng.Uniform(6), rng.Next());
+      }
+      for (const double tau : {kTauMin, 0.35, 0.7}) {
+        // Per-document: SubstringIndex == BruteForceSearch.
+        std::vector<double> doc_max(docs.size(), 0.0);
+        for (size_t d = 0; d < docs.size(); ++d) {
+          std::vector<Match> got;
+          ASSERT_TRUE(per_doc[d].Query(pattern, tau, &got).ok());
+          const std::vector<Match> want =
+              BruteForceSearch(docs[d], pattern, tau);
+          ASSERT_TRUE(test::SameMatches(got, want))
+              << "doc " << d << " pattern " << pattern << " tau " << tau
+              << "\n got: " << test::MatchesToString(got)
+              << "\nwant: " << test::MatchesToString(want);
+          for (const Match& m : got) {
+            doc_max[d] = std::max(doc_max[d], m.probability);
+          }
+        }
+        // Collection: ListingIndex == BruteForceListing, and the Rel_max
+        // relevance equals the per-document maximum the substring index
+        // reported.
+        std::vector<DocMatch> listed;
+        ASSERT_TRUE(listing->Query(pattern, tau, &listed).ok());
+        const std::vector<DocMatch> want_listed = BruteForceListing(
+            docs, pattern, tau, RelevanceMetric::kMax, kTauMin);
+        ASSERT_EQ(listed.size(), want_listed.size())
+            << "pattern " << pattern << " tau " << tau;
+        for (size_t k = 0; k < listed.size(); ++k) {
+          EXPECT_EQ(listed[k].doc, want_listed[k].doc);
+          EXPECT_NEAR(listed[k].relevance, want_listed[k].relevance, 1e-9);
+          EXPECT_NEAR(listed[k].relevance, doc_max[listed[k].doc], 1e-9)
+              << "pattern " << pattern << " tau " << tau;
+        }
+      }
+    }
+  }
+}
+
+TEST(CrossIndexTest, SpecialIndexModesAgreeWithBruteForce) {
+  // Both §4 operating modes (simple scan and efficient RMQ) against the
+  // oracle. (A special string's probabilities deliberately sum below 1 per
+  // position, so the §3 general indexes do not apply to it.)
+  for (const uint64_t seed : {5u, 6u}) {
+    Rng gen(seed);
+    UncertainString s;
+    for (int i = 0; i < 40; ++i) {
+      s.AddPosition({{static_cast<uint8_t>('a' + gen.Uniform(3)),
+                      static_cast<double>(1 + gen.Uniform(64)) / 64.0}});
+    }
+    SpecialIndexOptions simple;
+    simple.use_rmq = false;
+    const auto scan_index = SpecialIndex::Build(s, simple);
+    ASSERT_TRUE(scan_index.ok()) << scan_index.status().ToString();
+    SpecialIndexOptions efficient;
+    efficient.scan_cutoff = 0;  // force the RMQ path even on tiny ranges
+    const auto rmq_index = SpecialIndex::Build(s, efficient);
+    ASSERT_TRUE(rmq_index.ok()) << rmq_index.status().ToString();
+
+    Rng rng(seed + 100);
+    for (int q = 0; q < 40; ++q) {
+      const std::string pattern =
+          test::RandomPattern(3, 1 + rng.Uniform(7), rng.Next());
+      for (const double tau : {kTauMin, 0.4, 0.8}) {
+        const std::vector<Match> want = BruteForceSearch(s, pattern, tau);
+        std::vector<Match> from_scan, from_rmq;
+        ASSERT_TRUE(scan_index->Query(pattern, tau, &from_scan).ok());
+        ASSERT_TRUE(rmq_index->Query(pattern, tau, &from_rmq).ok());
+        ASSERT_TRUE(test::SameMatches(from_scan, want))
+            << "pattern " << pattern << " tau " << tau;
+        ASSERT_TRUE(test::SameMatches(from_rmq, want))
+            << "pattern " << pattern << " tau " << tau;
+      }
+    }
+  }
+}
+
+TEST(CrossIndexTest, ApproxIndexBracketsTheExactIndex) {
+  // §7 guarantee relative to the exact index: every true >= tau match is
+  // reported, and everything reported truly has probability >= tau - eps.
+  const UncertainString s = test::RandomUncertain(
+      {.length = 40, .alphabet = 3, .theta = 0.5, .seed = 77});
+  constexpr double kEps = 0.05;
+  ApproxOptions approx_options;
+  approx_options.transform.tau_min = kTauMin;
+  approx_options.epsilon = kEps;
+  approx_options.exact_probabilities = true;
+  const auto approx = ApproxIndex::Build(s, approx_options);
+  ASSERT_TRUE(approx.ok()) << approx.status().ToString();
+  IndexOptions options;
+  options.transform.tau_min = kTauMin;
+  const auto exact = SubstringIndex::Build(s, options);
+  ASSERT_TRUE(exact.ok());
+
+  Rng rng(78);
+  for (int q = 0; q < 40; ++q) {
+    const std::string pattern =
+        test::RandomPattern(3, 1 + rng.Uniform(6), rng.Next());
+    for (const double tau : {0.2, 0.5, 0.8}) {
+      std::vector<Match> reported, truth;
+      ASSERT_TRUE(approx->Query(pattern, tau, &reported).ok());
+      ASSERT_TRUE(exact->Query(pattern, tau, &truth).ok());
+      // Every true match is present.
+      for (const Match& t : truth) {
+        const bool found =
+            std::any_of(reported.begin(), reported.end(), [&](const Match& r) {
+              return r.position == t.position;
+            });
+        EXPECT_TRUE(found) << "pattern " << pattern << " tau " << tau
+                           << " missing position " << t.position;
+      }
+      // Nothing below tau - eps is reported.
+      for (const Match& r : reported) {
+        const double true_prob =
+            s.OccurrenceProb(pattern, r.position).ToLinear();
+        EXPECT_GE(true_prob, tau - kEps - 1e-9)
+            << "pattern " << pattern << " tau " << tau << " position "
+            << r.position;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pti

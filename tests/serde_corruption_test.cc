@@ -1,0 +1,678 @@
+// Failure injection for the shared container format (core/serde.h) across
+// all four index kinds: truncation at every prefix length, single-bit flips
+// at every byte, wrong magic / kind / version, hostile section lengths, and
+// hand-crafted hostile payloads targeting the decoder validation (dangling
+// correlated positions, non-contiguous factor maps, NaN probabilities, ...).
+// Every input must fail with a non-OK Status — never crash — which the CI
+// ASan+UBSan job enforces.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/approx_index.h"
+#include "core/listing_index.h"
+#include "core/serde.h"
+#include "core/special_index.h"
+#include "core/substring_index.h"
+#include "test_util.h"
+#include "util/serial.h"
+
+namespace pti {
+namespace {
+
+using serde::IndexKind;
+
+// Container header offsets (docs/FORMAT.md): magic, kind, version, count.
+constexpr size_t kKindOffset = 4;
+constexpr size_t kVersionOffset = 8;
+constexpr size_t kSectionCountOffset = 12;
+// First section: u32 tag at 16, u64 length at 20.
+constexpr size_t kFirstSectionLengthOffset = 20;
+
+struct KindCase {
+  IndexKind kind;
+  const char* name;
+  std::string blob;
+  std::function<Status(const std::string&)> load;
+};
+
+std::vector<KindCase> MakeKindCases() {
+  const test::RandomStringSpec spec{.length = 25, .alphabet = 3,
+                                    .theta = 0.5, .seed = 99};
+  const UncertainString s = test::RandomUncertain(spec);
+
+  std::vector<KindCase> cases;
+  {
+    IndexOptions options;
+    options.transform.tau_min = 0.1;
+    const auto index = SubstringIndex::Build(s, options);
+    EXPECT_TRUE(index.ok());
+    std::string blob;
+    EXPECT_TRUE(index->Save(&blob).ok());
+    cases.push_back({IndexKind::kSubstring, "substring", std::move(blob),
+                     [](const std::string& b) {
+                       return SubstringIndex::Load(b).status();
+                     }});
+  }
+  {
+    ListingOptions options;
+    options.transform.tau_min = 0.1;
+    const auto index = ListingIndex::Build({s, s}, options);
+    EXPECT_TRUE(index.ok());
+    std::string blob;
+    EXPECT_TRUE(index->Save(&blob).ok());
+    cases.push_back({IndexKind::kListing, "listing", std::move(blob),
+                     [](const std::string& b) {
+                       return ListingIndex::Load(b).status();
+                     }});
+  }
+  {
+    ApproxOptions options;
+    options.transform.tau_min = 0.1;
+    const auto index = ApproxIndex::Build(s, options);
+    EXPECT_TRUE(index.ok());
+    std::string blob;
+    EXPECT_TRUE(index->Save(&blob).ok());
+    cases.push_back({IndexKind::kApprox, "approx", std::move(blob),
+                     [](const std::string& b) {
+                       return ApproxIndex::Load(b).status();
+                     }});
+  }
+  {
+    UncertainString sp;
+    Rng rng(5);
+    for (int i = 0; i < 25; ++i) {
+      sp.AddPosition({{static_cast<uint8_t>('a' + rng.Uniform(3)),
+                       static_cast<double>(1 + rng.Uniform(64)) / 64.0}});
+    }
+    const auto index = SpecialIndex::Build(sp, SpecialIndexOptions{});
+    EXPECT_TRUE(index.ok());
+    std::string blob;
+    EXPECT_TRUE(index->Save(&blob).ok());
+    cases.push_back({IndexKind::kSpecial, "special", std::move(blob),
+                     [](const std::string& b) {
+                       return SpecialIndex::Load(b).status();
+                     }});
+  }
+  return cases;
+}
+
+const std::vector<KindCase>& KindCases() {
+  static const std::vector<KindCase>* cases =
+      new std::vector<KindCase>(MakeKindCases());
+  return *cases;
+}
+
+// Rewrites bytes at `offset`, then refreshes the trailing checksum so the
+// mutation tests the *semantic* validation layer, not just the checksum.
+std::string PatchWithValidChecksum(std::string blob, size_t offset,
+                                   const void* bytes, size_t n) {
+  EXPECT_LE(offset + n, blob.size() - 8);
+  std::memcpy(&blob[offset], bytes, n);
+  const uint64_t checksum = Fnv1a64(blob.data(), blob.size() - 8);
+  std::memcpy(&blob[blob.size() - 8], &checksum, 8);
+  return blob;
+}
+
+std::string PatchU32(std::string blob, size_t offset, uint32_t value) {
+  return PatchWithValidChecksum(std::move(blob), offset, &value, 4);
+}
+
+std::string PatchU64(std::string blob, size_t offset, uint64_t value) {
+  return PatchWithValidChecksum(std::move(blob), offset, &value, 8);
+}
+
+TEST(SerdeCorruptionTest, ValidBlobsLoad) {
+  for (const KindCase& c : KindCases()) {
+    EXPECT_TRUE(c.load(c.blob).ok()) << c.name;
+    const auto kind = serde::PeekKind(c.blob);
+    ASSERT_TRUE(kind.ok()) << c.name;
+    EXPECT_EQ(*kind, c.kind) << c.name;
+  }
+}
+
+TEST(SerdeCorruptionTest, TruncationAtEveryLengthFails) {
+  for (const KindCase& c : KindCases()) {
+    for (size_t len = 0; len < c.blob.size(); ++len) {
+      const Status st = c.load(c.blob.substr(0, len));
+      ASSERT_FALSE(st.ok())
+          << c.name << " accepted truncation at " << len;
+    }
+  }
+}
+
+TEST(SerdeCorruptionTest, SingleBitFlipAtEveryByteFails) {
+  // The trailing checksum makes every single-bit corruption detectable,
+  // including flips inside probability payloads that would otherwise decode.
+  for (const KindCase& c : KindCases()) {
+    for (size_t at = 0; at < c.blob.size(); ++at) {
+      std::string mutated = c.blob;
+      mutated[at] = static_cast<char>(mutated[at] ^ (1 << (at % 8)));
+      const Status st = c.load(mutated);
+      ASSERT_FALSE(st.ok())
+          << c.name << " accepted bit flip at byte " << at;
+      ASSERT_FALSE(st.message().empty());
+    }
+  }
+}
+
+TEST(SerdeCorruptionTest, RandomMultiByteCorruptionNeverCrashes) {
+  Rng rng(17);
+  for (const KindCase& c : KindCases()) {
+    for (int trial = 0; trial < 100; ++trial) {
+      std::string mutated = c.blob;
+      const size_t edits = 1 + rng.Uniform(8);
+      for (size_t e = 0; e < edits; ++e) {
+        mutated[rng.Uniform(mutated.size())] =
+            static_cast<char>(rng.Next() & 0xFF);
+      }
+      const Status st = c.load(mutated);
+      if (mutated != c.blob) {
+        EXPECT_FALSE(st.ok()) << c.name;
+      }
+    }
+  }
+}
+
+TEST(SerdeCorruptionTest, EmptyAndTinyBlobsFail) {
+  for (const KindCase& c : KindCases()) {
+    EXPECT_TRUE(c.load("").IsCorruption()) << c.name;
+    EXPECT_TRUE(c.load("P").IsCorruption()) << c.name;
+    EXPECT_TRUE(c.load("PTIC").IsCorruption()) << c.name;
+  }
+  EXPECT_TRUE(serde::PeekKind("").status().IsCorruption());
+  EXPECT_TRUE(serde::PeekKind("PTI").status().IsCorruption());
+}
+
+TEST(SerdeCorruptionTest, WrongMagicFails) {
+  for (const KindCase& c : KindCases()) {
+    std::string blob = PatchU32(c.blob, 0, 0xDEADBEEF);
+    EXPECT_TRUE(c.load(blob).IsCorruption()) << c.name;
+    EXPECT_TRUE(serde::PeekKind(blob).status().IsCorruption()) << c.name;
+  }
+}
+
+TEST(SerdeCorruptionTest, KindMismatchFails) {
+  // Every blob loaded as every *other* kind must be rejected.
+  for (const KindCase& a : KindCases()) {
+    for (const KindCase& b : KindCases()) {
+      if (a.kind == b.kind) continue;
+      EXPECT_TRUE(b.load(a.blob).IsCorruption())
+          << a.name << " accepted by " << b.name << " loader";
+    }
+  }
+}
+
+TEST(SerdeCorruptionTest, UnknownKindTagFails) {
+  for (const KindCase& c : KindCases()) {
+    const std::string blob = PatchU32(c.blob, kKindOffset, 0x4B4E5557);
+    EXPECT_TRUE(c.load(blob).IsCorruption()) << c.name;
+    EXPECT_TRUE(serde::PeekKind(blob).status().IsCorruption()) << c.name;
+  }
+}
+
+TEST(SerdeCorruptionTest, FutureAndZeroVersionsFail) {
+  for (const KindCase& c : KindCases()) {
+    EXPECT_TRUE(
+        c.load(PatchU32(c.blob, kVersionOffset, serde::kContainerVersion + 1))
+            .IsCorruption())
+        << c.name;
+    EXPECT_TRUE(c.load(PatchU32(c.blob, kVersionOffset, 99)).IsCorruption())
+        << c.name;
+    EXPECT_TRUE(c.load(PatchU32(c.blob, kVersionOffset, 0)).IsCorruption())
+        << c.name;
+  }
+}
+
+TEST(SerdeCorruptionTest, HostileSectionTableFails) {
+  for (const KindCase& c : KindCases()) {
+    // Unreasonable section count.
+    EXPECT_TRUE(c.load(PatchU32(c.blob, kSectionCountOffset, 0xFFFFFFFF))
+                    .IsCorruption())
+        << c.name;
+    // Dropping a section truncates the table mid-parse.
+    EXPECT_TRUE(c.load(PatchU32(c.blob, kSectionCountOffset, 1)).ok() == false)
+        << c.name;
+    // Section length far beyond the buffer.
+    EXPECT_TRUE(
+        c.load(PatchU64(c.blob, kFirstSectionLengthOffset, uint64_t{1} << 60))
+            .IsCorruption())
+        << c.name;
+    // Section length that would swallow the checksum.
+    EXPECT_TRUE(
+        c.load(PatchU64(c.blob, kFirstSectionLengthOffset,
+                        c.blob.size() - kFirstSectionLengthOffset - 8))
+            .IsCorruption())
+        << c.name;
+  }
+}
+
+TEST(SerdeCorruptionTest, TrailingGarbageFails) {
+  for (const KindCase& c : KindCases()) {
+    EXPECT_TRUE(c.load(c.blob + "extra!").IsCorruption()) << c.name;
+  }
+}
+
+TEST(SerdeCorruptionTest, ChecksumMismatchAloneFails) {
+  for (const KindCase& c : KindCases()) {
+    std::string blob = c.blob;
+    blob[blob.size() - 1] = static_cast<char>(blob[blob.size() - 1] ^ 0x40);
+    EXPECT_TRUE(c.load(blob).IsCorruption()) << c.name;
+  }
+}
+
+// ---- Container-level unit tests via hand-built containers ----
+
+std::string MinimalContainer(IndexKind kind,
+                             const std::vector<uint32_t>& tags) {
+  serde::ContainerWriter cw(kind);
+  for (const uint32_t tag : tags) {
+    cw.AddSection(tag).PutU32(7);
+  }
+  return std::move(cw).Finish();
+}
+
+TEST(SerdeCorruptionTest, MissingSectionFails) {
+  // A well-framed substring container without the factors section.
+  const std::string blob = MinimalContainer(
+      IndexKind::kSubstring, {serde::kTagOptions, serde::kTagSource});
+  serde::ContainerReader container;
+  ASSERT_TRUE(serde::ContainerReader::Open(blob, IndexKind::kSubstring,
+                                           &container)
+                  .ok());
+  Reader section;
+  EXPECT_TRUE(
+      container.Section(serde::kTagFactors, &section).IsCorruption());
+  EXPECT_TRUE(SubstringIndex::Load(blob).status().IsCorruption());
+}
+
+TEST(SerdeCorruptionTest, DuplicateSectionTagFails) {
+  const std::string blob = MinimalContainer(
+      IndexKind::kSubstring, {serde::kTagOptions, serde::kTagOptions});
+  serde::ContainerReader container;
+  EXPECT_TRUE(serde::ContainerReader::Open(blob, IndexKind::kSubstring,
+                                           &container)
+                  .IsCorruption());
+}
+
+TEST(SerdeCorruptionTest, UnrecognizedExtraSectionIsIgnored) {
+  // Compatibility policy: v1 readers skip sections they do not know, so a
+  // same-version writer may append purely-informational sections.
+  const UncertainString s = test::RandomUncertain(
+      {.length = 12, .alphabet = 2, .theta = 0.5, .seed = 3});
+  IndexOptions options;
+  options.transform.tau_min = 0.2;
+  const auto index = SubstringIndex::Build(s, options);
+  ASSERT_TRUE(index.ok());
+  std::string blob;
+  ASSERT_TRUE(index->Save(&blob).ok());
+  // Re-frame the same sections plus an extra one.
+  serde::ContainerReader container;
+  ASSERT_TRUE(serde::ContainerReader::Open(blob, IndexKind::kSubstring,
+                                           &container)
+                  .ok());
+  serde::ContainerWriter cw(IndexKind::kSubstring);
+  for (const uint32_t tag :
+       {serde::kTagOptions, serde::kTagSource, serde::kTagFactors}) {
+    Reader section;
+    ASSERT_TRUE(container.Section(tag, &section).ok());
+    Writer& w = cw.AddSection(tag);
+    std::vector<uint8_t> raw(section.remaining());
+    for (auto& b : raw) ASSERT_TRUE(section.GetU8(&b).ok());
+    for (const uint8_t b : raw) w.PutU8(b);
+  }
+  cw.AddSection(0x41525458).PutU64(123);  // "XTRA"
+  const std::string extended = std::move(cw).Finish();
+  const auto loaded = SubstringIndex::Load(extended);
+  EXPECT_TRUE(loaded.ok()) << loaded.status().ToString();
+}
+
+// ---- Hostile payloads: the decoder validation layer ----
+//
+// These craft well-framed containers whose *payloads* violate model
+// invariants. Several of them are regressions for latent bugs in the old
+// SubstringIndex::Load: a corr_positions entry with no matching rule, or a
+// non-contiguous pos[] map, decoded fine but crashed (rules.at throw /
+// wrong-window reads) at query time.
+
+UncertainString TwoPosSource() {
+  UncertainString s;
+  s.AddPosition({{'a', 0.5}, {'b', 0.5}});
+  s.AddPosition({{'a', 0.5}, {'b', 0.5}});
+  return s;
+}
+
+void WriteSubstringOptions(Writer& w) {
+  w.PutDouble(0.1);              // tau_min
+  w.PutU64(uint64_t{1} << 31);   // max_total_length
+  w.PutU32(0);                   // max_short_depth
+  w.PutU8(0);                    // rmq_engine
+  w.PutU8(0);                    // blocking
+  w.PutU64(64);                  // scan_cutoff
+  w.PutU8(0);                    // compact
+}
+
+// A substring container around a hand-written factor section. The factor
+// text is the single member "ab" unless the writer says otherwise.
+std::string SubstringContainerWithFactors(
+    const std::function<void(Writer&)>& write_factors) {
+  serde::ContainerWriter cw(IndexKind::kSubstring);
+  WriteSubstringOptions(cw.AddSection(serde::kTagOptions));
+  serde::EncodeUncertainString(TwoPosSource(),
+                               &cw.AddSection(serde::kTagSource));
+  write_factors(cw.AddSection(serde::kTagFactors));
+  return std::move(cw).Finish();
+}
+
+struct FactorParts {
+  std::vector<int32_t> chars = {'a', 'b', 256};
+  std::vector<int64_t> starts = {0, 3};
+  std::vector<int64_t> pos = {0, 1, -1};
+  std::vector<double> logp = {-0.6931471805599453, -0.6931471805599453, 0.0};
+  std::vector<int64_t> corr_positions = {};
+  int64_t original_length = 2;
+  double tau_min = 0.1;
+};
+
+void WriteFactorParts(Writer& w, const FactorParts& f) {
+  w.PutVector(f.chars);
+  w.PutVector(f.starts);
+  w.PutVector(f.pos);
+  w.PutVector(f.logp);
+  w.PutVector(f.corr_positions);
+  w.PutI64(f.original_length);
+  w.PutDouble(f.tau_min);
+}
+
+Status LoadWithFactors(const FactorParts& f) {
+  return SubstringIndex::Load(SubstringContainerWithFactors(
+                                  [&](Writer& w) { WriteFactorParts(w, f); }))
+      .status();
+}
+
+TEST(SerdeCorruptionTest, WellFormedHandBuiltFactorsLoad) {
+  EXPECT_TRUE(LoadWithFactors(FactorParts{}).ok());
+}
+
+TEST(SerdeCorruptionTest, DanglingCorrelatedPositionFails) {
+  // corr_positions points at ('a' at S-position 0) but the source has no
+  // rule there: query-time evaluation would throw out of rules.at().
+  FactorParts f;
+  f.corr_positions = {0};
+  EXPECT_TRUE(LoadWithFactors(f).IsCorruption());
+}
+
+TEST(SerdeCorruptionTest, CorrelatedPositionOutOfRangeFails) {
+  FactorParts f;
+  f.corr_positions = {17};
+  EXPECT_TRUE(LoadWithFactors(f).IsCorruption());
+  f.corr_positions = {-1};
+  EXPECT_TRUE(LoadWithFactors(f).IsCorruption());
+  f.corr_positions = {2};  // the sentinel position
+  EXPECT_TRUE(LoadWithFactors(f).IsCorruption());
+}
+
+TEST(SerdeCorruptionTest, UnsortedCorrelatedPositionsFail) {
+  FactorParts f;
+  f.corr_positions = {1, 0};
+  EXPECT_TRUE(LoadWithFactors(f).IsCorruption());
+}
+
+TEST(SerdeCorruptionTest, NonContiguousFactorPositionsFail) {
+  // The window-probability math assumes S-positions advance with text
+  // positions inside a factor.
+  FactorParts f;
+  f.pos = {0, 0, -1};
+  EXPECT_TRUE(LoadWithFactors(f).IsCorruption());
+  f.pos = {1, 0, -1};
+  EXPECT_TRUE(LoadWithFactors(f).IsCorruption());
+}
+
+TEST(SerdeCorruptionTest, FactorPositionOutOfRangeFails) {
+  FactorParts f;
+  f.pos = {0, 5, -1};
+  EXPECT_TRUE(LoadWithFactors(f).IsCorruption());
+  f.pos = {-1, 0, -1};  // -1 on a non-sentinel position
+  EXPECT_TRUE(LoadWithFactors(f).IsCorruption());
+}
+
+TEST(SerdeCorruptionTest, SentinelCarryingFactorDataFails) {
+  FactorParts f;
+  f.pos = {0, 1, 1};
+  EXPECT_TRUE(LoadWithFactors(f).IsCorruption());
+  f = FactorParts{};
+  f.logp = {-0.5, -0.5, -0.5};
+  EXPECT_TRUE(LoadWithFactors(f).IsCorruption());
+}
+
+TEST(SerdeCorruptionTest, OriginalLengthMismatchFails) {
+  FactorParts f;
+  f.original_length = 5;  // source has 2 positions
+  EXPECT_TRUE(LoadWithFactors(f).IsCorruption());
+}
+
+TEST(SerdeCorruptionTest, HostileLogProbabilitiesFail) {
+  FactorParts f;
+  f.logp = {0.5, -0.5, 0.0};  // log prob above 0 => "probability" > 1
+  EXPECT_TRUE(LoadWithFactors(f).IsCorruption());
+  f.logp = {std::nan(""), -0.5, 0.0};
+  EXPECT_TRUE(LoadWithFactors(f).IsCorruption());
+}
+
+TEST(SerdeCorruptionTest, HostileFactorTauMinFails) {
+  FactorParts f;
+  f.tau_min = 0.0;
+  EXPECT_TRUE(LoadWithFactors(f).IsCorruption());
+  f.tau_min = 1.5;
+  EXPECT_TRUE(LoadWithFactors(f).IsCorruption());
+  f.tau_min = std::nan("");
+  EXPECT_TRUE(LoadWithFactors(f).IsCorruption());
+}
+
+TEST(SerdeCorruptionTest, MismatchedFactorArraySizesFail) {
+  FactorParts f;
+  f.pos = {0, 1};  // one entry short
+  EXPECT_TRUE(LoadWithFactors(f).IsCorruption());
+  f = FactorParts{};
+  f.logp = {-0.5, 0.0};
+  EXPECT_TRUE(LoadWithFactors(f).IsCorruption());
+}
+
+TEST(SerdeCorruptionTest, MalformedTextSentinelsFail) {
+  FactorParts f;
+  f.chars = {'a', 'b', 257};  // wrong sentinel id for member 0
+  EXPECT_TRUE(LoadWithFactors(f).IsCorruption());
+  f = FactorParts{};
+  f.chars = {'a', 300, 256};  // out-of-alphabet character inside a member
+  EXPECT_TRUE(LoadWithFactors(f).IsCorruption());
+  f = FactorParts{};
+  f.starts = {0, 2};  // starts disagree with chars length
+  EXPECT_TRUE(LoadWithFactors(f).IsCorruption());
+}
+
+// Hostile source payloads exercise the shared DecodeUncertainString.
+
+std::string SubstringContainerWithSource(
+    const std::function<void(Writer&)>& write_source) {
+  serde::ContainerWriter cw(IndexKind::kSubstring);
+  WriteSubstringOptions(cw.AddSection(serde::kTagOptions));
+  write_source(cw.AddSection(serde::kTagSource));
+  serde::EncodeFactorSet(FactorSet{}, &cw.AddSection(serde::kTagFactors));
+  return std::move(cw).Finish();
+}
+
+TEST(SerdeCorruptionTest, HostileSourceOptionCountsFail) {
+  for (const uint32_t count : {0u, 257u, 0xFFFFFFFFu}) {
+    const std::string blob = SubstringContainerWithSource([&](Writer& w) {
+      w.PutU64(1);
+      w.PutU32(count);
+    });
+    EXPECT_TRUE(SubstringIndex::Load(blob).status().IsCorruption()) << count;
+  }
+}
+
+TEST(SerdeCorruptionTest, HostileSourcePositionCountFails) {
+  const std::string blob = SubstringContainerWithSource([&](Writer& w) {
+    w.PutU64(uint64_t{1} << 62);  // absurd position count
+  });
+  EXPECT_TRUE(SubstringIndex::Load(blob).status().IsCorruption());
+}
+
+TEST(SerdeCorruptionTest, HostileSourceProbabilitiesFail) {
+  for (const double prob : {-0.25, 1.5, std::nan("")}) {
+    const std::string blob = SubstringContainerWithSource([&](Writer& w) {
+      w.PutU64(1);
+      w.PutU32(1);
+      w.PutU8('a');
+      w.PutDouble(prob);
+      w.PutU64(0);  // no rules
+    });
+    EXPECT_TRUE(SubstringIndex::Load(blob).status().IsCorruption()) << prob;
+  }
+}
+
+TEST(SerdeCorruptionTest, HostileCorrelationRulesFail) {
+  // Rule referencing an out-of-range dependency position.
+  const std::string blob = SubstringContainerWithSource([&](Writer& w) {
+    w.PutU64(1);
+    w.PutU32(1);
+    w.PutU8('a');
+    w.PutDouble(1.0);
+    w.PutU64(1);       // one rule
+    w.PutI64(0);       // pos
+    w.PutU8('a');      // ch
+    w.PutI64(12345);   // dep_pos out of range
+    w.PutU8('a');
+    w.PutDouble(0.5);
+    w.PutDouble(0.5);
+  });
+  EXPECT_TRUE(SubstringIndex::Load(blob).status().IsCorruption());
+}
+
+TEST(SerdeCorruptionTest, NonUnitOptionSumsFail) {
+  const std::string blob = SubstringContainerWithSource([&](Writer& w) {
+    w.PutU64(1);
+    w.PutU32(2);
+    w.PutU8('a');
+    w.PutDouble(0.5);
+    w.PutU8('b');
+    w.PutDouble(0.1);  // sums to 0.6, no correlation exemption
+    w.PutU64(0);
+  });
+  EXPECT_TRUE(SubstringIndex::Load(blob).status().IsCorruption());
+}
+
+// Hostile listing maps exercise the ListingIndex-specific validation.
+
+std::string ListingBlob() {
+  ListingOptions options;
+  options.transform.tau_min = 0.1;
+  const UncertainString s = test::RandomUncertain(
+      {.length = 12, .alphabet = 2, .theta = 0.5, .seed = 21});
+  const auto index = ListingIndex::Build({s}, options);
+  EXPECT_TRUE(index.ok());
+  std::string blob;
+  EXPECT_TRUE(index->Save(&blob).ok());
+  return blob;
+}
+
+// Reframes a listing container with one section payload replaced.
+std::string ReplaceSection(const std::string& blob, IndexKind kind,
+                           uint32_t replaced_tag,
+                           const std::function<void(Writer&)>& write) {
+  serde::ContainerReader container;
+  EXPECT_TRUE(serde::ContainerReader::Open(blob, kind, &container).ok());
+  serde::ContainerWriter cw(kind);
+  for (const uint32_t tag : {serde::kTagOptions, serde::kTagSource,
+                             serde::kTagText, serde::kTagMaps}) {
+    Writer& w = cw.AddSection(tag);
+    if (tag == replaced_tag) {
+      write(w);
+      continue;
+    }
+    Reader section;
+    EXPECT_TRUE(container.Section(tag, &section).ok());
+    uint8_t b = 0;
+    while (!section.AtEnd()) {
+      EXPECT_TRUE(section.GetU8(&b).ok());
+      w.PutU8(b);
+    }
+  }
+  return std::move(cw).Finish();
+}
+
+TEST(SerdeCorruptionTest, HostileListingMapsFail) {
+  const std::string blob = ListingBlob();
+  const auto original = ListingIndex::Load(blob);
+  ASSERT_TRUE(original.ok());
+  const size_t n = original->stats().transformed_length;
+  ASSERT_GT(n, 1u);
+
+  struct Variant {
+    const char* name;
+    std::function<void(std::vector<int32_t>&, std::vector<int64_t>&,
+                       std::vector<double>&, std::vector<int64_t>&)>
+        mutate;
+  };
+  const std::vector<Variant> variants = {
+      {"doc id out of range",
+       [](auto& doc_of, auto&, auto&, auto&) { doc_of[0] = 7; }},
+      {"doc position out of range",
+       [](auto&, auto& pos_in_doc, auto&, auto&) { pos_in_doc[0] = 999; }},
+      {"sentinel carries doc data",
+       [n = n](auto& doc_of, auto&, auto&, auto&) { doc_of[n - 1] = 0; }},
+      {"positive log probability",
+       [](auto&, auto&, auto& logp, auto&) { logp[0] = 0.25; }},
+      {"NaN log probability",
+       [](auto&, auto&, auto& logp, auto&) { logp[0] = std::nan(""); }},
+      {"doc base offsets malformed",
+       [](auto&, auto&, auto&, auto& doc_base) { doc_base[1] += 3; }},
+      {"doc base INT64_MIN (regression: validation must not overflow)",
+       [](auto&, auto&, auto&, auto& doc_base) {
+         doc_base[1] = std::numeric_limits<int64_t>::min();
+       }},
+      {"non-contiguous doc positions",
+       [](auto&, auto& pos_in_doc, auto&, auto&) {
+         pos_in_doc[1] = pos_in_doc[0];
+       }},
+      {"map size mismatch",
+       [](auto& doc_of, auto&, auto&, auto&) { doc_of.pop_back(); }},
+  };
+  for (const Variant& v : variants) {
+    // Decode the genuine maps, mutate one aspect, reframe.
+    serde::ContainerReader container;
+    ASSERT_TRUE(serde::ContainerReader::Open(blob, IndexKind::kListing,
+                                             &container)
+                    .ok());
+    Reader maps;
+    ASSERT_TRUE(container.Section(serde::kTagMaps, &maps).ok());
+    std::vector<int32_t> doc_of;
+    std::vector<int64_t> pos_in_doc;
+    std::vector<double> logp;
+    std::vector<int64_t> doc_base;
+    ASSERT_TRUE(maps.GetVector(&doc_of).ok());
+    ASSERT_TRUE(maps.GetVector(&pos_in_doc).ok());
+    ASSERT_TRUE(maps.GetVector(&logp).ok());
+    ASSERT_TRUE(maps.GetVector(&doc_base).ok());
+    v.mutate(doc_of, pos_in_doc, logp, doc_base);
+    const std::string mutated =
+        ReplaceSection(blob, IndexKind::kListing, serde::kTagMaps,
+                       [&](Writer& w) {
+                         w.PutVector(doc_of);
+                         w.PutVector(pos_in_doc);
+                         w.PutVector(logp);
+                         w.PutVector(doc_base);
+                       });
+    EXPECT_TRUE(ListingIndex::Load(mutated).status().IsCorruption())
+        << v.name;
+  }
+}
+
+}  // namespace
+}  // namespace pti

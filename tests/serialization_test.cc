@@ -1,26 +1,56 @@
-// Save/Load round-trips for SubstringIndex, plus failure injection:
-// truncation, bad magic, bad version, flipped enum bytes, trailing garbage.
+// Parameterized Save/Load round-trip suite covering all four index types:
+// build -> Save -> Load -> identical query answers (positions exact,
+// probabilities within 1e-9) against the freshly built index, across small,
+// correlated, empty, empty-factor and --full-style random inputs.
+//
+// Framing/corruption coverage lives in serde_corruption_test.cc; the
+// cross-index agreement net lives in cross_index_test.cc.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
+#include "core/approx_index.h"
 #include "core/brute_force.h"
+#include "core/listing_index.h"
+#include "core/special_index.h"
 #include "core/substring_index.h"
 #include "test_util.h"
 
 namespace pti {
 namespace {
 
-UncertainString TestString() {
-  test::RandomStringSpec spec{.length = 50, .alphabet = 3, .theta = 0.5,
-                              .seed = 2024};
-  return test::RandomUncertain(spec);
+enum class InputCase {
+  kSmall,         // short string, small alphabet
+  kCorrelated,    // kSmall plus a §3.3 correlation rule
+  kEmpty,         // zero-length string / zero documents
+  kEmptyFactors,  // every window below tau_min: the factor set is empty
+  kFull,          // --full-style: longer string, larger alphabet
+};
+
+constexpr InputCase kAllCases[] = {InputCase::kSmall, InputCase::kCorrelated,
+                                   InputCase::kEmpty, InputCase::kEmptyFactors,
+                                   InputCase::kFull};
+
+const char* CaseName(InputCase c) {
+  switch (c) {
+    case InputCase::kSmall:
+      return "Small";
+    case InputCase::kCorrelated:
+      return "Correlated";
+    case InputCase::kEmpty:
+      return "Empty";
+    case InputCase::kEmptyFactors:
+      return "EmptyFactors";
+    case InputCase::kFull:
+      return "Full";
+  }
+  return "?";
 }
 
-UncertainString CorrelatedTestString() {
-  UncertainString s = TestString();
+UncertainString AddRule(UncertainString s) {
   EXPECT_TRUE(s.AddCorrelation({.pos = 5,
                                 .ch = s.options(5)[0].ch,
                                 .dep_pos = 2,
@@ -31,38 +61,286 @@ UncertainString CorrelatedTestString() {
   return s;
 }
 
-TEST(SerializationTest, RoundTripPreservesQueries) {
-  const UncertainString s = TestString();
+// A string whose every position splits its mass, so that with tau_min above
+// 0.5 no single-character window survives and the transform emits nothing.
+UncertainString HalfHalfString(int64_t length) {
+  UncertainString s;
+  for (int64_t i = 0; i < length; ++i) {
+    s.AddPosition({{static_cast<uint8_t>('a' + i % 2), 0.5},
+                   {static_cast<uint8_t>('b' + i % 2), 0.5}});
+  }
+  return s;
+}
+
+UncertainString GeneralString(InputCase c, uint64_t seed) {
+  switch (c) {
+    case InputCase::kSmall:
+      return test::RandomUncertain({.length = 45, .alphabet = 3,
+                                    .theta = 0.5, .seed = seed});
+    case InputCase::kCorrelated:
+      return AddRule(test::RandomUncertain(
+          {.length = 45, .alphabet = 3, .theta = 0.5, .seed = seed}));
+    case InputCase::kEmpty:
+      return UncertainString();
+    case InputCase::kEmptyFactors:
+      return HalfHalfString(20);
+    case InputCase::kFull:
+      return test::RandomUncertain({.length = 260, .alphabet = 4,
+                                    .theta = 0.6, .max_choices = 4,
+                                    .seed = seed});
+  }
+  return UncertainString();
+}
+
+// §4 special form: exactly one option per position, probability in (0, 1].
+UncertainString SpecialString(InputCase c, uint64_t seed) {
+  int64_t length = 0;
+  int32_t alphabet = 3;
+  switch (c) {
+    case InputCase::kSmall:
+    case InputCase::kCorrelated:
+      length = 45;
+      break;
+    case InputCase::kEmpty:
+      return UncertainString();
+    case InputCase::kEmptyFactors:
+      length = 1;  // no transform; the degenerate single-position string
+      break;
+    case InputCase::kFull:
+      length = 260;
+      alphabet = 4;
+      break;
+  }
+  Rng rng(seed);
+  UncertainString s;
+  for (int64_t i = 0; i < length; ++i) {
+    const uint8_t ch = static_cast<uint8_t>('a' + rng.Uniform(alphabet));
+    const double prob = static_cast<double>(1 + rng.Uniform(64)) / 64.0;
+    s.AddPosition({{ch, prob}});
+  }
+  if (c == InputCase::kCorrelated) return AddRule(std::move(s));
+  return s;
+}
+
+double CaseTauMin(InputCase c) {
+  return c == InputCase::kEmptyFactors ? 0.75 : 0.1;
+}
+
+int CaseQueries(InputCase c) { return c == InputCase::kFull ? 80 : 40; }
+
+std::string SomePattern(const UncertainString& s, int32_t alphabet, Rng* rng) {
+  if (s.size() > 0 && rng->Uniform(2) == 0) {
+    const int64_t max_len = std::min<int64_t>(s.size(), 12);
+    const size_t len = 1 + rng->Uniform(static_cast<uint64_t>(max_len));
+    const int64_t start =
+        static_cast<int64_t>(rng->Uniform(s.size() - len + 1));
+    return test::PatternFromString(s, start, len, rng->Next());
+  }
+  return test::RandomPattern(alphabet, 1 + rng->Uniform(8), rng->Next());
+}
+
+bool SameDocMatches(const std::vector<DocMatch>& a,
+                    const std::vector<DocMatch>& b, double tol = 1e-9) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].doc != b[i].doc) return false;
+    if (std::abs(a[i].relevance - b[i].relevance) > tol) return false;
+  }
+  return true;
+}
+
+// ---- Per-index drivers: build -> Save -> Load -> compare answers ----
+
+struct SubstringDriver {
+  static void RunCase(InputCase c) {
+    const UncertainString s = GeneralString(c, 2024);
+    IndexOptions options;
+    options.transform.tau_min = CaseTauMin(c);
+    const auto built = SubstringIndex::Build(s, options);
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    std::string blob;
+    ASSERT_TRUE(built->Save(&blob).ok());
+    EXPECT_GT(blob.size(), 32u);
+    const auto loaded = SubstringIndex::Load(blob);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_EQ(loaded->stats().num_factors, built->stats().num_factors);
+    EXPECT_EQ(loaded->stats().transformed_length,
+              built->stats().transformed_length);
+    Rng rng(7);
+    for (int q = 0; q < CaseQueries(c); ++q) {
+      const std::string pattern = SomePattern(s, 4, &rng);
+      for (const double tau : {CaseTauMin(c), 0.3, 0.8}) {
+        if (tau < CaseTauMin(c)) continue;
+        std::vector<Match> a, b;
+        ASSERT_TRUE(built->Query(pattern, tau, &a).ok());
+        ASSERT_TRUE(loaded->Query(pattern, tau, &b).ok());
+        ASSERT_TRUE(test::SameMatches(a, b))
+            << CaseName(c) << " pattern " << pattern << " tau " << tau;
+      }
+    }
+  }
+};
+
+struct ListingDriver {
+  static void RunCase(InputCase c) {
+    std::vector<UncertainString> docs;
+    if (c != InputCase::kEmpty) {
+      for (uint64_t d = 0; d < 3; ++d) {
+        docs.push_back(GeneralString(c, 100 + d));
+      }
+    }
+    ListingOptions options;
+    options.transform.tau_min = CaseTauMin(c);
+    const auto built = ListingIndex::Build(docs, options);
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    std::string blob;
+    ASSERT_TRUE(built->Save(&blob).ok());
+    const auto loaded = ListingIndex::Load(blob);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_EQ(loaded->num_docs(), built->num_docs());
+    EXPECT_EQ(loaded->stats().transformed_length,
+              built->stats().transformed_length);
+    const UncertainString probe =
+        docs.empty() ? UncertainString() : docs[0];
+    Rng rng(8);
+    for (int q = 0; q < CaseQueries(c); ++q) {
+      const std::string pattern = SomePattern(probe, 4, &rng);
+      for (const double tau : {CaseTauMin(c), 0.3, 0.8}) {
+        if (tau < CaseTauMin(c)) continue;
+        for (const RelevanceMetric metric :
+             {RelevanceMetric::kMax, RelevanceMetric::kNoisyOr}) {
+          std::vector<DocMatch> a, b;
+          ASSERT_TRUE(built->QueryWithMetric(pattern, tau, metric, &a).ok());
+          ASSERT_TRUE(loaded->QueryWithMetric(pattern, tau, metric, &b).ok());
+          ASSERT_TRUE(SameDocMatches(a, b))
+              << CaseName(c) << " pattern " << pattern << " tau " << tau;
+        }
+      }
+    }
+  }
+};
+
+struct ApproxDriver {
+  static void RunCase(InputCase c) {
+    const UncertainString s = GeneralString(c, 2024);
+    ApproxOptions options;
+    options.transform.tau_min = CaseTauMin(c);
+    options.epsilon = 0.05;
+    const auto built = ApproxIndex::Build(s, options);
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    std::string blob;
+    ASSERT_TRUE(built->Save(&blob).ok());
+    const auto loaded = ApproxIndex::Load(blob);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_EQ(loaded->stats().num_links, built->stats().num_links);
+    EXPECT_EQ(loaded->stats().num_marked_nodes,
+              built->stats().num_marked_nodes);
+    Rng rng(9);
+    for (int q = 0; q < CaseQueries(c); ++q) {
+      const std::string pattern = SomePattern(s, 4, &rng);
+      for (const double tau : {CaseTauMin(c), 0.3, 0.8}) {
+        if (tau < CaseTauMin(c)) continue;
+        std::vector<Match> a, b;
+        ASSERT_TRUE(built->Query(pattern, tau, &a).ok());
+        ASSERT_TRUE(loaded->Query(pattern, tau, &b).ok());
+        ASSERT_TRUE(test::SameMatches(a, b))
+            << CaseName(c) << " pattern " << pattern << " tau " << tau;
+      }
+    }
+  }
+};
+
+struct SpecialDriver {
+  static void RunCase(InputCase c) {
+    const UncertainString s = SpecialString(c, 2024);
+    const auto built = SpecialIndex::Build(s, SpecialIndexOptions{});
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    std::string blob;
+    ASSERT_TRUE(built->Save(&blob).ok());
+    const auto loaded = SpecialIndex::Load(blob);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_EQ(loaded->stats().length, built->stats().length);
+    EXPECT_EQ(loaded->stats().num_tree_nodes, built->stats().num_tree_nodes);
+    Rng rng(10);
+    for (int q = 0; q < CaseQueries(c); ++q) {
+      const std::string pattern = SomePattern(s, 4, &rng);
+      // No construction-time floor: any tau in (0, 1] is valid.
+      for (const double tau : {0.05, 0.3, 0.8}) {
+        std::vector<Match> a, b;
+        ASSERT_TRUE(built->Query(pattern, tau, &a).ok());
+        ASSERT_TRUE(loaded->Query(pattern, tau, &b).ok());
+        ASSERT_TRUE(test::SameMatches(a, b))
+            << CaseName(c) << " pattern " << pattern << " tau " << tau;
+      }
+    }
+  }
+};
+
+template <typename Driver>
+class SerializationRoundTrip : public ::testing::Test {};
+
+using AllDrivers = ::testing::Types<SubstringDriver, ListingDriver,
+                                    ApproxDriver, SpecialDriver>;
+
+class DriverNames {
+ public:
+  template <typename T>
+  static std::string GetName(int) {
+    if (std::is_same_v<T, SubstringDriver>) return "Substring";
+    if (std::is_same_v<T, ListingDriver>) return "Listing";
+    if (std::is_same_v<T, ApproxDriver>) return "Approx";
+    if (std::is_same_v<T, SpecialDriver>) return "Special";
+    return "?";
+  }
+};
+
+TYPED_TEST_SUITE(SerializationRoundTrip, AllDrivers, DriverNames);
+
+TYPED_TEST(SerializationRoundTrip, SmallRandomInput) {
+  TypeParam::RunCase(InputCase::kSmall);
+}
+
+TYPED_TEST(SerializationRoundTrip, CorrelatedInput) {
+  TypeParam::RunCase(InputCase::kCorrelated);
+}
+
+TYPED_TEST(SerializationRoundTrip, EmptyInput) {
+  TypeParam::RunCase(InputCase::kEmpty);
+}
+
+TYPED_TEST(SerializationRoundTrip, EmptyFactorInput) {
+  TypeParam::RunCase(InputCase::kEmptyFactors);
+}
+
+TYPED_TEST(SerializationRoundTrip, FullScaleRandomInput) {
+  TypeParam::RunCase(InputCase::kFull);
+}
+
+// ---- Non-typed extras: option fidelity and oracle agreement ----
+
+TEST(SerializationTest, SubstringRoundTripNonDefaultOptions) {
+  const UncertainString s = GeneralString(InputCase::kSmall, 2024);
   IndexOptions options;
-  options.transform.tau_min = 0.1;
+  options.transform.tau_min = 0.25;
+  options.max_short_depth = 4;
+  options.rmq_engine = RmqEngineKind::kFischerHeun;
+  options.blocking = BlockingMode::kPaperExact;
+  options.scan_cutoff = 7;
   const auto index = SubstringIndex::Build(s, options);
   ASSERT_TRUE(index.ok());
   std::string blob;
   ASSERT_TRUE(index->Save(&blob).ok());
-  EXPECT_GT(blob.size(), 64u);
   const auto loaded = SubstringIndex::Load(blob);
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
-  // Identical answers on a battery of queries.
-  Rng rng(1);
-  for (int q = 0; q < 60; ++q) {
-    const std::string pattern =
-        test::RandomPattern(3, 1 + rng.Uniform(8), rng.Next());
-    for (const double tau : {0.1, 0.3, 0.7}) {
-      std::vector<Match> a, b;
-      ASSERT_TRUE(index->Query(pattern, tau, &a).ok());
-      ASSERT_TRUE(loaded->Query(pattern, tau, &b).ok());
-      ASSERT_TRUE(test::SameMatches(a, b)) << pattern << " tau " << tau;
-    }
-  }
-  // Stats survive.
-  EXPECT_EQ(loaded->stats().num_factors, index->stats().num_factors);
-  EXPECT_EQ(loaded->stats().transformed_length,
-            index->stats().transformed_length);
-  EXPECT_EQ(loaded->options().transform.tau_min, 0.1);
+  EXPECT_EQ(loaded->options().max_short_depth, 4);
+  EXPECT_EQ(loaded->options().rmq_engine, RmqEngineKind::kFischerHeun);
+  EXPECT_EQ(loaded->options().blocking, BlockingMode::kPaperExact);
+  EXPECT_EQ(loaded->options().scan_cutoff, 7u);
+  EXPECT_EQ(loaded->options().transform.tau_min, 0.25);
 }
 
-TEST(SerializationTest, RoundTripWithCorrelations) {
-  const UncertainString s = CorrelatedTestString();
+TEST(SerializationTest, LoadedSubstringIndexAgreesWithBruteForce) {
+  const UncertainString s = GeneralString(InputCase::kCorrelated, 2024);
   IndexOptions options;
   options.transform.tau_min = 0.1;
   const auto index = SubstringIndex::Build(s, options);
@@ -83,102 +361,35 @@ TEST(SerializationTest, RoundTripWithCorrelations) {
   }
 }
 
-TEST(SerializationTest, RoundTripNonDefaultOptions) {
-  const UncertainString s = TestString();
+TEST(SerializationTest, CompactModeSurvivesRoundTrip) {
+  const UncertainString s = GeneralString(InputCase::kSmall, 2024);
   IndexOptions options;
-  options.transform.tau_min = 0.25;
-  options.max_short_depth = 4;
-  options.rmq_engine = RmqEngineKind::kFischerHeun;
-  options.blocking = BlockingMode::kPaperExact;
-  options.scan_cutoff = 7;
+  options.transform.tau_min = 0.1;
+  options.compact = true;
   const auto index = SubstringIndex::Build(s, options);
   ASSERT_TRUE(index.ok());
   std::string blob;
   ASSERT_TRUE(index->Save(&blob).ok());
   const auto loaded = SubstringIndex::Load(blob);
   ASSERT_TRUE(loaded.ok());
-  EXPECT_EQ(loaded->options().max_short_depth, 4);
-  EXPECT_EQ(loaded->options().rmq_engine, RmqEngineKind::kFischerHeun);
-  EXPECT_EQ(loaded->options().blocking, BlockingMode::kPaperExact);
-  EXPECT_EQ(loaded->options().scan_cutoff, 7u);
-}
-
-TEST(SerializationTest, EmptyIndexRoundTrip) {
-  const auto index = SubstringIndex::Build(UncertainString(), IndexOptions{});
-  ASSERT_TRUE(index.ok());
-  std::string blob;
-  ASSERT_TRUE(index->Save(&blob).ok());
-  const auto loaded = SubstringIndex::Load(blob);
-  ASSERT_TRUE(loaded.ok());
-  std::vector<Match> out;
-  EXPECT_TRUE(loaded->Query("a", 0.5, &out).ok());
-  EXPECT_TRUE(out.empty());
-}
-
-// ---- Failure injection ----
-
-std::string ValidBlob() {
-  const auto index = SubstringIndex::Build(TestString(), IndexOptions{});
-  EXPECT_TRUE(index.ok());
-  std::string blob;
-  EXPECT_TRUE(index->Save(&blob).ok());
-  return blob;
-}
-
-TEST(SerializationTest, RejectsEmptyBlob) {
-  EXPECT_TRUE(SubstringIndex::Load("").status().IsCorruption());
-}
-
-TEST(SerializationTest, RejectsBadMagic) {
-  std::string blob = ValidBlob();
-  blob[0] ^= 0xFF;
-  EXPECT_TRUE(SubstringIndex::Load(blob).status().IsCorruption());
-}
-
-TEST(SerializationTest, RejectsBadVersion) {
-  std::string blob = ValidBlob();
-  blob[4] = 99;  // version field
-  EXPECT_TRUE(SubstringIndex::Load(blob).status().IsCorruption());
-}
-
-TEST(SerializationTest, RejectsTruncationEverywhere) {
-  const std::string blob = ValidBlob();
-  // Truncating at any prefix length must fail cleanly, never crash.
-  for (size_t len = 0; len < blob.size(); len += 97) {
-    const auto r = SubstringIndex::Load(blob.substr(0, len));
-    EXPECT_FALSE(r.ok()) << "accepted truncation at " << len;
+  EXPECT_TRUE(loaded->options().compact);
+  Rng rng(4);
+  for (int q = 0; q < 30; ++q) {
+    const std::string pattern =
+        test::RandomPattern(3, 1 + rng.Uniform(6), rng.Next());
+    std::vector<Match> a, b;
+    ASSERT_TRUE(index->Query(pattern, 0.2, &a).ok());
+    ASSERT_TRUE(loaded->Query(pattern, 0.2, &b).ok());
+    ASSERT_TRUE(test::SameMatches(a, b)) << pattern;
   }
 }
 
-TEST(SerializationTest, RejectsTrailingGarbage) {
-  std::string blob = ValidBlob();
-  blob += "extra!";
-  EXPECT_TRUE(SubstringIndex::Load(blob).status().IsCorruption());
-}
-
-TEST(SerializationTest, RejectsCorruptEnums) {
-  std::string blob = ValidBlob();
-  // Options block begins right after the 8-byte envelope:
-  // double tau_min (8) + u64 max_total (8) + u32 max_short (4) = offset 28
-  // for the engine byte, 29 for blocking.
-  blob[28] = 17;
-  EXPECT_TRUE(SubstringIndex::Load(blob).status().IsCorruption());
-}
-
-TEST(SerializationTest, RandomBitFlipsNeverCrash) {
-  const std::string blob = ValidBlob();
-  Rng rng(3);
-  for (int trial = 0; trial < 200; ++trial) {
-    std::string mutated = blob;
-    const size_t at = rng.Uniform(mutated.size());
-    mutated[at] ^= static_cast<char>(1 + rng.Uniform(255));
-    // Either loads (flip hit a benign byte, e.g. inside a probability) or
-    // fails with a clean Status; must never crash.
-    const auto r = SubstringIndex::Load(mutated);
-    if (!r.ok()) {
-      EXPECT_FALSE(r.status().message().empty());
-    }
-  }
+TEST(SerializationTest, AllCasesHaveDistinctNames) {
+  // Guards the CaseName table against silently dropping a case.
+  std::vector<std::string> names;
+  for (const InputCase c : kAllCases) names.push_back(CaseName(c));
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::unique(names.begin(), names.end()), names.end());
 }
 
 }  // namespace

@@ -267,25 +267,35 @@ TEST(SerialTest, OversizedStringLengthRejected) {
   EXPECT_TRUE(r.GetString(&s).IsCorruption());
 }
 
-TEST(SerialTest, EnvelopeValidates) {
+TEST(SerialTest, SubRangeReaderIsBounded) {
   Writer w;
-  PutEnvelope(&w, 0xCAFE, 2);
-  {
-    Reader r(w.data());
-    uint32_t version = 0;
-    EXPECT_TRUE(CheckEnvelope(&r, 0xCAFE, 3, &version).ok());
-    EXPECT_EQ(version, 2u);
-  }
-  {
-    Reader r(w.data());
-    uint32_t version = 0;
-    EXPECT_TRUE(CheckEnvelope(&r, 0xBEEF, 3, &version).IsCorruption());
-  }
-  {
-    Reader r(w.data());
-    uint32_t version = 0;
-    EXPECT_TRUE(CheckEnvelope(&r, 0xCAFE, 1, &version).IsCorruption());
-  }
+  w.PutU32(1);
+  w.PutU32(2);
+  w.PutU32(3);
+  const std::string& data = w.data();
+  Reader r(data.data() + 4, 4);  // window over the middle u32 only
+  uint32_t v = 0;
+  ASSERT_TRUE(r.GetU32(&v).ok());
+  EXPECT_EQ(v, 2u);
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_TRUE(r.GetU32(&v).IsCorruption());
+}
+
+TEST(SerialTest, SkipIsBounded) {
+  Writer w;
+  w.PutU32(7);
+  Reader r(w.data());
+  EXPECT_TRUE(r.Skip(2).ok());
+  EXPECT_EQ(r.remaining(), 2u);
+  EXPECT_TRUE(r.Skip(3).IsCorruption());
+  EXPECT_EQ(r.remaining(), 2u);
+}
+
+TEST(SerialTest, Fnv1aMatchesReference) {
+  // Reference values for the canonical FNV-1a 64 test vectors.
+  EXPECT_EQ(Fnv1a64("", 0), 0xcbf29ce484222325ull);
+  EXPECT_EQ(Fnv1a64("a", 1), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(Fnv1a64("foobar", 6), 0x85944171f73967e8ull);
 }
 
 }  // namespace
