@@ -1,0 +1,167 @@
+// Sharded engine benchmarks (not a paper figure): what the engine layer
+// buys — and costs — relative to one monolithic SubstringIndex.
+//
+//   (a) construction: monolithic vs K shards at 1/2/4 build threads.
+//       Shard slices shrink the per-shard suffix structures (SA-IS, LCP,
+//       tree, RMQ forest are superlinear-constant-heavy), and independent
+//       shards parallelize; the overlap is the price.
+//   (b) single-query latency: fan-out across K shards vs one locus walk.
+//       Sharding pays K locus lookups per query — this panel keeps that
+//       honest.
+//   (c) batch throughput on the sharded index: one-at-a-time loop vs
+//       QueryBatch (shard-parallel fan-out + per-shard prefix sharing).
+//
+// Thread counts above the machine's core count cannot help; the table
+// reports whatever the hardware gives.
+
+#include <algorithm>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/substring_index.h"
+#include "datagen/datagen.h"
+#include "engine/sharded_index.h"
+
+namespace pti {
+namespace {
+
+constexpr double kTheta = 0.2;
+constexpr double kTauMin = 0.1;
+constexpr int32_t kOverlap = 32;
+
+UncertainString MakeInput(int64_t n) {
+  DatasetOptions data;
+  data.length = n;
+  data.theta = kTheta;
+  data.seed = 71;
+  return GenerateUncertainString(data);
+}
+
+ShardedIndex BuildSharded(const UncertainString& s, int32_t shards,
+                          int32_t threads) {
+  ShardedIndexOptions options;
+  options.index.transform.tau_min = kTauMin;
+  options.num_shards = shards;
+  options.overlap = kOverlap;
+  options.num_threads = threads;
+  auto index = ShardedIndex::Build(s, options);
+  if (!index.ok()) {
+    std::fprintf(stderr, "sharded build failed: %s\n",
+                 index.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(index).value();
+}
+
+void PanelA(bool full) {
+  const int64_t n = full ? 200000 : 30000;
+  const UncertainString s = MakeInput(n);
+  bench::Table table("config");
+  table.SetColumns({"build ms"});
+  {
+    IndexOptions options;
+    options.transform.tau_min = kTauMin;
+    const double ms = bench::TimeMs([&] {
+      const auto index = SubstringIndex::Build(s, options);
+      if (!index.ok()) std::exit(1);
+    });
+    table.AddRow("monolithic", {ms});
+  }
+  for (const int32_t shards : {2, 4, 8}) {
+    for (const int32_t threads : {1, 2, 4}) {
+      const double ms =
+          bench::TimeMs([&] { (void)BuildSharded(s, shards, threads); });
+      table.AddRow("K=" + std::to_string(shards) + " t=" +
+                       std::to_string(threads),
+                   {ms});
+    }
+  }
+  table.Print("Sharding (a): construction time, monolithic vs sharded", "ms");
+}
+
+void PanelB(bool full) {
+  const int64_t n = full ? 200000 : 30000;
+  const UncertainString s = MakeInput(n);
+  IndexOptions mono_options;
+  mono_options.transform.tau_min = kTauMin;
+  const auto mono = SubstringIndex::Build(s, mono_options);
+  if (!mono.ok()) std::exit(1);
+
+  bench::Table table("m");
+  table.SetColumns({"monolithic", "K=2", "K=4", "K=8"});
+  for (const size_t m : {4, 8, 16, 32}) {
+    const auto patterns = SamplePatterns(s, 200, m, 5000 + m);
+    std::vector<double> row;
+    std::vector<Match> out;
+    for (const auto& p : patterns) (void)mono->Query(p, 0.2, &out);
+    const double mono_ms = bench::TimeMs([&] {
+      for (const auto& p : patterns) (void)mono->Query(p, 0.2, &out);
+    });
+    row.push_back(mono_ms * 1000.0 / static_cast<double>(patterns.size()));
+    for (const int32_t shards : {2, 4, 8}) {
+      const ShardedIndex index = BuildSharded(s, shards, 0);
+      for (const auto& p : patterns) (void)index.Query(p, 0.2, &out);
+      const double ms = bench::TimeMs([&] {
+        for (const auto& p : patterns) (void)index.Query(p, 0.2, &out);
+      });
+      row.push_back(ms * 1000.0 / static_cast<double>(patterns.size()));
+    }
+    table.AddRow(std::to_string(m), row);
+  }
+  table.Print("Sharding (b): single-query latency, fan-out cost", "us/query");
+}
+
+void PanelC(bool full) {
+  const int64_t n = full ? 200000 : 30000;
+  constexpr size_t kBatch = 512;
+  const UncertainString s = MakeInput(n);
+  const auto patterns = SampleSharedPrefixPatterns(s, kBatch, 8, 12, 7000);
+  std::vector<BatchQuery> queries;
+  queries.reserve(patterns.size());
+  for (const auto& p : patterns) queries.push_back({p, 0.2});
+
+  bench::Table table("config");
+  table.SetColumns({"loop", "batch", "speedup"});
+  for (const int32_t threads : {1, 2, 4}) {
+    const ShardedIndex index = BuildSharded(s, 4, threads);
+    std::vector<Match> out;
+    std::vector<std::vector<Match>> batch_out;
+    (void)index.QueryBatch(queries, &batch_out);
+    for (const auto& q : queries) (void)index.Query(q.pattern, q.tau, &out);
+    double loop_ms = 1e300, batch_ms = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      loop_ms = std::min(loop_ms, bench::TimeMs([&] {
+        for (const auto& q : queries) {
+          (void)index.Query(q.pattern, q.tau, &out);
+        }
+      }));
+      batch_ms = std::min(batch_ms, bench::TimeMs([&] {
+        (void)index.QueryBatch(queries, &batch_out);
+      }));
+    }
+    const double per = static_cast<double>(queries.size());
+    table.AddRow("K=4 t=" + std::to_string(threads),
+                 {loop_ms * 1000.0 / per, batch_ms * 1000.0 / per,
+                  loop_ms / batch_ms});
+  }
+  table.Print("Sharding (c): batch throughput on the sharded index "
+              "(512 shared-prefix patterns)",
+              "us/query; speedup is a ratio");
+}
+
+}  // namespace
+
+void RunSharding(const bench::Args& args) {
+  std::printf("=== bench_sharding (%s scale) ===\n",
+              args.full ? "paper" : "default");
+  if (bench::RunPanel(args, "a")) PanelA(args.full);
+  if (bench::RunPanel(args, "b")) PanelB(args.full);
+  if (bench::RunPanel(args, "c")) PanelC(args.full);
+}
+
+}  // namespace pti
+
+int main(int argc, char** argv) {
+  pti::RunSharding(pti::bench::ParseArgs(argc, argv));
+  return 0;
+}

@@ -31,7 +31,7 @@ inline Args ParseArgs(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--panel=", 8) == 0) {
       args.panel = argv[i] + 8;
     } else if (std::strcmp(argv[i], "--help") == 0) {
-      std::printf("flags: --full (paper-scale sizes), --panel=a|b|c|d\n");
+      std::printf("flags: --full (paper-scale sizes), --panel=<letter>\n");
       std::exit(0);
     }
   }

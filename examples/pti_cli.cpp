@@ -4,8 +4,15 @@
 //   pti_cli build-special <string.pus> <index.pti>             §4 special index
 //   pti_cli build-approx  <string.pus> <index.pti> [tau_min [epsilon]]
 //   pti_cli build-listing <index.pti> <tau_min> <doc.pus>...   §6 listing index
+//   pti_cli build-sharded <string.pus> <index.pti> [tau_min]   sharded engine
+//                         [--shards=K] [--overlap=N] [--threads=T]
 //   pti_cli query <index.pti> <pattern> <tau>    threshold query (any kind;
 //                                                the kind is read from the file)
+//   pti_cli batch <index.pti> <patterns.txt> <tau> [--threads=T]
+//                                                batched queries (substring or
+//                                                sharded index); the file has
+//                                                one pattern per line with an
+//                                                optional per-line tau
 //   pti_cli topk  <index.pti> <pattern> <tau> <k>  k best occurrences (substring)
 //   pti_cli stat  <index.pti>                    index statistics (any kind)
 //   pti_cli gen   <n> <theta> <seed> <out.pus>   §8.1 synthetic data
@@ -13,11 +20,18 @@
 // .pus files use the text format of core/usformat.h (one position per line,
 // char=prob pairs, optional @corr directives). .pti files use the versioned
 // container format of core/serde.h; every index kind round-trips through
-// save (build*) and load (query/topk/stat).
+// save (build*) and load (query/batch/topk/stat).
+//
+// Exit codes: 0 on success, 1 on an operational failure (I/O, corrupt index,
+// failed build or query), 2 on a usage error (unknown command, missing or
+// malformed arguments). Errors and diagnostics go to stderr; stdout carries
+// only the machine-readable results.
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -29,12 +43,110 @@
 #include "core/substring_index.h"
 #include "core/usformat.h"
 #include "datagen/datagen.h"
+#include "engine/sharded_index.h"
 
 namespace {
 
 int Fail(const std::string& what) {
   std::fprintf(stderr, "error: %s\n", what.c_str());
   return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  pti_cli build         <string.pus> <index.pti> [tau_min]\n"
+               "  pti_cli build-special <string.pus> <index.pti>\n"
+               "  pti_cli build-approx  <string.pus> <index.pti> [tau_min [epsilon]]\n"
+               "  pti_cli build-listing <index.pti> <tau_min> <doc.pus>...\n"
+               "  pti_cli build-sharded <string.pus> <index.pti> [tau_min]\n"
+               "                        [--shards=K] [--overlap=N] [--threads=T]\n"
+               "  pti_cli query <index.pti> <pattern> <tau>\n"
+               "  pti_cli batch <index.pti> <patterns.txt> <tau> [--threads=T]\n"
+               "  pti_cli topk  <index.pti> <pattern> <tau> <k>\n"
+               "  pti_cli stat  <index.pti>\n"
+               "  pti_cli gen   <n> <theta> <seed> <out.pus>\n");
+  return 2;
+}
+
+/// Usage-class error: names the problem, prints the usage text, exits 2.
+int UsageError(const std::string& what) {
+  std::fprintf(stderr, "error: %s\n", what.c_str());
+  return Usage();
+}
+
+// Strict numeric parsing: the whole token must be consumed (atof-style
+// silent zeroes turned "0.x5" typos into tau=0 queries).
+bool ParseDouble(const char* s, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(s, &end);
+  return end != s && *end == '\0';
+}
+
+bool ParseInt64(const char* s, int64_t* out) {
+  char* end = nullptr;
+  *out = std::strtoll(s, &end, 10);
+  return end != s && *end == '\0';
+}
+
+/// Splits argv[2..) into positional arguments and the --flag=value options
+/// the calling command supports. Unknown flags — including real flags a
+/// command does not consume — are a usage error (reported by the caller via
+/// the false return), so a silently ignored option can never masquerade as
+/// having taken effect.
+struct Flags {
+  int64_t shards = 0;
+  int64_t overlap = 0;
+  int64_t threads = 0;
+  bool threads_set = false;
+};
+
+constexpr unsigned kFlagShards = 1u << 0;
+constexpr unsigned kFlagOverlap = 1u << 1;
+constexpr unsigned kFlagThreads = 1u << 2;
+
+bool SplitArgs(int argc, char** argv, unsigned allowed,
+               std::vector<const char*>* positional, Flags* flags,
+               std::string* bad) {
+  for (int a = 2; a < argc; ++a) {
+    const char* arg = argv[a];
+    if (std::strncmp(arg, "--", 2) != 0) {
+      positional->push_back(arg);
+      continue;
+    }
+    int64_t* target = nullptr;
+    const char* value = nullptr;
+    unsigned flag = 0;
+    if (std::strncmp(arg, "--shards=", 9) == 0) {
+      target = &flags->shards;
+      value = arg + 9;
+      flag = kFlagShards;
+    } else if (std::strncmp(arg, "--overlap=", 10) == 0) {
+      target = &flags->overlap;
+      value = arg + 10;
+      flag = kFlagOverlap;
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      target = &flags->threads;
+      value = arg + 10;
+      flag = kFlagThreads;
+    } else {
+      *bad = std::string("unknown flag ") + arg;
+      return false;
+    }
+    if ((allowed & flag) == 0) {
+      *bad = std::string("flag not supported by this command: ") + arg;
+      return false;
+    }
+    // Flag values land in int32 option fields; out-of-range input must be a
+    // loud error, not a silent wrap to some other configuration.
+    if (!ParseInt64(value, target) || *target < 0 ||
+        *target > std::numeric_limits<int32_t>::max()) {
+      *bad = std::string("bad value in ") + arg;
+      return false;
+    }
+    if (flag == kFlagThreads) flags->threads_set = true;
+  }
+  return true;
 }
 
 bool ReadFile(const std::string& path, std::string* out) {
@@ -51,20 +163,6 @@ bool WriteFile(const std::string& path, const std::string& data) {
   if (!out) return false;
   out << data;
   return out.good();
-}
-
-int Usage() {
-  std::fprintf(stderr,
-               "usage:\n"
-               "  pti_cli build         <string.pus> <index.pti> [tau_min]\n"
-               "  pti_cli build-special <string.pus> <index.pti>\n"
-               "  pti_cli build-approx  <string.pus> <index.pti> [tau_min [epsilon]]\n"
-               "  pti_cli build-listing <index.pti> <tau_min> <doc.pus>...\n"
-               "  pti_cli query <index.pti> <pattern> <tau>\n"
-               "  pti_cli topk  <index.pti> <pattern> <tau> <k>\n"
-               "  pti_cli stat  <index.pti>\n"
-               "  pti_cli gen   <n> <theta> <seed> <out.pus>\n");
-  return 2;
 }
 
 pti::StatusOr<pti::UncertainString> ReadUncertain(
@@ -102,11 +200,14 @@ void PrintMatches(const std::vector<pti::Match>& matches) {
 }
 
 int CmdBuild(int argc, char** argv) {
-  if (argc < 4) return Usage();
+  if (argc < 4 || argc > 5) return Usage();
   auto s = ReadUncertain(argv[2]);
   if (!s.ok()) return Fail(s.status().ToString());
   pti::IndexOptions options;
-  if (argc >= 5) options.transform.tau_min = std::atof(argv[4]);
+  if (argc >= 5 &&
+      !ParseDouble(argv[4], &options.transform.tau_min)) {
+    return UsageError(std::string("bad tau_min '") + argv[4] + "'");
+  }
   auto index = pti::SubstringIndex::Build(*s, options);
   if (!index.ok()) return Fail(index.status().ToString());
   std::string blob;
@@ -122,7 +223,7 @@ int CmdBuild(int argc, char** argv) {
 }
 
 int CmdBuildSpecial(int argc, char** argv) {
-  if (argc < 4) return Usage();
+  if (argc != 4) return Usage();
   // §4 special strings keep per-position mass below 1 (the "no occurrence"
   // event), so the unit-sum invariant does not apply.
   auto s = ReadUncertain(argv[2], /*require_unit_sums=*/false);
@@ -139,12 +240,17 @@ int CmdBuildSpecial(int argc, char** argv) {
 }
 
 int CmdBuildApprox(int argc, char** argv) {
-  if (argc < 4) return Usage();
+  if (argc < 4 || argc > 6) return Usage();
   auto s = ReadUncertain(argv[2]);
   if (!s.ok()) return Fail(s.status().ToString());
   pti::ApproxOptions options;
-  if (argc >= 5) options.transform.tau_min = std::atof(argv[4]);
-  if (argc >= 6) options.epsilon = std::atof(argv[5]);
+  if (argc >= 5 &&
+      !ParseDouble(argv[4], &options.transform.tau_min)) {
+    return UsageError(std::string("bad tau_min '") + argv[4] + "'");
+  }
+  if (argc >= 6 && !ParseDouble(argv[5], &options.epsilon)) {
+    return UsageError(std::string("bad epsilon '") + argv[5] + "'");
+  }
   auto index = pti::ApproxIndex::Build(*s, options);
   if (!index.ok()) return Fail(index.status().ToString());
   std::string blob;
@@ -162,7 +268,9 @@ int CmdBuildApprox(int argc, char** argv) {
 int CmdBuildListing(int argc, char** argv) {
   if (argc < 5) return Usage();
   pti::ListingOptions options;
-  options.transform.tau_min = std::atof(argv[3]);
+  if (!ParseDouble(argv[3], &options.transform.tau_min)) {
+    return UsageError(std::string("bad tau_min '") + argv[3] + "'");
+  }
   std::vector<pti::UncertainString> docs;
   for (int a = 4; a < argc; ++a) {
     auto s = ReadUncertain(argv[a]);
@@ -182,18 +290,61 @@ int CmdBuildListing(int argc, char** argv) {
   return 0;
 }
 
+int CmdBuildSharded(int argc, char** argv) {
+  std::vector<const char*> pos;
+  Flags flags;
+  std::string bad;
+  if (!SplitArgs(argc, argv, kFlagShards | kFlagOverlap | kFlagThreads, &pos,
+                 &flags, &bad)) {
+    return UsageError(bad);
+  }
+  if (pos.size() < 2 || pos.size() > 3) return Usage();
+  auto s = ReadUncertain(pos[0]);
+  if (!s.ok()) return Fail(s.status().ToString());
+  pti::ShardedIndexOptions options;
+  if (pos.size() >= 3 &&
+      !ParseDouble(pos[2], &options.index.transform.tau_min)) {
+    return UsageError(std::string("bad tau_min '") + pos[2] + "'");
+  }
+  options.num_shards = static_cast<int32_t>(flags.shards);
+  options.overlap = static_cast<int32_t>(flags.overlap);
+  options.num_threads = static_cast<int32_t>(flags.threads);
+  auto index = pti::ShardedIndex::Build(*s, options);
+  if (!index.ok()) return Fail(index.status().ToString());
+  std::string blob;
+  const int rc = SaveIndexFile(index->Save(&blob), blob, pos[1]);
+  if (rc != 0) return rc;
+  const auto stats = index->stats();
+  std::printf("indexed %lld positions (tau_min %.4g): %d shards, "
+              "overlap %d, %zu factors, %zu chars, %zu bytes on disk\n",
+              static_cast<long long>(stats.original_length),
+              options.index.transform.tau_min, stats.num_shards,
+              stats.overlap, stats.num_factors, stats.transformed_length,
+              blob.size());
+  return 0;
+}
+
 int CmdQuery(int argc, char** argv) {
-  if (argc < 5) return Usage();
+  if (argc != 5) return Usage();
   std::string blob;
   auto kind = ReadIndexBlob(argv[2], &blob);
   if (!kind.ok()) return Fail(kind.status().ToString());
   const std::string pattern = argv[3];
-  const double tau = std::atof(argv[4]);
+  double tau = 0.0;
+  if (!ParseDouble(argv[4], &tau)) {
+    return UsageError(std::string("bad tau '") + argv[4] + "'");
+  }
   pti::Status st;
   std::vector<pti::Match> matches;
   switch (*kind) {
     case pti::serde::IndexKind::kSubstring: {
       auto index = pti::SubstringIndex::Load(blob);
+      if (!index.ok()) return Fail(index.status().ToString());
+      st = index->Query(pattern, tau, &matches);
+      break;
+    }
+    case pti::serde::IndexKind::kSharded: {
+      auto index = pti::ShardedIndex::Load(blob);
       if (!index.ok()) return Fail(index.status().ToString());
       st = index->Query(pattern, tau, &matches);
       break;
@@ -228,8 +379,110 @@ int CmdQuery(int argc, char** argv) {
   return 0;
 }
 
+// Patterns file: one pattern per line, optionally followed by whitespace and
+// a per-line tau overriding the command-line default. '#' comments and blank
+// lines are skipped.
+pti::Status ParsePatternsFile(const std::string& text, double default_tau,
+                              std::vector<pti::BatchQuery>* out) {
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ' ||
+                             line.back() == '\t')) {
+      line.pop_back();
+    }
+    const size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos) continue;
+    line.erase(0, first);
+    if (line[0] == '#') continue;
+    pti::BatchQuery q;
+    q.tau = default_tau;
+    const size_t space = line.find_first_of(" \t");
+    if (space == std::string::npos) {
+      q.pattern = line;
+    } else {
+      q.pattern = line.substr(0, space);
+      const size_t value = line.find_first_not_of(" \t", space);
+      if (value != std::string::npos &&
+          !ParseDouble(line.c_str() + value, &q.tau)) {
+        return pti::Status::InvalidArgument(
+            "bad tau on line " + std::to_string(lineno));
+      }
+    }
+    out->push_back(std::move(q));
+  }
+  return pti::Status::OK();
+}
+
+int PrintBatchResults(const std::vector<pti::BatchQuery>& queries,
+                      const std::vector<std::vector<pti::Match>>& results) {
+  size_t total = 0;
+  for (size_t i = 0; i < results.size(); ++i) {
+    for (const auto& m : results[i]) {
+      std::printf("%zu\t%lld\t%.6f\n", i,
+                  static_cast<long long>(m.position), m.probability);
+    }
+    total += results[i].size();
+  }
+  std::fprintf(stderr, "%zu quer%s, %zu match(es)\n", queries.size(),
+               queries.size() == 1 ? "y" : "ies", total);
+  return 0;
+}
+
+int CmdBatch(int argc, char** argv) {
+  std::vector<const char*> pos;
+  Flags flags;
+  std::string bad;
+  if (!SplitArgs(argc, argv, kFlagThreads, &pos, &flags, &bad)) {
+    return UsageError(bad);
+  }
+  if (pos.size() != 3) return Usage();
+  double tau = 0.0;
+  if (!ParseDouble(pos[2], &tau)) {
+    return UsageError(std::string("bad tau '") + pos[2] + "'");
+  }
+  std::string blob;
+  auto kind = ReadIndexBlob(pos[0], &blob);
+  if (!kind.ok()) return Fail(kind.status().ToString());
+  std::string patterns_text;
+  if (!ReadFile(pos[1], &patterns_text)) {
+    return Fail(std::string("cannot read ") + pos[1]);
+  }
+  std::vector<pti::BatchQuery> queries;
+  const pti::Status parsed = ParsePatternsFile(patterns_text, tau, &queries);
+  if (!parsed.ok()) return Fail(parsed.ToString());
+  std::vector<std::vector<pti::Match>> results;
+  switch (*kind) {
+    case pti::serde::IndexKind::kSubstring: {
+      if (flags.threads_set) {
+        return Fail("--threads applies to sharded indexes; " +
+                    std::string(pos[0]) + " holds a substring index");
+      }
+      auto index = pti::SubstringIndex::Load(blob);
+      if (!index.ok()) return Fail(index.status().ToString());
+      const pti::Status st = index->QueryBatch(queries, &results);
+      if (!st.ok()) return Fail(st.ToString());
+      break;
+    }
+    case pti::serde::IndexKind::kSharded: {
+      auto index = pti::ShardedIndex::Load(
+          blob, static_cast<int32_t>(flags.threads));
+      if (!index.ok()) return Fail(index.status().ToString());
+      const pti::Status st = index->QueryBatch(queries, &results);
+      if (!st.ok()) return Fail(st.ToString());
+      break;
+    }
+    default:
+      return Fail("batch requires a substring or sharded index, got a " +
+                  std::string(pti::serde::KindName(*kind)) + " index");
+  }
+  return PrintBatchResults(queries, results);
+}
+
 int CmdTopK(int argc, char** argv) {
-  if (argc < 6) return Usage();
+  if (argc != 6) return Usage();
   std::string blob;
   auto kind = ReadIndexBlob(argv[2], &blob);
   if (!kind.ok()) return Fail(kind.status().ToString());
@@ -237,22 +490,30 @@ int CmdTopK(int argc, char** argv) {
     return Fail("topk requires a substring index, got a " +
                 std::string(pti::serde::KindName(*kind)) + " index");
   }
+  double tau = 0.0;
+  int64_t k = 0;
+  if (!ParseDouble(argv[4], &tau)) {
+    return UsageError(std::string("bad tau '") + argv[4] + "'");
+  }
+  if (!ParseInt64(argv[5], &k) || k < 0) {
+    return UsageError(std::string("bad k '") + argv[5] + "'");
+  }
   auto index = pti::SubstringIndex::Load(blob);
   if (!index.ok()) return Fail(index.status().ToString());
   std::vector<pti::Match> matches;
-  const pti::Status st = index->QueryTopK(
-      argv[3], std::atof(argv[4]), static_cast<size_t>(std::atoll(argv[5])),
-      &matches);
+  const pti::Status st =
+      index->QueryTopK(argv[3], tau, static_cast<size_t>(k), &matches);
   if (!st.ok()) return Fail(st.ToString());
   for (const auto& m : matches) {
     std::printf("%lld\t%.6f\n", static_cast<long long>(m.position),
                 m.probability);
   }
+  std::fprintf(stderr, "%zu match(es)\n", matches.size());
   return 0;
 }
 
 int CmdStat(int argc, char** argv) {
-  if (argc < 3) return Usage();
+  if (argc != 3) return Usage();
   std::string blob;
   auto kind = ReadIndexBlob(argv[2], &blob);
   if (!kind.ok()) return Fail(kind.status().ToString());
@@ -271,6 +532,22 @@ int CmdStat(int argc, char** argv) {
       std::printf("suffix tree nodes    %zu\n", stats.num_tree_nodes);
       std::printf("tau_min              %.6g\n",
                   index->options().transform.tau_min);
+      std::printf("memory usage (bytes) %zu\n", index->MemoryUsage());
+      break;
+    }
+    case pti::serde::IndexKind::kSharded: {
+      auto index = pti::ShardedIndex::Load(blob);
+      if (!index.ok()) return Fail(index.status().ToString());
+      const auto stats = index->stats();
+      std::printf("original length      %lld\n",
+                  static_cast<long long>(stats.original_length));
+      std::printf("shards               %d\n", stats.num_shards);
+      std::printf("overlap              %d\n", stats.overlap);
+      std::printf("max pattern length   %d\n", stats.overlap + 1);
+      std::printf("maximal factors      %zu\n", stats.num_factors);
+      std::printf("transformed length   %zu\n", stats.transformed_length);
+      std::printf("tau_min              %.6g\n",
+                  index->options().index.transform.tau_min);
       std::printf("memory usage (bytes) %zu\n", index->MemoryUsage());
       break;
     }
@@ -315,11 +592,21 @@ int CmdStat(int argc, char** argv) {
 }
 
 int CmdGen(int argc, char** argv) {
-  if (argc < 6) return Usage();
+  if (argc != 6) return Usage();
   pti::DatasetOptions options;
-  options.length = std::atoll(argv[2]);
-  options.theta = std::atof(argv[3]);
-  options.seed = static_cast<uint64_t>(std::atoll(argv[4]));
+  int64_t seed = 0;
+  double theta = 0.0;
+  if (!ParseInt64(argv[2], &options.length) || options.length < 0) {
+    return UsageError(std::string("bad length '") + argv[2] + "'");
+  }
+  if (!ParseDouble(argv[3], &theta) || theta < 0.0 || theta > 1.0) {
+    return UsageError(std::string("bad theta '") + argv[3] + "'");
+  }
+  if (!ParseInt64(argv[4], &seed)) {
+    return UsageError(std::string("bad seed '") + argv[4] + "'");
+  }
+  options.theta = theta;
+  options.seed = static_cast<uint64_t>(seed);
   const pti::UncertainString s = pti::GenerateUncertainString(options);
   if (!WriteFile(argv[5], pti::FormatUncertainString(s))) {
     return Fail(std::string("cannot write ") + argv[5]);
@@ -338,9 +625,11 @@ int main(int argc, char** argv) {
   if (cmd == "build-special") return CmdBuildSpecial(argc, argv);
   if (cmd == "build-approx") return CmdBuildApprox(argc, argv);
   if (cmd == "build-listing") return CmdBuildListing(argc, argv);
+  if (cmd == "build-sharded") return CmdBuildSharded(argc, argv);
   if (cmd == "query") return CmdQuery(argc, argv);
+  if (cmd == "batch") return CmdBatch(argc, argv);
   if (cmd == "topk") return CmdTopK(argc, argv);
   if (cmd == "stat") return CmdStat(argc, argv);
   if (cmd == "gen") return CmdGen(argc, argv);
-  return Usage();
+  return UsageError("unknown command '" + cmd + "'");
 }

@@ -1,0 +1,273 @@
+#!/usr/bin/env python3
+"""Bench regression guard: diff a fresh bench run against docs/baselines/.
+
+Capture mode (run after intentional perf changes, commit the result):
+
+    scripts/check_bench.py --bench-dir build/bench --update
+
+Check mode (CI and perf PRs):
+
+    scripts/check_bench.py --bench-dir build/bench [--tolerance 1.0]
+
+Every table-format bench binary is run at default scale and parsed into
+{table title -> rows -> values}. The comparison is two-layered:
+
+  * Structure is strict: a missing table, changed header, or missing row
+    always fails — renaming or dropping a panel must be a conscious,
+    committed baseline update.
+  * Values are unit-aware. Deterministic units ("count", "x n" multiples)
+    must match almost exactly; memory ("MB") within 5%; timing units
+    (us/ms/seconds) only fail when the fresh value exceeds the baseline by
+    the --tolerance fraction (default 1.0 = 2x) AND the baseline is above
+    --abs-floor (tiny timings are noise-dominated). Faster is never a
+    failure. "speedup" ratio columns are derived from two timings and are
+    skipped.
+
+Timing baselines are machine-relative: compare against baselines captured
+on comparable hardware, and pass a generous --tolerance (CI uses 5.0) when
+the reference machine differs. bench_ablation_rmq emits google-benchmark
+output, not tables; --update captures it for reference but it is never
+compared.
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+
+TABLE_BENCHES = [
+    "bench_ablation_approx",
+    "bench_ablation_blocking",
+    "bench_ablation_compact",
+    "bench_ablation_simple_vs_efficient",
+    "bench_ablation_transform",
+    "bench_fig7_substring",
+    "bench_fig8_listing",
+    "bench_fig9_construction",
+    "bench_sharding",
+]
+# Captured for reference in --update mode, never compared (google-benchmark
+# output, no stable table structure).
+CAPTURE_ONLY_BENCHES = ["bench_ablation_rmq"]
+
+TITLE_RE = re.compile(r"^(\S.*\S)\s+\[(.+)\]$")
+
+# Table::Print layout: "  %-12s" row label, then " %12s" / " %12.3f" fields.
+LABEL_WIDTH = 14
+FIELD_WIDTH = 13
+
+
+class ParseError(Exception):
+    pass
+
+
+def parse_tables(text):
+    """Returns {title: {"unit", "header", "rows": {label: [float, ...]}}}."""
+    tables = {}
+    current = None
+    for line in text.splitlines():
+        if not line.strip():
+            current = None
+            continue
+        m = TITLE_RE.match(line)
+        if m and not line.startswith("  "):
+            current = {"unit": m.group(2), "header": None, "rows": {}}
+            if m.group(1) in tables:
+                raise ParseError(f"duplicate table title: {m.group(1)}")
+            tables[m.group(1)] = current
+            continue
+        if current is None or not line.startswith("  "):
+            continue  # bench banner or free-form output
+        if current["header"] is None:
+            current["header"] = line.rstrip()
+            continue
+        row = line.rstrip()
+        body = len(row) - LABEL_WIDTH
+        if body <= 0 or body % FIELD_WIDTH != 0:
+            raise ParseError(f"unparseable data row (fixed-width): {row!r}")
+        label = row[2:LABEL_WIDTH].strip()
+        values = []
+        for k in range(body // FIELD_WIDTH):
+            field = row[LABEL_WIDTH + k * FIELD_WIDTH:
+                        LABEL_WIDTH + (k + 1) * FIELD_WIDTH]
+            try:
+                values.append(float(field))
+            except ValueError:
+                raise ParseError(f"non-numeric field {field!r} in: {row!r}")
+        if label in current["rows"]:
+            raise ParseError(f"duplicate row label {label!r}")
+        current["rows"][label] = values
+    return tables
+
+
+def classify(unit):
+    """'strict' (deterministic), 'memory', or 'timing'."""
+    u = unit.lower()
+    if "count" in u or u.startswith("x "):
+        return "strict"
+    if "mb" in u:
+        return "memory"
+    return "timing"
+
+
+def floor_scale(unit):
+    """--abs-floor is expressed in microseconds; scale it to the unit."""
+    u = unit.lower()
+    if "seconds" in u:
+        return 1e-6
+    if re.search(r"\bms\b", u):
+        return 1e-3
+    return 1.0
+
+
+def compare(bench, base_tables, fresh_tables, tolerance, abs_floor):
+    problems = []
+
+    def fail(msg):
+        problems.append(f"{bench}: {msg}")
+
+    for title in base_tables:
+        if title not in fresh_tables:
+            fail(f"table disappeared: {title!r}")
+    for title in fresh_tables:
+        if title not in base_tables:
+            fail(f"new table not in baseline (rerun with --update): {title!r}")
+    for title, base in base_tables.items():
+        fresh = fresh_tables.get(title)
+        if fresh is None:
+            continue
+        if base["unit"] != fresh["unit"]:
+            fail(f"{title!r}: unit changed {base['unit']!r} -> "
+                 f"{fresh['unit']!r}")
+            continue
+        if base["header"] != fresh["header"]:
+            fail(f"{title!r}: header changed\n    was: {base['header']}\n"
+                 f"    now: {fresh['header']}")
+            continue
+        skip_last = "speedup" in (base["header"] or "")
+        kind = classify(base["unit"])
+        floor = abs_floor * floor_scale(base["unit"])
+        for label, base_vals in base["rows"].items():
+            fresh_vals = fresh["rows"].get(label)
+            if fresh_vals is None:
+                fail(f"{title!r}: row disappeared: {label!r}")
+                continue
+            if len(fresh_vals) != len(base_vals):
+                fail(f"{title!r} row {label!r}: column count changed")
+                continue
+            ncols = len(base_vals) - (1 if skip_last else 0)
+            for c in range(ncols):
+                b, f = base_vals[c], fresh_vals[c]
+                if kind == "strict":
+                    if abs(f - b) > 1e-6 * max(1.0, abs(b)):
+                        fail(f"{title!r} row {label!r} col {c}: "
+                             f"deterministic value changed {b} -> {f}")
+                elif kind == "memory":
+                    if abs(f - b) > 0.05 * max(1.0, abs(b)):
+                        fail(f"{title!r} row {label!r} col {c}: "
+                             f"memory changed {b} -> {f} (>5%)")
+                else:  # timing; only slower-than-tolerance fails
+                    if b >= floor and f > b * (1.0 + tolerance):
+                        fail(f"{title!r} row {label!r} col {c}: "
+                             f"{f:.3f} vs baseline {b:.3f} "
+                             f"(>{1.0 + tolerance:.2f}x)")
+        for label in fresh["rows"]:
+            if label not in base["rows"]:
+                fail(f"{title!r}: new row not in baseline: {label!r}")
+    return problems
+
+
+def run_bench(path, args):
+    result = subprocess.run([path, *args], capture_output=True, text=True,
+                            timeout=1800)
+    if result.returncode != 0:
+        raise ParseError(
+            f"{os.path.basename(path)} exited {result.returncode}: "
+            f"{result.stderr[:200]}")
+    return result.stdout
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--bench-dir", default="build/bench",
+                    help="directory holding the bench binaries")
+    ap.add_argument("--baseline-dir", default="docs/baselines")
+    ap.add_argument("--tolerance", type=float, default=1.0,
+                    help="allowed slowdown fraction for timing values "
+                         "(1.0 = fresh may be up to 2x the baseline)")
+    ap.add_argument("--abs-floor", type=float, default=5.0,
+                    help="timing baselines below this many microseconds "
+                         "(auto-scaled to each table's unit) are too noisy "
+                         "to compare and are skipped")
+    ap.add_argument("--update", action="store_true",
+                    help="overwrite the baselines with a fresh run")
+    ap.add_argument("--only", action="append", default=None,
+                    help="restrict to the named bench(es)")
+    args = ap.parse_args()
+
+    benches = args.only or TABLE_BENCHES
+    for b in benches:
+        if b not in TABLE_BENCHES and b not in CAPTURE_ONLY_BENCHES:
+            print(f"error: unknown bench {b!r}", file=sys.stderr)
+            return 2
+
+    if args.update:
+        os.makedirs(args.baseline_dir, exist_ok=True)
+        capture = list(benches)
+        if args.only is None:
+            capture += CAPTURE_ONLY_BENCHES
+        for bench in capture:
+            path = os.path.join(args.bench_dir, bench)
+            if not os.path.exists(path):
+                print(f"skip {bench}: binary not built")
+                continue
+            print(f"capturing {bench} ...")
+            out = run_bench(path, [])
+            if bench in TABLE_BENCHES:
+                parse_tables(out)  # refuse to store unparseable baselines
+            with open(os.path.join(args.baseline_dir, bench + ".txt"),
+                      "w") as f:
+                f.write(out)
+        print(f"baselines written to {args.baseline_dir}")
+        return 0
+
+    all_problems = []
+    checked = 0
+    for bench in benches:
+        baseline_path = os.path.join(args.baseline_dir, bench + ".txt")
+        if not os.path.exists(baseline_path):
+            all_problems.append(
+                f"{bench}: no baseline at {baseline_path} "
+                "(run with --update)")
+            continue
+        binary = os.path.join(args.bench_dir, bench)
+        if not os.path.exists(binary):
+            all_problems.append(f"{bench}: binary not built at {binary}")
+            continue
+        print(f"running {bench} ...")
+        try:
+            with open(baseline_path) as f:
+                base_tables = parse_tables(f.read())
+            fresh_tables = parse_tables(run_bench(binary, []))
+        except ParseError as e:
+            all_problems.append(f"{bench}: {e}")
+            continue
+        all_problems.extend(compare(bench, base_tables, fresh_tables,
+                                    args.tolerance, args.abs_floor))
+        checked += 1
+
+    print()
+    if all_problems:
+        print(f"{len(all_problems)} problem(s):")
+        for p in all_problems:
+            print(f"  {p}")
+        return 1
+    print(f"OK: {checked} bench(es) within tolerance "
+          f"{args.tolerance:.2f} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

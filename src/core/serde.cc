@@ -27,6 +27,8 @@ const char* KindName(IndexKind kind) {
       return "approx";
     case IndexKind::kSpecial:
       return "special";
+    case IndexKind::kSharded:
+      return "sharded";
   }
   return "unknown";
 }
@@ -136,6 +138,7 @@ StatusOr<IndexKind> PeekKind(const std::string& data) {
     case IndexKind::kListing:
     case IndexKind::kApprox:
     case IndexKind::kSpecial:
+    case IndexKind::kSharded:
       return static_cast<IndexKind>(kind);
   }
   return Status::Corruption("unknown index kind tag");

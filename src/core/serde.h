@@ -51,6 +51,7 @@ enum class IndexKind : uint32_t {
   kListing = 0x5453494C,    // "LIST"
   kApprox = 0x58525041,     // "APRX"
   kSpecial = 0x4C435053,    // "SPCL"
+  kSharded = 0x44524853,    // "SHRD" (engine/sharded_index.h)
 };
 
 /// Human-readable kind name for CLI output ("substring", ...).
@@ -62,6 +63,8 @@ constexpr uint32_t kTagSource = 0x53435253;   // "SRCS": source string(s)
 constexpr uint32_t kTagFactors = 0x54434146;  // "FACT": factor set
 constexpr uint32_t kTagText = 0x54584554;     // "TEXT": spliced text
 constexpr uint32_t kTagMaps = 0x5350414D;     // "MAPS": per-position arrays
+constexpr uint32_t kTagShardManifest = 0x4E414D53;  // "SMAN": shard layout
+constexpr uint32_t kTagShardBlobs = 0x424C4253;     // "SBLB": shard containers
 
 /// Accumulates tagged sections, then assembles the framed container.
 class ContainerWriter {

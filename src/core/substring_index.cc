@@ -5,9 +5,10 @@
 #include <limits>
 #include <map>
 #include <mutex>
+#include <numeric>
 #include <queue>
 #include <unordered_map>
-#include <unordered_set>
+#include <utility>
 
 #include "core/serde.h"
 #include "succinct/fm_index.h"
@@ -20,6 +21,63 @@ namespace {
 constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 
 int64_t RuleKey(int64_t pos, uint8_t ch) { return pos * 256 + ch; }
+
+// Incremental locus descent for pattern-sorted batches: Find() resumes from
+// the deepest verified checkpoint still consistent with the longest prefix
+// shared with the previous pattern, instead of re-walking from the root.
+// Checkpoints record (node, chars verified) states whose prefix has been
+// compared against the text, so a checkpoint at depth <= shared-prefix
+// length remains valid for the next pattern no matter where the previous
+// walk ended (or failed).
+class PrefixWalker {
+ public:
+  explicit PrefixWalker(const SuffixTree* st) : st_(st) {
+    path_.push_back({0, 0});  // root, nothing verified
+  }
+
+  /// Suffix-array range of `pattern` (mapped characters), or nullopt.
+  std::optional<std::pair<int32_t, int32_t>> Find(
+      const std::vector<int32_t>& pattern) {
+    size_t shared = 0;
+    while (shared < prev_.size() && shared < pattern.size() &&
+           prev_[shared] == pattern[shared]) {
+      ++shared;
+    }
+    prev_ = pattern;
+    while (path_.size() > 1 &&
+           path_.back().matched > static_cast<int32_t>(shared)) {
+      path_.pop_back();
+    }
+    int32_t v = path_.back().node;
+    int32_t matched = path_.back().matched;
+    const int32_t m = static_cast<int32_t>(pattern.size());
+    const auto& text = st_->text();
+    while (matched < m) {
+      if (matched >= st_->depth(v)) {
+        const int32_t c = st_->FindChild(v, pattern[matched]);
+        if (c < 0) return std::nullopt;
+        v = c;
+      }
+      const int32_t edge_end = std::min(st_->depth(v), m);
+      const int32_t base = st_->sa()[st_->sa_begin(v)];
+      for (int32_t k = matched; k < edge_end; ++k) {
+        if (text[base + k] != pattern[k]) return std::nullopt;
+      }
+      matched = edge_end;
+      path_.push_back({v, matched});
+    }
+    return std::make_pair(st_->sa_begin(v), st_->sa_end(v));
+  }
+
+ private:
+  struct Checkpoint {
+    int32_t node = 0;
+    int32_t matched = 0;  // pattern characters verified on the path to node
+  };
+  const SuffixTree* st_;
+  std::vector<Checkpoint> path_;
+  std::vector<int32_t> prev_;
+};
 }  // namespace
 
 struct SubstringIndex::Impl {
@@ -235,10 +293,30 @@ struct SubstringIndex::Impl {
     return Status::OK();
   }
 
+  // A reported occurrence before linear-space conversion: original position
+  // plus the exact log-probability the threshold test ran against. QueryBatch
+  // needs the log value to re-filter one extraction per distinct tau with
+  // the exact predicate Query uses.
+  struct RawMatch {
+    int64_t spos = 0;
+    double logv = kNegInf;
+  };
+
+  // Keeps the best window value per original position. Different factors can
+  // align the same (position, depth) window; their values are mathematically
+  // equal (same characters, same rules), so taking the max just picks the
+  // cleanest rounding of the prefix-sum differences.
+  static void EmitDedup(std::unordered_map<int64_t, double>* best,
+                        int64_t spos, double v) {
+    const auto [it, inserted] = best->emplace(spos, v);
+    if (!inserted && v > it->second) it->second = v;
+  }
+
   // Algorithm 4: recursive RMQ extraction over an active (deduplicated)
-  // depth-m structure. Emits exact matches.
+  // depth-m structure. Emits exact matches; the locus range is one depth-m
+  // partition, so positions are already unique.
   void ShortQuery(int32_t m, int32_t l, int32_t r, LogProb log_tau,
-                  std::vector<Match>* out) const {
+                  std::vector<RawMatch>* out) const {
     const RmqHandle* rmq = short_rmq[m - 1].get();
     std::vector<std::pair<int32_t, int32_t>> stack{{l, r}};
     while (!stack.empty()) {
@@ -248,7 +326,7 @@ struct SubstringIndex::Impl {
       const size_t pos = rmq->ArgMax(lo, hi);
       const double v = ActiveFn{this, m}(pos);
       if (!LogProb::FromLog(v).MeetsThreshold(log_tau)) continue;
-      out->push_back(Match{fs.pos[(*sa_view)[pos]], std::exp(v)});
+      out->push_back(RawMatch{fs.pos[(*sa_view)[pos]], v});
       stack.emplace_back(lo, static_cast<int32_t>(pos) - 1);
       stack.emplace_back(static_cast<int32_t>(pos) + 1, hi);
     }
@@ -257,22 +335,18 @@ struct SubstringIndex::Impl {
   // Scan fallback: validate every entry of the range at exact depth m,
   // deduplicating positions (used for tiny ranges and kScanOnly).
   void ScanQuery(int32_t m, int32_t l, int32_t r, LogProb log_tau,
-                 std::vector<Match>* out) const {
-    std::unordered_set<int64_t> emitted;
+                 std::unordered_map<int64_t, double>* best) const {
     for (int32_t j = l; j <= r; ++j) {
       const double v = RawValue(m, j);
       if (!LogProb::FromLog(v).MeetsThreshold(log_tau)) continue;
-      const int64_t spos = fs.pos[(*sa_view)[j]];
-      if (emitted.insert(spos).second) {
-        out->push_back(Match{spos, std::exp(v)});
-      }
+      EmitDedup(best, fs.pos[(*sa_view)[j]], v);
     }
   }
 
   // kPow2 long-pattern recursion: an upper-bound level filters ranges; every
   // candidate is validated at exact depth m.
   void Pow2Query(int32_t m, int32_t l, int32_t r, LogProb log_tau,
-                 std::vector<Match>* out) const {
+                 std::unordered_map<int64_t, double>* best) const {
     const LongLevel* level = nullptr;
     for (const auto& cand : long_levels) {
       if (cand.depth <= m && (level == nullptr || cand.depth > level->depth)) {
@@ -280,10 +354,9 @@ struct SubstringIndex::Impl {
       }
     }
     if (level == nullptr) {
-      ScanQuery(m, l, r, log_tau, out);
+      ScanQuery(m, l, r, log_tau, best);
       return;
     }
-    std::unordered_set<int64_t> emitted;
     std::vector<std::pair<int32_t, int32_t>> stack{{l, r}};
     while (!stack.empty()) {
       auto [lo, hi] = stack.back();
@@ -296,10 +369,7 @@ struct SubstringIndex::Impl {
       if (!LogProb::FromLog(ub).MeetsThreshold(log_tau)) continue;
       const double v = RawValue(m, pos);
       if (LogProb::FromLog(v).MeetsThreshold(log_tau)) {
-        const int64_t spos = fs.pos[(*sa_view)[pos]];
-        if (emitted.insert(spos).second) {
-          out->push_back(Match{spos, std::exp(v)});
-        }
+        EmitDedup(best, fs.pos[(*sa_view)[pos]], v);
       }
       stack.emplace_back(lo, static_cast<int32_t>(pos) - 1);
       stack.emplace_back(static_cast<int32_t>(pos) + 1, hi);
@@ -309,9 +379,8 @@ struct SubstringIndex::Impl {
   // kPaperExact long-pattern recursion over the lazily built exact-depth
   // structure; identical shape to Algorithm 4 plus position dedup.
   void PaperExactQuery(int32_t m, int32_t l, int32_t r, LogProb log_tau,
-                       std::vector<Match>* out) const {
+                       std::unordered_map<int64_t, double>* best) const {
     const RmqHandle* rmq = ExactLevel(m);
-    std::unordered_set<int64_t> emitted;
     std::vector<std::pair<int32_t, int32_t>> stack{{l, r}};
     while (!stack.empty()) {
       auto [lo, hi] = stack.back();
@@ -320,13 +389,35 @@ struct SubstringIndex::Impl {
       const size_t pos = rmq->ArgMax(lo, hi);
       const double v = RawValue(m, pos);
       if (!LogProb::FromLog(v).MeetsThreshold(log_tau)) continue;
-      const int64_t spos = fs.pos[(*sa_view)[pos]];
-      if (emitted.insert(spos).second) {
-        out->push_back(Match{spos, std::exp(v)});
-      }
+      EmitDedup(best, fs.pos[(*sa_view)[pos]], v);
       stack.emplace_back(lo, static_cast<int32_t>(pos) - 1);
       stack.emplace_back(static_cast<int32_t>(pos) + 1, hi);
     }
+  }
+
+  // Dispatches the locus range [l, r] to the right extraction path for
+  // pattern length m; emits raw matches, position-sorted.
+  void Extract(int32_t m, int32_t l, int32_t r, LogProb log_tau,
+               std::vector<RawMatch>* out) const {
+    if (m <= K) {
+      ShortQuery(m, l, r, log_tau, out);
+    } else {
+      std::unordered_map<int64_t, double> best;
+      if (options.blocking == BlockingMode::kScanOnly ||
+          static_cast<size_t>(r - l + 1) <= options.scan_cutoff) {
+        ScanQuery(m, l, r, log_tau, &best);
+      } else if (options.blocking == BlockingMode::kPaperExact) {
+        PaperExactQuery(m, l, r, log_tau, &best);
+      } else {
+        Pow2Query(m, l, r, log_tau, &best);
+      }
+      out->reserve(out->size() + best.size());
+      for (const auto& [spos, v] : best) out->push_back(RawMatch{spos, v});
+    }
+    std::sort(out->begin(), out->end(),
+              [](const RawMatch& a, const RawMatch& b) {
+                return a.spos < b.spos;
+              });
   }
 
   Status Query(const std::string& pattern, double tau,
@@ -335,24 +426,86 @@ struct SubstringIndex::Impl {
     PTI_RETURN_IF_ERROR(CheckQuery(pattern, tau));
     const auto range = LocusRange(pattern);
     if (!range.has_value()) return Status::OK();
-    const int32_t m = static_cast<int32_t>(pattern.size());
-    const int32_t l = range->first;
-    const int32_t r = range->second - 1;
-    const LogProb log_tau = LogProb::FromLinear(tau);
-    if (m <= K) {
-      ShortQuery(m, l, r, log_tau, out);
-    } else if (options.blocking == BlockingMode::kScanOnly ||
-               static_cast<size_t>(r - l + 1) <= options.scan_cutoff) {
-      ScanQuery(m, l, r, log_tau, out);
-    } else if (options.blocking == BlockingMode::kPaperExact) {
-      PaperExactQuery(m, l, r, log_tau, out);
-    } else {
-      Pow2Query(m, l, r, log_tau, out);
+    std::vector<RawMatch> raw;
+    Extract(static_cast<int32_t>(pattern.size()), range->first,
+            range->second - 1, LogProb::FromLinear(tau), &raw);
+    out->reserve(raw.size());
+    for (const RawMatch& rm : raw) {
+      out->push_back(Match{rm.spos, std::exp(rm.logv)});
     }
-    std::sort(out->begin(), out->end(),
-              [](const Match& a, const Match& b) {
-                return a.position < b.position;
-              });
+    return Status::OK();
+  }
+
+  Status QueryBatch(const std::vector<BatchQuery>& queries,
+                    std::vector<std::vector<Match>>* out) const {
+    // Resize without discarding the inner vectors: a caller reusing the
+    // output across batches then pays no per-query allocations.
+    out->resize(queries.size());
+    for (auto& dst : *out) dst.clear();
+    // Validate everything up front, computing each query's log-space
+    // threshold exactly once (Query pays the log() conversions per call;
+    // the batch reuses them for extraction and filtering below).
+    const LogProb lmin = LogProb::FromLinear(fs.tau_min);
+    std::vector<LogProb> log_taus;
+    log_taus.reserve(queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      const auto fail = [&i](const char* what) {
+        return Status::InvalidArgument("batch query #" + std::to_string(i) +
+                                       ": " + what);
+      };
+      const BatchQuery& q = queries[i];
+      if (q.pattern.empty()) return fail("pattern must be non-empty");
+      if (!(q.tau > 0.0) || q.tau > 1.0) {
+        return fail("tau must be in (0, 1]");
+      }
+      log_taus.push_back(LogProb::FromLinear(q.tau));
+      if (!log_taus.back().MeetsThreshold(lmin)) {
+        return fail("tau is below the construction-time tau_min");
+      }
+    }
+    // Pattern-sorted processing: equal patterns collapse into one group
+    // (smallest tau first), and neighbouring patterns share long prefixes so
+    // the tree walker rarely descends from the root.
+    std::vector<size_t> order(queries.size());
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::sort(order.begin(), order.end(), [&queries](size_t a, size_t b) {
+      const int cmp = queries[a].pattern.compare(queries[b].pattern);
+      if (cmp != 0) return cmp < 0;
+      return queries[a].tau < queries[b].tau;
+    });
+    PrefixWalker walker(&st);
+    std::vector<RawMatch> raw;
+    size_t g = 0;
+    while (g < order.size()) {
+      size_t h = g + 1;
+      while (h < order.size() &&
+             queries[order[h]].pattern == queries[order[g]].pattern) {
+        ++h;
+      }
+      const std::string& pattern = queries[order[g]].pattern;
+      const auto mapped = Text::MapPattern(pattern);
+      const auto range = fm.has_value() ? fm->Range(mapped)
+                                        : walker.Find(mapped);
+      if (range.has_value()) {
+        // One extraction at the group's smallest tau is a superset of every
+        // member's result set (MeetsThreshold is monotone in tau), so each
+        // member just re-filters with its own threshold.
+        raw.clear();
+        Extract(static_cast<int32_t>(pattern.size()), range->first,
+                range->second - 1, log_taus[order[g]], &raw);
+        for (size_t j = g; j < h; ++j) {
+          const LogProb log_tau = log_taus[order[j]];
+          auto& dst = (*out)[order[j]];
+          dst.reserve(raw.size());
+          for (const RawMatch& rm : raw) {
+            if (LogProb::FromLog(rm.logv).MeetsThreshold(log_tau)) {
+              dst.push_back(Match{rm.spos, std::exp(rm.logv)});
+            }
+          }
+        }
+      }
+      g = h;
+    }
     return Status::OK();
   }
 
@@ -428,6 +581,11 @@ StatusOr<SubstringIndex> SubstringIndex::Build(const UncertainString& s,
 Status SubstringIndex::Query(const std::string& pattern, double tau,
                              std::vector<Match>* out) const {
   return impl_->Query(pattern, tau, out);
+}
+
+Status SubstringIndex::QueryBatch(const std::vector<BatchQuery>& queries,
+                                  std::vector<std::vector<Match>>* out) const {
+  return impl_->QueryBatch(queries, out);
 }
 
 Status SubstringIndex::QueryTopK(const std::string& pattern, double tau,

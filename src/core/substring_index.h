@@ -63,6 +63,13 @@ struct IndexOptions {
   bool compact = false;
 };
 
+/// One (pattern, tau) query of a batch. Shared by SubstringIndex::QueryBatch
+/// and the engine layer (engine/sharded_index.h).
+struct BatchQuery {
+  std::string pattern;
+  double tau = 0.0;
+};
+
 class SubstringIndex {
  public:
   SubstringIndex();
@@ -79,6 +86,18 @@ class SubstringIndex {
   /// position. Fails if tau < tau_min or the pattern is empty.
   Status Query(const std::string& pattern, double tau,
                std::vector<Match>* out) const;
+
+  /// Answers every query of the batch; out is resized to queries.size() and
+  /// entry i holds exactly what Query(queries[i]) would report. The batch is
+  /// processed in pattern-sorted order so that (a) equal patterns share one
+  /// locus lookup and one RMQ extraction (run at the group's smallest tau,
+  /// then filtered per query with the same threshold predicate) and (b) in
+  /// tree mode the locus descent resumes from the longest prefix shared with
+  /// the previous pattern instead of re-walking from the root. Fails — before
+  /// any query runs — if any query is invalid (empty pattern or tau outside
+  /// [tau_min, 1]).
+  Status QueryBatch(const std::vector<BatchQuery>& queries,
+                    std::vector<std::vector<Match>>* out) const;
 
   /// The k highest-probability occurrences with probability >= tau, in
   /// non-increasing probability order (ties by position).

@@ -51,6 +51,17 @@ std::vector<UncertainString> GenerateCollection(const DatasetOptions& options);
 std::vector<std::string> SamplePatterns(const UncertainString& s, size_t count,
                                         size_t length, uint64_t seed);
 
+/// A batched-query workload with deliberate prefix sharing: patterns come in
+/// ~16-pattern groups; each group is anchored at one position, shares that
+/// anchor's argmax prefix of `prefix_length` characters, and varies the
+/// remaining `length - prefix_length` characters by pdf sampling. Exercises
+/// the locus-descent amortization of SubstringIndex::QueryBatch.
+std::vector<std::string> SampleSharedPrefixPatterns(const UncertainString& s,
+                                                    size_t count,
+                                                    size_t prefix_length,
+                                                    size_t length,
+                                                    uint64_t seed);
+
 /// Same, sampling across the members of a collection.
 std::vector<std::string> SampleCollectionPatterns(
     const std::vector<UncertainString>& docs, size_t count, size_t length,

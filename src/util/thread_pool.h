@@ -1,0 +1,121 @@
+// ThreadPool: a fixed-size worker pool for the engine layer.
+//
+// The serving path (engine/sharded_index.h) fans one query batch out across
+// index shards, and construction builds one SubstringIndex per shard
+// concurrently — both need plain fork/join parallelism, nothing more. Tasks
+// may not throw (the library is exception-free; fallible work communicates
+// through Status captured by the task itself).
+//
+// ParallelFor is the main entry point: it degrades to a plain loop when the
+// pool would have one thread or there is at most one task, so callers never
+// special-case the serial path.
+
+#ifndef PTI_UTIL_THREAD_POOL_H_
+#define PTI_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pti {
+
+/// Resolves a user-facing thread-count option: 0 means "one per hardware
+/// thread", anything else is clamped to [1, 256].
+inline int32_t ResolveThreadCount(int32_t requested) {
+  if (requested <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int32_t>(hw);
+  }
+  return requested > 256 ? 256 : requested;
+}
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (resolved via ResolveThreadCount).
+  explicit ThreadPool(int32_t num_threads = 0) {
+    const int32_t n = ResolveThreadCount(num_threads);
+    workers_.reserve(static_cast<size_t>(n));
+    for (int32_t t = 0; t < n; ++t) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  /// Waits for every submitted task, then joins the workers.
+  ~ThreadPool() {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    wake_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task. Tasks must not throw.
+  void Submit(std::function<void()> fn) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_.push_back(std::move(fn));
+      ++outstanding_;
+    }
+    wake_.notify_one();
+  }
+
+  /// Blocks until every task submitted so far has finished.
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_.wait(lock, [this] { return outstanding_ == 0; });
+  }
+
+  /// Runs fn(i) for every i in [0, count), spread across the pool, and
+  /// blocks until all complete. Runs inline when parallelism cannot help.
+  void ParallelFor(size_t count, const std::function<void(size_t)>& fn) {
+    if (count <= 1 || num_threads() <= 1) {
+      for (size_t i = 0; i < count; ++i) fn(i);
+      return;
+    }
+    for (size_t i = 0; i < count; ++i) {
+      Submit([&fn, i] { fn(i); });
+    }
+    Wait();
+  }
+
+ private:
+  void WorkerLoop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping_ and drained
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (--outstanding_ == 0) idle_.notify_all();
+      }
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable wake_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  size_t outstanding_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace pti
+
+#endif  // PTI_UTIL_THREAD_POOL_H_

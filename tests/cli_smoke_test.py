@@ -1,0 +1,230 @@
+#!/usr/bin/env python3
+"""Smoke test for pti_cli: every subcommand's success, usage and error path.
+
+Usage: cli_smoke_test.py <path-to-pti_cli>
+
+Contract under test (see the header comment of examples/pti_cli.cpp):
+  exit 0  success; stdout carries machine-readable results only
+  exit 1  operational failure (I/O, corrupt index, failed build or query)
+  exit 2  usage error (unknown command, missing/malformed arguments)
+Errors and diagnostics must go to stderr, never stdout.
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+
+CLI = None
+FAILURES = []
+
+
+def run(*args):
+    return subprocess.run([CLI, *args], capture_output=True, text=True)
+
+
+def check(name, result, rc, stdout_has=None, stderr_has=None,
+          stdout_empty=False):
+    problems = []
+    if result.returncode != rc:
+        problems.append(f"exit {result.returncode}, want {rc}")
+    if stdout_empty and result.stdout:
+        problems.append(f"stdout not empty: {result.stdout[:120]!r}")
+    if stdout_has is not None and stdout_has not in result.stdout:
+        problems.append(f"stdout missing {stdout_has!r}: {result.stdout[:120]!r}")
+    if stderr_has is not None and stderr_has not in result.stderr:
+        problems.append(f"stderr missing {stderr_has!r}: {result.stderr[:120]!r}")
+    if result.returncode != 0 and "error" not in result.stderr and \
+            "usage" not in result.stderr:
+        problems.append("failure without error/usage text on stderr")
+    if problems:
+        FAILURES.append(f"{name}: " + "; ".join(problems))
+        print(f"FAIL {name}: " + "; ".join(problems))
+    else:
+        print(f"ok   {name}")
+
+
+def main():
+    global CLI
+    if len(sys.argv) != 2:
+        print("usage: cli_smoke_test.py <pti_cli>", file=sys.stderr)
+        return 2
+    CLI = sys.argv[1]
+    tmp = tempfile.mkdtemp(prefix="pti_cli_smoke.")
+
+    def p(name):
+        return os.path.join(tmp, name)
+
+    # ---- no args / unknown command / unknown flag -> usage (exit 2) ----
+    check("no-args", run(), 2, stderr_has="usage", stdout_empty=True)
+    check("unknown-command", run("frobnicate"), 2,
+          stderr_has="unknown command", stdout_empty=True)
+
+    # ---- gen ----
+    check("gen", run("gen", "300", "0.3", "7", p("g.pus")), 0,
+          stdout_has="wrote 300 positions")
+    check("gen-missing-args", run("gen", "300"), 2, stderr_has="usage")
+    check("gen-bad-length", run("gen", "30x", "0.3", "7", p("x.pus")), 2,
+          stderr_has="bad length")
+    check("gen-bad-theta", run("gen", "300", "1.5", "7", p("x.pus")), 2,
+          stderr_has="bad theta")
+    check("gen-unwritable", run("gen", "10", "0.3", "7", tmp + "/no/dir.pus"),
+          1, stderr_has="cannot write")
+
+    # A tiny handwritten string exercising deterministic probabilities.
+    with open(p("d.pus"), "w") as f:
+        f.write("Q=0.7 S=0.3\nQ=0.3 P=0.7\nP=1.0\nA=0.4 F=0.3 P=0.2 Q=0.1\n")
+    with open(p("bad.pus"), "w") as f:
+        f.write("Q=0.7 S=0.1\n")  # does not sum to 1
+
+    # ---- build ----
+    check("build", run("build", p("g.pus"), p("g.pti"), "0.1"), 0,
+          stdout_has="indexed 300 positions")
+    check("build-default-tau", run("build", p("d.pus"), p("d.pti")), 0,
+          stdout_has="indexed 4 positions")
+    check("build-missing-args", run("build", p("g.pus")), 2,
+          stderr_has="usage")
+    check("build-bad-tau", run("build", p("g.pus"), p("x.pti"), "nope"), 2,
+          stderr_has="bad tau_min")
+    check("build-missing-input", run("build", p("absent.pus"), p("x.pti")),
+          1, stderr_has="cannot read")
+    check("build-invalid-pus", run("build", p("bad.pus"), p("x.pti")), 1,
+          stderr_has="InvalidArgument")
+
+    # ---- build-special / build-approx / build-listing ----
+    with open(p("s.pus"), "w") as f:
+        f.write("a=0.9\nb=0.5\na=0.7\nb=1.0\n")
+    check("build-special", run("build-special", p("s.pus"), p("s.pti")), 0,
+          stdout_has="special")
+    check("build-special-missing-args", run("build-special", p("s.pus")), 2,
+          stderr_has="usage")
+    check("build-approx",
+          run("build-approx", p("g.pus"), p("a.pti"), "0.1", "0.05"), 0,
+          stdout_has="links")
+    check("build-approx-bad-epsilon",
+          run("build-approx", p("g.pus"), p("a.pti"), "0.1", "eps"), 2,
+          stderr_has="bad epsilon")
+    check("build-listing",
+          run("build-listing", p("l.pti"), "0.1", p("d.pus"), p("d.pus")), 0,
+          stdout_has="indexed 2 documents")
+    check("build-listing-missing-args", run("build-listing", p("l.pti")), 2,
+          stderr_has="usage")
+    check("build-listing-bad-tau",
+          run("build-listing", p("l.pti"), "x", p("d.pus")), 2,
+          stderr_has="bad tau_min")
+
+    # ---- build-sharded ----
+    check("build-sharded",
+          run("build-sharded", p("g.pus"), p("sh.pti"), "0.1",
+              "--shards=4", "--overlap=16", "--threads=2"), 0,
+          stdout_has="4 shards")
+    check("build-sharded-missing-args", run("build-sharded", p("g.pus")), 2,
+          stderr_has="usage")
+    check("build-sharded-unknown-flag",
+          run("build-sharded", p("g.pus"), p("x.pti"), "--wat=1"), 2,
+          stderr_has="unknown flag")
+    check("build-sharded-bad-flag-value",
+          run("build-sharded", p("g.pus"), p("x.pti"), "--shards=-2"), 2,
+          stderr_has="bad value")
+
+    # ---- query (every kind via autodetection) ----
+    check("query-substring", run("query", p("d.pti"), "QP", "0.4"), 0,
+          stdout_has="0\t0.490000", stderr_has="1 match(es)")
+    check("query-sharded", run("query", p("sh.pti"), "AA", "0.2"), 0,
+          stderr_has="match(es)")
+    check("query-approx", run("query", p("a.pti"), "AA", "0.2"), 0,
+          stderr_has="match(es)")
+    check("query-special", run("query", p("s.pti"), "ab", "0.2"), 0,
+          stderr_has="match(es)")
+    check("query-listing", run("query", p("l.pti"), "QP", "0.4"), 0,
+          stdout_has="doc 0", stderr_has="document(s)")
+    check("query-missing-args", run("query", p("d.pti"), "QP"), 2,
+          stderr_has="usage")
+    check("query-bad-tau", run("query", p("d.pti"), "QP", "0.x4"), 2,
+          stderr_has="bad tau")
+    check("query-tau-below-min", run("query", p("d.pti"), "QP", "0.01"), 1,
+          stderr_has="InvalidArgument")
+    check("query-missing-index", run("query", p("absent.pti"), "QP", "0.4"),
+          1, stderr_has="cannot read")
+    # Sharded index rejects patterns beyond the overlap limit.
+    check("query-sharded-too-long",
+          run("query", p("sh.pti"), "A" * 30, "0.2"), 1,
+          stderr_has="NotSupported")
+
+    # Corrupt index file: truncation must be a clean Corruption error.
+    with open(p("g.pti"), "rb") as f:
+        blob = f.read()
+    with open(p("trunc.pti"), "wb") as f:
+        f.write(blob[: len(blob) // 2])
+    check("query-corrupt-index", run("query", p("trunc.pti"), "AA", "0.2"),
+          1, stderr_has="Corruption")
+
+    # ---- batch ----
+    with open(p("pats.txt"), "w") as f:
+        f.write("# comment\nQP\nQ 0.6\n\nPP\n")
+    check("batch-substring", run("batch", p("d.pti"), p("pats.txt"), "0.3"),
+          0, stdout_has="0\t0\t0.490000", stderr_has="3 queries")
+    check("batch-sharded",
+          run("batch", p("sh.pti"), p("pats.txt"), "0.3", "--threads=2"), 0,
+          stderr_has="3 queries")
+    check("batch-missing-args", run("batch", p("d.pti")), 2,
+          stderr_has="usage")
+    check("batch-inapplicable-flag",
+          run("batch", p("d.pti"), p("pats.txt"), "0.3", "--overlap=64"), 2,
+          stderr_has="not supported by this command")
+    check("batch-threads-on-substring",
+          run("batch", p("d.pti"), p("pats.txt"), "0.3", "--threads=2"), 1,
+          stderr_has="applies to sharded indexes")
+    check("build-sharded-overflow-flag",
+          run("build-sharded", p("g.pus"), p("x.pti"), "0.1",
+              "--shards=4294967298"), 2,
+          stderr_has="bad value")
+    # Trailing tabs after a per-line tau are trimmed like spaces.
+    with open(p("tabpats.txt"), "w") as f:
+        f.write("QP 0.3\t\n")
+    check("batch-trailing-tab",
+          run("batch", p("d.pti"), p("tabpats.txt"), "0.3"), 0,
+          stdout_has="0\t0\t0.490000")
+    # Indented pattern lines parse like unindented ones.
+    with open(p("indent.txt"), "w") as f:
+        f.write("  QP 0.3\n\t \n")
+    check("batch-indented-line",
+          run("batch", p("d.pti"), p("indent.txt"), "0.3"), 0,
+          stdout_has="0\t0\t0.490000")
+    check("batch-bad-tau", run("batch", p("d.pti"), p("pats.txt"), "x"), 2,
+          stderr_has="bad tau")
+    check("batch-missing-patterns",
+          run("batch", p("d.pti"), p("absent.txt"), "0.3"), 1,
+          stderr_has="cannot read")
+    check("batch-wrong-kind", run("batch", p("l.pti"), p("pats.txt"), "0.3"),
+          1, stderr_has="requires a substring or sharded")
+    with open(p("badpats.txt"), "w") as f:
+        f.write("QP not-a-tau\n")
+    check("batch-bad-line", run("batch", p("d.pti"), p("badpats.txt"), "0.3"),
+          1, stderr_has="line 1")
+
+    # ---- topk ----
+    check("topk", run("topk", p("d.pti"), "QP", "0.2", "2"), 0,
+          stdout_has="0\t0.490000")
+    check("topk-missing-args", run("topk", p("d.pti"), "QP", "0.2"), 2,
+          stderr_has="usage")
+    check("topk-bad-k", run("topk", p("d.pti"), "QP", "0.2", "-1"), 2,
+          stderr_has="bad k")
+    check("topk-wrong-kind", run("topk", p("l.pti"), "QP", "0.2", "2"), 1,
+          stderr_has="requires a substring index")
+
+    # ---- stat (every kind) ----
+    for kind, path in [("substring", "g.pti"), ("sharded", "sh.pti"),
+                       ("approx", "a.pti"), ("special", "s.pti"),
+                       ("listing", "l.pti")]:
+        check(f"stat-{kind}", run("stat", p(path)), 0, stdout_has=kind)
+    check("stat-missing-args", run("stat"), 2, stderr_has="usage")
+    check("stat-corrupt", run("stat", p("trunc.pti")), 1,
+          stderr_has="Corruption")
+
+    print(f"\n{len(FAILURES)} failure(s)")
+    return 1 if FAILURES else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,218 @@
+// SubstringIndex::QueryBatch: the batched path must return, per query,
+// exactly what the one-at-a-time Query path returns — across tree and
+// compact (FM) locus modes, every blocking mode, short and long patterns,
+// duplicate patterns with distinct taus, and correlated strings.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/brute_force.h"
+#include "core/substring_index.h"
+#include "test_util.h"
+
+namespace pti {
+namespace {
+
+std::vector<BatchQuery> MixedWorkload(const UncertainString& s, size_t count,
+                                      uint64_t seed) {
+  Rng rng(seed);
+  std::vector<BatchQuery> queries;
+  const double taus[] = {0.1, 0.15, 0.25, 0.5, 1.0};
+  for (size_t q = 0; q < count; ++q) {
+    const size_t len = 1 + rng.Uniform(12);
+    BatchQuery query;
+    if (q % 4 == 0 || s.size() < static_cast<int64_t>(len)) {
+      query.pattern = test::RandomPattern(4, len, rng.Next());
+    } else {
+      const int64_t start =
+          static_cast<int64_t>(rng.Uniform(s.size() - len + 1));
+      query.pattern = test::PatternFromString(s, start, len, rng.Next());
+    }
+    query.tau = taus[rng.Uniform(5)];
+    queries.push_back(std::move(query));
+  }
+  return queries;
+}
+
+void ExpectBatchMatchesLoop(const SubstringIndex& index,
+                            const std::vector<BatchQuery>& queries) {
+  std::vector<std::vector<Match>> batch;
+  ASSERT_TRUE(index.QueryBatch(queries, &batch).ok());
+  ASSERT_EQ(batch.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    std::vector<Match> loop;
+    ASSERT_TRUE(index.Query(queries[i].pattern, queries[i].tau, &loop).ok());
+    EXPECT_TRUE(test::SameMatches(batch[i], loop))
+        << "query #" << i << " '" << queries[i].pattern << "' tau "
+        << queries[i].tau << "\n  batch: " << test::MatchesToString(batch[i])
+        << "\n  loop:  " << test::MatchesToString(loop);
+  }
+}
+
+void CrossValidate(const IndexOptions& options, uint64_t seed) {
+  test::RandomStringSpec spec;
+  spec.length = 200;
+  spec.alphabet = 4;
+  spec.seed = seed;
+  const UncertainString s = test::RandomUncertain(spec);
+  const auto index = SubstringIndex::Build(s, options);
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  ExpectBatchMatchesLoop(*index, MixedWorkload(s, 120, seed + 1));
+}
+
+TEST(QueryBatchTest, TreeModeMatchesLoop) {
+  IndexOptions options;
+  options.transform.tau_min = 0.05;
+  for (uint64_t seed : {1u, 2u, 3u}) CrossValidate(options, seed);
+}
+
+TEST(QueryBatchTest, CompactModeMatchesLoop) {
+  IndexOptions options;
+  options.transform.tau_min = 0.05;
+  options.compact = true;
+  for (uint64_t seed : {4u, 5u}) CrossValidate(options, seed);
+}
+
+TEST(QueryBatchTest, LongPatternBlockingModesMatchLoop) {
+  for (const BlockingMode mode :
+       {BlockingMode::kPow2, BlockingMode::kPaperExact,
+        BlockingMode::kScanOnly}) {
+    IndexOptions options;
+    options.transform.tau_min = 0.05;
+    options.blocking = mode;
+    options.max_short_depth = 2;  // force the long-pattern paths
+    options.scan_cutoff = 0;
+    CrossValidate(options, 7 + static_cast<uint64_t>(mode));
+  }
+}
+
+TEST(QueryBatchTest, SharedPrefixGroupsMatchLoop) {
+  test::RandomStringSpec spec;
+  spec.length = 300;
+  spec.alphabet = 3;
+  spec.seed = 11;
+  const UncertainString s = test::RandomUncertain(spec);
+  IndexOptions options;
+  options.transform.tau_min = 0.05;
+  const auto index = SubstringIndex::Build(s, options);
+  ASSERT_TRUE(index.ok());
+  // Many patterns sharing long prefixes (same start position, growing
+  // length) — the regime the prefix walker optimizes.
+  std::vector<BatchQuery> queries;
+  for (int64_t start : {0, 40, 41, 150}) {
+    for (size_t len = 1; len <= 12; ++len) {
+      queries.push_back(
+          {test::PatternFromString(s, start, len, 500 + start), 0.1});
+    }
+  }
+  ExpectBatchMatchesLoop(*index, queries);
+}
+
+TEST(QueryBatchTest, DuplicatePatternsWithDistinctTaus) {
+  test::RandomStringSpec spec;
+  spec.length = 120;
+  spec.seed = 21;
+  const UncertainString s = test::RandomUncertain(spec);
+  IndexOptions options;
+  options.transform.tau_min = 0.05;
+  const auto index = SubstringIndex::Build(s, options);
+  ASSERT_TRUE(index.ok());
+  const std::string p = test::PatternFromString(s, 10, 3, 77);
+  // Snapped probabilities (multiples of 1/64) make these taus exact
+  // boundaries, so group extraction + re-filtering is fully exercised.
+  std::vector<BatchQuery> queries;
+  for (double tau : {0.5, 0.0625, 1.0, 0.125, 0.25, 0.0625}) {
+    queries.push_back({p, tau});
+  }
+  ExpectBatchMatchesLoop(*index, queries);
+}
+
+TEST(QueryBatchTest, CorrelatedStringMatchesLoopAndOracle) {
+  UncertainString s;
+  Rng rng(31);
+  for (int i = 0; i < 40; ++i) {
+    const uint8_t a = static_cast<uint8_t>('a' + rng.Uniform(3));
+    const uint8_t b = static_cast<uint8_t>('a' + (a - 'a' + 1) % 3);
+    s.AddPosition({{a, 0.75}, {b, 0.25}});
+  }
+  for (int64_t pos : {3, 10, 25}) {
+    CorrelationRule rule;
+    rule.pos = pos;
+    rule.ch = s.options(pos)[0].ch;
+    rule.dep_pos = pos + 4;
+    rule.dep_ch = s.options(pos + 4)[0].ch;
+    rule.prob_if_present = 0.875;
+    rule.prob_if_absent = 0.125;
+    ASSERT_TRUE(s.AddCorrelation(rule).ok());
+  }
+  IndexOptions options;
+  options.transform.tau_min = 0.05;
+  const auto index = SubstringIndex::Build(s, options);
+  ASSERT_TRUE(index.ok());
+  const auto queries = MixedWorkload(s, 80, 33);
+  ExpectBatchMatchesLoop(*index, queries);
+  // And both agree with the first-principles oracle.
+  std::vector<std::vector<Match>> batch;
+  ASSERT_TRUE(index->QueryBatch(queries, &batch).ok());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const auto want =
+        BruteForceSearch(s, queries[i].pattern, queries[i].tau);
+    EXPECT_TRUE(test::SameMatches(batch[i], want)) << queries[i].pattern;
+  }
+}
+
+TEST(QueryBatchTest, EmptyBatch) {
+  const UncertainString s = UncertainString::FromDeterministic("abcabc");
+  const auto index = SubstringIndex::Build(s, {});
+  ASSERT_TRUE(index.ok());
+  std::vector<std::vector<Match>> out;
+  ASSERT_TRUE(index->QueryBatch({}, &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(QueryBatchTest, InvalidQueryFailsWholeBatchUpFront) {
+  const UncertainString s = UncertainString::FromDeterministic("abcabc");
+  IndexOptions options;
+  options.transform.tau_min = 0.1;
+  const auto index = SubstringIndex::Build(s, options);
+  ASSERT_TRUE(index.ok());
+  std::vector<std::vector<Match>> out;
+  {
+    const Status st =
+        index->QueryBatch({{"ab", 0.5}, {"", 0.5}, {"bc", 0.5}}, &out);
+    EXPECT_TRUE(st.IsInvalidArgument());
+    EXPECT_NE(st.message().find("#1"), std::string::npos) << st.ToString();
+  }
+  {
+    // tau below the construction floor.
+    const Status st = index->QueryBatch({{"ab", 0.01}}, &out);
+    EXPECT_TRUE(st.IsInvalidArgument());
+  }
+  {
+    const Status st = index->QueryBatch({{"ab", 1.5}}, &out);
+    EXPECT_TRUE(st.IsInvalidArgument());
+  }
+}
+
+TEST(QueryBatchTest, ResultsInInputOrder) {
+  const UncertainString s = UncertainString::FromDeterministic("abababab");
+  const auto index = SubstringIndex::Build(s, {});
+  ASSERT_TRUE(index.ok());
+  // Deliberately unsorted patterns; entry i must answer query i.
+  const std::vector<BatchQuery> queries = {
+      {"ba", 0.5}, {"ab", 0.5}, {"zz", 0.5}, {"ab", 0.5}, {"abab", 0.5}};
+  std::vector<std::vector<Match>> out;
+  ASSERT_TRUE(index->QueryBatch(queries, &out).ok());
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(out[0].size(), 3u);  // "ba" at 1, 3, 5
+  EXPECT_EQ(out[1].size(), 4u);  // "ab" at 0, 2, 4, 6
+  EXPECT_TRUE(out[2].empty());
+  EXPECT_EQ(out[3].size(), 4u);
+  EXPECT_EQ(out[4].size(), 3u);  // "abab" at 0, 2, 4
+}
+
+}  // namespace
+}  // namespace pti

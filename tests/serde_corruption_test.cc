@@ -20,6 +20,7 @@
 #include "core/serde.h"
 #include "core/special_index.h"
 #include "core/substring_index.h"
+#include "engine/sharded_index.h"
 #include "test_util.h"
 #include "util/serial.h"
 
@@ -98,6 +99,20 @@ std::vector<KindCase> MakeKindCases() {
     cases.push_back({IndexKind::kSpecial, "special", std::move(blob),
                      [](const std::string& b) {
                        return SpecialIndex::Load(b).status();
+                     }});
+  }
+  {
+    ShardedIndexOptions options;
+    options.index.transform.tau_min = 0.1;
+    options.num_shards = 3;
+    options.overlap = 4;
+    const auto index = ShardedIndex::Build(s, options);
+    EXPECT_TRUE(index.ok());
+    std::string blob;
+    EXPECT_TRUE(index->Save(&blob).ok());
+    cases.push_back({IndexKind::kSharded, "sharded", std::move(blob),
+                     [](const std::string& b) {
+                       return ShardedIndex::Load(b).status();
                      }});
   }
   return cases;
@@ -671,6 +686,112 @@ TEST(SerdeCorruptionTest, HostileListingMapsFail) {
                        });
     EXPECT_TRUE(ListingIndex::Load(mutated).status().IsCorruption())
         << v.name;
+  }
+}
+
+TEST(SerdeCorruptionTest, HostileShardManifestsFail) {
+  // A hand-built "SHRD" container with one valid nested shard blob and a
+  // hostile manifest; every variant must fail the manifest validation (the
+  // checksum is recomputed by the writer, so it cannot mask these).
+  IndexOptions options;
+  options.transform.tau_min = 0.1;
+  const auto shard = SubstringIndex::Build(
+      test::RandomUncertain({.length = 10, .seed = 3}), options);
+  ASSERT_TRUE(shard.ok());
+  std::string shard_blob;
+  ASSERT_TRUE(shard->Save(&shard_blob).ok());
+
+  struct Variant {
+    const char* name;
+    std::function<void(Writer&)> manifest;
+  };
+  const std::vector<Variant> variants = {
+      {"zero shards",
+       [](Writer& w) {
+         w.PutU32(0);
+         w.PutU32(4);
+         w.PutI64(10);
+       }},
+      {"unreasonable shard count",
+       [](Writer& w) {
+         w.PutU32(0xFFFFFFFF);
+         w.PutU32(4);
+         w.PutI64(10);
+       }},
+      {"negative original length",
+       [](Writer& w) {
+         w.PutU32(1);
+         w.PutU32(4);
+         w.PutI64(-1);
+         w.PutI64(0);
+       }},
+      {"first shard not at zero",
+       [](Writer& w) {
+         w.PutU32(1);
+         w.PutU32(4);
+         w.PutI64(10);
+         w.PutI64(3);
+       }},
+      {"begins not increasing",
+       [](Writer& w) {
+         w.PutU32(2);
+         w.PutU32(4);
+         w.PutI64(10);
+         w.PutI64(0);
+         w.PutI64(0);
+       }},
+      {"begin past the end",
+       [](Writer& w) {
+         w.PutU32(2);
+         w.PutU32(4);
+         w.PutI64(10);
+         w.PutI64(0);
+         w.PutI64(10);
+       }},
+      {"slice size mismatching manifest",
+       [](Writer& w) {
+         w.PutU32(1);
+         w.PutU32(4);
+         w.PutI64(99);  // shard source holds 10 positions, not 99
+         w.PutI64(0);
+       }},
+      {"truncated manifest",
+       [](Writer& w) { w.PutU32(1); }},
+  };
+  for (const Variant& v : variants) {
+    serde::ContainerWriter cw(IndexKind::kSharded);
+    v.manifest(cw.AddSection(serde::kTagShardManifest));
+    cw.AddSection(serde::kTagShardBlobs).PutString(shard_blob);
+    const std::string blob = std::move(cw).Finish();
+    EXPECT_TRUE(ShardedIndex::Load(blob).status().IsCorruption()) << v.name;
+  }
+  {
+    // Wrong blob count: manifest says two shards, one nested container.
+    serde::ContainerWriter cw(IndexKind::kSharded);
+    Writer& m = cw.AddSection(serde::kTagShardManifest);
+    m.PutU32(2);
+    m.PutU32(4);
+    m.PutI64(10);
+    m.PutI64(0);
+    m.PutI64(5);
+    cw.AddSection(serde::kTagShardBlobs).PutString(shard_blob);
+    EXPECT_TRUE(ShardedIndex::Load(std::move(cw).Finish())
+                    .status()
+                    .IsCorruption());
+  }
+  {
+    // A nested shard blob that is itself corrupt (truncated container).
+    serde::ContainerWriter cw(IndexKind::kSharded);
+    Writer& m = cw.AddSection(serde::kTagShardManifest);
+    m.PutU32(1);
+    m.PutU32(4);
+    m.PutI64(10);
+    m.PutI64(0);
+    cw.AddSection(serde::kTagShardBlobs)
+        .PutString(shard_blob.substr(0, shard_blob.size() / 2));
+    EXPECT_TRUE(ShardedIndex::Load(std::move(cw).Finish())
+                    .status()
+                    .IsCorruption());
   }
 }
 

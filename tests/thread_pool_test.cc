@@ -1,0 +1,89 @@
+// util/thread_pool.h: task completion, ParallelFor coverage/inline fallback,
+// and the wait/drain guarantees the engine layer depends on.
+
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+namespace pti {
+namespace {
+
+TEST(ThreadPoolTest, ResolveThreadCount) {
+  EXPECT_GE(ResolveThreadCount(0), 1);
+  EXPECT_EQ(ResolveThreadCount(1), 1);
+  EXPECT_EQ(ResolveThreadCount(7), 7);
+  EXPECT_EQ(ResolveThreadCount(100000), 256);
+  EXPECT_GE(ResolveThreadCount(-3), 1);
+}
+
+TEST(ThreadPoolTest, SubmitAndWaitRunsEveryTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+  // The pool is reusable after Wait.
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 101);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(257);
+  pool.ParallelFor(hits.size(), [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForInlineFallbacks) {
+  // One thread and one task both degrade to a plain loop.
+  ThreadPool serial(1);
+  int count = 0;
+  serial.ParallelFor(5, [&count](size_t) { ++count; });
+  EXPECT_EQ(count, 5);
+
+  ThreadPool pool(4);
+  std::atomic<int> one{0};
+  pool.ParallelFor(1, [&one](size_t) { one.fetch_add(1); });
+  EXPECT_EQ(one.load(), 1);
+  pool.ParallelFor(0, [&one](size_t) { one.fetch_add(1); });
+  EXPECT_EQ(one.load(), 1);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsSubmittedWork) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    // No Wait: the destructor must still run everything already submitted.
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, TasksRunConcurrently) {
+  // With 2 workers, two tasks that rendezvous with each other can only
+  // finish if they really run in parallel.
+  ThreadPool pool(2);
+  std::atomic<int> arrived{0};
+  for (int i = 0; i < 2; ++i) {
+    pool.Submit([&arrived] {
+      arrived.fetch_add(1);
+      while (arrived.load() < 2) std::this_thread::yield();
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(arrived.load(), 2);
+}
+
+}  // namespace
+}  // namespace pti
