@@ -1,11 +1,12 @@
 // pti_cli: command-line front end for the library.
 //
 //   pti_cli build         <string.pus> <index.pti> [tau_min]   substring index
+//                         [--compact]              FM-index locator, smaller
 //   pti_cli build-special <string.pus> <index.pti>             §4 special index
 //   pti_cli build-approx  <string.pus> <index.pti> [tau_min [epsilon]]
 //   pti_cli build-listing <index.pti> <tau_min> <doc.pus>...   §6 listing index
 //   pti_cli build-sharded <string.pus> <index.pti> [tau_min]   sharded engine
-//                         [--shards=K] [--overlap=N] [--threads=T]
+//                         [--shards=K] [--overlap=N] [--threads=T] [--compact]
 //   pti_cli query <index.pti> <pattern> <tau>    threshold query (any kind;
 //                                                the kind is read from the file)
 //   pti_cli batch <index.pti> <patterns.txt> <tau> [--threads=T]
@@ -55,12 +56,12 @@ int Fail(const std::string& what) {
 int Usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  pti_cli build         <string.pus> <index.pti> [tau_min]\n"
+               "  pti_cli build         <string.pus> <index.pti> [tau_min] [--compact]\n"
                "  pti_cli build-special <string.pus> <index.pti>\n"
                "  pti_cli build-approx  <string.pus> <index.pti> [tau_min [epsilon]]\n"
                "  pti_cli build-listing <index.pti> <tau_min> <doc.pus>...\n"
                "  pti_cli build-sharded <string.pus> <index.pti> [tau_min]\n"
-               "                        [--shards=K] [--overlap=N] [--threads=T]\n"
+               "                        [--shards=K] [--overlap=N] [--threads=T] [--compact]\n"
                "  pti_cli query <index.pti> <pattern> <tau>\n"
                "  pti_cli batch <index.pti> <patterns.txt> <tau> [--threads=T]\n"
                "  pti_cli topk  <index.pti> <pattern> <tau> <k>\n"
@@ -99,11 +100,13 @@ struct Flags {
   int64_t overlap = 0;
   int64_t threads = 0;
   bool threads_set = false;
+  bool compact = false;
 };
 
 constexpr unsigned kFlagShards = 1u << 0;
 constexpr unsigned kFlagOverlap = 1u << 1;
 constexpr unsigned kFlagThreads = 1u << 2;
+constexpr unsigned kFlagCompact = 1u << 3;
 
 bool SplitArgs(int argc, char** argv, unsigned allowed,
                std::vector<const char*>* positional, Flags* flags,
@@ -117,6 +120,14 @@ bool SplitArgs(int argc, char** argv, unsigned allowed,
     int64_t* target = nullptr;
     const char* value = nullptr;
     unsigned flag = 0;
+    if (std::strcmp(arg, "--compact") == 0) {
+      if ((allowed & kFlagCompact) == 0) {
+        *bad = std::string("flag not supported by this command: ") + arg;
+        return false;
+      }
+      flags->compact = true;
+      continue;
+    }
     if (std::strncmp(arg, "--shards=", 9) == 0) {
       target = &flags->shards;
       value = arg + 9;
@@ -200,24 +211,32 @@ void PrintMatches(const std::vector<pti::Match>& matches) {
 }
 
 int CmdBuild(int argc, char** argv) {
-  if (argc < 4 || argc > 5) return Usage();
-  auto s = ReadUncertain(argv[2]);
+  std::vector<const char*> pos;
+  Flags flags;
+  std::string bad;
+  if (!SplitArgs(argc, argv, kFlagCompact, &pos, &flags, &bad)) {
+    return UsageError(bad);
+  }
+  if (pos.size() < 2 || pos.size() > 3) return Usage();
+  auto s = ReadUncertain(pos[0]);
   if (!s.ok()) return Fail(s.status().ToString());
   pti::IndexOptions options;
-  if (argc >= 5 &&
-      !ParseDouble(argv[4], &options.transform.tau_min)) {
-    return UsageError(std::string("bad tau_min '") + argv[4] + "'");
+  if (pos.size() >= 3 &&
+      !ParseDouble(pos[2], &options.transform.tau_min)) {
+    return UsageError(std::string("bad tau_min '") + pos[2] + "'");
   }
+  options.compact = flags.compact;
   auto index = pti::SubstringIndex::Build(*s, options);
   if (!index.ok()) return Fail(index.status().ToString());
   std::string blob;
-  const int rc = SaveIndexFile(index->Save(&blob), blob, argv[3]);
+  const int rc = SaveIndexFile(index->Save(&blob), blob, pos[1]);
   if (rc != 0) return rc;
   const auto stats = index->stats();
-  std::printf("indexed %lld positions (tau_min %.4g): %zu factors, "
+  std::printf("indexed %lld positions (tau_min %.4g%s): %zu factors, "
               "%zu chars, %zu bytes on disk\n",
               static_cast<long long>(stats.original_length),
-              options.transform.tau_min, stats.num_factors,
+              options.transform.tau_min,
+              options.compact ? ", compact" : "", stats.num_factors,
               stats.transformed_length, blob.size());
   return 0;
 }
@@ -294,8 +313,9 @@ int CmdBuildSharded(int argc, char** argv) {
   std::vector<const char*> pos;
   Flags flags;
   std::string bad;
-  if (!SplitArgs(argc, argv, kFlagShards | kFlagOverlap | kFlagThreads, &pos,
-                 &flags, &bad)) {
+  if (!SplitArgs(argc, argv,
+                 kFlagShards | kFlagOverlap | kFlagThreads | kFlagCompact,
+                 &pos, &flags, &bad)) {
     return UsageError(bad);
   }
   if (pos.size() < 2 || pos.size() > 3) return Usage();
@@ -309,6 +329,7 @@ int CmdBuildSharded(int argc, char** argv) {
   options.num_shards = static_cast<int32_t>(flags.shards);
   options.overlap = static_cast<int32_t>(flags.overlap);
   options.num_threads = static_cast<int32_t>(flags.threads);
+  options.index.compact = flags.compact;
   auto index = pti::ShardedIndex::Build(*s, options);
   if (!index.ok()) return Fail(index.status().ToString());
   std::string blob;
@@ -529,6 +550,9 @@ int CmdStat(int argc, char** argv) {
       std::printf("maximal factors      %zu\n", stats.num_factors);
       std::printf("transformed length   %zu\n", stats.transformed_length);
       std::printf("short depth limit K  %d\n", stats.short_depth_limit);
+      std::printf("mode                 %s\n",
+                  index->options().compact ? "compact (FM-index)"
+                                           : "suffix tree");
       std::printf("suffix tree nodes    %zu\n", stats.num_tree_nodes);
       std::printf("tau_min              %.6g\n",
                   index->options().transform.tau_min);

@@ -42,8 +42,11 @@ namespace serde {
 
 /// First four bytes of every persisted index ("PTIC" in a hex dump).
 constexpr uint32_t kContainerMagic = 0x43495450;
-/// The version this build writes, and the highest it reads.
-constexpr uint32_t kContainerVersion = 1;
+/// The version this build writes, and the highest it reads. Version 2
+/// added the optional suffix-array section ("SARR") to compact-mode
+/// substring containers; version-1 files still load (the section is simply
+/// absent and Load re-derives the suffix array).
+constexpr uint32_t kContainerVersion = 2;
 
 /// Index kind tags (second u32 of the header; four ASCII bytes each).
 enum class IndexKind : uint32_t {
@@ -65,6 +68,7 @@ constexpr uint32_t kTagText = 0x54584554;     // "TEXT": spliced text
 constexpr uint32_t kTagMaps = 0x5350414D;     // "MAPS": per-position arrays
 constexpr uint32_t kTagShardManifest = 0x4E414D53;  // "SMAN": shard layout
 constexpr uint32_t kTagShardBlobs = 0x424C4253;     // "SBLB": shard containers
+constexpr uint32_t kTagSuffixArray = 0x52524153;    // "SARR": persisted SA
 
 /// Accumulates tagged sections, then assembles the framed container.
 class ContainerWriter {

@@ -12,6 +12,8 @@
 
 #include "core/serde.h"
 #include "succinct/fm_index.h"
+#include "suffix/lcp.h"
+#include "suffix/sais.h"
 #include "suffix/suffix_tree.h"
 #include "util/serial.h"
 
@@ -78,6 +80,72 @@ class PrefixWalker {
   std::vector<Checkpoint> path_;
   std::vector<int32_t> prev_;
 };
+
+// Incremental backward search for suffix-sorted batches (compact mode): the
+// FM-index extends patterns right-to-left, so Find() resumes from the
+// deepest (sp, ep) checkpoint covered by the longest suffix shared with the
+// previous pattern — the backward-search mirror of PrefixWalker. Every
+// checkpoint is a completed ExtendLeft step, so it stays valid for any
+// later pattern sharing at least that many trailing characters.
+class SuffixWalker {
+ public:
+  explicit SuffixWalker(const FmIndex* fm) : fm_(fm) {
+    path_.push_back({0, static_cast<int64_t>(fm->bwt_size()), 0});
+  }
+
+  /// Suffix-array range of `pattern` (mapped characters), or nullopt.
+  std::optional<std::pair<int32_t, int32_t>> Find(
+      const std::vector<int32_t>& pattern) {
+    size_t shared = 0;
+    while (shared < prev_.size() && shared < pattern.size() &&
+           prev_[prev_.size() - 1 - shared] ==
+               pattern[pattern.size() - 1 - shared]) {
+      ++shared;
+    }
+    prev_ = pattern;
+    while (path_.size() > 1 &&
+           path_.back().matched > static_cast<int32_t>(shared)) {
+      path_.pop_back();
+    }
+    int64_t sp = path_.back().sp;
+    int64_t ep = path_.back().ep;
+    int32_t matched = path_.back().matched;
+    const int32_t m = static_cast<int32_t>(pattern.size());
+    while (matched < m) {
+      const int32_t c = pattern[m - 1 - matched];
+      if (c < 0 || !fm_->ExtendLeft(int64_t{c} + 1, &sp, &ep)) {
+        return std::nullopt;
+      }
+      ++matched;
+      path_.push_back({sp, ep, matched});
+    }
+    return FmIndex::ToSaRange(sp, ep);
+  }
+
+ private:
+  struct Checkpoint {
+    int64_t sp = 0;  // SA' coordinates, as in FmIndex::ExtendLeft
+    int64_t ep = 0;
+    int32_t matched = 0;  // trailing pattern characters already extended
+  };
+  const FmIndex* fm_;
+  std::vector<Checkpoint> path_;
+  std::vector<int32_t> prev_;
+};
+
+// Orders patterns by their reverse (last character first). Compact-mode
+// batches sort with this so neighbours share the longest possible suffix;
+// any strict weak order works for grouping equal patterns, but this one
+// maximizes what SuffixWalker can resume.
+bool ReversedLess(const std::string& a, const std::string& b) {
+  size_t i = a.size(), j = b.size();
+  while (i > 0 && j > 0) {
+    const unsigned char ca = static_cast<unsigned char>(a[--i]);
+    const unsigned char cb = static_cast<unsigned char>(b[--j]);
+    if (ca != cb) return ca < cb;
+  }
+  return i == 0 && j > 0;
+}
 }  // namespace
 
 struct SubstringIndex::Impl {
@@ -90,6 +158,8 @@ struct SubstringIndex::Impl {
   std::vector<int32_t> sa_storage;
   const std::vector<int32_t>* sa_view = nullptr;
   std::optional<FmIndex> fm;
+  // Load provenance, for tests: the "SARR" section made SA-IS unnecessary.
+  bool sa_from_section = false;
 
   // Prefix sums of fs.logp: c[k] = sum of logp[0..k); sentinels add 0.
   std::vector<double> c;
@@ -173,11 +243,31 @@ struct SubstringIndex::Impl {
     }
   };
 
-  // Builds everything derived from (source, options, fs).
-  Status FinishBuild() {
+  // Builds everything derived from (source, options, fs). In compact mode
+  // `loaded_sa`, when engaged (Load with a persisted "SARR" section,
+  // already validated as a length-N permutation), replaces the SA-IS run;
+  // compact mode never materializes the suffix tree at all — SA + LCP come
+  // from SA-IS/Kasai and the FM-index serves locus lookups.
+  Status FinishBuild(std::optional<std::vector<int32_t>> loaded_sa =
+                         std::nullopt) {
     const size_t n_text = N();
-    st = SuffixTree::Build(&fs.text.chars(), fs.text.alphabet_size());
-    sa_view = &st.sa();
+    const std::vector<int32_t>* lcp = nullptr;
+    std::vector<int32_t> lcp_storage;
+    if (options.compact) {
+      sa_storage = loaded_sa.has_value()
+                       ? std::move(*loaded_sa)
+                       : BuildSuffixArray(fs.text.chars(),
+                                          fs.text.alphabet_size());
+      sa_view = &sa_storage;
+      lcp_storage = BuildLcpArray(fs.text.chars(), sa_storage);
+      lcp = &lcp_storage;
+      fm.emplace(fs.text.chars(), sa_storage, fs.text.alphabet_size());
+      st = SuffixTree();
+    } else {
+      st = SuffixTree::Build(&fs.text.chars(), fs.text.alphabet_size());
+      sa_view = &st.sa();
+      lcp = &st.lcp();
+    }
 
     rules.clear();
     for (const CorrelationRule& r : source.correlations()) {
@@ -207,12 +297,11 @@ struct SubstringIndex::Impl {
     std::vector<int64_t> seen(
         static_cast<size_t>(std::max<int64_t>(fs.original_length, 1)), -1);
     int64_t stamp = 0;
-    const auto& lcp = st.lcp();
-    const auto& sa = st.sa();
+    const auto& sa = *sa_view;
     for (int32_t i = 1; i <= K; ++i) {
       auto& bits = active[i - 1];
       for (size_t j = 0; j < n_text; ++j) {
-        if (j == 0 || lcp[j] < i) ++stamp;
+        if (j == 0 || (*lcp)[j] < i) ++stamp;
         const int64_t q = sa[j];
         if (remaining[q] < i) continue;
         const int64_t spos = fs.pos[q];
@@ -240,14 +329,6 @@ struct SubstringIndex::Impl {
                             static_cast<size_t>(d));
         long_levels.push_back(std::move(level));
       }
-    }
-    if (options.compact) {
-      // Keep only the suffix array; the FM-index takes over locus lookups
-      // and the tree's node arrays are released.
-      fm.emplace(fs.text.chars(), st.sa(), fs.text.alphabet_size());
-      sa_storage = st.sa();
-      sa_view = &sa_storage;
-      st = SuffixTree();
     }
     return Status::OK();
   }
@@ -464,16 +545,31 @@ struct SubstringIndex::Impl {
       }
     }
     // Pattern-sorted processing: equal patterns collapse into one group
-    // (smallest tau first), and neighbouring patterns share long prefixes so
-    // the tree walker rarely descends from the root.
+    // (smallest tau first), and neighbouring patterns share the resumable
+    // part of the locus search — prefixes in tree mode (the descent resumes
+    // mid-path), suffixes in compact mode (backward search reads patterns
+    // right-to-left, so the shared suffix is what an FM range can resume
+    // from).
+    const bool compact_mode = fm.has_value();
     std::vector<size_t> order(queries.size());
     std::iota(order.begin(), order.end(), size_t{0});
-    std::sort(order.begin(), order.end(), [&queries](size_t a, size_t b) {
-      const int cmp = queries[a].pattern.compare(queries[b].pattern);
-      if (cmp != 0) return cmp < 0;
-      return queries[a].tau < queries[b].tau;
-    });
-    PrefixWalker walker(&st);
+    std::sort(order.begin(), order.end(),
+              [&queries, compact_mode](size_t a, size_t b) {
+                const std::string& pa = queries[a].pattern;
+                const std::string& pb = queries[b].pattern;
+                if (pa != pb) {
+                  return compact_mode ? ReversedLess(pa, pb)
+                                      : pa.compare(pb) < 0;
+                }
+                return queries[a].tau < queries[b].tau;
+              });
+    std::optional<PrefixWalker> tree_walker;
+    std::optional<SuffixWalker> fm_walker;
+    if (compact_mode) {
+      fm_walker.emplace(&*fm);
+    } else {
+      tree_walker.emplace(&st);
+    }
     std::vector<RawMatch> raw;
     size_t g = 0;
     while (g < order.size()) {
@@ -484,8 +580,8 @@ struct SubstringIndex::Impl {
       }
       const std::string& pattern = queries[order[g]].pattern;
       const auto mapped = Text::MapPattern(pattern);
-      const auto range = fm.has_value() ? fm->Range(mapped)
-                                        : walker.Find(mapped);
+      const auto range = compact_mode ? fm_walker->Find(mapped)
+                                      : tree_walker->Find(mapped);
       if (range.has_value()) {
         // One extraction at the group's smallest tau is a superset of every
         // member's result set (MeetsThreshold is monotone in tau), so each
@@ -650,6 +746,13 @@ Status SubstringIndex::Save(std::string* out) const {
   opts.PutU8(i.options.compact ? 1 : 0);
   serde::EncodeUncertainString(i.source, &cw.AddSection(serde::kTagSource));
   serde::EncodeFactorSet(i.fs, &cw.AddSection(serde::kTagFactors));
+  if (i.options.compact) {
+    // Compact Load would otherwise re-run SA-IS just to rebuild the
+    // FM-index; persisting the suffix array (v2 container section) turns
+    // Load into decode + Kasai + RMQ builds. Tree mode skips it: the tree
+    // rebuild derives the SA anyway and the section would double the blob.
+    cw.AddSection(serde::kTagSuffixArray).PutVector(i.sa_storage);
+  }
   *out = std::move(cw).Finish();
   return Status::OK();
 }
@@ -707,8 +810,35 @@ StatusOr<SubstringIndex> SubstringIndex::Load(const std::string& data) {
   PTI_RETURN_IF_ERROR(serde::DecodeFactorSet(&fact, i.source, &i.fs));
   PTI_RETURN_IF_ERROR(serde::ExpectSectionEnd(fact, "factors"));
 
-  PTI_RETURN_IF_ERROR(i.FinishBuild());
+  std::optional<std::vector<int32_t>> loaded_sa;
+  if (i.options.compact && container.Has(serde::kTagSuffixArray)) {
+    Reader sar;
+    PTI_RETURN_IF_ERROR(container.Section(serde::kTagSuffixArray, &sar));
+    std::vector<int32_t> sa;
+    PTI_RETURN_IF_ERROR(sar.GetVector(&sa));
+    PTI_RETURN_IF_ERROR(serde::ExpectSectionEnd(sar, "suffix array"));
+    if (sa.size() != i.fs.text.size()) {
+      return Status::Corruption("suffix array length mismatches text");
+    }
+    // A permutation of [0, N) keeps every downstream array access in
+    // bounds; the suffix *order* itself is entrusted to the container
+    // checksum, like every other derived-from-inputs invariant.
+    std::vector<bool> seen(sa.size(), false);
+    for (const int32_t v : sa) {
+      if (v < 0 || static_cast<size_t>(v) >= sa.size() || seen[v]) {
+        return Status::Corruption("suffix array is not a permutation");
+      }
+      seen[v] = true;
+    }
+    loaded_sa = std::move(sa);
+    i.sa_from_section = true;
+  }
+  PTI_RETURN_IF_ERROR(i.FinishBuild(std::move(loaded_sa)));
   return index;
+}
+
+bool SubstringIndexTestPeer::SaLoadedFromSection(const SubstringIndex& index) {
+  return index.impl_->sa_from_section;
 }
 
 }  // namespace pti

@@ -131,6 +131,14 @@ class SubstringIndex {
   std::unique_ptr<Impl> impl_;
 };
 
+/// Test-only introspection hooks (implemented in substring_index.cc).
+class SubstringIndexTestPeer {
+ public:
+  /// True when Load consumed a persisted suffix-array ("SARR") section
+  /// instead of re-deriving the suffix array with SA-IS.
+  static bool SaLoadedFromSection(const SubstringIndex& index);
+};
+
 }  // namespace pti
 
 #endif  // PTI_CORE_SUBSTRING_INDEX_H_

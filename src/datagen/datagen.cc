@@ -143,6 +143,33 @@ std::vector<std::string> SampleSharedPrefixPatterns(const UncertainString& s,
   return out;
 }
 
+std::vector<std::string> SampleSharedSuffixPatterns(const UncertainString& s,
+                                                    size_t count,
+                                                    size_t suffix_length,
+                                                    size_t length,
+                                                    uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> out;
+  if (s.size() < static_cast<int64_t>(length) || suffix_length > length) {
+    return out;
+  }
+  out.reserve(count);
+  // As in SampleSharedPrefixPatterns, but the group-stable argmax part is
+  // the pattern's tail: all patterns of one anchor end identically.
+  const size_t groups = std::max<size_t>(1, count / 16);
+  for (size_t k = 0; k < count; ++k) {
+    Rng group_rng(seed * 1000003 + (k % groups));
+    const int64_t start = static_cast<int64_t>(group_rng.Uniform(
+        static_cast<uint64_t>(s.size() - length + 1)));
+    std::string p = WalkPattern(s, start, length - suffix_length,
+                                /*argmax=*/false, &rng);
+    p += WalkPattern(s, start + static_cast<int64_t>(length - suffix_length),
+                     suffix_length, /*argmax=*/true, &group_rng);
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
 std::vector<std::string> SampleCollectionPatterns(
     const std::vector<UncertainString>& docs, size_t count, size_t length,
     uint64_t seed) {

@@ -62,6 +62,19 @@ std::vector<std::string> SampleSharedPrefixPatterns(const UncertainString& s,
                                                     size_t length,
                                                     uint64_t seed);
 
+/// The mirror workload for compact (FM-index) batching: patterns come in
+/// ~16-pattern groups sharing an anchor's argmax *suffix* of
+/// `suffix_length` characters, with the leading `length - suffix_length`
+/// characters re-sampled per pattern. Backward search consumes patterns
+/// right-to-left, so this exercises the suffix-resumed range extension of
+/// SubstringIndex::QueryBatch the way SampleSharedPrefixPatterns exercises
+/// tree mode's locus descent.
+std::vector<std::string> SampleSharedSuffixPatterns(const UncertainString& s,
+                                                    size_t count,
+                                                    size_t suffix_length,
+                                                    size_t length,
+                                                    uint64_t seed);
+
 /// Same, sampling across the members of a collection.
 std::vector<std::string> SampleCollectionPatterns(
     const std::vector<UncertainString>& docs, size_t count, size_t length,

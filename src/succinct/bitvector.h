@@ -1,13 +1,19 @@
-// BitVector: plain bit vector with O(1) rank and O(log n) select.
+// BitVector: plain bit vector with O(1) rank and sampled select.
 //
-// Rank uses two-level counters (512-bit superblocks of absolute counts +
-// 64-bit word popcounts within) for ~25% space overhead; good enough for the
-// wavelet tree, whose queries are rank-dominated.
+// Rank uses an interleaved directory in the rank9 style (Vigna 2008): each
+// 8-word (512-bit) superblock owns two adjacent u64s — the absolute 1-count
+// before the superblock, and seven 9-bit cumulative in-superblock word
+// counts packed into the second word. Both land on one cache line, so
+// Rank1 is one directory load plus one partial-word popcount instead of a
+// superblock load and up to seven popcounts. Select1 samples every 512th
+// 1 bit to bound its superblock binary search to a constant expected range,
+// then walks the packed counts to the word.
 
 #ifndef PTI_SUCCINCT_BITVECTOR_H_
 #define PTI_SUCCINCT_BITVECTOR_H_
 
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -29,26 +35,51 @@ class BitVector {
   /// Must be called once after all Set() calls and before any rank/select.
   void Finish() {
     const size_t nwords = words_.size();
-    super_.assign(nwords / 8 + 1, 0);
+    // One trailing superblock entry so Rank1(size()) stays in bounds.
+    const size_t nsuper = nwords / 8 + 1;
+    dir_.assign(2 * nsuper, 0);
     uint64_t total = 0;
-    for (size_t w = 0; w < nwords; ++w) {
-      if (w % 8 == 0) super_[w / 8] = total;
-      total += static_cast<uint64_t>(__builtin_popcountll(words_[w]));
+    for (size_t sb = 0; sb < nsuper; ++sb) {
+      dir_[2 * sb] = total;
+      uint64_t packed = 0;
+      uint64_t in_sb = 0;
+      for (size_t k = 0; k < 8; ++k) {
+        // Field k-1 (bits [9(k-1), 9k)) = ones in words [8sb, 8sb+k);
+        // word 0 needs no field and bit 63 stays 0 for the shift trick.
+        if (k > 0) packed |= in_sb << (9 * (k - 1));
+        const size_t w = sb * 8 + k;
+        if (w < nwords) {
+          in_sb += static_cast<uint64_t>(__builtin_popcountll(words_[w]));
+        }
+      }
+      dir_[2 * sb + 1] = packed;
+      total += in_sb;
     }
-    // The loop covers super_[nwords / 8] unless nwords is a multiple of 8,
-    // in which case the trailing entry (used by Rank1(size())) is set here.
-    if (nwords % 8 == 0) super_[nwords / 8] = total;
     ones_ = total;
+    // Select sampling: superblock holding every 512th 1 bit.
+    select_sample_.clear();
+    uint64_t target = 0;
+    for (size_t sb = 0; sb < nsuper && target < ones_; ++sb) {
+      const uint64_t end = sb + 1 < nsuper ? dir_[2 * (sb + 1)] : ones_;
+      while (target < end) {
+        select_sample_.push_back(static_cast<uint32_t>(sb));
+        target += kSelectSampleRate;
+      }
+    }
   }
 
   /// Number of 1 bits in [0, i). i may equal size().
   size_t Rank1(size_t i) const {
     assert(i <= n_);
     const size_t w = i >> 6;
-    size_t count = super_[w / 8];
-    for (size_t k = (w / 8) * 8; k < w; ++k) {
-      count += static_cast<size_t>(__builtin_popcountll(words_[k]));
-    }
+    const size_t sb = w >> 3;
+    // Branchless packed-field read: t wraps to 2^64-1 for the superblock's
+    // first word, turning the shift into >> 63 — and bit 63 is always 0.
+    // The wrap must happen in 64 bits (size_t may be narrower).
+    const uint64_t t = static_cast<uint64_t>(w & 7) - 1;
+    size_t count =
+        dir_[2 * sb] +
+        ((dir_[2 * sb + 1] >> ((t + ((t >> 60) & 8)) * 9)) & 0x1FF);
     if (i & 63) {
       count += static_cast<size_t>(
           __builtin_popcountll(words_[w] & ((uint64_t{1} << (i & 63)) - 1)));
@@ -61,49 +92,69 @@ class BitVector {
 
   size_t ones() const { return ones_; }
 
-  /// Position of the (k+1)-th 1 bit (k 0-based; k < ones()). O(log n).
+  /// Position of the (k+1)-th 1 bit (k 0-based), or size() when k >= ones()
+  /// — out-of-range ranks are answerable, not undefined behavior.
   size_t Select1(size_t k) const {
-    assert(k < ones_);
-    // Binary search over superblocks, then scan words.
-    size_t lo = 0, hi = super_.size() - 1;
+    if (k >= ones_) return n_;
+    // The sample brackets the superblock search to a constant expected span.
+    size_t lo = select_sample_[k / kSelectSampleRate];
+    const size_t next = k / kSelectSampleRate + 1;
+    size_t hi = next < select_sample_.size() ? select_sample_[next]
+                                             : dir_.size() / 2 - 1;
     while (lo < hi) {
       const size_t mid = (lo + hi + 1) / 2;
-      if (super_[mid] <= k) {
+      if (dir_[2 * mid] <= k) {
         lo = mid;
       } else {
         hi = mid - 1;
       }
     }
-    size_t remaining = k - super_[lo];
-    for (size_t w = lo * 8; w < words_.size(); ++w) {
-      const size_t pc = static_cast<size_t>(__builtin_popcountll(words_[w]));
-      if (remaining < pc) {
-        // Scan bits of this word.
-        uint64_t word = words_[w];
-        for (size_t b = 0;; ++b) {
-          if (word & 1) {
-            if (remaining == 0) return w * 64 + b;
-            --remaining;
-          }
-          word >>= 1;
-        }
-      }
-      remaining -= pc;
-    }
-    assert(false);
-    return n_;
+    uint64_t remaining = k - dir_[2 * lo];
+    // Walk the packed cumulative counts to the word.
+    const uint64_t packed = dir_[2 * lo + 1];
+    size_t sub = 0;
+    while (sub < 7 && ((packed >> (9 * sub)) & 0x1FF) <= remaining) ++sub;
+    if (sub > 0) remaining -= (packed >> (9 * (sub - 1))) & 0x1FF;
+    const size_t w = lo * 8 + sub;
+    return w * 64 + SelectInWord(words_[w], remaining);
   }
 
   size_t MemoryUsage() const {
     return words_.capacity() * sizeof(uint64_t) +
-           super_.capacity() * sizeof(uint64_t);
+           dir_.capacity() * sizeof(uint64_t) +
+           select_sample_.capacity() * sizeof(uint32_t);
   }
 
  private:
+  static constexpr uint64_t kSelectSampleRate = 512;
+
+  /// Position of the (r+1)-th 1 bit of `word` (r < popcount(word)).
+  static size_t SelectInWord(uint64_t word, uint64_t r) {
+    size_t base = 0;
+    while (true) {
+      const uint64_t pc =
+          static_cast<uint64_t>(__builtin_popcountll(word & 0xFF));
+      if (r < pc) break;
+      r -= pc;
+      word >>= 8;
+      base += 8;
+    }
+    for (uint64_t b = word & 0xFF;; b >>= 1, ++base) {
+      if (b & 1) {
+        if (r == 0) return base;
+        --r;
+      }
+    }
+  }
+
   size_t n_ = 0;
   size_t ones_ = 0;
   std::vector<uint64_t> words_;
-  std::vector<uint64_t> super_;  // absolute rank at each 8-word superblock
+  // Interleaved rank directory: entry 2s = absolute count before superblock
+  // s, entry 2s+1 = packed 9-bit cumulative counts of words 1..7 within it.
+  std::vector<uint64_t> dir_;
+  // select_sample_[j] = superblock containing 1 bit number j*512.
+  std::vector<uint32_t> select_sample_;
 };
 
 }  // namespace pti

@@ -10,10 +10,18 @@
 // Construction takes the text and its suffix array; the conceptual
 // terminator $ (the unique smallest symbol, implicit in our suffix order) is
 // materialized in the BWT by shifting all symbols up by one.
+//
+// Besides the one-shot Range(), the search is exposed stepwise: ExtendLeft
+// prepends one symbol to a pattern whose SA' range is already known, which
+// lets batched callers resume from a shared suffix instead of re-running
+// the whole backward search per pattern (core/substring_index.cc's
+// QueryBatch does exactly that, mirroring tree mode's prefix-resumed locus
+// descent).
 
 #ifndef PTI_SUCCINCT_FM_INDEX_H_
 #define PTI_SUCCINCT_FM_INDEX_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <utility>
@@ -47,28 +55,56 @@ class FmIndex {
     wt_ = WaveletTree(bwt, sigma);
   }
 
-  /// Suffix-array range [begin, end) of the pattern (same coordinates as
-  /// the `sa` passed at construction), or nullopt when absent. An empty
-  /// pattern yields the full range.
-  std::optional<std::pair<int32_t, int32_t>> Range(
-      const std::vector<int32_t>& pattern) const {
-    // Ranges are tracked in SA' coordinates (one slot shifted by the
-    // terminator) and converted on return.
-    int64_t sp = 0;
-    int64_t ep = static_cast<int64_t>(wt_.size());
-    for (size_t k = pattern.size(); k-- > 0;) {
-      const int32_t sym = pattern[k] + 1;
-      if (sym + 1 >= static_cast<int32_t>(counts_.size())) return std::nullopt;
-      sp = counts_[sym] + static_cast<int64_t>(wt_.Rank(sym, sp));
-      ep = counts_[sym] + static_cast<int64_t>(wt_.Rank(sym, ep));
-      if (sp >= ep) return std::nullopt;
+  /// Length of the BWT (text length + 1): the SA' range of the empty
+  /// pattern is [0, bwt_size()).
+  size_t bwt_size() const { return wt_.size(); }
+
+  /// One backward-search step in SA' coordinates: narrows [*sp, *ep) to
+  /// the suffixes preceded by BWT symbol `sym` (a text symbol + 1; 0 is
+  /// the terminator and cannot be extended with). Returns false — leaving
+  /// *sp/*ep untouched — when sym is out of [1, alphabet] or the extended
+  /// range is empty.
+  bool ExtendLeft(int64_t sym, int64_t* sp, int64_t* ep) const {
+    if (sym < 1 || sym + 1 >= static_cast<int64_t>(counts_.size())) {
+      return false;
     }
-    // Drop the terminator slot: every pattern occurrence maps to SA' index
-    // >= 1 except the empty pattern, whose range legitimately starts at 0.
+    const auto [rank_sp, rank_ep] =
+        wt_.RangeRank(static_cast<int32_t>(sym), static_cast<size_t>(*sp),
+                      static_cast<size_t>(*ep));
+    if (rank_sp >= rank_ep) return false;
+    *sp = counts_[sym] + static_cast<int64_t>(rank_sp);
+    *ep = counts_[sym] + static_cast<int64_t>(rank_ep);
+    return true;
+  }
+
+  /// Converts a non-empty SA' range to the coordinates of the `sa` passed
+  /// at construction (dropping the terminator slot: every occurrence of a
+  /// non-empty pattern maps to SA' index >= 1; only the empty pattern's
+  /// range legitimately starts at 0). Returns nullopt when nothing but the
+  /// terminator slot remains.
+  static std::optional<std::pair<int32_t, int32_t>> ToSaRange(int64_t sp,
+                                                              int64_t ep) {
     const int32_t begin = static_cast<int32_t>(sp == 0 ? 0 : sp - 1);
     const int32_t end = static_cast<int32_t>(ep - 1);
     if (begin >= end) return std::nullopt;
     return std::make_pair(begin, end);
+  }
+
+  /// Suffix-array range [begin, end) of the pattern (same coordinates as
+  /// the `sa` passed at construction), or nullopt when absent — including
+  /// patterns carrying symbols outside [0, alphabet), negative ones among
+  /// them (before the explicit guard, -1 mapped onto the terminator and
+  /// could report a bogus match). An empty pattern yields the full range.
+  std::optional<std::pair<int32_t, int32_t>> Range(
+      const std::vector<int32_t>& pattern) const {
+    int64_t sp = 0;
+    int64_t ep = static_cast<int64_t>(wt_.size());
+    for (size_t k = pattern.size(); k-- > 0;) {
+      if (pattern[k] < 0 || !ExtendLeft(int64_t{pattern[k]} + 1, &sp, &ep)) {
+        return std::nullopt;
+      }
+    }
+    return ToSaRange(sp, ep);
   }
 
   size_t MemoryUsage() const {

@@ -6,12 +6,20 @@
 // node's interval at every level stays contiguous and is recoverable from
 // rank queries alone. This powers the FM-index's backward search (rank of a
 // symbol in the BWT).
+//
+// Every node's interval start and its zero-rank at that start are
+// precomputed at construction (the per-level node directory, O(sigma)
+// words), so Rank/Access pay exactly one BitVector rank per level instead
+// of three, and the two-sided RangeRank — the primitive one backward-search
+// step needs — pays at most two.
 
 #ifndef PTI_SUCCINCT_WAVELET_TREE_H_
 #define PTI_SUCCINCT_WAVELET_TREE_H_
 
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "succinct/bitvector.h"
@@ -57,6 +65,7 @@ class WaveletTree {
       }
       cur.swap(next);
     }
+    BuildNodeDirectory(data);
   }
 
   size_t size() const { return n_; }
@@ -64,60 +73,111 @@ class WaveletTree {
   /// Symbol at position i.
   int32_t Access(size_t i) const {
     assert(i < n_);
-    int32_t sym = 0;
-    size_t lo = 0, hi = n_, p = i;
+    int32_t prefix = 0;
+    size_t p = i;
     for (int32_t k = 0; k < levels_; ++k) {
       const BitVector& bv = bits_[k];
-      const size_t z_lo = bv.Rank0(lo);
-      const size_t z_hi = bv.Rank0(hi);
-      const size_t zeros = z_hi - z_lo;
-      const size_t zeros_before_p = bv.Rank0(lo + p) - z_lo;
-      sym <<= 1;
-      if (!bv.Get(lo + p)) {
+      const Node& node = nodes_[k][prefix];
+      const size_t zeros_before_p = bv.Rank0(node.lo + p) - node.zlo;
+      prefix <<= 1;
+      if (!bv.Get(node.lo + p)) {
         p = zeros_before_p;
-        hi = lo + zeros;
       } else {
-        sym |= 1;
+        prefix |= 1;
         p = p - zeros_before_p;
-        lo = lo + zeros;
       }
     }
-    return sym;
+    return prefix;
   }
 
-  /// Count of symbol c in the prefix [0, i). i may equal size().
+  /// Count of symbol c in the prefix [0, i). i may equal size(). Symbols
+  /// outside [0, 2^levels) — including negative ones — never occur in the
+  /// data, so their rank is 0 (rather than garbage from a truncated
+  /// bit-path descent).
   size_t Rank(int32_t c, size_t i) const {
     assert(i <= n_);
-    size_t lo = 0, hi = n_, p = i;
+    if (c < 0 || int64_t{c} >= (int64_t{1} << levels_)) return 0;
+    int32_t prefix = 0;
+    size_t p = i;
     for (int32_t k = 0; k < levels_; ++k) {
-      const int32_t shift = levels_ - 1 - k;
-      const BitVector& bv = bits_[k];
-      const size_t z_lo = bv.Rank0(lo);
-      const size_t z_hi = bv.Rank0(hi);
-      const size_t z_p = bv.Rank0(lo + p);
-      const size_t zeros = z_hi - z_lo;
-      if (((c >> shift) & 1) == 0) {
-        p = z_p - z_lo;
-        hi = lo + zeros;
-      } else {
-        p = (p) - (z_p - z_lo);
-        lo = lo + zeros;
-      }
       if (p == 0) return 0;
+      const int32_t bit = (c >> (levels_ - 1 - k)) & 1;
+      const Node& node = nodes_[k][prefix];
+      const size_t zeros_before_p = bits_[k].Rank0(node.lo + p) - node.zlo;
+      p = bit ? p - zeros_before_p : zeros_before_p;
+      prefix = (prefix << 1) | bit;
     }
     return p;
+  }
+
+  /// (Rank(c, i), Rank(c, j)) in one traversal (i <= j <= size()): both
+  /// endpoints descend the same node path, so the directory lookup is
+  /// shared and a degenerate interval costs one rank per level.
+  std::pair<size_t, size_t> RangeRank(int32_t c, size_t i, size_t j) const {
+    assert(i <= j && j <= n_);
+    if (c < 0 || int64_t{c} >= (int64_t{1} << levels_)) return {0, 0};
+    int32_t prefix = 0;
+    size_t pi = i, pj = j;
+    for (int32_t k = 0; k < levels_; ++k) {
+      if (pj == 0) return {0, 0};
+      const int32_t bit = (c >> (levels_ - 1 - k)) & 1;
+      const Node& node = nodes_[k][prefix];
+      const size_t zj = bits_[k].Rank0(node.lo + pj) - node.zlo;
+      const size_t zi =
+          pi == pj ? zj
+                   : (pi == 0 ? 0 : bits_[k].Rank0(node.lo + pi) - node.zlo);
+      pi = bit ? pi - zi : zi;
+      pj = bit ? pj - zj : zj;
+      prefix = (prefix << 1) | bit;
+    }
+    return {pi, pj};
   }
 
   size_t MemoryUsage() const {
     size_t bytes = 0;
     for (const auto& bv : bits_) bytes += bv.MemoryUsage();
+    for (const auto& level : nodes_) {
+      bytes += level.capacity() * sizeof(Node);
+    }
     return bytes;
   }
 
  private:
+  // Interval start of a node and the count of 0 bits before it at its
+  // level; fixed at construction, shared by every query touching the node.
+  struct Node {
+    uint64_t lo = 0;
+    uint64_t zlo = 0;
+  };
+
+  void BuildNodeDirectory(const std::vector<int32_t>& data) {
+    // Histogram over full symbols, then fold pairwise: level k's node for
+    // prefix p spans exactly the symbols whose top k bits equal p, laid
+    // out in prefix order.
+    std::vector<uint64_t> count(size_t{1} << levels_, 0);
+    for (const int32_t sym : data) ++count[sym];
+    nodes_.assign(levels_, {});
+    for (int32_t k = levels_ - 1; k >= 0; --k) {
+      // Fold the finer counts pairwise down to k-bit prefix counts.
+      for (size_t p = 0; p < (size_t{1} << k); ++p) {
+        count[p] = count[2 * p] + count[2 * p + 1];
+      }
+      count.resize(size_t{1} << k);
+      auto& level = nodes_[k];
+      level.resize(count.size());
+      uint64_t at = 0;
+      for (size_t p = 0; p < level.size(); ++p) {
+        level[p].lo = at;
+        at += count[p];
+      }
+      for (auto& node : level) node.zlo = bits_[k].Rank0(node.lo);
+    }
+  }
+
   size_t n_ = 0;
   int32_t levels_ = 0;
   std::vector<BitVector> bits_;
+  std::vector<std::vector<Node>> nodes_;  // nodes_[k] has 2^k entries
 };
 
 }  // namespace pti

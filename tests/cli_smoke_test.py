@@ -90,6 +90,13 @@ def main():
           1, stderr_has="cannot read")
     check("build-invalid-pus", run("build", p("bad.pus"), p("x.pti")), 1,
           stderr_has="InvalidArgument")
+    # Compact mode: the blob carries the suffix array, queries must agree.
+    check("build-compact",
+          run("build", p("d.pus"), p("dc.pti"), "0.1", "--compact"), 0,
+          stdout_has="compact")
+    check("build-inapplicable-flag",
+          run("build", p("d.pus"), p("x.pti"), "--shards=2"), 2,
+          stderr_has="not supported by this command")
 
     # ---- build-special / build-approx / build-listing ----
     with open(p("s.pus"), "w") as f:
@@ -129,6 +136,8 @@ def main():
 
     # ---- query (every kind via autodetection) ----
     check("query-substring", run("query", p("d.pti"), "QP", "0.4"), 0,
+          stdout_has="0\t0.490000", stderr_has="1 match(es)")
+    check("query-compact", run("query", p("dc.pti"), "QP", "0.4"), 0,
           stdout_has="0\t0.490000", stderr_has="1 match(es)")
     check("query-sharded", run("query", p("sh.pti"), "AA", "0.2"), 0,
           stderr_has="match(es)")
@@ -218,6 +227,8 @@ def main():
                        ("approx", "a.pti"), ("special", "s.pti"),
                        ("listing", "l.pti")]:
         check(f"stat-{kind}", run("stat", p(path)), 0, stdout_has=kind)
+    check("stat-compact", run("stat", p("dc.pti")), 0,
+          stdout_has="compact (FM-index)")
     check("stat-missing-args", run("stat"), 2, stderr_has="usage")
     check("stat-corrupt", run("stat", p("trunc.pti")), 1,
           stderr_has="Corruption")

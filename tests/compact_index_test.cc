@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -140,6 +141,113 @@ TEST(CompactIndexTest, SaveLoadPreservesCompactMode) {
     ASSERT_TRUE(loaded->Query(pattern, 0.2, &b).ok());
     ASSERT_TRUE(test::SameMatches(a, b, 0.0)) << pattern;
   }
+}
+
+// Batch workload mixing duplicates, shared suffixes (the compact batch
+// path sorts by reversed pattern and resumes backward search from shared
+// suffixes), absent patterns and distinct taus.
+std::vector<BatchQuery> MixedBatch(const UncertainString& s, uint64_t seed,
+                                   size_t count) {
+  Rng rng(seed);
+  std::vector<BatchQuery> batch;
+  for (size_t k = 0; k < count; ++k) {
+    std::string pattern;
+    const size_t len = 1 + rng.Uniform(7);
+    if (k % 4 == 0) {
+      pattern = test::RandomPattern(3, len, rng.Next());
+    } else {
+      const int64_t start =
+          static_cast<int64_t>(rng.Uniform(s.size() - len + 1));
+      pattern = test::PatternFromString(s, start, len, rng.Next());
+    }
+    const double tau = 0.1 + 0.2 * static_cast<double>(rng.Uniform(4));
+    batch.push_back({pattern, tau});
+    if (k % 5 == 0) {
+      // Same pattern again at another tau: group dedup must re-filter.
+      batch.push_back({pattern, std::min(1.0, tau + 0.15)});
+    }
+  }
+  return batch;
+}
+
+void ExpectSameBatchResults(const std::vector<std::vector<Match>>& a,
+                            const std::vector<std::vector<Match>>& b,
+                            const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_TRUE(test::SameMatches(a[i], b[i], 0.0))
+        << what << " query #" << i << "\na: " << test::MatchesToString(a[i])
+        << "\nb: " << test::MatchesToString(b[i]);
+  }
+}
+
+TEST(CompactIndexTest, QueryBatchMatchesTreeModeAndQueryLoop) {
+  test::RandomStringSpec spec{.length = 200, .alphabet = 3, .theta = 0.5,
+                              .seed = 420};
+  const UncertainString s = test::RandomUncertain(spec);
+  IndexOptions full_options;
+  full_options.transform.tau_min = 0.1;
+  IndexOptions compact_options = full_options;
+  compact_options.compact = true;
+  const auto full = SubstringIndex::Build(s, full_options);
+  const auto compact = SubstringIndex::Build(s, compact_options);
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(compact.ok());
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    const auto batch = MixedBatch(s, 421 + seed, 60);
+    std::vector<std::vector<Match>> tree_out, compact_out;
+    ASSERT_TRUE(full->QueryBatch(batch, &tree_out).ok());
+    ASSERT_TRUE(compact->QueryBatch(batch, &compact_out).ok());
+    ExpectSameBatchResults(tree_out, compact_out, "tree vs compact batch");
+    // And against the one-at-a-time compact path.
+    for (size_t i = 0; i < batch.size(); ++i) {
+      std::vector<Match> one;
+      ASSERT_TRUE(
+          compact->Query(batch[i].pattern, batch[i].tau, &one).ok());
+      ASSERT_TRUE(test::SameMatches(one, compact_out[i], 0.0))
+          << batch[i].pattern << " tau=" << batch[i].tau;
+    }
+  }
+}
+
+TEST(CompactIndexTest, QueryBatchAfterLoadMatchesTreeMode) {
+  test::RandomStringSpec spec{.length = 180, .alphabet = 3, .theta = 0.4,
+                              .seed = 430};
+  const UncertainString s = test::RandomUncertain(spec);
+  IndexOptions full_options;
+  full_options.transform.tau_min = 0.1;
+  IndexOptions compact_options = full_options;
+  compact_options.compact = true;
+  const auto full = SubstringIndex::Build(s, full_options);
+  const auto compact = SubstringIndex::Build(s, compact_options);
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(compact.ok());
+  std::string blob;
+  ASSERT_TRUE(compact->Save(&blob).ok());
+  const auto loaded = SubstringIndex::Load(blob);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  // The blob carries the suffix array, so Load skipped SA-IS entirely.
+  EXPECT_TRUE(SubstringIndexTestPeer::SaLoadedFromSection(*loaded));
+  const auto batch = MixedBatch(s, 431, 80);
+  std::vector<std::vector<Match>> tree_out, loaded_out;
+  ASSERT_TRUE(full->QueryBatch(batch, &tree_out).ok());
+  ASSERT_TRUE(loaded->QueryBatch(batch, &loaded_out).ok());
+  ExpectSameBatchResults(tree_out, loaded_out, "tree vs loaded compact");
+}
+
+TEST(CompactIndexTest, TreeModeLoadDoesNotUseSaSection) {
+  test::RandomStringSpec spec{.length = 60, .alphabet = 3, .theta = 0.4,
+                              .seed = 440};
+  const UncertainString s = test::RandomUncertain(spec);
+  IndexOptions options;
+  options.transform.tau_min = 0.1;
+  const auto index = SubstringIndex::Build(s, options);
+  ASSERT_TRUE(index.ok());
+  std::string blob;
+  ASSERT_TRUE(index->Save(&blob).ok());
+  const auto loaded = SubstringIndex::Load(blob);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_FALSE(SubstringIndexTestPeer::SaLoadedFromSection(*loaded));
 }
 
 TEST(CompactIndexTest, EmptyString) {

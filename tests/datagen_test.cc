@@ -123,6 +123,38 @@ TEST(DatagenTest, SamplePatternsHandlesShortStrings) {
   EXPECT_TRUE(SamplePatterns(s, 5, 10, 1).empty());
 }
 
+TEST(DatagenTest, SharedSuffixPatternsShareSuffixes) {
+  DatasetOptions options;
+  options.length = 3000;
+  options.theta = 0.3;
+  const UncertainString s = GenerateUncertainString(options);
+  const size_t suffix_len = 5;
+  const auto patterns = SampleSharedSuffixPatterns(s, 64, suffix_len, 8, 7);
+  ASSERT_EQ(patterns.size(), 64u);
+  // Patterns of one anchor group (stride = count / 16 groups) end with the
+  // same argmax suffix; the leading characters vary per pattern.
+  const size_t groups = 4;
+  size_t shared_pairs = 0, varied_heads = 0;
+  for (size_t k = 0; k + groups < patterns.size(); ++k) {
+    const std::string& a = patterns[k];
+    const std::string& b = patterns[k + groups];
+    ASSERT_EQ(a.size(), 8u);
+    if (a.substr(8 - suffix_len) == b.substr(8 - suffix_len)) ++shared_pairs;
+    if (a.substr(0, 8 - suffix_len) != b.substr(0, 8 - suffix_len)) {
+      ++varied_heads;
+    }
+  }
+  EXPECT_EQ(shared_pairs, patterns.size() - groups);  // every in-group pair
+  EXPECT_GT(varied_heads, 0u);
+  // Degenerate requests behave like the prefix sampler.
+  EXPECT_TRUE(SampleSharedSuffixPatterns(s, 5, 9, 8, 1).empty());
+  DatasetOptions tiny;
+  tiny.length = 3;
+  EXPECT_TRUE(
+      SampleSharedSuffixPatterns(GenerateUncertainString(tiny), 5, 2, 10, 1)
+          .empty());
+}
+
 TEST(DatagenTest, CollectionPatternsComeFromDocs) {
   DatasetOptions options;
   options.length = 2000;

@@ -62,6 +62,21 @@ std::vector<KindCase> MakeKindCases() {
                      }});
   }
   {
+    // Compact mode adds the "SARR" suffix-array section; every sweep below
+    // (truncation, bit flips, hostile framing) covers its bytes too.
+    IndexOptions options;
+    options.transform.tau_min = 0.1;
+    options.compact = true;
+    const auto index = SubstringIndex::Build(s, options);
+    EXPECT_TRUE(index.ok());
+    std::string blob;
+    EXPECT_TRUE(index->Save(&blob).ok());
+    cases.push_back({IndexKind::kSubstring, "substring-compact",
+                     std::move(blob), [](const std::string& b) {
+                       return SubstringIndex::Load(b).status();
+                     }});
+  }
+  {
     ListingOptions options;
     options.transform.tau_min = 0.1;
     const auto index = ListingIndex::Build({s, s}, options);
@@ -790,6 +805,155 @@ TEST(SerdeCorruptionTest, HostileShardManifestsFail) {
     cw.AddSection(serde::kTagShardBlobs)
         .PutString(shard_blob.substr(0, shard_blob.size() / 2));
     EXPECT_TRUE(ShardedIndex::Load(std::move(cw).Finish())
+                    .status()
+                    .IsCorruption());
+  }
+}
+
+// ---- Hostile suffix-array ("SARR") sections of compact substring blobs ----
+
+std::string CompactBlob() {
+  IndexOptions options;
+  options.transform.tau_min = 0.1;
+  options.compact = true;
+  const auto index = SubstringIndex::Build(
+      test::RandomUncertain({.length = 30, .alphabet = 3, .theta = 0.5,
+                             .seed = 77}),
+      options);
+  EXPECT_TRUE(index.ok());
+  std::string blob;
+  EXPECT_TRUE(index->Save(&blob).ok());
+  return blob;
+}
+
+// Reframes a compact substring container, rewriting (or, with nullptr,
+// dropping) the suffix-array section. The checksum is recomputed by the
+// writer, so these reach the semantic validation layer.
+std::string ReframeCompact(const std::string& blob,
+                           const std::function<void(Writer&)>* write_sa) {
+  serde::ContainerReader container;
+  EXPECT_TRUE(serde::ContainerReader::Open(blob, IndexKind::kSubstring,
+                                           &container)
+                  .ok());
+  serde::ContainerWriter cw(IndexKind::kSubstring);
+  for (const uint32_t tag :
+       {serde::kTagOptions, serde::kTagSource, serde::kTagFactors}) {
+    Reader section;
+    EXPECT_TRUE(container.Section(tag, &section).ok());
+    Writer& w = cw.AddSection(tag);
+    uint8_t b = 0;
+    while (!section.AtEnd()) {
+      EXPECT_TRUE(section.GetU8(&b).ok());
+      w.PutU8(b);
+    }
+  }
+  if (write_sa != nullptr) {
+    (*write_sa)(cw.AddSection(serde::kTagSuffixArray));
+  }
+  return std::move(cw).Finish();
+}
+
+std::vector<int32_t> SaOf(const std::string& blob) {
+  serde::ContainerReader container;
+  EXPECT_TRUE(serde::ContainerReader::Open(blob, IndexKind::kSubstring,
+                                           &container)
+                  .ok());
+  Reader section;
+  EXPECT_TRUE(container.Section(serde::kTagSuffixArray, &section).ok());
+  std::vector<int32_t> sa;
+  EXPECT_TRUE(section.GetVector(&sa).ok());
+  return sa;
+}
+
+TEST(SerdeCorruptionTest, CompactBlobCarriesSuffixArraySection) {
+  const std::string blob = CompactBlob();
+  serde::ContainerReader container;
+  ASSERT_TRUE(serde::ContainerReader::Open(blob, IndexKind::kSubstring,
+                                           &container)
+                  .ok());
+  EXPECT_EQ(container.version(), serde::kContainerVersion);
+  EXPECT_TRUE(container.Has(serde::kTagSuffixArray));
+  const auto loaded = SubstringIndex::Load(blob);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(SubstringIndexTestPeer::SaLoadedFromSection(*loaded));
+}
+
+TEST(SerdeCorruptionTest, CompactBlobWithoutSaSectionStillLoads) {
+  // The section is optional (absent in version-1 files): Load falls back
+  // to SA-IS and must answer identically.
+  const std::string blob = CompactBlob();
+  const std::string stripped = ReframeCompact(blob, nullptr);
+  const auto with_sa = SubstringIndex::Load(blob);
+  const auto without_sa = SubstringIndex::Load(stripped);
+  ASSERT_TRUE(with_sa.ok());
+  ASSERT_TRUE(without_sa.ok()) << without_sa.status().ToString();
+  EXPECT_FALSE(SubstringIndexTestPeer::SaLoadedFromSection(*without_sa));
+  Rng rng(78);
+  for (int q = 0; q < 40; ++q) {
+    const std::string pattern =
+        test::RandomPattern(3, 1 + rng.Uniform(6), rng.Next());
+    std::vector<Match> a, b;
+    ASSERT_TRUE(with_sa->Query(pattern, 0.2, &a).ok());
+    ASSERT_TRUE(without_sa->Query(pattern, 0.2, &b).ok());
+    ASSERT_TRUE(test::SameMatches(a, b, 0.0)) << pattern;
+  }
+}
+
+TEST(SerdeCorruptionTest, HostileSuffixArraySectionsFail) {
+  const std::string blob = CompactBlob();
+  const std::vector<int32_t> sa = SaOf(blob);
+  ASSERT_GT(sa.size(), 2u);
+
+  struct Variant {
+    const char* name;
+    std::function<void(std::vector<int32_t>&)> mutate;
+  };
+  const std::vector<Variant> variants = {
+      {"wrong length (short)",
+       [](std::vector<int32_t>& v) { v.pop_back(); }},
+      {"wrong length (long)",
+       [](std::vector<int32_t>& v) { v.push_back(0); }},
+      {"empty array", [](std::vector<int32_t>& v) { v.clear(); }},
+      {"entry out of range (high)",
+       [](std::vector<int32_t>& v) {
+         v[1] = static_cast<int32_t>(v.size());
+       }},
+      {"entry out of range (negative)",
+       [](std::vector<int32_t>& v) { v[1] = -1; }},
+      {"entry INT32_MIN",
+       [](std::vector<int32_t>& v) {
+         v[0] = std::numeric_limits<int32_t>::min();
+       }},
+      {"duplicate entry (not a permutation)",
+       [](std::vector<int32_t>& v) { v[2] = v[0]; }},
+  };
+  for (const Variant& v : variants) {
+    std::vector<int32_t> mutated = sa;
+    v.mutate(mutated);
+    const std::function<void(Writer&)> write = [&mutated](Writer& w) {
+      w.PutVector(mutated);
+    };
+    EXPECT_TRUE(SubstringIndex::Load(ReframeCompact(blob, &write))
+                    .status()
+                    .IsCorruption())
+        << v.name;
+  }
+  {
+    // Trailing bytes after the vector payload.
+    const std::function<void(Writer&)> write = [&sa](Writer& w) {
+      w.PutVector(sa);
+      w.PutU8(0xAB);
+    };
+    EXPECT_TRUE(SubstringIndex::Load(ReframeCompact(blob, &write))
+                    .status()
+                    .IsCorruption());
+  }
+  {
+    // A declared element count far past the section payload.
+    const std::function<void(Writer&)> write = [](Writer& w) {
+      w.PutU64(uint64_t{1} << 60);
+    };
+    EXPECT_TRUE(SubstringIndex::Load(ReframeCompact(blob, &write))
                     .status()
                     .IsCorruption());
   }

@@ -152,10 +152,13 @@ bool SameDocMatches(const std::vector<DocMatch>& a,
 // ---- Per-index drivers: build -> Save -> Load -> compare answers ----
 
 struct SubstringDriver {
+  static constexpr bool kCompact = false;
+
   static void RunCase(InputCase c) {
     const UncertainString s = GeneralString(c, 2024);
     IndexOptions options;
     options.transform.tau_min = CaseTauMin(c);
+    options.compact = kCompact;
     const auto built = SubstringIndex::Build(s, options);
     ASSERT_TRUE(built.ok()) << built.status().ToString();
     std::string blob;
@@ -163,6 +166,9 @@ struct SubstringDriver {
     EXPECT_GT(blob.size(), 32u);
     const auto loaded = SubstringIndex::Load(blob);
     ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_EQ(loaded->options().compact, kCompact);
+    // Compact blobs persist the suffix array, so Load never re-runs SA-IS.
+    EXPECT_EQ(SubstringIndexTestPeer::SaLoadedFromSection(*loaded), kCompact);
     EXPECT_EQ(loaded->stats().num_factors, built->stats().num_factors);
     EXPECT_EQ(loaded->stats().transformed_length,
               built->stats().transformed_length);
@@ -176,6 +182,49 @@ struct SubstringDriver {
         ASSERT_TRUE(loaded->Query(pattern, tau, &b).ok());
         ASSERT_TRUE(test::SameMatches(a, b))
             << CaseName(c) << " pattern " << pattern << " tau " << tau;
+      }
+    }
+  }
+};
+
+// The compact (FM-index) serving configuration, driven through the same
+// cases: the blob gains the "SARR" suffix-array section and Load rebuilds
+// the FM-index from it without SA-IS or a suffix tree.
+struct CompactSubstringDriver {
+  static void RunCase(InputCase c) {
+    const UncertainString s = GeneralString(c, 2024);
+    IndexOptions options;
+    options.transform.tau_min = CaseTauMin(c);
+    options.compact = true;
+    const auto built = SubstringIndex::Build(s, options);
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    std::string blob;
+    ASSERT_TRUE(built->Save(&blob).ok());
+    const auto loaded = SubstringIndex::Load(blob);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_TRUE(loaded->options().compact);
+    EXPECT_TRUE(SubstringIndexTestPeer::SaLoadedFromSection(*loaded));
+    EXPECT_EQ(loaded->stats().num_factors, built->stats().num_factors);
+    // Loaded-compact answers must equal a fresh *tree-mode* build's: the
+    // full Save -> Load -> Query equivalence across modes.
+    IndexOptions tree_options;
+    tree_options.transform.tau_min = CaseTauMin(c);
+    const auto tree = SubstringIndex::Build(s, tree_options);
+    ASSERT_TRUE(tree.ok());
+    Rng rng(7);
+    for (int q = 0; q < CaseQueries(c); ++q) {
+      const std::string pattern = SomePattern(s, 4, &rng);
+      for (const double tau : {CaseTauMin(c), 0.3, 0.8}) {
+        if (tau < CaseTauMin(c)) continue;
+        std::vector<Match> a, b, t;
+        ASSERT_TRUE(built->Query(pattern, tau, &a).ok());
+        ASSERT_TRUE(loaded->Query(pattern, tau, &b).ok());
+        ASSERT_TRUE(tree->Query(pattern, tau, &t).ok());
+        ASSERT_TRUE(test::SameMatches(a, b))
+            << CaseName(c) << " pattern " << pattern << " tau " << tau;
+        ASSERT_TRUE(test::SameMatches(t, b, 0.0))
+            << CaseName(c) << " (vs tree mode) pattern " << pattern
+            << " tau " << tau;
       }
     }
   }
@@ -279,14 +328,16 @@ struct SpecialDriver {
 template <typename Driver>
 class SerializationRoundTrip : public ::testing::Test {};
 
-using AllDrivers = ::testing::Types<SubstringDriver, ListingDriver,
-                                    ApproxDriver, SpecialDriver>;
+using AllDrivers =
+    ::testing::Types<SubstringDriver, CompactSubstringDriver, ListingDriver,
+                     ApproxDriver, SpecialDriver>;
 
 class DriverNames {
  public:
   template <typename T>
   static std::string GetName(int) {
     if (std::is_same_v<T, SubstringDriver>) return "Substring";
+    if (std::is_same_v<T, CompactSubstringDriver>) return "CompactSubstring";
     if (std::is_same_v<T, ListingDriver>) return "Listing";
     if (std::is_same_v<T, ApproxDriver>) return "Approx";
     if (std::is_same_v<T, SpecialDriver>) return "Special";

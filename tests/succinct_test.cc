@@ -3,7 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <map>
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include "succinct/bitvector.h"
@@ -68,6 +71,61 @@ TEST(BitVectorTest, AllZerosAllOnes) {
   EXPECT_EQ(ones.Select1(99), 99u);
 }
 
+TEST(BitVectorTest, SelectOutOfRangeReturnsSize) {
+  // k >= ones() used to underflow in release builds (the assert compiled
+  // out); it must answer size() instead.
+  const BitVector zeros = MakeBv(std::vector<bool>(100, false));
+  EXPECT_EQ(zeros.Select1(0), 100u);
+  EXPECT_EQ(zeros.Select1(7), 100u);
+  const BitVector some = MakeBv({true, false, true, false});
+  EXPECT_EQ(some.Select1(1), 2u);
+  EXPECT_EQ(some.Select1(2), 4u);
+  EXPECT_EQ(some.Select1(1000000), 4u);
+  const BitVector empty = MakeBv({});
+  EXPECT_EQ(empty.Select1(0), 0u);
+}
+
+TEST(BitVectorTest, SelectAcrossSampleBoundaries) {
+  // Densities chosen so consecutive 512-one samples land several
+  // superblocks apart (sparse) or within one (dense).
+  Rng rng(21);
+  for (const double density : {0.02, 0.5, 0.97}) {
+    const size_t n = 200000;
+    std::vector<bool> bits(n);
+    for (size_t i = 0; i < n; ++i) bits[i] = rng.Bernoulli(density);
+    const BitVector bv = MakeBv(bits);
+    std::vector<size_t> positions;
+    for (size_t i = 0; i < n; ++i) {
+      if (bits[i]) positions.push_back(i);
+    }
+    ASSERT_EQ(bv.ones(), positions.size());
+    for (size_t k = 0; k < positions.size();
+         k += 1 + k / 64) {  // dense near 0, sparser later
+      ASSERT_EQ(bv.Select1(k), positions[k]) << "density=" << density;
+    }
+    if (!positions.empty()) {
+      ASSERT_EQ(bv.Select1(positions.size() - 1), positions.back());
+    }
+    ASSERT_EQ(bv.Select1(positions.size()), n);
+  }
+}
+
+TEST(BitVectorTest, RankAtLargeScaleMatchesSampledNaive) {
+  Rng rng(22);
+  const size_t n = 300000;
+  std::vector<bool> bits(n);
+  for (size_t i = 0; i < n; ++i) bits[i] = rng.Bernoulli(0.37);
+  const BitVector bv = MakeBv(bits);
+  std::vector<size_t> prefix(n + 1, 0);
+  for (size_t i = 0; i < n; ++i) {
+    prefix[i + 1] = prefix[i] + (bits[i] ? 1 : 0);
+  }
+  for (int trial = 0; trial < 20000; ++trial) {
+    const size_t i = rng.Uniform(n + 1);
+    ASSERT_EQ(bv.Rank1(i), prefix[i]);
+  }
+}
+
 // ---- WaveletTree ----
 
 void CheckWavelet(const std::vector<int32_t>& data, int32_t sigma) {
@@ -124,6 +182,51 @@ TEST(WaveletTreeTest, LargeRandomRankSpotChecks) {
     ASSERT_EQ(wt.Rank(c, i), want);
     if (i < data.size()) {
       ASSERT_EQ(wt.Access(i), data[i]);
+    }
+  }
+}
+
+TEST(WaveletTreeTest, OutOfAlphabetSymbolsRankZero) {
+  // Symbols outside [0, 2^levels) never occur; Rank must say 0 instead of
+  // descending a truncated bit path into garbage. The only guard used to
+  // live upstream in FmIndex::Range.
+  const std::vector<int32_t> data = {2, 0, 1, 2, 1, 0, 2, 2};
+  const WaveletTree wt(data, 3);  // levels = 2, symbols in [0, 4)
+  for (size_t i = 0; i <= data.size(); ++i) {
+    EXPECT_EQ(wt.Rank(4, i), 0u) << i;    // first symbol past 2^levels
+    EXPECT_EQ(wt.Rank(100, i), 0u) << i;
+    EXPECT_EQ(wt.Rank(-1, i), 0u) << i;   // negative symbols too
+    EXPECT_EQ(wt.Rank(std::numeric_limits<int32_t>::min(), i), 0u) << i;
+    EXPECT_EQ(wt.Rank(std::numeric_limits<int32_t>::max(), i), 0u) << i;
+  }
+  // In-alphabet-width but absent symbol 3 (alphabet_size 3 rounds to 4).
+  EXPECT_EQ(wt.Rank(3, data.size()), 0u);
+  const auto rr = wt.RangeRank(-5, 1, data.size());
+  EXPECT_EQ(rr.first, 0u);
+  EXPECT_EQ(rr.second, 0u);
+}
+
+TEST(WaveletTreeTest, RangeRankMatchesTwoRanks) {
+  Rng rng(6);
+  for (const int32_t sigma : {2, 7, 30, 300}) {
+    std::vector<int32_t> data(5000);
+    for (auto& x : data) x = static_cast<int32_t>(rng.Uniform(sigma));
+    const WaveletTree wt(data, sigma);
+    for (int trial = 0; trial < 3000; ++trial) {
+      const size_t i = rng.Uniform(data.size() + 1);
+      const size_t j = i + rng.Uniform(data.size() + 1 - i);
+      const int32_t c = static_cast<int32_t>(rng.Uniform(sigma + 2)) - 1;
+      const auto [ri, rj] = wt.RangeRank(c, i, j);
+      ASSERT_EQ(ri, wt.Rank(c, i)) << "sigma=" << sigma << " c=" << c;
+      ASSERT_EQ(rj, wt.Rank(c, j)) << "sigma=" << sigma << " c=" << c;
+    }
+    // Degenerate interval: equal, exact ranks.
+    for (int trial = 0; trial < 200; ++trial) {
+      const size_t i = rng.Uniform(data.size() + 1);
+      const int32_t c = static_cast<int32_t>(rng.Uniform(sigma));
+      const auto [ri, rj] = wt.RangeRank(c, i, i);
+      ASSERT_EQ(ri, wt.Rank(c, i));
+      ASSERT_EQ(rj, ri);
     }
   }
 }
@@ -202,6 +305,82 @@ TEST(FmIndexTest, PatternWithForeignSymbolRejected) {
   const FmIndex fm(t.chars(), st.sa(), t.alphabet_size());
   EXPECT_FALSE(fm.Range({'z'}).has_value());
   EXPECT_FALSE(fm.Range({'a', 'z'}).has_value());
+}
+
+TEST(FmIndexTest, NegativePatternSymbolsRejected) {
+  // -1 used to map onto the terminator ($ = 0) and could report a bogus
+  // match; any negative symbol must yield "absent", not an occurrence.
+  Text t;
+  t.AppendMember(std::string("abracadabra"));
+  const SuffixTree st = SuffixTree::Build(&t.chars(), t.alphabet_size());
+  const FmIndex fm(t.chars(), st.sa(), t.alphabet_size());
+  EXPECT_FALSE(fm.Range({-1}).has_value());
+  EXPECT_FALSE(fm.Range({'a', -1}).has_value());
+  EXPECT_FALSE(fm.Range({-1, 'a'}).has_value());
+  EXPECT_FALSE(
+      fm.Range({std::numeric_limits<int32_t>::min(), 'b'}).has_value());
+  EXPECT_FALSE(
+      fm.Range({std::numeric_limits<int32_t>::max()}).has_value());
+  // The stepwise API enforces the same bounds.
+  int64_t sp = 0, ep = static_cast<int64_t>(fm.bwt_size());
+  EXPECT_FALSE(fm.ExtendLeft(0, &sp, &ep));   // the terminator itself
+  EXPECT_FALSE(fm.ExtendLeft(-1, &sp, &ep));
+  EXPECT_FALSE(fm.ExtendLeft(1 << 20, &sp, &ep));
+  EXPECT_EQ(sp, 0);  // failed steps leave the range untouched
+  EXPECT_EQ(ep, static_cast<int64_t>(fm.bwt_size()));
+}
+
+TEST(FmIndexTest, ExtendLeftMatchesRange) {
+  Text t;
+  t.AppendMember(std::string("abracadabraabracadabra"));
+  t.AppendMember(std::string("cadabraabr"));
+  const SuffixTree st = SuffixTree::Build(&t.chars(), t.alphabet_size());
+  const FmIndex fm(t.chars(), st.sa(), t.alphabet_size());
+  Rng rng(19);
+  for (int trial = 0; trial < 400; ++trial) {
+    std::vector<int32_t> pattern;
+    const size_t len = 1 + rng.Uniform(7);
+    for (size_t k = 0; k < len; ++k) {
+      pattern.push_back(static_cast<int32_t>('a' + rng.Uniform(5)));
+    }
+    // Drive the search one ExtendLeft at a time, right to left.
+    int64_t sp = 0, ep = static_cast<int64_t>(fm.bwt_size());
+    bool alive = true;
+    for (size_t k = pattern.size(); k-- > 0 && alive;) {
+      alive = fm.ExtendLeft(int64_t{pattern[k]} + 1, &sp, &ep);
+    }
+    const auto stepwise =
+        alive ? FmIndex::ToSaRange(sp, ep) : std::nullopt;
+    const auto oneshot = fm.Range(pattern);
+    ASSERT_EQ(stepwise.has_value(), oneshot.has_value());
+    if (stepwise.has_value()) {
+      ASSERT_EQ(stepwise->first, oneshot->first);
+      ASSERT_EQ(stepwise->second, oneshot->second);
+    }
+  }
+  // Resuming from a shared suffix gives the same range as from scratch:
+  // extend "bra", then reuse its range for both "abra" and "xbra".
+  const auto BwtRange = [&fm](const std::vector<int32_t>& p, int64_t* sp,
+                              int64_t* ep) {
+    *sp = 0;
+    *ep = static_cast<int64_t>(fm.bwt_size());
+    for (size_t k = p.size(); k-- > 0;) {
+      if (!fm.ExtendLeft(int64_t{p[k]} + 1, sp, ep)) return false;
+    }
+    return true;
+  };
+  int64_t sp = 0, ep = 0;
+  ASSERT_TRUE(BwtRange({'b', 'r', 'a'}, &sp, &ep));
+  int64_t sp2 = sp, ep2 = ep;
+  ASSERT_TRUE(fm.ExtendLeft(int64_t{'a'} + 1, &sp2, &ep2));
+  const auto resumed = FmIndex::ToSaRange(sp2, ep2);
+  const auto direct = fm.Range({'a', 'b', 'r', 'a'});
+  ASSERT_TRUE(resumed.has_value());
+  ASSERT_TRUE(direct.has_value());
+  EXPECT_EQ(resumed->first, direct->first);
+  EXPECT_EQ(resumed->second, direct->second);
+  int64_t sp3 = sp, ep3 = ep;
+  EXPECT_FALSE(fm.ExtendLeft(int64_t{'x'} + 1, &sp3, &ep3));
 }
 
 TEST(FmIndexTest, MemorySmallerThanTree) {
