@@ -1,0 +1,277 @@
+// Serving-engine benchmarks (not a paper figure): what the async front end
+// buys over calling the index synchronously, on serving-shaped traffic
+// (a bounded pool of hot patterns cycled with repetition).
+//
+//   (a) throughput: per-query synchronous loop vs synchronous QueryBatch vs
+//       the ServingEngine under 8 concurrent submitters, at increasing
+//       pattern reuse. Reuse is where the engine wins: repeats are answered
+//       by the (pattern, tau) cache or merged into one in-flight execution
+//       instead of re-walking the index.
+//   (b) request latency p50/p99 in a closed loop (8 clients, one request in
+//       flight each). linger=0 shows the raw dispatch path; linger=200us
+//       shows the coalescing window's cost on misses — hits bypass the
+//       queue entirely, so p50 stays flat while p99 absorbs the linger.
+//   (c) cache-hit sweep (single submitter): distinct-pattern count D from
+//       hot (D=16) to cold (D=1024) over 2048 requests. "execs" is the
+//       engine's unique executions (exactly D when the cache carries all
+//       repeats), "reuse pct" the deduplicated fraction of submits.
+//
+// The engine always runs 2 drain workers so numbers are comparable across
+// machines; timing is machine-relative (scripts/check_bench.py tolerances).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/substring_index.h"
+#include "datagen/datagen.h"
+#include "engine/serving_engine.h"
+#include "engine/sharded_index.h"
+
+namespace pti {
+namespace {
+
+constexpr double kTheta = 0.2;
+constexpr double kTauMin = 0.1;
+constexpr double kTau = 0.1;
+constexpr int32_t kOverlap = 32;
+constexpr size_t kRequests = 2048;
+constexpr int32_t kWorkers = 2;
+constexpr size_t kClients = 8;
+
+UncertainString MakeInput(int64_t n) {
+  DatasetOptions data;
+  data.length = n;
+  data.theta = kTheta;
+  data.seed = 71;
+  return GenerateUncertainString(data);
+}
+
+ShardedIndex BuildSharded(const UncertainString& s) {
+  ShardedIndexOptions options;
+  options.index.transform.tau_min = kTauMin;
+  options.num_shards = 4;
+  options.overlap = kOverlap;
+  options.num_threads = kWorkers;
+  auto index = ShardedIndex::Build(s, options);
+  if (!index.ok()) {
+    std::fprintf(stderr, "sharded build failed: %s\n",
+                 index.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(index).value();
+}
+
+// `total` requests drawn from a pool of `distinct` patterns of mixed length
+// (2..8, evenly represented), interleaved by a fixed stride so repeats are
+// spread out rather than adjacent. Short patterns have large occurrence
+// lists — the expensive hot queries a serving cache exists to amortize.
+std::vector<BatchQuery> Workload(const UncertainString& s, size_t total,
+                                 size_t distinct, uint64_t seed) {
+  std::vector<std::string> pool;
+  pool.reserve(distinct);
+  const size_t per_length = (distinct + 6) / 7;
+  for (size_t len = 2; len <= 8 && pool.size() < distinct; ++len) {
+    const auto sampled = SamplePatterns(s, per_length, len, seed + len);
+    for (const auto& p : sampled) {
+      if (pool.size() == distinct) break;
+      pool.push_back(p);
+    }
+  }
+  std::vector<BatchQuery> queries;
+  queries.reserve(total);
+  for (size_t i = 0; i < total; ++i) {
+    queries.push_back({pool[(i * 13 + 7) % pool.size()], kTau});
+  }
+  return queries;
+}
+
+ServingOptions EngineOptions(int64_t linger_us = 200) {
+  ServingOptions options;
+  options.max_batch = 64;
+  options.linger_us = linger_us;
+  options.num_workers = kWorkers;
+  options.cache_bytes = size_t{16} << 20;
+  return options;
+}
+
+/// Time to answer the whole workload through a fresh engine with `clients`
+/// concurrent submitters (cold cache at the start, as a serving process
+/// would warm it).
+double EngineMs(const UncertainString& s,
+                const std::vector<BatchQuery>& queries, size_t clients,
+                const ServingOptions& options) {
+  ServingEngine engine(BuildSharded(s), options);
+  std::vector<std::future<ServingEngine::Result>> futures(queries.size());
+  return bench::TimeMs([&] {
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        for (size_t i = c; i < queries.size(); i += clients) {
+          futures[i] = engine.Submit(queries[i].pattern, queries[i].tau);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    for (auto& f : futures) (void)f.get();
+  });
+}
+
+void PanelA(bool full) {
+  const int64_t n = full ? 200000 : 30000;
+  const UncertainString s = MakeInput(n);
+  const ShardedIndex index = BuildSharded(s);
+
+  bench::Table table("reuse");
+  table.SetColumns({"loop", "batch", "engine", "speedup"});
+  for (const size_t distinct : {kRequests, kRequests / 8, kRequests / 32}) {
+    const auto queries = Workload(s, kRequests, distinct, 5000 + distinct);
+    std::vector<Match> out;
+    std::vector<std::vector<Match>> batch_out;
+    for (const auto& q : queries) (void)index.Query(q.pattern, q.tau, &out);
+    (void)index.QueryBatch(queries, &batch_out);
+    double loop_ms = 1e300, batch_ms = 1e300, engine_ms = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      loop_ms = std::min(loop_ms, bench::TimeMs([&] {
+        for (const auto& q : queries) {
+          (void)index.Query(q.pattern, q.tau, &out);
+        }
+      }));
+      batch_ms = std::min(batch_ms, bench::TimeMs([&] {
+        (void)index.QueryBatch(queries, &batch_out);
+      }));
+      engine_ms =
+          std::min(engine_ms, EngineMs(s, queries, kClients, EngineOptions()));
+    }
+    const double per = static_cast<double>(queries.size());
+    table.AddRow(std::to_string(kRequests / distinct) + "x",
+                 {loop_ms * 1000.0 / per, batch_ms * 1000.0 / per,
+                  engine_ms * 1000.0 / per, loop_ms / engine_ms});
+  }
+  table.Print("Serving (a): throughput, sync loop vs batch vs async engine "
+              "(2048 requests, 8 clients)",
+              "us/query; speedup is a ratio");
+}
+
+double Percentile(std::vector<double>* sorted, double p) {
+  std::sort(sorted->begin(), sorted->end());
+  const size_t idx = static_cast<size_t>(p * static_cast<double>(
+      sorted->size() - 1));
+  return (*sorted)[idx];
+}
+
+void PanelB(bool full) {
+  const int64_t n = full ? 200000 : 30000;
+  const UncertainString s = MakeInput(n);
+  const auto queries = Workload(s, kRequests, kRequests / 32, 6000);
+
+  bench::Table table("config");
+  table.SetColumns({"p50", "p99"});
+
+  {
+    const ShardedIndex index = BuildSharded(s);
+    std::vector<Match> out;
+    for (const auto& q : queries) (void)index.Query(q.pattern, q.tau, &out);
+    std::vector<double> lat;
+    lat.reserve(queries.size());
+    for (const auto& q : queries) {
+      const auto start = std::chrono::steady_clock::now();
+      (void)index.Query(q.pattern, q.tau, &out);
+      lat.push_back(std::chrono::duration<double, std::micro>(
+                        std::chrono::steady_clock::now() - start)
+                        .count());
+    }
+    table.AddRow("sync", {Percentile(&lat, 0.5), Percentile(&lat, 0.99)});
+  }
+
+  for (const int64_t linger_us : {int64_t{0}, int64_t{200}}) {
+    ServingEngine engine(BuildSharded(s), EngineOptions(linger_us));
+    std::vector<double> lat(queries.size());
+    std::vector<std::thread> threads;
+    threads.reserve(kClients);
+    for (size_t c = 0; c < kClients; ++c) {
+      threads.emplace_back([&, c] {
+        for (size_t i = c; i < queries.size(); i += kClients) {
+          const auto start = std::chrono::steady_clock::now();
+          (void)engine.Submit(queries[i].pattern, queries[i].tau).get();
+          lat[i] = std::chrono::duration<double, std::micro>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    table.AddRow("eng l=" + std::to_string(linger_us),
+                 {Percentile(&lat, 0.5), Percentile(&lat, 0.99)});
+  }
+  table.Print("Serving (b): closed-loop request latency, 8 clients "
+              "(64 hot patterns)",
+              "us");
+}
+
+void PanelC(bool full) {
+  const int64_t n = full ? 200000 : 30000;
+  const UncertainString s = MakeInput(n);
+  const ShardedIndex index = BuildSharded(s);
+
+  bench::Table table("distinct");
+  table.SetColumns({"execs", "reuse pct", "engine", "loop"});
+  for (const size_t distinct : {size_t{16}, size_t{64}, size_t{256},
+                                size_t{1024}}) {
+    const auto queries = Workload(s, kRequests, distinct, 7000 + distinct);
+    std::vector<Match> out;
+    for (const auto& q : queries) (void)index.Query(q.pattern, q.tau, &out);
+    const double loop_ms = bench::TimeMs([&] {
+      for (const auto& q : queries) {
+        (void)index.Query(q.pattern, q.tau, &out);
+      }
+    });
+
+    double engine_ms = 1e300;
+    uint64_t execs = 0, reused = 0;
+    for (int rep = 0; rep < 3; ++rep) {
+      ServingEngine engine(BuildSharded(s), EngineOptions());
+      std::vector<std::future<ServingEngine::Result>> futures(queries.size());
+      engine_ms = std::min(engine_ms, bench::TimeMs([&] {
+        for (size_t i = 0; i < queries.size(); ++i) {
+          futures[i] = engine.Submit(queries[i].pattern, queries[i].tau);
+        }
+        for (auto& f : futures) (void)f.get();
+      }));
+      const auto stats = engine.stats();
+      execs = stats.batched_queries + stats.fallback_queries;
+      reused = stats.cache_hits + stats.inflight_merges;
+    }
+    const double per = static_cast<double>(queries.size());
+    table.AddRow("D=" + std::to_string(distinct),
+                 {static_cast<double>(execs),
+                  100.0 * static_cast<double>(reused) / per,
+                  engine_ms * 1000.0 / per, loop_ms * 1000.0 / per});
+  }
+  table.Print("Serving (c): cache-hit sweep, single submitter "
+              "(2048 requests)",
+              "execs; reuse pct; us/query");
+}
+
+}  // namespace
+
+void RunServing(const bench::Args& args) {
+  std::printf("=== bench_serving (%s scale) ===\n",
+              args.full ? "paper" : "default");
+  if (bench::RunPanel(args, "a")) PanelA(args.full);
+  if (bench::RunPanel(args, "b")) PanelB(args.full);
+  if (bench::RunPanel(args, "c")) PanelC(args.full);
+}
+
+}  // namespace pti
+
+int main(int argc, char** argv) {
+  pti::RunServing(pti::bench::ParseArgs(argc, argv));
+  return 0;
+}

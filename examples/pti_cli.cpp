@@ -14,6 +14,13 @@
 //                                                sharded index); the file has
 //                                                one pattern per line with an
 //                                                optional per-line tau
+//   pti_cli serve <index.pti> <patterns.txt|-> <tau> [--clients=N]
+//                 [--batch-max=N] [--linger-us=N] [--cache-mb=N] [--threads=T]
+//                                                async serving engine: N client
+//                                                threads submit the workload
+//                                                concurrently; results print in
+//                                                input order, engine stats go
+//                                                to stderr; "-" reads stdin
 //   pti_cli topk  <index.pti> <pattern> <tau> <k>  k best occurrences (substring)
 //   pti_cli stat  <index.pti>                    index statistics (any kind)
 //   pti_cli gen   <n> <theta> <seed> <out.pus>   §8.1 synthetic data
@@ -28,13 +35,18 @@
 // malformed arguments). Errors and diagnostics go to stderr; stdout carries
 // only the machine-readable results.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <future>
+#include <iostream>
 #include <limits>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/approx_index.h"
@@ -44,6 +56,7 @@
 #include "core/substring_index.h"
 #include "core/usformat.h"
 #include "datagen/datagen.h"
+#include "engine/serving_engine.h"
 #include "engine/sharded_index.h"
 
 namespace {
@@ -64,6 +77,9 @@ int Usage() {
                "                        [--shards=K] [--overlap=N] [--threads=T] [--compact]\n"
                "  pti_cli query <index.pti> <pattern> <tau>\n"
                "  pti_cli batch <index.pti> <patterns.txt> <tau> [--threads=T]\n"
+               "  pti_cli serve <index.pti> <patterns.txt|-> <tau> [--clients=N]\n"
+               "                [--batch-max=N] [--linger-us=N] [--cache-mb=N]\n"
+               "                [--threads=T]\n"
                "  pti_cli topk  <index.pti> <pattern> <tau> <k>\n"
                "  pti_cli stat  <index.pti>\n"
                "  pti_cli gen   <n> <theta> <seed> <out.pus>\n");
@@ -101,12 +117,21 @@ struct Flags {
   int64_t threads = 0;
   bool threads_set = false;
   bool compact = false;
+  // serve defaults; see ServingOptions for the engine-side semantics.
+  int64_t clients = 4;
+  int64_t batch_max = 64;
+  int64_t linger_us = 200;
+  int64_t cache_mb = 16;
 };
 
 constexpr unsigned kFlagShards = 1u << 0;
 constexpr unsigned kFlagOverlap = 1u << 1;
 constexpr unsigned kFlagThreads = 1u << 2;
 constexpr unsigned kFlagCompact = 1u << 3;
+constexpr unsigned kFlagClients = 1u << 4;
+constexpr unsigned kFlagBatchMax = 1u << 5;
+constexpr unsigned kFlagLingerUs = 1u << 6;
+constexpr unsigned kFlagCacheMb = 1u << 7;
 
 bool SplitArgs(int argc, char** argv, unsigned allowed,
                std::vector<const char*>* positional, Flags* flags,
@@ -140,6 +165,22 @@ bool SplitArgs(int argc, char** argv, unsigned allowed,
       target = &flags->threads;
       value = arg + 10;
       flag = kFlagThreads;
+    } else if (std::strncmp(arg, "--clients=", 10) == 0) {
+      target = &flags->clients;
+      value = arg + 10;
+      flag = kFlagClients;
+    } else if (std::strncmp(arg, "--batch-max=", 12) == 0) {
+      target = &flags->batch_max;
+      value = arg + 12;
+      flag = kFlagBatchMax;
+    } else if (std::strncmp(arg, "--linger-us=", 12) == 0) {
+      target = &flags->linger_us;
+      value = arg + 12;
+      flag = kFlagLingerUs;
+    } else if (std::strncmp(arg, "--cache-mb=", 11) == 0) {
+      target = &flags->cache_mb;
+      value = arg + 11;
+      flag = kFlagCacheMb;
     } else {
       *bad = std::string("unknown flag ") + arg;
       return false;
@@ -502,6 +543,122 @@ int CmdBatch(int argc, char** argv) {
   return PrintBatchResults(queries, results);
 }
 
+// Serving front end: N client threads submit the workload concurrently to a
+// ServingEngine; the engine coalesces them into micro-batches and serves
+// repeats from its (pattern, tau) cache. Results print in input order, in
+// the same format as `batch`; requests that fail individually are reported
+// on stderr without suppressing their batch-mates' output.
+int CmdServe(int argc, char** argv) {
+  std::vector<const char*> pos;
+  Flags flags;
+  std::string bad;
+  if (!SplitArgs(argc, argv,
+                 kFlagClients | kFlagBatchMax | kFlagLingerUs | kFlagCacheMb |
+                     kFlagThreads,
+                 &pos, &flags, &bad)) {
+    return UsageError(bad);
+  }
+  if (pos.size() != 3) return Usage();
+  if (flags.clients < 1 || flags.clients > 256) {
+    return UsageError("bad value in --clients (want 1..256)");
+  }
+  double tau = 0.0;
+  if (!ParseDouble(pos[2], &tau)) {
+    return UsageError(std::string("bad tau '") + pos[2] + "'");
+  }
+  std::string blob;
+  auto kind = ReadIndexBlob(pos[0], &blob);
+  if (!kind.ok()) return Fail(kind.status().ToString());
+
+  std::string patterns_text;
+  if (std::strcmp(pos[1], "-") == 0) {
+    std::ostringstream buf;
+    buf << std::cin.rdbuf();
+    patterns_text = buf.str();
+  } else if (!ReadFile(pos[1], &patterns_text)) {
+    return Fail(std::string("cannot read ") + pos[1]);
+  }
+  std::vector<pti::BatchQuery> queries;
+  const pti::Status parsed = ParsePatternsFile(patterns_text, tau, &queries);
+  if (!parsed.ok()) return Fail(parsed.ToString());
+
+  pti::ServingOptions options;
+  options.max_batch = static_cast<int32_t>(flags.batch_max);
+  options.linger_us = flags.linger_us;
+  options.num_workers = static_cast<int32_t>(flags.threads);
+  options.cache_bytes = static_cast<size_t>(flags.cache_mb) << 20;
+
+  std::unique_ptr<pti::ServingEngine> engine;
+  switch (*kind) {
+    case pti::serde::IndexKind::kSubstring: {
+      auto index = pti::SubstringIndex::Load(blob);
+      if (!index.ok()) return Fail(index.status().ToString());
+      engine.reset(
+          new pti::ServingEngine(std::move(index).value(), options));
+      break;
+    }
+    case pti::serde::IndexKind::kSharded: {
+      auto index = pti::ShardedIndex::Load(
+          blob, static_cast<int32_t>(flags.threads));
+      if (!index.ok()) return Fail(index.status().ToString());
+      engine.reset(
+          new pti::ServingEngine(std::move(index).value(), options));
+      break;
+    }
+    default:
+      return Fail("serve requires a substring or sharded index, got a " +
+                  std::string(pti::serde::KindName(*kind)) + " index");
+  }
+
+  const size_t clients =
+      std::min<size_t>(static_cast<size_t>(flags.clients),
+                       queries.empty() ? 1 : queries.size());
+  std::vector<std::future<pti::ServingEngine::Result>> futures(queries.size());
+  std::vector<std::thread> client_threads;
+  client_threads.reserve(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    client_threads.emplace_back([c, clients, &queries, &futures, &engine] {
+      for (size_t i = c; i < queries.size(); i += clients) {
+        futures[i] = engine->Submit(queries[i].pattern, queries[i].tau);
+      }
+    });
+  }
+  for (auto& t : client_threads) t.join();
+
+  size_t total = 0;
+  size_t failed = 0;
+  std::string first_error;
+  for (size_t i = 0; i < futures.size(); ++i) {
+    pti::ServingEngine::Result result = futures[i].get();
+    if (!result.status.ok()) {
+      if (failed == 0) first_error = result.status.ToString();
+      ++failed;
+      continue;
+    }
+    for (const auto& m : result.matches) {
+      std::printf("%zu\t%lld\t%.6f\n", i,
+                  static_cast<long long>(m.position), m.probability);
+    }
+    total += result.matches.size();
+  }
+  const auto stats = engine->stats();
+  std::fprintf(stderr,
+               "%zu quer%s, %zu match(es), %zu client(s)\n"
+               "serving: %llu batches (%llu batched), %llu cache hits, "
+               "%llu merges, %llu fallbacks\n",
+               queries.size(), queries.size() == 1 ? "y" : "ies", total,
+               clients, static_cast<unsigned long long>(stats.batches),
+               static_cast<unsigned long long>(stats.batched_queries),
+               static_cast<unsigned long long>(stats.cache_hits),
+               static_cast<unsigned long long>(stats.inflight_merges),
+               static_cast<unsigned long long>(stats.fallback_queries));
+  if (failed > 0) {
+    return Fail(std::to_string(failed) + " request(s) failed; first: " +
+                first_error);
+  }
+  return 0;
+}
+
 int CmdTopK(int argc, char** argv) {
   if (argc != 6) return Usage();
   std::string blob;
@@ -652,6 +809,7 @@ int main(int argc, char** argv) {
   if (cmd == "build-sharded") return CmdBuildSharded(argc, argv);
   if (cmd == "query") return CmdQuery(argc, argv);
   if (cmd == "batch") return CmdBatch(argc, argv);
+  if (cmd == "serve") return CmdServe(argc, argv);
   if (cmd == "topk") return CmdTopK(argc, argv);
   if (cmd == "stat") return CmdStat(argc, argv);
   if (cmd == "gen") return CmdGen(argc, argv);

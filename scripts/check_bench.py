@@ -28,6 +28,12 @@ on comparable hardware, and pass a generous --tolerance (CI uses 5.0) when
 the reference machine differs. bench_ablation_rmq emits google-benchmark
 output, not tables; --update captures it for reference but it is never
 compared.
+
+Paper-scale runs: --full passes --full to every bench binary; pair it with
+--baseline-dir docs/baselines/full, which holds the full-scale tables (the
+scheduled bench-full workflow checks them weekly). --save-dir writes each
+fresh run's raw output alongside the comparison so CI can upload it as an
+artifact.
 """
 
 import argparse
@@ -45,6 +51,7 @@ TABLE_BENCHES = [
     "bench_fig7_substring",
     "bench_fig8_listing",
     "bench_fig9_construction",
+    "bench_serving",
     "bench_sharding",
 ]
 # Captured for reference in --update mode, never compared (google-benchmark
@@ -178,9 +185,9 @@ def compare(bench, base_tables, fresh_tables, tolerance, abs_floor):
     return problems
 
 
-def run_bench(path, args):
+def run_bench(path, args, timeout=1800):
     result = subprocess.run([path, *args], capture_output=True, text=True,
-                            timeout=1800)
+                            timeout=timeout)
     if result.returncode != 0:
         raise ParseError(
             f"{os.path.basename(path)} exited {result.returncode}: "
@@ -205,7 +212,24 @@ def main():
                     help="overwrite the baselines with a fresh run")
     ap.add_argument("--only", action="append", default=None,
                     help="restrict to the named bench(es)")
+    ap.add_argument("--full", action="store_true",
+                    help="run every bench at paper scale (passes --full); "
+                         "pair with --baseline-dir docs/baselines/full")
+    ap.add_argument("--save-dir", default=None,
+                    help="also write each fresh run's raw output to this "
+                         "directory (for CI artifacts)")
     args = ap.parse_args()
+
+    bench_args = ["--full"] if args.full else []
+    # Paper scale is an order of magnitude bigger; give stragglers room.
+    bench_timeout = 7200 if args.full else 1800
+
+    def save_raw(bench, out):
+        if args.save_dir is None:
+            return
+        os.makedirs(args.save_dir, exist_ok=True)
+        with open(os.path.join(args.save_dir, bench + ".txt"), "w") as f:
+            f.write(out)
 
     benches = args.only or TABLE_BENCHES
     for b in benches:
@@ -216,20 +240,26 @@ def main():
     if args.update:
         os.makedirs(args.baseline_dir, exist_ok=True)
         capture = list(benches)
-        if args.only is None:
+        if args.only is None and not args.full:
+            # google-benchmark binaries have no --full flag; their reference
+            # captures exist at default scale only.
             capture += CAPTURE_ONLY_BENCHES
         for bench in capture:
+            if args.full and bench in CAPTURE_ONLY_BENCHES:
+                print(f"skip {bench}: capture-only, no --full support")
+                continue
             path = os.path.join(args.bench_dir, bench)
             if not os.path.exists(path):
                 print(f"skip {bench}: binary not built")
                 continue
             print(f"capturing {bench} ...")
-            out = run_bench(path, [])
+            out = run_bench(path, bench_args, bench_timeout)
             if bench in TABLE_BENCHES:
                 parse_tables(out)  # refuse to store unparseable baselines
             with open(os.path.join(args.baseline_dir, bench + ".txt"),
                       "w") as f:
                 f.write(out)
+            save_raw(bench, out)
         print(f"baselines written to {args.baseline_dir}")
         return 0
 
@@ -250,7 +280,9 @@ def main():
         try:
             with open(baseline_path) as f:
                 base_tables = parse_tables(f.read())
-            fresh_tables = parse_tables(run_bench(binary, []))
+            fresh = run_bench(binary, bench_args, bench_timeout)
+            save_raw(bench, fresh)
+            fresh_tables = parse_tables(fresh)
         except ParseError as e:
             all_problems.append(f"{bench}: {e}")
             continue

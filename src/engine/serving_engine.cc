@@ -1,0 +1,302 @@
+#include "engine/serving_engine.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/lru_cache.h"
+#include "util/thread_pool.h"
+
+namespace pti {
+
+namespace {
+
+// Cache key: the pattern bytes, a NUL separator, then the exact bit pattern
+// of tau — distinct taus must never share an entry, and bit-exact equality
+// is the only comparison that keeps cached results bit-identical to the
+// synchronous path.
+std::string CacheKey(const std::string& pattern, double tau) {
+  std::string key;
+  key.reserve(pattern.size() + 9);
+  key.append(pattern);
+  key.push_back('\0');
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(tau), "double must be 64-bit");
+  std::memcpy(&bits, &tau, sizeof(bits));
+  for (int i = 0; i < 8; ++i) {
+    key.push_back(static_cast<char>((bits >> (8 * i)) & 0xff));
+  }
+  return key;
+}
+
+// Approximate bytes a cached entry pins: key + matches + list/map node
+// bookkeeping in LruCache.
+size_t EntryCharge(const std::string& key, const std::vector<Match>& matches) {
+  return key.size() + matches.size() * sizeof(Match) + 96;
+}
+
+ServingOptions Resolve(ServingOptions options) {
+  if (options.max_batch < 1) options.max_batch = 1;
+  if (options.linger_us < 0) options.linger_us = 0;
+  options.num_workers = ResolveThreadCount(options.num_workers);
+  return options;
+}
+
+}  // namespace
+
+struct ServingEngine::Impl {
+  // One unique (pattern, tau) awaiting or undergoing execution; every
+  // duplicate Submit attaches another waiter. waiters is guarded by mu.
+  struct Request {
+    std::string pattern;
+    double tau = 0.0;
+    std::string key;
+    std::chrono::steady_clock::time_point enqueued;
+    std::vector<std::promise<Result>> waiters;
+  };
+
+  Impl(ShardedIndex s, SubstringIndex m, bool is_sharded,
+       const ServingOptions& opts)
+      : sharded(std::move(s)),
+        mono(std::move(m)),
+        use_sharded(is_sharded),
+        options(Resolve(opts)),
+        cache(options.cache_bytes, options.cache_shards),
+        pool(options.num_workers) {
+    for (int32_t w = 0; w < options.num_workers; ++w) {
+      pool.Submit([this] { WorkerLoop(); });
+    }
+  }
+
+  Status ExecuteBatch(const std::vector<BatchQuery>& queries,
+                      std::vector<std::vector<Match>>* out) const {
+    return use_sharded ? sharded.QueryBatch(queries, out)
+                       : mono.QueryBatch(queries, out);
+  }
+
+  Status ExecuteOne(const std::string& pattern, double tau,
+                    std::vector<Match>* out) const {
+    return use_sharded ? sharded.Query(pattern, tau, out)
+                       : mono.Query(pattern, tau, out);
+  }
+
+  void WorkerLoop() {
+    const auto linger = std::chrono::microseconds(options.linger_us);
+    for (;;) {
+      std::vector<std::shared_ptr<Request>> batch;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        ready.wait(lock, [this] { return stop || !queue.empty(); });
+        if (queue.empty()) return;  // stop and fully drained
+        const size_t want = static_cast<size_t>(options.max_batch);
+        if (!stop && options.linger_us > 0 && queue.size() < want) {
+          // Let the under-full batch linger (measured from its oldest
+          // request) so bursts from concurrent clients coalesce.
+          const auto deadline = queue.front()->enqueued + linger;
+          ready.wait_until(lock, deadline, [this, want] {
+            return stop || queue.size() >= want;
+          });
+          if (queue.empty()) continue;  // another worker drained it
+        }
+        const size_t take = queue.size() < want ? queue.size() : want;
+        batch.assign(queue.begin(),
+                     queue.begin() + static_cast<ptrdiff_t>(take));
+        queue.erase(queue.begin(), queue.begin() + static_cast<ptrdiff_t>(take));
+      }
+      RunBatch(batch);
+    }
+  }
+
+  void RunBatch(const std::vector<std::shared_ptr<Request>>& batch) {
+    std::vector<BatchQuery> queries;
+    queries.reserve(batch.size());
+    for (const auto& r : batch) queries.push_back({r->pattern, r->tau});
+    std::vector<std::vector<Match>> results;
+    const Status st = ExecuteBatch(queries, &results);
+    batches.fetch_add(1, std::memory_order_relaxed);
+    // Each request lands in exactly one execution counter: batched_queries
+    // when the batched path answered it, fallback_queries when validation
+    // failed and it re-ran individually — so batched + fallback is the
+    // engine's total unique executions.
+    if (st.ok()) {
+      batched_queries.fetch_add(batch.size(), std::memory_order_relaxed);
+      for (size_t i = 0; i < batch.size(); ++i) {
+        Fulfill(*batch[i], Result{Status::OK(), std::move(results[i])});
+      }
+      return;
+    }
+    // The batched path validates all-or-nothing; re-run each request on its
+    // own so one client's invalid query cannot fail its batch-mates.
+    for (const auto& r : batch) {
+      Result result;
+      result.status = ExecuteOne(r->pattern, r->tau, &result.matches);
+      fallback_queries.fetch_add(1, std::memory_order_relaxed);
+      Fulfill(*r, std::move(result));
+    }
+  }
+
+  void Fulfill(Request& request, Result result) {
+    if (result.status.ok() && options.cache_bytes > 0) {
+      cache.Put(request.key, result.matches,
+                EntryCharge(request.key, result.matches));
+    }
+    std::vector<std::promise<Result>> waiters;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      inflight.erase(request.key);
+      waiters = std::move(request.waiters);
+    }
+    for (size_t i = 0; i + 1 < waiters.size(); ++i) {
+      waiters[i].set_value(result);
+    }
+    if (!waiters.empty()) waiters.back().set_value(std::move(result));
+  }
+
+  ShardedIndex sharded;
+  SubstringIndex mono;
+  const bool use_sharded;
+  const ServingOptions options;
+
+  LruCache<std::string, std::vector<Match>> cache;
+
+  std::mutex mu;
+  std::condition_variable ready;
+  std::deque<std::shared_ptr<Request>> queue;
+  std::unordered_map<std::string, std::shared_ptr<Request>> inflight;
+  bool stop = false;
+  // Mirror of `stop` for the lock-free Submit fast path: once Stop()
+  // returns, every later Submit rejects before even probing the cache.
+  std::atomic<bool> stop_flag{false};
+
+  std::atomic<uint64_t> submitted{0};
+  std::atomic<uint64_t> rejected{0};
+  std::atomic<uint64_t> cache_hits{0};
+  std::atomic<uint64_t> cache_misses{0};
+  std::atomic<uint64_t> inflight_merges{0};
+  std::atomic<uint64_t> batches{0};
+  std::atomic<uint64_t> batched_queries{0};
+  std::atomic<uint64_t> fallback_queries{0};
+
+  // Declared last: destroyed first, which joins the workers while every
+  // field they touch is still alive.
+  ThreadPool pool;
+};
+
+ServingEngine::ServingEngine(ShardedIndex index, const ServingOptions& options)
+    : impl_(new Impl(std::move(index), SubstringIndex(), /*is_sharded=*/true,
+                     options)) {}
+
+ServingEngine::ServingEngine(SubstringIndex index,
+                             const ServingOptions& options)
+    : impl_(new Impl(ShardedIndex(), std::move(index), /*is_sharded=*/false,
+                     options)) {}
+
+ServingEngine::~ServingEngine() {
+  Stop();
+  // impl_ destruction joins the worker pool, which drains the queue first.
+}
+
+std::future<ServingEngine::Result> ServingEngine::Submit(std::string pattern,
+                                                         double tau) {
+  std::promise<Result> promise;
+  std::future<Result> future = promise.get_future();
+  Impl& impl = *impl_;
+  if (impl.stop_flag.load(std::memory_order_acquire)) {
+    impl.rejected.fetch_add(1, std::memory_order_relaxed);
+    promise.set_value(
+        Result{Status::NotSupported("serving engine stopped"), {}});
+    return future;
+  }
+  std::string key = CacheKey(pattern, tau);
+  if (impl.options.cache_bytes > 0) {
+    std::vector<Match> cached;
+    if (impl.cache.Get(key, &cached)) {
+      impl.submitted.fetch_add(1, std::memory_order_relaxed);
+      impl.cache_hits.fetch_add(1, std::memory_order_relaxed);
+      promise.set_value(Result{Status::OK(), std::move(cached)});
+      return future;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(impl.mu);
+    if (impl.stop) {
+      // A rejected request counts neither as submitted nor as a miss, so
+      // the counters always reconcile: submitted == hits + merges +
+      // executions, misses == merges + executions.
+      impl.rejected.fetch_add(1, std::memory_order_relaxed);
+      promise.set_value(
+          Result{Status::NotSupported("serving engine stopped"), {}});
+      return future;
+    }
+    impl.submitted.fetch_add(1, std::memory_order_relaxed);
+    if (impl.options.cache_bytes > 0) {
+      impl.cache_misses.fetch_add(1, std::memory_order_relaxed);
+    }
+    auto it = impl.inflight.find(key);
+    if (it != impl.inflight.end()) {
+      impl.inflight_merges.fetch_add(1, std::memory_order_relaxed);
+      it->second->waiters.push_back(std::move(promise));
+      return future;
+    }
+    auto request = std::make_shared<Impl::Request>();
+    request->pattern = std::move(pattern);
+    request->tau = tau;
+    request->key = std::move(key);
+    request->enqueued = std::chrono::steady_clock::now();
+    request->waiters.push_back(std::move(promise));
+    impl.inflight.emplace(request->key, request);
+    impl.queue.push_back(std::move(request));
+  }
+  impl.ready.notify_one();
+  return future;
+}
+
+std::vector<std::future<ServingEngine::Result>> ServingEngine::SubmitBatch(
+    const std::vector<BatchQuery>& queries) {
+  std::vector<std::future<Result>> futures;
+  futures.reserve(queries.size());
+  for (const auto& q : queries) futures.push_back(Submit(q.pattern, q.tau));
+  return futures;
+}
+
+void ServingEngine::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->stop = true;
+  }
+  impl_->stop_flag.store(true, std::memory_order_release);
+  impl_->ready.notify_all();
+}
+
+ServingEngine::Stats ServingEngine::stats() const {
+  const Impl& impl = *impl_;
+  Stats s;
+  s.submitted = impl.submitted.load(std::memory_order_relaxed);
+  s.rejected = impl.rejected.load(std::memory_order_relaxed);
+  s.cache_hits = impl.cache_hits.load(std::memory_order_relaxed);
+  s.cache_misses = impl.cache_misses.load(std::memory_order_relaxed);
+  s.inflight_merges = impl.inflight_merges.load(std::memory_order_relaxed);
+  s.batches = impl.batches.load(std::memory_order_relaxed);
+  s.batched_queries = impl.batched_queries.load(std::memory_order_relaxed);
+  s.fallback_queries = impl.fallback_queries.load(std::memory_order_relaxed);
+  const auto cache_stats = impl.cache.stats();
+  s.cache_entries = cache_stats.entries;
+  s.cache_bytes = cache_stats.bytes;
+  s.cache_evictions = cache_stats.evictions;
+  return s;
+}
+
+const ServingOptions& ServingEngine::options() const {
+  return impl_->options;
+}
+
+}  // namespace pti

@@ -1,0 +1,138 @@
+// ServingEngine: the asynchronous request-queue front end over the query
+// engine — one process serving many concurrent clients (ROADMAP: async
+// serving front end + shard-level caching).
+//
+// Clients call Submit(pattern, tau) and get a std::future<Result>; worker
+// threads (from a util/thread_pool.h pool owned by the engine) drain the
+// pending queue in micro-batches and answer through the batched query path,
+// so concurrent traffic recovers the same locus-descent / backward-search
+// sharing that SubstringIndex::QueryBatch gives a single caller:
+//
+//   clients ──Submit──▶ pending queue ──coalesce (≤ max_batch,    ┌────────┐
+//      │                    │            ≤ linger_us wait) ──────▶│ worker │
+//      │   (pattern,tau) in flight? ──▶ attach to the existing    │ drain  │
+//      │    one execution, N futures     request (merge)          └───┬────┘
+//      ▼                                                              ▼
+//   future<Result> ◀── fulfil ◀── LRU cache (util/lru_cache.h) ◀── QueryBatch
+//
+// Three layers keep repeated work off the index:
+//   * a sharded, byte-budgeted LRU cache on (pattern, tau) holds full result
+//     vectors across batches (ServingOptions::cache_bytes; 0 disables);
+//   * identical in-flight requests are merged: the second Submit of a
+//     (pattern, tau) already queued or executing attaches its promise to the
+//     first execution instead of queueing again;
+//   * within one micro-batch, QueryBatch's own dedup and prefix/suffix
+//     resumption apply as usual.
+//
+// Results are bit-identical to the synchronous path: a cache entry is the
+// exact vector QueryBatch produced, and QueryBatch's contract is that every
+// entry equals what Query would report. When a micro-batch fails the batched
+// path's all-or-nothing validation, the engine falls back to per-request
+// queries so one client's invalid request cannot fail its batch-mates.
+//
+// Shutdown: Stop() (or the destructor) stops accepting — further Submits
+// complete immediately with NotSupported — then drains every accepted
+// request before the workers exit, so no future is ever abandoned. The
+// pending queue is unbounded; admission control is the caller's job.
+
+#ifndef PTI_ENGINE_SERVING_ENGINE_H_
+#define PTI_ENGINE_SERVING_ENGINE_H_
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/match.h"
+#include "core/substring_index.h"
+#include "engine/sharded_index.h"
+#include "util/status.h"
+
+namespace pti {
+
+struct ServingOptions {
+  /// Micro-batch size cap: a worker dispatches as soon as this many unique
+  /// requests are pending. Clamped to >= 1.
+  int32_t max_batch = 64;
+  /// How long a worker lets an under-full batch linger, waiting for
+  /// coalescing partners, before dispatching anyway. 0 dispatches
+  /// immediately (no coalescing beyond what is already queued).
+  int64_t linger_us = 200;
+  /// Drain worker threads; 0 means one per hardware thread
+  /// (util/thread_pool.h ResolveThreadCount).
+  int32_t num_workers = 0;
+  /// Byte budget for the (pattern, tau) result cache; 0 disables caching.
+  size_t cache_bytes = size_t{16} << 20;
+  /// Lock stripes of the cache (util/lru_cache.h).
+  int32_t cache_shards = 8;
+};
+
+class ServingEngine {
+ public:
+  /// What a client's future resolves to. status mirrors exactly what the
+  /// synchronous Query/QueryBatch would have returned for this request.
+  struct Result {
+    Status status;
+    std::vector<Match> matches;
+  };
+
+  /// Counter snapshot; all values are cumulative since construction.
+  struct Stats {
+    uint64_t submitted = 0;        ///< Submit calls accepted (incl. merged)
+    uint64_t rejected = 0;         ///< Submit calls after Stop
+    uint64_t cache_hits = 0;       ///< answered from the cache at Submit
+    uint64_t cache_misses = 0;     ///< lookups that missed (then merged
+                                   ///< in flight or queued for execution)
+    uint64_t inflight_merges = 0;  ///< attached to an identical request
+    uint64_t batches = 0;          ///< micro-batches executed
+    uint64_t batched_queries = 0;  ///< unique requests answered by the
+                                   ///< batched path
+    uint64_t fallback_queries = 0; ///< unique requests re-run individually
+                                   ///< after a batch validation failure
+                                   ///< (disjoint from batched_queries)
+    size_t cache_entries = 0;      ///< live cached results
+    size_t cache_bytes = 0;        ///< their summed charge
+    uint64_t cache_evictions = 0;  ///< results evicted by the byte budget
+  };
+
+  /// Serve a sharded index (the intended production shape).
+  explicit ServingEngine(ShardedIndex index,
+                         const ServingOptions& options = {});
+  /// Serve a monolithic index (small deployments, tests).
+  explicit ServingEngine(SubstringIndex index,
+                         const ServingOptions& options = {});
+  /// Stops and drains: blocks until every accepted request is answered.
+  ~ServingEngine();
+
+  ServingEngine(const ServingEngine&) = delete;
+  ServingEngine& operator=(const ServingEngine&) = delete;
+
+  /// Enqueues one query; the future resolves once a worker (or the cache)
+  /// answers it. Never blocks on index work. After Stop, resolves
+  /// immediately with NotSupported.
+  std::future<Result> Submit(std::string pattern, double tau);
+
+  /// Submits every query of the batch; out[i] is the future for queries[i].
+  std::vector<std::future<Result>> SubmitBatch(
+      const std::vector<BatchQuery>& queries);
+
+  /// Stops accepting new requests (they resolve with NotSupported) and lets
+  /// the workers drain everything already accepted. Idempotent; does not
+  /// block — destruction joins the workers.
+  void Stop();
+
+  Stats stats() const;
+
+  /// Options with max_batch / num_workers / cache sizing resolved to the
+  /// values in effect.
+  const ServingOptions& options() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace pti
+
+#endif  // PTI_ENGINE_SERVING_ENGINE_H_

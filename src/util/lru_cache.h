@@ -1,0 +1,162 @@
+// LruCache: a sharded (striped-lock), byte-budgeted LRU map.
+//
+// The serving engine memoizes (pattern, tau) -> result vectors across query
+// batches with one of these in front of execution; many worker and client
+// threads hit it concurrently, so the key space is striped across
+// independently locked shards (shard = hash(key) % num_shards) and every
+// shard owns an equal slice of the byte budget. Eviction is per shard in
+// strict LRU order; an entry whose charge alone exceeds the shard budget is
+// not admitted (a single giant result must not wipe the whole shard).
+//
+// The cache stores values by copy and hands copies back, so a hit can never
+// observe a concurrent eviction. Clear() empties every shard — the serving
+// engine calls it when its index is replaced, which is what keeps reloads
+// from serving stale results.
+
+#ifndef PTI_UTIL_LRU_CACHE_H_
+#define PTI_UTIL_LRU_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace pti {
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class LruCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;   ///< Put calls that stored or replaced an entry
+    uint64_t evictions = 0;    ///< entries pushed out by the byte budget
+    size_t entries = 0;        ///< live entries across all shards
+    size_t bytes = 0;          ///< summed charge of live entries
+    size_t byte_budget = 0;    ///< total budget across all shards
+  };
+
+  /// A zero byte_budget disables the cache (every Get misses, Put is a
+  /// no-op). num_shards is clamped to [1, 256].
+  explicit LruCache(size_t byte_budget, int32_t num_shards = 8)
+      : shards_(static_cast<size_t>(
+            num_shards < 1 ? 1 : (num_shards > 256 ? 256 : num_shards))),
+        per_shard_budget_(byte_budget / shards_.size()),
+        total_budget_(byte_budget) {}
+
+  LruCache(const LruCache&) = delete;
+  LruCache& operator=(const LruCache&) = delete;
+
+  /// Copies the cached value into *out and returns true on a hit; the entry
+  /// becomes most-recently used.
+  bool Get(const Key& key, Value* out) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) {
+      ++shard.misses;
+      return false;
+    }
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    ++shard.hits;
+    *out = it->second->value;
+    return true;
+  }
+
+  /// Stores (or replaces) the entry, charging `charge` bytes against the
+  /// shard's budget and evicting LRU entries to make room. Entries larger
+  /// than the shard budget are not admitted.
+  void Put(const Key& key, Value value, size_t charge) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (charge > per_shard_budget_ || per_shard_budget_ == 0) {
+      auto it = shard.map.find(key);
+      if (it != shard.map.end()) {  // shrink-proof: drop the old entry too
+        shard.bytes -= it->second->charge;
+        shard.lru.erase(it->second);
+        shard.map.erase(it);
+      }
+      return;
+    }
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      shard.bytes -= it->second->charge;
+      it->second->value = std::move(value);
+      it->second->charge = charge;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    } else {
+      shard.lru.push_front(Entry{key, std::move(value), charge});
+      shard.map.emplace(key, shard.lru.begin());
+    }
+    shard.bytes += charge;
+    ++shard.insertions;
+    while (shard.bytes > per_shard_budget_) {
+      const Entry& victim = shard.lru.back();
+      shard.bytes -= victim.charge;
+      shard.map.erase(victim.key);
+      shard.lru.pop_back();
+      ++shard.evictions;
+    }
+  }
+
+  /// Drops every entry (counters survive). Call on index reload so no stale
+  /// result can ever be served against the new index.
+  void Clear() {
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.lru.clear();
+      shard.map.clear();
+      shard.bytes = 0;
+    }
+  }
+
+  Stats stats() const {
+    Stats s;
+    s.byte_budget = total_budget_;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      s.hits += shard.hits;
+      s.misses += shard.misses;
+      s.insertions += shard.insertions;
+      s.evictions += shard.evictions;
+      s.entries += shard.map.size();
+      s.bytes += shard.bytes;
+    }
+    return s;
+  }
+
+  size_t num_shards() const { return shards_.size(); }
+
+ private:
+  struct Entry {
+    Key key;
+    Value value;
+    size_t charge;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  ///< front = most recently used
+    std::unordered_map<Key, typename std::list<Entry>::iterator, Hash> map;
+    size_t bytes = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+  };
+
+  Shard& ShardFor(const Key& key) {
+    return shards_[Hash{}(key) % shards_.size()];
+  }
+
+  std::vector<Shard> shards_;
+  size_t per_shard_budget_;
+  size_t total_budget_;
+};
+
+}  // namespace pti
+
+#endif  // PTI_UTIL_LRU_CACHE_H_

@@ -46,11 +46,7 @@ class ThreadPool {
 
   /// Waits for every submitted task, then joins the workers.
   ~ThreadPool() {
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      stopping_ = true;
-    }
-    wake_.notify_all();
+    Stop();
     for (auto& w : workers_) w.join();
   }
 
@@ -59,14 +55,30 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
-  /// Enqueues a task. Tasks must not throw.
-  void Submit(std::function<void()> fn) {
+  /// Begins shutdown: every task already accepted still runs, but Submit
+  /// rejects from this point on. Idempotent; the destructor calls it. Callers
+  /// that race Submit against Stop (the serving engine's drain path) get a
+  /// deterministic answer either way instead of a silently dropped task.
+  void Stop() {
     {
       std::unique_lock<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    wake_.notify_all();
+  }
+
+  /// Enqueues a task and returns true, or returns false without enqueueing
+  /// when shutdown has begun (a rejected task never runs, and never counts
+  /// toward Wait). Tasks must not throw.
+  bool Submit(std::function<void()> fn) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (stopping_) return false;
       queue_.push_back(std::move(fn));
       ++outstanding_;
     }
     wake_.notify_one();
+    return true;
   }
 
   /// Blocks until every task submitted so far has finished.
@@ -83,7 +95,7 @@ class ThreadPool {
       return;
     }
     for (size_t i = 0; i < count; ++i) {
-      Submit([&fn, i] { fn(i); });
+      if (!Submit([&fn, i] { fn(i); })) fn(i);  // pool stopped: run inline
     }
     Wait();
   }

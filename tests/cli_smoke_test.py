@@ -212,6 +212,48 @@ def main():
     check("batch-bad-line", run("batch", p("d.pti"), p("badpats.txt"), "0.3"),
           1, stderr_has="line 1")
 
+    # ---- serve ----
+    # Same patterns file as batch; results must match batch's output lines
+    # (input-order i<TAB>pos<TAB>prob) with engine stats on stderr.
+    check("serve-substring",
+          run("serve", p("d.pti"), p("pats.txt"), "0.3"), 0,
+          stdout_has="0\t0\t0.490000", stderr_has="3 queries")
+    check("serve-stats-on-stderr",
+          run("serve", p("d.pti"), p("pats.txt"), "0.3"), 0,
+          stderr_has="serving:")
+    check("serve-sharded",
+          run("serve", p("sh.pti"), p("pats.txt"), "0.3", "--clients=2",
+              "--batch-max=8", "--linger-us=50", "--cache-mb=4",
+              "--threads=2"), 0,
+          stderr_has="3 queries")
+    serve_stdin = subprocess.run(
+        [CLI, "serve", p("d.pti"), "-", "0.3"], input="QP\nQ 0.6\n",
+        capture_output=True, text=True)
+    check("serve-stdin", serve_stdin, 0, stdout_has="0\t0\t0.490000",
+          stderr_has="2 queries")
+    check("serve-missing-args", run("serve", p("d.pti")), 2,
+          stderr_has="usage")
+    check("serve-bad-tau", run("serve", p("d.pti"), p("pats.txt"), "x"), 2,
+          stderr_has="bad tau")
+    check("serve-bad-clients",
+          run("serve", p("d.pti"), p("pats.txt"), "0.3", "--clients=0"), 2,
+          stderr_has="bad value")
+    check("serve-inapplicable-flag",
+          run("serve", p("d.pti"), p("pats.txt"), "0.3", "--shards=2"), 2,
+          stderr_has="not supported by this command")
+    check("serve-wrong-kind", run("serve", p("l.pti"), p("pats.txt"), "0.3"),
+          1, stderr_has="requires a substring or sharded")
+    check("serve-missing-patterns",
+          run("serve", p("d.pti"), p("absent.txt"), "0.3"), 1,
+          stderr_has="cannot read")
+    # A failing request (tau below tau_min) reports per-request: batch-mates
+    # still print, the command exits 1 with the failure on stderr.
+    with open(p("mixed.txt"), "w") as f:
+        f.write("QP 0.3\nQP 0.01\n")
+    check("serve-partial-failure",
+          run("serve", p("d.pti"), p("mixed.txt"), "0.3"), 1,
+          stdout_has="0\t0\t0.490000", stderr_has="1 request(s) failed")
+
     # ---- topk ----
     check("topk", run("topk", p("d.pti"), "QP", "0.2", "2"), 0,
           stdout_has="0\t0.490000")

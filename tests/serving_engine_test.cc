@@ -1,0 +1,325 @@
+// engine/serving_engine.h: every future must resolve to exactly what the
+// synchronous path returns — same status, bit-identical matches — under
+// concurrent submitters, with and without the cache, across coalescing
+// configurations; plus in-flight merging, cache reuse, error isolation
+// inside a micro-batch, and the Stop/drain contract. The suite is in the
+// sanitize and tsan CI regexes.
+
+#include "engine/serving_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/substring_index.h"
+#include "engine/sharded_index.h"
+#include "test_util.h"
+
+namespace pti {
+namespace {
+
+constexpr double kTauMin = 0.05;
+
+UncertainString MakeString(int64_t length, uint64_t seed) {
+  test::RandomStringSpec spec;
+  spec.length = length;
+  spec.alphabet = 4;
+  spec.seed = seed;
+  return test::RandomUncertain(spec);
+}
+
+// A serving-shaped workload: a pool of distinct (pattern, tau) pairs cycled
+// with repetition, so the cache, the in-flight merge and the batch dedup all
+// see traffic. Patterns longer than `max_len` never appear.
+std::vector<BatchQuery> Workload(const UncertainString& s, size_t count,
+                                 size_t distinct, size_t max_len,
+                                 uint64_t seed) {
+  Rng rng(seed);
+  const double taus[] = {0.1, 0.2, 0.4, 0.8};
+  std::vector<BatchQuery> pool;
+  for (size_t q = 0; q < distinct; ++q) {
+    const size_t len = 1 + rng.Uniform(max_len);
+    BatchQuery query;
+    if (q % 5 == 0) {
+      query.pattern = test::RandomPattern(4, len, rng.Next());
+    } else {
+      const int64_t start =
+          static_cast<int64_t>(rng.Uniform(s.size() - len + 1));
+      query.pattern = test::PatternFromString(s, start, len, rng.Next());
+    }
+    query.tau = taus[rng.Uniform(4)];
+    pool.push_back(std::move(query));
+  }
+  std::vector<BatchQuery> queries;
+  queries.reserve(count);
+  for (size_t q = 0; q < count; ++q) {
+    queries.push_back(pool[rng.Uniform(pool.size())]);
+  }
+  return queries;
+}
+
+struct Expected {
+  Status status;
+  std::vector<Match> matches;
+};
+
+// Ground truth from the synchronous one-at-a-time path, captured against the
+// same index object the engine will own.
+template <typename Index>
+std::vector<Expected> SyncResults(const Index& index,
+                                  const std::vector<BatchQuery>& queries) {
+  std::vector<Expected> expected(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    expected[i].status =
+        index.Query(queries[i].pattern, queries[i].tau, &expected[i].matches);
+  }
+  return expected;
+}
+
+void ExpectIdentical(const std::vector<Expected>& expected,
+                     std::vector<std::future<ServingEngine::Result>>* futures,
+                     const std::vector<BatchQuery>& queries) {
+  ASSERT_EQ(expected.size(), futures->size());
+  for (size_t i = 0; i < futures->size(); ++i) {
+    ServingEngine::Result result = (*futures)[i].get();
+    EXPECT_EQ(result.status.code(), expected[i].status.code())
+        << "query #" << i << " '" << queries[i].pattern << "' tau "
+        << queries[i].tau << ": " << result.status.ToString() << " vs "
+        << expected[i].status.ToString();
+    // Bit-identical, not merely close: the async path must hand back the
+    // exact vectors the synchronous path computes.
+    EXPECT_TRUE(result.matches == expected[i].matches)
+        << "query #" << i << " '" << queries[i].pattern << "' tau "
+        << queries[i].tau
+        << "\n  async: " << test::MatchesToString(result.matches)
+        << "\n  sync:  " << test::MatchesToString(expected[i].matches);
+  }
+}
+
+SubstringIndex BuildMono(const UncertainString& s) {
+  IndexOptions options;
+  options.transform.tau_min = kTauMin;
+  auto index = SubstringIndex::Build(s, options);
+  EXPECT_TRUE(index.ok()) << index.status().ToString();
+  return std::move(index).value();
+}
+
+ShardedIndex BuildShardedIndex(const UncertainString& s, int32_t overlap) {
+  ShardedIndexOptions options;
+  options.index.transform.tau_min = kTauMin;
+  options.num_shards = 4;
+  options.overlap = overlap;
+  options.num_threads = 2;
+  auto index = ShardedIndex::Build(s, options);
+  EXPECT_TRUE(index.ok()) << index.status().ToString();
+  return std::move(index).value();
+}
+
+TEST(ServingEngineTest, MonolithicResultsIdenticalToSynchronousPath) {
+  const UncertainString s = MakeString(300, 11);
+  SubstringIndex index = BuildMono(s);
+  const auto queries = Workload(s, 150, 40, 10, 12);
+  const auto expected = SyncResults(index, queries);
+
+  for (const size_t cache_bytes : {size_t{0}, size_t{1} << 20}) {
+    SubstringIndex own = BuildMono(s);
+    ServingOptions options;
+    options.cache_bytes = cache_bytes;
+    options.max_batch = 16;
+    options.linger_us = 100;
+    options.num_workers = 2;
+    ServingEngine engine(std::move(own), options);
+    auto futures = engine.SubmitBatch(queries);
+    ExpectIdentical(expected, &futures, queries);
+  }
+}
+
+TEST(ServingEngineTest, ShardedResultsIdenticalUnderConcurrentSubmitters) {
+  const UncertainString s = MakeString(400, 21);
+  const auto queries = Workload(s, 400, 60, 8, 22);
+  ShardedIndex reference = BuildShardedIndex(s, 16);
+  const auto expected = SyncResults(reference, queries);
+
+  for (const size_t cache_bytes : {size_t{0}, size_t{1} << 20}) {
+    ServingOptions options;
+    options.cache_bytes = cache_bytes;
+    options.max_batch = 32;
+    options.linger_us = 200;
+    options.num_workers = 2;
+    ServingEngine engine(BuildShardedIndex(s, 16), options);
+
+    // >= 8 concurrent submitters, each owning the slice i mod kClients.
+    constexpr size_t kClients = 8;
+    std::vector<std::future<ServingEngine::Result>> futures(queries.size());
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (size_t c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        for (size_t i = c; i < queries.size(); i += kClients) {
+          futures[i] = engine.Submit(queries[i].pattern, queries[i].tau);
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+    ExpectIdentical(expected, &futures, queries);
+
+    const auto stats = engine.stats();
+    EXPECT_EQ(stats.submitted, queries.size());
+    EXPECT_EQ(stats.rejected, 0u);
+    // Conservation: every accepted request is answered by the cache, an
+    // in-flight merge, or a batched execution.
+    EXPECT_EQ(stats.submitted,
+              stats.cache_hits + stats.inflight_merges + stats.batched_queries);
+    EXPECT_GT(stats.batches, 0u);
+    if (cache_bytes == 0) {
+      EXPECT_EQ(stats.cache_hits, 0u);
+      EXPECT_EQ(stats.cache_entries, 0u);
+    }
+  }
+}
+
+TEST(ServingEngineTest, RepeatTrafficIsServedFromTheCache) {
+  const UncertainString s = MakeString(250, 31);
+  const auto queries = Workload(s, 80, 25, 8, 32);
+  SubstringIndex reference = BuildMono(s);
+  const auto expected = SyncResults(reference, queries);
+
+  ServingOptions options;
+  options.cache_bytes = size_t{4} << 20;
+  options.num_workers = 2;
+  ServingEngine engine(BuildMono(s), options);
+
+  auto first = engine.SubmitBatch(queries);
+  for (auto& f : first) (void)f.get();  // complete pass 1 before pass 2
+  const uint64_t hits_after_first = engine.stats().cache_hits;
+
+  auto second = engine.SubmitBatch(queries);
+  ExpectIdentical(expected, &second, queries);
+  const auto stats = engine.stats();
+  // Pass 2 resubmits the identical workload after every result landed in
+  // the cache, so each of its OK queries is a hit.
+  uint64_t expected_second_hits = 0;
+  for (const auto& e : expected) {
+    if (e.status.ok()) ++expected_second_hits;
+  }
+  EXPECT_EQ(stats.cache_hits - hits_after_first, expected_second_hits);
+  EXPECT_GT(stats.cache_entries, 0u);
+  EXPECT_LE(stats.cache_bytes, options.cache_bytes);
+}
+
+TEST(ServingEngineTest, IdenticalInFlightRequestsShareOneExecution) {
+  const UncertainString s = MakeString(200, 41);
+  SubstringIndex reference = BuildMono(s);
+  const std::string pattern = test::PatternFromString(s, 10, 5, 7);
+  std::vector<Match> expected;
+  const Status expected_status = reference.Query(pattern, 0.2, &expected);
+  ASSERT_TRUE(expected_status.ok());
+
+  ServingOptions options;
+  options.cache_bytes = 0;     // merges, not cache hits, must carry repeats
+  options.linger_us = 5000;    // room for duplicates to pile up
+  options.max_batch = 256;
+  options.num_workers = 1;
+  ServingEngine engine(BuildMono(s), options);
+
+  constexpr size_t kDupes = 64;
+  std::vector<std::future<ServingEngine::Result>> futures;
+  futures.reserve(kDupes);
+  for (size_t i = 0; i < kDupes; ++i) {
+    futures.push_back(engine.Submit(pattern, 0.2));
+  }
+  for (auto& f : futures) {
+    ServingEngine::Result result = f.get();
+    EXPECT_TRUE(result.status.ok());
+    EXPECT_TRUE(result.matches == expected);
+  }
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.submitted, kDupes);
+  EXPECT_GT(stats.inflight_merges, 0u);
+  // All duplicates that arrived while the first was pending shared its
+  // execution: strictly fewer executions than submissions.
+  EXPECT_LT(stats.batched_queries, kDupes);
+  EXPECT_EQ(stats.submitted, stats.inflight_merges + stats.batched_queries);
+}
+
+TEST(ServingEngineTest, InvalidQueriesFailAloneWithoutPoisoningBatchmates) {
+  const UncertainString s = MakeString(200, 51);
+  ShardedIndex reference = BuildShardedIndex(s, 4);
+  // One micro-batch carrying: valid, empty pattern (InvalidArgument), tau
+  // below tau_min (InvalidArgument), pattern longer than overlap+1
+  // (NotSupported for the sharded engine).
+  std::vector<BatchQuery> queries = {
+      {test::PatternFromString(s, 5, 3, 3), 0.2},
+      {"", 0.2},
+      {test::PatternFromString(s, 9, 2, 4), kTauMin / 2},
+      {test::RandomPattern(4, 9, 5), 0.2},
+      {test::PatternFromString(s, 20, 4, 6), 0.3},
+  };
+  const auto expected = SyncResults(reference, queries);
+  ASSERT_TRUE(expected[0].status.ok());
+  ASSERT_TRUE(expected[1].status.IsInvalidArgument());
+  ASSERT_TRUE(expected[2].status.IsInvalidArgument());
+  ASSERT_TRUE(expected[3].status.IsNotSupported());
+  ASSERT_TRUE(expected[4].status.ok());
+
+  ServingOptions options;
+  options.linger_us = 5000;  // coalesce all five into one micro-batch
+  options.num_workers = 1;
+  ServingEngine engine(BuildShardedIndex(s, 4), options);
+  auto futures = engine.SubmitBatch(queries);
+  ExpectIdentical(expected, &futures, queries);
+  const auto stats = engine.stats();
+  EXPECT_GT(stats.fallback_queries, 0u);
+  // batched_queries and fallback_queries are disjoint: each request lands
+  // in exactly one, so conservation holds even through fallbacks.
+  EXPECT_EQ(stats.submitted, stats.cache_hits + stats.inflight_merges +
+                                 stats.batched_queries +
+                                 stats.fallback_queries);
+}
+
+TEST(ServingEngineTest, StopDrainsAcceptedWorkAndRejectsNewWork) {
+  const UncertainString s = MakeString(200, 61);
+  const auto queries = Workload(s, 60, 30, 6, 62);
+  SubstringIndex reference = BuildMono(s);
+  const auto expected = SyncResults(reference, queries);
+
+  ServingOptions options;
+  options.linger_us = 2000;
+  options.num_workers = 2;
+  ServingEngine engine(BuildMono(s), options);
+  auto futures = engine.SubmitBatch(queries);
+  engine.Stop();
+
+  // Accepted before Stop: all still answered, and correctly.
+  ExpectIdentical(expected, &futures, queries);
+
+  // After Stop: deterministic rejection, never a hang.
+  auto rejected = engine.Submit(queries[0].pattern, queries[0].tau);
+  ServingEngine::Result result = rejected.get();
+  EXPECT_TRUE(result.status.IsNotSupported()) << result.status.ToString();
+  EXPECT_TRUE(result.matches.empty());
+  EXPECT_EQ(engine.stats().rejected, 1u);
+}
+
+TEST(ServingEngineTest, DegenerateCoalescingConfigsStayCorrect) {
+  const UncertainString s = MakeString(150, 71);
+  const auto queries = Workload(s, 60, 20, 6, 72);
+  SubstringIndex reference = BuildMono(s);
+  const auto expected = SyncResults(reference, queries);
+
+  // max_batch=1 (no coalescing), linger 0 (no waiting), one worker.
+  ServingOptions options;
+  options.max_batch = 1;
+  options.linger_us = 0;
+  options.num_workers = 1;
+  options.cache_bytes = 1 << 16;  // small enough to force evictions
+  ServingEngine engine(BuildMono(s), options);
+  auto futures = engine.SubmitBatch(queries);
+  ExpectIdentical(expected, &futures, queries);
+}
+
+}  // namespace
+}  // namespace pti

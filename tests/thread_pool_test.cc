@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <thread>
 #include <vector>
 
 namespace pti {
@@ -68,6 +69,51 @@ TEST(ThreadPoolTest, DestructorDrainsSubmittedWork) {
     // No Wait: the destructor must still run everything already submitted.
   }
   EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, SubmitAfterStopIsRejectedDeterministically) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(pool.Submit([&counter] { counter.fetch_add(1); }));
+  }
+  pool.Stop();
+  // Rejected tasks never run and never count toward Wait.
+  EXPECT_FALSE(pool.Submit([&counter] { counter.fetch_add(1000); }));
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 20);
+  EXPECT_FALSE(pool.Submit([&counter] { counter.fetch_add(1000); }));
+  pool.Stop();  // idempotent
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPoolTest, SubmitRacingStopNeverLosesAnAcceptedTask) {
+  // The regression this pins: a Submit that lands after stop_ flips used to
+  // enqueue into a pool whose workers may already have drained and exited,
+  // silently dropping the task and leaking outstanding_ (a later Wait would
+  // hang). Now every Submit either runs to completion or reports rejection.
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> executed{0};
+    int accepted = 0;
+    ThreadPool pool(2);
+    std::thread submitter([&] {
+      for (int i = 0; i < 200; ++i) {
+        if (pool.Submit([&executed] { executed.fetch_add(1); })) ++accepted;
+      }
+    });
+    pool.Stop();
+    submitter.join();
+    pool.Wait();
+    EXPECT_EQ(executed.load(), accepted);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForCompletesOnStoppedPool) {
+  ThreadPool pool(2);
+  pool.Stop();
+  std::atomic<int> count{0};
+  pool.ParallelFor(5, [&count](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 5);
 }
 
 TEST(ThreadPoolTest, TasksRunConcurrently) {
