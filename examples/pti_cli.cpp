@@ -9,6 +9,11 @@
 //                         [--shards=K] [--overlap=N] [--threads=T] [--compact]
 //   pti_cli query <index.pti> <pattern> <tau>    threshold query (any kind;
 //                                                the kind is read from the file)
+//   pti_cli fuzzy <index.pti> <pattern> <tau> [--k=N] [--mode=mismatch|edit]
+//                                                approximate threshold query
+//                                                (substring or sharded index):
+//                                                positions where some variant
+//                                                within k errors clears tau
 //   pti_cli batch <index.pti> <patterns.txt> <tau> [--threads=T]
 //                                                batched queries (substring or
 //                                                sharded index); the file has
@@ -76,6 +81,8 @@ int Usage() {
                "  pti_cli build-sharded <string.pus> <index.pti> [tau_min]\n"
                "                        [--shards=K] [--overlap=N] [--threads=T] [--compact]\n"
                "  pti_cli query <index.pti> <pattern> <tau>\n"
+               "  pti_cli fuzzy <index.pti> <pattern> <tau> [--k=N] "
+               "[--mode=mismatch|edit]\n"
                "  pti_cli batch <index.pti> <patterns.txt> <tau> [--threads=T]\n"
                "  pti_cli serve <index.pti> <patterns.txt|-> <tau> [--clients=N]\n"
                "                [--batch-max=N] [--linger-us=N] [--cache-mb=N]\n"
@@ -122,6 +129,9 @@ struct Flags {
   int64_t batch_max = 64;
   int64_t linger_us = 200;
   int64_t cache_mb = 16;
+  // fuzzy defaults; see core/fuzzy.h.
+  int64_t k = 1;
+  std::string mode = "mismatch";
 };
 
 constexpr unsigned kFlagShards = 1u << 0;
@@ -132,6 +142,8 @@ constexpr unsigned kFlagClients = 1u << 4;
 constexpr unsigned kFlagBatchMax = 1u << 5;
 constexpr unsigned kFlagLingerUs = 1u << 6;
 constexpr unsigned kFlagCacheMb = 1u << 7;
+constexpr unsigned kFlagK = 1u << 8;
+constexpr unsigned kFlagMode = 1u << 9;
 
 bool SplitArgs(int argc, char** argv, unsigned allowed,
                std::vector<const char*>* positional, Flags* flags,
@@ -151,6 +163,20 @@ bool SplitArgs(int argc, char** argv, unsigned allowed,
         return false;
       }
       flags->compact = true;
+      continue;
+    }
+    if (std::strncmp(arg, "--mode=", 7) == 0) {
+      // The one string-valued flag: bypass the shared int parsing below.
+      if ((allowed & kFlagMode) == 0) {
+        *bad = std::string("flag not supported by this command: ") + arg;
+        return false;
+      }
+      flags->mode = arg + 7;
+      if (flags->mode != "mismatch" && flags->mode != "edit") {
+        *bad = std::string("bad value in ") + arg +
+               " (want mismatch or edit)";
+        return false;
+      }
       continue;
     }
     if (std::strncmp(arg, "--shards=", 9) == 0) {
@@ -181,6 +207,10 @@ bool SplitArgs(int argc, char** argv, unsigned allowed,
       target = &flags->cache_mb;
       value = arg + 11;
       flag = kFlagCacheMb;
+    } else if (std::strncmp(arg, "--k=", 4) == 0) {
+      target = &flags->k;
+      value = arg + 4;
+      flag = kFlagK;
     } else {
       *bad = std::string("unknown flag ") + arg;
       return false;
@@ -435,6 +465,52 @@ int CmdQuery(int argc, char** argv) {
       std::fprintf(stderr, "%zu document(s)\n", docs.size());
       return 0;
     }
+  }
+  if (!st.ok()) return Fail(st.ToString());
+  PrintMatches(matches);
+  return 0;
+}
+
+// Approximate threshold query: report positions where some variant of the
+// pattern within k errors (mismatches or edits, per --mode) clears tau.
+int CmdFuzzy(int argc, char** argv) {
+  std::vector<const char*> pos;
+  Flags flags;
+  std::string bad;
+  if (!SplitArgs(argc, argv, kFlagK | kFlagMode, &pos, &flags, &bad)) {
+    return UsageError(bad);
+  }
+  if (pos.size() != 3) return Usage();
+  const std::string pattern = pos[1];
+  double tau = 0.0;
+  if (!ParseDouble(pos[2], &tau)) {
+    return UsageError(std::string("bad tau '") + pos[2] + "'");
+  }
+  pti::FuzzyParams params;
+  params.k = static_cast<int32_t>(flags.k);
+  params.metric = flags.mode == "edit" ? pti::FuzzyMetric::kEdit
+                                       : pti::FuzzyMetric::kMismatch;
+  std::string blob;
+  auto kind = ReadIndexBlob(pos[0], &blob);
+  if (!kind.ok()) return Fail(kind.status().ToString());
+  pti::Status st;
+  std::vector<pti::Match> matches;
+  switch (*kind) {
+    case pti::serde::IndexKind::kSubstring: {
+      auto index = pti::SubstringIndex::Load(blob);
+      if (!index.ok()) return Fail(index.status().ToString());
+      st = index->QueryFuzzy(pattern, tau, params, &matches);
+      break;
+    }
+    case pti::serde::IndexKind::kSharded: {
+      auto index = pti::ShardedIndex::Load(blob);
+      if (!index.ok()) return Fail(index.status().ToString());
+      st = index->QueryFuzzy(pattern, tau, params, &matches);
+      break;
+    }
+    default:
+      return Fail("fuzzy requires a substring or sharded index, got a " +
+                  std::string(pti::serde::KindName(*kind)) + " index");
   }
   if (!st.ok()) return Fail(st.ToString());
   PrintMatches(matches);
@@ -808,6 +884,7 @@ int main(int argc, char** argv) {
   if (cmd == "build-listing") return CmdBuildListing(argc, argv);
   if (cmd == "build-sharded") return CmdBuildSharded(argc, argv);
   if (cmd == "query") return CmdQuery(argc, argv);
+  if (cmd == "fuzzy") return CmdFuzzy(argc, argv);
   if (cmd == "batch") return CmdBatch(argc, argv);
   if (cmd == "serve") return CmdServe(argc, argv);
   if (cmd == "topk") return CmdTopK(argc, argv);

@@ -51,6 +51,7 @@ TABLE_BENCHES = [
     "bench_fig7_substring",
     "bench_fig8_listing",
     "bench_fig9_construction",
+    "bench_fuzzy",
     "bench_serving",
     "bench_sharding",
 ]
@@ -134,12 +135,17 @@ def compare(bench, base_tables, fresh_tables, tolerance, abs_floor):
     def fail(msg):
         problems.append(f"{bench}: {msg}")
 
+    # A panel rename shows up as one table disappearing and another
+    # appearing; point straight at the targeted recapture command.
+    recapture = f"scripts/check_bench.py --update --only {bench}"
     for title in base_tables:
         if title not in fresh_tables:
-            fail(f"table disappeared: {title!r}")
+            fail(f"table disappeared (panel removed or renamed; if "
+                 f"intentional, recapture with `{recapture}`): {title!r}")
     for title in fresh_tables:
         if title not in base_tables:
-            fail(f"new table not in baseline (rerun with --update): {title!r}")
+            fail(f"new table not in baseline (panel added or renamed; "
+                 f"recapture with `{recapture}`): {title!r}")
     for title, base in base_tables.items():
         fresh = fresh_tables.get(title)
         if fresh is None:
@@ -186,8 +192,12 @@ def compare(bench, base_tables, fresh_tables, tolerance, abs_floor):
 
 
 def run_bench(path, args, timeout=1800):
-    result = subprocess.run([path, *args], capture_output=True, text=True,
-                            timeout=timeout)
+    try:
+        result = subprocess.run([path, *args], capture_output=True,
+                                text=True, timeout=timeout)
+    except subprocess.TimeoutExpired:
+        raise ParseError(
+            f"{os.path.basename(path)} timed out after {timeout}s")
     if result.returncode != 0:
         raise ParseError(
             f"{os.path.basename(path)} exited {result.returncode}: "
@@ -253,9 +263,14 @@ def main():
                 print(f"skip {bench}: binary not built")
                 continue
             print(f"capturing {bench} ...")
-            out = run_bench(path, bench_args, bench_timeout)
-            if bench in TABLE_BENCHES:
-                parse_tables(out)  # refuse to store unparseable baselines
+            try:
+                out = run_bench(path, bench_args, bench_timeout)
+                if bench in TABLE_BENCHES:
+                    parse_tables(out)  # refuse to store unparseable output
+            except ParseError as e:
+                print(f"error: {bench}: {e} (baseline left untouched)",
+                      file=sys.stderr)
+                return 1
             with open(os.path.join(args.baseline_dir, bench + ".txt"),
                       "w") as f:
                 f.write(out)

@@ -1,0 +1,248 @@
+#include "core/fuzzy.h"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <unordered_set>
+
+#include "succinct/fm_index.h"
+
+namespace pti {
+
+namespace {
+
+bool HasOption(const UncertainString& s, int64_t pos, uint8_t ch) {
+  for (const CharOption& opt : s.options(pos)) {
+    if (opt.ch == ch) return true;
+  }
+  return false;
+}
+
+// Collects every length-m variant within Hamming distance <= budget of the
+// pattern whose characters are all present at their target positions (a
+// variant carrying an absent character has probability zero everywhere in
+// its window, so skipping it cannot change the max).
+void EnumMismatchVariants(const UncertainString& s, const std::string& pattern,
+                          int64_t i, size_t j, int32_t budget,
+                          std::string* cur,
+                          std::unordered_set<std::string>* out) {
+  if (j == pattern.size()) {
+    out->insert(*cur);
+    return;
+  }
+  const int64_t pos = i + static_cast<int64_t>(j);
+  const uint8_t want = static_cast<uint8_t>(pattern[j]);
+  if (HasOption(s, pos, want)) {
+    cur->push_back(pattern[j]);
+    EnumMismatchVariants(s, pattern, i, j + 1, budget, cur, out);
+    cur->pop_back();
+  }
+  if (budget > 0) {
+    for (const CharOption& opt : s.options(pos)) {
+      if (opt.ch == want) continue;
+      cur->push_back(static_cast<char>(opt.ch));
+      EnumMismatchVariants(s, pattern, i, j + 1, budget - 1, cur, out);
+      cur->pop_back();
+    }
+  }
+}
+
+// Collects every non-empty variant within edit distance <= budget, again
+// restricted to characters present at the position each appended character
+// would occupy. Different edit scripts can spell the same variant (e.g.
+// delete+insert == substitute); the set deduplicates before any probability
+// is computed.
+void EnumEditVariants(const UncertainString& s, const std::string& pattern,
+                      int64_t i, size_t j, int32_t budget, std::string* cur,
+                      std::unordered_set<std::string>* out) {
+  const int64_t pos = i + static_cast<int64_t>(cur->size());
+  if (j == pattern.size() && !cur->empty()) out->insert(*cur);
+  if (budget > 0 && pos < s.size()) {
+    // Insertion: the variant gains a character the pattern does not have.
+    for (const CharOption& opt : s.options(pos)) {
+      cur->push_back(static_cast<char>(opt.ch));
+      EnumEditVariants(s, pattern, i, j, budget - 1, cur, out);
+      cur->pop_back();
+    }
+  }
+  if (j == pattern.size()) return;
+  if (budget > 0) {
+    // Deletion: the pattern character leaves no trace in the variant.
+    EnumEditVariants(s, pattern, i, j + 1, budget - 1, cur, out);
+  }
+  if (pos >= s.size()) return;
+  const uint8_t want = static_cast<uint8_t>(pattern[j]);
+  if (HasOption(s, pos, want)) {
+    cur->push_back(pattern[j]);
+    EnumEditVariants(s, pattern, i, j + 1, budget, cur, out);
+    cur->pop_back();
+  }
+  if (budget > 0) {
+    for (const CharOption& opt : s.options(pos)) {
+      if (opt.ch == want) continue;
+      cur->push_back(static_cast<char>(opt.ch));
+      EnumEditVariants(s, pattern, i, j + 1, budget - 1, cur, out);
+      cur->pop_back();
+    }
+  }
+}
+
+// Branching backward-search context (compact mode). States are
+// (j = pattern characters still unconsumed, SA' range, variant length,
+// error budget); the visited map prunes re-entry with no more budget than a
+// previous visit, which keeps the DFS polynomial without losing any
+// reachable completion.
+struct FmFuzzyContext {
+  const FmIndex* fm = nullptr;
+  const std::vector<int32_t>* pattern = nullptr;
+  std::vector<int32_t> symbols;
+  bool edit = false;
+  std::vector<FuzzySaRange> out;
+  std::map<std::array<int64_t, 4>, int32_t> visited;
+
+  void Go(int32_t j, int64_t sp, int64_t ep, int32_t len, int32_t budget) {
+    const std::array<int64_t, 4> key{j, sp, ep, len};
+    const auto it = visited.find(key);
+    if (it != visited.end() && it->second >= budget) return;
+    visited[key] = budget;
+    if (j == 0 && len > 0) {
+      if (const auto range = FmIndex::ToSaRange(sp, ep)) {
+        out.push_back(FuzzySaRange{range->first, range->second, len});
+      }
+    }
+    if (j > 0) {
+      // Exact step: consume the next pattern character (right to left).
+      int64_t s2 = sp, e2 = ep;
+      if (fm->ExtendLeft(int64_t{(*pattern)[j - 1]} + 1, &s2, &e2)) {
+        Go(j - 1, s2, e2, len + 1, budget);
+      }
+    }
+    if (budget == 0) return;
+    if (j > 0) {
+      // Substitution: any other occupied symbol stands in for the pattern
+      // character.
+      for (const int32_t sym : symbols) {
+        if (sym == (*pattern)[j - 1]) continue;
+        int64_t s2 = sp, e2 = ep;
+        if (fm->ExtendLeft(int64_t{sym} + 1, &s2, &e2)) {
+          Go(j - 1, s2, e2, len + 1, budget - 1);
+        }
+      }
+      // Deletion: the pattern character contributes nothing to the variant.
+      if (edit) Go(j - 1, sp, ep, len, budget - 1);
+    }
+    if (edit) {
+      // Insertion: the variant gains a character; backward search places it
+      // to the left of everything matched so far (and, before the first
+      // consume / after the last, at the variant's ends).
+      for (const int32_t sym : symbols) {
+        int64_t s2 = sp, e2 = ep;
+        if (fm->ExtendLeft(int64_t{sym} + 1, &s2, &e2)) {
+          Go(j, s2, e2, len + 1, budget - 1);
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+Status CheckFuzzyParams(const FuzzyParams& params) {
+  if (params.k < 0) {
+    return Status::InvalidArgument("fuzzy k must be non-negative");
+  }
+  if (params.k > kMaxFuzzyErrors) {
+    return Status::NotSupported(
+        "fuzzy k=" + std::to_string(params.k) +
+        " exceeds the supported maximum of " +
+        std::to_string(kMaxFuzzyErrors));
+  }
+  if (params.metric != FuzzyMetric::kMismatch &&
+      params.metric != FuzzyMetric::kEdit) {
+    return Status::InvalidArgument("unknown fuzzy metric");
+  }
+  return Status::OK();
+}
+
+LogProb FuzzyOccurrenceProb(const UncertainString& s,
+                            const std::string& pattern, int64_t i,
+                            const FuzzyParams& params) {
+  const int64_t n = s.size();
+  const int64_t m = static_cast<int64_t>(pattern.size());
+  if (m == 0 || i < 0) return LogProb::Zero();
+  if (params.k == 0 || params.metric == FuzzyMetric::kMismatch) {
+    if (i + m > n) return LogProb::Zero();
+    if (params.k == 0) return s.OccurrenceProb(pattern, i);
+  } else if (i >= n) {
+    return LogProb::Zero();
+  }
+  std::unordered_set<std::string> variants;
+  std::string cur;
+  cur.reserve(pattern.size() + static_cast<size_t>(params.k));
+  if (params.metric == FuzzyMetric::kMismatch) {
+    EnumMismatchVariants(s, pattern, i, 0, params.k, &cur, &variants);
+  } else {
+    EnumEditVariants(s, pattern, i, 0, params.k, &cur, &variants);
+  }
+  LogProb best = LogProb::Zero();
+  for (const std::string& variant : variants) {
+    const LogProb p = s.OccurrenceProb(variant, i);
+    if (p > best) best = p;
+  }
+  return best;
+}
+
+std::vector<Match> BruteForceFuzzy(const UncertainString& s,
+                                   const std::string& pattern, double tau,
+                                   const FuzzyParams& params) {
+  std::vector<Match> out;
+  const int64_t m = static_cast<int64_t>(pattern.size());
+  if (m == 0 || !CheckFuzzyParams(params).ok()) return out;
+  const LogProb log_tau = LogProb::FromLinear(tau);
+  // Under kEdit a variant can be shorter than the pattern, so start
+  // positions run all the way to the last character.
+  const int64_t last = (params.metric == FuzzyMetric::kEdit && params.k > 0)
+                           ? s.size() - 1
+                           : s.size() - m;
+  for (int64_t i = 0; i <= last; ++i) {
+    const LogProb p = FuzzyOccurrenceProb(s, pattern, i, params);
+    if (p.MeetsThreshold(log_tau)) {
+      out.push_back(Match{i, p.ToLinear()});
+    }
+  }
+  return out;
+}
+
+std::vector<FuzzySaRange> EnumerateFmFuzzyRanges(
+    const FmIndex& fm, const std::vector<int32_t>& pattern,
+    const FuzzyParams& params) {
+  FmFuzzyContext ctx;
+  ctx.fm = &fm;
+  ctx.pattern = &pattern;
+  ctx.symbols = fm.OccupiedByteSymbols();
+  ctx.edit = params.metric == FuzzyMetric::kEdit;
+  ctx.Go(static_cast<int32_t>(pattern.size()), 0,
+         static_cast<int64_t>(fm.bwt_size()), 0, params.k);
+  std::sort(ctx.out.begin(), ctx.out.end(),
+            [](const FuzzySaRange& a, const FuzzySaRange& b) {
+              if (a.begin != b.begin) return a.begin < b.begin;
+              if (a.end != b.end) return a.end < b.end;
+              return a.length < b.length;
+            });
+  ctx.out.erase(std::unique(ctx.out.begin(), ctx.out.end()), ctx.out.end());
+  return ctx.out;
+}
+
+std::vector<std::pair<int32_t, int32_t>> FuzzySeeds(int32_t m, int32_t k) {
+  std::vector<std::pair<int32_t, int32_t>> seeds;
+  const int32_t pieces = k + 1;
+  seeds.reserve(static_cast<size_t>(pieces));
+  for (int32_t j = 0; j < pieces; ++j) {
+    const int32_t b = static_cast<int32_t>(int64_t{j} * m / pieces);
+    const int32_t e = static_cast<int32_t>(int64_t{j + 1} * m / pieces);
+    if (e > b) seeds.emplace_back(b, e - b);
+  }
+  return seeds;
+}
+
+}  // namespace pti

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <numeric>
 #include <queue>
+#include <set>
 #include <unordered_map>
 #include <utility>
 
@@ -605,6 +606,201 @@ struct SubstringIndex::Impl {
     return Status::OK();
   }
 
+  // ---- Fuzzy (approximate) queries --------------------------------------
+
+  // Upper bound, in log space, on how much a window's probability can
+  // exceed one of its own sub-windows': per correlation rule, the gap
+  // between its best case-1 resolution and the case-2 marginal a sub-window
+  // excluding the dependency must fall back to. Without rules the bound is
+  // zero (dropping factors <= 1 only raises a product). +inf when a rule's
+  // marginal is zero while a case-1 branch is positive — then no finite
+  // seed threshold is safe and the tree path verifies every position.
+  double CorrelationSeedBoost() const {
+    double boost = 0.0;
+    for (const CorrelationRule& r : source.correlations()) {
+      const double case1_best = std::max(r.prob_if_present, r.prob_if_absent);
+      if (case1_best <= 0.0) continue;
+      const double dep = source.BaseProb(r.dep_pos, r.dep_ch);
+      const double marginal =
+          dep * r.prob_if_present + (1.0 - dep) * r.prob_if_absent;
+      if (marginal <= 0.0) return std::numeric_limits<double>::infinity();
+      boost += std::max(0.0, std::log(case1_best) - std::log(marginal));
+    }
+    return boost;
+  }
+
+  // Tree-mode candidate generation (seed-and-extend): any admissible
+  // variant occurrence keeps at least one of the k+1 pigeonhole seeds
+  // intact, so extracting each seed's occurrences yields a complete
+  // candidate set; under kEdit the seed can shift by the net indels before
+  // it, hence the [-k, k] alignment sweep. Falls back to every position
+  // when the pattern has no k+1 non-empty seeds or the boost is unbounded.
+  void FuzzyCandidatesTree(const std::string& pattern,
+                           const FuzzyParams& params, LogProb log_tau,
+                           std::set<int64_t>* cand) const {
+    const int32_t m = static_cast<int32_t>(pattern.size());
+    const int64_t n = source.size();
+    const bool edit = params.metric == FuzzyMetric::kEdit;
+    const double boost = CorrelationSeedBoost();
+    if (m <= params.k || !std::isfinite(boost)) {
+      const int64_t last = edit && params.k > 0 ? n - 1 : n - m;
+      for (int64_t i = 0; i <= last; ++i) cand->insert(i);
+      return;
+    }
+    // The intact seed's standalone window dominates the variant window up
+    // to the correlation boost, so it clears tau lowered by that bound.
+    const LogProb seed_tau = LogProb::FromLog(log_tau.log() - boost);
+    std::vector<RawMatch> raw;
+    for (const auto& [off, len] : FuzzySeeds(m, params.k)) {
+      const auto range = LocusRange(pattern.substr(
+          static_cast<size_t>(off), static_cast<size_t>(len)));
+      if (!range.has_value()) continue;
+      raw.clear();
+      Extract(len, range->first, range->second - 1, seed_tau, &raw);
+      const int32_t max_shift = edit ? params.k : 0;
+      for (const RawMatch& rm : raw) {
+        for (int32_t shift = -max_shift; shift <= max_shift; ++shift) {
+          const int64_t i = rm.spos - off - shift;
+          if (i >= 0 && i < n) cand->insert(i);
+        }
+      }
+    }
+  }
+
+  // One fuzzy enumeration pass: every position whose best admissible
+  // variant clears log_tau, with that variant's exact log value,
+  // position-sorted. Shared by QueryFuzzy and QueryFuzzyBatch (which runs
+  // it at a group's smallest tau and re-filters, exactly like the exact
+  // batch path).
+  void FuzzyExtract(const std::string& pattern, const FuzzyParams& params,
+                    LogProb log_tau, std::vector<RawMatch>* out) const {
+    out->clear();
+    if (fm.has_value()) {
+      // Compact mode: enumerate variant windows directly. Coverage of the
+      // factor transformation applies per variant (each is a deterministic
+      // string), so extracting every variant range at its own depth and
+      // keeping the best value per position reproduces the oracle's max.
+      std::unordered_map<int64_t, double> best;
+      std::vector<RawMatch> raw;
+      for (const FuzzySaRange& fr :
+           EnumerateFmFuzzyRanges(*fm, Text::MapPattern(pattern), params)) {
+        raw.clear();
+        Extract(fr.length, fr.begin, fr.end - 1, log_tau, &raw);
+        for (const RawMatch& rm : raw) EmitDedup(&best, rm.spos, rm.logv);
+      }
+      out->reserve(best.size());
+      for (const auto& [spos, v] : best) out->push_back(RawMatch{spos, v});
+      std::sort(out->begin(), out->end(),
+                [](const RawMatch& a, const RawMatch& b) {
+                  return a.spos < b.spos;
+                });
+    } else {
+      std::set<int64_t> cand;
+      FuzzyCandidatesTree(pattern, params, log_tau, &cand);
+      for (const int64_t i : cand) {
+        const LogProb p = FuzzyOccurrenceProb(source, pattern, i, params);
+        if (p.MeetsThreshold(log_tau)) out->push_back(RawMatch{i, p.log()});
+      }
+    }
+  }
+
+  Status QueryFuzzy(const std::string& pattern, double tau,
+                    const FuzzyParams& params, std::vector<Match>* out) const {
+    out->clear();
+    PTI_RETURN_IF_ERROR(CheckQuery(pattern, tau));
+    PTI_RETURN_IF_ERROR(CheckFuzzyParams(params));
+    // k = 0 is the exact query; delegating keeps it bit-identical.
+    if (params.k == 0) return Query(pattern, tau, out);
+    std::vector<RawMatch> raw;
+    FuzzyExtract(pattern, params, LogProb::FromLinear(tau), &raw);
+    out->reserve(raw.size());
+    for (const RawMatch& rm : raw) {
+      out->push_back(Match{rm.spos, std::exp(rm.logv)});
+    }
+    return Status::OK();
+  }
+
+  Status QueryFuzzyBatch(const std::vector<FuzzyBatchQuery>& queries,
+                         std::vector<std::vector<Match>>* out) const {
+    out->resize(queries.size());
+    for (auto& dst : *out) dst.clear();
+    const LogProb lmin = LogProb::FromLinear(fs.tau_min);
+    std::vector<LogProb> log_taus;
+    log_taus.reserve(queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      const auto fail = [&i](const char* what) {
+        return Status::InvalidArgument("batch query #" + std::to_string(i) +
+                                       ": " + what);
+      };
+      const FuzzyBatchQuery& q = queries[i];
+      if (q.pattern.empty()) return fail("pattern must be non-empty");
+      if (!(q.tau > 0.0) || q.tau > 1.0) {
+        return fail("tau must be in (0, 1]");
+      }
+      log_taus.push_back(LogProb::FromLinear(q.tau));
+      if (!log_taus.back().MeetsThreshold(lmin)) {
+        return fail("tau is below the construction-time tau_min");
+      }
+      const Status fp = CheckFuzzyParams(q.params);
+      if (!fp.ok()) {
+        const std::string msg =
+            "batch query #" + std::to_string(i) + ": " + fp.message();
+        return fp.code() == Status::Code::kNotSupported
+                   ? Status::NotSupported(msg)
+                   : Status::InvalidArgument(msg);
+      }
+    }
+    // Group by (pattern, metric, k): one enumeration at the group's
+    // smallest tau is a superset of every member's result set, so members
+    // re-filter with their own thresholds — the fuzzy mirror of QueryBatch.
+    std::vector<size_t> order(queries.size());
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::sort(order.begin(), order.end(), [&queries](size_t a, size_t b) {
+      const FuzzyBatchQuery& qa = queries[a];
+      const FuzzyBatchQuery& qb = queries[b];
+      if (qa.pattern != qb.pattern) return qa.pattern < qb.pattern;
+      if (qa.params.metric != qb.params.metric) {
+        return qa.params.metric < qb.params.metric;
+      }
+      if (qa.params.k != qb.params.k) return qa.params.k < qb.params.k;
+      return qa.tau < qb.tau;
+    });
+    std::vector<RawMatch> raw;
+    size_t g = 0;
+    while (g < order.size()) {
+      const FuzzyBatchQuery& lead = queries[order[g]];
+      size_t h = g + 1;
+      while (h < order.size() &&
+             queries[order[h]].pattern == lead.pattern &&
+             queries[order[h]].params.metric == lead.params.metric &&
+             queries[order[h]].params.k == lead.params.k) {
+        ++h;
+      }
+      if (lead.params.k == 0) {
+        // Exact members stay on the exact path for bit-identity with Query.
+        for (size_t j = g; j < h; ++j) {
+          PTI_RETURN_IF_ERROR(Query(lead.pattern, queries[order[j]].tau,
+                                    &(*out)[order[j]]));
+        }
+      } else {
+        raw.clear();
+        FuzzyExtract(lead.pattern, lead.params, log_taus[order[g]], &raw);
+        for (size_t j = g; j < h; ++j) {
+          const LogProb log_tau = log_taus[order[j]];
+          auto& dst = (*out)[order[j]];
+          dst.reserve(raw.size());
+          for (const RawMatch& rm : raw) {
+            if (LogProb::FromLog(rm.logv).MeetsThreshold(log_tau)) {
+              dst.push_back(Match{rm.spos, std::exp(rm.logv)});
+            }
+          }
+        }
+      }
+      g = h;
+    }
+    return Status::OK();
+  }
+
   Status QueryTopK(const std::string& pattern, double tau, size_t k,
                    std::vector<Match>* out) const {
     out->clear();
@@ -682,6 +878,18 @@ Status SubstringIndex::Query(const std::string& pattern, double tau,
 Status SubstringIndex::QueryBatch(const std::vector<BatchQuery>& queries,
                                   std::vector<std::vector<Match>>* out) const {
   return impl_->QueryBatch(queries, out);
+}
+
+Status SubstringIndex::QueryFuzzy(const std::string& pattern, double tau,
+                                  const FuzzyParams& params,
+                                  std::vector<Match>* out) const {
+  return impl_->QueryFuzzy(pattern, tau, params, out);
+}
+
+Status SubstringIndex::QueryFuzzyBatch(
+    const std::vector<FuzzyBatchQuery>& queries,
+    std::vector<std::vector<Match>>* out) const {
+  return impl_->QueryFuzzyBatch(queries, out);
 }
 
 Status SubstringIndex::QueryTopK(const std::string& pattern, double tau,

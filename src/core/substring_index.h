@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/factor_transform.h"
+#include "core/fuzzy.h"
 #include "core/match.h"
 #include "core/uncertain_string.h"
 #include "rmq/rmq_handle.h"
@@ -98,6 +99,25 @@ class SubstringIndex {
   /// [tau_min, 1]).
   Status QueryBatch(const std::vector<BatchQuery>& queries,
                     std::vector<std::vector<Match>>* out) const;
+
+  /// Approximate threshold query (core/fuzzy.h): all positions where some
+  /// variant of the pattern within params.k errors occurs with probability
+  /// >= tau, sorted by position; each position reports its best variant's
+  /// probability. params.k == 0 is bit-identical to Query. Compact mode
+  /// enumerates variant windows by branching backward search over the
+  /// FM-index; tree mode seeds-and-extends (k+1 pigeonhole seeds, candidate
+  /// verification against the source string). Fails like Query on invalid
+  /// pattern/tau, plus InvalidArgument/NotSupported from CheckFuzzyParams.
+  Status QueryFuzzy(const std::string& pattern, double tau,
+                    const FuzzyParams& params, std::vector<Match>* out) const;
+
+  /// Batched fuzzy queries: out is resized to queries.size() and entry i
+  /// holds exactly what QueryFuzzy(queries[i]) would report. Queries sharing
+  /// (pattern, k, metric) collapse into one enumeration run at the group's
+  /// smallest tau and re-filtered per query with the shared threshold
+  /// predicate. Fails — before any query runs — if any query is invalid.
+  Status QueryFuzzyBatch(const std::vector<FuzzyBatchQuery>& queries,
+                         std::vector<std::vector<Match>>* out) const;
 
   /// The k highest-probability occurrences with probability >= tau, in
   /// non-increasing probability order (ties by position).

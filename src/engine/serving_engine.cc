@@ -20,13 +20,26 @@ namespace pti {
 
 namespace {
 
-// Cache key: the pattern bytes, a NUL separator, then the exact bit pattern
-// of tau — distinct taus must never share an entry, and bit-exact equality
-// is the only comparison that keeps cached results bit-identical to the
-// synchronous path.
-std::string CacheKey(const std::string& pattern, double tau) {
+// Cache key: a fixed two-byte header (metric kind, k), the pattern bytes, a
+// NUL separator, then the exact bit pattern of tau. Fixed-size header +
+// fixed-size tail keeps keys unambiguous for arbitrary pattern bytes;
+// bit-exact tau equality is the only comparison that keeps cached results
+// bit-identical to the synchronous path. The exact path uses header (0, 0),
+// and SubmitFuzzy normalizes k == 0 onto it (bit-identical by contract), so
+// exact and fuzzy-k=0 traffic share entries while every real fuzzy (metric,
+// k) pair gets its own.
+std::string CacheKey(const std::string& pattern, double tau,
+                     const FuzzyParams& params, bool fuzzy) {
   std::string key;
-  key.reserve(pattern.size() + 9);
+  key.reserve(pattern.size() + 11);
+  if (fuzzy) {
+    key.push_back(
+        static_cast<char>(params.metric == FuzzyMetric::kEdit ? 2 : 1));
+    key.push_back(static_cast<char>(params.k & 0xff));
+  } else {
+    key.push_back('\0');
+    key.push_back('\0');
+  }
   key.append(pattern);
   key.push_back('\0');
   uint64_t bits = 0;
@@ -59,6 +72,8 @@ struct ServingEngine::Impl {
   struct Request {
     std::string pattern;
     double tau = 0.0;
+    FuzzyParams params;  // meaningful only when fuzzy
+    bool fuzzy = false;
     std::string key;
     std::chrono::steady_clock::time_point enqueued;
     std::vector<std::promise<Result>> waiters;
@@ -89,6 +104,19 @@ struct ServingEngine::Impl {
                        : mono.Query(pattern, tau, out);
   }
 
+  Status ExecuteFuzzyBatch(const std::vector<FuzzyBatchQuery>& queries,
+                           std::vector<std::vector<Match>>* out) const {
+    return use_sharded ? sharded.QueryFuzzyBatch(queries, out)
+                       : mono.QueryFuzzyBatch(queries, out);
+  }
+
+  Status ExecuteFuzzyOne(const std::string& pattern, double tau,
+                         const FuzzyParams& params,
+                         std::vector<Match>* out) const {
+    return use_sharded ? sharded.QueryFuzzy(pattern, tau, params, out)
+                       : mono.QueryFuzzy(pattern, tau, params, out);
+  }
+
   void WorkerLoop() {
     const auto linger = std::chrono::microseconds(options.linger_us);
     for (;;) {
@@ -116,7 +144,19 @@ struct ServingEngine::Impl {
     }
   }
 
+  // A drained micro-batch can mix exact and fuzzy requests; each subset
+  // goes through its own batched path (each is all-or-nothing on
+  // validation, with per-request fallback), so a fuzzy request's invalid k
+  // cannot fail exact batch-mates and vice versa.
   void RunBatch(const std::vector<std::shared_ptr<Request>>& batch) {
+    std::vector<std::shared_ptr<Request>> exact;
+    std::vector<std::shared_ptr<Request>> fuzzy;
+    for (const auto& r : batch) (r->fuzzy ? fuzzy : exact).push_back(r);
+    if (!exact.empty()) RunExactSubset(exact);
+    if (!fuzzy.empty()) RunFuzzySubset(fuzzy);
+  }
+
+  void RunExactSubset(const std::vector<std::shared_ptr<Request>>& batch) {
     std::vector<BatchQuery> queries;
     queries.reserve(batch.size());
     for (const auto& r : batch) queries.push_back({r->pattern, r->tau});
@@ -143,6 +183,36 @@ struct ServingEngine::Impl {
       Fulfill(*r, std::move(result));
     }
   }
+
+  void RunFuzzySubset(const std::vector<std::shared_ptr<Request>>& batch) {
+    std::vector<FuzzyBatchQuery> queries;
+    queries.reserve(batch.size());
+    for (const auto& r : batch) {
+      queries.push_back({r->pattern, r->tau, r->params});
+    }
+    std::vector<std::vector<Match>> results;
+    const Status st = ExecuteFuzzyBatch(queries, &results);
+    batches.fetch_add(1, std::memory_order_relaxed);
+    if (st.ok()) {
+      batched_queries.fetch_add(batch.size(), std::memory_order_relaxed);
+      for (size_t i = 0; i < batch.size(); ++i) {
+        Fulfill(*batch[i], Result{Status::OK(), std::move(results[i])});
+      }
+      return;
+    }
+    for (const auto& r : batch) {
+      Result result;
+      result.status =
+          ExecuteFuzzyOne(r->pattern, r->tau, r->params, &result.matches);
+      fallback_queries.fetch_add(1, std::memory_order_relaxed);
+      Fulfill(*r, std::move(result));
+    }
+  }
+
+  // Shared Submit path (defined after the class): cache probe, in-flight
+  // merge, enqueue. `fuzzy` selects the key header and the RunBatch subset.
+  std::future<Result> SubmitImpl(std::string pattern, double tau,
+                                 const FuzzyParams& params, bool fuzzy);
 
   void Fulfill(Request& request, Result result) {
     if (result.status.ok() && options.cache_bytes > 0) {
@@ -205,59 +275,66 @@ ServingEngine::~ServingEngine() {
   // impl_ destruction joins the worker pool, which drains the queue first.
 }
 
-std::future<ServingEngine::Result> ServingEngine::Submit(std::string pattern,
-                                                         double tau) {
+std::future<ServingEngine::Result> ServingEngine::Impl::SubmitImpl(
+    std::string pattern, double tau, const FuzzyParams& params, bool fuzzy) {
   std::promise<Result> promise;
   std::future<Result> future = promise.get_future();
-  Impl& impl = *impl_;
-  if (impl.stop_flag.load(std::memory_order_acquire)) {
-    impl.rejected.fetch_add(1, std::memory_order_relaxed);
+  if (stop_flag.load(std::memory_order_acquire)) {
+    rejected.fetch_add(1, std::memory_order_relaxed);
     promise.set_value(
         Result{Status::NotSupported("serving engine stopped"), {}});
     return future;
   }
-  std::string key = CacheKey(pattern, tau);
-  if (impl.options.cache_bytes > 0) {
+  std::string key = CacheKey(pattern, tau, params, fuzzy);
+  if (options.cache_bytes > 0) {
     std::vector<Match> cached;
-    if (impl.cache.Get(key, &cached)) {
-      impl.submitted.fetch_add(1, std::memory_order_relaxed);
-      impl.cache_hits.fetch_add(1, std::memory_order_relaxed);
+    if (cache.Get(key, &cached)) {
+      submitted.fetch_add(1, std::memory_order_relaxed);
+      cache_hits.fetch_add(1, std::memory_order_relaxed);
       promise.set_value(Result{Status::OK(), std::move(cached)});
       return future;
     }
   }
   {
-    std::lock_guard<std::mutex> lock(impl.mu);
-    if (impl.stop) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (stop) {
       // A rejected request counts neither as submitted nor as a miss, so
       // the counters always reconcile: submitted == hits + merges +
       // executions, misses == merges + executions.
-      impl.rejected.fetch_add(1, std::memory_order_relaxed);
+      rejected.fetch_add(1, std::memory_order_relaxed);
       promise.set_value(
           Result{Status::NotSupported("serving engine stopped"), {}});
       return future;
     }
-    impl.submitted.fetch_add(1, std::memory_order_relaxed);
-    if (impl.options.cache_bytes > 0) {
-      impl.cache_misses.fetch_add(1, std::memory_order_relaxed);
+    submitted.fetch_add(1, std::memory_order_relaxed);
+    if (options.cache_bytes > 0) {
+      cache_misses.fetch_add(1, std::memory_order_relaxed);
     }
-    auto it = impl.inflight.find(key);
-    if (it != impl.inflight.end()) {
-      impl.inflight_merges.fetch_add(1, std::memory_order_relaxed);
+    auto it = inflight.find(key);
+    if (it != inflight.end()) {
+      inflight_merges.fetch_add(1, std::memory_order_relaxed);
       it->second->waiters.push_back(std::move(promise));
       return future;
     }
-    auto request = std::make_shared<Impl::Request>();
+    auto request = std::make_shared<Request>();
     request->pattern = std::move(pattern);
     request->tau = tau;
+    request->params = params;
+    request->fuzzy = fuzzy;
     request->key = std::move(key);
     request->enqueued = std::chrono::steady_clock::now();
     request->waiters.push_back(std::move(promise));
-    impl.inflight.emplace(request->key, request);
-    impl.queue.push_back(std::move(request));
+    inflight.emplace(request->key, request);
+    queue.push_back(std::move(request));
   }
-  impl.ready.notify_one();
+  ready.notify_one();
   return future;
+}
+
+std::future<ServingEngine::Result> ServingEngine::Submit(std::string pattern,
+                                                         double tau) {
+  return impl_->SubmitImpl(std::move(pattern), tau, FuzzyParams{},
+                           /*fuzzy=*/false);
 }
 
 std::vector<std::future<ServingEngine::Result>> ServingEngine::SubmitBatch(
@@ -265,6 +342,33 @@ std::vector<std::future<ServingEngine::Result>> ServingEngine::SubmitBatch(
   std::vector<std::future<Result>> futures;
   futures.reserve(queries.size());
   for (const auto& q : queries) futures.push_back(Submit(q.pattern, q.tau));
+  return futures;
+}
+
+std::future<ServingEngine::Result> ServingEngine::SubmitFuzzy(
+    std::string pattern, double tau, const FuzzyParams& params) {
+  // Invalid params never queue: queueing them would let a bogus k collide
+  // with a valid request's cache/in-flight key after the header truncation.
+  const Status st = CheckFuzzyParams(params);
+  if (!st.ok()) {
+    std::promise<Result> promise;
+    promise.set_value(Result{st, {}});
+    return promise.get_future();
+  }
+  // k == 0 is bit-identical to the exact query by contract; normalizing it
+  // onto the exact path shares cache entries and in-flight merges with
+  // Submit.
+  return impl_->SubmitImpl(std::move(pattern), tau, params,
+                           /*fuzzy=*/params.k > 0);
+}
+
+std::vector<std::future<ServingEngine::Result>> ServingEngine::SubmitFuzzyBatch(
+    const std::vector<FuzzyBatchQuery>& queries) {
+  std::vector<std::future<Result>> futures;
+  futures.reserve(queries.size());
+  for (const auto& q : queries) {
+    futures.push_back(SubmitFuzzy(q.pattern, q.tau, q.params));
+  }
   return futures;
 }
 

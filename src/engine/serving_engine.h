@@ -2,8 +2,9 @@
 // engine — one process serving many concurrent clients (ROADMAP: async
 // serving front end + shard-level caching).
 //
-// Clients call Submit(pattern, tau) and get a std::future<Result>; worker
-// threads (from a util/thread_pool.h pool owned by the engine) drain the
+// Clients call Submit(pattern, tau) — or SubmitFuzzy(pattern, tau, params)
+// for approximate matching — and get a std::future<Result>; worker threads
+// (from a util/thread_pool.h pool owned by the engine) drain the
 // pending queue in micro-batches and answer through the batched query path,
 // so concurrent traffic recovers the same locus-descent / backward-search
 // sharing that SubstringIndex::QueryBatch gives a single caller:
@@ -116,6 +117,20 @@ class ServingEngine {
   /// Submits every query of the batch; out[i] is the future for queries[i].
   std::vector<std::future<Result>> SubmitBatch(
       const std::vector<BatchQuery>& queries);
+
+  /// Enqueues one fuzzy query (core/fuzzy.h); the future resolves to what
+  /// QueryFuzzy(pattern, tau, params) reports. The cache key carries
+  /// (metric, k) alongside (pattern, tau), so fuzzy and exact results never
+  /// collide — except that params.k == 0, being bit-identical to the exact
+  /// query by contract, is normalized onto the exact path and shares its
+  /// cache entries. Invalid params resolve immediately, without queueing.
+  std::future<Result> SubmitFuzzy(std::string pattern, double tau,
+                                  const FuzzyParams& params);
+
+  /// Submits every fuzzy query of the batch; out[i] is the future for
+  /// queries[i].
+  std::vector<std::future<Result>> SubmitFuzzyBatch(
+      const std::vector<FuzzyBatchQuery>& queries);
 
   /// Stops accepting new requests (they resolve with NotSupported) and lets
   /// the workers drain everything already accepted. Idempotent; does not

@@ -188,6 +188,92 @@ struct ShardedIndex::Impl {
     return Status::OK();
   }
 
+  // Fuzzy variant of CheckQuery. The slice layout guarantees windows of up
+  // to overlap+1 characters starting at an owned position stay in-slice;
+  // under kEdit an admissible variant window can be params.k longer than
+  // the pattern (and max(1, m - k) shorter, which is what decides
+  // cannot_match), so the supported pattern length shrinks by k.
+  Status CheckFuzzyQuery(const std::string& pattern, double tau,
+                         const FuzzyParams& params, bool* cannot_match) const {
+    *cannot_match = false;
+    if (pattern.empty()) {
+      return Status::InvalidArgument("pattern must be non-empty");
+    }
+    if (!(tau > 0.0) || tau > 1.0) {
+      return Status::InvalidArgument("tau must be in (0, 1]");
+    }
+    const LogProb lt = LogProb::FromLinear(tau);
+    const LogProb lmin =
+        LogProb::FromLinear(options.index.transform.tau_min);
+    if (!lt.MeetsThreshold(lmin)) {
+      return Status::InvalidArgument(
+          "tau is below the construction-time tau_min");
+    }
+    PTI_RETURN_IF_ERROR(CheckFuzzyParams(params));
+    const int64_t m = static_cast<int64_t>(pattern.size());
+    const bool edit = params.metric == FuzzyMetric::kEdit && params.k > 0;
+    const int64_t min_len = edit ? std::max<int64_t>(1, m - params.k) : m;
+    const int64_t max_len = edit ? m + params.k : m;
+    if (min_len > original_length) {
+      *cannot_match = true;
+      return Status::OK();
+    }
+    if (max_len > static_cast<int64_t>(options.overlap) + 1) {
+      return Status::NotSupported(
+          "pattern length " + std::to_string(m) +
+          (edit ? " widened by k=" + std::to_string(params.k) : "") +
+          " exceeds the shard overlap limit of " +
+          std::to_string(options.overlap + 1) +
+          "; rebuild the sharded index with a larger overlap");
+    }
+    return Status::OK();
+  }
+
+  Status QueryFuzzy(const std::string& pattern, double tau,
+                    const FuzzyParams& params, std::vector<Match>* out) const {
+    out->clear();
+    bool cannot_match = false;
+    PTI_RETURN_IF_ERROR(CheckFuzzyQuery(pattern, tau, params, &cannot_match));
+    if (cannot_match) return Status::OK();
+    std::vector<Match> local;
+    for (int32_t k = 0; k < num_shards(); ++k) {
+      PTI_RETURN_IF_ERROR(shards[k].QueryFuzzy(pattern, tau, params, &local));
+      MergeShardMatches(k, local, out);
+    }
+    return Status::OK();
+  }
+
+  Status QueryFuzzyBatch(const std::vector<FuzzyBatchQuery>& queries,
+                         std::vector<std::vector<Match>>* out) const {
+    out->clear();
+    out->resize(queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      bool cannot_match = false;
+      const Status st = CheckFuzzyQuery(queries[i].pattern, queries[i].tau,
+                                        queries[i].params, &cannot_match);
+      if (!st.ok()) return PrefixBatchError(st, i);
+    }
+    const size_t n_shards = static_cast<size_t>(num_shards());
+    std::vector<std::vector<std::vector<Match>>> per_shard(n_shards);
+    std::vector<Status> statuses(n_shards);
+    const auto run_shard = [&](size_t k) {
+      statuses[k] = shards[k].QueryFuzzyBatch(queries, &per_shard[k]);
+    };
+    if (n_shards > 1 && options.num_threads > 1) {
+      GetPool()->ParallelFor(n_shards, run_shard);
+    } else {
+      for (size_t k = 0; k < n_shards; ++k) run_shard(k);
+    }
+    for (const Status& st : statuses) PTI_RETURN_IF_ERROR(st);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      for (size_t k = 0; k < n_shards; ++k) {
+        MergeShardMatches(static_cast<int32_t>(k), per_shard[k][i],
+                          &(*out)[i]);
+      }
+    }
+    return Status::OK();
+  }
+
   Status QueryBatch(const std::vector<BatchQuery>& queries,
                     std::vector<std::vector<Match>>* out) const {
     out->clear();
@@ -289,6 +375,18 @@ Status ShardedIndex::Query(const std::string& pattern, double tau,
 Status ShardedIndex::QueryBatch(const std::vector<BatchQuery>& queries,
                                 std::vector<std::vector<Match>>* out) const {
   return impl_->QueryBatch(queries, out);
+}
+
+Status ShardedIndex::QueryFuzzy(const std::string& pattern, double tau,
+                                const FuzzyParams& params,
+                                std::vector<Match>* out) const {
+  return impl_->QueryFuzzy(pattern, tau, params, out);
+}
+
+Status ShardedIndex::QueryFuzzyBatch(
+    const std::vector<FuzzyBatchQuery>& queries,
+    std::vector<std::vector<Match>>* out) const {
+  return impl_->QueryFuzzyBatch(queries, out);
 }
 
 Status ShardedIndex::Count(const std::string& pattern, double tau,

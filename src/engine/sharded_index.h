@@ -88,6 +88,21 @@ class ShardedIndex {
   Status QueryBatch(const std::vector<BatchQuery>& queries,
                     std::vector<std::vector<Match>>* out) const;
 
+  /// Fuzzy threshold query (core/fuzzy.h), fanned out like Query. The
+  /// overlap length rule widens by k: under kEdit a variant window can be
+  /// params.k longer than the pattern, so patterns longer than
+  /// overlap+1-k are NotSupported (kMismatch variants keep the pattern's
+  /// length and get the exact limit). params.k == 0 is bit-identical to
+  /// Query.
+  Status QueryFuzzy(const std::string& pattern, double tau,
+                    const FuzzyParams& params, std::vector<Match>* out) const;
+
+  /// Batched fuzzy path: validates up front, fans out shard-parallel via
+  /// each shard's QueryFuzzyBatch, merges per query. out[i] holds exactly
+  /// what QueryFuzzy(queries[i]) would report.
+  Status QueryFuzzyBatch(const std::vector<FuzzyBatchQuery>& queries,
+                         std::vector<std::vector<Match>>* out) const;
+
   /// Number of occurrences with probability >= tau.
   Status Count(const std::string& pattern, double tau, size_t* count) const;
 

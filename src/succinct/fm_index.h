@@ -21,6 +21,7 @@
 #ifndef PTI_SUCCINCT_FM_INDEX_H_
 #define PTI_SUCCINCT_FM_INDEX_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <optional>
@@ -105,6 +106,23 @@ class FmIndex {
       }
     }
     return ToSaRange(sp, ep);
+  }
+
+  /// BWT symbols of byte characters (returned un-shifted, i.e. as text
+  /// symbols in [0, 256)) that occur at least once in the indexed text —
+  /// the substitution/insertion candidate set for the approximate backward
+  /// search (core/fuzzy.cc). Sentinels are excluded by construction: they
+  /// sit above the byte range and no variant may contain one.
+  std::vector<int32_t> OccupiedByteSymbols() const {
+    std::vector<int32_t> symbols;
+    const int64_t limit =
+        std::min<int64_t>(257, static_cast<int64_t>(counts_.size()) - 1);
+    for (int64_t sym = 1; sym < limit; ++sym) {
+      if (counts_[sym + 1] > counts_[sym]) {
+        symbols.push_back(static_cast<int32_t>(sym - 1));
+      }
+    }
+    return symbols;
   }
 
   size_t MemoryUsage() const {

@@ -168,6 +168,41 @@ def main():
     check("query-corrupt-index", run("query", p("trunc.pti"), "AA", "0.2"),
           1, stderr_has="Corruption")
 
+    # ---- fuzzy ----
+    # d.pus position 1 only matches "QP" via the 1-mismatch variant "PP"
+    # (0.7 * 1.0); position 0 matches exactly at 0.49.
+    check("fuzzy-substring", run("fuzzy", p("d.pti"), "QP", "0.4", "--k=1"),
+          0, stdout_has="1\t0.700000", stderr_has="2 match(es)")
+    check("fuzzy-k0-equals-query",
+          run("fuzzy", p("d.pti"), "QP", "0.4", "--k=0"), 0,
+          stdout_has="0\t0.490000", stderr_has="1 match(es)")
+    check("fuzzy-edit-compact",
+          run("fuzzy", p("dc.pti"), "QP", "0.4", "--k=1", "--mode=edit"), 0,
+          stderr_has="match(es)")
+    check("fuzzy-sharded", run("fuzzy", p("sh.pti"), "AA", "0.2", "--k=1"),
+          0, stderr_has="match(es)")
+    # Overlap is 16: a 16-char pattern fits exactly but not once edit
+    # distance widens the window length range by k.
+    check("fuzzy-sharded-widened",
+          run("fuzzy", p("sh.pti"), "A" * 16, "0.2", "--k=2", "--mode=edit"),
+          1, stderr_has="widened by k=2")
+    check("fuzzy-k-too-large", run("fuzzy", p("d.pti"), "QP", "0.4", "--k=9"),
+          1, stderr_has="NotSupported")
+    check("fuzzy-negative-k", run("fuzzy", p("d.pti"), "QP", "0.4", "--k=-1"),
+          2, stderr_has="bad value")
+    check("fuzzy-bad-mode",
+          run("fuzzy", p("d.pti"), "QP", "0.4", "--mode=hamming"), 2,
+          stderr_has="bad value")
+    check("fuzzy-missing-args", run("fuzzy", p("d.pti"), "QP"), 2,
+          stderr_has="usage")
+    check("fuzzy-bad-tau", run("fuzzy", p("d.pti"), "QP", "x"), 2,
+          stderr_has="bad tau")
+    check("fuzzy-wrong-kind", run("fuzzy", p("l.pti"), "QP", "0.4"), 1,
+          stderr_has="requires a substring or sharded")
+    check("fuzzy-inapplicable-flag",
+          run("fuzzy", p("d.pti"), "QP", "0.4", "--shards=2"), 2,
+          stderr_has="not supported by this command")
+
     # ---- batch ----
     with open(p("pats.txt"), "w") as f:
         f.write("# comment\nQP\nQ 0.6\n\nPP\n")

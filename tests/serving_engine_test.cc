@@ -304,6 +304,122 @@ TEST(ServingEngineTest, StopDrainsAcceptedWorkAndRejectsNewWork) {
   EXPECT_EQ(engine.stats().rejected, 1u);
 }
 
+TEST(ServingEngineTest, FuzzyResultsIdenticalToSynchronousPath) {
+  const UncertainString s = MakeString(200, 81);
+  SubstringIndex reference = BuildMono(s);
+  // A fuzzy workload cycling k 0..2, both metrics, and one invalid k that
+  // must resolve with NotSupported without failing batch-mates.
+  Rng rng(82);
+  std::vector<FuzzyBatchQuery> queries;
+  for (int q = 0; q < 60; ++q) {
+    const size_t len = 1 + rng.Uniform(5);
+    FuzzyBatchQuery query;
+    query.pattern = test::PatternFromString(
+        s, static_cast<int64_t>(rng.Uniform(s.size() - len + 1)), len,
+        rng.Next());
+    query.tau = (q % 2) ? 0.1 : 0.3;
+    query.params.k = q % 4;
+    if (query.params.k == 3) query.params.k = 7;  // above kMaxFuzzyErrors
+    query.params.metric =
+        (q % 2) ? FuzzyMetric::kEdit : FuzzyMetric::kMismatch;
+    queries.push_back(std::move(query));
+  }
+  std::vector<Expected> expected(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    expected[i].status =
+        reference.QueryFuzzy(queries[i].pattern, queries[i].tau,
+                             queries[i].params, &expected[i].matches);
+  }
+  for (const size_t cache_bytes : {size_t{0}, size_t{1} << 20}) {
+    ServingOptions options;
+    options.cache_bytes = cache_bytes;
+    options.max_batch = 16;
+    options.linger_us = 100;
+    options.num_workers = 2;
+    ServingEngine engine(BuildMono(s), options);
+    auto futures = engine.SubmitFuzzyBatch(queries);
+    ASSERT_EQ(futures.size(), queries.size());
+    for (size_t i = 0; i < futures.size(); ++i) {
+      ServingEngine::Result result = futures[i].get();
+      EXPECT_EQ(result.status.code(), expected[i].status.code())
+          << "query #" << i << ": " << result.status.ToString();
+      EXPECT_TRUE(result.matches == expected[i].matches)
+          << "query #" << i << " '" << queries[i].pattern << "' k "
+          << queries[i].params.k
+          << "\n  async: " << test::MatchesToString(result.matches)
+          << "\n  sync:  " << test::MatchesToString(expected[i].matches);
+    }
+  }
+}
+
+TEST(ServingEngineTest, FuzzyShardedResultsIdenticalToSynchronousPath) {
+  const UncertainString s = MakeString(300, 83);
+  ShardedIndex reference = BuildShardedIndex(s, 16);
+  std::vector<FuzzyBatchQuery> queries;
+  Rng rng(84);
+  for (int q = 0; q < 40; ++q) {
+    const size_t len = 1 + rng.Uniform(6);
+    queries.push_back(
+        {test::PatternFromString(
+             s, static_cast<int64_t>(rng.Uniform(s.size() - len + 1)), len,
+             rng.Next()),
+         (q % 2) ? 0.1 : 0.4,
+         {static_cast<int32_t>(q % 3),
+          (q % 2) ? FuzzyMetric::kEdit : FuzzyMetric::kMismatch}});
+  }
+  std::vector<Expected> expected(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    expected[i].status =
+        reference.QueryFuzzy(queries[i].pattern, queries[i].tau,
+                             queries[i].params, &expected[i].matches);
+  }
+  ServingOptions options;
+  options.max_batch = 16;
+  options.num_workers = 2;
+  ServingEngine engine(BuildShardedIndex(s, 16), options);
+  auto futures = engine.SubmitFuzzyBatch(queries);
+  for (size_t i = 0; i < futures.size(); ++i) {
+    ServingEngine::Result result = futures[i].get();
+    EXPECT_EQ(result.status.code(), expected[i].status.code()) << i;
+    EXPECT_TRUE(result.matches == expected[i].matches) << "query #" << i;
+  }
+}
+
+TEST(ServingEngineTest, FuzzyCacheKeysAreDistinctFromExactAndShareKZero) {
+  const UncertainString s = MakeString(150, 85);
+  const std::string pattern = test::PatternFromString(s, 5, 4, 86);
+  ServingOptions options;
+  options.cache_bytes = size_t{1} << 20;
+  options.num_workers = 1;
+  ServingEngine engine(BuildMono(s), options);
+
+  // Prime the cache with the exact result.
+  (void)engine.Submit(pattern, 0.2).get();
+  const uint64_t hits0 = engine.stats().cache_hits;
+
+  // k = 0 normalizes onto the exact path: shares the cached entry.
+  (void)engine.SubmitFuzzy(pattern, 0.2, {0, FuzzyMetric::kEdit}).get();
+  EXPECT_EQ(engine.stats().cache_hits, hits0 + 1);
+
+  // k = 1 must miss (distinct key) — and so must each (metric, k) pair.
+  (void)engine.SubmitFuzzy(pattern, 0.2, {1, FuzzyMetric::kMismatch}).get();
+  EXPECT_EQ(engine.stats().cache_hits, hits0 + 1);
+  (void)engine.SubmitFuzzy(pattern, 0.2, {1, FuzzyMetric::kEdit}).get();
+  EXPECT_EQ(engine.stats().cache_hits, hits0 + 1);
+  (void)engine.SubmitFuzzy(pattern, 0.2, {2, FuzzyMetric::kEdit}).get();
+  EXPECT_EQ(engine.stats().cache_hits, hits0 + 1);
+
+  // Repeats of each fuzzy key now hit their own entries.
+  (void)engine.SubmitFuzzy(pattern, 0.2, {1, FuzzyMetric::kMismatch}).get();
+  (void)engine.SubmitFuzzy(pattern, 0.2, {1, FuzzyMetric::kEdit}).get();
+  EXPECT_EQ(engine.stats().cache_hits, hits0 + 3);
+
+  // An exact repeat still hits the original entry (fuzzy traffic did not
+  // clobber it).
+  (void)engine.Submit(pattern, 0.2).get();
+  EXPECT_EQ(engine.stats().cache_hits, hits0 + 4);
+}
+
 TEST(ServingEngineTest, DegenerateCoalescingConfigsStayCorrect) {
   const UncertainString s = MakeString(150, 71);
   const auto queries = Workload(s, 60, 20, 6, 72);

@@ -87,6 +87,93 @@ inline std::string PatternFromString(const UncertainString& s, int64_t start,
   return p;
 }
 
+/// Attaches `count` random correlation rules between existing characters of
+/// s. Probabilities are multiples of 1/8 and at least 1/8, so every case-2
+/// marginal stays strictly positive (correlation boosts remain finite) and
+/// threshold boundaries stay exact. Returns how many rules were added (the
+/// per-(pos, ch) uniqueness rule can reject attempts; with enough positions
+/// all `count` land).
+inline int32_t AddRandomCorrelations(UncertainString* s, int32_t count,
+                                     uint64_t seed) {
+  Rng rng(seed);
+  int32_t added = 0;
+  for (int attempt = 0; attempt < 100 * count && added < count; ++attempt) {
+    const int64_t pos = static_cast<int64_t>(rng.Uniform(s->size()));
+    const int64_t dep = static_cast<int64_t>(rng.Uniform(s->size()));
+    if (pos == dep) continue;
+    const auto& opts = s->options(pos);
+    const auto& dep_opts = s->options(dep);
+    CorrelationRule rule;
+    rule.pos = pos;
+    rule.ch = opts[rng.Uniform(opts.size())].ch;
+    rule.dep_pos = dep;
+    rule.dep_ch = dep_opts[rng.Uniform(dep_opts.size())].ch;
+    rule.prob_if_present = 0.125 * (1 + rng.Uniform(7));
+    rule.prob_if_absent = 0.125 * (1 + rng.Uniform(7));
+    if (s->AddCorrelation(rule).ok()) ++added;
+  }
+  return added;
+}
+
+/// One cell of a property sweep: a generated string plus the knobs that
+/// produced it, labelled for failure messages.
+struct SweepConfig {
+  UncertainString s;
+  std::string label;        ///< e.g. "len=40 sigma=3 corr=3 rep=0"
+  uint64_t seed = 0;        ///< per-cell seed, distinct across the grid
+  int32_t alphabet = 0;
+  int32_t num_correlations = 0;
+};
+
+/// Grid for RunPropertySweep. Defaults cover the regimes the differential
+/// tests care about: binary through 5-letter alphabets, with and without
+/// correlation rules.
+struct PropertySweepSpec {
+  std::vector<int64_t> lengths = {40};
+  std::vector<int32_t> alphabets = {2, 3, 5};
+  std::vector<int32_t> correlation_counts = {0, 3};
+  int32_t strings_per_config = 1;  ///< independent seeds per grid cell
+  double theta = 0.5;
+  uint64_t base_seed = 1;
+};
+
+/// Deterministic randomized-property driver: invokes `body(config)` once per
+/// grid cell x repetition with an independently seeded string. Everything is
+/// derived from base_seed, so failures reproduce exactly; include
+/// config.label (and config.seed) in assertion messages.
+template <typename Body>
+inline void RunPropertySweep(const PropertySweepSpec& spec, Body&& body) {
+  uint64_t cell = 0;
+  for (const int64_t length : spec.lengths) {
+    for (const int32_t alphabet : spec.alphabets) {
+      for (const int32_t corr : spec.correlation_counts) {
+        for (int32_t rep = 0; rep < spec.strings_per_config; ++rep) {
+          ++cell;
+          SweepConfig config;
+          config.seed = spec.base_seed * 1000003 + cell;
+          config.alphabet = alphabet;
+          RandomStringSpec rs;
+          rs.length = length;
+          rs.alphabet = alphabet;
+          rs.theta = spec.theta;
+          rs.seed = config.seed;
+          config.s = RandomUncertain(rs);
+          if (corr > 0) {
+            config.num_correlations =
+                AddRandomCorrelations(&config.s, corr, config.seed * 977 + 13);
+          }
+          std::ostringstream label;
+          label << "len=" << length << " sigma=" << alphabet
+                << " corr=" << config.num_correlations << " rep=" << rep
+                << " seed=" << config.seed;
+          config.label = label.str();
+          body(config);
+        }
+      }
+    }
+  }
+}
+
 inline std::string MatchesToString(const std::vector<Match>& ms) {
   std::ostringstream out;
   for (const Match& m : ms) {
