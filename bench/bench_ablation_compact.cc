@@ -102,7 +102,7 @@ void RunLocus(const bench::Args& args) {
     Text text;
     text.AppendMember(raw);
     const SuffixTree st =
-        SuffixTree::Build(&text.chars(), text.alphabet_size());
+        SuffixTree::Build(text.chars(), text.alphabet_size());
     const FmIndex fm(text.chars(), st.sa(), text.alphabet_size());
 
     std::vector<std::vector<int32_t>> patterns;

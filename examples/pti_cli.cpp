@@ -1,39 +1,50 @@
 // pti_cli: command-line front end for the library.
 //
 //   pti_cli build         <string.pus> <index.pti> [tau_min]   substring index
-//                         [--compact]              FM-index locator, smaller
+//                         [--compact] [--format=V] FM-index locator, smaller
 //   pti_cli build-special <string.pus> <index.pti>             §4 special index
 //   pti_cli build-approx  <string.pus> <index.pti> [tau_min [epsilon]]
 //   pti_cli build-listing <index.pti> <tau_min> <doc.pus>...   §6 listing index
 //   pti_cli build-sharded <string.pus> <index.pti> [tau_min]   sharded engine
 //                         [--shards=K] [--overlap=N] [--threads=T] [--compact]
-//   pti_cli query <index.pti> <pattern> <tau>    threshold query (any kind;
+//                         [--format=V]
+//   pti_cli query <index.pti> <pattern> <tau> [--mmap]
+//                                                threshold query (any kind;
 //                                                the kind is read from the file)
 //   pti_cli fuzzy <index.pti> <pattern> <tau> [--k=N] [--mode=mismatch|edit]
-//                                                approximate threshold query
+//                 [--mmap]                       approximate threshold query
 //                                                (substring or sharded index):
 //                                                positions where some variant
 //                                                within k errors clears tau
-//   pti_cli batch <index.pti> <patterns.txt> <tau> [--threads=T]
+//   pti_cli batch <index.pti> <patterns.txt> <tau> [--threads=T] [--mmap]
 //                                                batched queries (substring or
 //                                                sharded index); the file has
 //                                                one pattern per line with an
 //                                                optional per-line tau
 //   pti_cli serve <index.pti> <patterns.txt|-> <tau> [--clients=N]
 //                 [--batch-max=N] [--linger-us=N] [--cache-mb=N] [--threads=T]
-//                                                async serving engine: N client
+//                 [--mmap]                       async serving engine: N client
 //                                                threads submit the workload
 //                                                concurrently; results print in
 //                                                input order, engine stats go
-//                                                to stderr; "-" reads stdin
-//   pti_cli topk  <index.pti> <pattern> <tau> <k>  k best occurrences (substring)
-//   pti_cli stat  <index.pti>                    index statistics (any kind)
+//                                                to stderr; "-" reads stdin.
+//                                                A "!reload <index.pti>" line
+//                                                in the workload hot-swaps the
+//                                                served index between segments
+//   pti_cli topk  <index.pti> <pattern> <tau> <k> [--mmap]
+//                                                k best occurrences (substring)
+//   pti_cli stat  <index.pti> [--mmap]           index statistics (any kind)
 //   pti_cli gen   <n> <theta> <seed> <out.pus>   §8.1 synthetic data
 //
 // .pus files use the text format of core/usformat.h (one position per line,
 // char=prob pairs, optional @corr directives). .pti files use the versioned
 // container format of core/serde.h; every index kind round-trips through
-// save (build*) and load (query/batch/topk/stat).
+// save (build*) and load (query/batch/topk/stat). Builds write version 3
+// (the aligned zero-copy layout) unless pinned with --format=2 to the
+// portable interchange format; --mmap maps the index file instead of
+// reading it, so v3 loads share the page cache and skip the heap copy.
+// Index files are written to <path>.tmp and renamed into place, so a crash
+// or full disk never leaves a half-written index under the final name.
 //
 // Exit codes: 0 on success, 1 on an operational failure (I/O, corrupt index,
 // failed build or query), 2 on a usage error (unknown command, missing or
@@ -75,20 +86,23 @@ int Usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  pti_cli build         <string.pus> <index.pti> [tau_min] [--compact]\n"
+               "                        [--format=2|3]\n"
                "  pti_cli build-special <string.pus> <index.pti>\n"
                "  pti_cli build-approx  <string.pus> <index.pti> [tau_min [epsilon]]\n"
                "  pti_cli build-listing <index.pti> <tau_min> <doc.pus>...\n"
                "  pti_cli build-sharded <string.pus> <index.pti> [tau_min]\n"
                "                        [--shards=K] [--overlap=N] [--threads=T] [--compact]\n"
-               "  pti_cli query <index.pti> <pattern> <tau>\n"
+               "                        [--format=2|3]\n"
+               "  pti_cli query <index.pti> <pattern> <tau> [--mmap]\n"
                "  pti_cli fuzzy <index.pti> <pattern> <tau> [--k=N] "
                "[--mode=mismatch|edit]\n"
-               "  pti_cli batch <index.pti> <patterns.txt> <tau> [--threads=T]\n"
+               "                [--mmap]\n"
+               "  pti_cli batch <index.pti> <patterns.txt> <tau> [--threads=T] [--mmap]\n"
                "  pti_cli serve <index.pti> <patterns.txt|-> <tau> [--clients=N]\n"
                "                [--batch-max=N] [--linger-us=N] [--cache-mb=N]\n"
-               "                [--threads=T]\n"
-               "  pti_cli topk  <index.pti> <pattern> <tau> <k>\n"
-               "  pti_cli stat  <index.pti>\n"
+               "                [--threads=T] [--mmap]\n"
+               "  pti_cli topk  <index.pti> <pattern> <tau> <k> [--mmap]\n"
+               "  pti_cli stat  <index.pti> [--mmap]\n"
                "  pti_cli gen   <n> <theta> <seed> <out.pus>\n");
   return 2;
 }
@@ -132,6 +146,10 @@ struct Flags {
   // fuzzy defaults; see core/fuzzy.h.
   int64_t k = 1;
   std::string mode = "mismatch";
+  // container version for build commands; see core/serde.h.
+  int64_t format = pti::serde::kContainerVersion;
+  // read-side: mmap the index file instead of copying it into memory.
+  bool mmap = false;
 };
 
 constexpr unsigned kFlagShards = 1u << 0;
@@ -144,6 +162,8 @@ constexpr unsigned kFlagLingerUs = 1u << 6;
 constexpr unsigned kFlagCacheMb = 1u << 7;
 constexpr unsigned kFlagK = 1u << 8;
 constexpr unsigned kFlagMode = 1u << 9;
+constexpr unsigned kFlagFormat = 1u << 10;
+constexpr unsigned kFlagMmap = 1u << 11;
 
 bool SplitArgs(int argc, char** argv, unsigned allowed,
                std::vector<const char*>* positional, Flags* flags,
@@ -163,6 +183,14 @@ bool SplitArgs(int argc, char** argv, unsigned allowed,
         return false;
       }
       flags->compact = true;
+      continue;
+    }
+    if (std::strcmp(arg, "--mmap") == 0) {
+      if ((allowed & kFlagMmap) == 0) {
+        *bad = std::string("flag not supported by this command: ") + arg;
+        return false;
+      }
+      flags->mmap = true;
       continue;
     }
     if (std::strncmp(arg, "--mode=", 7) == 0) {
@@ -211,6 +239,10 @@ bool SplitArgs(int argc, char** argv, unsigned allowed,
       target = &flags->k;
       value = arg + 4;
       flag = kFlagK;
+    } else if (std::strncmp(arg, "--format=", 9) == 0) {
+      target = &flags->format;
+      value = arg + 9;
+      flag = kFlagFormat;
     } else {
       *bad = std::string("unknown flag ") + arg;
       return false;
@@ -227,49 +259,104 @@ bool SplitArgs(int argc, char** argv, unsigned allowed,
       return false;
     }
     if (flag == kFlagThreads) flags->threads_set = true;
+    if (flag == kFlagFormat &&
+        (flags->format < pti::serde::kInterchangeVersion ||
+         flags->format > pti::serde::kContainerVersion)) {
+      *bad = std::string("bad value in ") + arg + " (want 2 or 3)";
+      return false;
+    }
   }
   return true;
 }
 
-bool ReadFile(const std::string& path, std::string* out) {
+/// Reads `path` whole. The stream state is checked *after* the read, so a
+/// failure mid-file (EIO, truncated NFS read, ...) surfaces as an IOError
+/// with the errno cause instead of silently returning a short buffer that a
+/// later Load would misdiagnose as container corruption.
+pti::Status ReadFile(const std::string& path, std::string* out) {
+  errno = 0;
   std::ifstream in(path, std::ios::binary);
-  if (!in) return false;
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  *out = buf.str();
-  return true;
+  if (!in) {
+    return pti::Status::IOError("cannot read " + path + ": " +
+                                std::strerror(errno));
+  }
+  in.seekg(0, std::ios::end);
+  const std::streamoff size = in.tellg();
+  if (size < 0) {
+    return pti::Status::IOError("cannot read " + path + ": " +
+                                std::strerror(errno));
+  }
+  in.seekg(0, std::ios::beg);
+  out->resize(static_cast<size_t>(size));
+  if (size > 0) in.read(&(*out)[0], size);
+  if (!in || in.gcount() != size) {
+    return pti::Status::IOError("cannot read " + path + ": " +
+                                (errno != 0 ? std::strerror(errno)
+                                            : "short read"));
+  }
+  return pti::Status::OK();
 }
 
-bool WriteFile(const std::string& path, const std::string& data) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return false;
-  out << data;
-  return out.good();
+/// Writes `data` to `<path>.tmp`, then renames it over `path`, so an
+/// interrupted or failed write (crash, full disk) can never leave a torn
+/// file under the final name. Flush and close failures are real write
+/// failures (that is where buffered errors surface) and are propagated.
+pti::Status WriteFile(const std::string& path, const std::string& data) {
+  const std::string tmp = path + ".tmp";
+  errno = 0;
+  std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return pti::Status::IOError("cannot write " + tmp + ": " +
+                                std::strerror(errno));
+  }
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  out.flush();
+  out.close();
+  if (!out) {
+    const std::string cause =
+        errno != 0 ? std::strerror(errno) : "write failed";
+    std::remove(tmp.c_str());
+    return pti::Status::IOError("cannot write " + tmp + ": " + cause);
+  }
+  errno = 0;
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string cause = std::strerror(errno);
+    std::remove(tmp.c_str());
+    return pti::Status::IOError("cannot write " + path +
+                                " (rename from temporary): " + cause);
+  }
+  return pti::Status::OK();
 }
 
 pti::StatusOr<pti::UncertainString> ReadUncertain(
     const std::string& path, bool require_unit_sums = true) {
   std::string text;
-  if (!ReadFile(path, &text)) {
-    return pti::Status::IOError("cannot read " + path);
-  }
+  PTI_RETURN_IF_ERROR(ReadFile(path, &text));
   return pti::ParseUncertainString(text, require_unit_sums);
 }
 
-/// Reads an index file and reports its kind; `blob` receives the raw bytes
-/// for the kind-specific Load.
-pti::StatusOr<pti::serde::IndexKind> ReadIndexBlob(const std::string& path,
-                                                   std::string* blob) {
-  if (!ReadFile(path, blob)) {
-    return pti::Status::IOError("cannot read " + path);
+/// Opens an index file and reports its kind; `blob` receives the bytes —
+/// mmap'd when `use_mmap` (zero-copy for v3 containers, page cache shared
+/// across processes), read into an owned heap blob otherwise. Either way
+/// the BlobPtr is what the kind-specific Load pins as backing.
+pti::StatusOr<pti::serde::IndexKind> OpenIndexBlob(const std::string& path,
+                                                   bool use_mmap,
+                                                   pti::serde::BlobPtr* blob) {
+  auto opened = use_mmap ? pti::serde::MapFile(path)
+                         : pti::serde::ReadFileToBlob(path);
+  if (!opened.ok()) {
+    return pti::Status::IOError("cannot read " + path + ": " +
+                                opened.status().message());
   }
-  return pti::serde::PeekKind(*blob);
+  *blob = std::move(opened).value();
+  return pti::serde::PeekKind((*blob)->view());
 }
 
 int SaveIndexFile(const pti::Status& save_status, const std::string& blob,
                   const std::string& path) {
   if (!save_status.ok()) return Fail(save_status.ToString());
-  if (!WriteFile(path, blob)) return Fail("cannot write " + path);
+  const pti::Status written = WriteFile(path, blob);
+  if (!written.ok()) return Fail(written.ToString());
   return 0;
 }
 
@@ -285,7 +372,8 @@ int CmdBuild(int argc, char** argv) {
   std::vector<const char*> pos;
   Flags flags;
   std::string bad;
-  if (!SplitArgs(argc, argv, kFlagCompact, &pos, &flags, &bad)) {
+  if (!SplitArgs(argc, argv, kFlagCompact | kFlagFormat, &pos, &flags,
+                 &bad)) {
     return UsageError(bad);
   }
   if (pos.size() < 2 || pos.size() > 3) return Usage();
@@ -300,7 +388,8 @@ int CmdBuild(int argc, char** argv) {
   auto index = pti::SubstringIndex::Build(*s, options);
   if (!index.ok()) return Fail(index.status().ToString());
   std::string blob;
-  const int rc = SaveIndexFile(index->Save(&blob), blob, pos[1]);
+  const int rc = SaveIndexFile(
+      index->Save(&blob, static_cast<uint32_t>(flags.format)), blob, pos[1]);
   if (rc != 0) return rc;
   const auto stats = index->stats();
   std::printf("indexed %lld positions (tau_min %.4g%s): %zu factors, "
@@ -385,7 +474,8 @@ int CmdBuildSharded(int argc, char** argv) {
   Flags flags;
   std::string bad;
   if (!SplitArgs(argc, argv,
-                 kFlagShards | kFlagOverlap | kFlagThreads | kFlagCompact,
+                 kFlagShards | kFlagOverlap | kFlagThreads | kFlagCompact |
+                     kFlagFormat,
                  &pos, &flags, &bad)) {
     return UsageError(bad);
   }
@@ -404,7 +494,8 @@ int CmdBuildSharded(int argc, char** argv) {
   auto index = pti::ShardedIndex::Build(*s, options);
   if (!index.ok()) return Fail(index.status().ToString());
   std::string blob;
-  const int rc = SaveIndexFile(index->Save(&blob), blob, pos[1]);
+  const int rc = SaveIndexFile(
+      index->Save(&blob, static_cast<uint32_t>(flags.format)), blob, pos[1]);
   if (rc != 0) return rc;
   const auto stats = index->stats();
   std::printf("indexed %lld positions (tau_min %.4g): %d shards, "
@@ -417,44 +508,50 @@ int CmdBuildSharded(int argc, char** argv) {
 }
 
 int CmdQuery(int argc, char** argv) {
-  if (argc != 5) return Usage();
-  std::string blob;
-  auto kind = ReadIndexBlob(argv[2], &blob);
+  std::vector<const char*> pos;
+  Flags flags;
+  std::string bad;
+  if (!SplitArgs(argc, argv, kFlagMmap, &pos, &flags, &bad)) {
+    return UsageError(bad);
+  }
+  if (pos.size() != 3) return Usage();
+  pti::serde::BlobPtr blob;
+  auto kind = OpenIndexBlob(pos[0], flags.mmap, &blob);
   if (!kind.ok()) return Fail(kind.status().ToString());
-  const std::string pattern = argv[3];
+  const std::string pattern = pos[1];
   double tau = 0.0;
-  if (!ParseDouble(argv[4], &tau)) {
-    return UsageError(std::string("bad tau '") + argv[4] + "'");
+  if (!ParseDouble(pos[2], &tau)) {
+    return UsageError(std::string("bad tau '") + pos[2] + "'");
   }
   pti::Status st;
   std::vector<pti::Match> matches;
   switch (*kind) {
     case pti::serde::IndexKind::kSubstring: {
-      auto index = pti::SubstringIndex::Load(blob);
+      auto index = pti::SubstringIndex::Load(blob->view(), blob);
       if (!index.ok()) return Fail(index.status().ToString());
       st = index->Query(pattern, tau, &matches);
       break;
     }
     case pti::serde::IndexKind::kSharded: {
-      auto index = pti::ShardedIndex::Load(blob);
+      auto index = pti::ShardedIndex::Load(blob->view(), 1, blob);
       if (!index.ok()) return Fail(index.status().ToString());
       st = index->Query(pattern, tau, &matches);
       break;
     }
     case pti::serde::IndexKind::kApprox: {
-      auto index = pti::ApproxIndex::Load(blob);
+      auto index = pti::ApproxIndex::Load(blob->view());
       if (!index.ok()) return Fail(index.status().ToString());
       st = index->Query(pattern, tau, &matches);
       break;
     }
     case pti::serde::IndexKind::kSpecial: {
-      auto index = pti::SpecialIndex::Load(blob);
+      auto index = pti::SpecialIndex::Load(blob->view());
       if (!index.ok()) return Fail(index.status().ToString());
       st = index->Query(pattern, tau, &matches);
       break;
     }
     case pti::serde::IndexKind::kListing: {
-      auto index = pti::ListingIndex::Load(blob);
+      auto index = pti::ListingIndex::Load(blob->view());
       if (!index.ok()) return Fail(index.status().ToString());
       std::vector<pti::DocMatch> docs;
       st = index->Query(pattern, tau, &docs);
@@ -477,7 +574,8 @@ int CmdFuzzy(int argc, char** argv) {
   std::vector<const char*> pos;
   Flags flags;
   std::string bad;
-  if (!SplitArgs(argc, argv, kFlagK | kFlagMode, &pos, &flags, &bad)) {
+  if (!SplitArgs(argc, argv, kFlagK | kFlagMode | kFlagMmap, &pos, &flags,
+                 &bad)) {
     return UsageError(bad);
   }
   if (pos.size() != 3) return Usage();
@@ -490,20 +588,20 @@ int CmdFuzzy(int argc, char** argv) {
   params.k = static_cast<int32_t>(flags.k);
   params.metric = flags.mode == "edit" ? pti::FuzzyMetric::kEdit
                                        : pti::FuzzyMetric::kMismatch;
-  std::string blob;
-  auto kind = ReadIndexBlob(pos[0], &blob);
+  pti::serde::BlobPtr blob;
+  auto kind = OpenIndexBlob(pos[0], flags.mmap, &blob);
   if (!kind.ok()) return Fail(kind.status().ToString());
   pti::Status st;
   std::vector<pti::Match> matches;
   switch (*kind) {
     case pti::serde::IndexKind::kSubstring: {
-      auto index = pti::SubstringIndex::Load(blob);
+      auto index = pti::SubstringIndex::Load(blob->view(), blob);
       if (!index.ok()) return Fail(index.status().ToString());
       st = index->QueryFuzzy(pattern, tau, params, &matches);
       break;
     }
     case pti::serde::IndexKind::kSharded: {
-      auto index = pti::ShardedIndex::Load(blob);
+      auto index = pti::ShardedIndex::Load(blob->view(), 1, blob);
       if (!index.ok()) return Fail(index.status().ToString());
       st = index->QueryFuzzy(pattern, tau, params, &matches);
       break;
@@ -554,6 +652,73 @@ pti::Status ParsePatternsFile(const std::string& text, double default_tau,
   return pti::Status::OK();
 }
 
+/// A serve-workload directive: after the first `after_query` queries have
+/// been submitted, hot-swap the served index to `path`.
+struct ServeDirective {
+  size_t after_query = 0;
+  std::string path;
+};
+
+// Serve workload: the batch patterns format plus "!directive" lines.
+// "!reload <index.pti>" splits the workload into segments; the engine is
+// atomically reloaded between them (in-flight requests drain on the
+// generation they started with).
+pti::Status ParseServeScript(const std::string& text, double default_tau,
+                             std::vector<pti::BatchQuery>* out,
+                             std::vector<ServeDirective>* directives) {
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  std::string plain;  // non-directive lines, re-parsed as a patterns file
+  size_t queries_so_far = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::string trimmed = line;
+    while (!trimmed.empty() &&
+           (trimmed.back() == '\r' || trimmed.back() == ' ' ||
+            trimmed.back() == '\t')) {
+      trimmed.pop_back();
+    }
+    const size_t first = trimmed.find_first_not_of(" \t");
+    if (first != std::string::npos) trimmed.erase(0, first);
+    if (!trimmed.empty() && trimmed[0] == '!') {
+      if (trimmed.rfind("!reload", 0) == 0) {
+        const size_t value = trimmed.find_first_not_of(" \t", 7);
+        if (trimmed.size() > 7 && trimmed[7] != ' ' && trimmed[7] != '\t') {
+          return pti::Status::InvalidArgument(
+              "unknown directive on line " + std::to_string(lineno) +
+              " (want !reload <index.pti>)");
+        }
+        if (value == std::string::npos) {
+          return pti::Status::InvalidArgument(
+              "!reload needs an index path on line " +
+              std::to_string(lineno));
+        }
+        ServeDirective d;
+        d.after_query = queries_so_far;
+        d.path = trimmed.substr(value);
+        directives->push_back(std::move(d));
+        continue;
+      }
+      return pti::Status::InvalidArgument(
+          "unknown directive on line " + std::to_string(lineno) +
+          " (want !reload <index.pti>)");
+    }
+    // Count the queries this line contributes (0 for comments/blanks) by
+    // running the shared parser on it, so directive boundaries stay in sync
+    // with ParsePatternsFile's exact skipping rules.
+    std::vector<pti::BatchQuery> one;
+    pti::Status st = ParsePatternsFile(line, default_tau, &one);
+    if (!st.ok()) {
+      return pti::Status::InvalidArgument(
+          "bad tau on line " + std::to_string(lineno));
+    }
+    queries_so_far += one.size();
+    for (auto& q : one) out->push_back(std::move(q));
+  }
+  return pti::Status::OK();
+}
+
 int PrintBatchResults(const std::vector<pti::BatchQuery>& queries,
                       const std::vector<std::vector<pti::Match>>& results) {
   size_t total = 0;
@@ -573,7 +738,7 @@ int CmdBatch(int argc, char** argv) {
   std::vector<const char*> pos;
   Flags flags;
   std::string bad;
-  if (!SplitArgs(argc, argv, kFlagThreads, &pos, &flags, &bad)) {
+  if (!SplitArgs(argc, argv, kFlagThreads | kFlagMmap, &pos, &flags, &bad)) {
     return UsageError(bad);
   }
   if (pos.size() != 3) return Usage();
@@ -581,13 +746,12 @@ int CmdBatch(int argc, char** argv) {
   if (!ParseDouble(pos[2], &tau)) {
     return UsageError(std::string("bad tau '") + pos[2] + "'");
   }
-  std::string blob;
-  auto kind = ReadIndexBlob(pos[0], &blob);
+  pti::serde::BlobPtr blob;
+  auto kind = OpenIndexBlob(pos[0], flags.mmap, &blob);
   if (!kind.ok()) return Fail(kind.status().ToString());
   std::string patterns_text;
-  if (!ReadFile(pos[1], &patterns_text)) {
-    return Fail(std::string("cannot read ") + pos[1]);
-  }
+  const pti::Status read = ReadFile(pos[1], &patterns_text);
+  if (!read.ok()) return Fail(read.ToString());
   std::vector<pti::BatchQuery> queries;
   const pti::Status parsed = ParsePatternsFile(patterns_text, tau, &queries);
   if (!parsed.ok()) return Fail(parsed.ToString());
@@ -598,7 +762,7 @@ int CmdBatch(int argc, char** argv) {
         return Fail("--threads applies to sharded indexes; " +
                     std::string(pos[0]) + " holds a substring index");
       }
-      auto index = pti::SubstringIndex::Load(blob);
+      auto index = pti::SubstringIndex::Load(blob->view(), blob);
       if (!index.ok()) return Fail(index.status().ToString());
       const pti::Status st = index->QueryBatch(queries, &results);
       if (!st.ok()) return Fail(st.ToString());
@@ -606,7 +770,7 @@ int CmdBatch(int argc, char** argv) {
     }
     case pti::serde::IndexKind::kSharded: {
       auto index = pti::ShardedIndex::Load(
-          blob, static_cast<int32_t>(flags.threads));
+          blob->view(), static_cast<int32_t>(flags.threads), blob);
       if (!index.ok()) return Fail(index.status().ToString());
       const pti::Status st = index->QueryBatch(queries, &results);
       if (!st.ok()) return Fail(st.ToString());
@@ -630,7 +794,7 @@ int CmdServe(int argc, char** argv) {
   std::string bad;
   if (!SplitArgs(argc, argv,
                  kFlagClients | kFlagBatchMax | kFlagLingerUs | kFlagCacheMb |
-                     kFlagThreads,
+                     kFlagThreads | kFlagMmap,
                  &pos, &flags, &bad)) {
     return UsageError(bad);
   }
@@ -642,8 +806,8 @@ int CmdServe(int argc, char** argv) {
   if (!ParseDouble(pos[2], &tau)) {
     return UsageError(std::string("bad tau '") + pos[2] + "'");
   }
-  std::string blob;
-  auto kind = ReadIndexBlob(pos[0], &blob);
+  pti::serde::BlobPtr blob;
+  auto kind = OpenIndexBlob(pos[0], flags.mmap, &blob);
   if (!kind.ok()) return Fail(kind.status().ToString());
 
   std::string patterns_text;
@@ -651,11 +815,14 @@ int CmdServe(int argc, char** argv) {
     std::ostringstream buf;
     buf << std::cin.rdbuf();
     patterns_text = buf.str();
-  } else if (!ReadFile(pos[1], &patterns_text)) {
-    return Fail(std::string("cannot read ") + pos[1]);
+  } else {
+    const pti::Status read = ReadFile(pos[1], &patterns_text);
+    if (!read.ok()) return Fail(read.ToString());
   }
   std::vector<pti::BatchQuery> queries;
-  const pti::Status parsed = ParsePatternsFile(patterns_text, tau, &queries);
+  std::vector<ServeDirective> directives;
+  const pti::Status parsed =
+      ParseServeScript(patterns_text, tau, &queries, &directives);
   if (!parsed.ok()) return Fail(parsed.ToString());
 
   pti::ServingOptions options;
@@ -667,7 +834,7 @@ int CmdServe(int argc, char** argv) {
   std::unique_ptr<pti::ServingEngine> engine;
   switch (*kind) {
     case pti::serde::IndexKind::kSubstring: {
-      auto index = pti::SubstringIndex::Load(blob);
+      auto index = pti::SubstringIndex::Load(blob->view(), blob);
       if (!index.ok()) return Fail(index.status().ToString());
       engine.reset(
           new pti::ServingEngine(std::move(index).value(), options));
@@ -675,7 +842,7 @@ int CmdServe(int argc, char** argv) {
     }
     case pti::serde::IndexKind::kSharded: {
       auto index = pti::ShardedIndex::Load(
-          blob, static_cast<int32_t>(flags.threads));
+          blob->view(), static_cast<int32_t>(flags.threads), blob);
       if (!index.ok()) return Fail(index.status().ToString());
       engine.reset(
           new pti::ServingEngine(std::move(index).value(), options));
@@ -690,16 +857,49 @@ int CmdServe(int argc, char** argv) {
       std::min<size_t>(static_cast<size_t>(flags.clients),
                        queries.empty() ? 1 : queries.size());
   std::vector<std::future<pti::ServingEngine::Result>> futures(queries.size());
-  std::vector<std::thread> client_threads;
-  client_threads.reserve(clients);
-  for (size_t c = 0; c < clients; ++c) {
-    client_threads.emplace_back([c, clients, &queries, &futures, &engine] {
-      for (size_t i = c; i < queries.size(); i += clients) {
-        futures[i] = engine->Submit(queries[i].pattern, queries[i].tau);
-      }
-    });
+  // Submits queries [begin, end) from `clients` concurrent client threads.
+  const auto submit_range = [&](size_t begin, size_t end) {
+    if (begin >= end) return;
+    const size_t n = std::min<size_t>(clients, end - begin);
+    std::vector<std::thread> client_threads;
+    client_threads.reserve(n);
+    for (size_t c = 0; c < n; ++c) {
+      client_threads.emplace_back([c, n, begin, end, &queries, &futures,
+                                   &engine] {
+        for (size_t i = begin + c; i < end; i += n) {
+          futures[i] = engine->Submit(queries[i].pattern, queries[i].tau);
+        }
+      });
+    }
+    for (auto& t : client_threads) t.join();
+  };
+
+  // Each !reload directive ends a submission segment: everything before it
+  // is in flight (and drains on its starting generation), then the engine
+  // swaps, then the next segment is submitted. A failed reload keeps the
+  // previous generation serving and is reported as an operational failure
+  // at exit — after the whole workload has been answered.
+  size_t submitted = 0;
+  size_t reload_failures = 0;
+  std::string first_reload_error;
+  for (const auto& d : directives) {
+    submit_range(submitted, d.after_query);
+    submitted = d.after_query;
+    const pti::Status st = engine->Reload(d.path, flags.mmap);
+    if (!st.ok()) {
+      if (reload_failures == 0) first_reload_error = st.ToString();
+      ++reload_failures;
+      std::fprintf(stderr,
+                   "reload %s failed (previous generation still serving): "
+                   "%s\n",
+                   d.path.c_str(), st.ToString().c_str());
+    } else {
+      std::fprintf(
+          stderr, "reloaded %s (generation %llu)\n", d.path.c_str(),
+          static_cast<unsigned long long>(engine->stats().generation));
+    }
   }
-  for (auto& t : client_threads) t.join();
+  submit_range(submitted, queries.size());
 
   size_t total = 0;
   size_t failed = 0;
@@ -721,24 +921,37 @@ int CmdServe(int argc, char** argv) {
   std::fprintf(stderr,
                "%zu quer%s, %zu match(es), %zu client(s)\n"
                "serving: %llu batches (%llu batched), %llu cache hits, "
-               "%llu merges, %llu fallbacks\n",
+               "%llu merges, %llu fallbacks, %llu reload(s), "
+               "generation %llu\n",
                queries.size(), queries.size() == 1 ? "y" : "ies", total,
                clients, static_cast<unsigned long long>(stats.batches),
                static_cast<unsigned long long>(stats.batched_queries),
                static_cast<unsigned long long>(stats.cache_hits),
                static_cast<unsigned long long>(stats.inflight_merges),
-               static_cast<unsigned long long>(stats.fallback_queries));
+               static_cast<unsigned long long>(stats.fallback_queries),
+               static_cast<unsigned long long>(stats.reloads),
+               static_cast<unsigned long long>(stats.generation));
   if (failed > 0) {
     return Fail(std::to_string(failed) + " request(s) failed; first: " +
                 first_error);
+  }
+  if (reload_failures > 0) {
+    return Fail(std::to_string(reload_failures) +
+                " reload(s) failed; first: " + first_reload_error);
   }
   return 0;
 }
 
 int CmdTopK(int argc, char** argv) {
-  if (argc != 6) return Usage();
-  std::string blob;
-  auto kind = ReadIndexBlob(argv[2], &blob);
+  std::vector<const char*> pos;
+  Flags flags;
+  std::string bad;
+  if (!SplitArgs(argc, argv, kFlagMmap, &pos, &flags, &bad)) {
+    return UsageError(bad);
+  }
+  if (pos.size() != 4) return Usage();
+  pti::serde::BlobPtr blob;
+  auto kind = OpenIndexBlob(pos[0], flags.mmap, &blob);
   if (!kind.ok()) return Fail(kind.status().ToString());
   if (*kind != pti::serde::IndexKind::kSubstring) {
     return Fail("topk requires a substring index, got a " +
@@ -746,17 +959,17 @@ int CmdTopK(int argc, char** argv) {
   }
   double tau = 0.0;
   int64_t k = 0;
-  if (!ParseDouble(argv[4], &tau)) {
-    return UsageError(std::string("bad tau '") + argv[4] + "'");
+  if (!ParseDouble(pos[2], &tau)) {
+    return UsageError(std::string("bad tau '") + pos[2] + "'");
   }
-  if (!ParseInt64(argv[5], &k) || k < 0) {
-    return UsageError(std::string("bad k '") + argv[5] + "'");
+  if (!ParseInt64(pos[3], &k) || k < 0) {
+    return UsageError(std::string("bad k '") + pos[3] + "'");
   }
-  auto index = pti::SubstringIndex::Load(blob);
+  auto index = pti::SubstringIndex::Load(blob->view(), blob);
   if (!index.ok()) return Fail(index.status().ToString());
   std::vector<pti::Match> matches;
   const pti::Status st =
-      index->QueryTopK(argv[3], tau, static_cast<size_t>(k), &matches);
+      index->QueryTopK(pos[1], tau, static_cast<size_t>(k), &matches);
   if (!st.ok()) return Fail(st.ToString());
   for (const auto& m : matches) {
     std::printf("%lld\t%.6f\n", static_cast<long long>(m.position),
@@ -767,15 +980,28 @@ int CmdTopK(int argc, char** argv) {
 }
 
 int CmdStat(int argc, char** argv) {
-  if (argc != 3) return Usage();
-  std::string blob;
-  auto kind = ReadIndexBlob(argv[2], &blob);
+  std::vector<const char*> pos;
+  Flags flags;
+  std::string bad;
+  if (!SplitArgs(argc, argv, kFlagMmap, &pos, &flags, &bad)) {
+    return UsageError(bad);
+  }
+  if (pos.size() != 1) return Usage();
+  pti::serde::BlobPtr blob;
+  auto kind = OpenIndexBlob(pos[0], flags.mmap, &blob);
   if (!kind.ok()) return Fail(kind.status().ToString());
   std::printf("index kind           %s\n", pti::serde::KindName(*kind));
-  std::printf("bytes on disk        %zu\n", blob.size());
+  std::printf("bytes on disk        %zu\n", blob->view().size());
+  {
+    auto version = pti::serde::PeekVersion(blob->view());
+    if (version.ok()) {
+      std::printf("container version    %u%s\n", *version,
+                  blob->mapped() ? " (mmap)" : "");
+    }
+  }
   switch (*kind) {
     case pti::serde::IndexKind::kSubstring: {
-      auto index = pti::SubstringIndex::Load(blob);
+      auto index = pti::SubstringIndex::Load(blob->view(), blob);
       if (!index.ok()) return Fail(index.status().ToString());
       const auto stats = index->stats();
       std::printf("original length      %lld\n",
@@ -793,7 +1019,7 @@ int CmdStat(int argc, char** argv) {
       break;
     }
     case pti::serde::IndexKind::kSharded: {
-      auto index = pti::ShardedIndex::Load(blob);
+      auto index = pti::ShardedIndex::Load(blob->view(), 1, blob);
       if (!index.ok()) return Fail(index.status().ToString());
       const auto stats = index->stats();
       std::printf("original length      %lld\n",
@@ -809,7 +1035,7 @@ int CmdStat(int argc, char** argv) {
       break;
     }
     case pti::serde::IndexKind::kApprox: {
-      auto index = pti::ApproxIndex::Load(blob);
+      auto index = pti::ApproxIndex::Load(blob->view());
       if (!index.ok()) return Fail(index.status().ToString());
       const auto stats = index->stats();
       std::printf("original length      %lld\n",
@@ -821,7 +1047,7 @@ int CmdStat(int argc, char** argv) {
       break;
     }
     case pti::serde::IndexKind::kSpecial: {
-      auto index = pti::SpecialIndex::Load(blob);
+      auto index = pti::SpecialIndex::Load(blob->view());
       if (!index.ok()) return Fail(index.status().ToString());
       const auto stats = index->stats();
       std::printf("length               %lld\n",
@@ -832,7 +1058,7 @@ int CmdStat(int argc, char** argv) {
       break;
     }
     case pti::serde::IndexKind::kListing: {
-      auto index = pti::ListingIndex::Load(blob);
+      auto index = pti::ListingIndex::Load(blob->view());
       if (!index.ok()) return Fail(index.status().ToString());
       const auto stats = index->stats();
       std::printf("documents            %d\n", stats.num_docs);
@@ -865,9 +1091,8 @@ int CmdGen(int argc, char** argv) {
   options.theta = theta;
   options.seed = static_cast<uint64_t>(seed);
   const pti::UncertainString s = pti::GenerateUncertainString(options);
-  if (!WriteFile(argv[5], pti::FormatUncertainString(s))) {
-    return Fail(std::string("cannot write ") + argv[5]);
-  }
+  const pti::Status written = WriteFile(argv[5], pti::FormatUncertainString(s));
+  if (!written.ok()) return Fail(written.ToString());
   std::printf("wrote %lld positions (theta %.2f) to %s\n",
               static_cast<long long>(s.size()), options.theta, argv[5]);
   return 0;

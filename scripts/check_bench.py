@@ -52,6 +52,7 @@ TABLE_BENCHES = [
     "bench_fig8_listing",
     "bench_fig9_construction",
     "bench_fuzzy",
+    "bench_load",
     "bench_serving",
     "bench_sharding",
 ]

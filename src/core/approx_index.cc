@@ -83,7 +83,7 @@ struct ApproxIndex::Impl {
 
   Status Finish() {
     const size_t n_text = N();
-    st = SuffixTree::Build(&fs.text.chars(), fs.text.alphabet_size());
+    st = SuffixTree::Build(fs.text.chars(), fs.text.alphabet_size());
     st.BuildLcaSupport();
 
     rules.clear();
@@ -348,8 +348,16 @@ ApproxIndex::Stats ApproxIndex::stats() const {
 }
 
 Status ApproxIndex::Save(std::string* out) const {
+  return Save(out, serde::kContainerVersion);
+}
+
+Status ApproxIndex::Save(std::string* out, uint32_t version) const {
+  if (version < serde::kInterchangeVersion ||
+      version > serde::kContainerVersion) {
+    return Status::InvalidArgument("unsupported container version");
+  }
   const Impl& i = *impl_;
-  serde::ContainerWriter cw(serde::IndexKind::kApprox);
+  serde::ContainerWriter cw(serde::IndexKind::kApprox, version);
   Writer& opts = cw.AddSection(serde::kTagOptions);
   opts.PutDouble(i.options.transform.tau_min);
   opts.PutU64(i.options.transform.max_total_length);
@@ -361,7 +369,7 @@ Status ApproxIndex::Save(std::string* out) const {
   return Status::OK();
 }
 
-StatusOr<ApproxIndex> ApproxIndex::Load(const std::string& data) {
+StatusOr<ApproxIndex> ApproxIndex::Load(std::string_view data) {
   serde::ContainerReader container;
   PTI_RETURN_IF_ERROR(
       serde::ContainerReader::Open(data, serde::IndexKind::kApprox,

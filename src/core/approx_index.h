@@ -28,6 +28,7 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/factor_transform.h"
@@ -76,7 +77,11 @@ class ApproxIndex {
   /// container format (core/serde.h); Load rebuilds the derived structures
   /// (suffix tree, marking, epsilon-partitioned links) deterministically.
   Status Save(std::string* out) const;
-  static StatusOr<ApproxIndex> Load(const std::string& data);
+  /// Same, at an explicit container version (serde::kInterchangeVersion or
+  /// serde::kContainerVersion); the payload encoding is identical, only the
+  /// framing (alignment, padding) differs.
+  Status Save(std::string* out, uint32_t version) const;
+  static StatusOr<ApproxIndex> Load(std::string_view data);
 
  private:
   struct Impl;

@@ -49,7 +49,8 @@ class Transformer {
     }
     out_.original_length = n_;
     out_.tau_min = options_.tau_min;
-    std::sort(out_.corr_positions.begin(), out_.corr_positions.end());
+    auto& corr = out_.corr_positions.mutable_vector();
+    std::sort(corr.begin(), corr.end());
     return std::move(out_);
   }
 

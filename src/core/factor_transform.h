@@ -35,6 +35,7 @@
 #include "core/uncertain_string.h"
 #include "suffix/text.h"
 #include "util/log_prob.h"
+#include "util/span.h"
 #include "util/status.h"
 
 namespace pti {
@@ -48,17 +49,20 @@ struct TransformOptions {
 };
 
 /// The special uncertain string X of Lemma 2, as a sentinel-separated text.
+/// Arrays are VecOrView: owned when built by TransformToFactors or decoded
+/// from a v2 container, views into the backing Blob when loaded zero-copy
+/// from a v3 container.
 struct FactorSet {
   /// Factor characters; members are factors, each closed by a unique
   /// sentinel.
   Text text;
   /// Text position -> original S position (-1 on sentinels).
-  std::vector<int64_t> pos;
+  VecOrView<int64_t> pos;
   /// Per text position: log of the stored per-character probability (the
   /// optimistic value for correlated characters); 0.0 on sentinels.
-  std::vector<double> logp;
+  VecOrView<double> logp;
   /// Sorted text positions whose character carries a correlation rule.
-  std::vector<int64_t> corr_positions;
+  VecOrView<int64_t> corr_positions;
 
   int64_t original_length = 0;
   double tau_min = 0.0;
@@ -69,9 +73,8 @@ struct FactorSet {
   size_t total_length() const { return text.size(); }
 
   size_t MemoryUsage() const {
-    return text.MemoryUsage() + pos.capacity() * sizeof(int64_t) +
-           logp.capacity() * sizeof(double) +
-           corr_positions.capacity() * sizeof(int64_t);
+    return text.MemoryUsage() + pos.OwnedBytes() + logp.OwnedBytes() +
+           corr_positions.OwnedBytes();
   }
 };
 

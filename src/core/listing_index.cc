@@ -120,7 +120,7 @@ struct ListingIndex::Impl {
 
   Status Finish() {
     const size_t n_text = N();
-    st = SuffixTree::Build(&text.chars(), text.alphabet_size());
+    st = SuffixTree::Build(text.chars(), text.alphabet_size());
     c.assign(n_text + 1, 0.0);
     for (size_t k = 0; k < n_text; ++k) c[k + 1] = c[k] + logp[k];
     remaining.assign(n_text, 0);
@@ -407,8 +407,16 @@ ListingIndex::Stats ListingIndex::stats() const {
 }
 
 Status ListingIndex::Save(std::string* out) const {
+  return Save(out, serde::kContainerVersion);
+}
+
+Status ListingIndex::Save(std::string* out, uint32_t version) const {
+  if (version < serde::kInterchangeVersion ||
+      version > serde::kContainerVersion) {
+    return Status::InvalidArgument("unsupported container version");
+  }
   const Impl& i = *impl_;
-  serde::ContainerWriter cw(serde::IndexKind::kListing);
+  serde::ContainerWriter cw(serde::IndexKind::kListing, version);
   Writer& opts = cw.AddSection(serde::kTagOptions);
   opts.PutDouble(i.options.transform.tau_min);
   opts.PutU64(i.options.transform.max_total_length);
@@ -421,8 +429,8 @@ Status ListingIndex::Save(std::string* out) const {
     serde::EncodeUncertainString(d, &docs);
   }
   Writer& text = cw.AddSection(serde::kTagText);
-  text.PutVector(i.text.chars());
-  text.PutVector(i.text.member_starts());
+  text.PutSpan(i.text.chars());
+  text.PutSpan(i.text.member_starts());
   Writer& maps = cw.AddSection(serde::kTagMaps);
   maps.PutVector(i.doc_of);
   maps.PutVector(i.pos_in_doc);
@@ -432,7 +440,7 @@ Status ListingIndex::Save(std::string* out) const {
   return Status::OK();
 }
 
-StatusOr<ListingIndex> ListingIndex::Load(const std::string& data) {
+StatusOr<ListingIndex> ListingIndex::Load(std::string_view data) {
   serde::ContainerReader container;
   PTI_RETURN_IF_ERROR(
       serde::ContainerReader::Open(data, serde::IndexKind::kListing,

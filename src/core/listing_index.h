@@ -19,6 +19,7 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/factor_transform.h"
@@ -78,7 +79,11 @@ class ListingIndex {
   /// format (core/serde.h); Load rebuilds the derived structures (suffix
   /// tree, RMQ forest, rule table) deterministically.
   Status Save(std::string* out) const;
-  static StatusOr<ListingIndex> Load(const std::string& data);
+  /// Same, at an explicit container version (serde::kInterchangeVersion or
+  /// serde::kContainerVersion); the payload encoding is identical, only the
+  /// framing (alignment, padding) differs.
+  Status Save(std::string* out, uint32_t version) const;
+  static StatusOr<ListingIndex> Load(std::string_view data);
 
  private:
   struct Impl;

@@ -1,6 +1,19 @@
 #include "core/serde.h"
 
 #include <cmath>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define PTI_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#include <cerrno>
+#endif
+
+#include <fstream>
+#include <sstream>
 
 namespace pti {
 namespace serde {
@@ -9,13 +22,76 @@ namespace {
 // magic + kind + version + section count.
 constexpr size_t kHeaderBytes = 16;
 constexpr size_t kChecksumBytes = 8;
+// v3 per-section header: u32 tag, u32 reserved zero, u64 length.
+constexpr size_t kV3SectionHeaderBytes = 16;
 // Far above anything an index writes; bounds hostile section counts before
 // the per-section loop allocates anything.
 constexpr uint32_t kMaxSections = 64;
 // A serialized position is at least a u32 count plus one (u8, double)
 // option; used to reject absurd element counts before any loop runs.
 constexpr uint64_t kMinPositionBytes = 4 + 9;
+
+size_t PadTo8(size_t n) { return (8 - n % 8) % 8; }
 }  // namespace
+
+Blob::Blob(std::string data) : data_(std::move(data)) {}
+
+Blob::Blob(const void* map_base, size_t map_len)
+    : map_base_(map_base), map_len_(map_len) {}
+
+Blob::~Blob() {
+#ifdef PTI_HAVE_MMAP
+  if (map_base_ != nullptr && map_len_ > 0) {
+    munmap(const_cast<void*>(map_base_), map_len_);
+  }
+#endif
+}
+
+StatusOr<BlobPtr> MapFile(const std::string& path) {
+#ifdef PTI_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError("open '" + path + "': " + std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const std::string cause = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("stat '" + path + "': " + cause);
+  }
+  const size_t len = static_cast<size_t>(st.st_size);
+  if (len == 0) {
+    ::close(fd);
+    // mmap(0) is EINVAL; an empty file is representable as an empty blob
+    // (Open will report it as short, not as an I/O failure).
+    return std::make_shared<const Blob>(std::string());
+  }
+  void* base = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference
+  if (base == MAP_FAILED) {
+    return Status::IOError("mmap '" + path + "': " + std::strerror(errno));
+  }
+  return std::make_shared<const Blob>(base, len);
+#else
+  return ReadFileToBlob(path);
+#endif
+}
+
+StatusOr<BlobPtr> ReadFileToBlob(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError("open '" + path + "': " + std::strerror(errno));
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  // An empty file legitimately inserts zero characters (failbit on `buf`);
+  // only a bad source stream is an I/O failure. Short/empty blobs are the
+  // container layer's diagnosis (Corruption), not ours.
+  if (in.bad()) {
+    return Status::IOError("read '" + path + "': " + std::strerror(errno));
+  }
+  return std::make_shared<const Blob>(std::move(buf).str());
+}
 
 const char* KindName(IndexKind kind) {
   switch (kind) {
@@ -34,7 +110,7 @@ const char* KindName(IndexKind kind) {
 }
 
 Writer& ContainerWriter::AddSection(uint32_t tag) {
-  sections_.emplace_back(tag, Writer());
+  sections_.emplace_back(tag, Writer(/*aligned=*/version_ >= 3));
   return sections_.back().second;
 }
 
@@ -42,18 +118,27 @@ std::string ContainerWriter::Finish() && {
   Writer out;
   out.PutU32(kContainerMagic);
   out.PutU32(static_cast<uint32_t>(kind_));
-  out.PutU32(kContainerVersion);
+  out.PutU32(version_);
   out.PutU32(static_cast<uint32_t>(sections_.size()));
   for (auto& [tag, w] : sections_) {
     out.PutU32(tag);
-    out.PutString(w.data());
+    if (version_ >= 3) {
+      // 16-byte section header + tail padding keep every payload at an
+      // absolute offset that is a multiple of 8 (the file header is 16
+      // bytes), so section-relative alignment is absolute alignment.
+      out.PutU32(0);
+      out.PutString(w.data());
+      out.Align8();
+    } else {
+      out.PutString(w.data());
+    }
   }
   const uint64_t checksum = Fnv1a64(out.data().data(), out.data().size());
   out.PutU64(checksum);
   return std::move(out.Take());
 }
 
-Status ContainerReader::Open(const std::string& data, IndexKind expected_kind,
+Status ContainerReader::Open(std::string_view data, IndexKind expected_kind,
                              ContainerReader* out) {
   Reader r(data);
   if (data.size() < kHeaderBytes + kChecksumBytes) {
@@ -83,16 +168,29 @@ Status ContainerReader::Open(const std::string& data, IndexKind expected_kind,
     uint32_t tag = 0;
     uint64_t len = 0;
     PTI_RETURN_IF_ERROR(r.GetU32(&tag));
+    if (version >= 3) {
+      uint32_t reserved = ~uint32_t{0};
+      PTI_RETURN_IF_ERROR(r.GetU32(&reserved));
+      if (reserved != 0) {
+        return Status::Corruption("nonzero reserved bytes in section header");
+      }
+    }
     PTI_RETURN_IF_ERROR(r.GetU64(&len));
+    const uint64_t pad = version >= 3 ? PadTo8(len) : 0;
     if (r.remaining() < kChecksumBytes ||
-        len > r.remaining() - kChecksumBytes) {
+        len > r.remaining() - kChecksumBytes ||
+        len + pad > r.remaining() - kChecksumBytes) {
       return Status::Corruption("section length overruns container");
     }
     for (const Entry& e : cr.entries_) {
       if (e.tag == tag) return Status::Corruption("duplicate section tag");
     }
+    if (version >= 3 &&
+        static_cast<size_t>(r.cursor() - data.data()) % 8 != 0) {
+      return Status::Corruption("v3 section payload misaligned");
+    }
     cr.entries_.push_back(Entry{tag, r.cursor(), len});
-    PTI_RETURN_IF_ERROR(r.Skip(len));
+    PTI_RETURN_IF_ERROR(r.Skip(len + pad));
   }
   if (r.remaining() != kChecksumBytes) {
     return Status::Corruption("trailing bytes in container");
@@ -111,7 +209,7 @@ Status ContainerReader::Open(const std::string& data, IndexKind expected_kind,
 Status ContainerReader::Section(uint32_t tag, Reader* out) const {
   for (const Entry& e : entries_) {
     if (e.tag == tag) {
-      *out = Reader(e.data, e.size);
+      *out = Reader(e.data, e.size, /*aligned=*/version_ >= 3);
       return Status::OK();
     }
   }
@@ -125,7 +223,7 @@ bool ContainerReader::Has(uint32_t tag) const {
   return false;
 }
 
-StatusOr<IndexKind> PeekKind(const std::string& data) {
+StatusOr<IndexKind> PeekKind(std::string_view data) {
   Reader r(data);
   uint32_t magic = 0, kind = 0;
   PTI_RETURN_IF_ERROR(r.GetU32(&magic));
@@ -142,6 +240,18 @@ StatusOr<IndexKind> PeekKind(const std::string& data) {
       return static_cast<IndexKind>(kind);
   }
   return Status::Corruption("unknown index kind tag");
+}
+
+StatusOr<uint32_t> PeekVersion(std::string_view data) {
+  Reader r(data);
+  uint32_t magic = 0, kind = 0, version = 0;
+  PTI_RETURN_IF_ERROR(r.GetU32(&magic));
+  if (magic != kContainerMagic) {
+    return Status::Corruption("bad container magic");
+  }
+  PTI_RETURN_IF_ERROR(r.GetU32(&kind));
+  PTI_RETURN_IF_ERROR(r.GetU32(&version));
+  return version;
 }
 
 Status ExpectSectionEnd(const Reader& r, const char* what) {
@@ -231,13 +341,66 @@ Status DecodeUncertainString(Reader* r, UncertainString* out,
 }
 
 void EncodeFactorSet(const FactorSet& fs, Writer* w) {
-  w->PutVector(fs.text.chars());
-  w->PutVector(fs.text.member_starts());
-  w->PutVector(fs.pos);
-  w->PutVector(fs.logp);
-  w->PutVector(fs.corr_positions);
+  w->PutSpan(fs.text.chars());
+  w->PutSpan(fs.text.member_starts());
+  w->PutSpan(fs.pos.span());
+  w->PutSpan(fs.logp.span());
+  w->PutSpan(fs.corr_positions.span());
   w->PutI64(fs.original_length);
   w->PutDouble(fs.tau_min);
+}
+
+Status ValidateFactorSet(const FactorSet& fs, const UncertainString& source) {
+  const size_t n = fs.text.size();
+  if (fs.pos.size() != n || fs.logp.size() != n) {
+    return Status::Corruption("factor arrays inconsistent with text");
+  }
+  if (fs.original_length != source.size()) {
+    return Status::Corruption("factor original length mismatches source");
+  }
+  if (!std::isfinite(fs.tau_min) || !(fs.tau_min > 0.0) || fs.tau_min > 1.0) {
+    return Status::Corruption("factor tau_min outside (0, 1]");
+  }
+  for (size_t q = 0; q < n; ++q) {
+    if (fs.text.IsSentinel(q)) {
+      if (fs.pos[q] != -1 || fs.logp[q] != 0.0) {
+        return Status::Corruption("sentinel position carries factor data");
+      }
+      continue;
+    }
+    if (fs.pos[q] < 0 || fs.pos[q] >= fs.original_length) {
+      return Status::Corruption("factor position out of range");
+    }
+    // Window probabilities are prefix-sum differences of logp, and the
+    // correlation adjustment assumes text offsets and S offsets advance
+    // together inside a factor.
+    if (q + 1 < n && !fs.text.IsSentinel(q + 1) &&
+        fs.pos[q + 1] != fs.pos[q] + 1) {
+      return Status::Corruption("factor positions not contiguous");
+    }
+    if (std::isnan(fs.logp[q]) || fs.logp[q] > 0.0) {
+      return Status::Corruption("factor log-probability above 0");
+    }
+  }
+  // corr_positions must be strictly increasing, point at real characters,
+  // and resolve to a rule of the source string — query-time evaluation
+  // looks each one up unconditionally, so a dangling entry would otherwise
+  // throw out of rules.at().
+  for (size_t k = 0; k < fs.corr_positions.size(); ++k) {
+    const int64_t z = fs.corr_positions[k];
+    if (z < 0 || z >= static_cast<int64_t>(n) || fs.text.IsSentinel(z)) {
+      return Status::Corruption("correlated text position out of range");
+    }
+    if (k > 0 && fs.corr_positions[k - 1] >= z) {
+      return Status::Corruption("correlated text positions not sorted");
+    }
+    const uint8_t ch = static_cast<uint8_t>(fs.text.chars()[z]);
+    if (source.FindRule(fs.pos[z], ch) == nullptr) {
+      return Status::Corruption(
+          "correlated text position has no matching rule");
+    }
+  }
+  return Status::OK();
 }
 
 Status DecodeFactorSet(Reader* r, const UncertainString& source,
@@ -250,63 +413,52 @@ Status DecodeFactorSet(Reader* r, const UncertainString& source,
   auto text = Text::FromRaw(std::move(chars), std::move(starts));
   if (!text.ok()) return text.status();
   out->text = std::move(text).value();
-  PTI_RETURN_IF_ERROR(r->GetVector(&out->pos));
-  PTI_RETURN_IF_ERROR(r->GetVector(&out->logp));
-  PTI_RETURN_IF_ERROR(r->GetVector(&out->corr_positions));
+  std::vector<int64_t> pos;
+  std::vector<double> logp;
+  std::vector<int64_t> corr;
+  PTI_RETURN_IF_ERROR(r->GetVector(&pos));
+  PTI_RETURN_IF_ERROR(r->GetVector(&logp));
+  PTI_RETURN_IF_ERROR(r->GetVector(&corr));
+  out->pos = VecOrView<int64_t>(std::move(pos));
+  out->logp = VecOrView<double>(std::move(logp));
+  out->corr_positions = VecOrView<int64_t>(std::move(corr));
   PTI_RETURN_IF_ERROR(r->GetI64(&out->original_length));
   PTI_RETURN_IF_ERROR(r->GetDouble(&out->tau_min));
+  return ValidateFactorSet(*out, source);
+}
 
-  const size_t n = out->text.size();
-  if (out->pos.size() != n || out->logp.size() != n) {
-    return Status::Corruption("factor arrays inconsistent with text");
-  }
-  if (out->original_length != source.size()) {
-    return Status::Corruption("factor original length mismatches source");
-  }
-  if (!std::isfinite(out->tau_min) || !(out->tau_min > 0.0) ||
-      out->tau_min > 1.0) {
-    return Status::Corruption("factor tau_min outside (0, 1]");
-  }
-  for (size_t q = 0; q < n; ++q) {
-    if (out->text.IsSentinel(q)) {
-      if (out->pos[q] != -1 || out->logp[q] != 0.0) {
-        return Status::Corruption("sentinel position carries factor data");
-      }
-      continue;
-    }
-    if (out->pos[q] < 0 || out->pos[q] >= out->original_length) {
-      return Status::Corruption("factor position out of range");
-    }
-    // Window probabilities are prefix-sum differences of logp, and the
-    // correlation adjustment assumes text offsets and S offsets advance
-    // together inside a factor.
-    if (q + 1 < n && !out->text.IsSentinel(q + 1) &&
-        out->pos[q + 1] != out->pos[q] + 1) {
-      return Status::Corruption("factor positions not contiguous");
-    }
-    if (std::isnan(out->logp[q]) || out->logp[q] > 0.0) {
-      return Status::Corruption("factor log-probability above 0");
-    }
-  }
-  // corr_positions must be strictly increasing, point at real characters,
-  // and resolve to a rule of the source string — query-time evaluation
-  // looks each one up unconditionally, so a dangling entry would otherwise
-  // throw out of rules.at().
-  for (size_t k = 0; k < out->corr_positions.size(); ++k) {
-    const int64_t z = out->corr_positions[k];
-    if (z < 0 || z >= static_cast<int64_t>(n) || out->text.IsSentinel(z)) {
-      return Status::Corruption("correlated text position out of range");
-    }
-    if (k > 0 && out->corr_positions[k - 1] >= z) {
-      return Status::Corruption("correlated text positions not sorted");
-    }
-    const uint8_t ch = static_cast<uint8_t>(out->text.chars()[z]);
-    if (source.FindRule(out->pos[z], ch) == nullptr) {
-      return Status::Corruption(
-          "correlated text position has no matching rule");
-    }
-  }
-  return Status::OK();
+void EncodeFactorSetV3(const FactorSet& fs, Writer* text_w, Writer* maps_w) {
+  text_w->PutSpan(fs.text.chars());
+  text_w->PutSpan(fs.text.member_starts());
+  maps_w->PutSpan(fs.pos.span());
+  maps_w->PutSpan(fs.logp.span());
+  maps_w->PutSpan(fs.corr_positions.span());
+  maps_w->PutI64(fs.original_length);
+  maps_w->PutDouble(fs.tau_min);
+}
+
+Status DecodeFactorSetV3(Reader* text_r, Reader* maps_r,
+                         const UncertainString& source, FactorSet* out) {
+  *out = FactorSet();
+  Span<const int32_t> chars;
+  Span<const int64_t> starts;
+  PTI_RETURN_IF_ERROR(text_r->GetSpan(&chars));
+  PTI_RETURN_IF_ERROR(text_r->GetSpan(&starts));
+  auto text = Text::FromViews(chars, starts);
+  if (!text.ok()) return text.status();
+  out->text = std::move(text).value();
+  Span<const int64_t> pos;
+  Span<const double> logp;
+  Span<const int64_t> corr;
+  PTI_RETURN_IF_ERROR(maps_r->GetSpan(&pos));
+  PTI_RETURN_IF_ERROR(maps_r->GetSpan(&logp));
+  PTI_RETURN_IF_ERROR(maps_r->GetSpan(&corr));
+  out->pos = VecOrView<int64_t>::View(pos);
+  out->logp = VecOrView<double>::View(logp);
+  out->corr_positions = VecOrView<int64_t>::View(corr);
+  PTI_RETURN_IF_ERROR(maps_r->GetI64(&out->original_length));
+  PTI_RETURN_IF_ERROR(maps_r->GetDouble(&out->tau_min));
+  return ValidateFactorSet(*out, source);
 }
 
 }  // namespace serde

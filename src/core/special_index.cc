@@ -76,7 +76,7 @@ struct SpecialIndex::Impl {
   };
 
   Status Finish() {
-    st = SuffixTree::Build(&text.chars(), text.alphabet_size());
+    st = SuffixTree::Build(text.chars(), text.alphabet_size());
     const size_t n_text = N();
     remaining.assign(n_text, 0);
     for (int64_t q = static_cast<int64_t>(n_text) - 1; q >= 0; --q) {
@@ -250,8 +250,16 @@ SpecialIndex::Stats SpecialIndex::stats() const {
 }
 
 Status SpecialIndex::Save(std::string* out) const {
+  return Save(out, serde::kContainerVersion);
+}
+
+Status SpecialIndex::Save(std::string* out, uint32_t version) const {
+  if (version < serde::kInterchangeVersion ||
+      version > serde::kContainerVersion) {
+    return Status::InvalidArgument("unsupported container version");
+  }
   const Impl& i = *impl_;
-  serde::ContainerWriter cw(serde::IndexKind::kSpecial);
+  serde::ContainerWriter cw(serde::IndexKind::kSpecial, version);
   Writer& opts = cw.AddSection(serde::kTagOptions);
   opts.PutU32(static_cast<uint32_t>(i.options.max_short_depth));
   opts.PutU8(static_cast<uint8_t>(i.options.rmq_engine));
@@ -263,7 +271,7 @@ Status SpecialIndex::Save(std::string* out) const {
   return Status::OK();
 }
 
-StatusOr<SpecialIndex> SpecialIndex::Load(const std::string& data) {
+StatusOr<SpecialIndex> SpecialIndex::Load(std::string_view data) {
   serde::ContainerReader container;
   PTI_RETURN_IF_ERROR(
       serde::ContainerReader::Open(data, serde::IndexKind::kSpecial,

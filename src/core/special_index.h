@@ -22,6 +22,7 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/match.h"
@@ -72,7 +73,11 @@ class SpecialIndex {
   /// format (core/serde.h); Load revalidates the inputs and rebuilds the
   /// derived structures (suffix tree, RMQ forest) deterministically.
   Status Save(std::string* out) const;
-  static StatusOr<SpecialIndex> Load(const std::string& data);
+  /// Same, at an explicit container version (serde::kInterchangeVersion or
+  /// serde::kContainerVersion); the payload encoding is identical, only the
+  /// framing (alignment, padding) differs.
+  Status Save(std::string* out, uint32_t version) const;
+  static StatusOr<SpecialIndex> Load(std::string_view data);
 
  private:
   struct Impl;

@@ -154,27 +154,33 @@ struct SubstringIndex::Impl {
   IndexOptions options;
   FactorSet fs;
   SuffixTree st;
+  // Pins the bytes every zero-copy view points into (mmap'd file or copied
+  // buffer); null for built or v2-loaded indexes, which own all arrays.
+  serde::BlobPtr backing;
   // Compact mode: the suffix array survives the tree (whose node arrays are
   // the dominant space cost) and an FM-index answers locus-range queries.
-  std::vector<int32_t> sa_storage;
-  const std::vector<int32_t>* sa_view = nullptr;
+  VecOrView<int32_t> sa_storage;
+  Span<const int32_t> sa_view;
   std::optional<FmIndex> fm;
   // Load provenance, for tests: the "SARR" section made SA-IS unnecessary.
   bool sa_from_section = false;
+  // Load provenance, for tests: the v3 derived sections (DERV/ACTV/FMIX)
+  // were consumed, so Load decoded no full payload of TEXT/MAPS/SARR.
+  bool derived_from_sections = false;
 
   // Prefix sums of fs.logp: c[k] = sum of logp[0..k); sentinels add 0.
-  std::vector<double> c;
+  VecOrView<double> c;
   // Real characters from a text position to its factor's end (0 on
   // sentinels); a depth-i window starting at q is in-factor iff
   // remaining[q] >= i.
-  std::vector<int32_t> remaining;
+  VecOrView<int32_t> remaining;
   std::unordered_map<int64_t, const CorrelationRule*> rules;
 
   int32_t K = 0;               // short-depth limit
   int32_t max_remaining = 0;   // longest in-factor window anywhere
   // active[i-1] bit j: SA entry j is the depth-i representative of its
   // (partition, original position) class (§5.2 duplicate elimination).
-  std::vector<std::vector<uint64_t>> active;
+  std::vector<VecOrView<uint64_t>> active;
   std::vector<std::unique_ptr<RmqHandle>> short_rmq;  // depth 1..K
 
   struct LongLevel {
@@ -195,7 +201,7 @@ struct SubstringIndex::Impl {
   // Exact log-probability of the depth-length window of suffix-array entry j
   // (correlation-resolved), or -inf when the window leaves its factor.
   double RawValue(int32_t depth, size_t j) const {
-    const int64_t q = (*sa_view)[j];
+    const int64_t q = sa_view[j];
     if (remaining[q] < depth) return kNegInf;
     double v = c[q + depth] - c[q];
     if (!fs.corr_positions.empty()) {
@@ -244,12 +250,62 @@ struct SubstringIndex::Impl {
     }
   };
 
+  // Shared by every load/build path: the correlation-rule lookup table and
+  // the K formula (both cheap, always rederived).
+  void BuildRules() {
+    rules.clear();
+    for (const CorrelationRule& r : source.correlations()) {
+      rules[RuleKey(r.pos, r.ch)] = &r;
+    }
+  }
+
+  int32_t ComputeK(size_t n_text) const {
+    int32_t k;
+    if (options.max_short_depth > 0) {
+      k = options.max_short_depth;
+    } else {
+      k = 1;
+      while ((size_t{1} << k) < std::max<size_t>(n_text, 2)) ++k;
+    }
+    return std::max(1, std::min<int32_t>(k, std::max(max_remaining, 1)));
+  }
+
+  // The kPow2 level depths are a pure function of K and max_remaining; the
+  // loader recomputes them to cross-check a persisted RMQ forest.
+  std::vector<int32_t> LongLevelDepths() const {
+    std::vector<int32_t> depths;
+    if (options.blocking == BlockingMode::kPow2) {
+      for (int64_t d = K; d <= max_remaining; d *= 2) {
+        depths.push_back(static_cast<int32_t>(d));
+      }
+    }
+    return depths;
+  }
+
+  void BuildRmqForest(size_t n_text) {
+    short_rmq.clear();
+    short_rmq.reserve(K);
+    for (int32_t i = 1; i <= K; ++i) {
+      short_rmq.push_back(
+          MakeRmq(options.rmq_engine, ActiveFn{this, i}, n_text));
+    }
+    long_levels.clear();
+    for (const int32_t d : LongLevelDepths()) {
+      LongLevel level;
+      level.depth = d;
+      level.rmq = MakeRmq(RmqEngineKind::kBlock, RawFn{this, d}, n_text,
+                          static_cast<size_t>(d));
+      long_levels.push_back(std::move(level));
+    }
+  }
+
   // Builds everything derived from (source, options, fs). In compact mode
   // `loaded_sa`, when engaged (Load with a persisted "SARR" section,
-  // already validated as a length-N permutation), replaces the SA-IS run;
-  // compact mode never materializes the suffix tree at all — SA + LCP come
-  // from SA-IS/Kasai and the FM-index serves locus lookups.
-  Status FinishBuild(std::optional<std::vector<int32_t>> loaded_sa =
+  // already validated as a length-N permutation; possibly a view into the
+  // backing Blob), replaces the SA-IS run; compact mode never materializes
+  // the suffix tree at all — SA + LCP come from SA-IS/Kasai and the
+  // FM-index serves locus lookups.
+  Status FinishBuild(std::optional<VecOrView<int32_t>> loaded_sa =
                          std::nullopt) {
     const size_t n_text = N();
     const std::vector<int32_t>* lcp = nullptr;
@@ -257,53 +313,45 @@ struct SubstringIndex::Impl {
     if (options.compact) {
       sa_storage = loaded_sa.has_value()
                        ? std::move(*loaded_sa)
-                       : BuildSuffixArray(fs.text.chars(),
-                                          fs.text.alphabet_size());
-      sa_view = &sa_storage;
-      lcp_storage = BuildLcpArray(fs.text.chars(), sa_storage);
+                       : VecOrView<int32_t>(BuildSuffixArray(
+                             fs.text.chars(), fs.text.alphabet_size()));
+      sa_view = sa_storage.span();
+      lcp_storage = BuildLcpArray(fs.text.chars(), sa_view);
       lcp = &lcp_storage;
-      fm.emplace(fs.text.chars(), sa_storage, fs.text.alphabet_size());
+      fm.emplace(fs.text.chars(), sa_view, fs.text.alphabet_size());
       st = SuffixTree();
     } else {
-      st = SuffixTree::Build(&fs.text.chars(), fs.text.alphabet_size());
-      sa_view = &st.sa();
+      st = SuffixTree::Build(fs.text.chars(), fs.text.alphabet_size());
+      sa_view = st.sa();
       lcp = &st.lcp();
     }
 
-    rules.clear();
-    for (const CorrelationRule& r : source.correlations()) {
-      rules[RuleKey(r.pos, r.ch)] = &r;
-    }
+    BuildRules();
 
-    c.assign(n_text + 1, 0.0);
-    for (size_t k = 0; k < n_text; ++k) c[k + 1] = c[k] + fs.logp[k];
-    remaining.assign(n_text, 0);
+    std::vector<double> c_build(n_text + 1, 0.0);
+    for (size_t k = 0; k < n_text; ++k) c_build[k + 1] = c_build[k] + fs.logp[k];
+    c = VecOrView<double>(std::move(c_build));
+    std::vector<int32_t> rem_build(n_text, 0);
     max_remaining = 0;
     for (int64_t q = static_cast<int64_t>(n_text) - 1; q >= 0; --q) {
-      remaining[q] = fs.text.IsSentinel(q) ? 0 : remaining[q + 1] + 1;
-      max_remaining = std::max(max_remaining, remaining[q]);
+      rem_build[q] = fs.text.IsSentinel(q) ? 0 : rem_build[q + 1] + 1;
+      max_remaining = std::max(max_remaining, rem_build[q]);
     }
+    remaining = VecOrView<int32_t>(std::move(rem_build));
 
-    if (options.max_short_depth > 0) {
-      K = options.max_short_depth;
-    } else {
-      K = 1;
-      while ((size_t{1} << K) < std::max<size_t>(n_text, 2)) ++K;
-    }
-    K = std::max(1, std::min<int32_t>(K, std::max(max_remaining, 1)));
+    K = ComputeK(n_text);
 
     // §5.2 duplicate elimination: within every depth-i locus partition keep
     // one representative per original position.
-    active.assign(K, std::vector<uint64_t>((n_text + 63) / 64, 0));
+    active.assign(K, VecOrView<uint64_t>());
     std::vector<int64_t> seen(
         static_cast<size_t>(std::max<int64_t>(fs.original_length, 1)), -1);
     int64_t stamp = 0;
-    const auto& sa = *sa_view;
     for (int32_t i = 1; i <= K; ++i) {
-      auto& bits = active[i - 1];
+      std::vector<uint64_t> bits((n_text + 63) / 64, 0);
       for (size_t j = 0; j < n_text; ++j) {
         if (j == 0 || (*lcp)[j] < i) ++stamp;
-        const int64_t q = sa[j];
+        const int64_t q = sa_view[j];
         if (remaining[q] < i) continue;
         const int64_t spos = fs.pos[q];
         if (seen[spos] != stamp) {
@@ -311,26 +359,129 @@ struct SubstringIndex::Impl {
           bits[j >> 6] |= uint64_t{1} << (j & 63);
         }
       }
+      active[i - 1] = VecOrView<uint64_t>(std::move(bits));
     }
 
-    short_rmq.clear();
-    short_rmq.reserve(K);
-    for (int32_t i = 1; i <= K; ++i) {
-      short_rmq.push_back(
-          MakeRmq(options.rmq_engine, ActiveFn{this, i}, n_text));
-    }
+    BuildRmqForest(n_text);
+    return Status::OK();
+  }
 
-    long_levels.clear();
-    if (options.blocking == BlockingMode::kPow2) {
-      for (int64_t d = K; d <= max_remaining; d *= 2) {
-        LongLevel level;
-        level.depth = static_cast<int32_t>(d);
-        level.rmq = MakeRmq(RmqEngineKind::kBlock,
-                            RawFn{this, level.depth}, n_text,
-                            static_cast<size_t>(d));
-        long_levels.push_back(std::move(level));
+  // Zero-copy load path for compact v3 containers: every large array —
+  // suffix array (already installed by Load), prefix sums, remaining run
+  // lengths, active bitsets, FM-index levels, RMQ tables — is a view into
+  // the backing Blob. Structural sizes are validated here; array *content*
+  // is entrusted to the container checksum, with the exceptions that keep
+  // memory safety independent of it: `remaining` must satisfy its defining
+  // recurrence (it bounds every c[] access), the FM count table must be
+  // monotone and end at N+1, every bit-vector directory is recomputed and
+  // compared, and RMQ argmax entries must lie inside their windows.
+  Status FinishLoadCompactV3(const serde::ContainerReader& container) {
+    const size_t n_text = N();
+    sa_view = sa_storage.span();
+    st = SuffixTree();
+    BuildRules();
+
+    Reader derv;
+    PTI_RETURN_IF_ERROR(container.Section(serde::kTagDerived, &derv));
+    Span<const double> c_span;
+    Span<const int32_t> rem_span;
+    PTI_RETURN_IF_ERROR(derv.GetSpan(&c_span));
+    PTI_RETURN_IF_ERROR(derv.GetSpan(&rem_span));
+    PTI_RETURN_IF_ERROR(serde::ExpectSectionEnd(derv, "derived"));
+    if (c_span.size() != n_text + 1 || rem_span.size() != n_text) {
+      return Status::Corruption("derived array length mismatches text");
+    }
+    if (c_span[0] != 0.0) {
+      return Status::Corruption("prefix-sum array does not start at zero");
+    }
+    // remaining[] bounds every c[q + depth] access (RawValue dereferences
+    // c[q + depth] only when depth <= remaining[q]), so it must satisfy its
+    // defining recurrence exactly — not merely stay in range.
+    for (size_t q = 0; q < n_text; ++q) {
+      const int32_t expect =
+          fs.text.IsSentinel(q) ? 0
+          : (q + 1 < n_text ? rem_span[q + 1] + 1 : 1);
+      if (rem_span[q] != expect) {
+        return Status::Corruption("remaining-run array inconsistent with text");
       }
     }
+    c = VecOrView<double>::View(c_span);
+    remaining = VecOrView<int32_t>::View(rem_span);
+    max_remaining = 0;
+    for (size_t q = 0; q < n_text; ++q) {
+      max_remaining = std::max(max_remaining, rem_span[q]);
+    }
+    K = ComputeK(n_text);
+
+    Reader actv;
+    PTI_RETURN_IF_ERROR(container.Section(serde::kTagActive, &actv));
+    uint32_t depth_count = 0;
+    PTI_RETURN_IF_ERROR(actv.GetU32(&depth_count));
+    if (depth_count != static_cast<uint32_t>(K)) {
+      return Status::Corruption("active bitset depth count mismatch");
+    }
+    active.assign(K, VecOrView<uint64_t>());
+    for (int32_t i = 0; i < K; ++i) {
+      Span<const uint64_t> bits;
+      PTI_RETURN_IF_ERROR(actv.GetSpan(&bits));
+      if (bits.size() != (n_text + 63) / 64) {
+        return Status::Corruption("active bitset word count mismatch");
+      }
+      active[i] = VecOrView<uint64_t>::View(bits);
+    }
+    PTI_RETURN_IF_ERROR(serde::ExpectSectionEnd(actv, "active"));
+
+    Reader fmix;
+    PTI_RETURN_IF_ERROR(container.Section(serde::kTagFmIndex, &fmix));
+    fm.emplace();
+    PTI_RETURN_IF_ERROR(fm->LoadFrom(&fmix));
+    PTI_RETURN_IF_ERROR(serde::ExpectSectionEnd(fmix, "FM-index"));
+    if (fm->bwt_size() != n_text + 1) {
+      return Status::Corruption("FM-index size mismatches text");
+    }
+
+    const std::vector<int32_t> expected_depths = LongLevelDepths();
+    if (options.rmq_engine == RmqEngineKind::kBlock &&
+        container.Has(serde::kTagRmqBlocks)) {
+      Reader rmqb;
+      PTI_RETURN_IF_ERROR(container.Section(serde::kTagRmqBlocks, &rmqb));
+      uint32_t nshort = 0;
+      PTI_RETURN_IF_ERROR(rmqb.GetU32(&nshort));
+      if (nshort != static_cast<uint32_t>(K)) {
+        return Status::Corruption("RMQ forest depth count mismatch");
+      }
+      short_rmq.clear();
+      short_rmq.reserve(K);
+      for (int32_t i = 1; i <= K; ++i) {
+        std::unique_ptr<RmqHandle> handle;
+        PTI_RETURN_IF_ERROR(
+            LoadBlockRmq(&rmqb, ActiveFn{this, i}, n_text, &handle));
+        short_rmq.push_back(std::move(handle));
+      }
+      uint32_t nlong = 0;
+      PTI_RETURN_IF_ERROR(rmqb.GetU32(&nlong));
+      if (nlong != expected_depths.size()) {
+        return Status::Corruption("RMQ long-level count mismatch");
+      }
+      long_levels.clear();
+      for (uint32_t l = 0; l < nlong; ++l) {
+        uint32_t depth = 0;
+        PTI_RETURN_IF_ERROR(rmqb.GetU32(&depth));
+        if (depth != static_cast<uint32_t>(expected_depths[l])) {
+          return Status::Corruption("RMQ long-level depth mismatch");
+        }
+        LongLevel level;
+        level.depth = expected_depths[l];
+        PTI_RETURN_IF_ERROR(LoadBlockRmq(&rmqb, RawFn{this, level.depth},
+                                         n_text, &level.rmq));
+        long_levels.push_back(std::move(level));
+      }
+      PTI_RETURN_IF_ERROR(serde::ExpectSectionEnd(rmqb, "RMQ forest"));
+    } else {
+      // Non-block engines are not persisted; rebuild from the loaded views.
+      BuildRmqForest(n_text);
+    }
+    derived_from_sections = true;
     return Status::OK();
   }
 
@@ -408,7 +559,7 @@ struct SubstringIndex::Impl {
       const size_t pos = rmq->ArgMax(lo, hi);
       const double v = ActiveFn{this, m}(pos);
       if (!LogProb::FromLog(v).MeetsThreshold(log_tau)) continue;
-      out->push_back(RawMatch{fs.pos[(*sa_view)[pos]], v});
+      out->push_back(RawMatch{fs.pos[sa_view[pos]], v});
       stack.emplace_back(lo, static_cast<int32_t>(pos) - 1);
       stack.emplace_back(static_cast<int32_t>(pos) + 1, hi);
     }
@@ -421,7 +572,7 @@ struct SubstringIndex::Impl {
     for (int32_t j = l; j <= r; ++j) {
       const double v = RawValue(m, j);
       if (!LogProb::FromLog(v).MeetsThreshold(log_tau)) continue;
-      EmitDedup(best, fs.pos[(*sa_view)[j]], v);
+      EmitDedup(best, fs.pos[sa_view[j]], v);
     }
   }
 
@@ -451,7 +602,7 @@ struct SubstringIndex::Impl {
       if (!LogProb::FromLog(ub).MeetsThreshold(log_tau)) continue;
       const double v = RawValue(m, pos);
       if (LogProb::FromLog(v).MeetsThreshold(log_tau)) {
-        EmitDedup(best, fs.pos[(*sa_view)[pos]], v);
+        EmitDedup(best, fs.pos[sa_view[pos]], v);
       }
       stack.emplace_back(lo, static_cast<int32_t>(pos) - 1);
       stack.emplace_back(static_cast<int32_t>(pos) + 1, hi);
@@ -471,7 +622,7 @@ struct SubstringIndex::Impl {
       const size_t pos = rmq->ArgMax(lo, hi);
       const double v = RawValue(m, pos);
       if (!LogProb::FromLog(v).MeetsThreshold(log_tau)) continue;
-      EmitDedup(best, fs.pos[(*sa_view)[pos]], v);
+      EmitDedup(best, fs.pos[sa_view[pos]], v);
       stack.emplace_back(lo, static_cast<int32_t>(pos) - 1);
       stack.emplace_back(static_cast<int32_t>(pos) + 1, hi);
     }
@@ -832,7 +983,7 @@ struct SubstringIndex::Impl {
       while (!heap.empty() && out->size() < k) {
         const Entry e = heap.top();
         heap.pop();
-        out->push_back(Match{fs.pos[(*sa_view)[e.pos]], std::exp(e.v)});
+        out->push_back(Match{fs.pos[sa_view[e.pos]], std::exp(e.v)});
         push(e.l, e.pos - 1);
         push(e.pos + 1, e.r);
       }
@@ -918,11 +1069,10 @@ SubstringIndex::Stats SubstringIndex::stats() const {
 size_t SubstringIndex::MemoryUsage() const {
   const Impl& i = *impl_;
   size_t bytes = i.source.MemoryUsage() + i.fs.MemoryUsage() +
-                 i.st.MemoryUsage() + i.c.capacity() * sizeof(double) +
-                 i.remaining.capacity() * sizeof(int32_t) +
-                 i.sa_storage.capacity() * sizeof(int32_t);
+                 i.st.MemoryUsage() + i.c.OwnedBytes() +
+                 i.remaining.OwnedBytes() + i.sa_storage.OwnedBytes();
   if (i.fm) bytes += i.fm->MemoryUsage();
-  for (const auto& bits : i.active) bytes += bits.capacity() * sizeof(uint64_t);
+  for (const auto& bits : i.active) bytes += bits.OwnedBytes();
   for (const auto& r : i.short_rmq) bytes += r->MemoryUsage();
   for (const auto& level : i.long_levels) bytes += level.rmq->MemoryUsage();
   {
@@ -942,8 +1092,16 @@ const UncertainString& SubstringIndex::source() const {
 const IndexOptions& SubstringIndex::options() const { return impl_->options; }
 
 Status SubstringIndex::Save(std::string* out) const {
+  return Save(out, serde::kContainerVersion);
+}
+
+Status SubstringIndex::Save(std::string* out, uint32_t version) const {
+  if (version < serde::kInterchangeVersion ||
+      version > serde::kContainerVersion) {
+    return Status::InvalidArgument("unsupported container version");
+  }
   const Impl& i = *impl_;
-  serde::ContainerWriter cw(serde::IndexKind::kSubstring);
+  serde::ContainerWriter cw(serde::IndexKind::kSubstring, version);
   Writer& opts = cw.AddSection(serde::kTagOptions);
   opts.PutDouble(i.options.transform.tau_min);
   opts.PutU64(i.options.transform.max_total_length);
@@ -953,25 +1111,68 @@ Status SubstringIndex::Save(std::string* out) const {
   opts.PutU64(i.options.scan_cutoff);
   opts.PutU8(i.options.compact ? 1 : 0);
   serde::EncodeUncertainString(i.source, &cw.AddSection(serde::kTagSource));
-  serde::EncodeFactorSet(i.fs, &cw.AddSection(serde::kTagFactors));
+  if (version >= 3) {
+    Writer& text_w = cw.AddSection(serde::kTagText);
+    Writer& maps_w = cw.AddSection(serde::kTagMaps);
+    serde::EncodeFactorSetV3(i.fs, &text_w, &maps_w);
+  } else {
+    serde::EncodeFactorSet(i.fs, &cw.AddSection(serde::kTagFactors));
+  }
   if (i.options.compact) {
     // Compact Load would otherwise re-run SA-IS just to rebuild the
-    // FM-index; persisting the suffix array (v2 container section) turns
-    // Load into decode + Kasai + RMQ builds. Tree mode skips it: the tree
-    // rebuild derives the SA anyway and the section would double the blob.
-    cw.AddSection(serde::kTagSuffixArray).PutVector(i.sa_storage);
+    // FM-index; persisting the suffix array turns a v2 load into decode +
+    // Kasai + RMQ builds. Tree mode skips it: the tree rebuild derives the
+    // SA anyway and the section would double the blob.
+    cw.AddSection(serde::kTagSuffixArray).PutSpan(i.sa_storage.span());
+  }
+  if (version >= 3 && i.options.compact) {
+    // Every derived structure the compact query paths touch, 8-byte
+    // aligned so Load is validation plus pointer fix-up — no SA-IS, no
+    // Kasai, no FM or RMQ construction, no payload copies.
+    Writer& derv = cw.AddSection(serde::kTagDerived);
+    derv.PutSpan(i.c.span());
+    derv.PutSpan(i.remaining.span());
+    Writer& actv = cw.AddSection(serde::kTagActive);
+    actv.PutU32(static_cast<uint32_t>(i.K));
+    for (const auto& bits : i.active) actv.PutSpan(bits.span());
+    Writer& fmix = cw.AddSection(serde::kTagFmIndex);
+    i.fm->SaveTo(&fmix);
+    if (i.options.rmq_engine == RmqEngineKind::kBlock) {
+      // Only the block engine round-trips (the Fischer-Heun and sparse-
+      // table engines rebuild cheaply relative to their size on disk).
+      Writer& rmqb = cw.AddSection(serde::kTagRmqBlocks);
+      rmqb.PutU32(static_cast<uint32_t>(i.K));
+      for (const auto& handle : i.short_rmq) handle->SaveTo(&rmqb);
+      rmqb.PutU32(static_cast<uint32_t>(i.long_levels.size()));
+      for (const auto& level : i.long_levels) {
+        rmqb.PutU32(static_cast<uint32_t>(level.depth));
+        level.rmq->SaveTo(&rmqb);
+      }
+    }
   }
   *out = std::move(cw).Finish();
   return Status::OK();
 }
 
-StatusOr<SubstringIndex> SubstringIndex::Load(const std::string& data) {
+StatusOr<SubstringIndex> SubstringIndex::Load(std::string_view data,
+                                              serde::BlobPtr backing) {
+  // A v3 load keeps views into `data` alive for the index's lifetime, so
+  // the index must own the bytes by construction: either the caller's Blob
+  // (mmap'd file or otherwise pinned) or a private copy made here. Callers
+  // passing a transient buffer therefore cannot create dangling views.
+  StatusOr<uint32_t> version = serde::PeekVersion(data);
+  PTI_RETURN_IF_ERROR(version.status());
+  if (*version >= 3 && backing == nullptr) {
+    backing = std::make_shared<const serde::Blob>(std::string(data));
+    data = backing->view();
+  }
   serde::ContainerReader container;
   PTI_RETURN_IF_ERROR(serde::ContainerReader::Open(
       data, serde::IndexKind::kSubstring, &container));
   SubstringIndex index;
   index.impl_ = std::make_unique<Impl>();
   Impl& i = *index.impl_;
+  if (container.version() >= 3) i.backing = backing;
 
   Reader opts;
   PTI_RETURN_IF_ERROR(container.Section(serde::kTagOptions, &opts));
@@ -1013,17 +1214,34 @@ StatusOr<SubstringIndex> SubstringIndex::Load(const std::string& data) {
   PTI_RETURN_IF_ERROR(serde::DecodeUncertainString(&src, &i.source));
   PTI_RETURN_IF_ERROR(serde::ExpectSectionEnd(src, "source"));
 
-  Reader fact;
-  PTI_RETURN_IF_ERROR(container.Section(serde::kTagFactors, &fact));
-  PTI_RETURN_IF_ERROR(serde::DecodeFactorSet(&fact, i.source, &i.fs));
-  PTI_RETURN_IF_ERROR(serde::ExpectSectionEnd(fact, "factors"));
+  if (container.version() >= 3) {
+    Reader text_r, maps_r;
+    PTI_RETURN_IF_ERROR(container.Section(serde::kTagText, &text_r));
+    PTI_RETURN_IF_ERROR(container.Section(serde::kTagMaps, &maps_r));
+    PTI_RETURN_IF_ERROR(
+        serde::DecodeFactorSetV3(&text_r, &maps_r, i.source, &i.fs));
+    PTI_RETURN_IF_ERROR(serde::ExpectSectionEnd(text_r, "text"));
+    PTI_RETURN_IF_ERROR(serde::ExpectSectionEnd(maps_r, "maps"));
+  } else {
+    Reader fact;
+    PTI_RETURN_IF_ERROR(container.Section(serde::kTagFactors, &fact));
+    PTI_RETURN_IF_ERROR(serde::DecodeFactorSet(&fact, i.source, &i.fs));
+    PTI_RETURN_IF_ERROR(serde::ExpectSectionEnd(fact, "factors"));
+  }
 
-  std::optional<std::vector<int32_t>> loaded_sa;
+  std::optional<VecOrView<int32_t>> loaded_sa;
   if (i.options.compact && container.Has(serde::kTagSuffixArray)) {
     Reader sar;
     PTI_RETURN_IF_ERROR(container.Section(serde::kTagSuffixArray, &sar));
-    std::vector<int32_t> sa;
-    PTI_RETURN_IF_ERROR(sar.GetVector(&sa));
+    Span<const int32_t> sa;
+    if (container.version() >= 3) {
+      PTI_RETURN_IF_ERROR(sar.GetSpan(&sa));
+    } else {
+      std::vector<int32_t> owned;
+      PTI_RETURN_IF_ERROR(sar.GetVector(&owned));
+      loaded_sa = VecOrView<int32_t>(std::move(owned));
+      sa = loaded_sa->span();
+    }
     PTI_RETURN_IF_ERROR(serde::ExpectSectionEnd(sar, "suffix array"));
     if (sa.size() != i.fs.text.size()) {
       return Status::Corruption("suffix array length mismatches text");
@@ -1038,15 +1256,44 @@ StatusOr<SubstringIndex> SubstringIndex::Load(const std::string& data) {
       }
       seen[v] = true;
     }
-    loaded_sa = std::move(sa);
+    if (container.version() >= 3) loaded_sa = VecOrView<int32_t>::View(sa);
     i.sa_from_section = true;
   }
-  PTI_RETURN_IF_ERROR(i.FinishBuild(std::move(loaded_sa)));
+
+  if (container.version() >= 3 && i.options.compact &&
+      container.Has(serde::kTagDerived)) {
+    // Zero-copy fast path: the derived sections make every rebuild step
+    // unnecessary. The SARR section is mandatory here — its permutation
+    // scan above is what licenses the views installed next.
+    if (!loaded_sa.has_value()) {
+      return Status::Corruption("derived sections without a suffix array");
+    }
+    if (!container.Has(serde::kTagActive) ||
+        !container.Has(serde::kTagFmIndex)) {
+      return Status::Corruption("incomplete derived section group");
+    }
+    i.sa_storage = std::move(*loaded_sa);
+    PTI_RETURN_IF_ERROR(i.FinishLoadCompactV3(container));
+  } else {
+    PTI_RETURN_IF_ERROR(i.FinishBuild(std::move(loaded_sa)));
+  }
   return index;
 }
 
 bool SubstringIndexTestPeer::SaLoadedFromSection(const SubstringIndex& index) {
   return index.impl_->sa_from_section;
+}
+
+bool SubstringIndexTestPeer::DerivedLoadedFromSections(
+    const SubstringIndex& index) {
+  return index.impl_->derived_from_sections;
+}
+
+bool SubstringIndexTestPeer::ZeroCopyBacked(const SubstringIndex& index) {
+  const auto& i = *index.impl_;
+  return i.backing != nullptr && i.fs.pos.is_view() && i.fs.logp.is_view() &&
+         i.fs.text.IsZeroCopy() &&
+         (!i.options.compact || i.sa_storage.is_view());
 }
 
 }  // namespace pti

@@ -20,11 +20,13 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/factor_transform.h"
 #include "core/fuzzy.h"
 #include "core/match.h"
+#include "core/serde.h"
 #include "core/uncertain_string.h"
 #include "rmq/rmq_handle.h"
 #include "util/status.h"
@@ -140,10 +142,25 @@ class SubstringIndex {
   const UncertainString& source() const;
   const IndexOptions& options() const;
 
-  /// Serializes the source string, options and factor set; Load rebuilds the
-  /// derived structures (suffix array, tree, RMQ forest) deterministically.
+  /// Serializes the index at the current container version
+  /// (serde::kContainerVersion). A v3 container persists — 8-byte aligned —
+  /// every derived structure the compact query paths touch (suffix array,
+  /// prefix sums, active bitsets, FM-index, block-RMQ forest), so Load is
+  /// validation plus pointer fix-up instead of a rebuild.
   Status Save(std::string* out) const;
-  static StatusOr<SubstringIndex> Load(const std::string& data);
+  /// Same, at an explicit container version: serde::kInterchangeVersion (2)
+  /// writes the checksummed interchange format whose Load rebuilds all
+  /// derived structures deterministically.
+  Status Save(std::string* out, uint32_t version) const;
+
+  /// Deserializes a container. For a v3 container the index keeps zero-copy
+  /// views into `data`: pass the Blob that owns those bytes (e.g. from
+  /// serde::MapFile) as `backing` to pin it for the index's lifetime. With
+  /// no backing, Load copies the bytes into a private Blob first, so views
+  /// can never dangle regardless of what the caller does with `data`. A v2
+  /// container is decoded fully and retains nothing.
+  static StatusOr<SubstringIndex> Load(std::string_view data,
+                                       serde::BlobPtr backing = nullptr);
 
  private:
   friend class SubstringIndexTestPeer;
@@ -157,6 +174,13 @@ class SubstringIndexTestPeer {
   /// True when Load consumed a persisted suffix-array ("SARR") section
   /// instead of re-deriving the suffix array with SA-IS.
   static bool SaLoadedFromSection(const SubstringIndex& index);
+  /// True when Load consumed the v3 derived sections (DERV/ACTV/FMIX[/RMQB])
+  /// instead of rebuilding prefix sums, active bitsets, the FM-index and the
+  /// RMQ forest.
+  static bool DerivedLoadedFromSections(const SubstringIndex& index);
+  /// True when the index's large arrays (text, maps, suffix array) are views
+  /// into a pinned backing Blob rather than private copies.
+  static bool ZeroCopyBacked(const SubstringIndex& index);
 };
 
 }  // namespace pti

@@ -79,48 +79,79 @@ struct ServingEngine::Impl {
     std::vector<std::promise<Result>> waiters;
   };
 
+  // One immutable loaded index. The engine points at the current generation
+  // through a shared_ptr swapped under mu by Reload; a worker pins the
+  // generation it pops a batch under, so every request in a micro-batch is
+  // answered by the generation that was current when the batch was taken —
+  // and an old generation (with its mmap backing, if any) is destroyed only
+  // after the last such batch drains.
+  struct Generation {
+    ShardedIndex sharded;
+    SubstringIndex mono;
+    bool use_sharded = false;
+
+    Status ExecuteBatch(const std::vector<BatchQuery>& queries,
+                        std::vector<std::vector<Match>>* out) const {
+      return use_sharded ? sharded.QueryBatch(queries, out)
+                         : mono.QueryBatch(queries, out);
+    }
+
+    Status ExecuteOne(const std::string& pattern, double tau,
+                      std::vector<Match>* out) const {
+      return use_sharded ? sharded.Query(pattern, tau, out)
+                         : mono.Query(pattern, tau, out);
+    }
+
+    Status ExecuteFuzzyBatch(const std::vector<FuzzyBatchQuery>& queries,
+                             std::vector<std::vector<Match>>* out) const {
+      return use_sharded ? sharded.QueryFuzzyBatch(queries, out)
+                         : mono.QueryFuzzyBatch(queries, out);
+    }
+
+    Status ExecuteFuzzyOne(const std::string& pattern, double tau,
+                           const FuzzyParams& params,
+                           std::vector<Match>* out) const {
+      return use_sharded ? sharded.QueryFuzzy(pattern, tau, params, out)
+                         : mono.QueryFuzzy(pattern, tau, params, out);
+    }
+  };
+
   Impl(ShardedIndex s, SubstringIndex m, bool is_sharded,
        const ServingOptions& opts)
-      : sharded(std::move(s)),
-        mono(std::move(m)),
-        use_sharded(is_sharded),
-        options(Resolve(opts)),
+      : options(Resolve(opts)),
         cache(options.cache_bytes, options.cache_shards),
         pool(options.num_workers) {
+    auto gen = std::make_shared<Generation>();
+    gen->sharded = std::move(s);
+    gen->mono = std::move(m);
+    gen->use_sharded = is_sharded;
+    generation = std::move(gen);
     for (int32_t w = 0; w < options.num_workers; ++w) {
       pool.Submit([this] { WorkerLoop(); });
     }
   }
 
-  Status ExecuteBatch(const std::vector<BatchQuery>& queries,
-                      std::vector<std::vector<Match>>* out) const {
-    return use_sharded ? sharded.QueryBatch(queries, out)
-                       : mono.QueryBatch(queries, out);
-  }
-
-  Status ExecuteOne(const std::string& pattern, double tau,
-                    std::vector<Match>* out) const {
-    return use_sharded ? sharded.Query(pattern, tau, out)
-                       : mono.Query(pattern, tau, out);
-  }
-
-  Status ExecuteFuzzyBatch(const std::vector<FuzzyBatchQuery>& queries,
-                           std::vector<std::vector<Match>>* out) const {
-    return use_sharded ? sharded.QueryFuzzyBatch(queries, out)
-                       : mono.QueryFuzzyBatch(queries, out);
-  }
-
-  Status ExecuteFuzzyOne(const std::string& pattern, double tau,
-                         const FuzzyParams& params,
-                         std::vector<Match>* out) const {
-    return use_sharded ? sharded.QueryFuzzy(pattern, tau, params, out)
-                       : mono.QueryFuzzy(pattern, tau, params, out);
+  // Swaps in a validated replacement index. In-flight and already-queued
+  // batches finish on the generation they were popped with; the result
+  // cache is cleared (entries may describe the old index); the old
+  // generation is freed — unmapped, for an mmap-backed load — when its last
+  // batch drains. Requests merged onto an in-flight execution intentionally
+  // share its (old-generation) answer: they joined that execution.
+  void Swap(std::shared_ptr<const Generation> next) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      generation = std::move(next);
+      ++generation_number;
+    }
+    cache.Clear();
+    reloads.fetch_add(1, std::memory_order_relaxed);
   }
 
   void WorkerLoop() {
     const auto linger = std::chrono::microseconds(options.linger_us);
     for (;;) {
       std::vector<std::shared_ptr<Request>> batch;
+      std::shared_ptr<const Generation> gen;
       {
         std::unique_lock<std::mutex> lock(mu);
         ready.wait(lock, [this] { return stop || !queue.empty(); });
@@ -139,8 +170,12 @@ struct ServingEngine::Impl {
         batch.assign(queue.begin(),
                      queue.begin() + static_cast<ptrdiff_t>(take));
         queue.erase(queue.begin(), queue.begin() + static_cast<ptrdiff_t>(take));
+        // Pin the generation under the same lock that popped the batch: the
+        // whole batch is answered by one index, and a concurrent Reload
+        // cannot free it while this worker still holds the shared_ptr.
+        gen = generation;
       }
-      RunBatch(batch);
+      RunBatch(*gen, batch);
     }
   }
 
@@ -148,20 +183,22 @@ struct ServingEngine::Impl {
   // goes through its own batched path (each is all-or-nothing on
   // validation, with per-request fallback), so a fuzzy request's invalid k
   // cannot fail exact batch-mates and vice versa.
-  void RunBatch(const std::vector<std::shared_ptr<Request>>& batch) {
+  void RunBatch(const Generation& gen,
+                const std::vector<std::shared_ptr<Request>>& batch) {
     std::vector<std::shared_ptr<Request>> exact;
     std::vector<std::shared_ptr<Request>> fuzzy;
     for (const auto& r : batch) (r->fuzzy ? fuzzy : exact).push_back(r);
-    if (!exact.empty()) RunExactSubset(exact);
-    if (!fuzzy.empty()) RunFuzzySubset(fuzzy);
+    if (!exact.empty()) RunExactSubset(gen, exact);
+    if (!fuzzy.empty()) RunFuzzySubset(gen, fuzzy);
   }
 
-  void RunExactSubset(const std::vector<std::shared_ptr<Request>>& batch) {
+  void RunExactSubset(const Generation& gen,
+                      const std::vector<std::shared_ptr<Request>>& batch) {
     std::vector<BatchQuery> queries;
     queries.reserve(batch.size());
     for (const auto& r : batch) queries.push_back({r->pattern, r->tau});
     std::vector<std::vector<Match>> results;
-    const Status st = ExecuteBatch(queries, &results);
+    const Status st = gen.ExecuteBatch(queries, &results);
     batches.fetch_add(1, std::memory_order_relaxed);
     // Each request lands in exactly one execution counter: batched_queries
     // when the batched path answered it, fallback_queries when validation
@@ -178,20 +215,21 @@ struct ServingEngine::Impl {
     // own so one client's invalid query cannot fail its batch-mates.
     for (const auto& r : batch) {
       Result result;
-      result.status = ExecuteOne(r->pattern, r->tau, &result.matches);
+      result.status = gen.ExecuteOne(r->pattern, r->tau, &result.matches);
       fallback_queries.fetch_add(1, std::memory_order_relaxed);
       Fulfill(*r, std::move(result));
     }
   }
 
-  void RunFuzzySubset(const std::vector<std::shared_ptr<Request>>& batch) {
+  void RunFuzzySubset(const Generation& gen,
+                      const std::vector<std::shared_ptr<Request>>& batch) {
     std::vector<FuzzyBatchQuery> queries;
     queries.reserve(batch.size());
     for (const auto& r : batch) {
       queries.push_back({r->pattern, r->tau, r->params});
     }
     std::vector<std::vector<Match>> results;
-    const Status st = ExecuteFuzzyBatch(queries, &results);
+    const Status st = gen.ExecuteFuzzyBatch(queries, &results);
     batches.fetch_add(1, std::memory_order_relaxed);
     if (st.ok()) {
       batched_queries.fetch_add(batch.size(), std::memory_order_relaxed);
@@ -203,7 +241,7 @@ struct ServingEngine::Impl {
     for (const auto& r : batch) {
       Result result;
       result.status =
-          ExecuteFuzzyOne(r->pattern, r->tau, r->params, &result.matches);
+          gen.ExecuteFuzzyOne(r->pattern, r->tau, r->params, &result.matches);
       fallback_queries.fetch_add(1, std::memory_order_relaxed);
       Fulfill(*r, std::move(result));
     }
@@ -231,15 +269,16 @@ struct ServingEngine::Impl {
     if (!waiters.empty()) waiters.back().set_value(std::move(result));
   }
 
-  ShardedIndex sharded;
-  SubstringIndex mono;
-  const bool use_sharded;
   const ServingOptions options;
 
   LruCache<std::string, std::vector<Match>> cache;
 
   std::mutex mu;
   std::condition_variable ready;
+  // Current index; guarded by mu (read when popping a batch, written by
+  // Reload). shared_ptr keeps drained-from generations alive off-lock.
+  std::shared_ptr<const Generation> generation;
+  uint64_t generation_number = 1;  // guarded by mu
   std::deque<std::shared_ptr<Request>> queue;
   std::unordered_map<std::string, std::shared_ptr<Request>> inflight;
   bool stop = false;
@@ -255,6 +294,7 @@ struct ServingEngine::Impl {
   std::atomic<uint64_t> batches{0};
   std::atomic<uint64_t> batched_queries{0};
   std::atomic<uint64_t> fallback_queries{0};
+  std::atomic<uint64_t> reloads{0};
 
   // Declared last: destroyed first, which joins the workers while every
   // field they touch is still alive.
@@ -372,6 +412,50 @@ std::vector<std::future<ServingEngine::Result>> ServingEngine::SubmitFuzzyBatch(
   return futures;
 }
 
+Status ServingEngine::Reload(ShardedIndex index) {
+  auto gen = std::make_shared<Impl::Generation>();
+  gen->sharded = std::move(index);
+  gen->use_sharded = true;
+  impl_->Swap(std::move(gen));
+  return Status::OK();
+}
+
+Status ServingEngine::Reload(SubstringIndex index) {
+  auto gen = std::make_shared<Impl::Generation>();
+  gen->mono = std::move(index);
+  gen->use_sharded = false;
+  impl_->Swap(std::move(gen));
+  return Status::OK();
+}
+
+Status ServingEngine::Reload(const std::string& path, bool use_mmap) {
+  // Load and validate entirely beside the live generation: a failed load
+  // leaves the engine serving the old index, untouched.
+  StatusOr<serde::BlobPtr> blob =
+      use_mmap ? serde::MapFile(path) : serde::ReadFileToBlob(path);
+  PTI_RETURN_IF_ERROR(blob.status());
+  const std::string_view data = (*blob)->view();
+  StatusOr<serde::IndexKind> kind = serde::PeekKind(data);
+  PTI_RETURN_IF_ERROR(kind.status());
+  auto gen = std::make_shared<Impl::Generation>();
+  if (*kind == serde::IndexKind::kSharded) {
+    StatusOr<ShardedIndex> loaded = ShardedIndex::Load(data, 0, *blob);
+    PTI_RETURN_IF_ERROR(loaded.status());
+    gen->sharded = std::move(loaded).value();
+    gen->use_sharded = true;
+  } else if (*kind == serde::IndexKind::kSubstring) {
+    StatusOr<SubstringIndex> loaded = SubstringIndex::Load(data, *blob);
+    PTI_RETURN_IF_ERROR(loaded.status());
+    gen->mono = std::move(loaded).value();
+    gen->use_sharded = false;
+  } else {
+    return Status::InvalidArgument(
+        "serving engine reloads substring or sharded containers only");
+  }
+  impl_->Swap(std::move(gen));
+  return Status::OK();
+}
+
 void ServingEngine::Stop() {
   {
     std::lock_guard<std::mutex> lock(impl_->mu);
@@ -392,6 +476,11 @@ ServingEngine::Stats ServingEngine::stats() const {
   s.batches = impl.batches.load(std::memory_order_relaxed);
   s.batched_queries = impl.batched_queries.load(std::memory_order_relaxed);
   s.fallback_queries = impl.fallback_queries.load(std::memory_order_relaxed);
+  s.reloads = impl.reloads.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    s.generation = impl.generation_number;
+  }
   const auto cache_stats = impl.cache.stats();
   s.cache_entries = cache_stats.entries;
   s.cache_bytes = cache_stats.bytes;

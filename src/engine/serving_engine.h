@@ -95,6 +95,8 @@ class ServingEngine {
     size_t cache_entries = 0;      ///< live cached results
     size_t cache_bytes = 0;        ///< their summed charge
     uint64_t cache_evictions = 0;  ///< results evicted by the byte budget
+    uint64_t reloads = 0;          ///< successful Reload calls
+    uint64_t generation = 0;       ///< current index generation (starts at 1)
   };
 
   /// Serve a sharded index (the intended production shape).
@@ -131,6 +133,21 @@ class ServingEngine {
   /// queries[i].
   std::vector<std::future<Result>> SubmitFuzzyBatch(
       const std::vector<FuzzyBatchQuery>& queries);
+
+  /// Atomically replaces the served index with an already-built one.
+  /// In-flight micro-batches finish on the generation they started with
+  /// (their futures resolve against the old index — never lost, never
+  /// re-answered); requests popped after the swap see the new index; the
+  /// result cache is cleared. The old generation — including any mmap
+  /// backing — is freed once its last batch drains.
+  Status Reload(ShardedIndex index);
+  Status Reload(SubstringIndex index);
+
+  /// Loads `path` (substring or sharded container; mmap'd zero-copy when
+  /// use_mmap, read into memory otherwise) and swaps it in as above. On any
+  /// load/validation failure the engine keeps serving the old generation
+  /// untouched and returns the error.
+  Status Reload(const std::string& path, bool use_mmap = true);
 
   /// Stops accepting new requests (they resolve with NotSupported) and lets
   /// the workers drain everything already accepted. Idempotent; does not

@@ -431,25 +431,46 @@ const SubstringIndex& ShardedIndex::shard(int32_t k) const {
 }
 
 Status ShardedIndex::Save(std::string* out) const {
+  return Save(out, serde::kContainerVersion);
+}
+
+Status ShardedIndex::Save(std::string* out, uint32_t version) const {
+  if (version < serde::kInterchangeVersion ||
+      version > serde::kContainerVersion) {
+    return Status::InvalidArgument("unsupported container version");
+  }
   const Impl& impl = *impl_;
-  serde::ContainerWriter cw(serde::IndexKind::kSharded);
+  serde::ContainerWriter cw(serde::IndexKind::kSharded, version);
   Writer& manifest = cw.AddSection(serde::kTagShardManifest);
   manifest.PutU32(static_cast<uint32_t>(impl.num_shards()));
   manifest.PutU32(static_cast<uint32_t>(impl.options.overlap));
   manifest.PutI64(impl.original_length);
   for (const int64_t b : impl.begins) manifest.PutI64(b);
   Writer& blobs = cw.AddSection(serde::kTagShardBlobs);
+  // In a v3 container each nested blob lands 8-byte aligned (the aligned
+  // writer pads before the length prefix), so a nested v3 shard's sections
+  // are absolutely aligned too and its Load stays zero-copy.
   for (const SubstringIndex& shard : impl.shards) {
     std::string blob;
-    PTI_RETURN_IF_ERROR(shard.Save(&blob));
+    PTI_RETURN_IF_ERROR(shard.Save(&blob, version));
     blobs.PutString(blob);
   }
   *out = std::move(cw).Finish();
   return Status::OK();
 }
 
-StatusOr<ShardedIndex> ShardedIndex::Load(const std::string& data,
-                                          int32_t num_threads) {
+StatusOr<ShardedIndex> ShardedIndex::Load(std::string_view data,
+                                          int32_t num_threads,
+                                          serde::BlobPtr backing) {
+  // Same ownership-by-construction contract as SubstringIndex::Load: a v3
+  // container's shards keep views into `data`, so pin the caller's Blob or
+  // make a private copy up front. The one Blob backs every shard.
+  StatusOr<uint32_t> version = serde::PeekVersion(data);
+  PTI_RETURN_IF_ERROR(version.status());
+  if (*version >= 3 && backing == nullptr) {
+    backing = std::make_shared<const serde::Blob>(std::string(data));
+    data = backing->view();
+  }
   serde::ContainerReader container;
   PTI_RETURN_IF_ERROR(serde::ContainerReader::Open(
       data, serde::IndexKind::kSharded, &container));
@@ -499,16 +520,18 @@ StatusOr<ShardedIndex> ShardedIndex::Load(const std::string& data,
 
   Reader blobs;
   PTI_RETURN_IF_ERROR(container.Section(serde::kTagShardBlobs, &blobs));
-  std::vector<std::string> shard_blobs(num_shards);
+  // Views into the container, not copies: v2 shard loads decode fully
+  // while `data` is alive, v3 shard loads pin `backing`.
+  std::vector<std::string_view> shard_blobs(num_shards);
   for (uint32_t k = 0; k < num_shards; ++k) {
-    PTI_RETURN_IF_ERROR(blobs.GetString(&shard_blobs[k]));
+    PTI_RETURN_IF_ERROR(blobs.GetStringView(&shard_blobs[k]));
   }
   PTI_RETURN_IF_ERROR(serde::ExpectSectionEnd(blobs, "shard blobs"));
 
   impl.shards.resize(num_shards);
   std::vector<Status> statuses(num_shards);
   RunShardTasks(num_shards, num_threads, [&](size_t k) {
-    auto shard = SubstringIndex::Load(shard_blobs[k]);
+    auto shard = SubstringIndex::Load(shard_blobs[k], backing);
     if (shard.ok()) {
       impl.shards[k] = std::move(shard).value();
       statuses[k] = Status::OK();

@@ -36,6 +36,7 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/match.h"
@@ -129,10 +130,18 @@ class ShardedIndex {
   /// Persists the shard layout plus every shard's own container into one
   /// "SHRD" container (docs/FORMAT.md).
   Status Save(std::string* out) const;
+  /// Same, at an explicit container version; nested shard containers are
+  /// written at the same version (and stay 8-byte aligned in a v3 file, so
+  /// their own loads remain zero-copy).
+  Status Save(std::string* out, uint32_t version) const;
   /// Rebuilds every shard from its nested container, concurrently when
   /// num_threads allows. Cross-validates the manifest against the shards.
-  static StatusOr<ShardedIndex> Load(const std::string& data,
-                                     int32_t num_threads = 1);
+  /// For a v3 container the shards keep zero-copy views into `data`; pass
+  /// the owning Blob (e.g. from serde::MapFile) as `backing` to pin it,
+  /// else Load copies the bytes into a private Blob first.
+  static StatusOr<ShardedIndex> Load(std::string_view data,
+                                     int32_t num_threads = 1,
+                                     serde::BlobPtr backing = nullptr);
 
  private:
   struct Impl;

@@ -18,11 +18,16 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "rmq/rmq.h"
 #include "rmq/sparse_table_rmq.h"
+#include "util/serial.h"
+#include "util/span.h"
+#include "util/status.h"
 
 namespace pti {
 
@@ -35,18 +40,66 @@ class BlockRmq {
   BlockRmq(ValueFn value, size_t n, size_t block = 64)
       : value_(std::move(value)), n_(n), block_(block == 0 ? 1 : block) {
     const size_t nblocks = (n_ + block_ - 1) / block_;
-    block_arg_.reserve(nblocks);
+    std::vector<uint32_t> args;
+    args.reserve(nblocks);
     for (size_t b = 0; b < nblocks; ++b) {
       const size_t lo = b * block_;
       const size_t hi = std::min(lo + block_ - 1, n_ - 1);
-      block_arg_.push_back(
-          static_cast<uint32_t>(BruteForceArgMax(value_, lo, hi)));
+      args.push_back(static_cast<uint32_t>(BruteForceArgMax(value_, lo, hi)));
     }
+    block_arg_ = VecOrView<uint32_t>(std::move(args));
     if (nblocks > 0) {
       // The accessor captures the heap buffer (stable across moves of this
       // object) and a copy of the value functor — never `this`.
       top_.emplace(BlockValueFn{block_arg_.data(), value_}, nblocks);
     }
+  }
+
+  /// Serializes geometry + block argmax table + the top sparse table.
+  void SaveTo(Writer* w) const {
+    w->PutU64(static_cast<uint64_t>(n_));
+    w->PutU64(static_cast<uint64_t>(block_));
+    w->PutSpan(block_arg_.span());
+    if (top_) top_->SaveTo(w);
+  }
+
+  /// Zero-copy inverse of SaveTo; the caller pins the backing Blob and
+  /// supplies the same value accessor the structure was built over. Every
+  /// block argmax must lie inside its own block (bounding it below n), so
+  /// a forged table cannot push accessor calls out of range.
+  static Status LoadFrom(Reader* r, ValueFn value,
+                         std::unique_ptr<BlockRmq>* out) {
+    uint64_t n = 0, block = 0;
+    PTI_RETURN_IF_ERROR(r->GetU64(&n));
+    PTI_RETURN_IF_ERROR(r->GetU64(&block));
+    if (block == 0) return Status::Corruption("block RMQ with zero block");
+    Span<const uint32_t> args;
+    PTI_RETURN_IF_ERROR(r->GetSpan(&args));
+    const size_t nblocks =
+        n == 0 ? 0 : (static_cast<size_t>(n) + block - 1) / block;
+    if (args.size() != nblocks) {
+      return Status::Corruption("block RMQ argmax table size mismatch");
+    }
+    for (size_t b = 0; b < nblocks; ++b) {
+      const size_t lo = b * block;
+      const size_t hi = std::min(lo + block, static_cast<size_t>(n));
+      if (args[b] < lo || args[b] >= hi) {
+        return Status::Corruption("block RMQ argmax outside its block");
+      }
+    }
+    auto rmq = std::unique_ptr<BlockRmq>(
+        new BlockRmq(PartsTag{}, std::move(value), static_cast<size_t>(n),
+                     static_cast<size_t>(block),
+                     VecOrView<uint32_t>::View(args)));
+    if (nblocks > 0) {
+      PTI_RETURN_IF_ERROR(SparseTableRmq<BlockValueFn>::LoadFrom(
+          r, BlockValueFn{rmq->block_arg_.data(), rmq->value_}, &rmq->top_));
+      if (rmq->top_->size() != nblocks) {
+        return Status::Corruption("block RMQ top table size mismatch");
+      }
+    }
+    *out = std::move(rmq);
+    return Status::OK();
   }
 
   /// Leftmost argmax over the inclusive range [l, r].
@@ -67,14 +120,23 @@ class BlockRmq {
 
   size_t size() const { return n_; }
 
-  /// Bytes of auxiliary structure (excludes whatever backs the accessor).
+  /// Bytes of auxiliary structure (excludes whatever backs the accessor and
+  /// any backing Blob a loaded structure views).
   size_t MemoryUsage() const {
-    size_t bytes = block_arg_.size() * sizeof(uint32_t);
+    size_t bytes = block_arg_.OwnedBytes();
     if (top_) bytes += top_->MemoryUsage();
     return bytes;
   }
 
  private:
+  struct PartsTag {};
+  BlockRmq(PartsTag, ValueFn value, size_t n, size_t block,
+           VecOrView<uint32_t> block_arg)
+      : value_(std::move(value)),
+        n_(n),
+        block_(block),
+        block_arg_(std::move(block_arg)) {}
+
   /// Adapts block-index space to the sparse table: value of block b is the
   /// value at that block's argmax position. Holds only move-stable state
   /// (the vector's heap buffer and a functor copy), so BlockRmq stays
@@ -88,7 +150,7 @@ class BlockRmq {
   ValueFn value_;
   size_t n_;
   size_t block_;
-  std::vector<uint32_t> block_arg_;
+  VecOrView<uint32_t> block_arg_;
   std::optional<SparseTableRmq<BlockValueFn>> top_;
 };
 

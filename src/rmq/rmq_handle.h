@@ -5,10 +5,14 @@
 #define PTI_RMQ_RMQ_HANDLE_H_
 
 #include <memory>
+#include <type_traits>
+#include <utility>
 
 #include "rmq/block_rmq.h"
 #include "rmq/fischer_heun_rmq.h"
 #include "rmq/sparse_table_rmq.h"
+#include "util/serial.h"
+#include "util/status.h"
 
 namespace pti {
 
@@ -26,9 +30,20 @@ class RmqHandle {
   /// Leftmost argmax over the inclusive range [l, r].
   virtual size_t ArgMax(size_t l, size_t r) const = 0;
   virtual size_t MemoryUsage() const = 0;
+  /// Serializes the engine into `w` when it supports persistence (block and
+  /// sparse-table engines do); returns false — writing nothing — otherwise,
+  /// in which case the owner rebuilds the structure on load.
+  virtual bool SaveTo(Writer* w) const = 0;
 };
 
 namespace rmq_internal {
+
+template <typename Engine, typename = void>
+struct HasSaveTo : std::false_type {};
+template <typename Engine>
+struct HasSaveTo<Engine,
+                 std::void_t<decltype(std::declval<const Engine&>().SaveTo(
+                     static_cast<Writer*>(nullptr)))>> : std::true_type {};
 
 template <typename Engine>
 class RmqHandleImpl final : public RmqHandle {
@@ -38,6 +53,15 @@ class RmqHandleImpl final : public RmqHandle {
     return engine_.ArgMax(l, r);
   }
   size_t MemoryUsage() const override { return engine_.MemoryUsage(); }
+  bool SaveTo(Writer* w) const override {
+    if constexpr (HasSaveTo<Engine>::value) {
+      engine_.SaveTo(w);
+      return true;
+    } else {
+      (void)w;
+      return false;
+    }
+  }
 
  private:
   Engine engine_;
@@ -64,6 +88,25 @@ std::unique_ptr<RmqHandle> MakeRmq(RmqEngineKind kind, ValueFn value, size_t n,
       return std::make_unique<rmq_internal::RmqHandleImpl<BlockRmq<ValueFn>>>(
           BlockRmq<ValueFn>(std::move(value), n, block));
   }
+}
+
+/// Deserializes a block-engine handle saved via RmqHandle::SaveTo. The
+/// caller supplies the same value accessor the structure was built over,
+/// the element count the structure must cover (queries index up to it, so a
+/// forged count would be an out-of-bounds hazard, not just a wrong answer),
+/// and pins the Blob backing `r` (the loaded tables are zero-copy views).
+template <typename ValueFn>
+Status LoadBlockRmq(Reader* r, ValueFn value, size_t expected_n,
+                    std::unique_ptr<RmqHandle>* out) {
+  std::unique_ptr<BlockRmq<ValueFn>> engine;
+  PTI_RETURN_IF_ERROR(
+      BlockRmq<ValueFn>::LoadFrom(r, std::move(value), &engine));
+  if (engine->size() != expected_n) {
+    return Status::Corruption("RMQ element count mismatch");
+  }
+  *out = std::make_unique<rmq_internal::RmqHandleImpl<BlockRmq<ValueFn>>>(
+      std::move(*engine));
+  return Status::OK();
 }
 
 }  // namespace pti

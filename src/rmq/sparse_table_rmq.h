@@ -9,9 +9,14 @@
 #define PTI_RMQ_SPARSE_TABLE_RMQ_H_
 
 #include <cstdint>
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include "rmq/rmq.h"
+#include "util/serial.h"
+#include "util/span.h"
+#include "util/status.h"
 
 namespace pti {
 
@@ -25,16 +30,61 @@ class SparseTableRmq {
     if (n_ == 0) return;
     const uint32_t levels = rmq_internal::FloorLog2(n_) + 1;
     table_.resize(levels);
-    table_[0].resize(n_);
-    for (size_t i = 0; i < n_; ++i) table_[0][i] = static_cast<uint32_t>(i);
+    std::vector<uint32_t> level0(n_);
+    for (size_t i = 0; i < n_; ++i) level0[i] = static_cast<uint32_t>(i);
+    table_[0] = VecOrView<uint32_t>(std::move(level0));
     for (uint32_t k = 1; k < levels; ++k) {
       const size_t span = size_t{1} << k;
-      table_[k].resize(n_ - span + 1);
+      std::vector<uint32_t> level(n_ - span + 1);
       for (size_t i = 0; i + span <= n_; ++i) {
-        table_[k][i] = static_cast<uint32_t>(rmq_internal::Better(
+        level[i] = static_cast<uint32_t>(rmq_internal::Better(
             value_, table_[k - 1][i], table_[k - 1][i + span / 2]));
       }
+      table_[k] = VecOrView<uint32_t>(std::move(level));
     }
+  }
+
+  /// Serializes the table (aligned writer: levels become zero-copy views on
+  /// v3 load).
+  void SaveTo(Writer* w) const {
+    w->PutU64(static_cast<uint64_t>(n_));
+    w->PutU32(static_cast<uint32_t>(table_.size()));
+    for (const auto& level : table_) w->PutSpan(level.span());
+  }
+
+  /// Zero-copy inverse of SaveTo; the caller pins the backing Blob. Level
+  /// sizes must match n exactly and every entry must lie inside its window
+  /// (which bounds it below n), so a forged table can skew answers but
+  /// never index out of bounds.
+  static Status LoadFrom(Reader* r, ValueFn value,
+                         std::optional<SparseTableRmq>* out) {
+    uint64_t n = 0;
+    uint32_t levels = 0;
+    PTI_RETURN_IF_ERROR(r->GetU64(&n));
+    PTI_RETURN_IF_ERROR(r->GetU32(&levels));
+    const uint32_t expect =
+        n == 0 ? 0 : rmq_internal::FloorLog2(static_cast<size_t>(n)) + 1;
+    if (levels != expect) {
+      return Status::Corruption("sparse table level count mismatch");
+    }
+    std::vector<VecOrView<uint32_t>> table(levels);
+    for (uint32_t k = 0; k < levels; ++k) {
+      Span<const uint32_t> level;
+      PTI_RETURN_IF_ERROR(r->GetSpan(&level));
+      const size_t span = size_t{1} << k;
+      if (level.size() != static_cast<size_t>(n) - span + 1) {
+        return Status::Corruption("sparse table level size mismatch");
+      }
+      for (size_t i = 0; i < level.size(); ++i) {
+        if (level[i] < i || level[i] >= i + span) {
+          return Status::Corruption("sparse table entry outside its window");
+        }
+      }
+      table[k] = VecOrView<uint32_t>::View(level);
+    }
+    out->emplace(SparseTableRmq(std::move(value), static_cast<size_t>(n),
+                                std::move(table)));
+    return Status::OK();
   }
 
   /// Leftmost argmax over the inclusive range [l, r].
@@ -48,17 +98,22 @@ class SparseTableRmq {
 
   size_t size() const { return n_; }
 
-  /// Bytes of auxiliary structure (excludes whatever backs the accessor).
+  /// Bytes of auxiliary structure (excludes whatever backs the accessor and
+  /// any backing Blob a loaded table views).
   size_t MemoryUsage() const {
     size_t bytes = 0;
-    for (const auto& level : table_) bytes += level.size() * sizeof(uint32_t);
+    for (const auto& level : table_) bytes += level.OwnedBytes();
     return bytes;
   }
 
  private:
+  SparseTableRmq(ValueFn value, size_t n,
+                 std::vector<VecOrView<uint32_t>> table)
+      : value_(std::move(value)), n_(n), table_(std::move(table)) {}
+
   ValueFn value_;
   size_t n_;
-  std::vector<std::vector<uint32_t>> table_;
+  std::vector<VecOrView<uint32_t>> table_;
 };
 
 }  // namespace pti

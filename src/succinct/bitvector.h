@@ -8,25 +8,40 @@
 // superblock load and up to seven popcounts. Select1 samples every 512th
 // 1 bit to bound its superblock binary search to a constant expected range,
 // then walks the packed counts to the word.
+//
+// Storage is VecOrView: a built vector owns its arrays; one loaded from a
+// v3 container views the backing Blob (no copy, no Finish()). LoadFrom
+// re-derives the directory and samples from the stored words and compares
+// (CheckIntegrity), so rank/select answers are always consistent with the
+// bits even if a forged checksum smuggles in a doctored directory; queries
+// additionally clamp their inputs so out-of-range arguments degrade to
+// harmless answers instead of out-of-bounds reads.
 
 #ifndef PTI_SUCCINCT_BITVECTOR_H_
 #define PTI_SUCCINCT_BITVECTOR_H_
 
-#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
+
+#include "util/serial.h"
+#include "util/span.h"
+#include "util/status.h"
 
 namespace pti {
 
 class BitVector {
  public:
   BitVector() = default;
-  explicit BitVector(size_t n) : n_(n), words_((n + 63) / 64, 0) {}
+  explicit BitVector(size_t n)
+      : n_(n), words_(std::vector<uint64_t>((n + 63) / 64, 0)) {}
 
-  void Set(size_t i) { words_[i >> 6] |= uint64_t{1} << (i & 63); }
+  void Set(size_t i) {
+    words_.mutable_at(i >> 6) |= uint64_t{1} << (i & 63);
+  }
 
   bool Get(size_t i) const {
+    if (i >= n_) return false;
     return (words_[i >> 6] >> (i & 63)) & 1;
   }
 
@@ -37,10 +52,10 @@ class BitVector {
     const size_t nwords = words_.size();
     // One trailing superblock entry so Rank1(size()) stays in bounds.
     const size_t nsuper = nwords / 8 + 1;
-    dir_.assign(2 * nsuper, 0);
+    std::vector<uint64_t> dir(2 * nsuper, 0);
     uint64_t total = 0;
     for (size_t sb = 0; sb < nsuper; ++sb) {
-      dir_[2 * sb] = total;
+      dir[2 * sb] = total;
       uint64_t packed = 0;
       uint64_t in_sb = 0;
       for (size_t k = 0; k < 8; ++k) {
@@ -52,25 +67,28 @@ class BitVector {
           in_sb += static_cast<uint64_t>(__builtin_popcountll(words_[w]));
         }
       }
-      dir_[2 * sb + 1] = packed;
+      dir[2 * sb + 1] = packed;
       total += in_sb;
     }
     ones_ = total;
+    dir_ = VecOrView<uint64_t>(std::move(dir));
     // Select sampling: superblock holding every 512th 1 bit.
-    select_sample_.clear();
+    std::vector<uint32_t> samples;
     uint64_t target = 0;
     for (size_t sb = 0; sb < nsuper && target < ones_; ++sb) {
       const uint64_t end = sb + 1 < nsuper ? dir_[2 * (sb + 1)] : ones_;
       while (target < end) {
-        select_sample_.push_back(static_cast<uint32_t>(sb));
+        samples.push_back(static_cast<uint32_t>(sb));
         target += kSelectSampleRate;
       }
     }
+    select_sample_ = VecOrView<uint32_t>(std::move(samples));
   }
 
-  /// Number of 1 bits in [0, i). i may equal size().
+  /// Number of 1 bits in [0, i). i may equal size(); larger arguments clamp
+  /// to size() (callers of loaded structures may pass derived offsets).
   size_t Rank1(size_t i) const {
-    assert(i <= n_);
+    if (i > n_) i = n_;
     const size_t w = i >> 6;
     const size_t sb = w >> 3;
     // Branchless packed-field read: t wraps to 2^64-1 for the superblock's
@@ -88,7 +106,10 @@ class BitVector {
   }
 
   /// Number of 0 bits in [0, i).
-  size_t Rank0(size_t i) const { return i - Rank1(i); }
+  size_t Rank0(size_t i) const {
+    if (i > n_) i = n_;
+    return i - Rank1(i);
+  }
 
   size_t ones() const { return ones_; }
 
@@ -119,10 +140,98 @@ class BitVector {
     return w * 64 + SelectInWord(words_[w], remaining);
   }
 
+  /// Serializes bits + derived arrays (aligned writer: the arrays become
+  /// zero-copy views on v3 load).
+  void SaveTo(Writer* w) const {
+    w->PutU64(static_cast<uint64_t>(n_));
+    w->PutU64(static_cast<uint64_t>(ones_));
+    w->PutSpan(words_.span());
+    w->PutSpan(dir_.span());
+    w->PutSpan(select_sample_.span());
+  }
+
+  /// Zero-copy inverse of SaveTo. The loaded vector views the reader's
+  /// buffer; the caller pins the backing Blob. Runs CheckIntegrity, so a
+  /// forged directory or select table is rejected up front.
+  Status LoadFrom(Reader* r) {
+    uint64_t n = 0, ones = 0;
+    PTI_RETURN_IF_ERROR(r->GetU64(&n));
+    PTI_RETURN_IF_ERROR(r->GetU64(&ones));
+    Span<const uint64_t> words, dir;
+    Span<const uint32_t> samples;
+    PTI_RETURN_IF_ERROR(r->GetSpan(&words));
+    PTI_RETURN_IF_ERROR(r->GetSpan(&dir));
+    PTI_RETURN_IF_ERROR(r->GetSpan(&samples));
+    n_ = static_cast<size_t>(n);
+    ones_ = static_cast<size_t>(ones);
+    words_ = VecOrView<uint64_t>::View(words);
+    dir_ = VecOrView<uint64_t>::View(dir);
+    select_sample_ = VecOrView<uint32_t>::View(samples);
+    return CheckIntegrity();
+  }
+
+  /// Recomputes the rank directory, select samples and 1-count from the
+  /// stored words and compares with what was loaded (O(#words), no
+  /// allocation). Also requires bits beyond size() to be zero, so phantom
+  /// trailing bits cannot inflate ranks.
+  Status CheckIntegrity() const {
+    const size_t nwords = words_.size();
+    if (nwords != (n_ + 63) / 64) {
+      return Status::Corruption("bit vector word count mismatch");
+    }
+    const size_t nsuper = nwords / 8 + 1;
+    if (dir_.size() != 2 * nsuper) {
+      return Status::Corruption("bit vector rank directory size mismatch");
+    }
+    if (n_ % 64 != 0 && nwords > 0 && (words_[nwords - 1] >> (n_ % 64)) != 0) {
+      return Status::Corruption("bit vector trailing bits not zero");
+    }
+    uint64_t total = 0;
+    for (size_t sb = 0; sb < nsuper; ++sb) {
+      if (dir_[2 * sb] != total) {
+        return Status::Corruption("bit vector rank directory mismatch");
+      }
+      uint64_t packed = 0;
+      uint64_t in_sb = 0;
+      for (size_t k = 0; k < 8; ++k) {
+        if (k > 0) packed |= in_sb << (9 * (k - 1));
+        const size_t w = sb * 8 + k;
+        if (w < nwords) {
+          in_sb += static_cast<uint64_t>(__builtin_popcountll(words_[w]));
+        }
+      }
+      if (dir_[2 * sb + 1] != packed) {
+        return Status::Corruption("bit vector rank directory mismatch");
+      }
+      total += in_sb;
+    }
+    if (ones_ != total) {
+      return Status::Corruption("bit vector 1-count mismatch");
+    }
+    const size_t expect =
+        (ones_ + kSelectSampleRate - 1) / kSelectSampleRate;
+    if (select_sample_.size() != expect) {
+      return Status::Corruption("bit vector select table size mismatch");
+    }
+    uint64_t target = 0;
+    size_t j = 0;
+    for (size_t sb = 0; sb < nsuper && target < ones_; ++sb) {
+      const uint64_t end = sb + 1 < nsuper ? dir_[2 * (sb + 1)] : ones_;
+      while (target < end) {
+        if (select_sample_[j] != sb) {
+          return Status::Corruption("bit vector select table mismatch");
+        }
+        ++j;
+        target += kSelectSampleRate;
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Bytes owned by this vector itself (0 when viewing a loaded container).
   size_t MemoryUsage() const {
-    return words_.capacity() * sizeof(uint64_t) +
-           dir_.capacity() * sizeof(uint64_t) +
-           select_sample_.capacity() * sizeof(uint32_t);
+    return words_.OwnedBytes() + dir_.OwnedBytes() +
+           select_sample_.OwnedBytes();
   }
 
  private:
@@ -149,12 +258,12 @@ class BitVector {
 
   size_t n_ = 0;
   size_t ones_ = 0;
-  std::vector<uint64_t> words_;
+  VecOrView<uint64_t> words_;
   // Interleaved rank directory: entry 2s = absolute count before superblock
   // s, entry 2s+1 = packed 9-bit cumulative counts of words 1..7 within it.
-  std::vector<uint64_t> dir_;
+  VecOrView<uint64_t> dir_;
   // select_sample_[j] = superblock containing 1 bit number j*512.
-  std::vector<uint32_t> select_sample_;
+  VecOrView<uint32_t> select_sample_;
 };
 
 }  // namespace pti

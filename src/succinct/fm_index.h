@@ -29,6 +29,9 @@
 #include <vector>
 
 #include "succinct/wavelet_tree.h"
+#include "util/serial.h"
+#include "util/span.h"
+#include "util/status.h"
 
 namespace pti {
 
@@ -38,7 +41,7 @@ class FmIndex {
 
   /// Builds over `text` (symbols in [0, alphabet_size)) with its suffix
   /// array `sa` (the BuildSuffixArray convention: shorter prefix first).
-  FmIndex(const std::vector<int32_t>& text, const std::vector<int32_t>& sa,
+  FmIndex(Span<const int32_t> text, Span<const int32_t> sa,
           int32_t alphabet_size) {
     const size_t n = text.size();
     // BWT of text$ in SA' order, where SA' = [n] + sa (the terminator's
@@ -49,10 +52,11 @@ class FmIndex {
       bwt[i + 1] = sa[i] > 0 ? text[sa[i] - 1] + 1 : 0;  // 0 = $
     }
     const int32_t sigma = alphabet_size + 1;
-    counts_.assign(sigma + 1, 0);
-    counts_[0 + 1] = 1;  // the terminator
-    for (size_t i = 0; i < n; ++i) counts_[text[i] + 1 + 1]++;
-    for (int32_t c = 0; c < sigma; ++c) counts_[c + 1] += counts_[c];
+    std::vector<int64_t> counts(sigma + 2, 0);
+    counts[0 + 1] = 1;  // the terminator
+    for (size_t i = 0; i < n; ++i) counts[text[i] + 1 + 1]++;
+    for (int32_t c = 0; c <= sigma; ++c) counts[c + 1] += counts[c];
+    counts_ = VecOrView<int64_t>(std::move(counts));
     wt_ = WaveletTree(bwt, sigma);
   }
 
@@ -75,6 +79,11 @@ class FmIndex {
     if (rank_sp >= rank_ep) return false;
     *sp = counts_[sym] + static_cast<int64_t>(rank_sp);
     *ep = counts_[sym] + static_cast<int64_t>(rank_ep);
+    // No-ops on honest data (rank_ep is at most the symbol count): keep the
+    // range inside [0, bwt_size] so downstream suffix-array indexing stays
+    // in bounds even if a forged checksum smuggled in skewed structures.
+    if (*ep > counts_[sym + 1]) *ep = counts_[sym + 1];
+    if (*sp > *ep) *sp = *ep;
     return true;
   }
 
@@ -125,13 +134,42 @@ class FmIndex {
     return symbols;
   }
 
-  size_t MemoryUsage() const {
-    return wt_.MemoryUsage() + counts_.capacity() * sizeof(int64_t);
+  /// Serializes the count table and the wavelet tree over the BWT.
+  void SaveTo(Writer* w) const {
+    w->PutSpan(counts_.span());
+    wt_.SaveTo(w);
   }
+
+  /// Zero-copy inverse of SaveTo; the caller pins the backing Blob. The
+  /// count table must be nonnegative, monotone nondecreasing and end at
+  /// bwt_size() — the properties ExtendLeft's range arithmetic relies on.
+  Status LoadFrom(Reader* r) {
+    Span<const int64_t> counts;
+    PTI_RETURN_IF_ERROR(r->GetSpan(&counts));
+    if (counts.size() < 2) {
+      return Status::Corruption("FM count table too short");
+    }
+    if (counts.front() != 0) {
+      return Status::Corruption("FM count table does not start at zero");
+    }
+    for (size_t c = 1; c < counts.size(); ++c) {
+      if (counts[c] < counts[c - 1]) {
+        return Status::Corruption("FM count table not monotone");
+      }
+    }
+    PTI_RETURN_IF_ERROR(wt_.LoadFrom(r));
+    if (counts.back() != static_cast<int64_t>(wt_.size())) {
+      return Status::Corruption("FM count table inconsistent with BWT");
+    }
+    counts_ = VecOrView<int64_t>::View(counts);
+    return Status::OK();
+  }
+
+  size_t MemoryUsage() const { return wt_.MemoryUsage() + counts_.OwnedBytes(); }
 
  private:
   WaveletTree wt_;
-  std::vector<int64_t> counts_;
+  VecOrView<int64_t> counts_;
 };
 
 }  // namespace pti

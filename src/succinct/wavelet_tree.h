@@ -12,6 +12,11 @@
 // words), so Rank/Access pay exactly one BitVector rank per level instead
 // of three, and the two-sided RangeRank — the primitive one backward-search
 // step needs — pays at most two.
+//
+// SaveTo/LoadFrom persist the levels and directories; a v3 load views the
+// backing Blob and re-validates every node entry against the (integrity-
+// checked) bit vectors, so a forged directory is rejected instead of
+// skewing the descent.
 
 #ifndef PTI_SUCCINCT_WAVELET_TREE_H_
 #define PTI_SUCCINCT_WAVELET_TREE_H_
@@ -23,6 +28,9 @@
 #include <vector>
 
 #include "succinct/bitvector.h"
+#include "util/serial.h"
+#include "util/span.h"
+#include "util/status.h"
 
 namespace pti {
 
@@ -31,12 +39,12 @@ class WaveletTree {
   WaveletTree() = default;
 
   /// Builds over `data` with symbols in [0, alphabet_size).
-  WaveletTree(const std::vector<int32_t>& data, int32_t alphabet_size) {
+  WaveletTree(Span<const int32_t> data, int32_t alphabet_size) {
     n_ = data.size();
     levels_ = 1;
     while ((int64_t{1} << levels_) < alphabet_size) ++levels_;
     bits_.reserve(levels_);
-    std::vector<int32_t> cur = data;
+    std::vector<int32_t> cur(data.begin(), data.end());
     std::vector<int32_t> next(n_);
     for (int32_t k = 0; k < levels_; ++k) {
       const int32_t shift = levels_ - 1 - k;
@@ -133,12 +141,59 @@ class WaveletTree {
     return {pi, pj};
   }
 
+  /// Serializes size, level count, then per level the bit vector and its
+  /// node directory.
+  void SaveTo(Writer* w) const {
+    w->PutU64(static_cast<uint64_t>(n_));
+    w->PutU32(static_cast<uint32_t>(levels_));
+    for (int32_t k = 0; k < levels_; ++k) {
+      bits_[k].SaveTo(w);
+      w->PutSpan(nodes_[k].span());
+    }
+  }
+
+  /// Zero-copy inverse of SaveTo; the caller pins the backing Blob. Every
+  /// bit vector passes CheckIntegrity and every directory entry must match
+  /// a recomputed rank, so descent arithmetic stays in bounds even under a
+  /// forged checksum.
+  Status LoadFrom(Reader* r) {
+    uint64_t n = 0;
+    uint32_t levels = 0;
+    PTI_RETURN_IF_ERROR(r->GetU64(&n));
+    PTI_RETURN_IF_ERROR(r->GetU32(&levels));
+    if (levels == 0 || levels > 31) {
+      return Status::Corruption("wavelet tree level count out of range");
+    }
+    n_ = static_cast<size_t>(n);
+    levels_ = static_cast<int32_t>(levels);
+    bits_.clear();
+    bits_.resize(levels_);
+    nodes_.clear();
+    nodes_.resize(levels_);
+    for (int32_t k = 0; k < levels_; ++k) {
+      PTI_RETURN_IF_ERROR(bits_[k].LoadFrom(r));
+      if (bits_[k].size() != n_) {
+        return Status::Corruption("wavelet tree level size mismatch");
+      }
+      Span<const Node> level;
+      PTI_RETURN_IF_ERROR(r->GetSpan(&level));
+      if (level.size() != size_t{1} << k) {
+        return Status::Corruption("wavelet tree node directory size mismatch");
+      }
+      for (const Node& node : level) {
+        if (node.lo > n_ || node.zlo != bits_[k].Rank0(node.lo)) {
+          return Status::Corruption("wavelet tree node directory mismatch");
+        }
+      }
+      nodes_[k] = VecOrView<Node>::View(level);
+    }
+    return Status::OK();
+  }
+
   size_t MemoryUsage() const {
     size_t bytes = 0;
     for (const auto& bv : bits_) bytes += bv.MemoryUsage();
-    for (const auto& level : nodes_) {
-      bytes += level.capacity() * sizeof(Node);
-    }
+    for (const auto& level : nodes_) bytes += level.OwnedBytes();
     return bytes;
   }
 
@@ -150,34 +205,35 @@ class WaveletTree {
     uint64_t zlo = 0;
   };
 
-  void BuildNodeDirectory(const std::vector<int32_t>& data) {
+  void BuildNodeDirectory(Span<const int32_t> data) {
     // Histogram over full symbols, then fold pairwise: level k's node for
     // prefix p spans exactly the symbols whose top k bits equal p, laid
     // out in prefix order.
     std::vector<uint64_t> count(size_t{1} << levels_, 0);
     for (const int32_t sym : data) ++count[sym];
-    nodes_.assign(levels_, {});
+    nodes_.clear();
+    nodes_.resize(levels_);
     for (int32_t k = levels_ - 1; k >= 0; --k) {
       // Fold the finer counts pairwise down to k-bit prefix counts.
       for (size_t p = 0; p < (size_t{1} << k); ++p) {
         count[p] = count[2 * p] + count[2 * p + 1];
       }
       count.resize(size_t{1} << k);
-      auto& level = nodes_[k];
-      level.resize(count.size());
+      std::vector<Node> level(count.size());
       uint64_t at = 0;
       for (size_t p = 0; p < level.size(); ++p) {
         level[p].lo = at;
         at += count[p];
       }
       for (auto& node : level) node.zlo = bits_[k].Rank0(node.lo);
+      nodes_[k] = VecOrView<Node>(std::move(level));
     }
   }
 
   size_t n_ = 0;
   int32_t levels_ = 0;
   std::vector<BitVector> bits_;
-  std::vector<std::vector<Node>> nodes_;  // nodes_[k] has 2^k entries
+  std::vector<VecOrView<Node>> nodes_;  // nodes_[k] has 2^k entries
 };
 
 }  // namespace pti

@@ -4,8 +4,8 @@
 
 namespace pti {
 
-std::vector<int32_t> BuildLcpArray(const std::vector<int32_t>& text,
-                                   const std::vector<int32_t>& sa) {
+std::vector<int32_t> BuildLcpArray(Span<const int32_t> text,
+                                   Span<const int32_t> sa) {
   const int32_t n = static_cast<int32_t>(text.size());
   assert(sa.size() == text.size());
   std::vector<int32_t> lcp(n, 0);

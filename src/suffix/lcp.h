@@ -6,13 +6,15 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/span.h"
+
 namespace pti {
 
 /// Builds the LCP array for `text` with suffix array `sa`:
 /// lcp[i] = length of the longest common prefix of suffixes sa[i-1] and sa[i]
 /// (lcp[0] = 0). O(n) time via Kasai's rank-walk.
-std::vector<int32_t> BuildLcpArray(const std::vector<int32_t>& text,
-                                   const std::vector<int32_t>& sa);
+std::vector<int32_t> BuildLcpArray(Span<const int32_t> text,
+                                   Span<const int32_t> sa);
 
 }  // namespace pti
 

@@ -130,7 +130,7 @@ void SaIsCore(const int32_t* s, int32_t* sa, int32_t n, int32_t K) {
 
 }  // namespace
 
-std::vector<int32_t> BuildSuffixArray(const std::vector<int32_t>& text,
+std::vector<int32_t> BuildSuffixArray(Span<const int32_t> text,
                                       int32_t alphabet_size) {
   const int32_t n = static_cast<int32_t>(text.size());
   if (n == 0) return {};
@@ -148,7 +148,7 @@ std::vector<int32_t> BuildSuffixArray(const std::vector<int32_t>& text,
   return std::vector<int32_t>(sa.begin() + 1, sa.end());
 }
 
-std::vector<int32_t> BuildSuffixArrayNaive(const std::vector<int32_t>& text) {
+std::vector<int32_t> BuildSuffixArrayNaive(Span<const int32_t> text) {
   std::vector<int32_t> sa(text.size());
   std::iota(sa.begin(), sa.end(), 0);
   std::sort(sa.begin(), sa.end(), [&](int32_t a, int32_t b) {

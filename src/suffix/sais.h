@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/span.h"
+
 namespace pti {
 
 /// Builds the suffix array of `text` (values in [0, alphabet_size)).
@@ -19,12 +21,12 @@ namespace pti {
 /// smallest suffix. The text does not need a terminating sentinel; a virtual
 /// unique smallest terminator is appended internally, so the suffix order is
 /// the usual "shorter prefix sorts first" order.
-std::vector<int32_t> BuildSuffixArray(const std::vector<int32_t>& text,
+std::vector<int32_t> BuildSuffixArray(Span<const int32_t> text,
                                       int32_t alphabet_size);
 
 /// Reference implementation: O(n^2 log n) comparison sort of suffixes.
 /// For tests and tiny inputs only.
-std::vector<int32_t> BuildSuffixArrayNaive(const std::vector<int32_t>& text);
+std::vector<int32_t> BuildSuffixArrayNaive(Span<const int32_t> text);
 
 }  // namespace pti
 

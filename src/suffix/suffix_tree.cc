@@ -16,18 +16,17 @@ struct TempNode {
 
 }  // namespace
 
-SuffixTree SuffixTree::Build(const std::vector<int32_t>* text,
-                             int32_t alphabet_size) {
-  return BuildFromSa(text, BuildSuffixArray(*text, alphabet_size));
+SuffixTree SuffixTree::Build(Span<const int32_t> text, int32_t alphabet_size) {
+  return BuildFromSa(text, BuildSuffixArray(text, alphabet_size));
 }
 
-SuffixTree SuffixTree::BuildFromSa(const std::vector<int32_t>* text,
+SuffixTree SuffixTree::BuildFromSa(Span<const int32_t> text,
                                    std::vector<int32_t> sa) {
   SuffixTree t;
   t.text_ = text;
   t.sa_ = std::move(sa);
-  t.lcp_ = BuildLcpArray(*text, t.sa_);
-  const int32_t n = static_cast<int32_t>(text->size());
+  t.lcp_ = BuildLcpArray(text, t.sa_);
+  const int32_t n = static_cast<int32_t>(text.size());
   if (n == 0) {
     // Degenerate tree: a lone root with an empty suffix range.
     t.parent_ = {-1};
@@ -159,7 +158,7 @@ SuffixTree SuffixTree::BuildFromSa(const std::vector<int32_t>* text,
     for (int32_t k = coff[v]; k < coff[v + 1]; ++k, ++at) {
       const int32_t c = new_id[clist[k]];
       t.child_node_[at] = c;
-      t.child_char_[at] = (*text)[t.sa_[t.sa_begin_[c]] + t.depth_[r]];
+      t.child_char_[at] = text[t.sa_[t.sa_begin_[c]] + t.depth_[r]];
     }
   }
   return t;
@@ -187,7 +186,7 @@ std::optional<SuffixRange> SuffixTree::FindRange(
     const int32_t edge_end = std::min(depth_[c], m);
     const int32_t base = sa_[sa_begin_[c]];
     for (int32_t k = matched + 1; k < edge_end; ++k) {
-      if ((*text_)[base + k] != pattern[k]) return std::nullopt;
+      if (text_[base + k] != pattern[k]) return std::nullopt;
     }
     matched = edge_end;
     v = c;

@@ -19,6 +19,7 @@
 #include "rmq/block_rmq.h"
 #include "suffix/lcp.h"
 #include "suffix/sais.h"
+#include "util/span.h"
 
 namespace pti {
 
@@ -35,13 +36,12 @@ class SuffixTree {
  public:
   SuffixTree() = default;
 
-  /// Builds over `text` (values in [0, alphabet_size)). The text is borrowed
-  /// and must outlive the tree.
-  static SuffixTree Build(const std::vector<int32_t>* text,
-                          int32_t alphabet_size);
+  /// Builds over `text` (values in [0, alphabet_size)). The text bytes are
+  /// borrowed (a view) and must outlive the tree.
+  static SuffixTree Build(Span<const int32_t> text, int32_t alphabet_size);
 
   /// Same but reusing a precomputed suffix array.
-  static SuffixTree BuildFromSa(const std::vector<int32_t>* text,
+  static SuffixTree BuildFromSa(Span<const int32_t> text,
                                 std::vector<int32_t> sa);
 
   // ---- Topology. Node ids are preorder ranks; root is 0. ----
@@ -92,7 +92,7 @@ class SuffixTree {
 
   const std::vector<int32_t>& sa() const { return sa_; }
   const std::vector<int32_t>& lcp() const { return lcp_; }
-  const std::vector<int32_t>& text() const { return *text_; }
+  Span<const int32_t> text() const { return text_; }
 
   size_t MemoryUsage() const;
 
@@ -109,7 +109,7 @@ class SuffixTree {
     }
   };
 
-  const std::vector<int32_t>* text_ = nullptr;
+  Span<const int32_t> text_;
   std::vector<int32_t> sa_;
   std::vector<int32_t> lcp_;
 

@@ -32,8 +32,7 @@ int32_t Text::MemberOf(size_t pos) const {
   return static_cast<int32_t>(it - starts_.begin()) - 1;
 }
 
-StatusOr<Text> Text::FromRaw(std::vector<int32_t> chars,
-                             std::vector<int64_t> starts) {
+Status Text::Validate(Span<const int32_t> chars, Span<const int64_t> starts) {
   if (starts.empty() || starts.front() != 0 ||
       starts.back() != static_cast<int64_t>(chars.size())) {
     return Status::Corruption("text member starts malformed");
@@ -52,10 +51,28 @@ StatusOr<Text> Text::FromRaw(std::vector<int32_t> chars,
       return Status::Corruption("text member sentinel mismatch");
     }
   }
+  return Status::OK();
+}
+
+StatusOr<Text> Text::FromRaw(std::vector<int32_t> chars,
+                             std::vector<int64_t> starts) {
+  PTI_RETURN_IF_ERROR(Validate(Span<const int32_t>(chars.data(), chars.size()),
+                               Span<const int64_t>(starts.data(),
+                                                   starts.size())));
   Text t;
-  t.chars_ = std::move(chars);
-  t.starts_ = std::move(starts);
-  t.num_members_ = members;
+  t.num_members_ = static_cast<int32_t>(starts.size()) - 1;
+  t.chars_ = VecOrView<int32_t>(std::move(chars));
+  t.starts_ = VecOrView<int64_t>(std::move(starts));
+  return t;
+}
+
+StatusOr<Text> Text::FromViews(Span<const int32_t> chars,
+                               Span<const int64_t> starts) {
+  PTI_RETURN_IF_ERROR(Validate(chars, starts));
+  Text t;
+  t.num_members_ = static_cast<int32_t>(starts.size()) - 1;
+  t.chars_ = VecOrView<int32_t>::View(chars);
+  t.starts_ = VecOrView<int64_t>::View(starts);
   return t;
 }
 

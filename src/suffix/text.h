@@ -8,6 +8,10 @@
 // sentinel value (>= 256, above the byte alphabet) provides both properties,
 // which is what lets a plain suffix tree stand in for the paper's property
 // suffix tree (see DESIGN.md section 5).
+//
+// Storage is VecOrView: a Text built by AppendMember owns its arrays, while a
+// Text loaded from a v3 container (FromViews) points into the backing Blob of
+// the loaded index — the index pins that Blob for the lifetime of the Text.
 
 #ifndef PTI_SUFFIX_TEXT_H_
 #define PTI_SUFFIX_TEXT_H_
@@ -16,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "util/span.h"
 #include "util/status.h"
 
 namespace pti {
@@ -33,7 +38,7 @@ class Text {
   int32_t AppendMember(const std::vector<int32_t>& member);
 
   /// All characters including sentinels.
-  const std::vector<int32_t>& chars() const { return chars_; }
+  Span<const int32_t> chars() const { return chars_.span(); }
   size_t size() const { return chars_.size(); }
 
   int32_t num_members() const { return num_members_; }
@@ -48,32 +53,48 @@ class Text {
   int32_t MemberOf(size_t pos) const;
 
   /// First text position of member m.
-  size_t MemberBegin(int32_t m) const { return m == 0 ? 0 : starts_[m]; }
+  size_t MemberBegin(int32_t m) const {
+    return m == 0 ? 0 : static_cast<size_t>(starts_[m]);
+  }
 
   /// Position of member m's sentinel (one past its last real character).
-  size_t MemberEnd(int32_t m) const { return starts_[m + 1] - 1; }
+  size_t MemberEnd(int32_t m) const {
+    return static_cast<size_t>(starts_[m + 1]) - 1;
+  }
 
   /// Maps a byte pattern to integer characters (never matches sentinels).
   static std::vector<int32_t> MapPattern(const std::string& pattern);
 
   /// Member start offsets; entry m is the first position of member m, with
   /// one extra trailing entry equal to size(). For serialization.
-  const std::vector<int64_t>& member_starts() const { return starts_; }
+  Span<const int64_t> member_starts() const { return starts_.span(); }
 
   /// Reconstructs a Text from serialized raw arrays, validating the sentinel
   /// structure (used by index Load()).
   static StatusOr<Text> FromRaw(std::vector<int32_t> chars,
                                 std::vector<int64_t> starts);
 
+  /// Zero-copy counterpart of FromRaw: the Text views the given arrays
+  /// (validated identically) instead of owning copies. The caller must keep
+  /// the backing bytes alive — v3 index loads pin their Blob for this.
+  static StatusOr<Text> FromViews(Span<const int32_t> chars,
+                                  Span<const int64_t> starts);
+
+  /// Bytes owned by this Text itself (0 when viewing a loaded container).
+  /// True when the character/starts arrays view a backing Blob (v3 load)
+  /// rather than owning their storage.
+  bool IsZeroCopy() const { return chars_.is_view(); }
+
   size_t MemoryUsage() const {
-    return chars_.capacity() * sizeof(int32_t) +
-           starts_.capacity() * sizeof(int64_t);
+    return chars_.OwnedBytes() + starts_.OwnedBytes();
   }
 
  private:
-  std::vector<int32_t> chars_;
+  static Status Validate(Span<const int32_t> chars, Span<const int64_t> starts);
+
+  VecOrView<int32_t> chars_;
   // starts_[m] = first position of member m; one extra entry = size().
-  std::vector<int64_t> starts_ = {0};
+  VecOrView<int64_t> starts_ = std::vector<int64_t>{0};
   int32_t num_members_ = 0;
 };
 

@@ -1,0 +1,161 @@
+// Span / VecOrView: the zero-copy currency of the mmap-backed load path.
+//
+// Span<T> is a non-owning (pointer, length) view — the C++17 stand-in for
+// std::span. VecOrView<T> is a sequence that either owns a std::vector (the
+// build / v2-decode path) or views bytes inside a loaded container (the v3
+// zero-copy path); the two modes expose one read API, so query code never
+// branches on where an array lives. Views do not own their bytes: whoever
+// holds a VecOrView view must also hold the backing serde::Blob.
+
+#ifndef PTI_UTIL_SPAN_H_
+#define PTI_UTIL_SPAN_H_
+
+#include <cassert>
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+namespace pti {
+
+template <typename T>
+class Span {
+ public:
+  using value_type = T;
+
+  Span() = default;
+  Span(T* data, size_t size) : data_(data), size_(size) {}
+  /// Views a whole vector (implicit: vectors are the dominant source).
+  template <typename U,
+            typename = std::enable_if_t<std::is_same_v<const U, T>>>
+  Span(const std::vector<U>& v) : data_(v.data()), size_(v.size()) {}
+
+  T* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  T& operator[](size_t i) const {
+    assert(i < size_);
+    return data_[i];
+  }
+  T* begin() const { return data_; }
+  T* end() const { return data_ + size_; }
+  T& front() const { return data_[0]; }
+  T& back() const { return data_[size_ - 1]; }
+
+ private:
+  T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+template <typename T, typename U>
+bool operator==(Span<const T> a, const std::vector<U>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] == b[i])) return false;
+  }
+  return true;
+}
+template <typename T, typename U>
+bool operator==(const std::vector<U>& a, Span<const T> b) {
+  return b == a;
+}
+template <typename T>
+bool operator==(Span<const T> a, Span<const T> b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] == b[i])) return false;
+  }
+  return true;
+}
+
+/// Owned vector or borrowed view, one read interface. The owned mode derives
+/// data/size from the vector on every call, so default moves can never
+/// dangle; the view mode stores the raw pointer it was given. Mutators are
+/// owned-mode only (they exist for the build paths, which never hold views).
+template <typename T>
+class VecOrView {
+ public:
+  VecOrView() = default;
+  VecOrView(std::vector<T> v) : owned_(std::move(v)) {}
+
+  static VecOrView View(Span<const T> s) {
+    VecOrView v;
+    v.is_view_ = true;
+    v.view_data_ = s.data();
+    v.view_size_ = s.size();
+    return v;
+  }
+
+  bool is_view() const { return is_view_; }
+
+  const T* data() const { return is_view_ ? view_data_ : owned_.data(); }
+  size_t size() const { return is_view_ ? view_size_ : owned_.size(); }
+  bool empty() const { return size() == 0; }
+  const T& operator[](size_t i) const {
+    assert(i < size());
+    return data()[i];
+  }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size(); }
+  const T& front() const { return data()[0]; }
+  const T& back() const { return data()[size() - 1]; }
+  Span<const T> span() const { return Span<const T>(data(), size()); }
+
+  /// Bytes this container itself owns (0 for views: the backing blob is
+  /// accounted where it is held).
+  size_t OwnedBytes() const {
+    return is_view_ ? 0 : owned_.capacity() * sizeof(T);
+  }
+
+  // ---- Owned-mode mutators (build paths only). ----
+  void push_back(const T& v) {
+    assert(!is_view_);
+    owned_.push_back(v);
+  }
+  void reserve(size_t n) {
+    assert(!is_view_);
+    owned_.reserve(n);
+  }
+  void clear() {
+    owned_.clear();
+    is_view_ = false;
+    view_data_ = nullptr;
+    view_size_ = 0;
+  }
+  void assign(size_t n, const T& v) {
+    assert(!is_view_);
+    owned_.assign(n, v);
+  }
+  void resize(size_t n) {
+    assert(!is_view_);
+    owned_.resize(n);
+  }
+  T& mutable_at(size_t i) {
+    assert(!is_view_);
+    return owned_[i];
+  }
+  /// The owned vector itself, for in-place algorithms (sort etc.).
+  std::vector<T>& mutable_vector() {
+    assert(!is_view_);
+    return owned_;
+  }
+
+ private:
+  std::vector<T> owned_;
+  const T* view_data_ = nullptr;
+  size_t view_size_ = 0;
+  bool is_view_ = false;
+};
+
+template <typename T, typename U>
+bool operator==(const VecOrView<T>& a, const std::vector<U>& b) {
+  return a.span() == b;
+}
+template <typename T, typename U>
+bool operator==(const std::vector<U>& a, const VecOrView<T>& b) {
+  return b.span() == a;
+}
+
+}  // namespace pti
+
+#endif  // PTI_UTIL_SPAN_H_

@@ -289,6 +289,76 @@ def main():
           run("serve", p("d.pti"), p("mixed.txt"), "0.3"), 1,
           stdout_has="0\t0\t0.490000", stderr_has="1 request(s) failed")
 
+    # ---- container format pinning and mmap-backed loads ----
+    # --format=2 writes the portable interchange layout; query results must
+    # be identical to the default (v3) container, mmap'd or not.
+    check("build-format-v2",
+          run("build", p("d.pus"), p("d2.pti"), "0.1", "--compact",
+              "--format=2"), 0, stdout_has="compact")
+    check("build-bad-format",
+          run("build", p("d.pus"), p("x.pti"), "--format=7"), 2,
+          stderr_has="bad value")
+    check("build-sharded-format-v2",
+          run("build-sharded", p("g.pus"), p("sh2.pti"), "0.1", "--shards=4",
+              "--overlap=16", "--format=2"), 0, stdout_has="4 shards")
+    v3 = run("query", p("dc.pti"), "QP", "0.4", "--mmap")
+    check("query-mmap", v3, 0, stdout_has="0\t0.490000")
+    v2 = run("query", p("d2.pti"), "QP", "0.4")
+    if v2.stdout != v3.stdout:
+        FAILURES.append("format-equivalence: v2 and mmap'd v3 results differ")
+        print("FAIL format-equivalence")
+    else:
+        print("ok   format-equivalence")
+    check("fuzzy-mmap",
+          run("fuzzy", p("dc.pti"), "QP", "0.4", "--k=1", "--mmap"), 0,
+          stderr_has="match(es)")
+    check("batch-mmap",
+          run("batch", p("sh.pti"), p("pats.txt"), "0.3", "--mmap"), 0,
+          stderr_has="3 queries")
+    check("stat-mmap", run("stat", p("dc.pti"), "--mmap"), 0,
+          stdout_has="(mmap)")
+    check("stat-format-v2", run("stat", p("d2.pti")), 0,
+          stdout_has="container version    2")
+    check("mmap-missing-index", run("query", p("absent.pti"), "QP", "0.4",
+                                    "--mmap"), 1, stderr_has="cannot read")
+
+    # ---- serve hot reload ----
+    # A !reload directive swaps the served index between segments; every
+    # query before and after must still resolve exactly once.
+    with open(p("reload.txt"), "w") as f:
+        f.write("QP 0.3\n!reload %s\nQP 0.3\nPP 0.3\n" % p("d2.pti"))
+    check("serve-reload",
+          run("serve", p("d.pti"), p("reload.txt"), "0.3", "--mmap"), 0,
+          stdout_has="2\t1\t0.700000", stderr_has="1 reload(s)")
+    with open(p("badreload.txt"), "w") as f:
+        f.write("QP 0.3\n!reload %s\nQP 0.3\n" % p("absent.pti"))
+    # A failed reload keeps the previous generation serving (both queries
+    # still answer) and surfaces as an operational failure.
+    check("serve-reload-failure",
+          run("serve", p("d.pti"), p("badreload.txt"), "0.3"), 1,
+          stdout_has="1\t0\t0.490000", stderr_has="reload(s) failed")
+    with open(p("baddirective.txt"), "w") as f:
+        f.write("!frobnicate\n")
+    check("serve-bad-directive",
+          run("serve", p("d.pti"), p("baddirective.txt"), "0.3"), 1,
+          stderr_has="unknown directive")
+    with open(p("pathless.txt"), "w") as f:
+        f.write("!reload\n")
+    check("serve-reload-no-path",
+          run("serve", p("d.pti"), p("pathless.txt"), "0.3"), 1,
+          stderr_has="needs an index path")
+
+    # Atomic index writes: a failed build-to-unwritable-path must not leave
+    # a file (or .tmp litter) under the target name.
+    target = os.path.join(tmp, "no", "dir.pti")
+    check("build-unwritable", run("build", p("d.pus"), target), 1,
+          stderr_has="cannot write")
+    if os.path.exists(target) or os.path.exists(target + ".tmp"):
+        FAILURES.append("atomic-write: failed build left files behind")
+        print("FAIL atomic-write")
+    else:
+        print("ok   atomic-write")
+
     # ---- topk ----
     check("topk", run("topk", p("d.pti"), "QP", "0.2", "2"), 0,
           stdout_has="0\t0.490000")

@@ -9,6 +9,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdio>
+#include <fstream>
 #include <future>
 #include <string>
 #include <thread>
@@ -435,6 +438,185 @@ TEST(ServingEngineTest, DegenerateCoalescingConfigsStayCorrect) {
   ServingEngine engine(BuildMono(s), options);
   auto futures = engine.SubmitBatch(queries);
   ExpectIdentical(expected, &futures, queries);
+}
+
+// ---- Hot reload (generation swap) ----
+
+// Reload under full concurrent traffic: clients hammer Submit while a
+// reloader thread swaps generations (alternating tree and compact builds of
+// the same string, so either generation answers every query identically).
+// Every future must resolve exactly once with the synchronous-path result —
+// no lost requests, no double answers, no torn generations. The suite runs
+// under TSan in CI.
+TEST(ServingEngineReloadTest, ReloadUnderTrafficLosesNoRequests) {
+  const UncertainString s = MakeString(300, 31);
+  SubstringIndex reference = BuildMono(s);
+  const auto queries = Workload(s, 400, 50, 8, 33);
+  const auto expected = SyncResults(reference, queries);
+
+  // Generations are pre-serialized (v3) so the reloader swaps via the cheap
+  // zero-copy load path, maximizing swap frequency under the traffic.
+  std::string tree_blob, compact_blob;
+  ASSERT_TRUE(BuildMono(s).Save(&tree_blob).ok());
+  {
+    IndexOptions options;
+    options.transform.tau_min = kTauMin;
+    options.compact = true;
+    auto compact = SubstringIndex::Build(s, options);
+    ASSERT_TRUE(compact.ok());
+    ASSERT_TRUE(compact->Save(&compact_blob).ok());
+  }
+
+  ServingOptions options;
+  options.max_batch = 8;
+  options.linger_us = 50;
+  options.num_workers = 2;
+  options.cache_bytes = 1 << 20;
+  ServingEngine engine(BuildMono(s), options);
+
+  constexpr size_t kClients = 6;
+  std::vector<std::future<ServingEngine::Result>> futures(queries.size());
+  std::atomic<bool> done{false};
+  std::thread reloader([&] {
+    uint64_t n = 0;
+    while (!done.load(std::memory_order_relaxed)) {
+      auto next =
+          SubstringIndex::Load(n % 2 == 0 ? compact_blob : tree_blob);
+      EXPECT_TRUE(next.ok()) << next.status().ToString();
+      const Status swapped = engine.Reload(std::move(*next));
+      EXPECT_TRUE(swapped.ok()) << swapped.ToString();
+      ++n;
+      std::this_thread::yield();
+    }
+  });
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (size_t i = c; i < queries.size(); i += kClients) {
+        futures[i] = engine.Submit(queries[i].pattern, queries[i].tau);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  done.store(true, std::memory_order_relaxed);
+  reloader.join();
+
+  ExpectIdentical(expected, &futures, queries);
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.submitted, queries.size());
+  EXPECT_EQ(stats.rejected, 0u);
+  // Conservation holds across swaps: every accepted request was answered by
+  // the cache, an in-flight merge, or a batched execution — exactly once.
+  EXPECT_EQ(stats.submitted,
+            stats.cache_hits + stats.inflight_merges + stats.batched_queries);
+  EXPECT_GE(stats.reloads, 1u);
+  EXPECT_EQ(stats.generation, stats.reloads + 1);
+}
+
+// Path-based reload: loads (mmap'd) beside the old generation, swaps on
+// success, and on any failure — missing file, wrong kind — keeps the old
+// generation serving and its generation number unchanged.
+TEST(ServingEngineReloadTest, PathReloadSwapsAndFailedReloadKeepsServing) {
+  const UncertainString s = MakeString(200, 41);
+  SubstringIndex reference = BuildMono(s);
+  const auto queries = Workload(s, 40, 15, 6, 43);
+  const auto expected = SyncResults(reference, queries);
+
+  const std::string dir = ::testing::TempDir();
+  const std::string good_path = dir + "pti_reload_good.pti";
+  {
+    IndexOptions options;
+    options.transform.tau_min = kTauMin;
+    options.compact = true;
+    auto compact = SubstringIndex::Build(s, options);
+    ASSERT_TRUE(compact.ok());
+    std::string blob;
+    ASSERT_TRUE(compact->Save(&blob).ok());
+    std::ofstream out(good_path, std::ios::binary | std::ios::trunc);
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    ASSERT_TRUE(out.good());
+  }
+
+  ServingOptions options;
+  options.num_workers = 1;
+  ServingEngine engine(BuildMono(s), options);
+  EXPECT_EQ(engine.stats().generation, 1u);
+
+  for (const bool use_mmap : {true, false}) {
+    const Status swapped = engine.Reload(good_path, use_mmap);
+    ASSERT_TRUE(swapped.ok()) << swapped.ToString();
+  }
+  EXPECT_EQ(engine.stats().generation, 3u);
+  EXPECT_EQ(engine.stats().reloads, 2u);
+
+  // A missing file and a truncated container both fail without touching the
+  // serving generation.
+  EXPECT_FALSE(engine.Reload(dir + "pti_reload_absent.pti", true).ok());
+  const std::string bad_path = dir + "pti_reload_bad.pti";
+  {
+    std::ofstream out(bad_path, std::ios::binary | std::ios::trunc);
+    out.write("PTIC????", 8);
+  }
+  EXPECT_FALSE(engine.Reload(bad_path, true).ok());
+  EXPECT_EQ(engine.stats().generation, 3u);
+  EXPECT_EQ(engine.stats().reloads, 2u);
+
+  // The survivor generation (mmap-backed compact) answers the workload
+  // exactly like the synchronous reference.
+  auto futures = engine.SubmitBatch(queries);
+  ExpectIdentical(expected, &futures, queries);
+
+  std::remove(good_path.c_str());
+  std::remove(bad_path.c_str());
+}
+
+// Reload clears the result cache: entries computed against the old
+// generation are never served after a swap (they could be stale if the new
+// index differs), and repeat traffic re-populates against the new one.
+TEST(ServingEngineReloadTest, ReloadClearsTheResultCache) {
+  const UncertainString s = MakeString(120, 51);
+  ServingOptions options;
+  options.num_workers = 1;
+  options.cache_bytes = 1 << 20;
+  ServingEngine engine(BuildMono(s), options);
+
+  const std::string pattern = test::PatternFromString(s, 3, 4, 52);
+  (void)engine.Submit(pattern, 0.2).get();
+  (void)engine.Submit(pattern, 0.2).get();
+  EXPECT_EQ(engine.stats().cache_hits, 1u);
+  EXPECT_GT(engine.stats().cache_entries, 0u);
+
+  ASSERT_TRUE(engine.Reload(BuildMono(s)).ok());
+  EXPECT_EQ(engine.stats().cache_entries, 0u);
+  (void)engine.Submit(pattern, 0.2).get();
+  EXPECT_EQ(engine.stats().cache_hits, 1u);  // miss: repopulated, not served
+  (void)engine.Submit(pattern, 0.2).get();
+  EXPECT_EQ(engine.stats().cache_hits, 2u);
+}
+
+// Reload accepts a sharded replacement for a monolithic engine (and vice
+// versa): the generation wrapper erases the index shape. Each segment is
+// compared against its own synchronous reference (the sharded fan-out's
+// floating-point summation order differs from the monolithic path in the
+// last bits, so cross-shape results are equal only to tolerance).
+TEST(ServingEngineReloadTest, ReloadSwapsBetweenMonolithicAndSharded) {
+  const UncertainString s = MakeString(200, 61);
+  SubstringIndex mono_reference = BuildMono(s);
+  ShardedIndex sharded_reference = BuildShardedIndex(s, 16);
+  const auto queries = Workload(s, 30, 10, 6, 62);
+  const auto mono_expected = SyncResults(mono_reference, queries);
+  const auto sharded_expected = SyncResults(sharded_reference, queries);
+
+  ServingOptions options;
+  options.num_workers = 1;
+  ServingEngine engine(BuildMono(s), options);
+  ASSERT_TRUE(engine.Reload(BuildShardedIndex(s, 16)).ok());
+  auto futures = engine.SubmitBatch(queries);
+  ExpectIdentical(sharded_expected, &futures, queries);
+  ASSERT_TRUE(engine.Reload(BuildMono(s)).ok());
+  auto futures2 = engine.SubmitBatch(queries);
+  ExpectIdentical(mono_expected, &futures2, queries);
 }
 
 }  // namespace

@@ -234,7 +234,7 @@ TEST(WaveletTreeTest, RangeRankMatchesTwoRanks) {
 // ---- FmIndex ----
 
 void CheckFmAgainstTree(const Text& text) {
-  const SuffixTree st = SuffixTree::Build(&text.chars(), text.alphabet_size());
+  const SuffixTree st = SuffixTree::Build(text.chars(), text.alphabet_size());
   const FmIndex fm(text.chars(), st.sa(), text.alphabet_size());
   Rng rng(7);
   // Existing substrings of every length, plus random (often absent) ones.
@@ -301,7 +301,7 @@ TEST(FmIndexTest, RandomTexts) {
 TEST(FmIndexTest, PatternWithForeignSymbolRejected) {
   Text t;
   t.AppendMember(std::string("abc"));
-  const SuffixTree st = SuffixTree::Build(&t.chars(), t.alphabet_size());
+  const SuffixTree st = SuffixTree::Build(t.chars(), t.alphabet_size());
   const FmIndex fm(t.chars(), st.sa(), t.alphabet_size());
   EXPECT_FALSE(fm.Range({'z'}).has_value());
   EXPECT_FALSE(fm.Range({'a', 'z'}).has_value());
@@ -312,7 +312,7 @@ TEST(FmIndexTest, NegativePatternSymbolsRejected) {
   // match; any negative symbol must yield "absent", not an occurrence.
   Text t;
   t.AppendMember(std::string("abracadabra"));
-  const SuffixTree st = SuffixTree::Build(&t.chars(), t.alphabet_size());
+  const SuffixTree st = SuffixTree::Build(t.chars(), t.alphabet_size());
   const FmIndex fm(t.chars(), st.sa(), t.alphabet_size());
   EXPECT_FALSE(fm.Range({-1}).has_value());
   EXPECT_FALSE(fm.Range({'a', -1}).has_value());
@@ -334,7 +334,7 @@ TEST(FmIndexTest, ExtendLeftMatchesRange) {
   Text t;
   t.AppendMember(std::string("abracadabraabracadabra"));
   t.AppendMember(std::string("cadabraabr"));
-  const SuffixTree st = SuffixTree::Build(&t.chars(), t.alphabet_size());
+  const SuffixTree st = SuffixTree::Build(t.chars(), t.alphabet_size());
   const FmIndex fm(t.chars(), st.sa(), t.alphabet_size());
   Rng rng(19);
   for (int trial = 0; trial < 400; ++trial) {
@@ -391,7 +391,7 @@ TEST(FmIndexTest, MemorySmallerThanTree) {
     s.push_back(static_cast<char>('a' + rng.Uniform(4)));
   }
   t.AppendMember(s);
-  const SuffixTree st = SuffixTree::Build(&t.chars(), t.alphabet_size());
+  const SuffixTree st = SuffixTree::Build(t.chars(), t.alphabet_size());
   const FmIndex fm(t.chars(), st.sa(), t.alphabet_size());
   // The whole point of compact mode: the locator is far smaller than the
   // tree's node arrays.

@@ -163,7 +163,10 @@ TEST(TextTest, FromRawRoundTrip) {
   Text t;
   t.AppendMember(std::string("xy"));
   t.AppendMember(std::string("z"));
-  auto copy = Text::FromRaw(t.chars(), t.member_starts());
+  auto copy = Text::FromRaw(
+      std::vector<int32_t>(t.chars().begin(), t.chars().end()),
+      std::vector<int64_t>(t.member_starts().begin(),
+                           t.member_starts().end()));
   ASSERT_TRUE(copy.ok());
   EXPECT_EQ(copy->chars(), t.chars());
   EXPECT_EQ(copy->num_members(), 2);
@@ -172,16 +175,21 @@ TEST(TextTest, FromRawRoundTrip) {
 TEST(TextTest, FromRawRejectsBadSentinel) {
   Text t;
   t.AppendMember(std::string("ab"));
-  auto chars = t.chars();
+  std::vector<int32_t> chars(t.chars().begin(), t.chars().end());
+  std::vector<int64_t> starts(t.member_starts().begin(),
+                              t.member_starts().end());
   chars[2] = 999;  // clobber the sentinel
-  EXPECT_TRUE(Text::FromRaw(chars, t.member_starts()).status().IsCorruption());
+  EXPECT_TRUE(Text::FromRaw(std::move(chars), std::move(starts))
+                  .status()
+                  .IsCorruption());
 }
 
 TEST(TextTest, FromRawRejectsBadStarts) {
   Text t;
   t.AppendMember(std::string("ab"));
-  EXPECT_TRUE(Text::FromRaw(t.chars(), {0}).status().IsCorruption());
-  EXPECT_TRUE(Text::FromRaw(t.chars(), {1, 3}).status().IsCorruption());
+  const std::vector<int32_t> chars(t.chars().begin(), t.chars().end());
+  EXPECT_TRUE(Text::FromRaw(chars, {0}).status().IsCorruption());
+  EXPECT_TRUE(Text::FromRaw(chars, {1, 3}).status().IsCorruption());
 }
 
 TEST(TextTest, MapPatternHandlesHighBytes) {
@@ -200,7 +208,7 @@ Text MakeText(const std::string& s) {
 
 TEST(SuffixTreeTest, FindRangeBasics) {
   const Text t = MakeText("banana");
-  const SuffixTree st = SuffixTree::Build(&t.chars(), t.alphabet_size());
+  const SuffixTree st = SuffixTree::Build(t.chars(), t.alphabet_size());
   // Suffix order: $ a$ ana$ anana$ banana$ na$ nana$ (with $ = sentinel).
   const auto r = st.FindRange(Text::MapPattern("ana"));
   ASSERT_TRUE(r.has_value());
@@ -216,7 +224,7 @@ TEST(SuffixTreeTest, FindRangeBasics) {
 
 TEST(SuffixTreeTest, EmptyPatternGivesFullRange) {
   const Text t = MakeText("abc");
-  const SuffixTree st = SuffixTree::Build(&t.chars(), t.alphabet_size());
+  const SuffixTree st = SuffixTree::Build(t.chars(), t.alphabet_size());
   const auto r = st.FindRange({});
   ASSERT_TRUE(r.has_value());
   EXPECT_EQ(r->locus, st.root());
@@ -226,7 +234,7 @@ TEST(SuffixTreeTest, EmptyPatternGivesFullRange) {
 TEST(SuffixTreeTest, EverySubstringIsFound) {
   const std::string s = "mississippi";
   const Text t = MakeText(s);
-  const SuffixTree st = SuffixTree::Build(&t.chars(), t.alphabet_size());
+  const SuffixTree st = SuffixTree::Build(t.chars(), t.alphabet_size());
   for (size_t i = 0; i < s.size(); ++i) {
     for (size_t len = 1; i + len <= s.size(); ++len) {
       const std::string sub = s.substr(i, len);
@@ -244,7 +252,7 @@ TEST(SuffixTreeTest, EverySubstringIsFound) {
 
 TEST(SuffixTreeTest, PreorderSubtreeInvariants) {
   const Text t = MakeText("abracadabra");
-  const SuffixTree st = SuffixTree::Build(&t.chars(), t.alphabet_size());
+  const SuffixTree st = SuffixTree::Build(t.chars(), t.alphabet_size());
   for (int32_t v = 0; v < st.num_nodes(); ++v) {
     EXPECT_LT(v, st.subtree_end(v));
     EXPECT_LE(st.subtree_end(v), st.num_nodes());
@@ -271,7 +279,7 @@ TEST(SuffixTreeTest, PreorderSubtreeInvariants) {
 
 TEST(SuffixTreeTest, LeafMapping) {
   const Text t = MakeText("abcabx");
-  const SuffixTree st = SuffixTree::Build(&t.chars(), t.alphabet_size());
+  const SuffixTree st = SuffixTree::Build(t.chars(), t.alphabet_size());
   for (int32_t i = 0; i < static_cast<int32_t>(t.size()); ++i) {
     const int32_t leaf = st.leaf_node(i);
     EXPECT_TRUE(st.is_leaf(leaf));
@@ -295,7 +303,7 @@ int32_t NaiveLca(const SuffixTree& st, int32_t u, int32_t v) {
 
 TEST(SuffixTreeTest, LcaMatchesNaive) {
   const Text t = MakeText("abracadabraabracadabra");
-  SuffixTree st = SuffixTree::Build(&t.chars(), t.alphabet_size());
+  SuffixTree st = SuffixTree::Build(t.chars(), t.alphabet_size());
   st.BuildLcaSupport();
   Rng rng(3);
   for (int trial = 0; trial < 2000; ++trial) {
@@ -309,7 +317,7 @@ TEST(SuffixTreeTest, LcaSurvivesMove) {
   // The Euler-tour accessor must capture move-stable state: moving a tree
   // that already has LCA support must not dangle.
   const Text t = MakeText("bananabandana");
-  SuffixTree original = SuffixTree::Build(&t.chars(), t.alphabet_size());
+  SuffixTree original = SuffixTree::Build(t.chars(), t.alphabet_size());
   original.BuildLcaSupport();
   const SuffixTree moved = std::move(original);
   Rng rng(41);
@@ -324,7 +332,7 @@ TEST(SuffixTreeTest, MultiMemberTextSeparatesMembers) {
   Text t;
   t.AppendMember(std::string("abab"));
   t.AppendMember(std::string("aba"));
-  const SuffixTree st = SuffixTree::Build(&t.chars(), t.alphabet_size());
+  const SuffixTree st = SuffixTree::Build(t.chars(), t.alphabet_size());
   const auto r = st.FindRange(Text::MapPattern("aba"));
   ASSERT_TRUE(r.has_value());
   EXPECT_EQ(r->count(), 2);  // one occurrence in each member
@@ -342,7 +350,7 @@ TEST(SuffixTreeTest, RandomTextsFindAllAndOnlySubstrings) {
       s.push_back(static_cast<char>('a' + rng.Uniform(2)));
     }
     const Text t = MakeText(s);
-    const SuffixTree st = SuffixTree::Build(&t.chars(), t.alphabet_size());
+    const SuffixTree st = SuffixTree::Build(t.chars(), t.alphabet_size());
     for (int q = 0; q < 50; ++q) {
       const size_t len = 1 + rng.Uniform(6);
       std::string p;
@@ -358,14 +366,14 @@ TEST(SuffixTreeTest, RandomTextsFindAllAndOnlySubstrings) {
 
 TEST(SuffixTreeTest, EmptyText) {
   const std::vector<int32_t> empty;
-  const SuffixTree st = SuffixTree::Build(&empty, 1);
+  const SuffixTree st = SuffixTree::Build(empty, 1);
   EXPECT_EQ(st.num_nodes(), 1);
   EXPECT_FALSE(st.FindRange(Text::MapPattern("a")).has_value());
 }
 
 TEST(SuffixTreeTest, DepthsAreStringDepths) {
   const Text t = MakeText("aaaa");
-  const SuffixTree st = SuffixTree::Build(&t.chars(), t.alphabet_size());
+  const SuffixTree st = SuffixTree::Build(t.chars(), t.alphabet_size());
   // Internal nodes for prefixes a, aa, aaa exist with those depths.
   std::vector<int32_t> internal_depths;
   for (int32_t v = 0; v < st.num_nodes(); ++v) {
