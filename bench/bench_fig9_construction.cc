@@ -4,6 +4,10 @@
 //   (b) construction time vs tau_min, theta series
 //   (c) index space (MB) vs string size n, theta series, plus the space
 //       accounting the paper does in §8.7 (its estimate: ~10.5 N words).
+//   (d) parallel construction: compact build time vs thread count at fixed
+//       input, with the derived speedup-vs-1-thread column (the speedup
+//       column is informational — check_bench.py skips it, since it only
+//       reflects real parallelism on a multi-core host).
 //
 // Construction times are seconds; space is bytes as measured by
 // MemoryUsage() (real allocations, not the paper's back-of-envelope words).
@@ -112,6 +116,32 @@ void PanelC(bool full) {
               last_N);
 }
 
+void PanelD(bool full) {
+  // Fixed input, compact mode (the mode with the fully parallel pipeline:
+  // PLCP LCP, FM overlap, succinct fills, RMQ forest).
+  const int64_t n = full ? 200000 : 50000;
+  const UncertainString s = MakeString(n, 0.2, 17);
+  IndexOptions options;
+  options.transform.tau_min = 0.1;
+  options.compact = true;
+  bench::Table table("threads");
+  table.SetColumns({"build_s", "speedup"});
+  double serial_s = 0.0;
+  for (const int32_t threads : {1, 2, 4, 8}) {
+    SubstringIndex::BuildOptions build;
+    build.threads = threads;
+    const double ms = bench::TimeMs([&] {
+      const auto index = SubstringIndex::Build(s, options, build);
+      if (!index.ok()) std::exit(1);
+    });
+    const double secs = ms / 1000.0;
+    if (threads == 1) serial_s = secs;
+    table.AddRow(bench::FmtInt(threads),
+                 {secs, serial_s > 0.0 ? serial_s / secs : 0.0});
+  }
+  table.Print("Figure 9(d): construction time vs thread count", "seconds");
+}
+
 }  // namespace
 
 void RunFig9(const bench::Args& args) {
@@ -120,6 +150,7 @@ void RunFig9(const bench::Args& args) {
   if (bench::RunPanel(args, "a")) PanelA(args.full);
   if (bench::RunPanel(args, "b")) PanelB(args.full);
   if (bench::RunPanel(args, "c")) PanelC(args.full);
+  if (bench::RunPanel(args, "d")) PanelD(args.full);
 }
 
 }  // namespace pti

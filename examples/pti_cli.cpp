@@ -86,13 +86,13 @@ int Usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  pti_cli build         <string.pus> <index.pti> [tau_min] [--compact]\n"
-               "                        [--format=2|3]\n"
+               "                        [--format=2|3] [--threads=T] [--timings]\n"
                "  pti_cli build-special <string.pus> <index.pti>\n"
                "  pti_cli build-approx  <string.pus> <index.pti> [tau_min [epsilon]]\n"
                "  pti_cli build-listing <index.pti> <tau_min> <doc.pus>...\n"
                "  pti_cli build-sharded <string.pus> <index.pti> [tau_min]\n"
                "                        [--shards=K] [--overlap=N] [--threads=T] [--compact]\n"
-               "                        [--format=2|3]\n"
+               "                        [--format=2|3] [--timings]\n"
                "  pti_cli query <index.pti> <pattern> <tau> [--mmap]\n"
                "  pti_cli fuzzy <index.pti> <pattern> <tau> [--k=N] "
                "[--mode=mismatch|edit]\n"
@@ -150,6 +150,8 @@ struct Flags {
   int64_t format = pti::serde::kContainerVersion;
   // read-side: mmap the index file instead of copying it into memory.
   bool mmap = false;
+  // build-side: print the per-stage construction breakdown to stderr.
+  bool timings = false;
 };
 
 constexpr unsigned kFlagShards = 1u << 0;
@@ -164,6 +166,7 @@ constexpr unsigned kFlagK = 1u << 8;
 constexpr unsigned kFlagMode = 1u << 9;
 constexpr unsigned kFlagFormat = 1u << 10;
 constexpr unsigned kFlagMmap = 1u << 11;
+constexpr unsigned kFlagTimings = 1u << 12;
 
 bool SplitArgs(int argc, char** argv, unsigned allowed,
                std::vector<const char*>* positional, Flags* flags,
@@ -191,6 +194,14 @@ bool SplitArgs(int argc, char** argv, unsigned allowed,
         return false;
       }
       flags->mmap = true;
+      continue;
+    }
+    if (std::strcmp(arg, "--timings") == 0) {
+      if ((allowed & kFlagTimings) == 0) {
+        *bad = std::string("flag not supported by this command: ") + arg;
+        return false;
+      }
+      flags->timings = true;
       continue;
     }
     if (std::strncmp(arg, "--mode=", 7) == 0) {
@@ -360,6 +371,16 @@ int SaveIndexFile(const pti::Status& save_status, const std::string& blob,
   return 0;
 }
 
+/// Per-stage construction breakdown (--timings). Goes to stderr so piped
+/// stdout output stays machine-readable.
+void PrintTimings(const pti::BuildTimings& t) {
+  std::fprintf(stderr,
+               "timings: transform %.3f ms, sa %.3f ms, lcp %.3f ms, "
+               "fm %.3f ms, derived %.3f ms, rmq %.3f ms\n",
+               t.transform_ms, t.sa_ms, t.lcp_ms, t.fm_ms, t.derived_ms,
+               t.rmq_ms);
+}
+
 void PrintMatches(const std::vector<pti::Match>& matches) {
   for (const auto& m : matches) {
     std::printf("%lld\t%.6f\n", static_cast<long long>(m.position),
@@ -372,8 +393,9 @@ int CmdBuild(int argc, char** argv) {
   std::vector<const char*> pos;
   Flags flags;
   std::string bad;
-  if (!SplitArgs(argc, argv, kFlagCompact | kFlagFormat, &pos, &flags,
-                 &bad)) {
+  if (!SplitArgs(argc, argv,
+                 kFlagCompact | kFlagFormat | kFlagThreads | kFlagTimings,
+                 &pos, &flags, &bad)) {
     return UsageError(bad);
   }
   if (pos.size() < 2 || pos.size() > 3) return Usage();
@@ -385,8 +407,13 @@ int CmdBuild(int argc, char** argv) {
     return UsageError(std::string("bad tau_min '") + pos[2] + "'");
   }
   options.compact = flags.compact;
-  auto index = pti::SubstringIndex::Build(*s, options);
+  pti::BuildTimings timings;
+  pti::BuildOptions build;
+  if (flags.threads_set) build.threads = static_cast<int32_t>(flags.threads);
+  if (flags.timings) build.timings = &timings;
+  auto index = pti::SubstringIndex::Build(*s, options, build);
   if (!index.ok()) return Fail(index.status().ToString());
+  if (flags.timings) PrintTimings(timings);
   std::string blob;
   const int rc = SaveIndexFile(
       index->Save(&blob, static_cast<uint32_t>(flags.format)), blob, pos[1]);
@@ -475,7 +502,7 @@ int CmdBuildSharded(int argc, char** argv) {
   std::string bad;
   if (!SplitArgs(argc, argv,
                  kFlagShards | kFlagOverlap | kFlagThreads | kFlagCompact |
-                     kFlagFormat,
+                     kFlagFormat | kFlagTimings,
                  &pos, &flags, &bad)) {
     return UsageError(bad);
   }
@@ -491,8 +518,11 @@ int CmdBuildSharded(int argc, char** argv) {
   options.overlap = static_cast<int32_t>(flags.overlap);
   options.num_threads = static_cast<int32_t>(flags.threads);
   options.index.compact = flags.compact;
+  pti::BuildTimings timings;
+  if (flags.timings) options.build_timings = &timings;
   auto index = pti::ShardedIndex::Build(*s, options);
   if (!index.ok()) return Fail(index.status().ToString());
+  if (flags.timings) PrintTimings(timings);
   std::string blob;
   const int rc = SaveIndexFile(
       index->Save(&blob, static_cast<uint32_t>(flags.format)), blob, pos[1]);

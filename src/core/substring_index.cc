@@ -1,6 +1,7 @@
 #include "core/substring_index.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <map>
@@ -8,6 +9,7 @@
 #include <numeric>
 #include <queue>
 #include <set>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 
@@ -17,6 +19,7 @@
 #include "suffix/sais.h"
 #include "suffix/suffix_tree.h"
 #include "util/serial.h"
+#include "util/thread_pool.h"
 
 namespace pti {
 
@@ -24,6 +27,36 @@ namespace {
 constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 
 int64_t RuleKey(int64_t pos, uint8_t ch) { return pos * 256 + ch; }
+
+// Accumulates wall-clock milliseconds into *slot between construction and
+// Stop()/destruction; a null slot makes every operation free. Stages that
+// run concurrently (the FM overlap) each time their own slot, so the sum of
+// slots can exceed the build's wall time.
+class StageTimer {
+ public:
+  explicit StageTimer(double* slot) : slot_(slot) {
+    if (slot_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+  ~StageTimer() { Stop(); }
+
+  void Stop() {
+    if (slot_ == nullptr) return;
+    *slot_ += std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - start_)
+                  .count();
+    slot_ = nullptr;
+  }
+
+ private:
+  double* slot_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+double* TimingSlot(BuildTimings* timings, double BuildTimings::* member) {
+  return timings == nullptr ? nullptr : &(timings->*member);
+}
 
 // Incremental locus descent for pattern-sorted batches: Find() resumes from
 // the deepest verified checkpoint still consistent with the longest prefix
@@ -282,45 +315,118 @@ struct SubstringIndex::Impl {
     return depths;
   }
 
-  void BuildRmqForest(size_t n_text) {
+  // Builds the §5 RMQ forest. The K short trees and the long levels are
+  // mutually independent, so a multi-thread pool fans out across them when
+  // there are enough trees to fill it; with fewer trees than threads each
+  // tree is built in order with the pool parallelizing its internal
+  // block-argmax pass instead. Tasks running on pool workers get no inner
+  // pool — a nested Wait from a worker of the same pool would deadlock.
+  void BuildRmqForest(size_t n_text, ThreadPool* pool = nullptr) {
     short_rmq.clear();
-    short_rmq.reserve(K);
-    for (int32_t i = 1; i <= K; ++i) {
-      short_rmq.push_back(
-          MakeRmq(options.rmq_engine, ActiveFn{this, i}, n_text));
-    }
+    short_rmq.resize(K);
+    const std::vector<int32_t> depths = LongLevelDepths();
     long_levels.clear();
-    for (const int32_t d : LongLevelDepths()) {
-      LongLevel level;
-      level.depth = d;
-      level.rmq = MakeRmq(RmqEngineKind::kBlock, RawFn{this, d}, n_text,
-                          static_cast<size_t>(d));
-      long_levels.push_back(std::move(level));
+    long_levels.resize(depths.size());
+    const size_t total = static_cast<size_t>(K) + depths.size();
+    const auto build_one = [&](size_t t, ThreadPool* inner) {
+      if (t < static_cast<size_t>(K)) {
+        const int32_t i = static_cast<int32_t>(t) + 1;
+        short_rmq[t] =
+            MakeRmq(options.rmq_engine, ActiveFn{this, i}, n_text, 64, inner);
+      } else {
+        LongLevel& level = long_levels[t - static_cast<size_t>(K)];
+        level.depth = depths[t - static_cast<size_t>(K)];
+        level.rmq = MakeRmq(RmqEngineKind::kBlock, RawFn{this, level.depth},
+                            n_text, static_cast<size_t>(level.depth), inner);
+      }
+    };
+    if (pool != nullptr && pool->num_threads() > 1 &&
+        total >= pool->num_threads()) {
+      pool->ParallelFor(total, [&](size_t t) { build_one(t, nullptr); });
+    } else {
+      for (size_t t = 0; t < total; ++t) build_one(t, pool);
     }
+  }
+
+  // §5.2 duplicate elimination for one depth: within every depth-i locus
+  // partition keep one representative per original position. The stamp
+  // only has to be unique per partition *within* this depth, so per-depth
+  // calls with fresh (seen, stamp) state produce the same bits as the
+  // classic sequential loop that threads one stamp counter through all
+  // depths — which is what makes the depths independently parallelizable.
+  std::vector<uint64_t> BuildActiveBits(int32_t i,
+                                        const std::vector<int32_t>& lcp,
+                                        std::vector<int64_t>* seen,
+                                        int64_t* stamp) const {
+    const size_t n_text = N();
+    std::vector<uint64_t> bits((n_text + 63) / 64, 0);
+    for (size_t j = 0; j < n_text; ++j) {
+      if (j == 0 || lcp[j] < i) ++*stamp;
+      const int64_t q = sa_view[j];
+      if (remaining[q] < i) continue;
+      const int64_t spos = fs.pos[q];
+      if ((*seen)[spos] != *stamp) {
+        (*seen)[spos] = *stamp;
+        bits[j >> 6] |= uint64_t{1} << (j & 63);
+      }
+    }
+    return bits;
   }
 
   // Builds everything derived from (source, options, fs). In compact mode
   // `loaded_sa`, when engaged (Load with a persisted "SARR" section,
   // already validated as a length-N permutation; possibly a view into the
   // backing Blob), replaces the SA-IS run; compact mode never materializes
-  // the suffix tree at all — SA + LCP come from SA-IS/Kasai and the
+  // the suffix tree at all — SA + LCP come from SA-IS/Kasai-or-PLCP and the
   // FM-index serves locus lookups.
+  //
+  // A non-null multi-thread `pool` parallelizes the LCP scan, the active
+  // bitsets (one task per depth), the FM-index internals and the RMQ
+  // forest, and overlaps the FM-index build (depends only on text + SA)
+  // with the derived passes (text + SA + LCP) on a dedicated thread. The
+  // floating-point prefix sum `c` and the `remaining` reverse scan stay
+  // sequential — cheap O(n), and parallel FP reassociation would change
+  // serialized bytes. Everything else writes precomputed disjoint
+  // locations, so the build is bit-identical at any thread count.
   Status FinishBuild(std::optional<VecOrView<int32_t>> loaded_sa =
-                         std::nullopt) {
+                         std::nullopt,
+                     ThreadPool* pool = nullptr,
+                     BuildTimings* timings = nullptr) {
     const size_t n_text = N();
     const std::vector<int32_t>* lcp = nullptr;
     std::vector<int32_t> lcp_storage;
+    std::thread fm_thread;  // joined before the RMQ forest below
     if (options.compact) {
-      sa_storage = loaded_sa.has_value()
-                       ? std::move(*loaded_sa)
-                       : VecOrView<int32_t>(BuildSuffixArray(
-                             fs.text.chars(), fs.text.alphabet_size()));
-      sa_view = sa_storage.span();
-      lcp_storage = BuildLcpArray(fs.text.chars(), sa_view);
+      {
+        StageTimer t(TimingSlot(timings, &BuildTimings::sa_ms));
+        sa_storage = loaded_sa.has_value()
+                         ? std::move(*loaded_sa)
+                         : VecOrView<int32_t>(BuildSuffixArray(
+                               fs.text.chars(), fs.text.alphabet_size()));
+        sa_view = sa_storage.span();
+      }
+      {
+        StageTimer t(TimingSlot(timings, &BuildTimings::lcp_ms));
+        lcp_storage = BuildLcpArrayParallel(fs.text.chars(), sa_view, pool);
+      }
       lcp = &lcp_storage;
-      fm.emplace(fs.text.chars(), sa_view, fs.text.alphabet_size());
+      // The FM-index needs only text + SA, both final here, so with a real
+      // thread budget it builds concurrently with the derived passes below.
+      // It runs on a dedicated thread, not a pool task: it drives the pool
+      // itself (wavelet-tree fills), and a pool task calling Wait on its
+      // own pool would deadlock.
+      const auto build_fm = [this, pool, timings] {
+        StageTimer t(TimingSlot(timings, &BuildTimings::fm_ms));
+        fm.emplace(fs.text.chars(), sa_view, fs.text.alphabet_size(), pool);
+      };
+      if (pool != nullptr && pool->num_threads() >= 2) {
+        fm_thread = std::thread(build_fm);
+      } else {
+        build_fm();
+      }
       st = SuffixTree();
     } else {
+      StageTimer t(TimingSlot(timings, &BuildTimings::sa_ms));
       st = SuffixTree::Build(fs.text.chars(), fs.text.alphabet_size());
       sa_view = st.sa();
       lcp = &st.lcp();
@@ -328,41 +434,51 @@ struct SubstringIndex::Impl {
 
     BuildRules();
 
-    std::vector<double> c_build(n_text + 1, 0.0);
-    for (size_t k = 0; k < n_text; ++k) c_build[k + 1] = c_build[k] + fs.logp[k];
-    c = VecOrView<double>(std::move(c_build));
-    std::vector<int32_t> rem_build(n_text, 0);
-    max_remaining = 0;
-    for (int64_t q = static_cast<int64_t>(n_text) - 1; q >= 0; --q) {
-      rem_build[q] = fs.text.IsSentinel(q) ? 0 : rem_build[q + 1] + 1;
-      max_remaining = std::max(max_remaining, rem_build[q]);
-    }
-    remaining = VecOrView<int32_t>(std::move(rem_build));
+    {
+      StageTimer t(TimingSlot(timings, &BuildTimings::derived_ms));
+      std::vector<double> c_build(n_text + 1, 0.0);
+      for (size_t k = 0; k < n_text; ++k) {
+        c_build[k + 1] = c_build[k] + fs.logp[k];
+      }
+      c = VecOrView<double>(std::move(c_build));
+      std::vector<int32_t> rem_build(n_text, 0);
+      max_remaining = 0;
+      for (int64_t q = static_cast<int64_t>(n_text) - 1; q >= 0; --q) {
+        rem_build[q] = fs.text.IsSentinel(q) ? 0 : rem_build[q + 1] + 1;
+        max_remaining = std::max(max_remaining, rem_build[q]);
+      }
+      remaining = VecOrView<int32_t>(std::move(rem_build));
 
-    K = ComputeK(n_text);
+      K = ComputeK(n_text);
 
-    // §5.2 duplicate elimination: within every depth-i locus partition keep
-    // one representative per original position.
-    active.assign(K, VecOrView<uint64_t>());
-    std::vector<int64_t> seen(
-        static_cast<size_t>(std::max<int64_t>(fs.original_length, 1)), -1);
-    int64_t stamp = 0;
-    for (int32_t i = 1; i <= K; ++i) {
-      std::vector<uint64_t> bits((n_text + 63) / 64, 0);
-      for (size_t j = 0; j < n_text; ++j) {
-        if (j == 0 || (*lcp)[j] < i) ++stamp;
-        const int64_t q = sa_view[j];
-        if (remaining[q] < i) continue;
-        const int64_t spos = fs.pos[q];
-        if (seen[spos] != stamp) {
-          seen[spos] = stamp;
-          bits[j >> 6] |= uint64_t{1} << (j & 63);
+      active.assign(K, VecOrView<uint64_t>());
+      if (pool != nullptr && pool->num_threads() > 1 && K > 1) {
+        pool->ParallelFor(static_cast<size_t>(K), [&](size_t d) {
+          const int32_t i = static_cast<int32_t>(d) + 1;
+          std::vector<int64_t> seen(
+              static_cast<size_t>(std::max<int64_t>(fs.original_length, 1)),
+              -1);
+          int64_t stamp = 0;
+          active[d] =
+              VecOrView<uint64_t>(BuildActiveBits(i, *lcp, &seen, &stamp));
+        });
+      } else {
+        std::vector<int64_t> seen(
+            static_cast<size_t>(std::max<int64_t>(fs.original_length, 1)),
+            -1);
+        int64_t stamp = 0;
+        for (int32_t i = 1; i <= K; ++i) {
+          active[i - 1] =
+              VecOrView<uint64_t>(BuildActiveBits(i, *lcp, &seen, &stamp));
         }
       }
-      active[i - 1] = VecOrView<uint64_t>(std::move(bits));
     }
 
-    BuildRmqForest(n_text);
+    if (fm_thread.joinable()) fm_thread.join();
+    {
+      StageTimer t(TimingSlot(timings, &BuildTimings::rmq_ms));
+      BuildRmqForest(n_text, pool);
+    }
     return Status::OK();
   }
 
@@ -1009,15 +1125,23 @@ SubstringIndex::SubstringIndex(SubstringIndex&&) noexcept = default;
 SubstringIndex& SubstringIndex::operator=(SubstringIndex&&) noexcept = default;
 
 StatusOr<SubstringIndex> SubstringIndex::Build(const UncertainString& s,
-                                               const IndexOptions& options) {
+                                               const IndexOptions& options,
+                                               const BuildOptions& build) {
   SubstringIndex index;
   index.impl_ = std::make_unique<Impl>();
   index.impl_->source = s;
   index.impl_->options = options;
+  StageTimer transform_timer(
+      TimingSlot(build.timings, &BuildTimings::transform_ms));
   auto fs = TransformToFactors(index.impl_->source, options.transform);
+  transform_timer.Stop();
   if (!fs.ok()) return fs.status();
   index.impl_->fs = std::move(fs).value();
-  PTI_RETURN_IF_ERROR(index.impl_->FinishBuild());
+  // The pool is scoped to this build; a 1-thread budget spins none at all.
+  std::optional<ThreadPool> pool;
+  if (ResolveThreadCount(build.threads) > 1) pool.emplace(build.threads);
+  PTI_RETURN_IF_ERROR(index.impl_->FinishBuild(
+      std::nullopt, pool.has_value() ? &*pool : nullptr, build.timings));
   return index;
 }
 
@@ -1155,7 +1279,8 @@ Status SubstringIndex::Save(std::string* out, uint32_t version) const {
 }
 
 StatusOr<SubstringIndex> SubstringIndex::Load(std::string_view data,
-                                              serde::BlobPtr backing) {
+                                              serde::BlobPtr backing,
+                                              const BuildOptions& build) {
   // A v3 load keeps views into `data` alive for the index's lifetime, so
   // the index must own the bytes by construction: either the caller's Blob
   // (mmap'd file or otherwise pinned) or a private copy made here. Callers
@@ -1275,7 +1400,13 @@ StatusOr<SubstringIndex> SubstringIndex::Load(std::string_view data,
     i.sa_storage = std::move(*loaded_sa);
     PTI_RETURN_IF_ERROR(i.FinishLoadCompactV3(container));
   } else {
-    PTI_RETURN_IF_ERROR(i.FinishBuild(std::move(loaded_sa)));
+    // Rebuild path (v2 containers and tree mode): the same pipeline as
+    // Build, so the thread budget applies here too.
+    std::optional<ThreadPool> pool;
+    if (ResolveThreadCount(build.threads) > 1) pool.emplace(build.threads);
+    PTI_RETURN_IF_ERROR(i.FinishBuild(std::move(loaded_sa),
+                                      pool.has_value() ? &*pool : nullptr,
+                                      build.timings));
   }
   return index;
 }

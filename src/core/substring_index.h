@@ -73,6 +73,37 @@ struct BatchQuery {
   double tau = 0.0;
 };
 
+/// Wall-clock milliseconds per construction stage, accumulated by
+/// Build/Load when BuildOptions::timings is set (pti_cli --timings prints
+/// them). Stages a path skips stay zero — e.g. a v3 zero-copy load builds
+/// nothing. fm_ms can overlap derived_ms in wall time: the FM-index build
+/// runs on its own thread alongside the derived passes when threads >= 2.
+struct BuildTimings {
+  double transform_ms = 0.0;  ///< factor transformation (Lemma 2)
+  double sa_ms = 0.0;         ///< SA-IS (or suffix tree incl. SA, tree mode)
+  double lcp_ms = 0.0;        ///< LCP array (compact mode; tree counts in sa)
+  double fm_ms = 0.0;         ///< FM-index: BWT + wavelet tree (compact mode)
+  double derived_ms = 0.0;    ///< prefix sums, remaining runs, active bitsets
+  double rmq_ms = 0.0;        ///< the per-depth RMQ forest
+};
+
+/// Construction-resource options, distinct from IndexOptions (which shape
+/// the structure): nothing here changes a single serialized byte. A T-thread
+/// build produces bit-identical Save output to a 1-thread build (every
+/// parallel pass writes precomputed disjoint locations, and the
+/// floating-point prefix sums stay sequential). Namespace-scoped so it can
+/// brace-default in SubstringIndex's own declarations; also reachable as
+/// SubstringIndex::BuildOptions.
+struct BuildOptions {
+  /// Worker threads for the intra-index build: 1 (default) is fully serial,
+  /// 0 means one per hardware thread, otherwise clamped to [1, 256].
+  /// ShardedIndex splits its budget across shards with SplitThreadBudget so
+  /// nested builds never oversubscribe.
+  int32_t threads = 1;
+  /// When set, per-stage wall-clock timings accumulate here.
+  BuildTimings* timings = nullptr;
+};
+
 class SubstringIndex {
  public:
   SubstringIndex();
@@ -80,10 +111,13 @@ class SubstringIndex {
   SubstringIndex(SubstringIndex&&) noexcept;
   SubstringIndex& operator=(SubstringIndex&&) noexcept;
 
+  using BuildOptions = pti::BuildOptions;
+
   /// Builds the index over `s`. Fails on invalid input or when the factor
   /// transformation exceeds its budget.
   static StatusOr<SubstringIndex> Build(const UncertainString& s,
-                                        const IndexOptions& options = {});
+                                        const IndexOptions& options = {},
+                                        const BuildOptions& build = {});
 
   /// Reports all positions with occurrence probability >= tau, sorted by
   /// position. Fails if tau < tau_min or the pattern is empty.
@@ -158,9 +192,13 @@ class SubstringIndex {
   /// serde::MapFile) as `backing` to pin it for the index's lifetime. With
   /// no backing, Load copies the bytes into a private Blob first, so views
   /// can never dangle regardless of what the caller does with `data`. A v2
-  /// container is decoded fully and retains nothing.
+  /// container is decoded fully and retains nothing. `build` governs the
+  /// rebuild paths (v2 and tree-mode containers re-derive LCP, FM and RMQ
+  /// structures; the v3 zero-copy path builds nothing, so it ignores
+  /// threads and leaves the timings at zero).
   static StatusOr<SubstringIndex> Load(std::string_view data,
-                                       serde::BlobPtr backing = nullptr);
+                                       serde::BlobPtr backing = nullptr,
+                                       const BuildOptions& build = {});
 
  private:
   friend class SubstringIndexTestPeer;

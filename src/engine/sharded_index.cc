@@ -346,15 +346,28 @@ StatusOr<ShardedIndex> ShardedIndex::Build(const UncertainString& s,
   }
   impl.shards.resize(num_shards);
 
+  // Split the thread budget: `outer` shards build concurrently, each with
+  // `inner` workers for its intra-shard pipeline, so the product never
+  // exceeds the resolved budget.
+  const ThreadBudget budget = SplitThreadBudget(
+      options.num_threads, static_cast<size_t>(num_shards));
   std::vector<Status> statuses(num_shards);
-  RunShardTasks(static_cast<size_t>(num_shards), options.num_threads,
+  std::vector<BuildTimings> shard_timings(
+      options.build_timings != nullptr ? num_shards : 0);
+  RunShardTasks(static_cast<size_t>(num_shards), budget.outer,
                 [&](size_t k) {
                   const int32_t kk = static_cast<int32_t>(k);
                   UncertainString slice;
                   Status st = MakeSlice(s, impl.begins[kk], impl.slice_end(kk),
                                         &slice);
                   if (st.ok()) {
-                    auto shard = SubstringIndex::Build(slice, options.index);
+                    SubstringIndex::BuildOptions build;
+                    build.threads = budget.inner;
+                    if (!shard_timings.empty()) {
+                      build.timings = &shard_timings[k];
+                    }
+                    auto shard =
+                        SubstringIndex::Build(slice, options.index, build);
                     if (shard.ok()) {
                       impl.shards[kk] = std::move(shard).value();
                     } else {
@@ -364,6 +377,14 @@ StatusOr<ShardedIndex> ShardedIndex::Build(const UncertainString& s,
                   statuses[k] = st;
                 });
   for (const Status& st : statuses) PTI_RETURN_IF_ERROR(st);
+  for (const BuildTimings& t : shard_timings) {
+    options.build_timings->transform_ms += t.transform_ms;
+    options.build_timings->sa_ms += t.sa_ms;
+    options.build_timings->lcp_ms += t.lcp_ms;
+    options.build_timings->fm_ms += t.fm_ms;
+    options.build_timings->derived_ms += t.derived_ms;
+    options.build_timings->rmq_ms += t.rmq_ms;
+  }
   return index;
 }
 
@@ -530,8 +551,13 @@ StatusOr<ShardedIndex> ShardedIndex::Load(std::string_view data,
 
   impl.shards.resize(num_shards);
   std::vector<Status> statuses(num_shards);
-  RunShardTasks(num_shards, num_threads, [&](size_t k) {
-    auto shard = SubstringIndex::Load(shard_blobs[k], backing);
+  // Same budget split as Build: v2 and tree-mode shard blobs rebuild their
+  // derived structures on load, so nested parallelism matters here too.
+  const ThreadBudget budget = SplitThreadBudget(num_threads, num_shards);
+  RunShardTasks(num_shards, budget.outer, [&](size_t k) {
+    SubstringIndex::BuildOptions build;
+    build.threads = budget.inner;
+    auto shard = SubstringIndex::Load(shard_blobs[k], backing, build);
     if (shard.ok()) {
       impl.shards[k] = std::move(shard).value();
       statuses[k] = Status::OK();

@@ -57,8 +57,14 @@ struct ShardedIndexOptions {
   /// 0 means min(kDefaultOverlap, n-1).
   int32_t overlap = 0;
   /// Worker threads for construction, Load and batch fan-out; 0 means one
-  /// per hardware thread.
+  /// per hardware thread. The budget is split between the shard fan-out and
+  /// each shard's intra-index build (SplitThreadBudget), so K shards times
+  /// T intra-shard workers never oversubscribes the machine.
   int32_t num_threads = 0;
+  /// When set, Build accumulates every shard's per-stage construction
+  /// timings here (summed across shards — CPU time, not wall time, once
+  /// shards build concurrently). Not serialized; ignored by Load.
+  BuildTimings* build_timings = nullptr;
 
   static constexpr int32_t kDefaultNumShards = 4;
   static constexpr int32_t kDefaultOverlap = 255;

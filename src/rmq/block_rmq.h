@@ -28,6 +28,7 @@
 #include "util/serial.h"
 #include "util/span.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace pti {
 
@@ -36,16 +37,33 @@ namespace pti {
 template <typename ValueFn>
 class BlockRmq {
  public:
-  /// `block` is the scan granularity; 64 balances space vs scan cost.
-  BlockRmq(ValueFn value, size_t n, size_t block = 64)
+  /// `block` is the scan granularity; 64 balances space vs scan cost. A
+  /// non-null multi-thread `pool` spreads the per-block argmax scans (each
+  /// block's argmax is independent and deterministic, so the table is
+  /// identical at any thread count). Must not be called from a worker of
+  /// `pool` itself.
+  BlockRmq(ValueFn value, size_t n, size_t block = 64,
+           ThreadPool* pool = nullptr)
       : value_(std::move(value)), n_(n), block_(block == 0 ? 1 : block) {
     const size_t nblocks = (n_ + block_ - 1) / block_;
-    std::vector<uint32_t> args;
-    args.reserve(nblocks);
-    for (size_t b = 0; b < nblocks; ++b) {
-      const size_t lo = b * block_;
-      const size_t hi = std::min(lo + block_ - 1, n_ - 1);
-      args.push_back(static_cast<uint32_t>(BruteForceArgMax(value_, lo, hi)));
+    std::vector<uint32_t> args(nblocks, 0);
+    const auto fill = [&](size_t blo, size_t bhi) {
+      for (size_t b = blo; b < bhi; ++b) {
+        const size_t lo = b * block_;
+        const size_t hi = std::min(lo + block_ - 1, n_ - 1);
+        args[b] = static_cast<uint32_t>(BruteForceArgMax(value_, lo, hi));
+      }
+    };
+    constexpr size_t kBlocksPerTask = 1024;
+    if (pool != nullptr && pool->num_threads() > 1 &&
+        nblocks > kBlocksPerTask) {
+      const size_t nchunks = (nblocks + kBlocksPerTask - 1) / kBlocksPerTask;
+      pool->ParallelFor(nchunks, [&](size_t c) {
+        fill(c * kBlocksPerTask,
+             std::min(nblocks, (c + 1) * kBlocksPerTask));
+      });
+    } else {
+      fill(0, nblocks);
     }
     block_arg_ = VecOrView<uint32_t>(std::move(args));
     if (nblocks > 0) {

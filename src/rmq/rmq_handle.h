@@ -70,10 +70,13 @@ class RmqHandleImpl final : public RmqHandle {
 }  // namespace rmq_internal
 
 /// Builds an engine of the requested kind over `value` (n entries).
-/// `block` applies to kBlock only.
+/// `block` applies to kBlock only, as does `pool` (a non-null multi-thread
+/// pool parallelizes the block-argmax pass; the table is identical at any
+/// thread count).
 template <typename ValueFn>
 std::unique_ptr<RmqHandle> MakeRmq(RmqEngineKind kind, ValueFn value, size_t n,
-                                   size_t block = 64) {
+                                   size_t block = 64,
+                                   ThreadPool* pool = nullptr) {
   switch (kind) {
     case RmqEngineKind::kFischerHeun:
       return std::make_unique<
@@ -86,7 +89,7 @@ std::unique_ptr<RmqHandle> MakeRmq(RmqEngineKind kind, ValueFn value, size_t n,
     case RmqEngineKind::kBlock:
     default:
       return std::make_unique<rmq_internal::RmqHandleImpl<BlockRmq<ValueFn>>>(
-          BlockRmq<ValueFn>(std::move(value), n, block));
+          BlockRmq<ValueFn>(std::move(value), n, block, pool));
   }
 }
 

@@ -20,6 +20,7 @@
 #ifndef PTI_SUCCINCT_BITVECTOR_H_
 #define PTI_SUCCINCT_BITVECTOR_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -27,6 +28,7 @@
 #include "util/serial.h"
 #include "util/span.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace pti {
 
@@ -48,27 +50,50 @@ class BitVector {
   size_t size() const { return n_; }
 
   /// Must be called once after all Set() calls and before any rank/select.
-  void Finish() {
+  /// A non-null multi-thread `pool` parallelizes the per-superblock popcount
+  /// pass; the absolute-count prefix sum and select sampling stay sequential
+  /// (integer sums, so the directory is identical at any thread count).
+  void Finish(ThreadPool* pool = nullptr) {
     const size_t nwords = words_.size();
     // One trailing superblock entry so Rank1(size()) stays in bounds.
     const size_t nsuper = nwords / 8 + 1;
     std::vector<uint64_t> dir(2 * nsuper, 0);
+    // Pass 1: each superblock's packed in-superblock counts and 1-total,
+    // independent per superblock.
+    std::vector<uint64_t> sb_ones(nsuper, 0);
+    const auto count_range = [&](size_t lo, size_t hi) {
+      for (size_t sb = lo; sb < hi; ++sb) {
+        uint64_t packed = 0;
+        uint64_t in_sb = 0;
+        for (size_t k = 0; k < 8; ++k) {
+          // Field k-1 (bits [9(k-1), 9k)) = ones in words [8sb, 8sb+k);
+          // word 0 needs no field and bit 63 stays 0 for the shift trick.
+          if (k > 0) packed |= in_sb << (9 * (k - 1));
+          const size_t w = sb * 8 + k;
+          if (w < nwords) {
+            in_sb += static_cast<uint64_t>(__builtin_popcountll(words_[w]));
+          }
+        }
+        dir[2 * sb + 1] = packed;
+        sb_ones[sb] = in_sb;
+      }
+    };
+    constexpr size_t kSuperChunk = 1 << 12;  // 2 MiB of bits per task
+    if (pool != nullptr && pool->num_threads() > 1 &&
+        nsuper > kSuperChunk) {
+      const size_t nchunks = (nsuper + kSuperChunk - 1) / kSuperChunk;
+      pool->ParallelFor(nchunks, [&](size_t c) {
+        count_range(c * kSuperChunk,
+                    std::min(nsuper, (c + 1) * kSuperChunk));
+      });
+    } else {
+      count_range(0, nsuper);
+    }
+    // Pass 2: absolute counts are a prefix sum over the superblock totals.
     uint64_t total = 0;
     for (size_t sb = 0; sb < nsuper; ++sb) {
       dir[2 * sb] = total;
-      uint64_t packed = 0;
-      uint64_t in_sb = 0;
-      for (size_t k = 0; k < 8; ++k) {
-        // Field k-1 (bits [9(k-1), 9k)) = ones in words [8sb, 8sb+k);
-        // word 0 needs no field and bit 63 stays 0 for the shift trick.
-        if (k > 0) packed |= in_sb << (9 * (k - 1));
-        const size_t w = sb * 8 + k;
-        if (w < nwords) {
-          in_sb += static_cast<uint64_t>(__builtin_popcountll(words_[w]));
-        }
-      }
-      dir[2 * sb + 1] = packed;
-      total += in_sb;
+      total += sb_ones[sb];
     }
     ones_ = total;
     dir_ = VecOrView<uint64_t>(std::move(dir));

@@ -41,15 +41,30 @@ class FmIndex {
 
   /// Builds over `text` (symbols in [0, alphabet_size)) with its suffix
   /// array `sa` (the BuildSuffixArray convention: shorter prefix first).
+  /// A non-null multi-thread `pool` parallelizes the BWT gather and the
+  /// wavelet-tree build; the result is bit-identical at any thread count.
+  /// Must not be called from a worker of `pool` itself.
   FmIndex(Span<const int32_t> text, Span<const int32_t> sa,
-          int32_t alphabet_size) {
+          int32_t alphabet_size, ThreadPool* pool = nullptr) {
     const size_t n = text.size();
     // BWT of text$ in SA' order, where SA' = [n] + sa (the terminator's
     // suffix sorts first). Symbols are shifted by one so $ = 0.
     std::vector<int32_t> bwt(n + 1);
     bwt[0] = n > 0 ? text[n - 1] + 1 : 0;
-    for (size_t i = 0; i < n; ++i) {
-      bwt[i + 1] = sa[i] > 0 ? text[sa[i] - 1] + 1 : 0;  // 0 = $
+    if (pool != nullptr && pool->num_threads() > 1) {
+      constexpr size_t kChunk = size_t{1} << 16;
+      const size_t nchunks = (n + kChunk - 1) / kChunk;
+      pool->ParallelFor(nchunks, [&](size_t c) {
+        const size_t lo = c * kChunk;
+        const size_t hi = std::min(n, lo + kChunk);
+        for (size_t i = lo; i < hi; ++i) {
+          bwt[i + 1] = sa[i] > 0 ? text[sa[i] - 1] + 1 : 0;  // 0 = $
+        }
+      });
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        bwt[i + 1] = sa[i] > 0 ? text[sa[i] - 1] + 1 : 0;  // 0 = $
+      }
     }
     const int32_t sigma = alphabet_size + 1;
     std::vector<int64_t> counts(sigma + 2, 0);
@@ -57,7 +72,7 @@ class FmIndex {
     for (size_t i = 0; i < n; ++i) counts[text[i] + 1 + 1]++;
     for (int32_t c = 0; c <= sigma; ++c) counts[c + 1] += counts[c];
     counts_ = VecOrView<int64_t>(std::move(counts));
-    wt_ = WaveletTree(bwt, sigma);
+    wt_ = WaveletTree(bwt, sigma, pool);
   }
 
   /// Length of the BWT (text length + 1): the SA' range of the empty

@@ -21,6 +21,7 @@
 #ifndef PTI_SUCCINCT_WAVELET_TREE_H_
 #define PTI_SUCCINCT_WAVELET_TREE_H_
 
+#include <algorithm>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
@@ -31,6 +32,7 @@
 #include "util/serial.h"
 #include "util/span.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace pti {
 
@@ -38,38 +40,82 @@ class WaveletTree {
  public:
   WaveletTree() = default;
 
-  /// Builds over `data` with symbols in [0, alphabet_size).
-  WaveletTree(Span<const int32_t> data, int32_t alphabet_size) {
+  /// Builds over `data` with symbols in [0, alphabet_size). A non-null
+  /// multi-thread `pool` parallelizes each level's bit fill (word-aligned
+  /// chunks, so concurrent Set calls never share a u64), rank-directory
+  /// construction and node partitions; a stable partition is unique, so the
+  /// tree is bit-identical at any thread count. Must not be called from a
+  /// worker of `pool` itself (the nested Wait would deadlock).
+  WaveletTree(Span<const int32_t> data, int32_t alphabet_size,
+              ThreadPool* pool = nullptr) {
     n_ = data.size();
     levels_ = 1;
     while ((int64_t{1} << levels_) < alphabet_size) ++levels_;
     bits_.reserve(levels_);
+    const bool parallel = pool != nullptr && pool->num_threads() > 1 && n_ > 0;
+    // Per-level node boundaries, derived from the symbol histogram: node p
+    // at level k holds exactly the symbols whose top k bits equal p, so the
+    // partitions can fan out across nodes without scanning for span edges.
+    std::vector<std::vector<uint64_t>> starts;
+    if (parallel) {
+      starts.resize(levels_);
+      std::vector<uint64_t> cnt(size_t{1} << levels_, 0);
+      for (const int32_t sym : data) ++cnt[sym];
+      for (int32_t k = levels_ - 1; k >= 0; --k) {
+        for (size_t p = 0; p < (size_t{1} << k); ++p) {
+          cnt[p] = cnt[2 * p] + cnt[2 * p + 1];
+        }
+        cnt.resize(size_t{1} << k);
+        starts[k].resize(cnt.size() + 1);
+        starts[k][0] = 0;
+        for (size_t p = 0; p < cnt.size(); ++p) {
+          starts[k][p + 1] = starts[k][p] + cnt[p];
+        }
+      }
+    }
     std::vector<int32_t> cur(data.begin(), data.end());
     std::vector<int32_t> next(n_);
     for (int32_t k = 0; k < levels_; ++k) {
       const int32_t shift = levels_ - 1 - k;
       BitVector bv(n_);
-      for (size_t i = 0; i < n_; ++i) {
-        if ((cur[i] >> shift) & 1) bv.Set(i);
+      if (parallel) {
+        // Chunks are multiples of 64 bits: disjoint words, race-free Set.
+        constexpr size_t kBits = size_t{1} << 16;
+        const size_t nchunks = (n_ + kBits - 1) / kBits;
+        pool->ParallelFor(nchunks, [&](size_t c) {
+          const size_t lo = c * kBits;
+          const size_t hi = std::min(n_, lo + kBits);
+          for (size_t i = lo; i < hi; ++i) {
+            if ((cur[i] >> shift) & 1) bv.Set(i);
+          }
+        });
+      } else {
+        for (size_t i = 0; i < n_; ++i) {
+          if ((cur[i] >> shift) & 1) bv.Set(i);
+        }
       }
-      bv.Finish();
+      bv.Finish(parallel ? pool : nullptr);
       bits_.push_back(std::move(bv));
       if (k + 1 == levels_) break;
-      // Stable partition within each node span (spans = runs of equal
-      // top-(k+1... here: top-k) bits; cur is sorted by its top-k bits).
-      size_t lo = 0;
-      while (lo < n_) {
-        size_t hi = lo;
-        const int32_t prefix = cur[lo] >> (shift + 1);
-        while (hi < n_ && (cur[hi] >> (shift + 1)) == prefix) ++hi;
-        size_t at = lo;
-        for (size_t i = lo; i < hi; ++i) {
-          if (((cur[i] >> shift) & 1) == 0) next[at++] = cur[i];
+      if (parallel) {
+        PartitionLevel(cur, next, starts[k], shift, pool);
+      } else {
+        // Stable partition within each node span (spans = runs of equal
+        // top-(k+1... here: top-k) bits; cur is sorted by its top-k bits).
+        size_t lo = 0;
+        while (lo < n_) {
+          size_t hi = lo;
+          const int32_t prefix = cur[lo] >> (shift + 1);
+          while (hi < n_ && (cur[hi] >> (shift + 1)) == prefix) ++hi;
+          size_t at = lo;
+          for (size_t i = lo; i < hi; ++i) {
+            if (((cur[i] >> shift) & 1) == 0) next[at++] = cur[i];
+          }
+          for (size_t i = lo; i < hi; ++i) {
+            if ((cur[i] >> shift) & 1) next[at++] = cur[i];
+          }
+          lo = hi;
         }
-        for (size_t i = lo; i < hi; ++i) {
-          if ((cur[i] >> shift) & 1) next[at++] = cur[i];
-        }
-        lo = hi;
       }
       cur.swap(next);
     }
@@ -204,6 +250,69 @@ class WaveletTree {
     uint64_t lo = 0;
     uint64_t zlo = 0;
   };
+
+  /// Stably partitions every node span of `cur` by the bit at `shift` into
+  /// `next`, across `pool`. Top levels have few, large spans, so the span
+  /// itself splits into fixed chunks (count zeros per chunk, prefix the
+  /// offsets, scatter); deeper levels with many spans fan out across nodes
+  /// instead. Either way the stable partition is unique, so `next` is the
+  /// same bytes the sequential loop produces.
+  static void PartitionLevel(const std::vector<int32_t>& cur,
+                             std::vector<int32_t>& next,
+                             const std::vector<uint64_t>& starts,
+                             int32_t shift, ThreadPool* pool) {
+    const size_t nnodes = starts.size() - 1;
+    const auto partition_node = [&](size_t p) {
+      const size_t lo = starts[p];
+      const size_t hi = starts[p + 1];
+      size_t at = lo;
+      for (size_t i = lo; i < hi; ++i) {
+        if (((cur[i] >> shift) & 1) == 0) next[at++] = cur[i];
+      }
+      for (size_t i = lo; i < hi; ++i) {
+        if ((cur[i] >> shift) & 1) next[at++] = cur[i];
+      }
+    };
+    if (nnodes >= 2 * pool->num_threads()) {
+      pool->ParallelFor(nnodes, partition_node);
+      return;
+    }
+    constexpr size_t kChunk = size_t{1} << 15;
+    for (size_t p = 0; p < nnodes; ++p) {
+      const size_t lo = starts[p];
+      const size_t hi = starts[p + 1];
+      if (hi - lo < 2 * kChunk) {
+        partition_node(p);
+        continue;
+      }
+      const size_t nchunks = (hi - lo + kChunk - 1) / kChunk;
+      std::vector<uint64_t> zeros_before(nchunks + 1, 0);
+      pool->ParallelFor(nchunks, [&](size_t c) {
+        const size_t a = lo + c * kChunk;
+        const size_t b = std::min(hi, a + kChunk);
+        uint64_t z = 0;
+        for (size_t i = a; i < b; ++i) z += ((cur[i] >> shift) & 1) == 0;
+        zeros_before[c + 1] = z;
+      });
+      for (size_t c = 0; c < nchunks; ++c) {
+        zeros_before[c + 1] += zeros_before[c];
+      }
+      const uint64_t zeros = zeros_before[nchunks];
+      pool->ParallelFor(nchunks, [&](size_t c) {
+        const size_t a = lo + c * kChunk;
+        const size_t b = std::min(hi, a + kChunk);
+        size_t zero_at = lo + zeros_before[c];
+        size_t one_at = lo + zeros + (a - lo) - zeros_before[c];
+        for (size_t i = a; i < b; ++i) {
+          if (((cur[i] >> shift) & 1) == 0) {
+            next[zero_at++] = cur[i];
+          } else {
+            next[one_at++] = cur[i];
+          }
+        }
+      });
+    }
+  }
 
   void BuildNodeDirectory(Span<const int32_t> data) {
     // Histogram over full symbols, then fold pairwise: level k's node for

@@ -1,6 +1,9 @@
 #include "suffix/lcp.h"
 
+#include <algorithm>
 #include <cassert>
+
+#include "util/thread_pool.h"
 
 namespace pti {
 
@@ -23,6 +26,56 @@ std::vector<int32_t> BuildLcpArray(Span<const int32_t> text,
       h = 0;
     }
   }
+  return lcp;
+}
+
+std::vector<int32_t> BuildLcpArrayParallel(Span<const int32_t> text,
+                                           Span<const int32_t> sa,
+                                           ThreadPool* pool) {
+  if (pool == nullptr || pool->num_threads() <= 1) {
+    return BuildLcpArray(text, sa);
+  }
+  const int32_t n = static_cast<int32_t>(text.size());
+  assert(sa.size() == text.size());
+  std::vector<int32_t> lcp(n, 0);
+  if (n == 0) return lcp;
+
+  // Φ[sa[i]] = sa[i-1]: the suffix lexicographically preceding each suffix,
+  // addressed by text position. Sequential O(n).
+  std::vector<int32_t> phi(n);
+  phi[sa[0]] = -1;
+  for (int32_t i = 1; i < n; ++i) phi[sa[i]] = sa[i - 1];
+
+  // PLCP in text order. Chunks are a fixed size (independent of the thread
+  // count) and each restarts its match length h at zero, so every plcp[i] is
+  // the same unique value no matter how the chunks are scheduled.
+  std::vector<int32_t> plcp(n);
+  constexpr int32_t kChunk = 1 << 15;
+  const size_t num_chunks =
+      (static_cast<size_t>(n) + kChunk - 1) / static_cast<size_t>(kChunk);
+  pool->ParallelFor(num_chunks, [&](size_t c) {
+    const int32_t lo = static_cast<int32_t>(c) * kChunk;
+    const int32_t hi = std::min<int32_t>(lo + kChunk, n);
+    int32_t h = 0;
+    for (int32_t i = lo; i < hi; ++i) {
+      const int32_t j = phi[i];
+      if (j < 0) {
+        plcp[i] = 0;
+        h = 0;
+        continue;
+      }
+      while (i + h < n && j + h < n && text[i + h] == text[j + h]) ++h;
+      plcp[i] = h;
+      if (h > 0) --h;
+    }
+  });
+
+  // Scatter back to suffix-array order; writes are disjoint by construction.
+  pool->ParallelFor(num_chunks, [&](size_t c) {
+    const int32_t lo = static_cast<int32_t>(c) * kChunk;
+    const int32_t hi = std::min<int32_t>(lo + kChunk, n);
+    for (int32_t i = lo; i < hi; ++i) lcp[i] = plcp[sa[i]];
+  });
   return lcp;
 }
 

@@ -1,4 +1,6 @@
-// LCP array construction (Kasai et al., 2001).
+// LCP array construction: Kasai et al. (2001) as the sequential reference,
+// and a Φ/PLCP formulation (Kärkkäinen–Manzini–Puglisi, 2009) whose text-order
+// scan chunks across a thread pool. Both produce the same (unique) LCP array.
 
 #ifndef PTI_SUFFIX_LCP_H_
 #define PTI_SUFFIX_LCP_H_
@@ -10,11 +12,23 @@
 
 namespace pti {
 
+class ThreadPool;
+
 /// Builds the LCP array for `text` with suffix array `sa`:
 /// lcp[i] = length of the longest common prefix of suffixes sa[i-1] and sa[i]
 /// (lcp[0] = 0). O(n) time via Kasai's rank-walk.
 std::vector<int32_t> BuildLcpArray(Span<const int32_t> text,
                                    Span<const int32_t> sa);
+
+/// Same array via Φ/PLCP: Φ is built sequentially in O(n), then the text-order
+/// PLCP scan is chunked across `pool` (each chunk restarts its match length at
+/// zero, so chunk boundaries cost O(lcp) extra work but change no output), and
+/// the final scatter lcp[i] = plcp[sa[i]] is parallel too. Falls back to
+/// Kasai when `pool` is null or single-threaded. The LCP array is unique, so
+/// the result is bit-identical to BuildLcpArray at any thread count.
+std::vector<int32_t> BuildLcpArrayParallel(Span<const int32_t> text,
+                                           Span<const int32_t> sa,
+                                           ThreadPool* pool);
 
 }  // namespace pti
 

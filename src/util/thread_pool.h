@@ -13,6 +13,7 @@
 #ifndef PTI_UTIL_THREAD_POOL_H_
 #define PTI_UTIL_THREAD_POOL_H_
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -31,6 +32,29 @@ inline int32_t ResolveThreadCount(int32_t requested) {
     return hw == 0 ? 1 : static_cast<int32_t>(hw);
   }
   return requested > 256 ? 256 : requested;
+}
+
+/// How a thread budget is divided between an outer fan-out and the nested
+/// parallelism inside each fanned-out task.
+struct ThreadBudget {
+  int32_t outer = 1;  ///< tasks run concurrently (outer pool width)
+  int32_t inner = 1;  ///< worker threads granted to each task's own pool
+};
+
+/// Splits `budget` (ResolveThreadCount semantics) across `num_tasks` tasks
+/// that are themselves internally parallel, so that outer * inner never
+/// exceeds the resolved budget. The outer fan-out is saturated first — with
+/// at least as many tasks as threads each task runs serially (inner == 1),
+/// and only leftover width is granted inward. ShardedIndex::Build/Load use
+/// this so K shards times T intra-shard workers cannot oversubscribe the
+/// machine.
+inline ThreadBudget SplitThreadBudget(int32_t budget, size_t num_tasks) {
+  const int32_t total = ResolveThreadCount(budget);
+  ThreadBudget b;
+  b.outer = static_cast<int32_t>(std::min<size_t>(
+      std::max<size_t>(num_tasks, 1), static_cast<size_t>(total)));
+  b.inner = total / b.outer;
+  return b;
 }
 
 class ThreadPool {

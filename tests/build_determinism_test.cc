@@ -1,0 +1,320 @@
+// The parallel-construction determinism contract: a T-thread build must
+// serialize to bit-identical container bytes (v2 interchange AND v3 native)
+// as the 1-thread build, for tree and compact modes, across the same input
+// family serialization_test.cc round-trips. Plus the Φ/PLCP-vs-Kasai LCP
+// differential sweep backing the parallel LCP stage.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/brute_force.h"
+#include "core/serde.h"
+#include "core/substring_index.h"
+#include "engine/sharded_index.h"
+#include "suffix/lcp.h"
+#include "suffix/sais.h"
+#include "test_util.h"
+#include "util/thread_pool.h"
+
+namespace pti {
+namespace {
+
+enum class InputCase {
+  kSmall,
+  kCorrelated,
+  kEmpty,
+  kEmptyFactors,
+  kFull,
+};
+
+constexpr InputCase kAllCases[] = {InputCase::kSmall, InputCase::kCorrelated,
+                                   InputCase::kEmpty, InputCase::kEmptyFactors,
+                                   InputCase::kFull};
+
+const char* CaseName(InputCase c) {
+  switch (c) {
+    case InputCase::kSmall:
+      return "Small";
+    case InputCase::kCorrelated:
+      return "Correlated";
+    case InputCase::kEmpty:
+      return "Empty";
+    case InputCase::kEmptyFactors:
+      return "EmptyFactors";
+    case InputCase::kFull:
+      return "Full";
+  }
+  return "?";
+}
+
+UncertainString AddRule(UncertainString s) {
+  EXPECT_TRUE(s.AddCorrelation({.pos = 5,
+                                .ch = s.options(5)[0].ch,
+                                .dep_pos = 2,
+                                .dep_ch = s.options(2)[0].ch,
+                                .prob_if_present = 0.75,
+                                .prob_if_absent = 0.25})
+                  .ok());
+  return s;
+}
+
+UncertainString HalfHalfString(int64_t length) {
+  UncertainString s;
+  for (int64_t i = 0; i < length; ++i) {
+    s.AddPosition({{static_cast<uint8_t>('a' + i % 2), 0.5},
+                   {static_cast<uint8_t>('b' + i % 2), 0.5}});
+  }
+  return s;
+}
+
+UncertainString GeneralString(InputCase c, uint64_t seed) {
+  switch (c) {
+    case InputCase::kSmall:
+      return test::RandomUncertain({.length = 45, .alphabet = 3,
+                                    .theta = 0.5, .seed = seed});
+    case InputCase::kCorrelated:
+      return AddRule(test::RandomUncertain(
+          {.length = 45, .alphabet = 3, .theta = 0.5, .seed = seed}));
+    case InputCase::kEmpty:
+      return UncertainString();
+    case InputCase::kEmptyFactors:
+      return HalfHalfString(20);
+    case InputCase::kFull:
+      return test::RandomUncertain({.length = 260, .alphabet = 4,
+                                    .theta = 0.6, .max_choices = 4,
+                                    .seed = seed});
+  }
+  return UncertainString();
+}
+
+double CaseTauMin(InputCase c) {
+  return c == InputCase::kEmptyFactors ? 0.75 : 0.1;
+}
+
+std::string SaveAt(const SubstringIndex& index, uint32_t version) {
+  std::string blob;
+  EXPECT_TRUE(index.Save(&blob, version).ok());
+  return blob;
+}
+
+std::string SaveAt(const ShardedIndex& index, uint32_t version) {
+  std::string blob;
+  EXPECT_TRUE(index.Save(&blob, version).ok());
+  return blob;
+}
+
+// T in {1, 2, 8}: serial reference, the smallest real pool, and a pool wider
+// than any stage's natural task count (forces the remainder-handling paths).
+constexpr int32_t kThreadCounts[] = {1, 2, 8};
+
+TEST(BuildDeterminismTest, SaveBytesIdenticalAcrossThreadCounts) {
+  for (const InputCase c : kAllCases) {
+    const UncertainString s = GeneralString(c, 2024);
+    for (const bool compact : {false, true}) {
+      IndexOptions options;
+      options.transform.tau_min = CaseTauMin(c);
+      options.compact = compact;
+      std::string reference_v2;
+      std::string reference_v3;
+      for (const int32_t threads : kThreadCounts) {
+        SubstringIndex::BuildOptions build;
+        build.threads = threads;
+        auto index = SubstringIndex::Build(s, options, build);
+        ASSERT_TRUE(index.ok())
+            << CaseName(c) << " compact=" << compact << " T=" << threads
+            << ": " << index.status().ToString();
+        const std::string v2 = SaveAt(*index, serde::kInterchangeVersion);
+        const std::string v3 = SaveAt(*index, serde::kContainerVersion);
+        if (threads == 1) {
+          reference_v2 = v2;
+          reference_v3 = v3;
+          continue;
+        }
+        EXPECT_EQ(v2, reference_v2)
+            << CaseName(c) << " compact=" << compact << " T=" << threads
+            << ": v2 bytes diverge from the serial build";
+        EXPECT_EQ(v3, reference_v3)
+            << CaseName(c) << " compact=" << compact << " T=" << threads
+            << ": v3 bytes diverge from the serial build";
+      }
+    }
+  }
+}
+
+TEST(BuildDeterminismTest, ShardedSaveBytesIdenticalAcrossThreadCounts) {
+  const UncertainString s = test::RandomUncertain(
+      {.length = 300, .alphabet = 3, .theta = 0.5, .seed = 77});
+  for (const bool compact : {false, true}) {
+    std::string reference_v2;
+    std::string reference_v3;
+    for (const int32_t threads : kThreadCounts) {
+      ShardedIndexOptions options;
+      options.index.transform.tau_min = 0.1;
+      options.index.compact = compact;
+      options.num_shards = 3;
+      options.num_threads = threads;
+      auto index = ShardedIndex::Build(s, options);
+      ASSERT_TRUE(index.ok()) << index.status().ToString();
+      const std::string v2 = SaveAt(*index, serde::kInterchangeVersion);
+      const std::string v3 = SaveAt(*index, serde::kContainerVersion);
+      if (threads == 1) {
+        reference_v2 = v2;
+        reference_v3 = v3;
+        continue;
+      }
+      EXPECT_EQ(v2, reference_v2) << "compact=" << compact << " T=" << threads;
+      EXPECT_EQ(v3, reference_v3) << "compact=" << compact << " T=" << threads;
+    }
+  }
+}
+
+TEST(BuildDeterminismTest, ParallelV2LoadRebuildsIdenticalBytes) {
+  // The v2 load path re-derives LCP/FM/RMQ; with a thread budget it must
+  // land on the same structures the serial rebuild does.
+  const UncertainString s = test::RandomUncertain(
+      {.length = 120, .alphabet = 3, .theta = 0.5, .seed = 9});
+  for (const bool compact : {false, true}) {
+    IndexOptions options;
+    options.transform.tau_min = 0.1;
+    options.compact = compact;
+    auto built = SubstringIndex::Build(s, options);
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    const std::string v2 = SaveAt(*built, serde::kInterchangeVersion);
+    for (const int32_t threads : kThreadCounts) {
+      SubstringIndex::BuildOptions build;
+      build.threads = threads;
+      auto loaded = SubstringIndex::Load(v2, nullptr, build);
+      ASSERT_TRUE(loaded.ok())
+          << "compact=" << compact << " T=" << threads << ": "
+          << loaded.status().ToString();
+      EXPECT_EQ(SaveAt(*loaded, serde::kInterchangeVersion), v2)
+          << "compact=" << compact << " T=" << threads;
+    }
+  }
+}
+
+TEST(BuildDeterminismTest, ParallelBuildAnswersMatchBruteForce) {
+  const UncertainString s = test::RandomUncertain(
+      {.length = 90, .alphabet = 3, .theta = 0.5, .seed = 41});
+  IndexOptions options;
+  options.transform.tau_min = 0.1;
+  options.compact = true;
+  SubstringIndex::BuildOptions build;
+  build.threads = 8;
+  auto index = SubstringIndex::Build(s, options, build);
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  for (int q = 0; q < 40; ++q) {
+    const std::string pattern =
+        q % 2 == 0 ? test::RandomPattern(3, 1 + q % 6, 100 + q)
+                   : test::PatternFromString(s, q % 60, 1 + q % 6, 100 + q);
+    const double tau = 0.1 + 0.2 * (q % 4);
+    std::vector<Match> got;
+    ASSERT_TRUE(index->Query(pattern, tau, &got).ok());
+    const std::vector<Match> want = BruteForceSearch(s, pattern, tau);
+    EXPECT_TRUE(test::SameMatches(got, want))
+        << "pattern=" << pattern << " tau=" << tau << "\n got: "
+        << test::MatchesToString(got)
+        << "\nwant: " << test::MatchesToString(want);
+  }
+}
+
+TEST(BuildDeterminismTest, TimingsAccumulateAcrossStages) {
+  const UncertainString s = test::RandomUncertain(
+      {.length = 260, .alphabet = 4, .theta = 0.6, .max_choices = 4,
+       .seed = 7});
+  IndexOptions options;
+  options.transform.tau_min = 0.1;
+  options.compact = true;
+  BuildTimings timings;
+  SubstringIndex::BuildOptions build;
+  build.threads = 2;
+  build.timings = &timings;
+  auto index = SubstringIndex::Build(s, options, build);
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  EXPECT_GE(timings.transform_ms, 0.0);
+  EXPECT_GE(timings.sa_ms, 0.0);
+  EXPECT_GE(timings.lcp_ms, 0.0);
+  EXPECT_GE(timings.fm_ms, 0.0);
+  EXPECT_GE(timings.derived_ms, 0.0);
+  EXPECT_GE(timings.rmq_ms, 0.0);
+  const double total = timings.transform_ms + timings.sa_ms + timings.lcp_ms +
+                       timings.fm_ms + timings.derived_ms + timings.rmq_ms;
+  EXPECT_GT(total, 0.0);
+}
+
+TEST(BuildDeterminismTest, ShardedTimingsSumOverShards) {
+  const UncertainString s = test::RandomUncertain(
+      {.length = 300, .alphabet = 3, .theta = 0.5, .seed = 55});
+  BuildTimings timings;
+  ShardedIndexOptions options;
+  options.index.transform.tau_min = 0.1;
+  options.index.compact = true;
+  options.num_shards = 3;
+  options.num_threads = 4;
+  options.build_timings = &timings;
+  auto index = ShardedIndex::Build(s, options);
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  const double total = timings.transform_ms + timings.sa_ms + timings.lcp_ms +
+                       timings.fm_ms + timings.derived_ms + timings.rmq_ms;
+  EXPECT_GT(total, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Φ/PLCP vs Kasai.
+
+std::vector<int32_t> RandomText(size_t n, int32_t sigma, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int32_t> text(n);
+  for (size_t i = 0; i < n; ++i) {
+    text[i] = static_cast<int32_t>(rng.Uniform(sigma));
+  }
+  return text;
+}
+
+void ExpectSameLcp(const std::vector<int32_t>& text, ThreadPool* pool,
+                   const std::string& label) {
+  const Span<const int32_t> t(text.data(), text.size());
+  const std::vector<int32_t> sa = BuildSuffixArray(t, 256);
+  const Span<const int32_t> sa_span(sa.data(), sa.size());
+  const std::vector<int32_t> kasai = BuildLcpArray(t, sa_span);
+  const std::vector<int32_t> plcp = BuildLcpArrayParallel(t, sa_span, pool);
+  EXPECT_EQ(plcp, kasai) << label;
+}
+
+TEST(PlcpLcpTest, MatchesKasaiOnRandomTexts) {
+  ThreadPool pool(4);
+  for (const size_t n : {size_t{0}, size_t{1}, size_t{2}, size_t{17},
+                         size_t{100}, size_t{1000}}) {
+    for (const int32_t sigma : {1, 2, 4, 16}) {
+      for (uint64_t seed = 1; seed <= 3; ++seed) {
+        const std::vector<int32_t> text = RandomText(n, sigma, seed * 31 + n);
+        ExpectSameLcp(text, &pool,
+                      "n=" + std::to_string(n) +
+                          " sigma=" + std::to_string(sigma) +
+                          " seed=" + std::to_string(seed));
+      }
+    }
+  }
+}
+
+TEST(PlcpLcpTest, MatchesKasaiAcrossChunkBoundaries) {
+  // Long repetitive text: n spans several 1<<15 chunks and the long runs
+  // make PLCP values straddle chunk boundaries, where each chunk's h=0
+  // restart must still land on the same (unique) LCP array.
+  ThreadPool pool(8);
+  std::vector<int32_t> text = RandomText(100000, 2, 1234);
+  for (size_t i = 30000; i < 70000; ++i) text[i] = 0;  // a 40k-run
+  ExpectSameLcp(text, &pool, "chunked repetitive");
+}
+
+TEST(PlcpLcpTest, NullAndSerialPoolFallBackToKasai) {
+  const std::vector<int32_t> text = RandomText(500, 3, 99);
+  ExpectSameLcp(text, nullptr, "null pool");
+  ThreadPool serial(1);
+  ExpectSameLcp(text, &serial, "serial pool");
+}
+
+}  // namespace
+}  // namespace pti

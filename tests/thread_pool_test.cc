@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
 #include <vector>
@@ -18,6 +19,52 @@ TEST(ThreadPoolTest, ResolveThreadCount) {
   EXPECT_EQ(ResolveThreadCount(7), 7);
   EXPECT_EQ(ResolveThreadCount(100000), 256);
   EXPECT_GE(ResolveThreadCount(-3), 1);
+}
+
+TEST(ThreadPoolTest, SplitThreadBudgetNeverOversubscribes) {
+  // outer * inner <= resolved budget, outer covers min(tasks, budget), and
+  // every task gets at least one inner thread.
+  for (const int32_t budget : {1, 2, 3, 4, 7, 8, 16, 64}) {
+    for (const size_t tasks : {size_t{1}, size_t{2}, size_t{3}, size_t{5},
+                               size_t{8}, size_t{100}}) {
+      const ThreadBudget b = SplitThreadBudget(budget, tasks);
+      EXPECT_GE(b.outer, 1) << budget << "/" << tasks;
+      EXPECT_GE(b.inner, 1) << budget << "/" << tasks;
+      EXPECT_LE(b.outer * b.inner, ResolveThreadCount(budget))
+          << budget << "/" << tasks;
+      EXPECT_EQ(b.outer, static_cast<int32_t>(std::min(
+                             tasks, static_cast<size_t>(budget))))
+          << budget << "/" << tasks;
+    }
+  }
+  // Zero tasks degrades to one serial slot with the whole budget inside.
+  const ThreadBudget none = SplitThreadBudget(8, 0);
+  EXPECT_EQ(none.outer, 1);
+  EXPECT_EQ(none.inner, 8);
+  // Fewer tasks than budget: the leftover threads flow inward.
+  const ThreadBudget two = SplitThreadBudget(8, 2);
+  EXPECT_EQ(two.outer, 2);
+  EXPECT_EQ(two.inner, 4);
+  // More tasks than budget: one thread each, no nested pools.
+  const ThreadBudget many = SplitThreadBudget(4, 100);
+  EXPECT_EQ(many.outer, 4);
+  EXPECT_EQ(many.inner, 1);
+}
+
+TEST(ThreadPoolTest, ConcurrentParallelForsFromDistinctThreads) {
+  // Two non-worker threads driving the same pool concurrently: both loops
+  // must cover every index exactly once (Wait over-waits but never hangs).
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> a(513), b(513);
+  std::thread other([&] {
+    pool.ParallelFor(b.size(), [&b](size_t i) { b[i].fetch_add(1); });
+  });
+  pool.ParallelFor(a.size(), [&a](size_t i) { a[i].fetch_add(1); });
+  other.join();
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].load(), 1) << i;
+    EXPECT_EQ(b[i].load(), 1) << i;
+  }
 }
 
 TEST(ThreadPoolTest, SubmitAndWaitRunsEveryTask) {
