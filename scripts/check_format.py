@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""clang-format conformance check for the C++ tree.
+
+Runs clang-format (configured by the repo-root .clang-format) over every
+tracked C++ file under the selected dirs (default: src, tests, examples,
+bench, fuzz) and reports files whose formatted output differs from what is
+on disk. Never rewrites files; use --fix (or clang-format -i) to apply.
+
+Tool discovery mirrors run_clang_tidy.py: --clang-format, else
+$CLANG_FORMAT, else the first of clang-format / clang-format-20 ...
+clang-format-14 on PATH. A missing binary SKIPs with exit 0 so local
+containers without LLVM stay green, unless --require-tool is passed (CI).
+
+Exit codes: 0 clean/skipped, 1 files need formatting, 2 usage/tool error.
+"""
+
+import argparse
+import concurrent.futures
+import os
+import shutil
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_DIRS = ["src", "tests", "examples", "bench", "fuzz"]
+EXTENSIONS = (".cc", ".h", ".cpp", ".hpp")
+TOOL_CANDIDATES = ["clang-format"] + [
+    "clang-format-%d" % v for v in range(20, 13, -1)]
+
+
+def find_tool(explicit):
+    for name in ([explicit] if explicit else []) + \
+            ([os.environ["CLANG_FORMAT"]] if os.environ.get("CLANG_FORMAT")
+             else []) + TOOL_CANDIDATES:
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def collect_files(dirs):
+    files = []
+    for d in dirs:
+        root = os.path.join(REPO_ROOT, d)
+        if not os.path.isdir(root):
+            continue
+        for dirpath, _, names in os.walk(root):
+            for name in sorted(names):
+                if name.endswith(EXTENSIONS):
+                    files.append(os.path.join(dirpath, name))
+    return sorted(files)
+
+
+def check_one(tool, path, fix):
+    if fix:
+        proc = subprocess.run([tool, "-style=file", "-i", path],
+                              stderr=subprocess.PIPE, text=True)
+        return path, proc.returncode != 0, proc.stderr
+    with open(path, "rb") as f:
+        original = f.read()
+    proc = subprocess.run([tool, "-style=file", path],
+                          stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+    if proc.returncode != 0:
+        return path, True, proc.stderr.decode(errors="replace")
+    return path, proc.stdout != original, ""
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="check C++ files against the repo .clang-format")
+    parser.add_argument("dirs", nargs="*", default=None,
+                        help="repo-relative dirs to check (default: %s)"
+                             % " ".join(DEFAULT_DIRS))
+    parser.add_argument("--fix", action="store_true",
+                        help="rewrite files in place instead of checking")
+    parser.add_argument("--clang-format", default=None,
+                        help="clang-format binary (default: autodetect)")
+    parser.add_argument("--require-tool", action="store_true",
+                        help="fail instead of skipping when clang-format is "
+                             "not installed (CI)")
+    parser.add_argument("-j", "--jobs", type=int, default=os.cpu_count() or 2)
+    args = parser.parse_args(argv)
+
+    tool = find_tool(args.clang_format)
+    if tool is None:
+        if args.require_tool:
+            print("check_format: no clang-format binary found (tried: %s)"
+                  % ", ".join(TOOL_CANDIDATES), file=sys.stderr)
+            return 2
+        print("check_format: SKIPPED — no clang-format binary on PATH "
+              "(install LLVM, or rely on the CI job, which passes "
+              "--require-tool)")
+        return 0
+
+    files = collect_files(args.dirs or DEFAULT_DIRS)
+    if not files:
+        print("check_format: no C++ files under %s"
+              % (args.dirs or DEFAULT_DIRS), file=sys.stderr)
+        return 2
+
+    dirty = []
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        for path, needs_work, err in pool.map(
+                lambda p: check_one(tool, p, args.fix), files):
+            if err:
+                print("check_format: %s failed on %s:\n%s"
+                      % (tool, path, err), file=sys.stderr)
+                return 2
+            if needs_work:
+                dirty.append(os.path.relpath(path, REPO_ROOT))
+
+    if args.fix:
+        print("check_format: reformatted %d of %d file(s)"
+              % (len(dirty), len(files)))
+        return 0
+    if dirty:
+        print("check_format: %d of %d file(s) not formatted:"
+              % (len(dirty), len(files)), file=sys.stderr)
+        for rel in dirty:
+            print("  %s" % rel, file=sys.stderr)
+        print("check_format: run scripts/check_format.py --fix",
+              file=sys.stderr)
+        return 1
+    print("check_format: clean (%d file(s))" % len(files))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,380 @@
+#!/usr/bin/env python3
+"""pti-lint: project-invariant checks generic tools can't know about.
+
+The pti engine has three prose contracts that this linter turns into
+machine-checked ones (see docs/STATIC_ANALYSIS.md):
+
+  1. Determinism: anything that can feed serialized index bytes must be
+     reproducible — no exceptions for control flow, no wall-clock or
+     process-entropy inputs, no iteration over hash-ordered containers while
+     writing serde bytes. (The PR 8 contract: any thread count serializes to
+     bit-identical v2/v3 bytes.)
+  2. Hostile-input serde: decode paths go through the bounds-checked
+     Reader/GetSpan APIs, never raw reinterpret_cast, and validation failures
+     are Status returns, never assert()s that release builds compile out.
+  3. Concurrency hygiene: mutexes are held via RAII guards
+     (lock_guard/unique_lock/scoped_lock), never naked .lock()/.unlock().
+
+Token-based (comments and string literals stripped), stdlib-only, no
+libclang dependency. Line-granular heuristics by design: the [[nodiscard]]
+Status contract in util/status.h is the authoritative compile-time gate for
+discarded statuses; the rule here is a backstop that also works on code the
+compiler never sees (fixtures, dead #ifdef branches).
+
+Suppressing a finding: append `// pti-lint: allow(<rule-id>)` to the line,
+or put it in the comment block immediately above it, with a reason:
+
+    h ^= ptr_hash;  // pti-lint: allow(no-nondeterminism): debug stat only
+
+Exit codes: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+import argparse
+import fnmatch
+import os
+import re
+import sys
+
+# ---------------------------------------------------------------------------
+# Rules. `scope` / `exclude` are fnmatch patterns over the posix relpath from
+# the lint root. A file is checked by a rule iff it matches a scope pattern
+# and no exclude pattern.
+# ---------------------------------------------------------------------------
+
+CXX_EXTENSIONS = (".cc", ".h", ".cpp", ".hpp")
+
+# Paths that decode untrusted bytes or validate query input: release-reachable
+# validation there must return Status, not assert() (compiled out in Release).
+DECODE_PATHS = [
+    "src/core/serde.cc",
+    "src/core/serde.h",
+    "src/core/usformat.cc",
+    "src/core/usformat.h",
+    "src/core/uncertain_string.cc",
+    "src/util/serial.h",
+]
+
+
+class Rule:
+    def __init__(self, rule_id, message, scope, exclude=()):
+        self.rule_id = rule_id
+        self.message = message
+        self.scope = scope
+        self.exclude = exclude
+
+    def applies_to(self, relpath):
+        if not any(fnmatch.fnmatch(relpath, p) for p in self.scope):
+            return False
+        return not any(fnmatch.fnmatch(relpath, p) for p in self.exclude)
+
+    def check(self, relpath, sanitized_lines):
+        """Yields (line_number, message) findings."""
+        raise NotImplementedError
+
+
+class RegexRule(Rule):
+    """Flags every line matching `pattern` (on comment/string-stripped text)."""
+
+    def __init__(self, rule_id, message, scope, pattern, exclude=()):
+        super().__init__(rule_id, message, scope, exclude)
+        self.pattern = re.compile(pattern)
+
+    def check(self, relpath, sanitized_lines):
+        for i, line in enumerate(sanitized_lines, start=1):
+            if self.pattern.search(line):
+                yield i, self.message
+
+
+class UnorderedIterationRule(Rule):
+    """Iteration over a hash-ordered container in a file that writes serde
+    bytes. Hash iteration order is implementation- (and libstdc++-version-)
+    defined, so a loop over an unordered_{map,set} that feeds a serde::Writer
+    breaks the bit-identical-bytes contract. Collects names of variables and
+    members declared with an unordered_* type in the same file, then flags
+    range-fors and .begin() iterator loops over those names."""
+
+    DECL_RE = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\s*<")
+    WRITER_RE = re.compile(r"\bWriter\b")
+
+    def check(self, relpath, sanitized_lines):
+        text = "\n".join(sanitized_lines)
+        if not self.WRITER_RE.search(text):
+            return
+        names = self._declared_names(text)
+        if not names:
+            return
+        alt = "|".join(re.escape(n) for n in sorted(names))
+        range_for = re.compile(
+            r"\bfor\s*\([^;()]*:\s*(?:\w+(?:\.|->))*(%s)\s*\)" % alt)
+        iter_loop = re.compile(
+            r"\bfor\s*\([^;]*=\s*(?:\w+(?:\.|->))*(%s)\s*\.\s*begin\s*\(" % alt)
+        for i, line in enumerate(sanitized_lines, start=1):
+            m = range_for.search(line) or iter_loop.search(line)
+            if m:
+                yield i, ("iteration over hash-ordered container '%s' in a "
+                          "serde-writing file; order is not deterministic — "
+                          "sort keys first or use an ordered container"
+                          % m.group(1))
+
+    def _declared_names(self, text):
+        """Names declared with an unordered_* type, e.g.
+        `std::unordered_map<K, V> seen;` (handles nested template args)."""
+        names = set()
+        for m in self.DECL_RE.finditer(text):
+            pos = m.end()  # just past '<'
+            depth = 1
+            while pos < len(text) and depth > 0:
+                if text[pos] == "<":
+                    depth += 1
+                elif text[pos] == ">":
+                    depth -= 1
+                pos += 1
+            decl = re.match(r"\s*(?:&|\*)?\s*([A-Za-z_]\w*)\s*[;={(),]",
+                            text[pos:pos + 160])
+            if decl:
+                names.add(decl.group(1))
+        return names
+
+
+RULES = [
+    RegexRule(
+        "no-throw",
+        "throw in src/: the pti library never throws; return a Status "
+        "(util/status.h) instead",
+        scope=["src/*"],
+        pattern=r"\bthrow\b"),
+    RegexRule(
+        "no-nondeterminism",
+        "nondeterministic input (wall clock / process entropy) in src/: "
+        "index bytes must be bit-identical across runs; use util/rng.h with "
+        "a fixed seed, or std::chrono::steady_clock for timings that never "
+        "feed serialized bytes",
+        scope=["src/*"],
+        pattern=(r"\brand\s*\(|\bsrand\s*\(|\brandom_device\b"
+                 r"|\bsystem_clock\b|\bgettimeofday\b|\bclock\s*\(\s*\)"
+                 r"|(?<![\w:])time\s*\(")),
+    RegexRule(
+        "no-raw-reinterpret-cast",
+        "reinterpret_cast outside util/serial.h: decode paths must use the "
+        "bounds-checked Reader/GetSpan APIs so truncated or hostile bytes "
+        "fail with Status::Corruption, not UB",
+        scope=["src/*"],
+        exclude=["src/util/serial.h"],
+        pattern=r"\breinterpret_cast\b"),
+    RegexRule(
+        "no-naked-lock",
+        "naked mutex .lock()/.unlock(): hold mutexes via RAII guards "
+        "(std::lock_guard / std::unique_lock / std::scoped_lock) so early "
+        "returns and Status propagation cannot leak a held lock",
+        scope=["src/*"],
+        pattern=r"\b\w+(?:\.|->)(?:try_)?(?:lock|unlock)\s*\(\s*\)"),
+    RegexRule(
+        "no-assert-in-decode",
+        "assert() on a decode/validation path: release builds compile "
+        "asserts out, so hostile input would sail through — return "
+        "Status::Corruption / Status::InvalidArgument instead "
+        "(static_assert is fine)",
+        scope=DECODE_PATHS,
+        pattern=r"(?<!static_)\bassert\s*\("),
+    RegexRule(
+        "discarded-status",
+        "result of a Status-returning call discarded; check it or propagate "
+        "with PTI_RETURN_IF_ERROR / PTI_ASSIGN_OR_RETURN (backstop for the "
+        "[[nodiscard]] compile-time gate)",
+        scope=["src/*"],
+        pattern=(r"^\s*(?:[A-Za-z_]\w*(?:\.|->|::))+"
+                 r"(?:Save|Load|Validate|Reload|ExpectSectionEnd"
+                 r"|Get[A-Z]\w*|Skip)\s*\([^=]*\)\s*;\s*$")),
+    UnorderedIterationRule(
+        "unordered-iteration-in-serde",
+        "hash-ordered iteration while writing serde bytes",
+        scope=["src/*"]),
+]
+
+SUPPRESS_RE = re.compile(r"pti-lint:\s*allow\(([^)]*)\)")
+
+
+def sanitize(source):
+    """Replaces comments and string/char literal contents with spaces,
+    preserving line structure, and returns (sanitized_lines, suppressions)
+    where suppressions maps line number -> set of allowed rule ids ('*' for
+    all). Handles //, /* */, "..." (with escapes), '...', and R"delim(...)"
+    raw strings."""
+    suppressions = {}
+    for i, line in enumerate(source.splitlines(), start=1):
+        m = SUPPRESS_RE.search(line)
+        if m:
+            ids = {s.strip() for s in m.group(1).split(",") if s.strip()}
+            suppressions[i] = ids or {"*"}
+
+    out = []
+    i, n = 0, len(source)
+    NORMAL, LINE_COMMENT, BLOCK_COMMENT, STRING, CHAR, RAW = range(6)
+    state = NORMAL
+    raw_end = ""
+    while i < n:
+        c = source[i]
+        nxt = source[i + 1] if i + 1 < n else ""
+        if state == NORMAL:
+            if c == "/" and nxt == "/":
+                state = LINE_COMMENT
+                out.append("  ")
+                i += 2
+            elif c == "/" and nxt == "*":
+                state = BLOCK_COMMENT
+                out.append("  ")
+                i += 2
+            elif c == "R" and nxt == '"' and (
+                    not out or not (out[-1].isalnum() or out[-1] == "_")):
+                m = re.match(r'R"([^(\s\\"]{0,16})\(', source[i:])
+                if m:
+                    raw_end = ")%s\"" % m.group(1)
+                    state = RAW
+                    out.append(" " * len(m.group(0)))
+                    i += len(m.group(0))
+                else:
+                    out.append(c)
+                    i += 1
+            elif c == '"':
+                state = STRING
+                out.append(c)
+                i += 1
+            elif c == "'":
+                state = CHAR
+                out.append(c)
+                i += 1
+            else:
+                out.append(c)
+                i += 1
+        elif state == LINE_COMMENT:
+            if c == "\n":
+                state = NORMAL
+                out.append(c)
+            else:
+                out.append(" ")
+            i += 1
+        elif state == BLOCK_COMMENT:
+            if c == "*" and nxt == "/":
+                state = NORMAL
+                out.append("  ")
+                i += 2
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+        elif state == STRING:
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == '"':
+                state = NORMAL
+                out.append(c)
+                i += 1
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+        elif state == CHAR:
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == "'":
+                state = NORMAL
+                out.append(c)
+                i += 1
+            else:
+                out.append(" ")
+                i += 1
+        elif state == RAW:
+            if source.startswith(raw_end, i):
+                state = NORMAL
+                out.append(" " * len(raw_end))
+                i += len(raw_end)
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+    return "".join(out).splitlines(), suppressions
+
+
+def lint_file(root, relpath):
+    path = os.path.join(root, relpath)
+    try:
+        with open(path, "r", encoding="utf-8", errors="replace") as f:
+            source = f.read()
+    except OSError as e:
+        raise SystemExit("pti-lint: cannot read %s: %s" % (path, e))
+    sanitized_lines, suppressions = sanitize(source)
+
+    def allowed_rules(line_no):
+        """Suppressions on the line itself plus any comment block directly
+        above it (so a multi-line justification comment still applies)."""
+        allowed = set(suppressions.get(line_no, set()))
+        prev = line_no - 1
+        while prev >= 1 and not sanitized_lines[prev - 1].strip():
+            allowed |= suppressions.get(prev, set())
+            prev -= 1
+        return allowed
+
+    findings = []
+    for rule in RULES:
+        if not rule.applies_to(relpath):
+            continue
+        for line_no, message in rule.check(relpath, sanitized_lines):
+            allowed = allowed_rules(line_no)
+            if "*" in allowed or rule.rule_id in allowed:
+                continue
+            findings.append((relpath, line_no, rule.rule_id, message))
+    return findings
+
+
+def collect_files(root, paths):
+    files = []
+    for p in paths:
+        full = os.path.join(root, p)
+        if os.path.isfile(full):
+            files.append(os.path.relpath(full, root))
+        elif os.path.isdir(full):
+            for dirpath, _, filenames in os.walk(full):
+                for name in sorted(filenames):
+                    if name.endswith(CXX_EXTENSIONS):
+                        files.append(
+                            os.path.relpath(os.path.join(dirpath, name), root))
+        else:
+            raise SystemExit("pti-lint: no such path: %s" % full)
+    return sorted(set(f.replace(os.sep, "/") for f in files))
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="pti project-invariant linter (see docs/STATIC_ANALYSIS.md)")
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="files or directories relative to --root "
+                             "(default: src)")
+    parser.add_argument("--root", default=None,
+                        help="repo root the scope patterns are relative to "
+                             "(default: the script's parent repo)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print rule ids and descriptions, then exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in RULES:
+            print("%-30s %s" % (rule.rule_id, rule.message))
+        return 0
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    paths = args.paths or ["src"]
+    findings = []
+    for relpath in collect_files(root, paths):
+        findings.extend(lint_file(root, relpath))
+
+    findings.sort()
+    for relpath, line_no, rule_id, message in findings:
+        print("%s:%d: [%s] %s" % (relpath, line_no, rule_id, message))
+    if findings:
+        print("pti-lint: %d finding(s)" % len(findings), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

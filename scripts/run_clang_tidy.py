@@ -1,0 +1,217 @@
+#!/usr/bin/env python3
+"""Parallel clang-tidy runner with a zero-new-findings baseline gate.
+
+Runs clang-tidy (configured by the repo-root .clang-tidy) over every
+translation unit in compile_commands.json that lives under the selected
+source dirs (default: src/), in parallel, and diffs the findings against
+scripts/clang_tidy_baseline.txt:
+
+  * a finding class (file, check) with more occurrences than the baseline
+    records fails the gate (exit 1) and prints the new diagnostics;
+  * fewer occurrences than recorded is progress — reported, and the run
+    still passes; refresh with --update-baseline so the ratchet tightens;
+  * --update-baseline rewrites the baseline to exactly the current findings.
+
+The baseline keys on (file, check), not line numbers, so unrelated edits
+that shift lines don't churn it.
+
+Tool discovery: uses --clang-tidy, else $CLANG_TIDY, else the first of
+clang-tidy / clang-tidy-20 ... clang-tidy-14 on PATH. When no binary exists
+the run is SKIPPED with exit 0 — local containers without LLVM stay green —
+unless --require-tool is passed (CI does), which turns a missing tool into a
+hard error.
+
+Needs compile_commands.json; the root CMakeLists.txt sets
+CMAKE_EXPORT_COMPILE_COMMANDS, so any configured build dir has one.
+
+Exit codes: 0 clean/skipped, 1 new findings, 2 usage/tool/setup error.
+"""
+
+import argparse
+import concurrent.futures
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_BASELINE = os.path.join(REPO_ROOT, "scripts",
+                                "clang_tidy_baseline.txt")
+TOOL_CANDIDATES = ["clang-tidy"] + [
+    "clang-tidy-%d" % v for v in range(20, 13, -1)]
+
+# /abs/path.cc:12:34: warning: message [check-name]
+DIAG_RE = re.compile(
+    r"^(?P<file>[^\s:][^:]*):(?P<line>\d+):(?P<col>\d+): "
+    r"(?P<kind>warning|error): (?P<msg>.*?) \[(?P<check>[^\]\s]+)\]$")
+
+
+def find_tool(explicit):
+    for name in ([explicit] if explicit else []) + \
+            ([os.environ["CLANG_TIDY"]] if os.environ.get("CLANG_TIDY")
+             else []) + TOOL_CANDIDATES:
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def load_compile_commands(build_dir):
+    path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.isfile(path):
+        raise SystemExit(
+            "run_clang_tidy: %s not found; configure first "
+            "(cmake -B %s -S . — CMAKE_EXPORT_COMPILE_COMMANDS is on by "
+            "default in the root CMakeLists.txt)" % (path, build_dir))
+    with open(path) as f:
+        return json.load(f)
+
+
+def select_files(commands, source_dirs):
+    roots = [os.path.join(REPO_ROOT, d) for d in source_dirs]
+    files = set()
+    for entry in commands:
+        path = os.path.normpath(
+            os.path.join(entry.get("directory", "."), entry["file"]))
+        if any(path.startswith(r + os.sep) for r in roots):
+            files.add(path)
+    return sorted(files)
+
+
+def run_one(tool, build_dir, path):
+    proc = subprocess.run(
+        [tool, "-quiet", "-p", build_dir, path],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+    diags = []
+    for line in proc.stdout.splitlines():
+        m = DIAG_RE.match(line)
+        if not m:
+            continue
+        rel = os.path.relpath(os.path.normpath(m.group("file")), REPO_ROOT)
+        if rel.startswith(".."):  # system/third-party header
+            continue
+        diags.append((rel.replace(os.sep, "/"), int(m.group("line")),
+                      m.group("check"), m.group("msg")))
+    # clang-tidy exits nonzero on hard errors (missing headers, bad flags)
+    # even with no parsed diagnostics; surface that instead of passing.
+    hard_error = proc.returncode != 0 and not diags and \
+        "error" in (proc.stdout + proc.stderr)
+    return diags, hard_error, proc.stderr if hard_error else ""
+
+
+def read_baseline(path):
+    counts = {}
+    if not os.path.isfile(path):
+        return counts
+    with open(path) as f:
+        for raw in f:
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            count, rel, check = line.split()
+            counts[(rel, check)] = int(count)
+    return counts
+
+
+def write_baseline(path, counts):
+    with open(path, "w") as f:
+        f.write("# clang-tidy baseline: known findings the gate tolerates,\n"
+                "# as '<count> <file> <check>'. Shrink-only by policy: fix\n"
+                "# findings and refresh with\n"
+                "#   scripts/run_clang_tidy.py --update-baseline\n"
+                "# Never hand-add entries to silence a new finding; that is\n"
+                "# what `// NOLINT(<check>)` with a justification is for.\n")
+        for (rel, check), count in sorted(counts.items()):
+            f.write("%d %s %s\n" % (count, rel, check))
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="parallel clang-tidy over compile_commands.json with a "
+                    "zero-new-findings baseline gate")
+    parser.add_argument("source_dirs", nargs="*", default=None,
+                        help="repo-relative dirs to lint (default: src)")
+    parser.add_argument("--build-dir", default=os.path.join(REPO_ROOT, "build"),
+                        help="build tree holding compile_commands.json")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE)
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline to the current findings")
+    parser.add_argument("--clang-tidy", default=None,
+                        help="clang-tidy binary (default: autodetect)")
+    parser.add_argument("--require-tool", action="store_true",
+                        help="fail instead of skipping when clang-tidy is "
+                             "not installed (CI)")
+    parser.add_argument("-j", "--jobs", type=int, default=os.cpu_count() or 2)
+    args = parser.parse_args(argv)
+
+    tool = find_tool(args.clang_tidy)
+    if tool is None:
+        if args.require_tool:
+            print("run_clang_tidy: no clang-tidy binary found "
+                  "(tried: %s)" % ", ".join(TOOL_CANDIDATES), file=sys.stderr)
+            return 2
+        print("run_clang_tidy: SKIPPED — no clang-tidy binary on PATH "
+              "(install LLVM, or rely on the CI job, which passes "
+              "--require-tool)")
+        return 0
+
+    commands = load_compile_commands(args.build_dir)
+    files = select_files(commands, args.source_dirs or ["src"])
+    if not files:
+        print("run_clang_tidy: no translation units under %s in %s"
+              % (args.source_dirs or ["src"], args.build_dir), file=sys.stderr)
+        return 2
+    print("run_clang_tidy: %s over %d TUs (%d jobs)"
+          % (tool, len(files), args.jobs))
+
+    all_diags = []
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        for diags, hard_error, stderr in pool.map(
+                lambda p: run_one(tool, args.build_dir, p), files):
+            if hard_error:
+                print("run_clang_tidy: clang-tidy failed:\n%s" % stderr,
+                      file=sys.stderr)
+                return 2
+            all_diags.extend(diags)
+    # The same header diagnostic can be re-reported by several TUs.
+    all_diags = sorted(set(all_diags))
+
+    counts = {}
+    for rel, _, check, _ in all_diags:
+        counts[(rel, check)] = counts.get((rel, check), 0) + 1
+
+    if args.update_baseline:
+        write_baseline(args.baseline, counts)
+        print("run_clang_tidy: wrote %d finding class(es) to %s"
+              % (len(counts), os.path.relpath(args.baseline, REPO_ROOT)))
+        return 0
+
+    baseline = read_baseline(args.baseline)
+    new_keys = {k for k, n in counts.items() if n > baseline.get(k, 0)}
+    fixed = {k: baseline[k] - counts.get(k, 0) for k in baseline
+             if counts.get(k, 0) < baseline[k]}
+
+    if fixed:
+        print("run_clang_tidy: %d baselined finding(s) no longer occur — "
+              "run --update-baseline to ratchet down" % sum(fixed.values()))
+    if new_keys:
+        print("run_clang_tidy: NEW findings (not in %s):"
+              % os.path.relpath(args.baseline, REPO_ROOT), file=sys.stderr)
+        for rel, line, check, msg in all_diags:
+            if (rel, check) in new_keys:
+                print("  %s:%d: %s [%s]" % (rel, line, msg, check),
+                      file=sys.stderr)
+        print("run_clang_tidy: fix them (preferred), suppress a justified "
+              "false positive with // NOLINT(<check>), or — for a "
+              "pre-existing class being burned down — refresh the baseline.",
+              file=sys.stderr)
+        return 1
+    print("run_clang_tidy: clean (%d finding(s) all within baseline)"
+          % len(all_diags))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

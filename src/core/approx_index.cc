@@ -326,9 +326,7 @@ StatusOr<ApproxIndex> ApproxIndex::Build(const UncertainString& s,
   Impl& i = *index.impl_;
   i.source = s;
   i.options = options;
-  auto fs = TransformToFactors(i.source, options.transform);
-  if (!fs.ok()) return fs.status();
-  i.fs = std::move(fs).value();
+  PTI_ASSIGN_OR_RETURN(i.fs, TransformToFactors(i.source, options.transform));
   PTI_RETURN_IF_ERROR(i.Finish());
   return index;
 }

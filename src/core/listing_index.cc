@@ -274,6 +274,8 @@ struct ListingIndex::Impl {
       }
     }
     out->reserve(best.size());
+    // pti-lint: allow(unordered-iteration-in-serde): keys are unique docs
+    // and the sort below imposes a total order, so emit order cancels out.
     for (const auto& [d, v] : best) out->push_back(DocMatch{d, v});
     std::sort(out->begin(), out->end(),
               [](const DocMatch& a, const DocMatch& b) {
@@ -320,6 +322,8 @@ struct ListingIndex::Impl {
       a.prod *= p;
       a.none *= (1.0 - p);
     }
+    // pti-lint: allow(unordered-iteration-in-serde): per-doc aggregates are
+    // independent and the matches are sorted by doc before returning.
     for (const auto& [d, a] : agg) {
       const double rel = metric == RelevanceMetric::kPaperOr
                              ? a.sum - a.prod
@@ -497,9 +501,8 @@ StatusOr<ListingIndex> ListingIndex::Load(std::string_view data) {
   PTI_RETURN_IF_ERROR(text.GetVector(&chars));
   PTI_RETURN_IF_ERROR(text.GetVector(&starts));
   PTI_RETURN_IF_ERROR(serde::ExpectSectionEnd(text, "text"));
-  auto spliced = Text::FromRaw(std::move(chars), std::move(starts));
-  if (!spliced.ok()) return spliced.status();
-  i.text = std::move(spliced).value();
+  PTI_ASSIGN_OR_RETURN(i.text,
+                       Text::FromRaw(std::move(chars), std::move(starts)));
 
   Reader maps;
   PTI_RETURN_IF_ERROR(container.Section(serde::kTagMaps, &maps));

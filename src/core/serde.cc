@@ -301,7 +301,9 @@ Status DecodeUncertainString(Reader* r, UncertainString* out,
     for (auto& o : opts) {
       PTI_RETURN_IF_ERROR(r->GetU8(&o.ch));
       PTI_RETURN_IF_ERROR(r->GetDouble(&o.prob));
-      // Validate() cannot catch NaN (every comparison with NaN is false).
+      // Validate() also rejects NaN now, but only runs when the caller asks
+      // for unit sums; hostile bytes must fail here with the precise
+      // Corruption message either way.
       if (!std::isfinite(o.prob) || o.prob < 0.0 || o.prob > 1.0) {
         return Status::Corruption("option probability outside [0, 1]");
       }
@@ -410,9 +412,8 @@ Status DecodeFactorSet(Reader* r, const UncertainString& source,
   std::vector<int64_t> starts;
   PTI_RETURN_IF_ERROR(r->GetVector(&chars));
   PTI_RETURN_IF_ERROR(r->GetVector(&starts));
-  auto text = Text::FromRaw(std::move(chars), std::move(starts));
-  if (!text.ok()) return text.status();
-  out->text = std::move(text).value();
+  PTI_ASSIGN_OR_RETURN(out->text,
+                       Text::FromRaw(std::move(chars), std::move(starts)));
   std::vector<int64_t> pos;
   std::vector<double> logp;
   std::vector<int64_t> corr;
@@ -444,9 +445,7 @@ Status DecodeFactorSetV3(Reader* text_r, Reader* maps_r,
   Span<const int64_t> starts;
   PTI_RETURN_IF_ERROR(text_r->GetSpan(&chars));
   PTI_RETURN_IF_ERROR(text_r->GetSpan(&starts));
-  auto text = Text::FromViews(chars, starts);
-  if (!text.ok()) return text.status();
-  out->text = std::move(text).value();
+  PTI_ASSIGN_OR_RETURN(out->text, Text::FromViews(chars, starts));
   Span<const int64_t> pos;
   Span<const double> logp;
   Span<const int64_t> corr;

@@ -761,6 +761,8 @@ struct SubstringIndex::Impl {
         Pow2Query(m, l, r, log_tau, &best);
       }
       out->reserve(out->size() + best.size());
+      // pti-lint: allow(unordered-iteration-in-serde): spos keys are unique
+      // and the sort below imposes a total order, so emit order cancels out.
       for (const auto& [spos, v] : best) out->push_back(RawMatch{spos, v});
     }
     std::sort(out->begin(), out->end(),
@@ -956,6 +958,8 @@ struct SubstringIndex::Impl {
         for (const RawMatch& rm : raw) EmitDedup(&best, rm.spos, rm.logv);
       }
       out->reserve(best.size());
+      // pti-lint: allow(unordered-iteration-in-serde): spos keys are unique
+      // and the sort below imposes a total order, so emit order cancels out.
       for (const auto& [spos, v] : best) out->push_back(RawMatch{spos, v});
       std::sort(out->begin(), out->end(),
                 [](const RawMatch& a, const RawMatch& b) {
@@ -1285,9 +1289,8 @@ StatusOr<SubstringIndex> SubstringIndex::Load(std::string_view data,
   // the index must own the bytes by construction: either the caller's Blob
   // (mmap'd file or otherwise pinned) or a private copy made here. Callers
   // passing a transient buffer therefore cannot create dangling views.
-  StatusOr<uint32_t> version = serde::PeekVersion(data);
-  PTI_RETURN_IF_ERROR(version.status());
-  if (*version >= 3 && backing == nullptr) {
+  PTI_ASSIGN_OR_RETURN(const uint32_t version, serde::PeekVersion(data));
+  if (version >= 3 && backing == nullptr) {
     backing = std::make_shared<const serde::Blob>(std::string(data));
     data = backing->view();
   }

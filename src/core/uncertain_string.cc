@@ -39,8 +39,9 @@ Status UncertainString::AddCorrelation(const CorrelationRule& rule) {
   if (FindRule(rule.pos, rule.ch) != nullptr) {
     return Status::InvalidArgument("duplicate correlation rule for (pos, char)");
   }
-  if (rule.prob_if_present < 0 || rule.prob_if_present > 1 ||
-      rule.prob_if_absent < 0 || rule.prob_if_absent > 1) {
+  // Negated form so NaN (all comparisons false) is rejected too.
+  if (!(rule.prob_if_present >= 0 && rule.prob_if_present <= 1 &&
+        rule.prob_if_absent >= 0 && rule.prob_if_absent <= 1)) {
     return Status::InvalidArgument("correlation probabilities must be in [0,1]");
   }
   correlations_.push_back(rule);
@@ -56,7 +57,12 @@ Status UncertainString::Validate() const {
     }
     double sum = 0;
     for (size_t a = 0; a < opts.size(); ++a) {
-      if (opts[a].prob < 0 || opts[a].prob > 1 + kSumTolerance) {
+      // The negated >=/<= form (not < / >) rejects NaN, whose comparisons
+      // are all false: a NaN probability must fail Validate here, because
+      // downstream LogProb::FromLinear treats its [0,1] domain as an
+      // internal precondition (release builds would silently propagate NaN
+      // into every occurrence probability).
+      if (!(opts[a].prob >= 0 && opts[a].prob <= 1 + kSumTolerance)) {
         return Status::InvalidArgument("probability out of [0,1] at position " +
                                        std::to_string(i));
       }

@@ -431,22 +431,17 @@ Status ServingEngine::Reload(SubstringIndex index) {
 Status ServingEngine::Reload(const std::string& path, bool use_mmap) {
   // Load and validate entirely beside the live generation: a failed load
   // leaves the engine serving the old index, untouched.
-  StatusOr<serde::BlobPtr> blob =
-      use_mmap ? serde::MapFile(path) : serde::ReadFileToBlob(path);
-  PTI_RETURN_IF_ERROR(blob.status());
-  const std::string_view data = (*blob)->view();
-  StatusOr<serde::IndexKind> kind = serde::PeekKind(data);
-  PTI_RETURN_IF_ERROR(kind.status());
+  PTI_ASSIGN_OR_RETURN(
+      const serde::BlobPtr blob,
+      use_mmap ? serde::MapFile(path) : serde::ReadFileToBlob(path));
+  const std::string_view data = blob->view();
+  PTI_ASSIGN_OR_RETURN(const serde::IndexKind kind, serde::PeekKind(data));
   auto gen = std::make_shared<Impl::Generation>();
-  if (*kind == serde::IndexKind::kSharded) {
-    StatusOr<ShardedIndex> loaded = ShardedIndex::Load(data, 0, *blob);
-    PTI_RETURN_IF_ERROR(loaded.status());
-    gen->sharded = std::move(loaded).value();
+  if (kind == serde::IndexKind::kSharded) {
+    PTI_ASSIGN_OR_RETURN(gen->sharded, ShardedIndex::Load(data, 0, blob));
     gen->use_sharded = true;
-  } else if (*kind == serde::IndexKind::kSubstring) {
-    StatusOr<SubstringIndex> loaded = SubstringIndex::Load(data, *blob);
-    PTI_RETURN_IF_ERROR(loaded.status());
-    gen->mono = std::move(loaded).value();
+  } else if (kind == serde::IndexKind::kSubstring) {
+    PTI_ASSIGN_OR_RETURN(gen->mono, SubstringIndex::Load(data, blob));
     gen->use_sharded = false;
   } else {
     return Status::InvalidArgument(

@@ -486,9 +486,8 @@ StatusOr<ShardedIndex> ShardedIndex::Load(std::string_view data,
   // Same ownership-by-construction contract as SubstringIndex::Load: a v3
   // container's shards keep views into `data`, so pin the caller's Blob or
   // make a private copy up front. The one Blob backs every shard.
-  StatusOr<uint32_t> version = serde::PeekVersion(data);
-  PTI_RETURN_IF_ERROR(version.status());
-  if (*version >= 3 && backing == nullptr) {
+  PTI_ASSIGN_OR_RETURN(const uint32_t version, serde::PeekVersion(data));
+  if (version >= 3 && backing == nullptr) {
     backing = std::make_shared<const serde::Blob>(std::string(data));
     data = backing->view();
   }

@@ -32,9 +32,15 @@ class LogProb {
   /// The certain event.
   static constexpr LogProb One() { return LogProb(0.0); }
 
-  /// From a linear-space probability p in [0,1].
+  /// From a linear-space probability p in [0,1]. The domain is an internal
+  /// precondition: every external path (usformat parse, serde decode,
+  /// UncertainString::Validate / AddCorrelation, CheckQuery's tau check)
+  /// rejects out-of-range and NaN values with a Status first, so the assert
+  /// guards against new unvalidated call sites, not hostile input. The
+  /// tolerance matches UncertainString's kSumTolerance so a probability
+  /// that passes Validate can never abort a debug build here.
   static LogProb FromLinear(double p) {
-    assert(p >= 0.0 && p <= 1.0 + 1e-12);
+    assert(p >= 0.0 && p <= 1.0 + 1e-6);
     if (p <= 0.0) return Zero();
     if (p >= 1.0) return One();
     return LogProb(std::log(p));

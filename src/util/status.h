@@ -3,19 +3,41 @@
 // The public API of pti never throws; fallible operations return a Status (or
 // a StatusOr<T> when they produce a value). Statuses are cheap to copy in the
 // OK case and carry a message otherwise.
+//
+// Both types are [[nodiscard]]: any function returning Status or StatusOr by
+// value inherits the annotation, so silently dropping a failure is a compile
+// error under -Werror (and flagged by scripts/pti_lint.py as a backstop). An
+// intentionally ignored status must be spelled explicitly, e.g.
+// `Status ignored = ...` with a comment, never bare `(void)`-free discard.
 
 #ifndef PTI_UTIL_STATUS_H_
 #define PTI_UTIL_STATUS_H_
 
-#include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <utility>
 
 namespace pti {
 
+namespace internal {
+
+/// Terminates the process on a Status contract violation (e.g. constructing a
+/// StatusOr from an OK status, or unwrapping a failed StatusOr). These are
+/// programming errors, not runtime conditions: they abort in every build mode
+/// rather than assert, so release builds cannot silently continue with a
+/// default-constructed value. Abort (not throw) keeps the never-throw contract.
+[[noreturn]] inline void StatusContractViolation(const char* msg) {
+  std::fprintf(stderr, "pti: Status contract violation: %s\n", msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+
 /// Outcome of a fallible pti operation. Inspect with ok() / code(); the
 /// message() is for humans and never part of the API contract.
-class Status {
+class [[nodiscard]] Status {
  public:
   /// Machine-readable category of a failure.
   enum class Code {
@@ -58,19 +80,25 @@ class Status {
     return Status(Code::kIOError, std::move(msg));
   }
 
-  bool ok() const { return code_ == Code::kOk; }
-  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
-  bool IsNotFound() const { return code_ == Code::kNotFound; }
-  bool IsCorruption() const { return code_ == Code::kCorruption; }
-  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
-  bool IsResourceExhausted() const { return code_ == Code::kResourceExhausted; }
-  bool IsIOError() const { return code_ == Code::kIOError; }
+  [[nodiscard]] bool ok() const { return code_ == Code::kOk; }
+  [[nodiscard]] bool IsInvalidArgument() const {
+    return code_ == Code::kInvalidArgument;
+  }
+  [[nodiscard]] bool IsNotFound() const { return code_ == Code::kNotFound; }
+  [[nodiscard]] bool IsCorruption() const { return code_ == Code::kCorruption; }
+  [[nodiscard]] bool IsNotSupported() const {
+    return code_ == Code::kNotSupported;
+  }
+  [[nodiscard]] bool IsResourceExhausted() const {
+    return code_ == Code::kResourceExhausted;
+  }
+  [[nodiscard]] bool IsIOError() const { return code_ == Code::kIOError; }
 
-  Code code() const { return code_; }
-  const std::string& message() const { return msg_; }
+  [[nodiscard]] Code code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return msg_; }
 
   /// "OK" or "<category>: <message>" for logs and test failure output.
-  std::string ToString() const {
+  [[nodiscard]] std::string ToString() const {
     switch (code_) {
       case Code::kOk:
         return "OK";
@@ -98,39 +126,52 @@ class Status {
 };
 
 /// Value-or-Status, for factory functions. Deliberately minimal: check ok()
-/// before dereferencing; value access on a failed StatusOr asserts.
+/// before dereferencing. Contract violations — constructing from an OK status
+/// (which would carry no value) or unwrapping a failed StatusOr — abort in
+/// every build mode; see internal::StatusContractViolation.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
-  /// Implicit from a failure Status (must not be OK).
+  /// Implicit from a failure Status (must not be OK: an OK status carries no
+  /// value, so accepting one would silently yield a default-constructed T).
   StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
-    assert(!status_.ok());
+    if (status_.ok()) {
+      internal::StatusContractViolation(
+          "StatusOr constructed from an OK Status (no value)");
+    }
   }
   /// Implicit from a value; Status is OK.
   StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
 
-  bool ok() const { return status_.ok(); }
-  const Status& status() const { return status_; }
+  [[nodiscard]] bool ok() const { return status_.ok(); }
+  [[nodiscard]] const Status& status() const { return status_; }
 
-  const T& value() const& {
-    assert(ok());
+  [[nodiscard]] const T& value() const& {
+    CheckHasValue();
     return value_;
   }
-  T& value() & {
-    assert(ok());
+  [[nodiscard]] T& value() & {
+    CheckHasValue();
     return value_;
   }
-  T&& value() && {
-    assert(ok());
+  [[nodiscard]] T&& value() && {
+    CheckHasValue();
     return std::move(value_);
   }
 
-  const T& operator*() const& { return value(); }
-  T& operator*() & { return value(); }
+  [[nodiscard]] const T& operator*() const& { return value(); }
+  [[nodiscard]] T& operator*() & { return value(); }
   const T* operator->() const { return &value(); }
   T* operator->() { return &value(); }
 
  private:
+  void CheckHasValue() const {
+    if (!ok()) {
+      internal::StatusContractViolation(
+          "StatusOr::value() called on a failed StatusOr");
+    }
+  }
+
   Status status_;
   T value_{};
 };
@@ -141,6 +182,26 @@ class StatusOr {
     ::pti::Status _pti_status = (expr);      \
     if (!_pti_status.ok()) return _pti_status; \
   } while (0)
+
+#define PTI_MACRO_CONCAT_INNER_(a, b) a##b
+#define PTI_MACRO_CONCAT_(a, b) PTI_MACRO_CONCAT_INNER_(a, b)
+
+/// Unwraps a StatusOr expression into `lhs`, or propagates its Status to the
+/// caller. `lhs` may be a new declaration or an existing lvalue:
+///
+///   PTI_ASSIGN_OR_RETURN(auto index, SubstringIndex::Build(s, mode));
+///   PTI_ASSIGN_OR_RETURN(impl.shards[k], LoadShard(blobs[k]));
+///
+/// Expands to more than one statement; use inside braces, not as the body of
+/// an unbraced if/else.
+#define PTI_ASSIGN_OR_RETURN(lhs, expr)                                     \
+  PTI_ASSIGN_OR_RETURN_IMPL_(PTI_MACRO_CONCAT_(_pti_statusor_, __LINE__), \
+                             lhs, expr)
+
+#define PTI_ASSIGN_OR_RETURN_IMPL_(var, lhs, expr) \
+  auto var = (expr);                               \
+  if (!var.ok()) return var.status();              \
+  lhs = std::move(var).value()
 
 }  // namespace pti
 

@@ -1,0 +1,61 @@
+// pti-lint fixture: a file exercising every construct the linter must NOT
+// flag — the sanctioned counterparts of each violation class, plus banned
+// tokens hidden in comments, strings and raw strings (the sanitizer must
+// strip them). tests/pti_lint_test.py asserts this tree is finding-free.
+//
+// Tokens that would be findings if comment stripping broke:
+// throw, rand(), time(nullptr), reinterpret_cast<int*>, mu.lock()
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+namespace pti {
+
+static const char* kHelp =
+    "does not throw; no rand() or mu.lock() happens in a string literal";
+static const char* kRaw = R"(raw strings may mention reinterpret_cast too)";
+
+Status DecodeCounts(Reader* r, std::map<uint32_t, uint64_t>* out) {
+  uint64_t n = 0;
+  PTI_RETURN_IF_ERROR(r->GetU64(&n));
+  static_assert(sizeof(n) == 8, "static_assert is always allowed");
+  for (uint64_t i = 0; i < n; ++i) {
+    uint32_t key = 0;
+    uint64_t count = 0;
+    PTI_RETURN_IF_ERROR(r->GetU32(&key));
+    PTI_RETURN_IF_ERROR(r->GetU64(&count));
+    (*out)[key] = count;
+  }
+  return Status::OK();
+}
+
+void SaveCounts(const std::map<uint32_t, uint64_t>& counts, Writer* w) {
+  // Ordered map: iteration order is the key order, deterministic.
+  w->PutU64(counts.size());
+  for (const auto& [key, count] : counts) {
+    w->PutU32(key);
+    w->PutU64(count);
+  }
+}
+
+static std::mutex mu;
+static uint64_t total;
+
+uint64_t AddTimed(uint64_t amount) {
+  // steady_clock is fine: timings are diagnostics, never serialized bytes.
+  const auto start = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> guard(mu);
+  total += amount;
+  (void)start;
+  return total;
+}
+
+Status DecodeLegacyTag(Reader* r, uint8_t* tag) {
+  // A justified suppression silences exactly its rule, nothing else.
+  // pti-lint: allow(no-assert-in-decode): checked by Open() before dispatch
+  assert(r != nullptr);
+  return r->GetU8(tag);
+}
+
+}  // namespace pti

@@ -1,0 +1,11 @@
+// pti-lint fixture: silently dropped Status results.
+
+namespace pti {
+
+void RoundTrip(const SubstringIndex& index, std::string* blob) {
+  index.Save(blob);  // BAD: discarded-status
+  SubstringIndex loaded;
+  loaded.Load(*blob);  // BAD: discarded-status
+}
+
+}  // namespace pti

@@ -1,0 +1,19 @@
+// pti-lint fixture: decode-path violations. Named serde.cc so it falls in
+// the linter's decode-path scope. Never compiled; consumed by
+// tests/pti_lint_test.py, which asserts the exact findings below.
+#include <cassert>
+#include <cstdint>
+
+namespace pti {
+
+Status DecodeHeader(Reader* r, Header* out) {
+  r->GetU32(&out->magic);  // BAD: discarded-status
+  assert(out->magic == 0x43495450);  // BAD: no-assert-in-decode
+  static_assert(sizeof(uint32_t) == 4, "ok: static_assert is allowed");
+  const char* p = r->cursor();
+  // BAD: no-raw-reinterpret-cast (must use Reader::GetSpan instead)
+  out->words = reinterpret_cast<const uint64_t*>(p);
+  return Status::OK();
+}
+
+}  // namespace pti

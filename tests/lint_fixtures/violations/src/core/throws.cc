@@ -1,0 +1,12 @@
+// pti-lint fixture: the never-throw contract.
+#include <stdexcept>
+
+namespace pti {
+
+void Explode(int k) {
+  if (k < 0) {
+    throw std::runtime_error("negative");  // BAD: no-throw
+  }
+}
+
+}  // namespace pti

@@ -1,0 +1,23 @@
+// pti-lint fixture: hash-ordered iteration feeding serialized bytes.
+#include <cstdint>
+#include <unordered_map>
+
+namespace pti {
+
+void SaveCounts(const std::unordered_map<int64_t, double>& unrelated) {
+  std::unordered_map<uint32_t, uint64_t> counts;
+  counts[1] = 2;
+  Writer w;
+  // BAD: unordered-iteration-in-serde — byte order depends on hash layout.
+  for (const auto& [key, count] : counts) {
+    w.PutU32(key);
+    w.PutU64(count);
+  }
+  // BAD: unordered-iteration-in-serde (iterator-loop form).
+  for (auto it = counts.begin(); it != counts.end(); ++it) {
+    w.PutU64(it->second);
+  }
+  (void)unrelated;
+}
+
+}  // namespace pti

@@ -1,0 +1,15 @@
+// pti-lint fixture: mutexes must be held via RAII guards.
+#include <mutex>
+
+namespace pti {
+
+static std::mutex mu;
+static int counter = 0;
+
+void Increment() {
+  mu.lock();  // BAD: no-naked-lock
+  ++counter;
+  mu.unlock();  // BAD: no-naked-lock
+}
+
+}  // namespace pti

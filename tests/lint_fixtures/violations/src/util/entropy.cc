@@ -1,0 +1,22 @@
+// pti-lint fixture: nondeterministic inputs on a build path.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace pti {
+
+uint64_t SeedFromEnvironment() {
+  std::random_device rd;  // BAD: no-nondeterminism
+  uint64_t seed = rd();
+  seed ^= static_cast<uint64_t>(time(nullptr));  // BAD: no-nondeterminism
+  seed ^= static_cast<uint64_t>(
+      std::chrono::system_clock::now()  // BAD: no-nondeterminism
+          .time_since_epoch()
+          .count());
+  // A mismatched allow() must not hide a different rule:
+  seed ^= static_cast<uint64_t>(rand());  // pti-lint: allow(no-throw)
+  return seed;
+}
+
+}  // namespace pti

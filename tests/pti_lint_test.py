@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Fixture suite for scripts/pti_lint.py.
+
+Runs the linter against the known-bad and known-good trees under
+tests/lint_fixtures/, asserting the exact findings (file, line, rule) — so a
+regression in any rule, in comment/string stripping, or in suppression
+handling fails here, not in a confusing CI run later. Also asserts the real
+src/ tree is finding-free (the zero-findings gate) and that freshly injected
+violations of each lint class are caught.
+
+Usage: pti_lint_test.py [repo_root]   (default: parent of this file's dir)
+Registered as the PtiLint ctest test by tests/CMakeLists.txt.
+"""
+
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import unittest
+
+REPO_ROOT = os.path.abspath(
+    sys.argv.pop(1) if len(sys.argv) > 1 and not sys.argv[1].startswith("-")
+    else os.path.join(os.path.dirname(os.path.abspath(__file__)), ".."))
+LINT = os.path.join(REPO_ROOT, "scripts", "pti_lint.py")
+FIXTURES = os.path.join(REPO_ROOT, "tests", "lint_fixtures")
+
+
+def run_lint(*args):
+    proc = subprocess.run(
+        [sys.executable, LINT] + list(args),
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+    return proc.returncode, proc.stdout, proc.stderr
+
+
+def parse_findings(stdout):
+    """-> set of (relpath, line, rule_id)."""
+    findings = set()
+    for line in stdout.splitlines():
+        if not line.strip():
+            continue
+        path, line_no, rest = line.split(":", 2)
+        rule = rest.strip().split("]", 1)[0].lstrip("[")
+        findings.add((path, int(line_no), rule))
+    return findings
+
+
+class ViolationsTreeTest(unittest.TestCase):
+    """Every violation class is caught, at the exact line, and nothing else."""
+
+    EXPECTED = {
+        ("src/core/serde.cc", 10, "discarded-status"),
+        ("src/core/serde.cc", 11, "no-assert-in-decode"),
+        ("src/core/serde.cc", 15, "no-raw-reinterpret-cast"),
+        ("src/core/throws.cc", 8, "no-throw"),
+        ("src/util/entropy.cc", 10, "no-nondeterminism"),
+        ("src/util/entropy.cc", 12, "no-nondeterminism"),
+        ("src/util/entropy.cc", 14, "no-nondeterminism"),
+        ("src/util/entropy.cc", 18, "no-nondeterminism"),
+        ("src/engine/naked_lock.cc", 10, "no-naked-lock"),
+        ("src/engine/naked_lock.cc", 12, "no-naked-lock"),
+        ("src/core/unordered_writer.cc", 12, "unordered-iteration-in-serde"),
+        ("src/core/unordered_writer.cc", 17, "unordered-iteration-in-serde"),
+        ("src/core/discarded.cc", 6, "discarded-status"),
+        ("src/core/discarded.cc", 8, "discarded-status"),
+    }
+
+    def test_exact_findings(self):
+        code, stdout, _ = run_lint(
+            "--root", os.path.join(FIXTURES, "violations"))
+        self.assertEqual(code, 1, "violations tree must fail the gate")
+        self.assertEqual(parse_findings(stdout), self.EXPECTED)
+
+
+class CleanTreeTest(unittest.TestCase):
+    """Sanctioned constructs, comment/string-hidden tokens and justified
+    suppressions produce zero findings and a clean exit."""
+
+    def test_clean_exit(self):
+        code, stdout, stderr = run_lint(
+            "--root", os.path.join(FIXTURES, "clean"))
+        self.assertEqual(code, 0, "clean tree flagged:\n%s%s" % (stdout, stderr))
+        self.assertEqual(stdout, "")
+
+
+class RealTreeTest(unittest.TestCase):
+    """The zero-findings gate on the actual repository."""
+
+    def test_src_is_clean(self):
+        code, stdout, stderr = run_lint("--root", REPO_ROOT)
+        self.assertEqual(code, 0, "src/ has findings:\n%s%s" % (stdout, stderr))
+
+
+class InjectionTest(unittest.TestCase):
+    """A fresh violation of each class, injected into a copy of a real
+    source file, is caught — the gate can't be satisfied vacuously."""
+
+    INJECTIONS = {
+        "no-throw": "void PtiInjected() { throw 42; }\n",
+        "no-nondeterminism":
+            "unsigned PtiInjected() { return rand(); }\n",
+        "no-raw-reinterpret-cast":
+            "const long* PtiInjected(const char* p) {\n"
+            "  return reinterpret_cast<const long*>(p);\n}\n",
+        "no-naked-lock":
+            "void PtiInjected(std::mutex* mu) { mu->lock(); }\n",
+        "discarded-status":
+            "void PtiInjected(pti::SubstringIndex* i, std::string* b) {\n"
+            "  i->Save(b);\n}\n",
+        "unordered-iteration-in-serde":
+            "void PtiInjected(std::unordered_map<int, int> m) {\n"
+            "  Writer w;\n"
+            "  for (const auto& [k, v] : m) w.PutU32(k);\n}\n",
+    }
+
+    def test_each_class_caught(self):
+        real = os.path.join(REPO_ROOT, "src", "core", "substring_index.cc")
+        for rule, snippet in self.INJECTIONS.items():
+            with self.subTest(rule=rule):
+                with tempfile.TemporaryDirectory() as tmp:
+                    dst_dir = os.path.join(tmp, "src", "core")
+                    os.makedirs(dst_dir)
+                    dst = os.path.join(dst_dir, "substring_index.cc")
+                    shutil.copy(real, dst)
+                    with open(dst, "a") as f:
+                        f.write("\n" + snippet)
+                    code, stdout, _ = run_lint("--root", tmp)
+                    self.assertEqual(code, 1,
+                                     "%s injection not caught" % rule)
+                    self.assertIn(rule, stdout)
+
+
+class CliTest(unittest.TestCase):
+    def test_list_rules(self):
+        code, stdout, _ = run_lint("--list-rules")
+        self.assertEqual(code, 0)
+        for rule in ["no-throw", "no-nondeterminism", "no-raw-reinterpret-cast",
+                     "no-naked-lock", "no-assert-in-decode", "discarded-status",
+                     "unordered-iteration-in-serde"]:
+            self.assertIn(rule, stdout)
+
+    def test_missing_path_is_usage_error(self):
+        code, _, stderr = run_lint("--root", REPO_ROOT, "no/such/dir")
+        self.assertNotEqual(code, 0)
+        self.assertIn("no such path", stderr)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <map>
 
 #include "core/uncertain_string.h"
@@ -57,6 +58,23 @@ TEST(UncertainStringTest, ValidateRejectsNegativeProb) {
   UncertainString s;
   s.AddPosition({{'a', 1.2}, {'b', -0.2}});
   EXPECT_TRUE(s.Validate().IsInvalidArgument());
+}
+
+TEST(UncertainStringTest, ValidateRejectsNonFiniteProb) {
+  // NaN compares false with everything, so the naive `< 0 || > 1` range
+  // check used to pass it through to LogProb::FromLinear, whose [0,1]
+  // domain is an internal precondition (debug assert, silent NaN poisoning
+  // of every occurrence probability in release). Pinned here so the
+  // negated-comparison form in Validate() doesn't regress.
+  UncertainString nan_s;
+  nan_s.AddPosition(
+      {{'a', std::numeric_limits<double>::quiet_NaN()}, {'b', 0.5}});
+  EXPECT_TRUE(nan_s.Validate().IsInvalidArgument());
+
+  UncertainString inf_s;
+  inf_s.AddPosition(
+      {{'a', std::numeric_limits<double>::infinity()}, {'b', 0.5}});
+  EXPECT_TRUE(inf_s.Validate().IsInvalidArgument());
 }
 
 TEST(UncertainStringTest, ValidateRejectsDuplicateChar) {
@@ -236,6 +254,9 @@ TEST(CorrelationTest, AddCorrelationValidation) {
   bad.dep_pos = 1;
   bad.dep_ch = 'c';
   bad.prob_if_present = 1.5;
+  EXPECT_TRUE(s.AddCorrelation(bad).IsInvalidArgument());
+  // NaN probabilities (all comparisons false) must be rejected too.
+  bad.prob_if_present = std::numeric_limits<double>::quiet_NaN();
   EXPECT_TRUE(s.AddCorrelation(bad).IsInvalidArgument());
 }
 

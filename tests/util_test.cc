@@ -61,6 +61,46 @@ TEST(StatusOrTest, MoveOnlyValue) {
   EXPECT_EQ(*taken, 7);
 }
 
+TEST(StatusOrTest, AssignOrReturnMacroUnwrapsAndPropagates) {
+  auto make = [](bool ok) -> StatusOr<int> {
+    if (ok) return 5;
+    return Status::NotFound("missing");
+  };
+  auto use = [&](bool ok) -> Status {
+    PTI_ASSIGN_OR_RETURN(const int v, make(ok));
+    return v == 5 ? Status::OK() : Status::Corruption("wrong value");
+  };
+  EXPECT_TRUE(use(true).ok());
+  EXPECT_TRUE(use(false).IsNotFound());
+}
+
+TEST(StatusOrTest, AssignOrReturnAssignsExistingLvalue) {
+  auto outer = [&]() -> Status {
+    int v = 0;
+    PTI_ASSIGN_OR_RETURN(v, StatusOr<int>(9));
+    return v == 9 ? Status::OK() : Status::Corruption("wrong value");
+  };
+  EXPECT_TRUE(outer().ok());
+}
+
+// The StatusOr contract holes are hard process aborts in every build mode —
+// not assert()s, which release builds compile out, silently yielding a
+// default-constructed value. Pinned with death tests so a revert back to
+// assert() (which would pass in Debug but regress Release) fails loudly here.
+TEST(StatusOrDeathTest, ConstructingFromOkStatusAborts) {
+  EXPECT_DEATH(
+      {
+        StatusOr<int> v(Status::OK());
+        (void)v;
+      },
+      "StatusOr constructed from an OK Status");
+}
+
+TEST(StatusOrDeathTest, ValueOnFailedStatusOrAborts) {
+  StatusOr<int> v = Status::InvalidArgument("nope");
+  EXPECT_DEATH((void)v.value(), "value\\(\\) called on a failed StatusOr");
+}
+
 // ---- LogProb ----
 
 TEST(LogProbTest, RoundTrip) {
