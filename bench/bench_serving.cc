@@ -114,7 +114,7 @@ double EngineMs(const UncertainString& s,
     for (size_t c = 0; c < clients; ++c) {
       threads.emplace_back([&, c] {
         for (size_t i = c; i < queries.size(); i += clients) {
-          futures[i] = engine.Submit(queries[i].pattern, queries[i].tau);
+          futures[i] = engine.Submit({queries[i].pattern, queries[i].tau});
         }
       });
     }
@@ -199,7 +199,7 @@ void PanelB(bool full) {
       threads.emplace_back([&, c] {
         for (size_t i = c; i < queries.size(); i += kClients) {
           const auto start = std::chrono::steady_clock::now();
-          (void)engine.Submit(queries[i].pattern, queries[i].tau).get();
+          (void)engine.Submit({queries[i].pattern, queries[i].tau}).get();
           lat[i] = std::chrono::duration<double, std::micro>(
                        std::chrono::steady_clock::now() - start)
                        .count();
@@ -240,7 +240,7 @@ void PanelC(bool full) {
       std::vector<std::future<ServingEngine::Result>> futures(queries.size());
       engine_ms = std::min(engine_ms, bench::TimeMs([&] {
         for (size_t i = 0; i < queries.size(); ++i) {
-          futures[i] = engine.Submit(queries[i].pattern, queries[i].tau);
+          futures[i] = engine.Submit({queries[i].pattern, queries[i].tau});
         }
         for (auto& f : futures) (void)f.get();
       }));

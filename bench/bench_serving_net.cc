@@ -1,0 +1,320 @@
+// Network serving benchmarks (not a paper figure): what the TCP front end
+// (net/server.h) costs over calling the ServingEngine in-process, and how
+// bounded admission behaves when the offered load exceeds capacity.
+//
+//   (a) closed-loop loopback overhead: each client holds one request in
+//       flight (submit, wait, repeat) against the same cold engine, once
+//       in-process and once through a loopback NetServer + NetClient. The
+//       gap is the framing + syscall + thread-handoff tax per request.
+//   (b) open-loop admission: capacity is measured first with a closed loop,
+//       then a paced sender offers 1.0x and 2.0x that rate through one
+//       pipelined connection while a receiver drains responses. Past
+//       capacity the bounded lane sheds with Unavailable instead of
+//       queueing without bound: "shed pct" rises, completed-request p99
+//       stays bounded by the lane depth, and "goodput r" (completed/sec
+//       relative to the 1.0x run) holds — the overload acceptance gate.
+//
+// All columns are timing-shaped (us, percentages, ratios), never absolute
+// throughput, so scripts/check_bench.py compares them machine-relatively.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "datagen/datagen.h"
+#include "engine/serving_engine.h"
+#include "engine/sharded_index.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/server.h"
+
+namespace pti {
+namespace {
+
+constexpr double kTheta = 0.2;
+constexpr double kTauMin = 0.1;
+constexpr double kTau = 0.1;
+constexpr size_t kRequests = 2048;
+constexpr int32_t kWorkers = 2;
+
+using Clock = std::chrono::steady_clock;
+
+UncertainString MakeInput(int64_t n) {
+  DatasetOptions data;
+  data.length = n;
+  data.theta = kTheta;
+  data.seed = 73;
+  return GenerateUncertainString(data);
+}
+
+ShardedIndex BuildSharded(const UncertainString& s) {
+  ShardedIndexOptions options;
+  options.index.transform.tau_min = kTauMin;
+  options.num_shards = 4;
+  options.overlap = 32;
+  options.num_threads = kWorkers;
+  auto index = ShardedIndex::Build(s, options);
+  if (!index.ok()) {
+    std::fprintf(stderr, "sharded build failed: %s\n",
+                 index.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(index).value();
+}
+
+// `total` requests from a pool of `distinct` mixed-length patterns (2..8),
+// strided so repeats are spread out (same shape as bench_serving).
+std::vector<Request> Workload(const UncertainString& s, size_t total,
+                              size_t distinct, uint64_t seed) {
+  std::vector<std::string> pool;
+  pool.reserve(distinct);
+  const size_t per_length = (distinct + 6) / 7;
+  for (size_t len = 2; len <= 8 && pool.size() < distinct; ++len) {
+    const auto sampled = SamplePatterns(s, per_length, len, seed + len);
+    for (const auto& p : sampled) {
+      if (pool.size() == distinct) break;
+      pool.push_back(p);
+    }
+  }
+  std::vector<Request> requests;
+  requests.reserve(total);
+  for (size_t i = 0; i < total; ++i) {
+    requests.push_back({pool[(i * 13 + 7) % pool.size()], kTau});
+  }
+  return requests;
+}
+
+ServingOptions EngineOptions() {
+  ServingOptions options;
+  options.max_batch = 64;
+  options.linger_us = 200;
+  options.num_workers = kWorkers;
+  options.cache_bytes = size_t{16} << 20;
+  return options;
+}
+
+double Percentile(std::vector<double>* sorted, double p) {
+  std::sort(sorted->begin(), sorted->end());
+  const size_t idx =
+      static_cast<size_t>(p * static_cast<double>(sorted->size() - 1));
+  return (*sorted)[idx];
+}
+
+// ---- Panel (a): closed-loop loopback overhead ----
+
+// Per-request latencies for `clients` closed-loop submitters against a
+// fresh in-process engine.
+std::vector<double> InProcLatencies(const UncertainString& s,
+                                    const std::vector<Request>& requests,
+                                    size_t clients) {
+  ServingEngine engine(BuildSharded(s), EngineOptions());
+  std::vector<double> lat(requests.size());
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (size_t i = c; i < requests.size(); i += clients) {
+        const auto start = Clock::now();
+        (void)engine.Submit(requests[i]).get();
+        lat[i] =
+            std::chrono::duration<double, std::micro>(Clock::now() - start)
+                .count();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  return lat;
+}
+
+// Same closed loop through a loopback NetServer, one connection per client.
+std::vector<double> NetLatencies(const UncertainString& s,
+                                 const std::vector<Request>& requests,
+                                 size_t clients) {
+  ServingEngine engine(BuildSharded(s), EngineOptions());
+  net::NetServer server(&engine);
+  if (!server.Start().ok()) {
+    std::fprintf(stderr, "listen failed\n");
+    std::exit(1);
+  }
+  std::vector<double> lat(requests.size());
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      net::NetClient client;
+      if (!client.Connect("127.0.0.1", server.port()).ok()) {
+        std::fprintf(stderr, "connect failed\n");
+        std::exit(1);
+      }
+      std::vector<Match> matches;
+      for (size_t i = c; i < requests.size(); i += clients) {
+        const auto start = Clock::now();
+        (void)client.Query(requests[i], &matches);
+        lat[i] =
+            std::chrono::duration<double, std::micro>(Clock::now() - start)
+                .count();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  server.Stop();
+  engine.Stop();
+  return lat;
+}
+
+void PanelA(bool full) {
+  const int64_t n = full ? 200000 : 30000;
+  const UncertainString s = MakeInput(n);
+  const auto requests = Workload(s, kRequests, kRequests / 8, 8000);
+
+  bench::Table table("clients");
+  table.SetColumns({"inproc p50", "net p50", "net p99"});
+  for (const size_t clients : {size_t{1}, size_t{4}, size_t{8}}) {
+    auto inproc = InProcLatencies(s, requests, clients);
+    auto net = NetLatencies(s, requests, clients);
+    table.AddRow("c=" + std::to_string(clients),
+                 {Percentile(&inproc, 0.5), Percentile(&net, 0.5),
+                  Percentile(&net, 0.99)});
+  }
+  table.Print("Serving/net (a): closed-loop request latency, in-process vs "
+              "loopback TCP (2048 requests)",
+              "us/request");
+}
+
+// ---- Panel (b): open-loop admission under offered overload ----
+
+struct OpenLoopResult {
+  size_t ok = 0;
+  size_t shed = 0;
+  size_t other = 0;
+  double ok_p99_us = 0.0;
+  double goodput_per_s = 0.0;  // completed requests / wall seconds
+};
+
+// Offers `requests` at a fixed arrival rate through one pipelined
+// connection; a receiver thread drains responses (FIFO, ids echo send
+// order) and times each completed request from its actual send instant.
+OpenLoopResult OpenLoopRun(const net::NetServer& server,
+                           const std::vector<Request>& requests,
+                           double rate_per_s) {
+  net::NetClient client;
+  if (!client.Connect("127.0.0.1", server.port()).ok()) {
+    std::fprintf(stderr, "connect failed\n");
+    std::exit(1);
+  }
+  const auto interval = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(1.0 / rate_per_s));
+  std::vector<Clock::time_point> sent(requests.size());
+
+  OpenLoopResult result;
+  std::vector<double> ok_lat;
+  ok_lat.reserve(requests.size());
+  const auto t0 = Clock::now();
+  std::thread receiver([&] {
+    for (size_t i = 0; i < requests.size(); ++i) {
+      net::Frame frame;
+      if (!client.Receive(&frame).ok()) {
+        result.other += requests.size() - i;
+        return;
+      }
+      const auto now = Clock::now();
+      if (frame.code == Status::Code::kOk) {
+        ++result.ok;
+        ok_lat.push_back(
+            std::chrono::duration<double, std::micro>(now - sent[i]).count());
+      } else if (frame.code == Status::Code::kUnavailable) {
+        ++result.shed;  // load shed: the admission contract, not a failure
+      } else {
+        ++result.other;
+      }
+    }
+  });
+  for (size_t i = 0; i < requests.size(); ++i) {
+    std::this_thread::sleep_until(t0 + interval * static_cast<int64_t>(i));
+    sent[i] = Clock::now();
+    uint64_t id = 0;
+    if (!client.SendQuery(requests[i], &id).ok()) break;
+  }
+  receiver.join();
+  const double elapsed_s =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  result.goodput_per_s = static_cast<double>(result.ok) / elapsed_s;
+  if (!ok_lat.empty()) result.ok_p99_us = Percentile(&ok_lat, 0.99);
+  client.Close();
+  return result;
+}
+
+void PanelB(bool full) {
+  const int64_t n = full ? 200000 : 30000;
+  const UncertainString s = MakeInput(n);
+  // Cold-cache admission: every accepted request costs real index work, so
+  // "capacity" means worker throughput, not cache-hit rate.
+  const auto requests = Workload(s, kRequests, kRequests, 9000);
+  ServingOptions options = EngineOptions();
+  options.cache_bytes = 0;
+  options.linger_us = 100;
+  options.max_pending = 256;  // bounds both queueing delay and memory
+
+  ServingEngine engine(BuildSharded(s), options);
+  net::NetServer server(&engine);
+  if (!server.Start().ok()) {
+    std::fprintf(stderr, "listen failed\n");
+    std::exit(1);
+  }
+
+  // Sustainable rate: flood the connection with no pacing. Requests beyond
+  // the lane shed instantly, so the completed-per-second rate of the flood
+  // is the workers' true drain throughput — a closed-loop probe would be
+  // latency-bound and underestimate it badly.
+  const double capacity_per_s =
+      OpenLoopRun(server, requests, 1e7).goodput_per_s;
+
+  bench::Table table("offered");
+  table.SetColumns({"shed pct", "ok p99", "goodput r"});
+  double goodput_1x = 0.0;
+  for (const double mult : {1.0, 2.0}) {
+    const OpenLoopResult r =
+        OpenLoopRun(server, requests, capacity_per_s * mult);
+    if (mult == 1.0) goodput_1x = r.goodput_per_s;
+    const double total = static_cast<double>(r.ok + r.shed + r.other);
+    table.AddRow("rate=" + std::string(mult == 1.0 ? "1.0" : "2.0"),
+                 {100.0 * static_cast<double>(r.shed) / total, r.ok_p99_us,
+                  goodput_1x > 0.0 ? r.goodput_per_s / goodput_1x : 0.0});
+    if (r.other != 0) {
+      std::fprintf(stderr, "warning: %zu request(s) neither completed nor "
+                   "shed at %.1fx\n", r.other, mult);
+    }
+  }
+  server.Stop();
+  engine.Stop();
+  // The lane must drain to empty once arrivals stop: shedding bounded the
+  // queue instead of letting it grow with the overload.
+  const auto stats = engine.stats();
+  if (stats.queue_depth != 0) {
+    std::fprintf(stderr, "warning: queue_depth %llu after drain\n",
+                 static_cast<unsigned long long>(stats.queue_depth));
+  }
+  table.Print("Serving/net (b): open-loop admission at 1x and 2x measured "
+              "capacity (2048 requests, bounded lane 256)",
+              "shed pct; p99 us; goodput ratio vs the 1.0 run");
+}
+
+}  // namespace
+
+void RunServingNet(const bench::Args& args) {
+  std::printf("=== bench_serving_net (%s scale) ===\n",
+              args.full ? "paper" : "default");
+  if (bench::RunPanel(args, "a")) PanelA(args.full);
+  if (bench::RunPanel(args, "b")) PanelB(args.full);
+}
+
+}  // namespace pti
+
+int main(int argc, char** argv) {
+  pti::RunServingNet(pti::bench::ParseArgs(argc, argv));
+  return 0;
+}

@@ -31,6 +31,16 @@
 //                                                A "!reload <index.pti>" line
 //                                                in the workload hot-swaps the
 //                                                served index between segments
+//   pti_cli serve <index.pti> --listen=<port> [--batch-max=N] [--linger-us=N]
+//                 [--cache-mb=N] [--threads=T] [--max-pending=N] [--mmap]
+//                                                serve over TCP instead of a
+//                                                local workload: binds
+//                                                127.0.0.1:<port> (0 picks an
+//                                                ephemeral port), prints the
+//                                                bound port on stdout, serves
+//                                                pti_client traffic until
+//                                                stdin closes, then drains and
+//                                                prints stats to stderr
 //   pti_cli topk  <index.pti> <pattern> <tau> <k> [--mmap]
 //                                                k best occurrences (substring)
 //   pti_cli stat  <index.pti> [--mmap]           index statistics (any kind)
@@ -74,6 +84,7 @@
 #include "datagen/datagen.h"
 #include "engine/serving_engine.h"
 #include "engine/sharded_index.h"
+#include "net/server.h"
 
 namespace {
 
@@ -101,6 +112,9 @@ int Usage() {
                "  pti_cli serve <index.pti> <patterns.txt|-> <tau> [--clients=N]\n"
                "                [--batch-max=N] [--linger-us=N] [--cache-mb=N]\n"
                "                [--threads=T] [--mmap]\n"
+               "  pti_cli serve <index.pti> --listen=<port> [--batch-max=N]\n"
+               "                [--linger-us=N] [--cache-mb=N] [--threads=T]\n"
+               "                [--max-pending=N] [--mmap]\n"
                "  pti_cli topk  <index.pti> <pattern> <tau> <k> [--mmap]\n"
                "  pti_cli stat  <index.pti> [--mmap]\n"
                "  pti_cli gen   <n> <theta> <seed> <out.pus>\n");
@@ -143,6 +157,11 @@ struct Flags {
   int64_t batch_max = 64;
   int64_t linger_us = 200;
   int64_t cache_mb = 16;
+  // serve --listen: TCP port (0 = ephemeral); set iff the flag was given.
+  int64_t listen = 0;
+  bool listen_set = false;
+  // bound per admission lane before load shedding; see ServingOptions.
+  int64_t max_pending = 65536;
   // fuzzy defaults; see core/fuzzy.h.
   int64_t k = 1;
   std::string mode = "mismatch";
@@ -167,6 +186,8 @@ constexpr unsigned kFlagMode = 1u << 9;
 constexpr unsigned kFlagFormat = 1u << 10;
 constexpr unsigned kFlagMmap = 1u << 11;
 constexpr unsigned kFlagTimings = 1u << 12;
+constexpr unsigned kFlagListen = 1u << 13;
+constexpr unsigned kFlagMaxPending = 1u << 14;
 
 bool SplitArgs(int argc, char** argv, unsigned allowed,
                std::vector<const char*>* positional, Flags* flags,
@@ -250,6 +271,14 @@ bool SplitArgs(int argc, char** argv, unsigned allowed,
       target = &flags->k;
       value = arg + 4;
       flag = kFlagK;
+    } else if (std::strncmp(arg, "--listen=", 9) == 0) {
+      target = &flags->listen;
+      value = arg + 9;
+      flag = kFlagListen;
+    } else if (std::strncmp(arg, "--max-pending=", 14) == 0) {
+      target = &flags->max_pending;
+      value = arg + 14;
+      flag = kFlagMaxPending;
     } else if (std::strncmp(arg, "--format=", 9) == 0) {
       target = &flags->format;
       value = arg + 9;
@@ -270,6 +299,7 @@ bool SplitArgs(int argc, char** argv, unsigned allowed,
       return false;
     }
     if (flag == kFlagThreads) flags->threads_set = true;
+    if (flag == kFlagListen) flags->listen_set = true;
     if (flag == kFlagFormat &&
         (flags->format < pti::serde::kInterchangeVersion ||
          flags->format > pti::serde::kContainerVersion)) {
@@ -813,53 +843,108 @@ int CmdBatch(int argc, char** argv) {
   return PrintBatchResults(queries, results);
 }
 
+// Serve over TCP (--listen): bind loopback, print the bound port on stdout
+// (the readiness handshake scripts and tests wait for), serve pti_client
+// traffic until stdin closes, then stop the listener, drain the engine, and
+// print both layers' stats to stderr.
+int RunServeListener(pti::ServingEngine* engine, int32_t port) {
+  pti::net::NetServerOptions net_options;
+  net_options.port = port;
+  pti::net::NetServer server(engine, net_options);
+  const pti::Status started = server.Start();
+  if (!started.ok()) return Fail(started.ToString());
+  std::printf("%d\n", server.port());
+  std::fflush(stdout);
+  std::fprintf(stderr, "serving on 127.0.0.1:%d (close stdin to stop)\n",
+               server.port());
+  // Block until the parent closes stdin — the conventional way a harness
+  // or operator shell scopes the server's lifetime.
+  std::string line;
+  while (std::getline(std::cin, line)) {
+  }
+  server.Stop();
+  engine->Stop();
+  const auto net = server.stats();
+  const auto stats = engine->stats();
+  std::fprintf(
+      stderr,
+      "net: %llu conn(s) (%llu rejected), %llu frames in, %llu out, "
+      "%llu protocol error(s), %llu quer%s, %llu reload(s)\n"
+      "serving: %llu submitted, %llu completed, %llu shed, %llu batches, "
+      "%llu cache hits, %llu merges, generation %llu\n",
+      static_cast<unsigned long long>(net.connections_accepted),
+      static_cast<unsigned long long>(net.connections_rejected),
+      static_cast<unsigned long long>(net.frames_received),
+      static_cast<unsigned long long>(net.frames_sent),
+      static_cast<unsigned long long>(net.protocol_errors),
+      static_cast<unsigned long long>(net.queries),
+      net.queries == 1 ? "y" : "ies",
+      static_cast<unsigned long long>(net.reloads),
+      static_cast<unsigned long long>(stats.submitted),
+      static_cast<unsigned long long>(stats.completed),
+      static_cast<unsigned long long>(stats.shed),
+      static_cast<unsigned long long>(stats.batches),
+      static_cast<unsigned long long>(stats.cache_hits),
+      static_cast<unsigned long long>(stats.inflight_merges),
+      static_cast<unsigned long long>(stats.generation));
+  return 0;
+}
+
 // Serving front end: N client threads submit the workload concurrently to a
 // ServingEngine; the engine coalesces them into micro-batches and serves
 // repeats from its (pattern, tau) cache. Results print in input order, in
 // the same format as `batch`; requests that fail individually are reported
-// on stderr without suppressing their batch-mates' output.
+// on stderr without suppressing their batch-mates' output. With --listen
+// the workload instead arrives over TCP (RunServeListener above).
 int CmdServe(int argc, char** argv) {
   std::vector<const char*> pos;
   Flags flags;
   std::string bad;
   if (!SplitArgs(argc, argv,
                  kFlagClients | kFlagBatchMax | kFlagLingerUs | kFlagCacheMb |
-                     kFlagThreads | kFlagMmap,
+                     kFlagThreads | kFlagMmap | kFlagListen | kFlagMaxPending,
                  &pos, &flags, &bad)) {
     return UsageError(bad);
   }
-  if (pos.size() != 3) return Usage();
+  const bool listen_mode = flags.listen_set;
+  if (pos.size() != (listen_mode ? size_t{1} : size_t{3})) return Usage();
   if (flags.clients < 1 || flags.clients > 256) {
     return UsageError("bad value in --clients (want 1..256)");
   }
+  if (flags.listen > 65535) {
+    return UsageError("bad value in --listen (want 0..65535)");
+  }
   double tau = 0.0;
-  if (!ParseDouble(pos[2], &tau)) {
+  if (!listen_mode && !ParseDouble(pos[2], &tau)) {
     return UsageError(std::string("bad tau '") + pos[2] + "'");
   }
   pti::serde::BlobPtr blob;
   auto kind = OpenIndexBlob(pos[0], flags.mmap, &blob);
   if (!kind.ok()) return Fail(kind.status().ToString());
 
-  std::string patterns_text;
-  if (std::strcmp(pos[1], "-") == 0) {
-    std::ostringstream buf;
-    buf << std::cin.rdbuf();
-    patterns_text = buf.str();
-  } else {
-    const pti::Status read = ReadFile(pos[1], &patterns_text);
-    if (!read.ok()) return Fail(read.ToString());
-  }
   std::vector<pti::BatchQuery> queries;
   std::vector<ServeDirective> directives;
-  const pti::Status parsed =
-      ParseServeScript(patterns_text, tau, &queries, &directives);
-  if (!parsed.ok()) return Fail(parsed.ToString());
+  if (!listen_mode) {
+    std::string patterns_text;
+    if (std::strcmp(pos[1], "-") == 0) {
+      std::ostringstream buf;
+      buf << std::cin.rdbuf();
+      patterns_text = buf.str();
+    } else {
+      const pti::Status read = ReadFile(pos[1], &patterns_text);
+      if (!read.ok()) return Fail(read.ToString());
+    }
+    const pti::Status parsed =
+        ParseServeScript(patterns_text, tau, &queries, &directives);
+    if (!parsed.ok()) return Fail(parsed.ToString());
+  }
 
   pti::ServingOptions options;
   options.max_batch = static_cast<int32_t>(flags.batch_max);
   options.linger_us = flags.linger_us;
   options.num_workers = static_cast<int32_t>(flags.threads);
   options.cache_bytes = static_cast<size_t>(flags.cache_mb) << 20;
+  options.max_pending = static_cast<int32_t>(flags.max_pending);
 
   std::unique_ptr<pti::ServingEngine> engine;
   switch (*kind) {
@@ -883,6 +968,10 @@ int CmdServe(int argc, char** argv) {
                   std::string(pti::serde::KindName(*kind)) + " index");
   }
 
+  if (listen_mode) {
+    return RunServeListener(engine.get(), static_cast<int32_t>(flags.listen));
+  }
+
   const size_t clients =
       std::min<size_t>(static_cast<size_t>(flags.clients),
                        queries.empty() ? 1 : queries.size());
@@ -897,7 +986,7 @@ int CmdServe(int argc, char** argv) {
       client_threads.emplace_back([c, n, begin, end, &queries, &futures,
                                    &engine] {
         for (size_t i = begin + c; i < end; i += n) {
-          futures[i] = engine->Submit(queries[i].pattern, queries[i].tau);
+          futures[i] = engine->Submit({queries[i].pattern, queries[i].tau});
         }
       });
     }

@@ -1,0 +1,235 @@
+// pti_client: command-line client for a `pti_cli serve --listen` server.
+//
+//   pti_client <host> <port> <patterns.txt|-> <tau> [--stats]
+//
+// The workload file uses the serve-script format: one pattern per line with
+// an optional per-line tau, '#' comments, and directives —
+//   !reload <index.pti>   hot-swap the served index (server-side path)
+// Queries are answered in order; matches print to stdout as
+// "<query#>\t<position>\t<probability>" (the pti_cli batch/serve format),
+// so a local `pti_cli serve` run and a networked serve round-trip are
+// diff-able. --stats fetches the engine counter snapshot after the
+// workload and prints it to stderr.
+//
+// Exit codes mirror pti_cli: 0 success, 1 operational failure (connection
+// refused, query failed, reload failed), 2 usage error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/request.h"
+#include "net/client.h"
+#include "net/protocol.h"
+
+namespace {
+
+int Fail(const std::string& what) {
+  std::fprintf(stderr, "error: %s\n", what.c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  pti_client <host> <port> <patterns.txt|-> <tau> "
+               "[--stats]\n");
+  return 2;
+}
+
+bool ParseDouble(const char* s, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(s, &end);
+  return end != s && *end == '\0';
+}
+
+// One workload step: a query or a !reload directive.
+struct Step {
+  bool is_reload = false;
+  std::string reload_path;
+  pti::Request request;
+};
+
+pti::Status ParseWorkload(const std::string& text, double default_tau,
+                          std::vector<Step>* out) {
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ' ||
+                             line.back() == '\t')) {
+      line.pop_back();
+    }
+    const size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos) continue;
+    line.erase(0, first);
+    if (line[0] == '#') continue;
+    if (line[0] == '!') {
+      if (line.rfind("!reload", 0) == 0) {
+        const size_t value = line.find_first_not_of(" \t", 7);
+        if ((line.size() > 7 && line[7] != ' ' && line[7] != '\t') ||
+            value == std::string::npos) {
+          return pti::Status::InvalidArgument(
+              "bad directive on line " + std::to_string(lineno) +
+              " (want !reload <index.pti>)");
+        }
+        Step step;
+        step.is_reload = true;
+        step.reload_path = line.substr(value);
+        out->push_back(std::move(step));
+        continue;
+      }
+      return pti::Status::InvalidArgument(
+          "unknown directive on line " + std::to_string(lineno) +
+          " (want !reload <index.pti>)");
+    }
+    Step step;
+    step.request.tau = default_tau;
+    const size_t space = line.find_first_of(" \t");
+    if (space == std::string::npos) {
+      step.request.pattern = line;
+    } else {
+      step.request.pattern = line.substr(0, space);
+      const size_t value = line.find_first_not_of(" \t", space);
+      if (value != std::string::npos &&
+          !ParseDouble(line.c_str() + value, &step.request.tau)) {
+        return pti::Status::InvalidArgument("bad tau on line " +
+                                            std::to_string(lineno));
+      }
+    }
+    out->push_back(std::move(step));
+  }
+  return pti::Status::OK();
+}
+
+pti::Status ReadFileOrStdin(const char* path, std::string* out) {
+  if (std::strcmp(path, "-") == 0) {
+    std::ostringstream buf;
+    buf << std::cin.rdbuf();
+    *out = buf.str();
+    return pti::Status::OK();
+  }
+  errno = 0;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return pti::Status::IOError(std::string("cannot read ") + path + ": " +
+                                std::strerror(errno));
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) {
+    return pti::Status::IOError(std::string("cannot read ") + path);
+  }
+  *out = buf.str();
+  return pti::Status::OK();
+}
+
+// The counter names, in net::FlattenStats order.
+constexpr const char* kStatNames[pti::net::kStatsFields] = {
+    "submitted",         "completed",           "shed",
+    "rejected",          "cache_hits",          "cache_misses",
+    "inflight_merges",   "batches",             "batched_queries",
+    "fallback_queries",  "queue_depth",         "interactive_submitted",
+    "interactive_completed", "interactive_shed", "batch_submitted",
+    "batch_completed",   "batch_shed",          "cache_entries",
+    "cache_bytes",       "cache_evictions",     "reloads",
+    "generation"};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<const char*> pos;
+  bool want_stats = false;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--stats") == 0) {
+      want_stats = true;
+    } else if (std::strncmp(argv[a], "--", 2) == 0) {
+      std::fprintf(stderr, "error: unknown flag %s\n", argv[a]);
+      return Usage();
+    } else {
+      pos.push_back(argv[a]);
+    }
+  }
+  if (pos.size() != 4) return Usage();
+  char* end = nullptr;
+  const long port = std::strtol(pos[1], &end, 10);
+  if (end == pos[1] || *end != '\0' || port < 1 || port > 65535) {
+    std::fprintf(stderr, "error: bad port '%s'\n", pos[1]);
+    return Usage();
+  }
+  double tau = 0.0;
+  if (!ParseDouble(pos[3], &tau)) {
+    std::fprintf(stderr, "error: bad tau '%s'\n", pos[3]);
+    return Usage();
+  }
+
+  std::string text;
+  pti::Status st = ReadFileOrStdin(pos[2], &text);
+  if (!st.ok()) return Fail(st.ToString());
+  std::vector<Step> steps;
+  st = ParseWorkload(text, tau, &steps);
+  if (!st.ok()) return Fail(st.ToString());
+
+  pti::net::NetClient client;
+  st = client.Connect(pos[0], static_cast<int32_t>(port));
+  if (!st.ok()) return Fail(st.ToString());
+
+  size_t query_index = 0;
+  size_t total = 0;
+  size_t failed = 0;
+  std::string first_error;
+  for (const auto& step : steps) {
+    if (step.is_reload) {
+      const pti::Status reloaded = client.Reload(step.reload_path, true);
+      if (!reloaded.ok()) {
+        return Fail("reload " + step.reload_path + " failed: " +
+                    reloaded.ToString());
+      }
+      std::fprintf(stderr, "reloaded %s\n", step.reload_path.c_str());
+      continue;
+    }
+    std::vector<pti::Match> matches;
+    const pti::Status answered = client.Query(step.request, &matches);
+    if (!client.connected()) {
+      // Transport-level failure: nothing more can be answered.
+      return Fail("connection lost: " + answered.ToString());
+    }
+    if (!answered.ok()) {
+      if (failed == 0) first_error = answered.ToString();
+      ++failed;
+    } else {
+      for (const auto& m : matches) {
+        std::printf("%zu\t%lld\t%.6f\n", query_index,
+                    static_cast<long long>(m.position), m.probability);
+      }
+      total += matches.size();
+    }
+    ++query_index;
+  }
+  std::fprintf(stderr, "%zu quer%s, %zu match(es)\n", query_index,
+               query_index == 1 ? "y" : "ies", total);
+
+  if (want_stats) {
+    std::vector<uint64_t> counters;
+    st = client.QueryStats(&counters);
+    if (!st.ok()) return Fail("stats: " + st.ToString());
+    for (size_t i = 0; i < pti::net::kStatsFields && i < counters.size();
+         ++i) {
+      std::fprintf(stderr, "stat %-22s %llu\n", kStatNames[i],
+                   static_cast<unsigned long long>(counters[i]));
+    }
+  }
+  client.Close();
+  if (failed > 0) {
+    return Fail(std::to_string(failed) + " quer" +
+                (failed == 1 ? "y" : "ies") + " failed; first: " +
+                first_error);
+  }
+  return 0;
+}

@@ -54,6 +54,7 @@ TABLE_BENCHES = [
     "bench_fuzzy",
     "bench_load",
     "bench_serving",
+    "bench_serving_net",
     "bench_sharding",
 ]
 # Captured for reference in --update mode, never compared (google-benchmark

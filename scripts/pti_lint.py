@@ -51,6 +51,8 @@ DECODE_PATHS = [
     "src/core/usformat.cc",
     "src/core/usformat.h",
     "src/core/uncertain_string.cc",
+    "src/net/protocol.cc",
+    "src/net/protocol.h",
     "src/util/serial.h",
 ]
 

@@ -1,0 +1,125 @@
+#include "net/client.h"
+
+#include <utility>
+
+#include "net/socket.h"
+
+namespace pti {
+namespace net {
+
+NetClient::~NetClient() { Close(); }
+
+Status NetClient::Connect(const std::string& host, int32_t port) {
+  if (fd_ >= 0) return Status::InvalidArgument("client already connected");
+  return ConnectTcp(host, port, &fd_);
+}
+
+void NetClient::Close() {
+  CloseFd(fd_);
+  fd_ = -1;
+}
+
+Status NetClient::SendFrame(const std::string& frame) {
+  if (fd_ < 0) return Status::IOError("client not connected");
+  if (!WriteFull(fd_, frame.data(), frame.size())) {
+    Close();
+    return Status::IOError("connection lost while sending");
+  }
+  return Status::OK();
+}
+
+Status NetClient::SendRaw(const void* data, size_t n) {
+  if (fd_ < 0) return Status::IOError("client not connected");
+  if (!WriteFull(fd_, data, n)) {
+    Close();
+    return Status::IOError("connection lost while sending");
+  }
+  return Status::OK();
+}
+
+Status NetClient::Receive(Frame* frame) {
+  if (fd_ < 0) return Status::IOError("client not connected");
+  char header[kFrameHeaderBytes];
+  if (!ReadFull(fd_, header, sizeof(header))) {
+    Close();
+    return Status::IOError("connection closed by server");
+  }
+  uint32_t payload_len = 0;
+  Status st = DecodeHeader(header, &payload_len);
+  if (!st.ok()) {
+    // The stream has no trustworthy boundary left; the connection is done.
+    Close();
+    return st;
+  }
+  std::string payload(payload_len, '\0');
+  if (!ReadFull(fd_, payload.data(), payload.size())) {
+    Close();
+    return Status::IOError("connection closed mid-frame");
+  }
+  st = DecodeFrame(payload, frame);
+  if (!st.ok()) Close();
+  return st;
+}
+
+Status NetClient::SendQuery(const Request& request, uint64_t* id) {
+  *id = next_id_++;
+  return SendFrame(EncodeQuery(*id, request));
+}
+
+Status NetClient::RoundTrip(const std::string& frame, uint64_t id,
+                            Frame* response) {
+  PTI_RETURN_IF_ERROR(SendFrame(frame));
+  PTI_RETURN_IF_ERROR(Receive(response));
+  if (response->id != id) {
+    // Single-in-flight callers always see their own id; a mismatch means
+    // the stream is desynchronized beyond repair.
+    Close();
+    return Status::Corruption("response id does not match request id");
+  }
+  return Status::OK();
+}
+
+Status NetClient::Query(const Request& request, std::vector<Match>* matches) {
+  const uint64_t id = next_id_++;
+  Frame response;
+  PTI_RETURN_IF_ERROR(RoundTrip(EncodeQuery(id, request), id, &response));
+  if (response.type != FrameType::kResult) {
+    Close();
+    return Status::Corruption("expected a result frame");
+  }
+  *matches = std::move(response.matches);
+  return StatusFromWire(response.code, std::move(response.message));
+}
+
+Status NetClient::Reload(const std::string& path, bool use_mmap) {
+  const uint64_t id = next_id_++;
+  Frame response;
+  PTI_RETURN_IF_ERROR(
+      RoundTrip(EncodeReload(id, path, use_mmap), id, &response));
+  if (response.type != FrameType::kResult) {
+    Close();
+    return Status::Corruption("expected a result frame");
+  }
+  return StatusFromWire(response.code, std::move(response.message));
+}
+
+Status NetClient::QueryStats(std::vector<uint64_t>* counters) {
+  const uint64_t id = next_id_++;
+  Frame response;
+  PTI_RETURN_IF_ERROR(RoundTrip(EncodeStats(id), id, &response));
+  if (response.type == FrameType::kResult) {
+    // The server answered with a status instead (e.g. stats disabled).
+    Status st = StatusFromWire(response.code, std::move(response.message));
+    if (st.ok()) st = Status::Corruption("result frame carried no stats");
+    return st;
+  }
+  if (response.type != FrameType::kStatsResult) {
+    Close();
+    return Status::Corruption("expected a stats frame");
+  }
+  *counters = std::move(response.stats);
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace pti

@@ -1,0 +1,247 @@
+#include "net/protocol.h"
+
+#include <cstddef>
+#include <utility>
+
+#include "util/serial.h"
+
+namespace pti {
+namespace net {
+
+namespace {
+
+// Starts a payload: type tag + request id. Every frame body begins this
+// way so a server can address an error reply even when the rest of the
+// payload is hostile.
+Writer BeginPayload(FrameType type, uint64_t id) {
+  Writer w;
+  w.PutU8(static_cast<uint8_t>(type));
+  w.PutU64(id);
+  return w;
+}
+
+// Wraps a finished payload in the frame header.
+std::string Seal(Writer payload) {
+  std::string body = payload.Take();
+  Writer frame;
+  frame.PutU32(kFrameMagic);
+  frame.PutU32(static_cast<uint32_t>(body.size()));
+  std::string out = frame.Take();
+  out.append(body);
+  return out;
+}
+
+Status CheckAtEnd(const Reader& reader) {
+  if (!reader.AtEnd()) {
+    return Status::Corruption("trailing bytes after frame body");
+  }
+  return Status::OK();
+}
+
+Status DecodeQueryBody(Reader* reader, Frame* frame) {
+  PTI_RETURN_IF_ERROR(reader->GetDouble(&frame->request.tau));
+  uint8_t metric = 0;
+  uint8_t k = 0;
+  uint8_t priority = 0;
+  uint8_t reserved = 0;
+  PTI_RETURN_IF_ERROR(reader->GetU8(&metric));
+  PTI_RETURN_IF_ERROR(reader->GetU8(&k));
+  PTI_RETURN_IF_ERROR(reader->GetU8(&priority));
+  PTI_RETURN_IF_ERROR(reader->GetU8(&reserved));
+  if (metric > static_cast<uint8_t>(FuzzyMetric::kEdit)) {
+    return Status::Corruption("query frame: unknown fuzzy metric");
+  }
+  if (priority > static_cast<uint8_t>(Priority::kBatch)) {
+    return Status::Corruption("query frame: unknown priority lane");
+  }
+  if (reserved != 0) {
+    return Status::Corruption("query frame: reserved byte must be zero");
+  }
+  frame->request.metric = static_cast<FuzzyMetric>(metric);
+  frame->request.k = k;
+  frame->request.priority = static_cast<Priority>(priority);
+  std::string_view pattern;
+  PTI_RETURN_IF_ERROR(reader->GetStringView(&pattern));
+  if (pattern.size() > kMaxPatternBytes) {
+    return Status::Corruption("query frame: pattern too long");
+  }
+  frame->request.pattern.assign(pattern.data(), pattern.size());
+  return CheckAtEnd(*reader);
+}
+
+Status DecodeResultBody(Reader* reader, Frame* frame) {
+  uint8_t code = 0;
+  PTI_RETURN_IF_ERROR(reader->GetU8(&code));
+  if (code > static_cast<uint8_t>(Status::Code::kUnavailable)) {
+    return Status::Corruption("result frame: unknown status code");
+  }
+  frame->code = static_cast<Status::Code>(code);
+  std::string_view message;
+  PTI_RETURN_IF_ERROR(reader->GetStringView(&message));
+  if (message.size() > kMaxStringBytes) {
+    return Status::Corruption("result frame: message too long");
+  }
+  frame->message.assign(message.data(), message.size());
+  PTI_RETURN_IF_ERROR(reader->GetVector(&frame->matches));
+  return CheckAtEnd(*reader);
+}
+
+Status DecodeReloadBody(Reader* reader, Frame* frame) {
+  uint8_t use_mmap = 0;
+  PTI_RETURN_IF_ERROR(reader->GetU8(&use_mmap));
+  if (use_mmap > 1) {
+    return Status::Corruption("reload frame: use_mmap must be 0 or 1");
+  }
+  frame->use_mmap = use_mmap == 1;
+  std::string_view path;
+  PTI_RETURN_IF_ERROR(reader->GetStringView(&path));
+  if (path.empty() || path.size() > kMaxStringBytes) {
+    return Status::Corruption("reload frame: bad path length");
+  }
+  frame->path.assign(path.data(), path.size());
+  return CheckAtEnd(*reader);
+}
+
+Status DecodeStatsResultBody(Reader* reader, Frame* frame) {
+  PTI_RETURN_IF_ERROR(reader->GetVector(&frame->stats));
+  if (frame->stats.size() < kStatsFields) {
+    return Status::Corruption("stats frame: too few counters");
+  }
+  return CheckAtEnd(*reader);
+}
+
+}  // namespace
+
+std::string EncodeQuery(uint64_t id, const Request& request) {
+  Writer w = BeginPayload(FrameType::kQuery, id);
+  w.PutDouble(request.tau);
+  w.PutU8(static_cast<uint8_t>(request.metric));
+  w.PutU8(static_cast<uint8_t>(request.k & 0xff));
+  w.PutU8(static_cast<uint8_t>(request.priority));
+  w.PutU8(0);  // reserved
+  w.PutString(request.pattern);
+  return Seal(std::move(w));
+}
+
+std::string EncodeResult(uint64_t id, const Status& status,
+                         Span<const Match> matches) {
+  Writer w = BeginPayload(FrameType::kResult, id);
+  w.PutU8(static_cast<uint8_t>(status.code()));
+  // Messages are advisory; truncate rather than build an undecodable frame.
+  std::string message = status.message();
+  if (message.size() > kMaxStringBytes) message.resize(kMaxStringBytes);
+  w.PutString(message);
+  w.PutSpan(matches);
+  return Seal(std::move(w));
+}
+
+std::string EncodeReload(uint64_t id, const std::string& path, bool use_mmap) {
+  Writer w = BeginPayload(FrameType::kReload, id);
+  w.PutU8(use_mmap ? 1 : 0);
+  w.PutString(path);
+  return Seal(std::move(w));
+}
+
+std::string EncodeStats(uint64_t id) {
+  return Seal(BeginPayload(FrameType::kStats, id));
+}
+
+std::vector<uint64_t> FlattenStats(const ServingEngine::Stats& stats) {
+  return {stats.submitted,
+          stats.completed,
+          stats.shed,
+          stats.rejected,
+          stats.cache_hits,
+          stats.cache_misses,
+          stats.inflight_merges,
+          stats.batches,
+          stats.batched_queries,
+          stats.fallback_queries,
+          static_cast<uint64_t>(stats.queue_depth),
+          stats.interactive_submitted,
+          stats.interactive_completed,
+          stats.interactive_shed,
+          stats.batch_submitted,
+          stats.batch_completed,
+          stats.batch_shed,
+          static_cast<uint64_t>(stats.cache_entries),
+          static_cast<uint64_t>(stats.cache_bytes),
+          stats.cache_evictions,
+          stats.reloads,
+          stats.generation};
+}
+
+std::string EncodeStatsResult(uint64_t id, const ServingEngine::Stats& stats) {
+  Writer w = BeginPayload(FrameType::kStatsResult, id);
+  w.PutVector(FlattenStats(stats));
+  return Seal(std::move(w));
+}
+
+Status DecodeHeader(const char* header, uint32_t* payload_len) {
+  Reader reader(header, kFrameHeaderBytes);
+  uint32_t magic = 0;
+  uint32_t len = 0;
+  PTI_RETURN_IF_ERROR(reader.GetU32(&magic));
+  PTI_RETURN_IF_ERROR(reader.GetU32(&len));
+  if (magic != kFrameMagic) {
+    return Status::Corruption("frame header: bad magic");
+  }
+  if (len > kMaxPayloadBytes) {
+    return Status::Corruption("frame header: payload length over limit");
+  }
+  if (len < 9) {  // type + id are mandatory in every payload
+    return Status::Corruption("frame header: payload too short for a frame");
+  }
+  *payload_len = len;
+  return Status::OK();
+}
+
+Status DecodeFrame(std::string_view payload, Frame* frame) {
+  Reader reader(payload);
+  uint8_t type = 0;
+  PTI_RETURN_IF_ERROR(reader.GetU8(&type));
+  if (type < static_cast<uint8_t>(FrameType::kQuery) ||
+      type > static_cast<uint8_t>(FrameType::kStatsResult)) {
+    return Status::Corruption("frame: unknown type tag");
+  }
+  frame->type = static_cast<FrameType>(type);
+  PTI_RETURN_IF_ERROR(reader.GetU64(&frame->id));
+  switch (frame->type) {
+    case FrameType::kQuery:
+      return DecodeQueryBody(&reader, frame);
+    case FrameType::kResult:
+      return DecodeResultBody(&reader, frame);
+    case FrameType::kReload:
+      return DecodeReloadBody(&reader, frame);
+    case FrameType::kStats:
+      return CheckAtEnd(reader);
+    case FrameType::kStatsResult:
+      return DecodeStatsResultBody(&reader, frame);
+  }
+  return Status::Corruption("frame: unknown type tag");
+}
+
+Status StatusFromWire(Status::Code code, std::string message) {
+  switch (code) {
+    case Status::Code::kOk:
+      return Status::OK();
+    case Status::Code::kInvalidArgument:
+      return Status::InvalidArgument(std::move(message));
+    case Status::Code::kNotFound:
+      return Status::NotFound(std::move(message));
+    case Status::Code::kCorruption:
+      return Status::Corruption(std::move(message));
+    case Status::Code::kNotSupported:
+      return Status::NotSupported(std::move(message));
+    case Status::Code::kResourceExhausted:
+      return Status::ResourceExhausted(std::move(message));
+    case Status::Code::kIOError:
+      return Status::IOError(std::move(message));
+    case Status::Code::kUnavailable:
+      return Status::Unavailable(std::move(message));
+  }
+  return Status::Corruption("unknown status code on the wire");
+}
+
+}  // namespace net
+}  // namespace pti

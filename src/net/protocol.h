@@ -1,0 +1,108 @@
+// Wire protocol of the TCP serving front end (docs/PROTOCOL.md).
+//
+// Length-prefixed binary frames over a byte stream, built from the same
+// little-endian primitives as index persistence (util/serial.h) and held to
+// the same serde discipline: every decoder is bounds-checked and returns
+// Status::Corruption on truncated, oversized, or otherwise hostile bytes —
+// a malformed frame can never crash the server.
+//
+//   frame   := magic:u32 ("PTIN") | payload_len:u32 | payload
+//   payload := type:u8 | id:u64 | body(type)
+//
+// The unit a query frame carries is exactly engine/request.h's Request —
+// the in-process Submit(Request) surface and the wire speak one struct.
+// Frame ids are chosen by the client and echoed verbatim in the matching
+// response, so clients may pipeline. See docs/PROTOCOL.md for the full
+// field-by-field spec and the validation rules.
+
+#ifndef PTI_NET_PROTOCOL_H_
+#define PTI_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/match.h"
+#include "engine/request.h"
+#include "engine/serving_engine.h"
+#include "util/span.h"
+#include "util/status.h"
+
+namespace pti {
+namespace net {
+
+/// First four bytes of every frame: "PTIN" on the wire (little-endian u32).
+inline constexpr uint32_t kFrameMagic = 0x4E495450u;
+/// Fixed frame header: magic + payload length.
+inline constexpr size_t kFrameHeaderBytes = 8;
+/// Hard cap on a frame payload; a larger declared length is Corruption
+/// (also the server's defense against memory-exhaustion length prefixes).
+inline constexpr uint32_t kMaxPayloadBytes = 1u << 20;
+/// Caps on variable-length fields inside a payload.
+inline constexpr size_t kMaxPatternBytes = 1u << 16;
+inline constexpr size_t kMaxStringBytes = 4096;  // messages, reload paths
+
+enum class FrameType : uint8_t {
+  kQuery = 1,        ///< client -> server: one Request
+  kResult = 2,       ///< server -> client: status + matches for an id
+  kReload = 3,       ///< client -> server: hot-swap the served index
+  kStats = 4,        ///< client -> server: counter snapshot request
+  kStatsResult = 5,  ///< server -> client: engine counters for an id
+};
+
+/// Order of the u64 counters in a kStatsResult body. A decoder must accept
+/// trailing values it does not know (forward compatibility); kStatsFields
+/// is how many this build writes and understands.
+inline constexpr size_t kStatsFields = 22;
+
+/// One decoded frame payload, tagged by `type`; only the fields of the
+/// matching type are meaningful. On a decode failure, `type` and `id` are
+/// still set whenever they were readable, so a server can address an error
+/// reply to the right request.
+struct Frame {
+  FrameType type = FrameType::kQuery;
+  uint64_t id = 0;
+  // kQuery
+  Request request;
+  // kResult
+  Status::Code code = Status::Code::kOk;
+  std::string message;
+  std::vector<Match> matches;
+  // kReload
+  std::string path;
+  bool use_mmap = true;
+  // kStatsResult (order documented in docs/PROTOCOL.md)
+  std::vector<uint64_t> stats;
+};
+
+// ---- Encoders: produce a complete wire frame (header + payload). Inputs
+// are trusted (the caller built them); length caps are enforced by the
+// decoder on the receiving side.
+
+std::string EncodeQuery(uint64_t id, const Request& request);
+std::string EncodeResult(uint64_t id, const Status& status,
+                         Span<const Match> matches);
+std::string EncodeReload(uint64_t id, const std::string& path, bool use_mmap);
+std::string EncodeStats(uint64_t id);
+std::string EncodeStatsResult(uint64_t id, const ServingEngine::Stats& stats);
+
+/// Validates a frame header (exactly kFrameHeaderBytes bytes) and extracts
+/// the payload length. Corruption on a bad magic or an oversized length; a
+/// stream where this fails is unframed and must be closed, not resynced.
+Status DecodeHeader(const char* header, uint32_t* payload_len);
+
+/// Decodes one frame payload (the payload_len bytes after the header).
+/// Every field is bounds- and range-checked; trailing bytes are Corruption.
+Status DecodeFrame(std::string_view payload, Frame* frame);
+
+/// Reconstructs a Status from its wire encoding (kResult's code + message).
+Status StatusFromWire(Status::Code code, std::string message);
+
+/// Flattens an engine counter snapshot into the kStatsResult value order.
+std::vector<uint64_t> FlattenStats(const ServingEngine::Stats& stats);
+
+}  // namespace net
+}  // namespace pti
+
+#endif  // PTI_NET_PROTOCOL_H_

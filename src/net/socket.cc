@@ -1,0 +1,134 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace pti {
+namespace net {
+
+namespace {
+
+Status ErrnoStatus(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+// The sockaddr_in -> sockaddr pun is how the POSIX API is specified; it
+// never touches index bytes, so the serial.h Reader rule does not apply.
+sockaddr* AsSockaddr(sockaddr_in* addr) {
+  // pti-lint: allow(no-raw-reinterpret-cast): POSIX sockaddr calling convention
+  return reinterpret_cast<sockaddr*>(addr);
+}
+
+Status FillAddr(const std::string& host, int32_t port, sockaddr_in* addr) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(static_cast<uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr->sin_addr) != 1) {
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ListenTcp(const std::string& host, int32_t port, int32_t backlog,
+                 int* fd, int32_t* bound_port) {
+  if (port < 0 || port > 65535) {
+    return Status::InvalidArgument("listen port out of range");
+  }
+  sockaddr_in addr;
+  PTI_RETURN_IF_ERROR(FillAddr(host, port, &addr));
+  const int sock = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (sock < 0) return ErrnoStatus("socket");
+  const int one = 1;
+  (void)::setsockopt(sock, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(sock, AsSockaddr(&addr), sizeof(addr)) != 0) {
+    const Status st = ErrnoStatus("bind " + host);
+    CloseFd(sock);
+    return st;
+  }
+  if (::listen(sock, backlog) != 0) {
+    const Status st = ErrnoStatus("listen");
+    CloseFd(sock);
+    return st;
+  }
+  sockaddr_in actual;
+  socklen_t len = sizeof(actual);
+  if (::getsockname(sock, AsSockaddr(&actual), &len) != 0) {
+    const Status st = ErrnoStatus("getsockname");
+    CloseFd(sock);
+    return st;
+  }
+  *fd = sock;
+  *bound_port = static_cast<int32_t>(ntohs(actual.sin_port));
+  return Status::OK();
+}
+
+Status ConnectTcp(const std::string& host, int32_t port, int* fd) {
+  if (port <= 0 || port > 65535) {
+    return Status::InvalidArgument("connect port out of range");
+  }
+  sockaddr_in addr;
+  PTI_RETURN_IF_ERROR(FillAddr(host, port, &addr));
+  const int sock = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (sock < 0) return ErrnoStatus("socket");
+  int rc;
+  do {
+    rc = ::connect(sock, AsSockaddr(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    const Status st = ErrnoStatus("connect " + host);
+    CloseFd(sock);
+    return st;
+  }
+  const int one = 1;
+  (void)::setsockopt(sock, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  *fd = sock;
+  return Status::OK();
+}
+
+bool ReadFull(int fd, void* buf, size_t n) {
+  char* p = static_cast<char*>(buf);
+  size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd, p + got, n - got, 0);
+    if (r > 0) {
+      got += static_cast<size_t>(r);
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    return false;  // EOF or error
+  }
+  return true;
+}
+
+bool WriteFull(int fd, const void* buf, size_t n) {
+  const char* p = static_cast<const char*>(buf);
+  size_t sent = 0;
+  while (sent < n) {
+    const ssize_t w = ::send(fd, p + sent, n - sent, MSG_NOSIGNAL);
+    if (w > 0) {
+      sent += static_cast<size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+void ShutdownFd(int fd) {
+  if (fd >= 0) (void)::shutdown(fd, SHUT_RDWR);
+}
+
+void CloseFd(int fd) {
+  if (fd >= 0) (void)::close(fd);
+}
+
+}  // namespace net
+}  // namespace pti

@@ -1,0 +1,44 @@
+// Thin Status-returning wrappers over POSIX TCP sockets, shared by the
+// server (net/server.h) and client (net/client.h). IPv4 only — the serving
+// front end binds loopback or a private interface; anything fancier
+// belongs in a proxy in front of it.
+
+#ifndef PTI_NET_SOCKET_H_
+#define PTI_NET_SOCKET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace pti {
+namespace net {
+
+/// Creates a listening TCP socket bound to host:port (port 0 picks an
+/// ephemeral port; *bound_port reports the actual one). On success *fd is
+/// the listener.
+Status ListenTcp(const std::string& host, int32_t port, int32_t backlog,
+                 int* fd, int32_t* bound_port);
+
+/// Connects to host:port; on success *fd is the connected socket.
+Status ConnectTcp(const std::string& host, int32_t port, int* fd);
+
+/// Blocking read of exactly n bytes. False on EOF or a socket error (the
+/// two are indistinguishable mid-frame and both end the connection).
+bool ReadFull(int fd, void* buf, size_t n);
+
+/// Blocking write of exactly n bytes (SIGPIPE suppressed). False on error.
+bool WriteFull(int fd, const void* buf, size_t n);
+
+/// Disallows further sends/receives, unblocking any thread inside
+/// ReadFull/WriteFull on this fd. Safe on an already-shut-down fd.
+void ShutdownFd(int fd);
+
+/// Closes the descriptor (no-op for fd < 0).
+void CloseFd(int fd);
+
+}  // namespace net
+}  // namespace pti
+
+#endif  // PTI_NET_SOCKET_H_

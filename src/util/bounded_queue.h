@@ -1,0 +1,92 @@
+// BoundedQueue: a small lock-based MPMC queue with a hard capacity.
+//
+// The admission building block of the serving engine's load-shed path: a
+// full queue makes TryPush fail immediately instead of growing, so the
+// caller can resolve the request with Status::Unavailable rather than let
+// the backlog (and every queued client's latency) grow without bound.
+//
+// Deliberately minimal: no blocking push, no internal condition variable.
+// The owner decides what "full" means (shed, retry, spill) and owns the
+// wakeup protocol for consumers — the engine multiplexes several queues
+// (priority lanes) onto one worker condition variable, which a queue with
+// its own cv cannot express. size() is an atomic mirror of the deque size
+// so pollers (stats gauges, worker wake predicates) never touch the lock.
+
+#ifndef PTI_UTIL_BOUNDED_QUEUE_H_
+#define PTI_UTIL_BOUNDED_QUEUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace pti {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  /// capacity == 0 means unbounded (TryPush never fails on size).
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Appends `v`; returns false (leaving `v` unmoved-from semantics aside,
+  /// the queue unchanged) when the queue is at capacity.
+  bool TryPush(T v) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (capacity_ != 0 && items_.size() >= capacity_) return false;
+    items_.push_back(std::move(v));
+    size_.store(items_.size(), std::memory_order_release);
+    return true;
+  }
+
+  /// Pops the oldest element into *out; false when empty.
+  bool TryPop(T* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    size_.store(items_.size(), std::memory_order_release);
+    return true;
+  }
+
+  /// Appends up to `n` oldest elements to *out; returns how many were taken.
+  size_t PopUpTo(size_t n, std::vector<T>* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t taken = 0;
+    while (taken < n && !items_.empty()) {
+      out->push_back(std::move(items_.front()));
+      items_.pop_front();
+      ++taken;
+    }
+    size_.store(items_.size(), std::memory_order_release);
+    return taken;
+  }
+
+  /// Copies the oldest element into *out without removing it; false when
+  /// empty. (T is a shared_ptr in the engine, so the copy is cheap.)
+  bool PeekFront(T* out) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return false;
+    *out = items_.front();
+    return true;
+  }
+
+  /// Lock-free size gauge; exact only as a point-in-time snapshot.
+  size_t size() const { return size_.load(std::memory_order_acquire); }
+  bool empty() const { return size() == 0; }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<T> items_;
+  std::atomic<size_t> size_{0};
+};
+
+}  // namespace pti
+
+#endif  // PTI_UTIL_BOUNDED_QUEUE_H_

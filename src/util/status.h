@@ -48,6 +48,7 @@ class [[nodiscard]] Status {
     kNotSupported = 4,
     kResourceExhausted = 5,
     kIOError = 6,
+    kUnavailable = 7,
   };
 
   /// Default-constructed Status is success.
@@ -79,6 +80,13 @@ class [[nodiscard]] Status {
   static Status IOError(std::string msg) {
     return Status(Code::kIOError, std::move(msg));
   }
+  /// Transient overload: the request was load-shed (bounded admission queue
+  /// full) and may succeed if retried later. Distinct from
+  /// ResourceExhausted, which reports a configured hard limit on the
+  /// request itself.
+  static Status Unavailable(std::string msg) {
+    return Status(Code::kUnavailable, std::move(msg));
+  }
 
   [[nodiscard]] bool ok() const { return code_ == Code::kOk; }
   [[nodiscard]] bool IsInvalidArgument() const {
@@ -93,6 +101,9 @@ class [[nodiscard]] Status {
     return code_ == Code::kResourceExhausted;
   }
   [[nodiscard]] bool IsIOError() const { return code_ == Code::kIOError; }
+  [[nodiscard]] bool IsUnavailable() const {
+    return code_ == Code::kUnavailable;
+  }
 
   [[nodiscard]] Code code() const { return code_; }
   [[nodiscard]] const std::string& message() const { return msg_; }
@@ -114,6 +125,8 @@ class [[nodiscard]] Status {
         return "ResourceExhausted: " + msg_;
       case Code::kIOError:
         return "IOError: " + msg_;
+      case Code::kUnavailable:
+        return "Unavailable: " + msg_;
     }
     return "Unknown";
   }

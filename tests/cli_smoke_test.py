@@ -1,13 +1,18 @@
 #!/usr/bin/env python3
 """Smoke test for pti_cli: every subcommand's success, usage and error path.
 
-Usage: cli_smoke_test.py <path-to-pti_cli>
+Usage: cli_smoke_test.py <path-to-pti_cli> [<path-to-pti_client>]
 
 Contract under test (see the header comment of examples/pti_cli.cpp):
   exit 0  success; stdout carries machine-readable results only
   exit 1  operational failure (I/O, corrupt index, failed build or query)
   exit 2  usage error (unknown command, missing/malformed arguments)
 Errors and diagnostics must go to stderr, never stdout.
+
+When a pti_client path is given, the loopback serving pair is smoked too:
+`pti_cli serve --listen=0` must print its ephemeral port on stdout, answer
+a pti_client workload (including !reload under traffic) byte-identically to
+the local batch command, and shut down cleanly on stdin EOF.
 """
 
 import os
@@ -46,10 +51,12 @@ def check(name, result, rc, stdout_has=None, stderr_has=None,
 
 def main():
     global CLI
-    if len(sys.argv) != 2:
-        print("usage: cli_smoke_test.py <pti_cli>", file=sys.stderr)
+    if len(sys.argv) not in (2, 3):
+        print("usage: cli_smoke_test.py <pti_cli> [<pti_client>]",
+              file=sys.stderr)
         return 2
     CLI = sys.argv[1]
+    client = sys.argv[2] if len(sys.argv) == 3 else None
     tmp = tempfile.mkdtemp(prefix="pti_cli_smoke.")
 
     def p(name):
@@ -358,6 +365,71 @@ def main():
         print("FAIL atomic-write")
     else:
         print("ok   atomic-write")
+
+    # ---- serve --listen + pti_client: loopback TCP serving ----
+    if client:
+        def crun(*args, **kw):
+            return subprocess.run([client, *args], capture_output=True,
+                                  text=True, timeout=60, **kw)
+
+        check("client-usage", crun(), 2, stderr_has="usage")
+        check("client-bad-port",
+              crun("127.0.0.1", "nope", p("pats.txt"), "0.3"), 2,
+              stderr_has="bad port")
+        check("client-refused",
+              crun("127.0.0.1", "1", p("pats.txt"), "0.3"), 1,
+              stderr_has="error")
+        check("listen-with-patterns",
+              run("serve", p("d.pti"), p("pats.txt"), "0.3", "--listen=0"),
+              2, stderr_has="usage")
+        check("listen-bad-port", run("serve", p("d.pti"), "--listen=70000"),
+              2, stderr_has="bad value")
+
+        server = subprocess.Popen(
+            [CLI, "serve", p("d.pti"), "--listen=0", "--mmap"],
+            stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE, text=True)
+        try:
+            port = server.stdout.readline().strip()
+            if not port.isdigit():
+                FAILURES.append(f"listen-port: got {port!r} on stdout")
+                print("FAIL listen-port")
+            else:
+                print("ok   listen-port")
+                # The networked answers must be byte-identical to the local
+                # batch command over the same workload.
+                net = crun("127.0.0.1", port, p("pats.txt"), "0.3", "--stats")
+                check("client-batch", net, 0, stdout_has="0\t0\t0.490000",
+                      stderr_has="3 queries")
+                local = run("batch", p("d.pti"), p("pats.txt"), "0.3")
+                if net.stdout != local.stdout:
+                    FAILURES.append("client-vs-batch: results differ")
+                    print("FAIL client-vs-batch")
+                else:
+                    print("ok   client-vs-batch")
+                check("client-stats", net, 0,
+                      stderr_has="stat submitted")
+                # Hot reload over the wire, mid-workload; d2 answers "PP"
+                # via position 1 exactly like the local serve-reload case.
+                check("client-reload",
+                      crun("127.0.0.1", port, p("reload.txt"), "0.3"), 0,
+                      stdout_has="2\t1\t0.700000", stderr_has="reloaded")
+                check("client-reload-failure",
+                      crun("127.0.0.1", port, p("badreload.txt"), "0.3"), 1,
+                      stderr_has="reload")
+            out, err = server.communicate(input="", timeout=60)
+            if server.returncode != 0:
+                FAILURES.append(f"listen-shutdown: exit {server.returncode}")
+                print("FAIL listen-shutdown")
+            elif "net:" not in err or "serving:" not in err:
+                FAILURES.append(f"listen-shutdown: stats missing: {err[:200]!r}")
+                print("FAIL listen-shutdown")
+            else:
+                print("ok   listen-shutdown")
+        finally:
+            if server.poll() is None:
+                server.kill()
+                server.wait()
 
     # ---- topk ----
     check("topk", run("topk", p("d.pti"), "QP", "0.2", "2"), 0,

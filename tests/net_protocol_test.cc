@@ -1,0 +1,397 @@
+// net/protocol.h: the wire format is serde for hostile inputs. Round-trips
+// must be exact (encode → decode → the same frame); every malformed byte
+// stream — truncation at any offset, a flipped bit anywhere, out-of-range
+// enum tags, non-zero reserved bytes, trailing garbage — must come back as
+// a clean Status error from the decoder, never a crash, hang, or a frame
+// that silently decodes to something else. The suite is in the sanitize CI
+// regex.
+
+#include "net/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/serial.h"
+
+namespace pti {
+namespace net {
+namespace {
+
+// Splits a full frame into its header and payload, validating the header.
+void SplitFrame(const std::string& frame, std::string* payload) {
+  ASSERT_GE(frame.size(), kFrameHeaderBytes);
+  uint32_t payload_len = 0;
+  ASSERT_TRUE(DecodeHeader(frame.data(), &payload_len).ok());
+  ASSERT_EQ(frame.size(), kFrameHeaderBytes + payload_len);
+  payload->assign(frame, kFrameHeaderBytes, payload_len);
+}
+
+TEST(NetProtocolTest, QueryFrameRoundTripsExactly) {
+  Request request;
+  request.pattern = "acgt";
+  request.tau = 0.25;
+  request.metric = FuzzyMetric::kEdit;
+  request.k = 2;
+  request.priority = Priority::kBatch;
+
+  const std::string frame = EncodeQuery(77, request);
+  std::string payload;
+  SplitFrame(frame, &payload);
+  Frame decoded;
+  ASSERT_TRUE(DecodeFrame(payload, &decoded).ok());
+  EXPECT_EQ(decoded.type, FrameType::kQuery);
+  EXPECT_EQ(decoded.id, 77u);
+  EXPECT_EQ(decoded.request.pattern, request.pattern);
+  EXPECT_EQ(decoded.request.tau, request.tau);
+  EXPECT_EQ(decoded.request.metric, request.metric);
+  EXPECT_EQ(decoded.request.k, request.k);
+  EXPECT_EQ(decoded.request.priority, request.priority);
+}
+
+TEST(NetProtocolTest, QueryFrameDefaultsRoundTrip) {
+  Request request;
+  request.pattern = "";
+  request.tau = 0.0;
+  const std::string frame = EncodeQuery(0, request);
+  std::string payload;
+  SplitFrame(frame, &payload);
+  Frame decoded;
+  ASSERT_TRUE(DecodeFrame(payload, &decoded).ok());
+  EXPECT_EQ(decoded.id, 0u);
+  EXPECT_TRUE(decoded.request.pattern.empty());
+  EXPECT_EQ(decoded.request.k, 0);
+  EXPECT_EQ(decoded.request.priority, Priority::kInteractive);
+}
+
+TEST(NetProtocolTest, ResultFrameRoundTripsStatusAndMatches) {
+  const std::vector<Match> matches = {{5, 0.75}, {9, 0.5}, {-1, 0.125}};
+  const std::string frame = EncodeResult(
+      13, Status::Unavailable("batch lane full"), Span<const Match>(matches));
+  std::string payload;
+  SplitFrame(frame, &payload);
+  Frame decoded;
+  ASSERT_TRUE(DecodeFrame(payload, &decoded).ok());
+  EXPECT_EQ(decoded.type, FrameType::kResult);
+  EXPECT_EQ(decoded.id, 13u);
+  EXPECT_EQ(decoded.code, Status::Code::kUnavailable);
+  EXPECT_EQ(decoded.message, "batch lane full");
+  ASSERT_EQ(decoded.matches.size(), matches.size());
+  for (size_t i = 0; i < matches.size(); ++i) {
+    EXPECT_EQ(decoded.matches[i].position, matches[i].position);
+    EXPECT_EQ(decoded.matches[i].probability, matches[i].probability);
+  }
+  const Status wire = StatusFromWire(decoded.code, decoded.message);
+  EXPECT_TRUE(wire.IsUnavailable());
+  EXPECT_EQ(wire.message(), "batch lane full");
+}
+
+TEST(NetProtocolTest, EveryStatusCodeSurvivesTheWire) {
+  const Status statuses[] = {
+      Status::OK(),
+      Status::InvalidArgument("a"),
+      Status::NotFound("b"),
+      Status::Corruption("c"),
+      Status::NotSupported("d"),
+      Status::ResourceExhausted("e"),
+      Status::IOError("f"),
+      Status::Unavailable("g"),
+  };
+  for (const Status& st : statuses) {
+    const std::string frame = EncodeResult(1, st, {});
+    std::string payload;
+    SplitFrame(frame, &payload);
+    Frame decoded;
+    ASSERT_TRUE(DecodeFrame(payload, &decoded).ok());
+    const Status back = StatusFromWire(decoded.code, decoded.message);
+    EXPECT_EQ(back.code(), st.code());
+    EXPECT_EQ(back.message(), st.message());
+  }
+}
+
+TEST(NetProtocolTest, ReloadAndStatsFramesRoundTrip) {
+  const std::string reload = EncodeReload(3, "/tmp/index.pti", true);
+  std::string payload;
+  SplitFrame(reload, &payload);
+  Frame decoded;
+  ASSERT_TRUE(DecodeFrame(payload, &decoded).ok());
+  EXPECT_EQ(decoded.type, FrameType::kReload);
+  EXPECT_EQ(decoded.id, 3u);
+  EXPECT_EQ(decoded.path, "/tmp/index.pti");
+  EXPECT_TRUE(decoded.use_mmap);
+
+  const std::string stats = EncodeStats(4);
+  SplitFrame(stats, &payload);
+  ASSERT_TRUE(DecodeFrame(payload, &decoded).ok());
+  EXPECT_EQ(decoded.type, FrameType::kStats);
+  EXPECT_EQ(decoded.id, 4u);
+}
+
+TEST(NetProtocolTest, StatsResultCarriesEveryCounterInOrder) {
+  ServingEngine::Stats stats;
+  stats.submitted = 1;
+  stats.completed = 2;
+  stats.shed = 3;
+  stats.rejected = 4;
+  stats.cache_hits = 5;
+  stats.cache_misses = 6;
+  stats.inflight_merges = 7;
+  stats.batches = 8;
+  stats.batched_queries = 9;
+  stats.fallback_queries = 10;
+  stats.queue_depth = 11;
+  stats.interactive_submitted = 12;
+  stats.interactive_completed = 13;
+  stats.interactive_shed = 14;
+  stats.batch_submitted = 15;
+  stats.batch_completed = 16;
+  stats.batch_shed = 17;
+  stats.cache_entries = 18;
+  stats.cache_bytes = 19;
+  stats.cache_evictions = 20;
+  stats.reloads = 21;
+  stats.generation = 22;
+
+  const std::vector<uint64_t> flat = FlattenStats(stats);
+  ASSERT_EQ(flat.size(), kStatsFields);
+  for (size_t i = 0; i < flat.size(); ++i) {
+    EXPECT_EQ(flat[i], i + 1) << "counter #" << i << " out of order";
+  }
+
+  const std::string frame = EncodeStatsResult(9, stats);
+  std::string payload;
+  SplitFrame(frame, &payload);
+  Frame decoded;
+  ASSERT_TRUE(DecodeFrame(payload, &decoded).ok());
+  EXPECT_EQ(decoded.type, FrameType::kStatsResult);
+  EXPECT_EQ(decoded.stats, flat);
+}
+
+TEST(NetProtocolTest, HeaderRejectsBadMagicAndBadLengths) {
+  Request request;
+  request.pattern = "ac";
+  const std::string frame = EncodeQuery(1, request);
+
+  // Flip the magic.
+  std::string bad = frame;
+  bad[0] ^= 0x01;
+  uint32_t len = 0;
+  EXPECT_TRUE(DecodeHeader(bad.data(), &len).IsCorruption());
+
+  // Oversized declared payload.
+  Writer w;
+  w.PutU32(kFrameMagic);
+  w.PutU32(kMaxPayloadBytes + 1);
+  const std::string oversized = w.Take();
+  EXPECT_TRUE(DecodeHeader(oversized.data(), &len).IsCorruption());
+
+  // Payload too short to hold the mandatory type + id.
+  Writer w2;
+  w2.PutU32(kFrameMagic);
+  w2.PutU32(8);
+  const std::string tiny = w2.Take();
+  EXPECT_TRUE(DecodeHeader(tiny.data(), &len).IsCorruption());
+
+  // The genuine header still parses.
+  ASSERT_TRUE(DecodeHeader(frame.data(), &len).ok());
+  EXPECT_EQ(len, frame.size() - kFrameHeaderBytes);
+}
+
+// Every truncation of every frame type must fail cleanly: either the header
+// says the payload is too short, or the body decoder reports Corruption.
+TEST(NetProtocolTest, TruncationAtEveryOffsetFailsCleanly) {
+  Request request;
+  request.pattern = "acgtacgt";
+  request.tau = 0.5;
+  request.k = 1;
+  const std::vector<Match> matches = {{1, 0.5}, {2, 0.25}};
+  ServingEngine::Stats stats;
+  const std::string frames[] = {
+      EncodeQuery(1, request),
+      EncodeResult(2, Status::NotFound("x"), Span<const Match>(matches)),
+      EncodeReload(3, "/tmp/i.pti", false),
+      EncodeStats(4),
+      EncodeStatsResult(5, stats),
+  };
+  for (const std::string& frame : frames) {
+    std::string payload;
+    SplitFrame(frame, &payload);
+    for (size_t cut = 0; cut < payload.size(); ++cut) {
+      Frame decoded;
+      const Status st = DecodeFrame(payload.substr(0, cut), &decoded);
+      EXPECT_TRUE(st.IsCorruption())
+          << "cut at " << cut << "/" << payload.size() << ": "
+          << st.ToString();
+    }
+  }
+}
+
+// Single-bit corruption anywhere in the payload must never crash; it either
+// still decodes (the flipped bit landed in a value, e.g. tau or a
+// probability) or fails with a clean Corruption error. Assert only "no
+// crash, typed outcome" — which bits are load-bearing is a layout detail.
+TEST(NetProtocolTest, BitFlipsNeverCrashTheDecoder) {
+  Request request;
+  request.pattern = "acgt";
+  request.tau = 0.5;
+  request.metric = FuzzyMetric::kEdit;
+  request.k = 1;
+  const std::vector<Match> matches = {{7, 0.5}};
+  const std::string frames[] = {
+      EncodeQuery(21, request),
+      EncodeResult(22, Status::OK(), Span<const Match>(matches)),
+      EncodeReload(23, "/a/b", true),
+  };
+  for (const std::string& frame : frames) {
+    std::string payload;
+    SplitFrame(frame, &payload);
+    for (size_t byte = 0; byte < payload.size(); ++byte) {
+      for (int bit = 0; bit < 8; ++bit) {
+        std::string mutated = payload;
+        mutated[byte] = static_cast<char>(mutated[byte] ^ (1 << bit));
+        Frame decoded;
+        const Status st = DecodeFrame(mutated, &decoded);
+        if (!st.ok()) {
+          EXPECT_TRUE(st.IsCorruption())
+              << "byte " << byte << " bit " << bit << ": " << st.ToString();
+        }
+      }
+    }
+  }
+}
+
+TEST(NetProtocolTest, HostileFieldValuesAreRejected) {
+  // Build payloads by hand with the same Writer idiom the encoder uses.
+  const auto seal = [](Writer w) {
+    return w.Take();
+  };
+
+  // Unknown frame type tag.
+  {
+    Writer w;
+    w.PutU8(0);  // below kQuery
+    w.PutU64(1);
+    Frame f;
+    EXPECT_TRUE(DecodeFrame(seal(std::move(w)), &f).IsCorruption());
+  }
+  {
+    Writer w;
+    w.PutU8(200);  // above kStatsResult
+    w.PutU64(1);
+    Frame f;
+    EXPECT_TRUE(DecodeFrame(seal(std::move(w)), &f).IsCorruption());
+  }
+
+  // Query: bad metric, bad priority, non-zero reserved byte, oversized
+  // pattern length prefix, trailing bytes.
+  const auto query_payload = [&](uint8_t metric, uint8_t priority,
+                                 uint8_t reserved) {
+    Writer w;
+    w.PutU8(static_cast<uint8_t>(FrameType::kQuery));
+    w.PutU64(1);
+    w.PutDouble(0.5);
+    w.PutU8(metric);
+    w.PutU8(1);  // k
+    w.PutU8(priority);
+    w.PutU8(reserved);
+    w.PutString("ac");
+    return seal(std::move(w));
+  };
+  Frame f;
+  EXPECT_TRUE(DecodeFrame(query_payload(9, 0, 0), &f).IsCorruption());
+  EXPECT_TRUE(DecodeFrame(query_payload(0, 9, 0), &f).IsCorruption());
+  EXPECT_TRUE(DecodeFrame(query_payload(0, 0, 7), &f).IsCorruption());
+  ASSERT_TRUE(DecodeFrame(query_payload(0, 0, 0), &f).ok());
+
+  {
+    // Length prefix claiming more bytes than the payload holds.
+    Writer w;
+    w.PutU8(static_cast<uint8_t>(FrameType::kQuery));
+    w.PutU64(1);
+    w.PutDouble(0.5);
+    w.PutU8(0);
+    w.PutU8(0);
+    w.PutU8(0);
+    w.PutU8(0);
+    w.PutU64(1u << 30);  // string length prefix, no bytes behind it
+    EXPECT_TRUE(DecodeFrame(seal(std::move(w)), &f).IsCorruption());
+  }
+  {
+    // Trailing garbage after a complete body.
+    std::string payload = query_payload(0, 0, 0);
+    payload.push_back('\0');
+    EXPECT_TRUE(DecodeFrame(payload, &f).IsCorruption());
+  }
+
+  // Result: unknown status code.
+  {
+    Writer w;
+    w.PutU8(static_cast<uint8_t>(FrameType::kResult));
+    w.PutU64(1);
+    w.PutU8(99);
+    w.PutString("");
+    w.PutVector(std::vector<Match>{});
+    EXPECT_TRUE(DecodeFrame(seal(std::move(w)), &f).IsCorruption());
+  }
+
+  // Reload: use_mmap out of {0,1}; empty path.
+  {
+    Writer w;
+    w.PutU8(static_cast<uint8_t>(FrameType::kReload));
+    w.PutU64(1);
+    w.PutU8(2);
+    w.PutString("/a");
+    EXPECT_TRUE(DecodeFrame(seal(std::move(w)), &f).IsCorruption());
+  }
+  {
+    Writer w;
+    w.PutU8(static_cast<uint8_t>(FrameType::kReload));
+    w.PutU64(1);
+    w.PutU8(1);
+    w.PutString("");
+    EXPECT_TRUE(DecodeFrame(seal(std::move(w)), &f).IsCorruption());
+  }
+
+  // StatsResult: fewer counters than the contract requires.
+  {
+    Writer w;
+    w.PutU8(static_cast<uint8_t>(FrameType::kStatsResult));
+    w.PutU64(1);
+    w.PutVector(std::vector<uint64_t>(kStatsFields - 1, 0));
+    EXPECT_TRUE(DecodeFrame(seal(std::move(w)), &f).IsCorruption());
+  }
+}
+
+TEST(NetProtocolTest, ErrorsAreAddressableWhenTypeAndIdAreIntact) {
+  // A hostile body behind a valid (type, id) prefix must still yield the id,
+  // so the server can route the error reply to the right request.
+  Writer w;
+  w.PutU8(static_cast<uint8_t>(FrameType::kQuery));
+  w.PutU64(4242);
+  w.PutDouble(0.5);
+  w.PutU8(9);  // bad metric
+  w.PutU8(0);
+  w.PutU8(0);
+  w.PutU8(0);
+  w.PutString("ac");
+  Frame frame;
+  EXPECT_TRUE(DecodeFrame(w.Take(), &frame).IsCorruption());
+  EXPECT_EQ(frame.id, 4242u);
+  EXPECT_EQ(frame.type, FrameType::kQuery);
+}
+
+TEST(NetProtocolTest, OversizedStatusMessageIsTruncatedNotUndecodable) {
+  const std::string huge(kMaxStringBytes + 1000, 'x');
+  const std::string frame = EncodeResult(1, Status::IOError(huge), {});
+  std::string payload;
+  SplitFrame(frame, &payload);
+  Frame decoded;
+  ASSERT_TRUE(DecodeFrame(payload, &decoded).ok());
+  EXPECT_EQ(decoded.message.size(), kMaxStringBytes);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace pti

@@ -2,7 +2,8 @@
 // synchronous path returns — same status, bit-identical matches — under
 // concurrent submitters, with and without the cache, across coalescing
 // configurations; plus in-flight merging, cache reuse, error isolation
-// inside a micro-batch, and the Stop/drain contract. The suite is in the
+// inside a micro-batch, bounded-lane admission (load shed, priority lanes,
+// counter conservation), and the Stop/drain contract. The suite is in the
 // sanitize and tsan CI regexes.
 
 #include "engine/serving_engine.h"
@@ -37,15 +38,15 @@ UncertainString MakeString(int64_t length, uint64_t seed) {
 // A serving-shaped workload: a pool of distinct (pattern, tau) pairs cycled
 // with repetition, so the cache, the in-flight merge and the batch dedup all
 // see traffic. Patterns longer than `max_len` never appear.
-std::vector<BatchQuery> Workload(const UncertainString& s, size_t count,
-                                 size_t distinct, size_t max_len,
-                                 uint64_t seed) {
+std::vector<Request> Workload(const UncertainString& s, size_t count,
+                              size_t distinct, size_t max_len,
+                              uint64_t seed) {
   Rng rng(seed);
   const double taus[] = {0.1, 0.2, 0.4, 0.8};
-  std::vector<BatchQuery> pool;
+  std::vector<Request> pool;
   for (size_t q = 0; q < distinct; ++q) {
     const size_t len = 1 + rng.Uniform(max_len);
-    BatchQuery query;
+    Request query;
     if (q % 5 == 0) {
       query.pattern = test::RandomPattern(4, len, rng.Next());
     } else {
@@ -56,7 +57,7 @@ std::vector<BatchQuery> Workload(const UncertainString& s, size_t count,
     query.tau = taus[rng.Uniform(4)];
     pool.push_back(std::move(query));
   }
-  std::vector<BatchQuery> queries;
+  std::vector<Request> queries;
   queries.reserve(count);
   for (size_t q = 0; q < count; ++q) {
     queries.push_back(pool[rng.Uniform(pool.size())]);
@@ -73,7 +74,7 @@ struct Expected {
 // same index object the engine will own.
 template <typename Index>
 std::vector<Expected> SyncResults(const Index& index,
-                                  const std::vector<BatchQuery>& queries) {
+                                  const std::vector<Request>& queries) {
   std::vector<Expected> expected(queries.size());
   for (size_t i = 0; i < queries.size(); ++i) {
     expected[i].status =
@@ -84,7 +85,7 @@ std::vector<Expected> SyncResults(const Index& index,
 
 void ExpectIdentical(const std::vector<Expected>& expected,
                      std::vector<std::future<ServingEngine::Result>>* futures,
-                     const std::vector<BatchQuery>& queries) {
+                     const std::vector<Request>& queries) {
   ASSERT_EQ(expected.size(), futures->size());
   for (size_t i = 0; i < futures->size(); ++i) {
     ServingEngine::Result result = (*futures)[i].get();
@@ -162,7 +163,7 @@ TEST(ServingEngineTest, ShardedResultsIdenticalUnderConcurrentSubmitters) {
     for (size_t c = 0; c < kClients; ++c) {
       clients.emplace_back([&, c] {
         for (size_t i = c; i < queries.size(); i += kClients) {
-          futures[i] = engine.Submit(queries[i].pattern, queries[i].tau);
+          futures[i] = engine.Submit(queries[i]);
         }
       });
     }
@@ -172,10 +173,18 @@ TEST(ServingEngineTest, ShardedResultsIdenticalUnderConcurrentSubmitters) {
     const auto stats = engine.stats();
     EXPECT_EQ(stats.submitted, queries.size());
     EXPECT_EQ(stats.rejected, 0u);
-    // Conservation: every accepted request is answered by the cache, an
-    // in-flight merge, or a batched execution.
+    EXPECT_EQ(stats.shed, 0u);
+    // Conservation: every Submit call lands in exactly one terminal bucket,
+    // and every accepted request is answered by the cache, an in-flight
+    // merge, or a batched execution.
+    EXPECT_EQ(stats.submitted, stats.completed + stats.shed + stats.rejected);
     EXPECT_EQ(stats.submitted,
               stats.cache_hits + stats.inflight_merges + stats.batched_queries);
+    // The default Request is interactive; the per-lane splits must agree.
+    EXPECT_EQ(stats.interactive_submitted, stats.submitted);
+    EXPECT_EQ(stats.interactive_completed, stats.completed);
+    EXPECT_EQ(stats.batch_submitted, 0u);
+    EXPECT_EQ(stats.queue_depth, 0u);  // drained
     EXPECT_GT(stats.batches, 0u);
     if (cache_bytes == 0) {
       EXPECT_EQ(stats.cache_hits, 0u);
@@ -232,7 +241,7 @@ TEST(ServingEngineTest, IdenticalInFlightRequestsShareOneExecution) {
   std::vector<std::future<ServingEngine::Result>> futures;
   futures.reserve(kDupes);
   for (size_t i = 0; i < kDupes; ++i) {
-    futures.push_back(engine.Submit(pattern, 0.2));
+    futures.push_back(engine.Submit({pattern, 0.2}));
   }
   for (auto& f : futures) {
     ServingEngine::Result result = f.get();
@@ -254,7 +263,7 @@ TEST(ServingEngineTest, InvalidQueriesFailAloneWithoutPoisoningBatchmates) {
   // One micro-batch carrying: valid, empty pattern (InvalidArgument), tau
   // below tau_min (InvalidArgument), pattern longer than overlap+1
   // (NotSupported for the sharded engine).
-  std::vector<BatchQuery> queries = {
+  std::vector<Request> queries = {
       {test::PatternFromString(s, 5, 3, 3), 0.2},
       {"", 0.2},
       {test::PatternFromString(s, 9, 2, 4), kTauMin / 2},
@@ -300,11 +309,15 @@ TEST(ServingEngineTest, StopDrainsAcceptedWorkAndRejectsNewWork) {
   ExpectIdentical(expected, &futures, queries);
 
   // After Stop: deterministic rejection, never a hang.
-  auto rejected = engine.Submit(queries[0].pattern, queries[0].tau);
+  auto rejected = engine.Submit(queries[0]);
   ServingEngine::Result result = rejected.get();
   EXPECT_TRUE(result.status.IsNotSupported()) << result.status.ToString();
   EXPECT_TRUE(result.matches.empty());
-  EXPECT_EQ(engine.stats().rejected, 1u);
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.rejected, 1u);
+  // Rejected calls still count as submitted, so conservation closes.
+  EXPECT_EQ(stats.submitted, queries.size() + 1);
+  EXPECT_EQ(stats.submitted, stats.completed + stats.shed + stats.rejected);
 }
 
 TEST(ServingEngineTest, FuzzyResultsIdenticalToSynchronousPath) {
@@ -313,25 +326,24 @@ TEST(ServingEngineTest, FuzzyResultsIdenticalToSynchronousPath) {
   // A fuzzy workload cycling k 0..2, both metrics, and one invalid k that
   // must resolve with NotSupported without failing batch-mates.
   Rng rng(82);
-  std::vector<FuzzyBatchQuery> queries;
+  std::vector<Request> queries;
   for (int q = 0; q < 60; ++q) {
     const size_t len = 1 + rng.Uniform(5);
-    FuzzyBatchQuery query;
+    Request query;
     query.pattern = test::PatternFromString(
         s, static_cast<int64_t>(rng.Uniform(s.size() - len + 1)), len,
         rng.Next());
     query.tau = (q % 2) ? 0.1 : 0.3;
-    query.params.k = q % 4;
-    if (query.params.k == 3) query.params.k = 7;  // above kMaxFuzzyErrors
-    query.params.metric =
-        (q % 2) ? FuzzyMetric::kEdit : FuzzyMetric::kMismatch;
+    query.k = q % 4;
+    if (query.k == 3) query.k = 7;  // above kMaxFuzzyErrors
+    query.metric = (q % 2) ? FuzzyMetric::kEdit : FuzzyMetric::kMismatch;
     queries.push_back(std::move(query));
   }
   std::vector<Expected> expected(queries.size());
   for (size_t i = 0; i < queries.size(); ++i) {
-    expected[i].status =
-        reference.QueryFuzzy(queries[i].pattern, queries[i].tau,
-                             queries[i].params, &expected[i].matches);
+    expected[i].status = reference.QueryFuzzy(
+        queries[i].pattern, queries[i].tau,
+        FuzzyParams{queries[i].k, queries[i].metric}, &expected[i].matches);
   }
   for (const size_t cache_bytes : {size_t{0}, size_t{1} << 20}) {
     ServingOptions options;
@@ -340,7 +352,7 @@ TEST(ServingEngineTest, FuzzyResultsIdenticalToSynchronousPath) {
     options.linger_us = 100;
     options.num_workers = 2;
     ServingEngine engine(BuildMono(s), options);
-    auto futures = engine.SubmitFuzzyBatch(queries);
+    auto futures = engine.SubmitBatch(queries);
     ASSERT_EQ(futures.size(), queries.size());
     for (size_t i = 0; i < futures.size(); ++i) {
       ServingEngine::Result result = futures[i].get();
@@ -348,7 +360,7 @@ TEST(ServingEngineTest, FuzzyResultsIdenticalToSynchronousPath) {
           << "query #" << i << ": " << result.status.ToString();
       EXPECT_TRUE(result.matches == expected[i].matches)
           << "query #" << i << " '" << queries[i].pattern << "' k "
-          << queries[i].params.k
+          << queries[i].k
           << "\n  async: " << test::MatchesToString(result.matches)
           << "\n  sync:  " << test::MatchesToString(expected[i].matches);
     }
@@ -358,7 +370,7 @@ TEST(ServingEngineTest, FuzzyResultsIdenticalToSynchronousPath) {
 TEST(ServingEngineTest, FuzzyShardedResultsIdenticalToSynchronousPath) {
   const UncertainString s = MakeString(300, 83);
   ShardedIndex reference = BuildShardedIndex(s, 16);
-  std::vector<FuzzyBatchQuery> queries;
+  std::vector<Request> queries;
   Rng rng(84);
   for (int q = 0; q < 40; ++q) {
     const size_t len = 1 + rng.Uniform(6);
@@ -367,20 +379,20 @@ TEST(ServingEngineTest, FuzzyShardedResultsIdenticalToSynchronousPath) {
              s, static_cast<int64_t>(rng.Uniform(s.size() - len + 1)), len,
              rng.Next()),
          (q % 2) ? 0.1 : 0.4,
-         {static_cast<int32_t>(q % 3),
-          (q % 2) ? FuzzyMetric::kEdit : FuzzyMetric::kMismatch}});
+         (q % 2) ? FuzzyMetric::kEdit : FuzzyMetric::kMismatch,
+         static_cast<int32_t>(q % 3)});
   }
   std::vector<Expected> expected(queries.size());
   for (size_t i = 0; i < queries.size(); ++i) {
-    expected[i].status =
-        reference.QueryFuzzy(queries[i].pattern, queries[i].tau,
-                             queries[i].params, &expected[i].matches);
+    expected[i].status = reference.QueryFuzzy(
+        queries[i].pattern, queries[i].tau,
+        FuzzyParams{queries[i].k, queries[i].metric}, &expected[i].matches);
   }
   ServingOptions options;
   options.max_batch = 16;
   options.num_workers = 2;
   ServingEngine engine(BuildShardedIndex(s, 16), options);
-  auto futures = engine.SubmitFuzzyBatch(queries);
+  auto futures = engine.SubmitBatch(queries);
   for (size_t i = 0; i < futures.size(); ++i) {
     ServingEngine::Result result = futures[i].get();
     EXPECT_EQ(result.status.code(), expected[i].status.code()) << i;
@@ -397,29 +409,30 @@ TEST(ServingEngineTest, FuzzyCacheKeysAreDistinctFromExactAndShareKZero) {
   ServingEngine engine(BuildMono(s), options);
 
   // Prime the cache with the exact result.
-  (void)engine.Submit(pattern, 0.2).get();
+  (void)engine.Submit({pattern, 0.2}).get();
   const uint64_t hits0 = engine.stats().cache_hits;
 
-  // k = 0 normalizes onto the exact path: shares the cached entry.
-  (void)engine.SubmitFuzzy(pattern, 0.2, {0, FuzzyMetric::kEdit}).get();
+  // k = 0 normalizes onto the exact path: shares the cached entry (the
+  // metric is ignored when k == 0, exactly as Request documents).
+  (void)engine.Submit({pattern, 0.2, FuzzyMetric::kEdit, 0}).get();
   EXPECT_EQ(engine.stats().cache_hits, hits0 + 1);
 
   // k = 1 must miss (distinct key) — and so must each (metric, k) pair.
-  (void)engine.SubmitFuzzy(pattern, 0.2, {1, FuzzyMetric::kMismatch}).get();
+  (void)engine.Submit({pattern, 0.2, FuzzyMetric::kMismatch, 1}).get();
   EXPECT_EQ(engine.stats().cache_hits, hits0 + 1);
-  (void)engine.SubmitFuzzy(pattern, 0.2, {1, FuzzyMetric::kEdit}).get();
+  (void)engine.Submit({pattern, 0.2, FuzzyMetric::kEdit, 1}).get();
   EXPECT_EQ(engine.stats().cache_hits, hits0 + 1);
-  (void)engine.SubmitFuzzy(pattern, 0.2, {2, FuzzyMetric::kEdit}).get();
+  (void)engine.Submit({pattern, 0.2, FuzzyMetric::kEdit, 2}).get();
   EXPECT_EQ(engine.stats().cache_hits, hits0 + 1);
 
   // Repeats of each fuzzy key now hit their own entries.
-  (void)engine.SubmitFuzzy(pattern, 0.2, {1, FuzzyMetric::kMismatch}).get();
-  (void)engine.SubmitFuzzy(pattern, 0.2, {1, FuzzyMetric::kEdit}).get();
+  (void)engine.Submit({pattern, 0.2, FuzzyMetric::kMismatch, 1}).get();
+  (void)engine.Submit({pattern, 0.2, FuzzyMetric::kEdit, 1}).get();
   EXPECT_EQ(engine.stats().cache_hits, hits0 + 3);
 
   // An exact repeat still hits the original entry (fuzzy traffic did not
   // clobber it).
-  (void)engine.Submit(pattern, 0.2).get();
+  (void)engine.Submit({pattern, 0.2}).get();
   EXPECT_EQ(engine.stats().cache_hits, hits0 + 4);
 }
 
@@ -438,6 +451,109 @@ TEST(ServingEngineTest, DegenerateCoalescingConfigsStayCorrect) {
   ServingEngine engine(BuildMono(s), options);
   auto futures = engine.SubmitBatch(queries);
   ExpectIdentical(expected, &futures, queries);
+}
+
+// ---- Admission control (bounded lanes, load shed, priorities) ----
+
+// Options that pin the worker in its linger window: one worker, a batch cap
+// far above the workload, and a linger long enough that nothing is popped
+// while the test submits. Everything the test observes about admission
+// happens while the lanes are provably still holding their requests.
+ServingOptions StalledWorkerOptions(int32_t max_pending) {
+  ServingOptions options;
+  options.num_workers = 1;
+  options.max_batch = 64;
+  options.linger_us = 300000;  // 0.3 s: far beyond the submit burst
+  options.cache_bytes = 0;
+  options.max_pending = max_pending;
+  return options;
+}
+
+TEST(ServingEngineAdmissionTest, FullLaneShedsWithUnavailableNotQueueing) {
+  const UncertainString s = MakeString(200, 91);
+  SubstringIndex reference = BuildMono(s);
+  const std::string p0 = test::PatternFromString(s, 5, 3, 92);
+  const std::string p1 = test::PatternFromString(s, 11, 3, 93);
+  const std::string p2 = test::PatternFromString(s, 17, 3, 94);
+
+  ServingEngine engine(BuildMono(s), StalledWorkerOptions(/*max_pending=*/2));
+  auto f0 = engine.Submit({p0, 0.2});
+  auto f1 = engine.Submit({p1, 0.2});
+  EXPECT_EQ(engine.stats().queue_depth, 2u);  // gauge sees the held lane
+
+  // Third distinct request: the interactive lane is at its bound, so it is
+  // shed immediately — the future is already resolved, no index work done.
+  auto f2 = engine.Submit({p2, 0.2});
+  ServingEngine::Result shed = f2.get();
+  EXPECT_TRUE(shed.status.IsUnavailable()) << shed.status.ToString();
+  EXPECT_TRUE(shed.matches.empty());
+
+  // An identical repeat of a held request merges in flight instead of
+  // occupying (or being shed by) a lane slot.
+  auto f3 = engine.Submit({p0, 0.2});
+
+  std::vector<Match> expected;
+  ASSERT_TRUE(reference.Query(p0, 0.2, &expected).ok());
+  ServingEngine::Result r0 = f0.get();
+  EXPECT_TRUE(r0.status.ok());
+  EXPECT_TRUE(r0.matches == expected);
+  EXPECT_TRUE(f1.get().status.ok());
+  EXPECT_TRUE(f3.get().matches == expected);
+
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.submitted, 4u);
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.interactive_shed, 1u);
+  EXPECT_EQ(stats.inflight_merges, 1u);
+  EXPECT_EQ(stats.queue_depth, 0u);  // drained
+  EXPECT_EQ(stats.submitted, stats.completed + stats.shed + stats.rejected);
+  EXPECT_EQ(stats.interactive_submitted,
+            stats.interactive_completed + stats.interactive_shed);
+}
+
+TEST(ServingEngineAdmissionTest, BatchLaneShedsWhileInteractiveStaysOpen) {
+  const UncertainString s = MakeString(200, 95);
+  const std::string p0 = test::PatternFromString(s, 4, 3, 96);
+  const std::string p1 = test::PatternFromString(s, 10, 3, 97);
+  const std::string p2 = test::PatternFromString(s, 16, 3, 98);
+
+  ServingEngine engine(BuildMono(s), StalledWorkerOptions(/*max_pending=*/1));
+  // Fill the batch lane (bound 1), then overflow it.
+  auto b0 = engine.Submit(
+      {p0, 0.2, FuzzyMetric::kMismatch, 0, Priority::kBatch});
+  auto b1 = engine.Submit(
+      {p1, 0.2, FuzzyMetric::kMismatch, 0, Priority::kBatch});
+  // The lanes are bounded independently: batch overload does not close the
+  // interactive lane.
+  auto i0 = engine.Submit({p2, 0.2});
+
+  ServingEngine::Result overflow = b1.get();
+  EXPECT_TRUE(overflow.status.IsUnavailable()) << overflow.status.ToString();
+  EXPECT_TRUE(b0.get().status.ok());
+  EXPECT_TRUE(i0.get().status.ok());
+
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.batch_submitted, 2u);
+  EXPECT_EQ(stats.batch_shed, 1u);
+  EXPECT_EQ(stats.batch_completed, 1u);
+  EXPECT_EQ(stats.interactive_submitted, 1u);
+  EXPECT_EQ(stats.interactive_shed, 0u);
+  EXPECT_EQ(stats.interactive_completed, 1u);
+  EXPECT_EQ(stats.submitted, stats.completed + stats.shed + stats.rejected);
+}
+
+TEST(ServingEngineAdmissionTest, UnboundedLaneNeverSheds) {
+  const UncertainString s = MakeString(200, 99);
+  const auto queries = Workload(s, 120, 30, 6, 100);
+  // max_pending <= 0 restores the PR-5 embedder contract: everything queues.
+  ServingOptions options = StalledWorkerOptions(/*max_pending=*/0);
+  options.linger_us = 0;
+  ServingEngine engine(BuildMono(s), options);
+  auto futures = engine.SubmitBatch(queries);
+  for (auto& f : futures) (void)f.get();
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_EQ(stats.completed, queries.size());
 }
 
 // ---- Hot reload (generation swap) ----
@@ -494,7 +610,7 @@ TEST(ServingEngineReloadTest, ReloadUnderTrafficLosesNoRequests) {
   for (size_t c = 0; c < kClients; ++c) {
     clients.emplace_back([&, c] {
       for (size_t i = c; i < queries.size(); i += kClients) {
-        futures[i] = engine.Submit(queries[i].pattern, queries[i].tau);
+        futures[i] = engine.Submit(queries[i]);
       }
     });
   }
@@ -582,16 +698,16 @@ TEST(ServingEngineReloadTest, ReloadClearsTheResultCache) {
   ServingEngine engine(BuildMono(s), options);
 
   const std::string pattern = test::PatternFromString(s, 3, 4, 52);
-  (void)engine.Submit(pattern, 0.2).get();
-  (void)engine.Submit(pattern, 0.2).get();
+  (void)engine.Submit({pattern, 0.2}).get();
+  (void)engine.Submit({pattern, 0.2}).get();
   EXPECT_EQ(engine.stats().cache_hits, 1u);
   EXPECT_GT(engine.stats().cache_entries, 0u);
 
   ASSERT_TRUE(engine.Reload(BuildMono(s)).ok());
   EXPECT_EQ(engine.stats().cache_entries, 0u);
-  (void)engine.Submit(pattern, 0.2).get();
+  (void)engine.Submit({pattern, 0.2}).get();
   EXPECT_EQ(engine.stats().cache_hits, 1u);  // miss: repopulated, not served
-  (void)engine.Submit(pattern, 0.2).get();
+  (void)engine.Submit({pattern, 0.2}).get();
   EXPECT_EQ(engine.stats().cache_hits, 2u);
 }
 
