@@ -62,6 +62,9 @@ Status NetClient::Receive(Frame* frame) {
 }
 
 Status NetClient::SendQuery(const Request& request, uint64_t* id) {
+  // A request the wire cannot represent (k outside the u8 field, oversized
+  // pattern) fails here instead of being silently truncated on encode.
+  PTI_RETURN_IF_ERROR(ValidateForWire(request));
   *id = next_id_++;
   return SendFrame(EncodeQuery(*id, request));
 }
@@ -80,6 +83,7 @@ Status NetClient::RoundTrip(const std::string& frame, uint64_t id,
 }
 
 Status NetClient::Query(const Request& request, std::vector<Match>* matches) {
+  PTI_RETURN_IF_ERROR(ValidateForWire(request));
   const uint64_t id = next_id_++;
   Frame response;
   PTI_RETURN_IF_ERROR(RoundTrip(EncodeQuery(id, request), id, &response));

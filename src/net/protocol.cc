@@ -112,11 +112,25 @@ Status DecodeStatsResultBody(Reader* reader, Frame* frame) {
 
 }  // namespace
 
+Status ValidateForWire(const Request& request) {
+  if (request.k < 0 || request.k > 255) {
+    return Status::InvalidArgument(
+        "request k " + std::to_string(request.k) +
+        " does not fit the wire's u8 field [0, 255]");
+  }
+  if (request.pattern.size() > kMaxPatternBytes) {
+    return Status::InvalidArgument(
+        "request pattern exceeds the wire cap of " +
+        std::to_string(kMaxPatternBytes) + " bytes");
+  }
+  return Status::OK();
+}
+
 std::string EncodeQuery(uint64_t id, const Request& request) {
   Writer w = BeginPayload(FrameType::kQuery, id);
   w.PutDouble(request.tau);
   w.PutU8(static_cast<uint8_t>(request.metric));
-  w.PutU8(static_cast<uint8_t>(request.k & 0xff));
+  w.PutU8(static_cast<uint8_t>(request.k));  // ValidateForWire: fits a u8
   w.PutU8(static_cast<uint8_t>(request.priority));
   w.PutU8(0);  // reserved
   w.PutString(request.pattern);
@@ -125,6 +139,18 @@ std::string EncodeQuery(uint64_t id, const Request& request) {
 
 std::string EncodeResult(uint64_t id, const Status& status,
                          Span<const Match> matches) {
+  if (matches.size() > kMaxResultMatches) {
+    // A result larger than one frame can carry degrades to a clean
+    // per-request status; an over-cap frame would be rejected as
+    // Corruption by the peer, which kills the whole connection.
+    return EncodeResult(
+        id,
+        Status::ResourceExhausted(
+            "result has " + std::to_string(matches.size()) +
+            " matches; a frame carries at most " +
+            std::to_string(kMaxResultMatches)),
+        {});
+  }
   Writer w = BeginPayload(FrameType::kResult, id);
   w.PutU8(static_cast<uint8_t>(status.code()));
   // Messages are advisory; truncate rather than build an undecodable frame.

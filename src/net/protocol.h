@@ -43,6 +43,19 @@ inline constexpr uint32_t kMaxPayloadBytes = 1u << 20;
 inline constexpr size_t kMaxPatternBytes = 1u << 16;
 inline constexpr size_t kMaxStringBytes = 4096;  // messages, reload paths
 
+/// Bytes one Match occupies on the wire ({position:i64, probability:f64}).
+inline constexpr size_t kWireMatchBytes = 16;
+/// Most matches a kResult frame can carry: the payload cap minus the
+/// worst-case fixed part (type + id + code + a maximal message with its
+/// length prefix + the match count), divided by the wire Match size.
+/// EncodeResult converts a larger result into a ResourceExhausted status,
+/// so a huge result degrades to a clean per-request error instead of an
+/// oversized frame the peer must treat as Corruption (killing the
+/// connection and every pipelined response behind it).
+inline constexpr size_t kMaxResultMatches =
+    (kMaxPayloadBytes - (1 + 8 + 1 + (8 + kMaxStringBytes) + 8)) /
+    kWireMatchBytes;
+
 enum class FrameType : uint8_t {
   kQuery = 1,        ///< client -> server: one Request
   kResult = 2,       ///< server -> client: status + matches for an id
@@ -78,7 +91,17 @@ struct Frame {
 
 // ---- Encoders: produce a complete wire frame (header + payload). Inputs
 // are trusted (the caller built them); length caps are enforced by the
-// decoder on the receiving side.
+// decoder on the receiving side. The exceptions that would otherwise let a
+// trusted caller build an undecodable or wrong frame are handled here:
+// EncodeResult degrades an over-cap match list to ResourceExhausted, and
+// EncodeQuery callers must pass a Request that ValidateForWire accepts.
+
+/// Checks that a Request is representable on the wire: k must fit the u8
+/// field (encoding would otherwise silently truncate — k=256 would arrive
+/// as an exact-match query) and the pattern must fit kMaxPatternBytes.
+/// NetClient rejects a request failing this with InvalidArgument before
+/// framing it.
+Status ValidateForWire(const Request& request);
 
 std::string EncodeQuery(uint64_t id, const Request& request);
 std::string EncodeResult(uint64_t id, const Status& status,

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -65,14 +66,27 @@ struct NetServer::Impl {
   void AcceptLoop() {
     for (;;) {
       const int cfd = ::accept(listen_fd, nullptr, nullptr);
+      if (stopping.load(std::memory_order_acquire)) {
+        if (cfd >= 0) CloseFd(cfd);
+        return;
+      }
       if (cfd < 0) {
-        if (errno == EINTR && !stopping.load(std::memory_order_acquire)) {
+        const int err = errno;
+        if (err == EINTR || err == ECONNABORTED) continue;
+        if (err == EMFILE || err == ENFILE || err == ENOBUFS ||
+            err == ENOMEM || err == EAGAIN) {
+          // Transient resource exhaustion (fd or buffer pressure — likely
+          // at two threads and one fd per connection): back off briefly
+          // and keep accepting instead of silently ending service for the
+          // rest of the process lifetime.
+          accept_retries.fetch_add(1, std::memory_order_relaxed);
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
           continue;
         }
-        return;  // listener shut down (Stop) or fatal accept error
-      }
-      if (stopping.load(std::memory_order_acquire)) {
-        CloseFd(cfd);
+        // Listener genuinely unusable (EBADF/EINVAL outside Stop, or an
+        // errno no retry can fix): record the exit so stats show that
+        // acceptance has died rather than vanishing silently.
+        accept_failures.fetch_add(1, std::memory_order_relaxed);
         return;
       }
       const int one = 1;
@@ -259,23 +273,25 @@ struct NetServer::Impl {
   }
 
   void Stop() {
-    bool expected = false;
-    if (!stopping.compare_exchange_strong(expected, true)) {
-      // Second Stop(): the first one already joined everything.
-      return;
-    }
-    ShutdownFd(listen_fd);
-    CloseFd(listen_fd);
-    if (accept_thread.joinable()) accept_thread.join();
-    listen_fd = -1;
-    std::lock_guard<std::mutex> lock(conns_mu);
-    for (auto& conn : conns) Abort(conn.get());
-    for (auto& conn : conns) {
-      if (conn->reader.joinable()) conn->reader.join();
-      if (conn->writer.joinable()) conn->writer.join();
-      CloseFd(conn->fd);
-    }
-    conns.clear();
+    // call_once so concurrent Stop() callers (including the destructor's
+    // Stop racing an explicit one) block until the first teardown has
+    // joined everything, instead of returning while threads are mid-join
+    // and letting ~NetServer free this Impl under them.
+    std::call_once(stop_once, [this] {
+      stopping.store(true, std::memory_order_release);
+      ShutdownFd(listen_fd);
+      CloseFd(listen_fd);
+      if (accept_thread.joinable()) accept_thread.join();
+      listen_fd = -1;
+      std::lock_guard<std::mutex> lock(conns_mu);
+      for (auto& conn : conns) Abort(conn.get());
+      for (auto& conn : conns) {
+        if (conn->reader.joinable()) conn->reader.join();
+        if (conn->writer.joinable()) conn->writer.join();
+        CloseFd(conn->fd);
+      }
+      conns.clear();
+    });
   }
 
   ServingEngine* engine;
@@ -285,12 +301,15 @@ struct NetServer::Impl {
   int32_t bound_port = 0;
   std::thread accept_thread;
   std::atomic<bool> stopping{false};
+  std::once_flag stop_once;
 
   std::mutex conns_mu;
   std::vector<std::unique_ptr<Conn>> conns;
 
   std::atomic<uint64_t> connections_accepted{0};
   std::atomic<uint64_t> connections_rejected{0};
+  std::atomic<uint64_t> accept_retries{0};
+  std::atomic<uint64_t> accept_failures{0};
   std::atomic<uint64_t> frames_received{0};
   std::atomic<uint64_t> frames_sent{0};
   std::atomic<uint64_t> protocol_errors{0};
@@ -316,6 +335,8 @@ NetServer::Stats NetServer::stats() const {
       impl.connections_accepted.load(std::memory_order_relaxed);
   s.connections_rejected =
       impl.connections_rejected.load(std::memory_order_relaxed);
+  s.accept_retries = impl.accept_retries.load(std::memory_order_relaxed);
+  s.accept_failures = impl.accept_failures.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(impl_->conns_mu);
     uint64_t active = 0;

@@ -66,6 +66,10 @@ class NetServer {
     uint64_t connections_accepted = 0;
     uint64_t connections_rejected = 0;  ///< over max_connections
     uint64_t connections_active = 0;    ///< gauge
+    uint64_t accept_retries = 0;   ///< transient accept() errors retried
+                                   ///< (fd/buffer exhaustion, aborted conns)
+    uint64_t accept_failures = 0;  ///< accept() errors that permanently
+                                   ///< ended the accept loop (should be 0)
     uint64_t frames_received = 0;       ///< well-framed payloads read
     uint64_t frames_sent = 0;
     uint64_t protocol_errors = 0;  ///< hostile frames (either severity)
@@ -87,8 +91,10 @@ class NetServer {
   Status Start();
 
   /// Closes the listener and every connection, then joins all threads.
-  /// Idempotent. Pending futures the engine already accepted still resolve
-  /// inside the engine; their responses are simply no longer deliverable.
+  /// Idempotent and safe to call concurrently: later callers (including
+  /// the destructor) block until the first teardown completes. Pending
+  /// futures the engine already accepted still resolve inside the engine;
+  /// their responses are simply no longer deliverable.
   void Stop();
 
   /// The bound port (after Start); useful with options.port == 0.

@@ -382,6 +382,54 @@ TEST(NetProtocolTest, ErrorsAreAddressableWhenTypeAndIdAreIntact) {
   EXPECT_EQ(frame.type, FrameType::kQuery);
 }
 
+TEST(NetProtocolTest, OversizedMatchListBecomesResourceExhausted) {
+  // One match over the frame cap: the encoder must not emit a frame whose
+  // payload exceeds kMaxPayloadBytes (the peer would reject it as
+  // Corruption and drop the connection). It degrades to a status instead.
+  std::vector<Match> matches(kMaxResultMatches + 1, Match{1, 0.5});
+  const std::string over =
+      EncodeResult(8, Status::OK(), Span<const Match>(matches));
+  ASSERT_LE(over.size(), kFrameHeaderBytes + kMaxPayloadBytes);
+  std::string payload;
+  SplitFrame(over, &payload);
+  Frame decoded;
+  ASSERT_TRUE(DecodeFrame(payload, &decoded).ok());
+  EXPECT_EQ(decoded.id, 8u);
+  EXPECT_EQ(decoded.code, Status::Code::kResourceExhausted);
+  EXPECT_TRUE(decoded.matches.empty());
+
+  // The largest legal match list still fits, even alongside a maximal
+  // status message, and round-trips intact.
+  matches.resize(kMaxResultMatches);
+  const std::string full =
+      EncodeResult(9, Status::IOError(std::string(kMaxStringBytes, 'x')),
+                   Span<const Match>(matches));
+  EXPECT_LE(full.size(), kFrameHeaderBytes + kMaxPayloadBytes);
+  SplitFrame(full, &payload);
+  ASSERT_TRUE(DecodeFrame(payload, &decoded).ok());
+  EXPECT_EQ(decoded.matches.size(), kMaxResultMatches);
+}
+
+TEST(NetProtocolTest, RequestsTheWireCannotRepresentAreRejectedUpFront) {
+  Request request;
+  request.pattern = "ac";
+  request.tau = 0.5;
+  EXPECT_TRUE(ValidateForWire(request).ok());
+
+  // k outside the u8 field: a masked encode would silently turn k=256
+  // into an exact-match query and negative k into an arbitrary budget.
+  request.k = 256;
+  EXPECT_TRUE(ValidateForWire(request).IsInvalidArgument());
+  request.k = -1;
+  EXPECT_TRUE(ValidateForWire(request).IsInvalidArgument());
+  request.k = 255;  // encodable, even though the engine will say NotSupported
+  EXPECT_TRUE(ValidateForWire(request).ok());
+
+  request.k = 0;
+  request.pattern.assign(kMaxPatternBytes + 1, 'a');
+  EXPECT_TRUE(ValidateForWire(request).IsInvalidArgument());
+}
+
 TEST(NetProtocolTest, OversizedStatusMessageIsTruncatedNotUndecodable) {
   const std::string huge(kMaxStringBytes + 1000, 'x');
   const std::string frame = EncodeResult(1, Status::IOError(huge), {});

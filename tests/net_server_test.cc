@@ -113,6 +113,16 @@ TEST(NetServerTest, InvalidRequestsComeBackAsStatusesNotDisconnects) {
   // k above kMaxFuzzyErrors: answered (NotSupported) without queueing.
   EXPECT_TRUE(client.Query({"ac", 0.2, FuzzyMetric::kMismatch, 7}, &matches)
                   .IsNotSupported());
+  // k outside the u8 wire field: rejected client-side before encoding — a
+  // masked k=256 would silently go out as an exact-match query.
+  EXPECT_TRUE(client.Query({"ac", 0.2, FuzzyMetric::kMismatch, 256}, &matches)
+                  .IsInvalidArgument());
+  EXPECT_TRUE(client.Query({"ac", 0.2, FuzzyMetric::kMismatch, -1}, &matches)
+                  .IsInvalidArgument());
+  uint64_t id = 0;
+  EXPECT_TRUE(
+      client.SendQuery({"ac", 0.2, FuzzyMetric::kMismatch, 256}, &id)
+          .IsInvalidArgument());
   // The connection is still serving.
   const std::string pattern = test::PatternFromString(s, 5, 3, 22);
   EXPECT_TRUE(client.Query({pattern, 0.2}, &matches).ok());
@@ -397,6 +407,57 @@ TEST(NetServerTest, OverloadShedsBatchWhileInteractiveCompletes) {
   EXPECT_EQ(stats.interactive_shed, 0u);
   EXPECT_EQ(stats.interactive_completed, 1u);
   EXPECT_EQ(stats.submitted, stats.completed + stats.shed + stats.rejected);
+}
+
+TEST(NetServerTest, OversizedResultIsResourceExhaustedNotADisconnect) {
+  // A certain unary string: the single-character pattern matches at every
+  // position, overflowing the 1 MiB kResult frame cap by construction.
+  UncertainString s;
+  const int64_t n = static_cast<int64_t>(kMaxResultMatches) + 1000;
+  for (int64_t i = 0; i < n; ++i) {
+    s.AddPosition({{static_cast<uint8_t>('a'), 1.0}});
+  }
+  ServingEngine engine(BuildMono(s), {});
+  NetServer server(&engine);
+  ASSERT_TRUE(server.Start().ok());
+
+  NetClient client;
+  ASSERT_TRUE(client.Connect(kHost, server.port()).ok());
+  std::vector<Match> matches;
+  const Status overflow = client.Query({"a", 0.5}, &matches);
+  // The in-process path returns all n matches; one frame cannot carry
+  // them, so the wire degrades to a retryable per-request status...
+  EXPECT_TRUE(overflow.IsResourceExhausted()) << overflow.ToString();
+  EXPECT_TRUE(matches.empty());
+  // ...and the connection (not just the server) keeps serving.
+  const Status after = client.Query({"b", 0.5}, &matches);
+  EXPECT_TRUE(after.ok()) << after.ToString();
+  EXPECT_TRUE(matches.empty());
+  EXPECT_TRUE(client.connected());
+  EXPECT_EQ(server.stats().protocol_errors, 0u);
+
+  server.Stop();
+  engine.Stop();
+}
+
+TEST(NetServerTest, ConcurrentStopCallsBlockUntilTeardownCompletes) {
+  const UncertainString s = MakeString(150, 111);
+  auto live = std::make_unique<LiveServer>(s);
+  NetClient client;
+  ASSERT_TRUE(client.Connect(kHost, live->server.port()).ok());
+  const std::string pattern = test::PatternFromString(s, 5, 3, 112);
+  std::vector<Match> matches;
+  ASSERT_TRUE(client.Query({pattern, 0.2}, &matches).ok());
+
+  // Every Stop() must block until the one that wins has joined all server
+  // threads; returning early would let the destructor free the server
+  // while another Stop is still mid-join (TSan-checked).
+  std::vector<std::thread> stoppers;
+  for (int t = 0; t < 4; ++t) {
+    stoppers.emplace_back([&] { live->server.Stop(); });
+  }
+  for (std::thread& th : stoppers) th.join();
+  live.reset();
 }
 
 TEST(NetServerTest, ServerStopLeavesCleanlyWithClientsConnected) {
